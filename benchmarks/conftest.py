@@ -1,0 +1,28 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one artifact of the paper (a worked example,
+a theorem table, or a figure's game) and prints the reproduced rows so a
+run with ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+experiment log.  EXPERIMENTS.md records the expected output of each.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render one reproduced table to stdout."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    header = tuple(str(c) for c in header)
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    print()
+    print(f"=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,97 @@
+"""E4: Byzantine agreement — mediator vs cheap talk vs impossibility.
+
+Reproduces the Section 2 claims: the mediator protocol is trivially
+correct; EIG cheap talk satisfies the BA spec whenever n > 3t; for
+n <= 3t the adversary search exhibits a concrete violation (the
+executable face of "Byzantine agreement cannot be reached if t >= n/3").
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.dist.agreement import (
+    run_eig_agreement,
+    run_mediator_agreement,
+    run_phase_king_agreement,
+    search_for_disagreement,
+)
+from repro.dist.simulator import ByzantineRandomAdversary
+
+
+def eig_grid():
+    rows = []
+    for n, t in [(4, 1), (5, 1), (7, 2), (3, 1), (6, 2)]:
+        correct = 0
+        trials = 0
+        for seed in range(10):
+            for gv in (0, 1):
+                faulty = set(range(n - t, n))
+                adv = ByzantineRandomAdversary(faulty, seed=seed)
+                outcome = run_eig_agreement(n, t, gv, adv)
+                correct += outcome.correct
+                trials += 1
+        violation = (
+            search_for_disagreement(n, t, "eig", random_seeds=5)
+            if n <= 3 * t
+            else None
+        )
+        rows.append(
+            (
+                n,
+                t,
+                "n > 3t" if n > 3 * t else "n <= 3t",
+                f"{correct}/{trials}",
+                "violation found" if violation is not None else "none found",
+            )
+        )
+    return rows
+
+
+def test_bench_e4_eig_threshold(benchmark):
+    rows = benchmark.pedantic(eig_grid, iterations=1, rounds=1)
+    print_table(
+        "E4: EIG cheap-talk Byzantine agreement",
+        ["n", "t", "regime", "random-adversary correct", "adversarial search"],
+        rows,
+    )
+    for n, t, regime, correct, search in rows:
+        if regime == "n > 3t":
+            assert correct.split("/")[0] == correct.split("/")[1]
+            assert search == "none found"
+        else:
+            assert search == "violation found"
+
+
+def test_bench_e4_mediator_latency(benchmark):
+    """The mediator protocol: 3 rounds, immune to any player faults."""
+
+    def run():
+        adv = ByzantineRandomAdversary({1, 2, 3}, seed=0)
+        return run_mediator_agreement(5, 1, adv)
+
+    outcome = benchmark(run)
+    assert outcome.correct
+    assert outcome.rounds == 3
+
+
+def test_bench_e4_eig_runtime_scaling(benchmark):
+    """EIG is exponential-message but round-efficient: t+3 rounds."""
+
+    def run():
+        return run_eig_agreement(7, 2, 1, ByzantineRandomAdversary({5, 6}))
+
+    outcome = benchmark(run)
+    assert outcome.correct
+    assert outcome.rounds == 2 + 3
+
+
+def test_bench_e4_phase_king(benchmark):
+    """Phase king: linear messages, needs n > 4t."""
+
+    def run():
+        return run_phase_king_agreement(
+            5, 1, 1, ByzantineRandomAdversary({4}, seed=2)
+        )
+
+    outcome = benchmark(run)
+    assert outcome.correct

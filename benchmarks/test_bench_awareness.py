@@ -1,0 +1,149 @@
+"""E9 & E10: Section 4's awareness examples (Figures 1-3).
+
+E9 — Figure 1 with an unaware A: Nash of the underlying game says
+(across_A, down_B); every generalized Nash equilibrium of the game with
+awareness has A playing down_A, matching the prose.
+
+E10 — the full {Γm, ΓA, ΓB} structure with P(B unaware) = p: the
+across_A equilibrium exists exactly for p <= 1/2 (with the documented
+payoffs), and the canonical-representation theorem holds.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.awareness import canonical_representation
+from repro.core.awareness_examples import (
+    figure1_unaware_game,
+    figure_gamma_games,
+    virtual_move_game,
+)
+from repro.games.classics import figure1_game
+
+
+def e9_rows():
+    game = figure1_game()
+    sp_profile, sp_values = game.backward_induction()
+    gw = figure1_unaware_game()
+    gnes = list(gw.all_pure_generalized_nash())
+    rows = [
+        (
+            "standard Nash (subgame perfect)",
+            max(sp_profile[0]["A"], key=sp_profile[0]["A"].get),
+            max(sp_profile[1]["B"], key=sp_profile[1]["B"].get),
+            tuple(sp_values),
+        )
+    ]
+    for i, gne in enumerate(gnes):
+        a_move = max(
+            gne[(0, "gamma_b")]["A.3"], key=gne[(0, "gamma_b")]["A.3"].get
+        )
+        b_move = max(
+            gne[(1, "modeler")]["B"], key=gne[(1, "modeler")]["B"].get
+        )
+        effective = gw.effective_profile("modeler", gne)
+        payoffs = tuple(gw.games["modeler"].expected_payoffs(effective))
+        rows.append((f"generalized Nash #{i + 1}", a_move, b_move, payoffs))
+    return rows
+
+
+def test_bench_e9_figure1(benchmark):
+    rows = benchmark.pedantic(e9_rows, iterations=1, rounds=1)
+    print_table(
+        "E9: Figure 1 — Nash vs generalized Nash with unaware A",
+        ["solution concept", "A plays", "B plays", "realized payoffs"],
+        rows,
+    )
+    assert rows[0][1] == "across_A"  # standard Nash
+    for row in rows[1:]:
+        assert row[1] == "down_A"  # every GNE: unaware A goes down
+
+
+def e10_rows(p_values):
+    rows = []
+    for p in p_values:
+        gw = figure_gamma_games(p)
+        gnes = list(gw.all_pure_generalized_nash())
+        across = [
+            gne
+            for gne in gnes
+            if gne[(0, "gamma_a")]["A.1"]["across_A"] > 0.5
+        ]
+        expected_across_value = 2 * (1 - p)
+        rows.append(
+            (
+                p,
+                len(gnes),
+                len(across),
+                f"{expected_across_value:.2f} vs 1.00",
+            )
+        )
+    return rows
+
+
+def test_bench_e10_gamma_a_b(benchmark):
+    p_values = [0.0, 0.25, 0.4, 0.5, 0.6, 0.75, 1.0]
+    rows = benchmark.pedantic(e10_rows, args=(p_values,), iterations=1, rounds=1)
+    print_table(
+        "E10: Figures 2-3 — GNE of {Γm, ΓA, ΓB} vs P(B unaware) = p "
+        "(A across is optimal iff 2(1-p) >= 1)",
+        ["p", "#pure GNE", "#GNE with A across", "across vs down value"],
+        rows,
+    )
+    for p, _total, n_across, _values in rows:
+        if p < 0.5:
+            assert n_across >= 1
+        if p > 0.5:
+            assert n_across == 0
+
+
+def test_bench_e10_canonical_equivalence(benchmark):
+    """The canonical-representation theorem checked exhaustively."""
+
+    def check():
+        game = figure1_game()
+        gw = canonical_representation(game)
+        agreements = 0
+        for a_move in ("across_A", "down_A"):
+            for b_move in ("across_B", "down_B"):
+                profile = {
+                    (0, "G"): {"A": {m: float(m == a_move)
+                                      for m in ("across_A", "down_A")}},
+                    (1, "G"): {"B": {m: float(m == b_move)
+                                      for m in ("across_B", "down_B")}},
+                }
+                behavioral = [profile[(0, "G")], profile[(1, "G")]]
+                agreements += game.is_nash(behavioral) == (
+                    gw.is_generalized_nash(profile)
+                )
+        return agreements
+
+    assert benchmark(check) == 4
+
+
+def test_bench_e10_virtual_moves(benchmark):
+    """Awareness of unawareness: beliefs about the unknown move decide A."""
+
+    def sweep():
+        rows = []
+        for believed in (0.25, 0.5, 0.9, 1.1, 1.5, 2.0):
+            gw = virtual_move_game(believed_virtual_payoffs=(believed, 1.5))
+            across = [
+                gne
+                for gne in gw.all_pure_generalized_nash()
+                if gne[(0, "subjective")]["A.v"]["across_A"] == 1.0
+            ]
+            rows.append((believed, len(across)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print_table(
+        "E10b: virtual-move game — A goes across iff believed virtual payoff > 1",
+        ["believed payoff to A", "#GNE with A across"],
+        rows,
+    )
+    for believed, n_across in rows:
+        if believed > 1.0:
+            assert n_across >= 1
+        if believed < 1.0:
+            assert n_across == 0

@@ -1,0 +1,102 @@
+"""E5: cheap talk implements the mediator (same induced distribution).
+
+The paper's definition: a cheap-talk game implements a mediated game if
+it induces the same distribution over actions in the underlying game for
+every type vector.  We run the SMPC-backed cheap-talk protocol for the
+Byzantine-agreement mediator and a randomized mediator, compare induced
+distributions, and exercise fault tolerance at the decoder's threshold.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.games.bayesian import BayesianGame
+from repro.games.classics import byzantine_agreement_game, chicken
+from repro.mediators.base import DeterministicMediator, MediatedGame, TableMediator
+from repro.mediators.cheap_talk import CheapTalkSimulation, distributions_match
+from repro.solvers.correlated import correlated_equilibrium
+
+
+def byzantine_rows():
+    n = 5
+    game = byzantine_agreement_game(n)
+    mediator = DeterministicMediator(
+        game.num_types, lambda types: tuple([types[0]] * n)
+    )
+    mediated = MediatedGame(game, mediator)
+    sim = CheapTalkSimulation(game, mediator, t=1, coin_resolution=4)
+    rows = []
+    for general_type in (0, 1):
+        types = (general_type,) + (0,) * (n - 1)
+        ideal = mediated.action_distribution(types)
+        for corrupted, label in [(None, "honest"), ({4}, "1 corrupted")]:
+            empirical = sim.sample_action_distribution(
+                types, 30, corrupted=corrupted, seed=7
+            )
+            tv = 0.5 * sum(
+                abs(empirical.get(k, 0) - ideal.get(k, 0))
+                for k in set(empirical) | set(ideal)
+            )
+            rows.append((types, label, f"{tv:.3f}", tv <= 0.05))
+    return rows
+
+
+def test_bench_e5_byzantine_mediator_implementation(benchmark):
+    rows = benchmark.pedantic(byzantine_rows, iterations=1, rounds=1)
+    print_table(
+        "E5a: cheap talk vs mediator, Byzantine agreement (n=5, t=1)",
+        ["type profile", "faults", "total variation", "implements?"],
+        rows,
+    )
+    assert all(row[3] for row in rows)
+
+
+def correlated_rows():
+    game = chicken()
+    device = correlated_equilibrium(game, objective="welfare")
+    bayesian = BayesianGame.from_normal_form(game)
+    mediator = TableMediator({(0, 0): device})
+    sim = CheapTalkSimulation(bayesian, mediator, t=0, coin_resolution=32)
+    ideal = sim.quantized_distribution((0, 0))
+    empirical = sim.sample_action_distribution((0, 0), 400, seed=11)
+    rows = []
+    for profile in sorted(set(ideal) | set(empirical)):
+        rows.append(
+            (
+                profile,
+                f"{ideal.get(profile, 0.0):.3f}",
+                f"{empirical.get(profile, 0.0):.3f}",
+            )
+        )
+    return rows, ideal, empirical
+
+
+def test_bench_e5_randomized_correlated_device(benchmark):
+    rows, ideal, empirical = benchmark.pedantic(
+        correlated_rows, iterations=1, rounds=1
+    )
+    print_table(
+        "E5b: randomized mediator (welfare-optimal correlated equilibrium of "
+        "chicken) via cheap talk",
+        ["recommended profile", "mediator prob", "cheap-talk prob"],
+        rows,
+    )
+    assert distributions_match(empirical, ideal, 0.08)
+
+
+def test_bench_e5_protocol_cost_scaling(benchmark):
+    """Cost of one full SMPC cheap-talk execution (n=7, t=2)."""
+    n = 7
+    game = byzantine_agreement_game(n)
+    mediator = DeterministicMediator(
+        game.num_types, lambda types: tuple([types[0]] * n)
+    )
+    sim = CheapTalkSimulation(game, mediator, t=2, coin_resolution=4)
+    rng = np.random.default_rng(0)
+
+    def run():
+        return sim.run_once(types=(1,) + (0,) * (n - 1), rng=rng)
+
+    result = benchmark(run)
+    assert result.played == (1,) * n

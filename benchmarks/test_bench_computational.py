@@ -1,0 +1,141 @@
+"""E6, E7, E8: the three computational-equilibrium examples of Section 3.
+
+E6 — primality game: the equilibrium machine flips from "compute the
+answer" to "play safe" as the inputs grow, under per-step pricing.
+
+E7 — finitely repeated prisoner's dilemma: tit-for-tat becomes an
+equilibrium once memory is priced; the crossover length is swept.
+
+E8 — roshambo with costly randomization: no computational Nash
+equilibrium exists (exhaustive check over the machine space).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.computational import (
+    computational_nash_equilibria,
+    frpd_machine_game,
+    is_computational_nash,
+    primality_machine_game,
+    roshambo_machine_game,
+)
+
+# Mixed primes and composites per magnitude so blind guessing stays risky.
+NUMBER_SETS = [
+    ("8-bit", [251, 221, 193, 187], 0.01),
+    ("16-bit", [65_521, 65_341, 64_969, 64_987], 0.01),
+    ("28-bit", [268_435_399, 268_435_397, 268_435_459, 268_435_461], 0.01),
+    ("40-bit", [10**12 + 39, 10**12 + 61, 10**12 + 1, 10**12 + 3], 0.03),
+]
+
+
+def e6_rows():
+    rows = []
+    for label, numbers, step_price in NUMBER_SETS:
+        game = primality_machine_game(numbers, step_price=step_price)
+        equilibria = computational_nash_equilibria(game)
+        names = sorted({profile[0].name for profile in equilibria})
+        rows.append((label, step_price, ", ".join(names)))
+    return rows
+
+
+def test_bench_e6_primality(benchmark):
+    rows = benchmark.pedantic(e6_rows, iterations=1, rounds=1)
+    print_table(
+        "E6: primality game equilibrium machine vs input size",
+        ["input size", "step price", "equilibrium machines"],
+        rows,
+    )
+    # The equilibrium ladder: exact-but-superpolynomial trial division on
+    # tiny inputs, the polynomial VM tester in the middle, play-safe once
+    # even polynomial testing costs more than the $10 reward.
+    assert "trial_division" in rows[0][2]
+    assert any("fermat" in row[2] or "miller" in row[2] for row in rows[1:3])
+    assert rows[-1][2] == "play_safe"
+
+
+def e7_rows(memory_price, delta):
+    rows = []
+    for n_rounds in (2, 3, 5, 10, 20, 40):
+        game = frpd_machine_game(n_rounds, delta, memory_price)
+        machines = game.machine_sets[0]
+        tft = next(m for m in machines if m.name == "tit_for_tat")
+        gain = 2 * delta**n_rounds
+        extra_states = (2 * (n_rounds - 1) + 1) - 2
+        cost = memory_price * extra_states
+        rows.append(
+            (
+                n_rounds,
+                f"{gain:.4f}",
+                f"{cost:.4f}",
+                is_computational_nash(game, [tft, tft]),
+            )
+        )
+    return rows
+
+
+def test_bench_e7_frpd(benchmark):
+    memory_price, delta = 0.01, 0.9
+    rows = benchmark.pedantic(
+        e7_rows, args=(memory_price, delta), iterations=1, rounds=1
+    )
+    print_table(
+        f"E7: FRPD with memory price {memory_price}, delta {delta} — "
+        "tit-for-tat equilibrium vs game length",
+        ["rounds N", "defection gain 2δ^N", "counter memory bill", "TFT is eq?"],
+        rows,
+    )
+    values = [row[3] for row in rows]
+    # Shape: not an equilibrium for short games, equilibrium for long ones,
+    # with a single crossover.
+    assert values[0] is False
+    assert values[-1] is True
+    assert values == sorted(values)  # monotone flip
+
+
+def test_bench_e7_asymmetric_variant(benchmark):
+    """Paper's asymmetric case: only player 0 is charged for memory."""
+
+    def run():
+        game = frpd_machine_game(
+            n_rounds=12, delta=0.9, memory_price=0.05, charge_player=0
+        )
+        machines = game.machine_sets[0]
+        tft = next(m for m in machines if m.name == "tit_for_tat")
+        counter = next(
+            m for m in machines if m.name.startswith("tft_defect")
+        )
+        return is_computational_nash(game, [tft, counter])
+
+    assert benchmark(run)
+
+
+def e8_rows():
+    rows = []
+    for det_cost, rand_cost in [(1.0, 2.0), (1.0, 1.0), (0.0, 0.0)]:
+        game = roshambo_machine_game(det_cost, rand_cost)
+        equilibria = computational_nash_equilibria(game)
+        rows.append(
+            (
+                det_cost,
+                rand_cost,
+                len(equilibria),
+                "none" if not equilibria else ", ".join(
+                    f"({p[0].name},{p[1].name})" for p in equilibria
+                ),
+            )
+        )
+    return rows
+
+
+def test_bench_e8_roshambo(benchmark):
+    rows = benchmark.pedantic(e8_rows, iterations=1, rounds=1)
+    print_table(
+        "E8: roshambo machine game — computational Nash equilibria",
+        ["deterministic cost", "randomization cost", "#equilibria", "equilibria"],
+        rows,
+    )
+    by_costs = {(r[0], r[1]): r[2] for r in rows}
+    assert by_costs[(1.0, 2.0)] == 0  # the paper's nonexistence
+    assert by_costs[(1.0, 1.0)] >= 1  # equal costs restore equilibrium

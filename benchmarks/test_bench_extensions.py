@@ -1,0 +1,146 @@
+"""E15 & E16: extension experiments from the paper's related work/agenda.
+
+E15 — rational secret sharing (Halpern–Teague 2004, §2 related work):
+the naive one-round protocol is not an equilibrium in the tight case;
+the randomized protocol's honesty equilibrium holds exactly up to
+``alpha* = (u_all - u_none) / (u_alone - u_none)``.
+
+E16 — asynchrony (§5 agenda): Ben-Or randomized consensus keeps
+agreement and validity under random and starvation schedulers and under
+crashes, while the naive wait-for-all protocol deadlocks on one crash.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.dist.async_sim import (
+    AsyncNetwork,
+    NaiveWaitAllNode,
+    RandomScheduler,
+    StarvationScheduler,
+    run_ben_or,
+)
+from repro.mediators.rational_secret_sharing import (
+    RSSUtilities,
+    RandomizedRSSProtocol,
+    honest_equilibrium_alpha_bound,
+    naive_protocol_is_equilibrium,
+)
+
+
+def e15_rows():
+    utilities = RSSUtilities(u_all=1.0, u_alone=2.0, u_none=0.0)
+    bound = honest_equilibrium_alpha_bound(utilities)
+    rows = []
+    for alpha in (0.1, 0.3, 0.45, 0.5, 0.55, 0.7, 0.9):
+        protocol = RandomizedRSSProtocol(
+            n=3, t=2, alpha=alpha, utilities=utilities
+        )
+        mean_rounds = float(
+            np.mean([protocol.run(seed=s).rounds for s in range(25)])
+        )
+        rows.append(
+            (
+                alpha,
+                f"{protocol.expected_cheating_utility():.3f}",
+                f"{protocol.expected_honest_utility():.3f}",
+                protocol.honest_is_equilibrium(),
+                f"{mean_rounds:.1f}",
+            )
+        )
+    return rows, bound
+
+
+def test_bench_e15_rational_secret_sharing(benchmark):
+    rows, bound = benchmark.pedantic(e15_rows, iterations=1, rounds=1)
+    print_table(
+        "E15: randomized rational secret sharing (n=3, t=2; "
+        f"theory: honesty is an equilibrium iff alpha <= {bound})",
+        ["alpha", "EU(cheat)", "EU(honest)", "honest equilibrium?", "mean rounds"],
+        rows,
+    )
+    assert not naive_protocol_is_equilibrium(3, 2)
+    for alpha, _c, _h, is_eq, _r in rows:
+        assert is_eq == (alpha <= bound + 1e-12)
+
+
+def e16_rows():
+    rows = []
+    scenarios = [
+        ("random schedule, no faults", RandomScheduler(0), {}),
+        ("random schedule, 2 crashes", RandomScheduler(1), {0: 15, 4: 0}),
+        ("starve node 3", StarvationScheduler(3, seed=2), {}),
+        ("starve node 1 + crash node 4", StarvationScheduler(1, seed=3), {4: 0}),
+    ]
+    for label, scheduler, crashed in scenarios:
+        result = run_ben_or(
+            5, 2, [0, 1, 1, 0, 1],
+            scheduler=scheduler, crashed=dict(crashed), seed=5,
+        )
+        rows.append(
+            (
+                label,
+                result.agreement,
+                result.validity,
+                result.max_phase,
+                result.deliveries,
+            )
+        )
+    return rows
+
+
+def test_bench_e16_ben_or_asynchrony(benchmark):
+    rows = benchmark.pedantic(e16_rows, iterations=1, rounds=1)
+    print_table(
+        "E16a: Ben-Or consensus under adversarial asynchrony (n=5, t=2)",
+        ["scenario", "agreement", "validity", "phases", "deliveries"],
+        rows,
+    )
+    for _label, agreement, validity, _phases, _d in rows:
+        assert agreement and validity
+
+
+def test_bench_e16_naive_protocol_deadlocks(benchmark):
+    def run():
+        nodes = [NaiveWaitAllNode(i, 5, 1) for i in range(5)]
+        net = AsyncNetwork(nodes, RandomScheduler(0), crashed={4: 0})
+        net.run()
+        return net
+
+    net = benchmark.pedantic(run, iterations=1, rounds=1)
+    print_table(
+        "E16b: the wait-for-all strawman under one crash",
+        ["protocol", "deadlocked", "any output"],
+        [
+            (
+                "wait-for-all majority",
+                net.is_deadlocked(),
+                any(v is not None for v in net.honest_outputs().values()),
+            )
+        ],
+    )
+    assert net.is_deadlocked()
+
+
+def test_bench_e16_ben_or_phase_distribution(benchmark):
+    """Distribution of phases to terminate over random schedules."""
+
+    def sample():
+        phases = []
+        for seed in range(15):
+            result = run_ben_or(
+                5, 2, [0, 1, 0, 1, 1],
+                scheduler=RandomScheduler(seed), seed=seed,
+            )
+            assert result.agreement
+            phases.append(result.max_phase)
+        return phases
+
+    phases = benchmark.pedantic(sample, iterations=1, rounds=1)
+    print_table(
+        "E16c: Ben-Or phases to terminate (mixed inputs, 15 random schedules)",
+        ["min", "median", "max"],
+        [(min(phases), int(np.median(phases)), max(phases))],
+    )
+    assert max(phases) < 200  # terminates with probability 1 (and fast)

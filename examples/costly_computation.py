@@ -1,0 +1,103 @@
+"""Section 3 end to end: Nash equilibrium once computation is priced.
+
+Walks through the paper's three examples:
+
+* Example 3.1 — the primality game: "give the right answer" stops being
+  the equilibrium once testing costs more than the $10 reward.
+* Example 3.2 — finitely repeated prisoner's dilemma: tit-for-tat is a
+  computational Nash equilibrium once round counting costs memory.
+* Example 3.3 — roshambo: pricing randomization destroys equilibrium
+  existence altogether.
+
+Run with::
+
+    python examples/costly_computation.py
+"""
+
+from repro.core.computational import (
+    computational_nash_equilibria,
+    frpd_machine_game,
+    is_computational_nash,
+    primality_machine_game,
+    roshambo_machine_game,
+)
+from repro.machines.vm import run_program, trial_division_program
+
+
+def main() -> None:
+    print("## Example 3.1: the primality game")
+    program = trial_division_program()
+    for x in (251, 65_521, 268_435_399):
+        result = run_program(program, {"x": x})
+        print(
+            f"   trial division on {x}: answer "
+            f"{'prime' if result.output else 'composite'} "
+            f"in {result.steps} VM steps"
+        )
+    for label, numbers, price in [
+        ("small (8-bit), price 0.01", [251, 221, 193, 187], 0.01),
+        ("medium (28-bit), price 0.01",
+         [268_435_399, 268_435_397, 268_435_459, 268_435_461], 0.01),
+        ("large (40-bit), price 0.03",
+         [10**12 + 39, 10**12 + 61, 10**12 + 1, 10**12 + 3], 0.03),
+    ]:
+        game = primality_machine_game(numbers, step_price=price)
+        eqs = computational_nash_equilibria(game)
+        names = sorted({p[0].name for p in eqs})
+        print(f"   {label}: equilibrium machine(s) = {names}")
+    print(
+        "   -> the equilibrium ladder: exact trial division, then the "
+        "polynomial Fermat tester, then playing safe once even that "
+        "costs more than the $10 reward."
+    )
+
+    print()
+    print("## Example 3.2: FRPD with memory costs")
+    for n_rounds in (3, 10, 40):
+        game = frpd_machine_game(n_rounds, delta=0.9, memory_price=0.01)
+        machines = game.machine_sets[0]
+        tft = next(m for m in machines if m.name == "tit_for_tat")
+        eq = is_computational_nash(game, [tft, tft])
+        gain = 2 * 0.9**n_rounds
+        print(
+            f"   N={n_rounds:>3}: discounted last-round defection gain "
+            f"{gain:.4f}; (TFT, TFT) equilibrium: {eq}"
+        )
+    print(
+        "   -> for long games the $2 defection bonus, discounted, is not "
+        "worth the memory needed to count rounds (the paper's claim)."
+    )
+
+    game = frpd_machine_game(
+        n_rounds=12, delta=0.9, memory_price=0.05, charge_player=0
+    )
+    machines = game.machine_sets[0]
+    tft = next(m for m in machines if m.name == "tit_for_tat")
+    counter = next(m for m in machines if m.name.startswith("tft_defect"))
+    print(
+        "   asymmetric variant (only player 0 pays for memory): "
+        f"(TFT, defect-at-last) equilibrium: "
+        f"{is_computational_nash(game, [tft, counter])}"
+    )
+
+    print()
+    print("## Example 3.3: roshambo with costly randomization")
+    priced = roshambo_machine_game(deterministic_cost=1.0, randomization_cost=2.0)
+    free = roshambo_machine_game(deterministic_cost=1.0, randomization_cost=1.0)
+    print(
+        f"   randomization costs extra: equilibria = "
+        f"{computational_nash_equilibria(priced)!r}"
+    )
+    eqs = computational_nash_equilibria(free)
+    print(
+        f"   randomization at par: equilibria = "
+        f"{[(a.name, b.name) for a, b in eqs]}"
+    )
+    print(
+        "   -> with standard games Nash equilibrium always exists; with "
+        "machine games it need not (the paper's Example 3.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

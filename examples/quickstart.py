@@ -1,0 +1,72 @@
+"""Quickstart: games, solvers, and the paper's robustness concepts.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core.robust import robustness_report
+from repro.games.classics import (
+    bargaining_game,
+    coordination_01_game,
+    prisoners_dilemma,
+    roshambo,
+)
+from repro.games.normal_form import profile_as_mixed
+from repro.solvers import (
+    lemke_howson,
+    support_enumeration,
+    zero_sum_equilibrium,
+)
+
+
+def section(title: str) -> None:
+    print()
+    print(f"## {title}")
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    section("1. Build a game and find its Nash equilibria")
+    pd = prisoners_dilemma()
+    print(f"game: {pd!r}")
+    print(f"pure Nash equilibria: {pd.pure_nash_equilibria()}")
+    for profile in support_enumeration(pd):
+        labels = [
+            pd.action_labels[i][int(vec.argmax())]
+            for i, vec in enumerate(profile)
+        ]
+        print(f"support enumeration finds: {labels}")
+
+    # ------------------------------------------------------------------
+    section("2. Mixed equilibria: Lemke-Howson and the zero-sum LP")
+    rps = roshambo()
+    profile, value = zero_sum_equilibrium(rps)
+    print(f"roshambo value: {value:+.4f}; row mixture: {profile[0].round(3)}")
+    lh = lemke_howson(rps)
+    print(f"Lemke-Howson agrees: {rps.is_nash(lh)}")
+
+    # ------------------------------------------------------------------
+    section("3. Beyond Nash: the 0/1 coordination game (Section 2)")
+    game = coordination_01_game(4)
+    all_zero = profile_as_mixed((0, 0, 0, 0), game.num_actions)
+    print(robustness_report(game, all_zero).describe())
+    print(
+        "-> Nash, but any *pair* can deviate to 1 and double their payoff: "
+        "not 2-resilient."
+    )
+
+    # ------------------------------------------------------------------
+    section("4. Fragility: the bargaining game (Section 2)")
+    bargain = bargaining_game(4)
+    all_stay = profile_as_mixed((0, 0, 0, 0), bargain.num_actions)
+    print(robustness_report(bargain, all_stay).describe())
+    print(
+        "-> resilient against every coalition, Pareto optimal, and yet a "
+        "single unexpected deviator zeroes out everyone who stays: "
+        "not 1-immune."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Section 5's research agenda, executable: scrip systems and P2P sharing.
+
+* The Kash-Friedman-Halpern scrip economy: threshold strategies, the
+  empirical best-response landscape, and what hoarders and altruists do
+  to everyone else.
+* The Gnutella free-riding population calibrated to the Adar-Huberman
+  statistics the paper quotes.
+
+Run with::
+
+    python examples/scrip_economy.py
+"""
+
+from repro.econ.p2p import SharingPopulation, sharing_game_small
+from repro.econ.scrip import (
+    Altruist,
+    Hoarder,
+    ScripSystem,
+    ThresholdAgent,
+    best_response_threshold,
+)
+from repro.solvers.dominance import iterated_strict_dominance
+
+
+def main() -> None:
+    print("## 1. A healthy scrip economy (12 threshold-4 agents)")
+    agents = [ThresholdAgent(4) for _ in range(12)]
+    system = ScripSystem(agents, benefit=1.0, cost=0.2)
+    result = system.run(20_000, seed=0)
+    print(f"   requests satisfied: {result.satisfaction_rate:.1%}")
+    print(f"   mean utility: {result.mean_utility():.1f}")
+    print(f"   final scrip distribution: {sorted(result.final_scrip.tolist())}")
+
+    print()
+    print("## 2. Empirical best responses (cost 0.6, discount 0.999)")
+    candidates = [1, 2, 4, 8, 16]
+    for base in (2, 4, 8):
+        best, utilities = best_response_threshold(
+            base, candidates, n_agents=12, rounds=15_000,
+            cost=0.6, discount=0.999, seed=4,
+        )
+        print(
+            f"   everyone at k={base}: best response k={best} "
+            f"(U: {', '.join(f'{k}:{u:.0f}' for k, u in utilities.items())})"
+        )
+
+    print()
+    print("## 3. Hoarders and altruists (the paper's 'standard irrationality')")
+    rounds = 25_000
+    healthy = ScripSystem(
+        [ThresholdAgent(4) for _ in range(12)], cost=0.2
+    ).run(rounds, seed=1)
+    hoarded = ScripSystem(
+        [ThresholdAgent(4) for _ in range(9)] + [Hoarder() for _ in range(3)],
+        cost=0.2,
+    ).run(rounds, seed=1)
+    altruistic = ScripSystem(
+        [ThresholdAgent(4) for _ in range(9)] + [Altruist() for _ in range(3)],
+        cost=0.2,
+    ).run(rounds, seed=1)
+    print(
+        f"   threshold agents' mean utility — baseline: "
+        f"{healthy.mean_utility(range(12)):.1f}, with hoarders: "
+        f"{hoarded.mean_utility(range(9)):.1f}, with altruists: "
+        f"{altruistic.mean_utility(range(9)):.1f}"
+    )
+    hoarder_share = hoarded.final_scrip[9:].sum() / hoarded.final_scrip.sum()
+    print(
+        f"   hoarders end up holding {hoarder_share:.0%} of all scrip; "
+        f"altruists served {altruistic.served_for_free} jobs for free"
+    )
+
+    print()
+    print("## 4. Gnutella: standard utilities say nobody should share")
+    game = sharing_game_small(4)
+    reduced = iterated_strict_dominance(game)
+    print(
+        f"   iterated strict dominance leaves: "
+        f"{[game.action_labels[i][a] for i, (a,) in enumerate(reduced.kept)]}"
+    )
+
+    print()
+    print("## 5. ...but heterogeneous utilities reproduce what Gnutella saw")
+    outcome = SharingPopulation(n_users=20_000, seed=0).equilibrium()
+    print(f"   {outcome.summary()}")
+    print(
+        "   (paper, quoting Adar-Huberman 2000: almost 70% share no "
+        "files; top 1% of hosts serve nearly 50% of responses)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro — Beyond Nash Equilibrium: Solution Concepts for the 21st Century.
+
+A from-scratch reproduction of Halpern (PODC 2008): robust/resilient
+equilibria with mediators and cheap talk, computational (machine-game)
+equilibria, and awareness equilibria — together with every substrate they
+need (game representations, Nash solvers, a synchronous distributed
+simulator, Byzantine agreement, Shamir/BGW secure computation, automata
+and a step-counting VM, scrip and P2P economies, tournaments).
+
+Quickstart::
+
+    from repro.games.classics import coordination_01_game
+    from repro.core.robust import robustness_report
+    from repro.games.normal_form import profile_as_mixed
+
+    game = coordination_01_game(5)
+    all_zero = profile_as_mixed((0,) * 5, game.num_actions)
+    print(robustness_report(game, all_zero).describe())
+
+See README.md, DESIGN.md, and EXPERIMENTS.md for the full map.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "crypto",
+    "dist",
+    "dynamics",
+    "econ",
+    "games",
+    "machines",
+    "mediators",
+    "solvers",
+]

@@ -1,0 +1,93 @@
+"""The paper's primary contribution: three families of solution concepts.
+
+* :mod:`repro.core.robust` — k-resilience, t-immunity, (k,t)-robustness
+  (Section 2).
+* :mod:`repro.core.feasibility` — the ADGH mediator-implementation
+  threshold theorems as an executable decision procedure (Section 2).
+* :mod:`repro.core.computational` — Bayesian machine games and
+  computational Nash equilibrium (Section 3).
+* :mod:`repro.core.awareness` — games with awareness and generalized Nash
+  equilibrium (Section 4).
+"""
+
+from repro.core.robust import (
+    ResilienceViolation,
+    ImmunityViolation,
+    RobustnessReport,
+    is_k_resilient,
+    is_robust,
+    is_t_immune,
+    max_resilience,
+    max_immunity,
+    robustness_report,
+)
+from repro.core.bar import (
+    BARViolation,
+    bar_violations,
+    is_bar_robust,
+    max_byzantine_tolerance,
+    switching_cost_rescues,
+)
+from repro.core.feasibility import (
+    FeasibilityVerdict,
+    Regime,
+    Resources,
+    classify_regime,
+    feasibility_table,
+    mediator_implementability,
+)
+from repro.core.computational import (
+    ComplexityFunction,
+    MachineGame,
+    MachineProfile,
+    computational_nash_equilibria,
+    frpd_machine_game,
+    is_computational_nash,
+    primality_machine_game,
+    roshambo_machine_game,
+)
+from repro.core.awareness import (
+    AugmentedGame,
+    GameWithAwareness,
+    GeneralizedStrategyProfile,
+    canonical_representation,
+    find_generalized_nash,
+    is_generalized_nash,
+)
+
+__all__ = [
+    "AugmentedGame",
+    "BARViolation",
+    "bar_violations",
+    "ComplexityFunction",
+    "FeasibilityVerdict",
+    "GameWithAwareness",
+    "GeneralizedStrategyProfile",
+    "ImmunityViolation",
+    "MachineGame",
+    "MachineProfile",
+    "Regime",
+    "ResilienceViolation",
+    "Resources",
+    "RobustnessReport",
+    "canonical_representation",
+    "classify_regime",
+    "computational_nash_equilibria",
+    "feasibility_table",
+    "find_generalized_nash",
+    "frpd_machine_game",
+    "is_computational_nash",
+    "is_bar_robust",
+    "is_generalized_nash",
+    "is_k_resilient",
+    "is_robust",
+    "is_t_immune",
+    "max_byzantine_tolerance",
+    "max_immunity",
+    "max_resilience",
+    "mediator_implementability",
+    "primality_machine_game",
+    "robustness_report",
+    "switching_cost_rescues",
+    "roshambo_machine_game",
+]

@@ -1,0 +1,430 @@
+"""Games with awareness and generalized Nash equilibrium (Section 4).
+
+Following Halpern–Rêgo (2006) as summarized in the paper:
+
+* An **augmented game** based on an underlying extensive game Γ is an
+  extensive game (possibly with extra chance moves encoding uncertainty
+  about awareness) in which each decision node carries the mover's
+  *awareness level*.  Here augmented games are plain
+  :class:`~repro.games.extensive.ExtensiveFormGame` trees; awareness
+  levels are implicit in the tree shape (an unaware player's nodes simply
+  offer fewer moves), which is sufficient for solving.
+
+* A **game with awareness** is a tuple Γ* = (G, Γm, F): a set of
+  augmented games ``G`` containing the modeler's game Γm, and a map ``F``
+  sending each decision node ``(Γ+, h)`` to ``(Γh, I)`` — the game the
+  mover *believes* is being played there, and the information set of that
+  game the mover considers possible.  Construction eagerly checks the
+  Halpern–Rêgo consistency conditions in the form needed for solving:
+
+  - the believed game is in ``G`` and the believed information set is
+    owned by the same player;
+  - the moves available at the believed information set are a subset of
+    the moves actually available at ``h`` (a player can only be aware of
+    moves that exist);
+  - ``F`` is constant on the information sets of each augmented game.
+
+* A **generalized strategy profile** assigns a behavioral strategy to
+  each pair ``(player, believed game)``.  Play in any augmented game Γ+
+  is *effective play*: at a node ``h`` owned by ``j`` with
+  ``F(Γ+, h) = (Γh, I)``, the move distribution is what ``σ_{j,Γh}``
+  prescribes at ``I`` (moves the player is unaware of get probability 0).
+
+* The profile is a **generalized Nash equilibrium** if for every pair
+  ``(i, Γ')`` such that some node maps into Γ', the local strategy
+  ``σ_{i,Γ'}`` is a best response *within Γ'* against the effective play
+  of the others — exactly the paper's "σ_{i,Γ'} is a best response for
+  player i if the true game is Γ'".
+
+A standard game is recovered via :func:`canonical_representation`, and
+the paper's equivalence (σ is Nash in Γ iff it is a GNE of the canonical
+representation) is verified in the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.games.extensive import (
+    BehavioralStrategy,
+    DecisionNode,
+    ExtensiveFormGame,
+    History,
+    InformationSet,
+)
+
+__all__ = [
+    "AugmentedGame",
+    "FTarget",
+    "GameWithAwareness",
+    "GeneralizedStrategyProfile",
+    "is_generalized_nash",
+    "find_generalized_nash",
+    "canonical_representation",
+]
+
+# An augmented game is represented by an extensive-form tree.
+AugmentedGame = ExtensiveFormGame
+
+# F maps (game_name, history) -> (game_name, infoset_label).
+FTarget = Tuple[str, str]
+
+# profile[(player, game_name)] = behavioral strategy in that game.
+GeneralizedStrategyProfile = Dict[Tuple[int, str], BehavioralStrategy]
+
+
+class GameWithAwareness:
+    """The tuple Γ* = (G, Γm, F) with eager consistency checking."""
+
+    def __init__(
+        self,
+        games: Mapping[str, ExtensiveFormGame],
+        modeler_game: str,
+        f_map: Mapping[Tuple[str, History], FTarget],
+        name: str = "",
+    ) -> None:
+        self.games: Dict[str, ExtensiveFormGame] = dict(games)
+        if modeler_game not in self.games:
+            raise ValueError(f"modeler game {modeler_game!r} not in G")
+        self.modeler_game = modeler_game
+        self.name = name
+        self.n_players = self.games[modeler_game].n_players
+        for label, game in self.games.items():
+            if game.n_players != self.n_players:
+                raise ValueError(
+                    f"augmented game {label!r} has a different player set"
+                )
+        self.f_map: Dict[Tuple[str, History], FTarget] = {
+            (g, tuple(h)): target for (g, h), target in f_map.items()
+        }
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Consistency conditions
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        for label, game in self.games.items():
+            for history, node in game.nodes.items():
+                if not isinstance(node, DecisionNode):
+                    continue
+                key = (label, history)
+                if key not in self.f_map:
+                    raise ValueError(
+                        f"F is missing an entry for decision node "
+                        f"{history} of game {label!r}"
+                    )
+                believed_label, infoset_label = self.f_map[key]
+                if believed_label not in self.games:
+                    raise ValueError(
+                        f"F({label!r}, {history}) points to unknown game "
+                        f"{believed_label!r}"
+                    )
+                believed = self.games[believed_label]
+                infoset = self._find_infoset(believed, infoset_label)
+                if infoset is None:
+                    raise ValueError(
+                        f"game {believed_label!r} has no infoset "
+                        f"{infoset_label!r}"
+                    )
+                if infoset.player != node.player:
+                    raise ValueError(
+                        f"F({label!r}, {history}): believed infoset belongs "
+                        f"to player {infoset.player}, mover is {node.player}"
+                    )
+                if not set(infoset.moves) <= set(node.moves):
+                    raise ValueError(
+                        f"F({label!r}, {history}): believed moves "
+                        f"{infoset.moves} are not available at the node "
+                        f"(moves {node.moves})"
+                    )
+            # F constant on information sets.
+            for infoset in game.information_sets():
+                targets = {
+                    self.f_map[(label, h)] for h in infoset.histories
+                }
+                if len(targets) > 1:
+                    raise ValueError(
+                        f"F is not constant on infoset {infoset.label!r} of "
+                        f"game {label!r}"
+                    )
+
+    @staticmethod
+    def _find_infoset(
+        game: ExtensiveFormGame, label: str
+    ) -> Optional[InformationSet]:
+        for infoset in game.information_sets():
+            if infoset.label == label:
+                return infoset
+        return None
+
+    # ------------------------------------------------------------------
+    # Strategy bookkeeping
+    # ------------------------------------------------------------------
+
+    def strategy_pairs(self) -> List[Tuple[int, str]]:
+        """All (player, believed-game) pairs that a generalized profile
+        must cover: the targets of F."""
+        pairs: Set[Tuple[int, str]] = set()
+        for (label, history), (believed, _infoset) in self.f_map.items():
+            node = self.games[label].nodes[tuple(history)]
+            assert isinstance(node, DecisionNode)
+            pairs.add((node.player, believed))
+        return sorted(pairs)
+
+    def local_infosets(self, player: int, game_label: str) -> List[InformationSet]:
+        """The infosets of ``game_label`` at which (player, game_label)'s
+        local strategy is actually consulted: those that are F-targets."""
+        used: Set[str] = set()
+        for (label, history), (believed, infoset_label) in self.f_map.items():
+            node = self.games[label].nodes[tuple(history)]
+            assert isinstance(node, DecisionNode)
+            if node.player == player and believed == game_label:
+                used.add(infoset_label)
+        game = self.games[game_label]
+        return [
+            info for info in game.information_sets(player) if info.label in used
+        ]
+
+    def validate_profile(self, profile: GeneralizedStrategyProfile) -> None:
+        for player, game_label in self.strategy_pairs():
+            for infoset in self.local_infosets(player, game_label):
+                key = (player, game_label)
+                if key not in profile or infoset.label not in profile[key]:
+                    raise ValueError(
+                        f"profile missing strategy for player {player} at "
+                        f"infoset {infoset.label!r} of game {game_label!r}"
+                    )
+                dist = profile[key][infoset.label]
+                total = sum(dist.get(m, 0.0) for m in infoset.moves)
+                if abs(total - 1.0) > 1e-6 or any(
+                    v < -1e-9 for v in dist.values()
+                ):
+                    raise ValueError(
+                        f"invalid distribution at {infoset.label!r} for "
+                        f"player {player} in game {game_label!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Effective play and utilities
+    # ------------------------------------------------------------------
+
+    def effective_profile(
+        self,
+        game_label: str,
+        profile: GeneralizedStrategyProfile,
+        overrides: Optional[Dict[str, Dict[str, float]]] = None,
+        override_player: Optional[int] = None,
+    ) -> List[BehavioralStrategy]:
+        """The behavioral profile actually played in ``game_label``.
+
+        At each decision node the mover's distribution comes from their
+        local strategy in the game they believe they are playing.
+        ``overrides`` (for best-response search) replaces
+        ``override_player``'s choices at the given *believed* infoset
+        labels, but only where that player's beliefs point at
+        ``game_label`` itself.
+        """
+        game = self.games[game_label]
+        out: List[BehavioralStrategy] = [dict() for _ in range(self.n_players)]
+        for history, node in game.nodes.items():
+            if not isinstance(node, DecisionNode):
+                continue
+            believed_label, infoset_label = self.f_map[(game_label, history)]
+            if (
+                overrides is not None
+                and node.player == override_player
+                and believed_label == game_label
+                and infoset_label in overrides
+            ):
+                dist = overrides[infoset_label]
+            else:
+                dist = profile[(node.player, believed_label)][infoset_label]
+            full = {m: float(dist.get(m, 0.0)) for m in node.moves}
+            total = sum(full.values())
+            if total <= 0:
+                raise ValueError(
+                    f"strategy at {infoset_label!r} puts no mass on moves "
+                    f"available at {history} in {game_label!r}"
+                )
+            out[node.player][node.infoset] = {
+                m: v / total for m, v in full.items()
+            }
+        return out
+
+    def expected_utility(
+        self,
+        player: int,
+        game_label: str,
+        profile: GeneralizedStrategyProfile,
+        overrides: Optional[Dict[str, Dict[str, float]]] = None,
+        override_player: Optional[int] = None,
+    ) -> float:
+        behavioral = self.effective_profile(
+            game_label, profile, overrides=overrides,
+            override_player=override_player,
+        )
+        return self.games[game_label].expected_payoff(player, behavioral)
+
+    # ------------------------------------------------------------------
+    # Generalized Nash equilibrium
+    # ------------------------------------------------------------------
+
+    def _pure_local_strategies(
+        self, player: int, game_label: str
+    ) -> Iterator[Dict[str, Dict[str, float]]]:
+        """Pure assignments at the consulted infosets of (player, game)."""
+        infosets = self.local_infosets(player, game_label)
+        move_lists = [info.moves for info in infosets]
+        for combo in itertools.product(*move_lists):
+            yield {
+                info.label: {m: 1.0 if m == choice else 0.0 for m in info.moves}
+                for info, choice in zip(infosets, combo)
+            }
+
+    def local_regret(
+        self,
+        player: int,
+        game_label: str,
+        profile: GeneralizedStrategyProfile,
+    ) -> float:
+        """How much (player, game_label) could gain by changing their local
+        strategy, holding everything else fixed."""
+        current = self.expected_utility(player, game_label, profile)
+        best = current
+        for pure in self._pure_local_strategies(player, game_label):
+            if not pure:
+                continue
+            value = self.expected_utility(
+                player, game_label, profile,
+                overrides=pure, override_player=player,
+            )
+            best = max(best, value)
+        return best - current
+
+    def is_generalized_nash(
+        self, profile: GeneralizedStrategyProfile, tol: float = 1e-9
+    ) -> bool:
+        """Check the GNE condition at every (player, believed game) pair."""
+        self.validate_profile(profile)
+        return all(
+            self.local_regret(player, game_label, profile) <= tol
+            for player, game_label in self.strategy_pairs()
+        )
+
+    def find_generalized_nash(
+        self,
+        tol: float = 1e-9,
+        max_iterations: int = 200,
+        exhaustive_fallback: bool = True,
+    ) -> Optional[GeneralizedStrategyProfile]:
+        """Find a GNE by best-response iteration, then exhaustive search.
+
+        Halpern–Rêgo prove every game with awareness has a (possibly
+        mixed) GNE; this solver finds pure ones, which suffice for every
+        example in the paper.  Returns ``None`` if no pure GNE exists.
+        """
+        profile = self._initial_profile()
+        for _ in range(max_iterations):
+            improved = False
+            for player, game_label in self.strategy_pairs():
+                if self.local_regret(player, game_label, profile) <= tol:
+                    continue
+                best_value, best_pure = -np.inf, None
+                for pure in self._pure_local_strategies(player, game_label):
+                    value = self.expected_utility(
+                        player, game_label, profile,
+                        overrides=pure, override_player=player,
+                    )
+                    if value > best_value + tol:
+                        best_value, best_pure = value, pure
+                if best_pure is not None:
+                    profile[(player, game_label)] = best_pure
+                    improved = True
+            if not improved:
+                return profile
+        if not exhaustive_fallback:
+            return None
+        return self._exhaustive_pure_search(tol)
+
+    def _initial_profile(self) -> GeneralizedStrategyProfile:
+        profile: GeneralizedStrategyProfile = {}
+        for player, game_label in self.strategy_pairs():
+            local: Dict[str, Dict[str, float]] = {}
+            for infoset in self.local_infosets(player, game_label):
+                first = infoset.moves[0]
+                local[infoset.label] = {
+                    m: 1.0 if m == first else 0.0 for m in infoset.moves
+                }
+            profile[(player, game_label)] = local
+        return profile
+
+    def _exhaustive_pure_search(
+        self, tol: float
+    ) -> Optional[GeneralizedStrategyProfile]:
+        for profile in self.all_pure_generalized_nash(tol=tol):
+            return profile
+        return None
+
+    def all_pure_generalized_nash(
+        self, tol: float = 1e-9
+    ) -> Iterator[GeneralizedStrategyProfile]:
+        """Enumerate every pure generalized Nash equilibrium.
+
+        Off-path indifference means games with awareness often have
+        several pure GNE (e.g. in the Figures 1-3 structure both
+        "A plays across_A, aware B plays down_B" and the degenerate
+        "A plays down_A, B unreached" survive); experiments that care
+        about a particular one filter this enumeration.
+        """
+        pairs = self.strategy_pairs()
+        spaces = [
+            list(self._pure_local_strategies(player, game_label))
+            for player, game_label in pairs
+        ]
+        for combo in itertools.product(*spaces):
+            profile: GeneralizedStrategyProfile = {
+                pair: dict(local) for pair, local in zip(pairs, combo)
+            }
+            if self.is_generalized_nash(profile, tol=tol):
+                yield profile
+
+
+def is_generalized_nash(
+    game: GameWithAwareness,
+    profile: GeneralizedStrategyProfile,
+    tol: float = 1e-9,
+) -> bool:
+    """Module-level convenience wrapper."""
+    return game.is_generalized_nash(profile, tol=tol)
+
+
+def find_generalized_nash(
+    game: GameWithAwareness, tol: float = 1e-9
+) -> Optional[GeneralizedStrategyProfile]:
+    """Module-level convenience wrapper."""
+    return game.find_generalized_nash(tol=tol)
+
+
+def canonical_representation(
+    game: ExtensiveFormGame, label: str = "G"
+) -> GameWithAwareness:
+    """Γ as a game with awareness: G = {Γm}, F the identity on infosets.
+
+    The paper: a profile is a Nash equilibrium of Γ iff it is a
+    generalized Nash equilibrium of this representation.
+    """
+    f_map: Dict[Tuple[str, History], FTarget] = {}
+    for history, node in game.nodes.items():
+        if isinstance(node, DecisionNode):
+            f_map[(label, history)] = (label, node.infoset)
+    return GameWithAwareness(
+        games={label: game},
+        modeler_game=label,
+        f_map=f_map,
+        name=f"canonical({game.name or label})",
+    )

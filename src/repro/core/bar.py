@@ -1,0 +1,184 @@
+"""BAR robustness (Ayer et al. 2005), flagged in Section 5.
+
+The BAR model classifies players as **B**yzantine (arbitrary), **A**ltruistic
+(follow the recommended protocol no matter what), and **R**ational
+(deviate iff it strictly helps them).  The paper's Section 5 points out
+that (k,t)-robustness is *too strong* for such systems: immunity demands
+that rational players are unhurt "no matter what the bad players do",
+while in practice a known fraction of players can be counted on to be
+good.  A BAR-robust profile only has to deter rational deviations given
+that altruists stay put, for every possible behaviour of the Byzantine
+set.
+
+Definition implemented here (for a finite game and a designated profile):
+``sigma`` is **(b, A)-BAR-robust** if for every Byzantine set ``Z`` with
+``|Z| <= b`` disjoint from the altruist set ``A``, every joint Byzantine
+behaviour ``z``, every rational player ``i`` (not in ``A`` or ``Z``), and
+every deviation ``a_i``:
+
+    u_i(a_i, z, sigma_rest)  <=  u_i(sigma_i, z, sigma_rest)
+
+i.e. following the protocol is a best response for each rational player
+*against each Byzantine behaviour individually* (ex-post, the strongest
+reading, which is what BAR-T style results use).  A weaker *ex-ante*
+variant averages over a distribution of Byzantine behaviours; both are
+provided.
+
+The connection the paper draws — charging for switching strategies makes
+"follow the recommendation" rational — is exercised by
+:func:`switching_cost_rescues`, which adds a fixed cost to any deviation
+and reports the smallest cost making the profile BAR-robust.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.games.normal_form import (
+    MixedProfile,
+    NormalFormGame,
+    profile_as_mixed,
+)
+
+__all__ = [
+    "BARViolation",
+    "is_bar_robust",
+    "bar_violations",
+    "max_byzantine_tolerance",
+    "switching_cost_rescues",
+]
+
+
+@dataclass(frozen=True)
+class BARViolation:
+    """A rational player's profitable deviation under some Byzantine play."""
+
+    rational_player: int
+    deviation: int
+    byzantine_set: Tuple[int, ...]
+    byzantine_actions: Tuple[int, ...]
+    gain: float
+
+
+def _rational_players(
+    game: NormalFormGame, altruists: Set[int], byzantine: Sequence[int]
+) -> List[int]:
+    return [
+        i
+        for i in range(game.n_players)
+        if i not in altruists and i not in byzantine
+    ]
+
+
+def bar_violations(
+    game: NormalFormGame,
+    profile: MixedProfile,
+    byzantine_count: int,
+    altruists: Iterable[int] = (),
+    tol: float = 1e-9,
+    first_only: bool = True,
+) -> List[BARViolation]:
+    """Find ex-post BAR violations of ``profile``.
+
+    Exhaustive over Byzantine sets of size <= ``byzantine_count`` (disjoint
+    from the altruists), pure Byzantine joint actions, rational players,
+    and their pure deviations; pure deviations suffice by multilinearity.
+    """
+    game.validate_profile(profile)
+    altruist_set = set(altruists)
+    if not altruist_set <= set(range(game.n_players)):
+        raise ValueError("altruists must be valid player indices")
+    violations: List[BARViolation] = []
+    candidates = [i for i in range(game.n_players) if i not in altruist_set]
+    byz_sets: List[Tuple[int, ...]] = [()]
+    for size in range(1, min(byzantine_count, len(candidates)) + 1):
+        byz_sets.extend(itertools.combinations(candidates, size))
+    for byz in byz_sets:
+        byz_spaces = [range(game.num_actions[z]) for z in byz]
+        for byz_actions in itertools.product(*byz_spaces):
+            base = list(profile)
+            for z, action in zip(byz, byz_actions):
+                vec = np.zeros(game.num_actions[z])
+                vec[action] = 1.0
+                base[z] = vec
+            for i in _rational_players(game, altruist_set, byz):
+                current = game.expected_payoff(i, base)
+                values = game.payoff_against(i, base)
+                best_action = int(values.argmax())
+                gain = float(values[best_action] - current)
+                if gain > tol:
+                    violations.append(
+                        BARViolation(
+                            rational_player=i,
+                            deviation=best_action,
+                            byzantine_set=byz,
+                            byzantine_actions=byz_actions,
+                            gain=gain,
+                        )
+                    )
+                    if first_only:
+                        return violations
+    return violations
+
+
+def is_bar_robust(
+    game: NormalFormGame,
+    profile: MixedProfile,
+    byzantine_count: int,
+    altruists: Iterable[int] = (),
+    tol: float = 1e-9,
+) -> bool:
+    """Is ``profile`` (b, A)-BAR-robust (ex-post)?
+
+    With ``byzantine_count = 0`` and no altruists this coincides with
+    Nash equilibrium (tested).
+    """
+    return not bar_violations(
+        game, profile, byzantine_count, altruists, tol=tol, first_only=True
+    )
+
+
+def max_byzantine_tolerance(
+    game: NormalFormGame,
+    profile: MixedProfile,
+    altruists: Iterable[int] = (),
+    tol: float = 1e-9,
+) -> int:
+    """Largest b such that the profile is (b, A)-BAR-robust (-1 if not Nash)."""
+    altruist_set = set(altruists)
+    non_altruists = game.n_players - len(altruist_set)
+    if not is_bar_robust(game, profile, 0, altruist_set, tol=tol):
+        return -1
+    for b in range(1, non_altruists):
+        if not is_bar_robust(game, profile, b, altruist_set, tol=tol):
+            return b - 1
+    return non_altruists - 1
+
+
+def switching_cost_rescues(
+    game: NormalFormGame,
+    recommended: Tuple[int, ...],
+    byzantine_count: int,
+    altruists: Iterable[int] = (),
+    tol: float = 1e-9,
+) -> float:
+    """Smallest per-deviation cost making ``recommended`` BAR-robust.
+
+    Models the paper's remark that following the recommended protocol can
+    be rationalized "by charging for switching from the recommended
+    strategy": any player who plays something other than their
+    recommended action pays a fixed cost ``c``.  Returns the smallest
+    ``c >= 0`` that removes every rational deviation (the largest
+    violation gain), or ``0.0`` if the profile is already robust.
+    """
+    profile = profile_as_mixed(recommended, game.num_actions)
+    worst = 0.0
+    for violation in bar_violations(
+        game, profile, byzantine_count, altruists, tol=tol, first_only=False
+    ):
+        worst = max(worst, violation.gain)
+    return worst

@@ -1,0 +1,329 @@
+"""The ADGH mediator-implementation thresholds as a decision procedure.
+
+Section 2 of the paper summarizes nine results of Abraham–Dolev–Gonen–
+Halpern (2006) / Abraham–Dolev–Halpern (2008) about when a (k,t)-robust
+mediator equilibrium can be implemented by cheap talk.  This module
+encodes that catalogue as executable logic with provenance: given
+``(n, k, t)`` and the available resources (punishment strategy, known
+utilities, broadcast channels, cryptography + bounded players, PKI), it
+returns what is achievable, with which caveats, and quotes the clause of
+the theorem it used.
+
+The regimes, from strongest to weakest assumption-free feasibility:
+
+==============  ==========================================================
+condition       conclusion
+==============  ==========================================================
+n > 3k + 3t     implementable; no knowledge of utilities needed; bounded
+                running time independent of utilities
+n > 2k + 3t     implementable *if* a (k+t)-punishment strategy exists and
+                utilities are known; finite expected running time
+n > 2k + 2t     ε-implementable with broadcast channels; bounded expected
+                running time independent of utilities
+n > k + 3t      ε-implementable assuming cryptography and polynomially
+                bounded players (running time depends on utilities and ε
+                when n <= 2k + 2t)
+n > k + t       ε-implementable assuming cryptography, bounded players,
+                and a PKI
+otherwise       not implementable in general (matching impossibility)
+==============  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Regime",
+    "Resources",
+    "FeasibilityVerdict",
+    "classify_regime",
+    "mediator_implementability",
+    "feasibility_table",
+]
+
+
+class Regime(Enum):
+    """Which threshold band (n, k, t) falls into."""
+
+    ABOVE_3K_3T = "n > 3k + 3t"
+    ABOVE_2K_3T = "2k + 3t < n <= 3k + 3t"
+    ABOVE_2K_2T = "2k + 2t < n <= 2k + 3t"
+    ABOVE_K_3T = "k + 3t < n <= 2k + 2t"
+    ABOVE_K_T = "k + t < n <= min(k + 3t, 2k + 2t)"
+    AT_OR_BELOW_K_T = "n <= k + t"
+
+
+@dataclass(frozen=True)
+class Resources:
+    """What the players may assume, per the theorem statements."""
+
+    utilities_known: bool = False
+    punishment_strategy: bool = False
+    broadcast: bool = False
+    cryptography: bool = False
+    polynomially_bounded: bool = False
+    pki: bool = False
+
+
+@dataclass
+class FeasibilityVerdict:
+    """The decision-procedure output for one (n, k, t, resources) query."""
+
+    n: int
+    k: int
+    t: int
+    regime: Regime
+    implementable: bool
+    epsilon_only: bool
+    requirements: Tuple[str, ...]
+    runtime: str
+    provenance: str
+
+    def summary(self) -> str:
+        kind = (
+            "ε-implementable"
+            if self.implementable and self.epsilon_only
+            else ("implementable" if self.implementable else "NOT implementable")
+        )
+        req = f" [needs: {', '.join(self.requirements)}]" if self.requirements else ""
+        return (
+            f"(n={self.n}, k={self.k}, t={self.t}) {self.regime.value}: "
+            f"{kind}{req}; runtime: {self.runtime}"
+        )
+
+
+def classify_regime(n: int, k: int, t: int) -> Regime:
+    """Place (n, k, t) into its ADGH threshold band."""
+    _validate(n, k, t)
+    if n > 3 * k + 3 * t:
+        return Regime.ABOVE_3K_3T
+    if n > 2 * k + 3 * t:
+        return Regime.ABOVE_2K_3T
+    if n > 2 * k + 2 * t:
+        return Regime.ABOVE_2K_2T
+    if n > k + 3 * t:
+        return Regime.ABOVE_K_3T
+    if n > k + t:
+        return Regime.ABOVE_K_T
+    return Regime.AT_OR_BELOW_K_T
+
+
+def _validate(n: int, k: int, t: int) -> None:
+    if n < 1:
+        raise ValueError("n must be positive")
+    if k < 1:
+        raise ValueError("k must be at least 1 (Nash is (1,0)-robust)")
+    if t < 0:
+        raise ValueError("t must be non-negative")
+
+
+def mediator_implementability(
+    n: int, k: int, t: int, resources: Optional[Resources] = None
+) -> FeasibilityVerdict:
+    """Decide whether a (k,t)-robust mediator equilibrium is implementable
+    by cheap talk, under the given resources.
+
+    Encodes the nine bullets of Section 2 as *ordered rules*: each
+    possibility bullet applies to every ``n`` above its threshold (e.g.
+    bullet 7's crypto construction works for all ``n > k + 3t``, not only
+    inside one band), so the procedure tries the strongest applicable
+    construction first.  ``provenance`` names the bullet applied; for
+    negative verdicts it names the impossibility bullet at the tightest
+    violated threshold.
+    """
+    resources = resources or Resources()
+    regime = classify_regime(n, k, t)
+
+    # Rule 1 (bullet 1): n > 3k+3t, no assumptions, exact.
+    if n > 3 * k + 3 * t:
+        return FeasibilityVerdict(
+            n=n, k=k, t=t, regime=regime,
+            implementable=True, epsilon_only=False,
+            requirements=(),
+            runtime="bounded, independent of utilities",
+            provenance=(
+                "Bullet 1: if n > 3k + 3t, a (k,t)-robust strategy with a "
+                "mediator can be implemented using cheap talk, with no "
+                "knowledge of other agents' utilities."
+            ),
+        )
+
+    # Rule 2 (bullet 3): n > 2k+3t with punishment + known utilities, exact.
+    if (
+        n > 2 * k + 3 * t
+        and resources.punishment_strategy
+        and resources.utilities_known
+    ):
+        return FeasibilityVerdict(
+            n=n, k=k, t=t, regime=regime,
+            implementable=True, epsilon_only=False,
+            requirements=("(k+t)-punishment strategy", "known utilities"),
+            runtime="finite expected, independent of utilities",
+            provenance=(
+                "Bullet 3: if n > 2k + 3t, mediators can be implemented "
+                "using cheap talk if there is a punishment strategy (and "
+                "utilities are known)."
+            ),
+        )
+
+    # Rule 3 (bullet 5): n > 2k+2t with broadcast, ε.
+    if n > 2 * k + 2 * t and resources.broadcast:
+        return FeasibilityVerdict(
+            n=n, k=k, t=t, regime=regime,
+            implementable=True, epsilon_only=True,
+            requirements=("broadcast channels",),
+            runtime="bounded expected, independent of utilities",
+            provenance=(
+                "Bullet 5: if n > 2k + 2t and there are broadcast channels "
+                "then, for all ε, mediators can be ε-implemented using "
+                "cheap talk."
+            ),
+        )
+
+    # Rule 4 (bullet 7): n > k+3t with crypto + bounded players, ε.
+    if (
+        n > k + 3 * t
+        and resources.cryptography
+        and resources.polynomially_bounded
+    ):
+        return _crypto_verdict(n, k, t, regime)
+
+    # Rule 5 (bullet 9): n > k+t with crypto + bounded players + PKI, ε.
+    if (
+        n > k + t
+        and resources.cryptography
+        and resources.polynomially_bounded
+        and resources.pki
+    ):
+        return FeasibilityVerdict(
+            n=n, k=k, t=t, regime=regime,
+            implementable=True, epsilon_only=True,
+            requirements=(
+                "cryptography",
+                "polynomially bounded players",
+                "PKI",
+            ),
+            runtime="depends on utilities and ε",
+            provenance=(
+                "Bullet 9: if n > k + t then, assuming cryptography, "
+                "polynomially bounded players, and a PKI, we can "
+                "ε-implement a mediator."
+            ),
+        )
+
+    # No construction applies: report the impossibility bullet at the
+    # tightest violated threshold, with the resources that would unlock
+    # the next rung.
+    return _impossibility_verdict(n, k, t, regime, resources)
+
+
+def _impossibility_verdict(
+    n: int, k: int, t: int, regime: Regime, resources: Resources
+) -> FeasibilityVerdict:
+    if n <= k + t:
+        return FeasibilityVerdict(
+            n=n, k=k, t=t, regime=regime,
+            implementable=False, epsilon_only=False,
+            requirements=(),
+            runtime="n/a",
+            provenance=(
+                "n <= k + t: a majority of players may be deviating or "
+                "faulty; no cheap-talk implementation exists in general."
+            ),
+        )
+    if n <= k + 3 * t:
+        return FeasibilityVerdict(
+            n=n, k=k, t=t, regime=regime,
+            implementable=False, epsilon_only=False,
+            requirements=("cryptography", "polynomially bounded players", "PKI"),
+            runtime="n/a",
+            provenance=(
+                "Bullet 8: if n <= k + 3t, then even assuming cryptography, "
+                "polynomially-bounded players, and a (k+t)-punishment "
+                "strategy, mediators cannot, in general, be ε-implemented "
+                "using cheap talk (a PKI is required, per bullet 9)."
+            ),
+        )
+    if n <= 2 * k + 2 * t:
+        return FeasibilityVerdict(
+            n=n, k=k, t=t, regime=regime,
+            implementable=False, epsilon_only=False,
+            requirements=("cryptography", "polynomially bounded players"),
+            runtime="n/a",
+            provenance=(
+                "Bullet 6: if n <= 2k + 2t then mediators cannot, in "
+                "general, be ε-implemented, even with broadcast channels "
+                "(cryptography with bounded players is required)."
+            ),
+        )
+    if n <= 2 * k + 3 * t:
+        missing = []
+        if not resources.broadcast:
+            missing.append("broadcast channels")
+        if not (resources.cryptography and resources.polynomially_bounded):
+            missing.append("cryptography + bounded players")
+        return FeasibilityVerdict(
+            n=n, k=k, t=t, regime=regime,
+            implementable=False, epsilon_only=False,
+            requirements=tuple(missing),
+            runtime="n/a",
+            provenance=(
+                "Bullet 4: if n <= 2k + 3t then mediators cannot, in "
+                "general, be implemented, even with a punishment strategy "
+                "and known utilities (ε-implementations need broadcast or "
+                "crypto, per bullets 5 and 7)."
+            ),
+        )
+    missing = []
+    if not resources.punishment_strategy:
+        missing.append("(k+t)-punishment strategy")
+    if not resources.utilities_known:
+        missing.append("known utilities")
+    return FeasibilityVerdict(
+        n=n, k=k, t=t, regime=regime,
+        implementable=False, epsilon_only=False,
+        requirements=tuple(missing),
+        runtime="n/a",
+        provenance=(
+            "Bullet 2: if n <= 3k + 3t, mediators cannot in general be "
+            "implemented without knowledge of utilities, a punishment "
+            "strategy, and unbounded running time."
+        ),
+    )
+
+
+def _crypto_verdict(n: int, k: int, t: int, regime: Regime) -> FeasibilityVerdict:
+    """Bullet 7: crypto + bounded players, n > k + 3t."""
+    runtime = (
+        "bounded, independent of utilities"
+        if n > 2 * k + 2 * t
+        else "depends on utilities and ε"
+    )
+    return FeasibilityVerdict(
+        n=n, k=k, t=t, regime=regime,
+        implementable=True, epsilon_only=True,
+        requirements=("cryptography", "polynomially bounded players"),
+        runtime=runtime,
+        provenance=(
+            "Bullet 7: if n > k + 3t then, assuming cryptography and "
+            "polynomially bounded players, mediators can be ε-implemented "
+            "using cheap talk; if n <= 2k + 2t the running time depends on "
+            "the utilities and ε."
+        ),
+    )
+
+
+def feasibility_table(
+    n_values: Sequence[int],
+    k: int,
+    t: int,
+    resources: Optional[Resources] = None,
+) -> List[FeasibilityVerdict]:
+    """Sweep ``n`` and return one verdict per value (benchmark E3's rows)."""
+    return [
+        mediator_implementability(n, k, t, resources=resources)
+        for n in n_values
+    ]

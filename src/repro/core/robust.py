@@ -1,0 +1,367 @@
+"""Robust and resilient equilibrium (Section 2 of the paper).
+
+Definitions implemented (Abraham–Dolev–Gonen–Halpern 2006, as summarized
+in the paper):
+
+* A profile is **k-resilient** if no coalition of at most ``k`` players
+  can deviate in a way that benefits coalition members — "deviators do
+  not gain by deviating".  Two variants of "benefits" appear in the
+  literature and both are provided:
+
+  - ``"strong"`` (default, ADGH): the deviation counts if *some* member
+    strictly gains.  Checking pure joint deviations suffices: a member's
+    gain is linear in the coalition's correlated deviation, so its
+    maximum is at a vertex.
+  - ``"weak"`` (Aumann-style): the deviation counts only if *every*
+    member strictly gains.  Correlated mixed deviations can achieve this
+    even when no pure one does, so the check solves a small LP
+    (maximize the minimum member gain over correlated deviations).
+
+* A profile is **t-immune** if no set of at most ``t`` deviating players
+  can *hurt* any non-deviator — "non-deviators do not get hurt".
+  Non-deviator utility is multilinear in the deviators' (product)
+  mixtures, so its minimum is at a pure joint deviation; the pure check
+  is complete.
+
+* A profile is **(k,t)-robust** if it is both; a Nash equilibrium is
+  exactly a (1,0)-robust equilibrium — that identity is tested.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.games.normal_form import (
+    MixedProfile,
+    NormalFormGame,
+    PureProfile,
+)
+
+__all__ = [
+    "ResilienceViolation",
+    "ImmunityViolation",
+    "RobustnessReport",
+    "is_k_resilient",
+    "is_t_immune",
+    "is_robust",
+    "max_resilience",
+    "max_immunity",
+    "robustness_report",
+]
+
+
+@dataclass(frozen=True)
+class ResilienceViolation:
+    """A coalition deviation that benefits coalition members."""
+
+    coalition: Tuple[int, ...]
+    deviation: Tuple[int, ...]  # pure joint action of the coalition (or () for LP)
+    gains: Tuple[float, ...]  # per-member gains
+    variant: str
+
+
+@dataclass(frozen=True)
+class ImmunityViolation:
+    """A deviating set whose behaviour hurts some non-deviator."""
+
+    deviators: Tuple[int, ...]
+    deviation: Tuple[int, ...]
+    victim: int
+    loss: float
+
+
+def _coalition_payoffs(
+    game: NormalFormGame,
+    profile: MixedProfile,
+    coalition: Sequence[int],
+) -> Dict[Tuple[int, ...], np.ndarray]:
+    """For each pure joint action of the coalition, the members' utilities
+    when everyone else keeps playing ``profile``."""
+    spaces = [range(game.num_actions[i]) for i in coalition]
+    out: Dict[Tuple[int, ...], np.ndarray] = {}
+    for joint in itertools.product(*spaces):
+        adjusted = list(profile)
+        for member, action in zip(coalition, joint):
+            vec = np.zeros(game.num_actions[member])
+            vec[action] = 1.0
+            adjusted[member] = vec
+        out[joint] = np.array(
+            [game.expected_payoff(i, adjusted) for i in coalition]
+        )
+    return out
+
+
+def _weak_violation_lp(
+    base: np.ndarray, payoffs: Dict[Tuple[int, ...], np.ndarray], tol: float
+) -> Optional[Tuple[float, np.ndarray]]:
+    """Does a correlated deviation make *every* member strictly gain?
+
+    Maximize ``m`` subject to ``sum_a lambda_a u_i(a) - base_i >= m`` for
+    each member, ``lambda`` a distribution.  Returns ``(m, lambda)`` when
+    ``m > tol``.
+    """
+    joints = list(payoffs.keys())
+    n_vars = len(joints) + 1  # lambdas + m
+    n_members = len(base)
+    c = np.zeros(n_vars)
+    c[-1] = -1.0  # maximize m
+    a_ub = np.zeros((n_members, n_vars))
+    b_ub = np.zeros(n_members)
+    for row in range(n_members):
+        for col, joint in enumerate(joints):
+            a_ub[row, col] = -(payoffs[joint][row] - base[row])
+        a_ub[row, -1] = 1.0
+    a_eq = np.zeros((1, n_vars))
+    a_eq[0, :-1] = 1.0
+    b_eq = np.ones(1)
+    bounds = [(0.0, 1.0)] * len(joints) + [(None, None)]
+    result = linprog(
+        c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        return None
+    m = float(result.x[-1])
+    if m > tol:
+        return m, result.x[:-1]
+    return None
+
+
+def resilience_violations(
+    game: NormalFormGame,
+    profile: MixedProfile,
+    k: int,
+    variant: str = "strong",
+    tol: float = 1e-9,
+    first_only: bool = True,
+) -> List[ResilienceViolation]:
+    """Find coalition deviations that defeat k-resilience."""
+    if variant not in ("strong", "weak"):
+        raise ValueError("variant must be 'strong' or 'weak'")
+    game.validate_profile(profile)
+    base_all = game.expected_payoffs(profile)
+    violations: List[ResilienceViolation] = []
+    n = game.n_players
+    for size in range(1, min(k, n) + 1):
+        for coalition in itertools.combinations(range(n), size):
+            payoffs = _coalition_payoffs(game, profile, coalition)
+            base = base_all[list(coalition)]
+            if variant == "strong":
+                for joint, values in payoffs.items():
+                    gains = values - base
+                    if np.any(gains > tol):
+                        violations.append(
+                            ResilienceViolation(
+                                coalition=coalition,
+                                deviation=joint,
+                                gains=tuple(float(g) for g in gains),
+                                variant=variant,
+                            )
+                        )
+                        if first_only:
+                            return violations
+            else:
+                # Quick pure check first (cheap sufficient condition).
+                found = None
+                for joint, values in payoffs.items():
+                    gains = values - base
+                    if np.all(gains > tol):
+                        found = (joint, gains)
+                        break
+                if found is None:
+                    lp = _weak_violation_lp(base, payoffs, tol)
+                    if lp is not None:
+                        m, _lam = lp
+                        violations.append(
+                            ResilienceViolation(
+                                coalition=coalition,
+                                deviation=(),
+                                gains=tuple([float(m)] * size),
+                                variant="weak(correlated)",
+                            )
+                        )
+                        if first_only:
+                            return violations
+                else:
+                    joint, gains = found
+                    violations.append(
+                        ResilienceViolation(
+                            coalition=coalition,
+                            deviation=joint,
+                            gains=tuple(float(g) for g in gains),
+                            variant=variant,
+                        )
+                    )
+                    if first_only:
+                        return violations
+    return violations
+
+
+def is_k_resilient(
+    game: NormalFormGame,
+    profile: MixedProfile,
+    k: int,
+    variant: str = "strong",
+    tol: float = 1e-9,
+) -> bool:
+    """Is ``profile`` a k-resilient equilibrium?"""
+    return not resilience_violations(
+        game, profile, k, variant=variant, tol=tol, first_only=True
+    )
+
+
+def immunity_violations(
+    game: NormalFormGame,
+    profile: MixedProfile,
+    t: int,
+    tol: float = 1e-9,
+    first_only: bool = True,
+) -> List[ImmunityViolation]:
+    """Find deviating sets whose behaviour hurts a non-deviator."""
+    game.validate_profile(profile)
+    base_all = game.expected_payoffs(profile)
+    violations: List[ImmunityViolation] = []
+    n = game.n_players
+    for size in range(1, min(t, n) + 1):
+        for deviators in itertools.combinations(range(n), size):
+            spaces = [range(game.num_actions[i]) for i in deviators]
+            for joint in itertools.product(*spaces):
+                adjusted = list(profile)
+                for member, action in zip(deviators, joint):
+                    vec = np.zeros(game.num_actions[member])
+                    vec[action] = 1.0
+                    adjusted[member] = vec
+                for victim in range(n):
+                    if victim in deviators:
+                        continue
+                    value = game.expected_payoff(victim, adjusted)
+                    loss = base_all[victim] - value
+                    if loss > tol:
+                        violations.append(
+                            ImmunityViolation(
+                                deviators=deviators,
+                                deviation=joint,
+                                victim=victim,
+                                loss=float(loss),
+                            )
+                        )
+                        if first_only:
+                            return violations
+    return violations
+
+
+def is_t_immune(
+    game: NormalFormGame,
+    profile: MixedProfile,
+    t: int,
+    tol: float = 1e-9,
+) -> bool:
+    """Is ``profile`` t-immune (no <=t deviators can hurt a non-deviator)?"""
+    return not immunity_violations(game, profile, t, tol=tol, first_only=True)
+
+
+def is_robust(
+    game: NormalFormGame,
+    profile: MixedProfile,
+    k: int,
+    t: int,
+    variant: str = "strong",
+    tol: float = 1e-9,
+) -> bool:
+    """(k,t)-robustness: k-resilient and t-immune.
+
+    ``is_robust(game, profile, 1, 0)`` coincides with ``game.is_nash``.
+    """
+    return is_k_resilient(game, profile, k, variant=variant, tol=tol) and (
+        t == 0 or is_t_immune(game, profile, t, tol=tol)
+    )
+
+
+def max_resilience(
+    game: NormalFormGame,
+    profile: MixedProfile,
+    variant: str = "strong",
+    tol: float = 1e-9,
+) -> int:
+    """The largest k for which ``profile`` is k-resilient (0 if not Nash)."""
+    for k in range(1, game.n_players + 1):
+        if resilience_violations(
+            game, profile, k, variant=variant, tol=tol, first_only=True
+        ):
+            return k - 1
+    return game.n_players
+
+
+def max_immunity(
+    game: NormalFormGame, profile: MixedProfile, tol: float = 1e-9
+) -> int:
+    """The largest t for which ``profile`` is t-immune."""
+    for t in range(1, game.n_players):
+        if immunity_violations(game, profile, t, tol=tol, first_only=True):
+            return t - 1
+    return game.n_players - 1
+
+
+@dataclass
+class RobustnessReport:
+    """Summary of a profile's robustness properties."""
+
+    payoffs: Tuple[float, ...]
+    is_nash: bool
+    max_k_strong: int
+    max_k_weak: int
+    max_t: int
+    first_resilience_violation: Optional[ResilienceViolation]
+    first_immunity_violation: Optional[ImmunityViolation]
+
+    def describe(self) -> str:
+        lines = [
+            f"payoffs: {tuple(round(p, 4) for p in self.payoffs)}",
+            f"Nash equilibrium: {self.is_nash}",
+            f"max resilience (strong): k = {self.max_k_strong}",
+            f"max resilience (weak):   k = {self.max_k_weak}",
+            f"max immunity:            t = {self.max_t}",
+        ]
+        if self.first_resilience_violation is not None:
+            v = self.first_resilience_violation
+            lines.append(
+                f"resilience broken by coalition {v.coalition} "
+                f"deviating to {v.deviation} (gains {v.gains})"
+            )
+        if self.first_immunity_violation is not None:
+            v = self.first_immunity_violation
+            lines.append(
+                f"immunity broken by {v.deviators} playing {v.deviation}: "
+                f"player {v.victim} loses {v.loss:.4f}"
+            )
+        return "\n".join(lines)
+
+
+def robustness_report(
+    game: NormalFormGame, profile: MixedProfile, tol: float = 1e-9
+) -> RobustnessReport:
+    """Full robustness diagnosis of a profile."""
+    game.validate_profile(profile)
+    max_k_strong = max_resilience(game, profile, variant="strong", tol=tol)
+    max_k_weak = max_resilience(game, profile, variant="weak", tol=tol)
+    max_t = max_immunity(game, profile, tol=tol)
+    res_violations = resilience_violations(
+        game, profile, game.n_players, variant="strong", tol=tol
+    )
+    imm_violations = immunity_violations(
+        game, profile, game.n_players - 1, tol=tol
+    )
+    return RobustnessReport(
+        payoffs=tuple(float(p) for p in game.expected_payoffs(profile)),
+        is_nash=game.is_nash(profile, tol=max(tol, 1e-7)),
+        max_k_strong=max_k_strong,
+        max_k_weak=max_k_weak,
+        max_t=max_t,
+        first_resilience_violation=res_violations[0] if res_violations else None,
+        first_immunity_violation=imm_violations[0] if imm_violations else None,
+    )

@@ -1,0 +1,43 @@
+"""Cryptographic substrate for cheap-talk mediator implementation.
+
+The ADGH possibility results all "use techniques from secure multiparty
+computation"; this package implements those techniques from scratch at
+laptop scale:
+
+* :mod:`repro.crypto.field` — prime-field arithmetic and polynomials.
+* :mod:`repro.crypto.shamir` — Shamir secret sharing (share/reconstruct,
+  error detection, Reed–Solomon style error *correction* for the
+  Byzantine case via Berlekamp–Welch).
+* :mod:`repro.crypto.smpc` — BGW-style arithmetic circuit evaluation on
+  shares (addition, scalar ops, multiplication with degree reduction).
+* :mod:`repro.crypto.toys` — toy commitments and signatures used by the
+  cryptography/PKI regimes of the feasibility theorems.  **Not secure**;
+  they exist to exercise the same protocol code paths.
+"""
+
+from repro.crypto.field import PrimeField, Polynomial
+from repro.crypto.shamir import (
+    Share,
+    berlekamp_welch,
+    reconstruct_secret,
+    reconstruct_with_errors,
+    share_secret,
+)
+from repro.crypto.smpc import ArithmeticCircuit, CircuitGate, SMPCEngine
+from repro.crypto.toys import ToyCommitment, ToyPKI, ToySignature
+
+__all__ = [
+    "ArithmeticCircuit",
+    "CircuitGate",
+    "Polynomial",
+    "PrimeField",
+    "SMPCEngine",
+    "Share",
+    "ToyCommitment",
+    "ToyPKI",
+    "ToySignature",
+    "berlekamp_welch",
+    "reconstruct_secret",
+    "reconstruct_with_errors",
+    "share_secret",
+]

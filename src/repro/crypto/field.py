@@ -1,0 +1,237 @@
+"""Prime-field arithmetic and polynomials over it.
+
+Everything in :mod:`repro.crypto` computes over GF(p) for a prime ``p``
+large enough to hold the values being shared.  Elements are plain Python
+ints in ``[0, p)``; the field object carries the modulus and the
+operations, keeping call sites explicit about which field they are in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["PrimeField", "Polynomial", "DEFAULT_PRIME"]
+
+# A Mersenne-adjacent prime comfortably larger than any payoff/type value
+# used in the experiments, small enough that arithmetic stays fast.
+DEFAULT_PRIME = 2_147_483_647  # 2^31 - 1, prime
+
+
+def _is_probable_prime(n: int) -> bool:
+    """Deterministic Miller–Rabin for n < 3.3e24 (sufficient bases)."""
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class PrimeField:
+    """The field GF(p).  Validates primality at construction."""
+
+    p: int = DEFAULT_PRIME
+
+    def __post_init__(self) -> None:
+        if not _is_probable_prime(self.p):
+            raise ValueError(f"{self.p} is not prime")
+
+    def normalize(self, x: int) -> int:
+        return x % self.p
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self.p
+
+    def sub(self, a: int, b: int) -> int:
+        return (a - b) % self.p
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.p
+
+    def neg(self, a: int) -> int:
+        return (-a) % self.p
+
+    def inv(self, a: int) -> int:
+        a %= self.p
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse")
+        return pow(a, self.p - 2, self.p)
+
+    def div(self, a: int, b: int) -> int:
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, e: int) -> int:
+        return pow(a % self.p, e, self.p)
+
+    def rand(self, rng) -> int:
+        """Uniform field element from a numpy Generator."""
+        return int(rng.integers(self.p))
+
+    def lagrange_interpolate_at(
+        self, points: Sequence[Tuple[int, int]], x: int = 0
+    ) -> int:
+        """Evaluate the unique degree-(k-1) interpolant at ``x``.
+
+        ``points`` is a sequence of distinct ``(x_i, y_i)`` pairs.
+        """
+        xs = [p[0] % self.p for p in points]
+        if len(set(xs)) != len(xs):
+            raise ValueError("interpolation points must have distinct x")
+        total = 0
+        for i, (xi, yi) in enumerate(points):
+            numerator, denominator = 1, 1
+            for j, (xj, _) in enumerate(points):
+                if i == j:
+                    continue
+                numerator = self.mul(numerator, self.sub(x, xj))
+                denominator = self.mul(denominator, self.sub(xi, xj))
+            total = self.add(
+                total, self.mul(yi, self.div(numerator, denominator))
+            )
+        return total
+
+
+class Polynomial:
+    """A polynomial over a prime field, dense coefficient representation.
+
+    ``coeffs[k]`` multiplies ``x**k``.  Trailing zeros are trimmed, and the
+    zero polynomial has ``coeffs == [0]``.
+    """
+
+    def __init__(self, field: PrimeField, coeffs: Iterable[int]) -> None:
+        self.field = field
+        cleaned = [field.normalize(c) for c in coeffs]
+        while len(cleaned) > 1 and cleaned[-1] == 0:
+            cleaned.pop()
+        if not cleaned:
+            cleaned = [0]
+        self.coeffs: List[int] = cleaned
+
+    @property
+    def degree(self) -> int:
+        """Degree, with the convention deg(0) == -1."""
+        if self.coeffs == [0]:
+            return -1
+        return len(self.coeffs) - 1
+
+    def __call__(self, x: int) -> int:
+        """Horner evaluation at ``x``."""
+        result = 0
+        for c in reversed(self.coeffs):
+            result = self.field.add(self.field.mul(result, x), c)
+        return result
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        self._check(other)
+        n = max(len(self.coeffs), len(other.coeffs))
+        out = [
+            self.field.add(
+                self.coeffs[k] if k < len(self.coeffs) else 0,
+                other.coeffs[k] if k < len(other.coeffs) else 0,
+            )
+            for k in range(n)
+        ]
+        return Polynomial(self.field, out)
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        self._check(other)
+        return self + other.scale(self.field.p - 1)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        self._check(other)
+        out = [0] * (len(self.coeffs) + len(other.coeffs) - 1)
+        for i, a in enumerate(self.coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(other.coeffs):
+                out[i + j] = self.field.add(out[i + j], self.field.mul(a, b))
+        return Polynomial(self.field, out)
+
+    def scale(self, scalar: int) -> "Polynomial":
+        return Polynomial(
+            self.field, [self.field.mul(c, scalar) for c in self.coeffs]
+        )
+
+    def divmod(self, other: "Polynomial") -> Tuple["Polynomial", "Polynomial"]:
+        """Polynomial long division: returns (quotient, remainder)."""
+        self._check(other)
+        if other.degree < 0:
+            raise ZeroDivisionError("division by the zero polynomial")
+        remainder = list(self.coeffs)
+        quotient = [0] * max(1, len(self.coeffs) - len(other.coeffs) + 1)
+        lead_inv = self.field.inv(other.coeffs[-1])
+        for k in range(len(remainder) - len(other.coeffs), -1, -1):
+            coef = self.field.mul(remainder[k + len(other.coeffs) - 1], lead_inv)
+            if coef == 0:
+                continue
+            quotient[k] = coef
+            for j, b in enumerate(other.coeffs):
+                remainder[k + j] = self.field.sub(
+                    remainder[k + j], self.field.mul(coef, b)
+                )
+        return Polynomial(self.field, quotient), Polynomial(self.field, remainder)
+
+    @classmethod
+    def random(
+        cls, field: PrimeField, degree: int, constant_term: int, rng
+    ) -> "Polynomial":
+        """Uniformly random polynomial of exactly the given degree bound with
+        fixed constant term (the Shamir sharing polynomial)."""
+        coeffs = [field.normalize(constant_term)] + [
+            field.rand(rng) for _ in range(degree)
+        ]
+        return cls(field, coeffs)
+
+    @classmethod
+    def interpolate(
+        cls, field: PrimeField, points: Sequence[Tuple[int, int]]
+    ) -> "Polynomial":
+        """The unique interpolating polynomial through ``points``."""
+        xs = [x % field.p for x, _ in points]
+        if len(set(xs)) != len(xs):
+            raise ValueError("interpolation points must have distinct x")
+        result = cls(field, [0])
+        for i, (xi, yi) in enumerate(points):
+            basis = cls(field, [yi])
+            for j, (xj, _) in enumerate(points):
+                if i == j:
+                    continue
+                factor = cls(
+                    field,
+                    [field.div(field.neg(xj), field.sub(xi, xj)),
+                     field.div(1, field.sub(xi, xj))],
+                )
+                basis = basis * factor
+            result = result + basis
+        return result
+
+    def _check(self, other: "Polynomial") -> None:
+        if self.field.p != other.field.p:
+            raise ValueError("polynomials over different fields")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Polynomial)
+            and self.field.p == other.field.p
+            and self.coeffs == other.coeffs
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Polynomial(GF({self.field.p}), {self.coeffs})"

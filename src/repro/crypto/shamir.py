@@ -1,0 +1,187 @@
+"""Shamir secret sharing with Byzantine-robust reconstruction.
+
+A secret ``s`` is shared among ``n`` parties with threshold ``t`` by
+sampling a uniformly random degree-``t`` polynomial ``f`` with
+``f(0) = s`` and giving party ``i`` the share ``(i, f(i))`` (evaluation
+points are ``1..n``; 0 is reserved for the secret).
+
+* Any ``t+1`` correct shares reconstruct ``s``; any ``t`` shares reveal
+  nothing (perfect secrecy — tested property-style in the test suite).
+* With up to ``e`` *corrupted* shares, :func:`reconstruct_with_errors`
+  recovers the secret via the Berlekamp–Welch decoder provided
+  ``n >= t + 2e + 1`` — this is the mechanism that lets the cheap-talk
+  protocols tolerate Byzantine players.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.crypto.field import Polynomial, PrimeField
+
+__all__ = [
+    "Share",
+    "share_secret",
+    "reconstruct_secret",
+    "berlekamp_welch",
+    "reconstruct_with_errors",
+]
+
+
+@dataclass(frozen=True)
+class Share:
+    """One party's share: the evaluation point ``x`` and value ``y``."""
+
+    x: int
+    y: int
+
+
+def share_secret(
+    field: PrimeField,
+    secret: int,
+    n: int,
+    t: int,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Share]:
+    """Split ``secret`` into ``n`` shares with threshold ``t``.
+
+    Any ``t + 1`` shares reconstruct; ``t`` or fewer reveal nothing.
+    """
+    if not 0 <= t < n:
+        raise ValueError("need 0 <= t < n")
+    if n >= field.p:
+        raise ValueError("field too small for this many parties")
+    rng = rng if rng is not None else np.random.default_rng()
+    poly = Polynomial.random(field, degree=t, constant_term=secret, rng=rng)
+    return [Share(x=i, y=poly(i)) for i in range(1, n + 1)]
+
+
+def reconstruct_secret(field: PrimeField, shares: Sequence[Share]) -> int:
+    """Reconstruct from correct shares by Lagrange interpolation at 0."""
+    if not shares:
+        raise ValueError("no shares given")
+    points = [(s.x, s.y) for s in shares]
+    return field.lagrange_interpolate_at(points, x=0)
+
+
+def _solve_linear_system_mod_p(
+    field: PrimeField, matrix: List[List[int]], rhs: List[int]
+) -> Optional[List[int]]:
+    """Gaussian elimination over GF(p).  Returns one solution or None.
+
+    Under-determined systems return a solution with free variables set to
+    zero, which is what Berlekamp–Welch needs.
+    """
+    rows = len(matrix)
+    cols = len(matrix[0]) if rows else 0
+    a = [[field.normalize(v) for v in row] + [field.normalize(b)]
+         for row, b in zip(matrix, rhs)]
+    pivot_cols: List[int] = []
+    r = 0
+    for c in range(cols):
+        pivot = next((i for i in range(r, rows) if a[i][c] != 0), None)
+        if pivot is None:
+            continue
+        a[r], a[pivot] = a[pivot], a[r]
+        inv = field.inv(a[r][c])
+        a[r] = [field.mul(v, inv) for v in a[r]]
+        for i in range(rows):
+            if i != r and a[i][c] != 0:
+                factor = a[i][c]
+                a[i] = [
+                    field.sub(a[i][j], field.mul(factor, a[r][j]))
+                    for j in range(cols + 1)
+                ]
+        pivot_cols.append(c)
+        r += 1
+        if r == rows:
+            break
+    # Inconsistency check.
+    for i in range(r, rows):
+        if all(v == 0 for v in a[i][:cols]) and a[i][cols] != 0:
+            return None
+    solution = [0] * cols
+    for row_idx, c in enumerate(pivot_cols):
+        solution[c] = a[row_idx][cols]
+    return solution
+
+
+def berlekamp_welch(
+    field: PrimeField,
+    points: Sequence[Tuple[int, int]],
+    degree: int,
+    max_errors: int,
+) -> Optional[Polynomial]:
+    """Decode a degree-``degree`` polynomial from points with errors.
+
+    Returns the message polynomial if at most ``max_errors`` of the
+    ``points`` are wrong and ``len(points) >= degree + 2*max_errors + 1``;
+    otherwise ``None``.
+    """
+    n = len(points)
+    e = max_errors
+    k = degree
+    if n < k + 2 * e + 1:
+        raise ValueError(
+            f"need at least degree + 2*errors + 1 = {k + 2 * e + 1} points, "
+            f"got {n}"
+        )
+    if e == 0:
+        poly = Polynomial.interpolate(field, list(points[: k + 1]))
+        if all(poly(x) == y for x, y in points):
+            return poly
+        return None
+    # Unknowns: E(x) monic of degree e (e coefficients e_0..e_{e-1}),
+    # Q(x) of degree k + e (k + e + 1 coefficients).
+    # Equations: Q(x_i) = y_i * E(x_i)  =>
+    #   sum_j q_j x_i^j - y_i sum_j e_j x_i^j = y_i x_i^e.
+    num_q = k + e + 1
+    matrix: List[List[int]] = []
+    rhs: List[int] = []
+    for x, y in points:
+        row = []
+        power = 1
+        for _ in range(num_q):
+            row.append(power)
+            power = field.mul(power, x)
+        power = 1
+        for _ in range(e):
+            row.append(field.neg(field.mul(y, power)))
+            power = field.mul(power, x)
+        matrix.append(row)
+        rhs.append(field.mul(y, field.pow(x, e)))
+    solution = _solve_linear_system_mod_p(field, matrix, rhs)
+    if solution is None:
+        return None
+    q = Polynomial(field, solution[:num_q])
+    e_poly = Polynomial(field, solution[num_q:] + [1])  # monic
+    quotient, remainder = q.divmod(e_poly)
+    if remainder.degree >= 0:
+        return None
+    # Verify: the decoded polynomial must match at >= n - e points.
+    agreements = sum(1 for x, y in points if quotient(x) == y)
+    if agreements < n - e or quotient.degree > k:
+        return None
+    return quotient
+
+
+def reconstruct_with_errors(
+    field: PrimeField,
+    shares: Sequence[Share],
+    t: int,
+    max_errors: int,
+) -> Optional[int]:
+    """Robust reconstruction: recover the secret despite corrupted shares.
+
+    Correct whenever at most ``max_errors`` shares are wrong and
+    ``len(shares) >= t + 2*max_errors + 1``.
+    """
+    poly = berlekamp_welch(
+        field, [(s.x, s.y) for s in shares], degree=t, max_errors=max_errors
+    )
+    if poly is None:
+        return None
+    return poly(0)

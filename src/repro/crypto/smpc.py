@@ -1,0 +1,290 @@
+"""BGW-style secure multiparty computation over secret shares.
+
+The mediator-implementation protocols of Section 2 replace a trusted
+mediator by letting the players jointly evaluate the mediator's function
+on shared inputs.  This module provides the arithmetic-circuit engine:
+
+* inputs are Shamir-shared with threshold ``t``;
+* addition/scalar gates are local share arithmetic;
+* multiplication uses the classical degree-reduction step: parties
+  locally multiply shares (degree ``2t``), re-share the products, and
+  linearly combine the sub-shares with the first-row-of-the-inverse-
+  Vandermonde coefficients, restoring degree ``t``.  Requires
+  ``n >= 2t + 1`` honest-majority, exactly as the theory says;
+* outputs are reconstructed, robustly if Byzantine shares are expected.
+
+The engine is an honest-execution simulator with fault hooks: it computes
+what every party would hold, and lets a caller corrupt up to ``t`` parties'
+shares before reconstruction to exercise the robust decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.crypto.field import PrimeField
+from repro.crypto.shamir import (
+    Share,
+    reconstruct_secret,
+    reconstruct_with_errors,
+    share_secret,
+)
+
+__all__ = ["CircuitGate", "ArithmeticCircuit", "SMPCEngine"]
+
+
+@dataclass(frozen=True)
+class CircuitGate:
+    """One gate of an arithmetic circuit.
+
+    ``op`` is one of ``"input"``, ``"add"``, ``"sub"``, ``"mul"``,
+    ``"const_mul"``, ``"const_add"``; ``args`` are wire indices (and, for
+    the const ops, the constant as the second entry).
+    """
+
+    op: str
+    args: Tuple[int, ...]
+    constant: Optional[int] = None
+
+
+class ArithmeticCircuit:
+    """A straight-line arithmetic circuit over GF(p).
+
+    Build with :meth:`input_wire`, :meth:`add`, :meth:`mul`, etc.; every
+    method returns the new wire's index.  ``outputs`` lists wire indices
+    to reveal.
+    """
+
+    def __init__(self, field: PrimeField) -> None:
+        self.field = field
+        self.gates: List[CircuitGate] = []
+        self.outputs: List[int] = []
+        self.n_inputs = 0
+
+    def input_wire(self) -> int:
+        self.gates.append(CircuitGate("input", (self.n_inputs,)))
+        self.n_inputs += 1
+        return len(self.gates) - 1
+
+    def add(self, a: int, b: int) -> int:
+        self._check_wires(a, b)
+        self.gates.append(CircuitGate("add", (a, b)))
+        return len(self.gates) - 1
+
+    def sub(self, a: int, b: int) -> int:
+        self._check_wires(a, b)
+        self.gates.append(CircuitGate("sub", (a, b)))
+        return len(self.gates) - 1
+
+    def mul(self, a: int, b: int) -> int:
+        self._check_wires(a, b)
+        self.gates.append(CircuitGate("mul", (a, b)))
+        return len(self.gates) - 1
+
+    def const_mul(self, a: int, constant: int) -> int:
+        self._check_wires(a)
+        self.gates.append(
+            CircuitGate("const_mul", (a,), constant=self.field.normalize(constant))
+        )
+        return len(self.gates) - 1
+
+    def const_add(self, a: int, constant: int) -> int:
+        self._check_wires(a)
+        self.gates.append(
+            CircuitGate("const_add", (a,), constant=self.field.normalize(constant))
+        )
+        return len(self.gates) - 1
+
+    def mark_output(self, wire: int) -> None:
+        self._check_wires(wire)
+        self.outputs.append(wire)
+
+    def _check_wires(self, *wires: int) -> None:
+        for w in wires:
+            if not 0 <= w < len(self.gates):
+                raise ValueError(f"wire {w} does not exist")
+
+    def evaluate_plain(self, inputs: Sequence[int]) -> List[int]:
+        """Reference (non-secure) evaluation, for testing the engine."""
+        if len(inputs) != self.n_inputs:
+            raise ValueError("wrong number of inputs")
+        values: List[int] = []
+        f = self.field
+        for gate in self.gates:
+            if gate.op == "input":
+                values.append(f.normalize(inputs[gate.args[0]]))
+            elif gate.op == "add":
+                values.append(f.add(values[gate.args[0]], values[gate.args[1]]))
+            elif gate.op == "sub":
+                values.append(f.sub(values[gate.args[0]], values[gate.args[1]]))
+            elif gate.op == "mul":
+                values.append(f.mul(values[gate.args[0]], values[gate.args[1]]))
+            elif gate.op == "const_mul":
+                values.append(f.mul(values[gate.args[0]], gate.constant))
+            elif gate.op == "const_add":
+                values.append(f.add(values[gate.args[0]], gate.constant))
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown gate {gate.op!r}")
+        return [values[w] for w in self.outputs]
+
+
+class SMPCEngine:
+    """Simulated BGW execution: tracks every party's share of every wire.
+
+    ``n`` parties, threshold ``t``; multiplication needs ``n >= 2t + 1``.
+    The engine holds a full transcript (``wire_shares[wire][party]``),
+    which stands in for the parties' local states in a real execution.
+    """
+
+    def __init__(
+        self,
+        field: PrimeField,
+        n: int,
+        t: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if n < 2 * t + 1:
+            raise ValueError(
+                "BGW multiplication requires n >= 2t + 1 "
+                f"(got n={n}, t={t})"
+            )
+        self.field = field
+        self.n = n
+        self.t = t
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._recomb = self._recombination_vector()
+
+    def _recombination_vector(self) -> List[int]:
+        """Lagrange coefficients mapping values at 1..n to the value at 0
+        for a degree-(2t) polynomial (used by degree reduction)."""
+        f = self.field
+        xs = list(range(1, self.n + 1))
+        coeffs = []
+        for i, xi in enumerate(xs):
+            num, den = 1, 1
+            for j, xj in enumerate(xs):
+                if i == j:
+                    continue
+                num = f.mul(num, f.neg(xj))
+                den = f.mul(den, f.sub(xi, xj))
+            coeffs.append(f.div(num, den))
+        return coeffs
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self, circuit: ArithmeticCircuit, inputs: Sequence[int]
+    ) -> "SMPCTranscript":
+        """Execute the circuit on secret inputs; return the transcript."""
+        if circuit.field.p != self.field.p:
+            raise ValueError("circuit field does not match engine field")
+        if len(inputs) != circuit.n_inputs:
+            raise ValueError("wrong number of inputs")
+        f = self.field
+        wire_shares: List[List[int]] = []
+        for gate in circuit.gates:
+            if gate.op == "input":
+                shares = share_secret(
+                    f, inputs[gate.args[0]], self.n, self.t, rng=self.rng
+                )
+                wire_shares.append([s.y for s in shares])
+            elif gate.op in ("add", "sub"):
+                a = wire_shares[gate.args[0]]
+                b = wire_shares[gate.args[1]]
+                op = f.add if gate.op == "add" else f.sub
+                wire_shares.append([op(x, y) for x, y in zip(a, b)])
+            elif gate.op == "const_mul":
+                a = wire_shares[gate.args[0]]
+                wire_shares.append([f.mul(x, gate.constant) for x in a])
+            elif gate.op == "const_add":
+                a = wire_shares[gate.args[0]]
+                wire_shares.append([f.add(x, gate.constant) for x in a])
+            elif gate.op == "mul":
+                wire_shares.append(
+                    self._multiply(
+                        wire_shares[gate.args[0]], wire_shares[gate.args[1]]
+                    )
+                )
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown gate {gate.op!r}")
+        return SMPCTranscript(
+            engine=self,
+            circuit=circuit,
+            wire_shares=wire_shares,
+        )
+
+    def _multiply(self, a: List[int], b: List[int]) -> List[int]:
+        """BGW multiplication with degree reduction.
+
+        Party ``i`` computes ``d_i = a_i * b_i`` (a point on a degree-2t
+        polynomial with the right secret), re-shares ``d_i`` with
+        threshold ``t``, and everyone linearly combines the received
+        sub-shares with the recombination vector.
+        """
+        f = self.field
+        products = [f.mul(x, y) for x, y in zip(a, b)]
+        # sub_shares[i][j] = party j's share of party i's product.
+        sub_shares = [
+            [s.y for s in share_secret(f, d, self.n, self.t, rng=self.rng)]
+            for d in products
+        ]
+        new_shares = []
+        for j in range(self.n):
+            total = 0
+            for i in range(self.n):
+                total = f.add(total, f.mul(self._recomb[i], sub_shares[i][j]))
+            new_shares.append(total)
+        return new_shares
+
+
+@dataclass
+class SMPCTranscript:
+    """Every party's share of every wire after an execution."""
+
+    engine: SMPCEngine
+    circuit: ArithmeticCircuit
+    wire_shares: List[List[int]]
+
+    def party_view(self, party: int) -> List[int]:
+        """The shares a single party holds (one per wire)."""
+        return [w[party] for w in self.wire_shares]
+
+    def open_outputs(self) -> List[int]:
+        """Reconstruct the output wires from all (honest) shares."""
+        f = self.engine.field
+        out = []
+        for wire in self.circuit.outputs:
+            shares = [
+                Share(x=i + 1, y=self.wire_shares[wire][i])
+                for i in range(self.engine.n)
+            ]
+            out.append(reconstruct_secret(f, shares[: self.engine.t + 1]))
+        return out
+
+    def open_outputs_with_corruptions(
+        self, corrupted: Dict[int, int]
+    ) -> Optional[List[int]]:
+        """Reconstruct outputs after parties in ``corrupted`` lie.
+
+        ``corrupted`` maps party index to the (wrong) share value it
+        reports for every output wire.  Uses Berlekamp–Welch; succeeds
+        when ``n >= t + 2*|corrupted| + 1``.
+        """
+        f = self.engine.field
+        e = len(corrupted)
+        out = []
+        for wire in self.circuit.outputs:
+            shares = []
+            for i in range(self.engine.n):
+                y = corrupted.get(i, self.wire_shares[wire][i])
+                shares.append(Share(x=i + 1, y=f.normalize(y)))
+            value = reconstruct_with_errors(
+                f, shares, t=self.engine.t, max_errors=e
+            )
+            if value is None:
+                return None
+            out.append(value)
+        return out

@@ -1,0 +1,104 @@
+"""Toy cryptographic primitives for the "crypto/PKI" feasibility regimes.
+
+**These are not secure.**  The ADGH theorems distinguish regimes by whether
+the players may assume cryptography and a PKI; reproducing the *protocol
+structure* of those regimes needs commitment and signature objects with
+the right interfaces, not real hardness.  Each primitive documents the
+property it models and the property it does not have.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ToyCommitment", "ToySignature", "ToyPKI"]
+
+
+def _digest(*parts: object) -> int:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(repr(part).encode("utf-8"))
+        h.update(b"\x00")
+    return int.from_bytes(h.digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class ToyCommitment:
+    """A hash-based commitment: binding and (modelled-)hiding.
+
+    ``commit(value, nonce)`` publishes the digest; ``open`` reveals and
+    verifies.  Against a *computationally unbounded* adversary nothing is
+    hidden — which mirrors the theorems: unbounded players break the
+    crypto regimes, so the feasibility procedure refuses those regimes
+    unless ``polynomially_bounded`` is asserted.
+    """
+
+    digest: int
+
+    @classmethod
+    def commit(cls, value: int, nonce: int) -> "ToyCommitment":
+        return cls(digest=_digest("commit", value, nonce))
+
+    def open(self, value: int, nonce: int) -> bool:
+        """Verify an opening; binding holds up to hash collisions."""
+        return self.digest == _digest("commit", value, nonce)
+
+
+@dataclass(frozen=True)
+class ToySignature:
+    """A keyed-hash "signature" verifiable by anyone who trusts the PKI."""
+
+    signer: int
+    tag: int
+
+    def verify(self, pki: "ToyPKI", message: object) -> bool:
+        key = pki.public_record.get(self.signer)
+        if key is None:
+            return False
+        return self.tag == _digest("sig", key, message)
+
+
+class ToyPKI:
+    """A toy public-key infrastructure: a trusted directory of signer keys.
+
+    Models exactly what the ``n > k + t`` PKI regime needs: honest parties
+    can verify who said what, so a faulty party cannot forge relayed
+    statements.  (A real PKI would not store the signing keys in the
+    directory; this one does, because it only needs to be correct, not
+    secure.)
+    """
+
+    def __init__(self, n: int, seed: int = 0) -> None:
+        rng = np.random.default_rng(seed)
+        self._secret_keys: Dict[int, int] = {
+            i: int(rng.integers(1, 2**62)) for i in range(n)
+        }
+        # In this toy, the public record *is* the secret key; verification
+        # recomputes the tag.  Sufficient for honest-execution simulation.
+        self.public_record: Dict[int, int] = dict(self._secret_keys)
+
+    def sign(self, signer: int, message: object) -> ToySignature:
+        key = self._secret_keys.get(signer)
+        if key is None:
+            raise KeyError(f"unknown signer {signer}")
+        return ToySignature(signer=signer, tag=_digest("sig", key, message))
+
+    def forge_attempt(
+        self, forger: int, claimed_signer: int, message: object, guess: int
+    ) -> Optional[ToySignature]:
+        """A forgery attempt with a guessed key; almost surely invalid.
+
+        Provided so tests can demonstrate that (modelled) forgeries fail.
+        """
+        if guess == self._secret_keys.get(claimed_signer):
+            return ToySignature(
+                signer=claimed_signer, tag=_digest("sig", guess, message)
+            )
+        signature = ToySignature(
+            signer=claimed_signer, tag=_digest("sig", guess, message)
+        )
+        return signature if signature.verify(self, message) else None

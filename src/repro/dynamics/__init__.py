@@ -1,0 +1,21 @@
+"""Tournament and evolutionary dynamics (Axelrod's setting, Section 3)."""
+
+from repro.dynamics.tournament import (
+    MatchRecord,
+    NoisyStrategy,
+    TournamentResult,
+    round_robin_tournament,
+)
+from repro.dynamics.evolution import (
+    EvolutionResult,
+    evolutionary_tournament,
+)
+
+__all__ = [
+    "EvolutionResult",
+    "MatchRecord",
+    "NoisyStrategy",
+    "TournamentResult",
+    "evolutionary_tournament",
+    "round_robin_tournament",
+]

@@ -1,0 +1,96 @@
+"""Evolutionary tournament: replicator dynamics over a strategy zoo.
+
+Builds the empirical pairwise-payoff matrix of repeated-game strategies
+and runs single-population replicator dynamics on it — Axelrod's
+"ecological" tournament.  Used to show the defection-heavy strategies
+wash out while reciprocators take over the population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.games.classics import prisoners_dilemma
+from repro.games.normal_form import NormalFormGame
+from repro.games.repeated import RepeatedGame, RepeatedGameStrategy
+from repro.solvers.replicator import replicator_dynamics
+
+__all__ = ["EvolutionResult", "evolutionary_tournament", "empirical_payoff_matrix"]
+
+
+@dataclass
+class EvolutionResult:
+    """Terminal population of an ecological tournament."""
+
+    names: List[str]
+    initial: np.ndarray
+    final: np.ndarray
+    iterations: int
+    converged: bool
+
+    def dominant(self, threshold: float = 0.01) -> List[Tuple[str, float]]:
+        """Strategies with terminal share above ``threshold``, sorted."""
+        pairs = [
+            (name, float(share))
+            for name, share in zip(self.names, self.final)
+            if share > threshold
+        ]
+        return sorted(pairs, key=lambda p: -p[1])
+
+
+def empirical_payoff_matrix(
+    strategies: Sequence[RepeatedGameStrategy],
+    rounds: int = 200,
+    delta: float = 1.0,
+    stage: Optional[NormalFormGame] = None,
+) -> np.ndarray:
+    """Average per-round payoff of strategy ``i`` against strategy ``j``."""
+    stage = stage if stage is not None else prisoners_dilemma()
+    game = RepeatedGame(stage, rounds=rounds, delta=delta)
+    n = len(strategies)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            result = game.play(strategies[i], strategies[j])
+            matrix[i, j] = float(result.discounted[0]) / rounds
+    return matrix
+
+
+def evolutionary_tournament(
+    strategies: Sequence[RepeatedGameStrategy],
+    rounds: int = 200,
+    delta: float = 1.0,
+    iterations: int = 5_000,
+    step: float = 0.1,
+    initial: Optional[Sequence[float]] = None,
+    stage: Optional[NormalFormGame] = None,
+) -> EvolutionResult:
+    """Replicator dynamics over the empirical strategy-vs-strategy matrix."""
+    names = [getattr(s, "name", f"entry{i}") for i, s in enumerate(strategies)]
+    matrix = empirical_payoff_matrix(
+        strategies, rounds=rounds, delta=delta, stage=stage
+    )
+    game = NormalFormGame(
+        np.stack([matrix, matrix.T]),
+        action_labels=[names, names],
+        name="ecological tournament",
+    )
+    n = len(strategies)
+    start = (
+        np.full(n, 1.0 / n)
+        if initial is None
+        else np.asarray(initial, dtype=float)
+    )
+    result = replicator_dynamics(
+        game, initial=start, iterations=iterations, step=step
+    )
+    return EvolutionResult(
+        names=names,
+        initial=start,
+        final=np.asarray(result.final[0]),
+        iterations=result.iterations,
+        converged=result.converged,
+    )

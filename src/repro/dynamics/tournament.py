@@ -1,0 +1,162 @@
+"""Axelrod-style round-robin FRPD tournaments.
+
+The paper: "tit-for-tat does exceedingly well in FRPD tournaments, where
+computer programs play each other [Axelrod 1984]".  Experiment E13 runs
+the round-robin and checks tit-for-tat's placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.games.classics import prisoners_dilemma
+from repro.games.normal_form import NormalFormGame
+from repro.games.repeated import RepeatedGame, RepeatedGameStrategy
+
+__all__ = [
+    "NoisyStrategy",
+    "MatchRecord",
+    "TournamentResult",
+    "round_robin_tournament",
+]
+
+
+class NoisyStrategy:
+    """Wrap a strategy so each action flips with probability ``noise``.
+
+    Axelrod's later tournaments added execution noise; it is what
+    separates forgiving strategies (tit-for-tat) from unforgiving ones
+    (grim trigger).
+    """
+
+    def __init__(self, inner: RepeatedGameStrategy, noise: float, seed: int = 0):
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError("noise must be a probability")
+        self.inner = inner
+        self.noise = noise
+        self.seed = seed
+        self.name = f"{getattr(inner, 'name', 'strategy')}+noise{noise:g}"
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._rng = np.random.default_rng(self.seed)
+
+    def act(self, opponent_history: Sequence[int]) -> int:
+        action = self.inner.act(opponent_history)
+        if self.noise > 0.0 and self._rng.random() < self.noise:
+            return 1 - action
+        return action
+
+
+@dataclass
+class MatchRecord:
+    """One pairing's aggregate outcome."""
+
+    name_a: str
+    name_b: str
+    score_a: float
+    score_b: float
+    cooperation_rate_a: float
+    cooperation_rate_b: float
+
+
+@dataclass
+class TournamentResult:
+    """Full round-robin outcome."""
+
+    names: List[str]
+    total_scores: np.ndarray
+    match_records: List[MatchRecord]
+    rounds: int
+    repetitions: int
+
+    def ranking(self) -> List[Tuple[str, float]]:
+        """Strategies sorted by total score, best first."""
+        order = np.argsort(-self.total_scores)
+        return [(self.names[i], float(self.total_scores[i])) for i in order]
+
+    def rank_of(self, name: str) -> int:
+        """1-based placement of a strategy."""
+        for position, (entry, _score) in enumerate(self.ranking(), start=1):
+            if entry == name:
+                return position
+        raise KeyError(f"no entrant named {name!r}")
+
+    def table(self) -> str:
+        lines = [f"{'rank':>4}  {'strategy':<28} {'score':>10}"]
+        for position, (name, score) in enumerate(self.ranking(), start=1):
+            lines.append(f"{position:>4}  {name:<28} {score:>10.2f}")
+        return "\n".join(lines)
+
+
+def round_robin_tournament(
+    strategies: Sequence[RepeatedGameStrategy],
+    rounds: int = 200,
+    delta: float = 1.0,
+    noise: float = 0.0,
+    repetitions: int = 1,
+    include_self_play: bool = True,
+    stage: Optional[NormalFormGame] = None,
+    seed: int = 0,
+) -> TournamentResult:
+    """Every strategy meets every other (and itself, as in Axelrod 1984).
+
+    Scores are summed discounted payoffs across all matches and
+    repetitions.  With ``noise > 0`` strategies are wrapped in
+    :class:`NoisyStrategy` (fresh seeds per match for independence).
+    """
+    stage = stage if stage is not None else prisoners_dilemma()
+    game = RepeatedGame(stage, rounds=rounds, delta=delta)
+    names = [getattr(s, "name", f"entry{i}") for i, s in enumerate(strategies)]
+    if len(set(names)) != len(names):
+        raise ValueError("strategy names must be unique")
+    n = len(strategies)
+    totals = np.zeros(n)
+    records: List[MatchRecord] = []
+    seed_counter = seed
+    for i in range(n):
+        for j in range(i, n):
+            if i == j and not include_self_play:
+                continue
+            score_a = score_b = 0.0
+            coop_a = coop_b = 0.0
+            for _rep in range(repetitions):
+                a: RepeatedGameStrategy = strategies[i]
+                b: RepeatedGameStrategy = strategies[j]
+                if noise > 0.0:
+                    a = NoisyStrategy(a, noise, seed=seed_counter)
+                    b = NoisyStrategy(b, noise, seed=seed_counter + 1)
+                seed_counter += 2
+                result = game.play(a, b)
+                score_a += float(result.discounted[0])
+                score_b += float(result.discounted[1])
+                coop_a += np.mean([act[0] == 0 for act in result.actions])
+                coop_b += np.mean([act[1] == 0 for act in result.actions])
+            score_a /= repetitions
+            score_b /= repetitions
+            coop_a /= repetitions
+            coop_b /= repetitions
+            records.append(
+                MatchRecord(
+                    name_a=names[i],
+                    name_b=names[j],
+                    score_a=score_a,
+                    score_b=score_b,
+                    cooperation_rate_a=coop_a,
+                    cooperation_rate_b=coop_b,
+                )
+            )
+            totals[i] += score_a
+            if i != j:
+                totals[j] += score_b
+    return TournamentResult(
+        names=names,
+        total_scores=totals,
+        match_records=records,
+        rounds=rounds,
+        repetitions=repetitions,
+    )

@@ -1,0 +1,38 @@
+"""Economic models from the paper's agenda (Section 5 / Section 2).
+
+* :mod:`repro.econ.scrip` — the Kash–Friedman–Halpern scrip system:
+  threshold equilibria, hoarders, altruists.
+* :mod:`repro.econ.p2p` — Gnutella-style file sharing: free riding with
+  standard utilities, and the heterogeneous-utility population that
+  reproduces the Adar–Huberman measurements.
+"""
+
+from repro.econ.scrip import (
+    Altruist,
+    Hoarder,
+    ScripAgent,
+    ScripSimulationResult,
+    ScripSystem,
+    ThresholdAgent,
+    best_response_threshold,
+    find_symmetric_threshold_equilibrium,
+)
+from repro.econ.p2p import (
+    SharingOutcome,
+    SharingPopulation,
+    sharing_game_small,
+)
+
+__all__ = [
+    "Altruist",
+    "Hoarder",
+    "ScripAgent",
+    "ScripSimulationResult",
+    "ScripSystem",
+    "SharingOutcome",
+    "SharingPopulation",
+    "ThresholdAgent",
+    "best_response_threshold",
+    "find_symmetric_threshold_equilibrium",
+    "sharing_game_small",
+]

@@ -1,0 +1,264 @@
+"""Scrip systems (Kash–Friedman–Halpern 2007), as cited in Section 5.
+
+Model
+-----
+``n`` agents perform work for each other in exchange for scrip.  Each
+round one uniformly random agent wants service (worth ``benefit`` to
+them); satisfying a request costs the volunteer ``cost``; the price of
+service is 1 scrip.  A requester must hold at least 1 scrip to pay;
+volunteers are chosen uniformly among agents willing to work.
+
+The strategy the paper highlights is the *threshold* strategy: volunteer
+exactly when your scrip holdings are below a threshold ``k``.  The two
+"standard irrational behaviours" named in Section 5 are also modelled:
+
+* **hoarders** volunteer at every opportunity but never spend
+  (they accumulate scrip, shrinking the effective money supply);
+* **altruists** satisfy requests for free (the "posting music on Kazaa"
+  analogue), which lets requesters keep their scrip.
+
+The experiments (E11) look for a symmetric threshold equilibrium by
+empirical best response, and measure how hoarders/altruists shift the
+welfare of threshold agents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ScripAgent",
+    "ThresholdAgent",
+    "Hoarder",
+    "Altruist",
+    "ScripSystem",
+    "ScripSimulationResult",
+    "best_response_threshold",
+    "find_symmetric_threshold_equilibrium",
+]
+
+
+class ScripAgent:
+    """Base agent: decides whether to volunteer and whether to request."""
+
+    name = "agent"
+
+    def wants_to_volunteer(self, scrip: int) -> bool:
+        raise NotImplementedError
+
+    def wants_to_spend(self, scrip: int) -> bool:
+        """Whether, when chosen as this round's requester, the agent is
+        willing to pay 1 scrip for service."""
+        raise NotImplementedError
+
+    @property
+    def works_for_free(self) -> bool:
+        return False
+
+
+@dataclass
+class ThresholdAgent(ScripAgent):
+    """The paper's equilibrium strategy: work iff scrip < threshold."""
+
+    threshold: int
+    name: str = "threshold"
+
+    def wants_to_volunteer(self, scrip: int) -> bool:
+        return scrip < self.threshold
+
+    def wants_to_spend(self, scrip: int) -> bool:
+        return scrip >= 1
+
+
+@dataclass
+class Hoarder(ScripAgent):
+    """Volunteers always, never spends — drains money from circulation."""
+
+    name: str = "hoarder"
+
+    def wants_to_volunteer(self, scrip: int) -> bool:
+        return True
+
+    def wants_to_spend(self, scrip: int) -> bool:
+        return False
+
+
+@dataclass
+class Altruist(ScripAgent):
+    """Works for free (requesters it serves pay nothing)."""
+
+    name: str = "altruist"
+
+    def wants_to_volunteer(self, scrip: int) -> bool:
+        return True
+
+    def wants_to_spend(self, scrip: int) -> bool:
+        return True
+
+    @property
+    def works_for_free(self) -> bool:
+        return True
+
+
+@dataclass
+class ScripSimulationResult:
+    """Aggregates of one simulation run."""
+
+    utilities: np.ndarray  # total realized utility per agent
+    rounds: int
+    requests_made: int
+    requests_satisfied: int
+    final_scrip: np.ndarray
+    served_for_free: int
+
+    @property
+    def satisfaction_rate(self) -> float:
+        if self.requests_made == 0:
+            return 0.0
+        return self.requests_satisfied / self.requests_made
+
+    def mean_utility(self, indices: Optional[Sequence[int]] = None) -> float:
+        values = (
+            self.utilities
+            if indices is None
+            else self.utilities[list(indices)]
+        )
+        return float(values.mean()) if len(values) else 0.0
+
+
+class ScripSystem:
+    """The round-based scrip economy simulator."""
+
+    def __init__(
+        self,
+        agents: Sequence[ScripAgent],
+        benefit: float = 1.0,
+        cost: float = 0.2,
+        initial_scrip: int = 2,
+        discount: float = 1.0,
+    ) -> None:
+        """``discount`` < 1 makes utility round-discounted, as in the
+        Kash–Friedman–Halpern model; it is what makes very high thresholds
+        unattractive (work — and pay its cost — now, spend the scrip only
+        much later)."""
+        if benefit <= cost:
+            raise ValueError(
+                "service must be worth more than it costs (benefit > cost)"
+            )
+        if initial_scrip < 0:
+            raise ValueError("initial scrip must be non-negative")
+        if not 0.0 < discount <= 1.0:
+            raise ValueError("discount must lie in (0, 1]")
+        self.agents = list(agents)
+        self.n = len(self.agents)
+        if self.n < 2:
+            raise ValueError("a scrip economy needs at least two agents")
+        self.benefit = float(benefit)
+        self.cost = float(cost)
+        self.initial_scrip = int(initial_scrip)
+        self.discount = float(discount)
+
+    def _settle(self, scrip: np.ndarray, requester: int, worker: int) -> None:
+        """Move the scrip unless the worker serves for free."""
+        if not self.agents[worker].works_for_free:
+            scrip[requester] -= 1
+            scrip[worker] += 1
+
+    def run(self, rounds: int, seed: int = 0) -> ScripSimulationResult:
+        """Simulate ``rounds`` service opportunities."""
+        rng = np.random.default_rng(seed)
+        scrip = np.full(self.n, self.initial_scrip, dtype=np.int64)
+        utilities = np.zeros(self.n)
+        requests_made = 0
+        requests_satisfied = 0
+        served_for_free = 0
+        weight = 1.0
+        for _ in range(rounds):
+            requester = int(rng.integers(self.n))
+            agent = self.agents[requester]
+            if agent.wants_to_spend(int(scrip[requester])):
+                requests_made += 1
+                volunteers = [
+                    j
+                    for j in range(self.n)
+                    if j != requester
+                    and self.agents[j].wants_to_volunteer(int(scrip[j]))
+                ]
+                if volunteers:
+                    worker = int(
+                        volunteers[int(rng.integers(len(volunteers)))]
+                    )
+                    requests_satisfied += 1
+                    utilities[requester] += weight * self.benefit
+                    utilities[worker] -= weight * self.cost
+                    self._settle(scrip, requester, worker)
+                    if self.agents[worker].works_for_free:
+                        served_for_free += 1
+            weight *= self.discount
+        return ScripSimulationResult(
+            utilities=utilities,
+            rounds=rounds,
+            requests_made=requests_made,
+            requests_satisfied=requests_satisfied,
+            final_scrip=scrip,
+            served_for_free=served_for_free,
+        )
+
+
+def best_response_threshold(
+    base_threshold: int,
+    candidate_thresholds: Sequence[int],
+    n_agents: int = 20,
+    rounds: int = 20_000,
+    benefit: float = 1.0,
+    cost: float = 0.2,
+    discount: float = 1.0,
+    seed: int = 0,
+) -> Tuple[int, Dict[int, float]]:
+    """Empirical best-response threshold for agent 0 when everyone else
+    plays ``base_threshold``.
+
+    Returns the utility-maximizing candidate and the utility map.
+    """
+    utilities: Dict[int, float] = {}
+    for candidate in candidate_thresholds:
+        agents: List[ScripAgent] = [ThresholdAgent(int(candidate))] + [
+            ThresholdAgent(int(base_threshold)) for _ in range(n_agents - 1)
+        ]
+        system = ScripSystem(
+            agents, benefit=benefit, cost=cost, discount=discount
+        )
+        result = system.run(rounds, seed=seed)
+        utilities[int(candidate)] = float(result.utilities[0])
+    best = max(utilities, key=lambda k: utilities[k])
+    return best, utilities
+
+
+def find_symmetric_threshold_equilibrium(
+    candidate_thresholds: Sequence[int],
+    n_agents: int = 20,
+    rounds: int = 20_000,
+    benefit: float = 1.0,
+    cost: float = 0.2,
+    discount: float = 1.0,
+    seed: int = 0,
+    tolerance: float = 0.0,
+) -> List[int]:
+    """Thresholds k such that k is an (empirical) best response to all-k.
+
+    ``tolerance`` relaxes the comparison: k qualifies when no candidate
+    beats it by more than ``tolerance`` (simulation noise allowance).
+    """
+    equilibria = []
+    for k in candidate_thresholds:
+        best, utilities = best_response_threshold(
+            int(k), candidate_thresholds,
+            n_agents=n_agents, rounds=rounds,
+            benefit=benefit, cost=cost, discount=discount, seed=seed,
+        )
+        if utilities[best] - utilities[int(k)] <= tolerance:
+            equilibria.append(int(k))
+    return equilibria

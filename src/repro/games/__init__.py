@@ -1,0 +1,29 @@
+"""Game representations: normal-form, Bayesian, extensive-form, repeated.
+
+These are the substrate every solution concept in the paper is defined over.
+"""
+
+from repro.games.normal_form import MixedProfile, NormalFormGame, PureProfile
+from repro.games.bayesian import BayesianGame, TypeProfile
+from repro.games.extensive import (
+    ChanceNode,
+    DecisionNode,
+    ExtensiveFormGame,
+    InformationSet,
+    TerminalNode,
+)
+from repro.games.repeated import RepeatedGame
+
+__all__ = [
+    "BayesianGame",
+    "ChanceNode",
+    "DecisionNode",
+    "ExtensiveFormGame",
+    "InformationSet",
+    "MixedProfile",
+    "NormalFormGame",
+    "PureProfile",
+    "RepeatedGame",
+    "TerminalNode",
+    "TypeProfile",
+]

@@ -1,0 +1,323 @@
+"""Finite Bayesian (incomplete-information) games.
+
+The paper's Section 2 results are stated for normal-form Bayesian games:
+each player ``i`` draws a type ``t_i`` from a finite type space with a
+commonly known prior, then chooses an action (possibly depending on the
+type); utilities depend on the full type profile and the action profile.
+
+A *strategy* for player ``i`` is a map from types to (mixed) actions,
+represented as a ``(|T_i|, |A_i|)`` row-stochastic matrix.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.games.normal_form import NormalFormGame, is_distribution
+
+__all__ = ["TypeProfile", "BayesianStrategy", "BayesianGame"]
+
+TypeProfile = Tuple[int, ...]
+BayesianStrategy = np.ndarray  # shape (num_types, num_actions), row-stochastic
+
+
+class BayesianGame:
+    """A finite normal-form Bayesian game.
+
+    Parameters
+    ----------
+    num_types:
+        ``num_types[i]`` is the number of types of player ``i``.
+    num_actions:
+        ``num_actions[i]`` is the number of actions of player ``i``.
+    prior:
+        Array of shape ``num_types`` giving the joint distribution over
+        type profiles.  Must sum to one.
+    payoff_fn:
+        Callable ``payoff_fn(types, actions) -> sequence of n utilities``.
+        Evaluated once per (type profile, action profile) at construction.
+    """
+
+    def __init__(
+        self,
+        num_types: Sequence[int],
+        num_actions: Sequence[int],
+        prior: np.ndarray,
+        payoff_fn,
+        players: Optional[Sequence[str]] = None,
+        name: str = "",
+    ) -> None:
+        self.num_types: Tuple[int, ...] = tuple(int(m) for m in num_types)
+        self.num_actions: Tuple[int, ...] = tuple(int(m) for m in num_actions)
+        if len(self.num_types) != len(self.num_actions):
+            raise ValueError("num_types and num_actions must have the same length")
+        self.n_players = len(self.num_types)
+        prior_arr = np.asarray(prior, dtype=float)
+        if prior_arr.shape != self.num_types:
+            raise ValueError(
+                f"prior shape {prior_arr.shape} != type-space shape {self.num_types}"
+            )
+        if np.any(prior_arr < -1e-12) or abs(prior_arr.sum() - 1.0) > 1e-9:
+            raise ValueError("prior must be a probability distribution")
+        self.prior = np.clip(prior_arr, 0.0, None)
+        self.prior /= self.prior.sum()
+        self.name = name
+        self.players = (
+            list(players)
+            if players is not None
+            else [f"P{i}" for i in range(self.n_players)]
+        )
+
+        # Payoff table: shape (n, *num_types, *num_actions)
+        table = np.zeros((self.n_players, *self.num_types, *self.num_actions))
+        for types in itertools.product(*(range(m) for m in self.num_types)):
+            for actions in itertools.product(*(range(m) for m in self.num_actions)):
+                values = payoff_fn(types, actions)
+                for i in range(self.n_players):
+                    table[(i, *types, *actions)] = values[i]
+        self.payoff_table = table
+
+    # ------------------------------------------------------------------
+    # Strategies
+    # ------------------------------------------------------------------
+
+    def pure_strategy(self, player: int, action_of_type: Sequence[int]) -> np.ndarray:
+        """The deterministic strategy mapping type ``k`` to ``action_of_type[k]``."""
+        if len(action_of_type) != self.num_types[player]:
+            raise ValueError("need one action per type")
+        strat = np.zeros((self.num_types[player], self.num_actions[player]))
+        for t, a in enumerate(action_of_type):
+            strat[t, a] = 1.0
+        return strat
+
+    def uniform_strategy(self, player: int) -> np.ndarray:
+        """The strategy mixing uniformly at every type."""
+        m = self.num_actions[player]
+        return np.full((self.num_types[player], m), 1.0 / m)
+
+    def validate_strategy(self, player: int, strategy: np.ndarray) -> None:
+        """Raise unless ``strategy`` is a row-stochastic type->action matrix."""
+        arr = np.asarray(strategy, dtype=float)
+        expected = (self.num_types[player], self.num_actions[player])
+        if arr.shape != expected:
+            raise ValueError(
+                f"player {player} strategy has shape {arr.shape}, expected {expected}"
+            )
+        for t in range(arr.shape[0]):
+            if not is_distribution(arr[t], tol=1e-6):
+                raise ValueError(
+                    f"player {player} strategy row {t} is not a distribution"
+                )
+
+    def validate_profile(self, profile: Sequence[np.ndarray]) -> None:
+        if len(profile) != self.n_players:
+            raise ValueError("wrong number of strategies in profile")
+        for i, strat in enumerate(profile):
+            self.validate_strategy(i, strat)
+
+    def pure_strategy_space(self, player: int) -> Iterator[Tuple[int, ...]]:
+        """All deterministic type->action maps of a player."""
+        return itertools.product(
+            range(self.num_actions[player]), repeat=self.num_types[player]
+        )
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+
+    def type_profiles(self) -> Iterator[TypeProfile]:
+        return itertools.product(*(range(m) for m in self.num_types))
+
+    def conditional_prior(self, player: int, own_type: int) -> np.ndarray:
+        """Distribution over opponents' type profiles given ``player``'s type.
+
+        Returned with shape ``num_types`` but with mass only where
+        ``types[player] == own_type`` (kept full-shape for easy contraction).
+        """
+        mask = np.zeros(self.num_types)
+        index = [slice(None)] * self.n_players
+        index[player] = own_type
+        mask[tuple(index)] = 1.0
+        joint = self.prior * mask
+        total = joint.sum()
+        if total <= 0.0:
+            raise ValueError(
+                f"player {player} type {own_type} has prior probability zero"
+            )
+        return joint / total
+
+    def expected_payoff_given_types(
+        self, player: int, types: TypeProfile, profile: Sequence[np.ndarray]
+    ) -> float:
+        """Expected utility of ``player`` when the realized types are ``types``."""
+        tensor = self.payoff_table[(player, *types)]
+        for j in range(self.n_players):
+            vec = np.asarray(profile[j][types[j]], dtype=float)
+            tensor = np.tensordot(vec, tensor, axes=(0, 0))
+        return float(tensor)
+
+    def ex_ante_payoff(self, player: int, profile: Sequence[np.ndarray]) -> float:
+        """Expected utility of ``player`` before types are drawn."""
+        total = 0.0
+        for types in self.type_profiles():
+            p = float(self.prior[types])
+            if p == 0.0:
+                continue
+            total += p * self.expected_payoff_given_types(player, types, profile)
+        return total
+
+    def ex_ante_payoffs(self, profile: Sequence[np.ndarray]) -> np.ndarray:
+        return np.array(
+            [self.ex_ante_payoff(i, profile) for i in range(self.n_players)]
+        )
+
+    def interim_payoff(
+        self, player: int, own_type: int, profile: Sequence[np.ndarray]
+    ) -> float:
+        """Expected utility of ``player`` conditioned on their own type."""
+        cond = self.conditional_prior(player, own_type)
+        total = 0.0
+        for types in self.type_profiles():
+            p = float(cond[types])
+            if p == 0.0:
+                continue
+            total += p * self.expected_payoff_given_types(player, types, profile)
+        return total
+
+    # ------------------------------------------------------------------
+    # Equilibrium
+    # ------------------------------------------------------------------
+
+    def best_response_values(
+        self, player: int, profile: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Per-type best-response values for ``player`` against ``profile``.
+
+        Returns an array of shape ``(num_types[player],)`` whose entry ``t``
+        is the highest interim utility type ``t`` can achieve with any
+        (pure, hence also mixed) action.
+        """
+        values = np.full(self.num_types[player], -np.inf)
+        for own_type in range(self.num_types[player]):
+            if self.type_probability(player, own_type) == 0.0:
+                values[own_type] = 0.0
+                continue
+            cond = self.conditional_prior(player, own_type)
+            action_values = np.zeros(self.num_actions[player])
+            for types in self.type_profiles():
+                p = float(cond[types])
+                if p == 0.0:
+                    continue
+                tensor = self.payoff_table[(player, *types)]
+                for j in range(self.n_players - 1, -1, -1):
+                    if j == player:
+                        continue
+                    vec = np.asarray(profile[j][types[j]], dtype=float)
+                    tensor = np.tensordot(tensor, vec, axes=(j, 0))
+                action_values += p * np.asarray(tensor, dtype=float)
+            values[own_type] = action_values.max()
+        return values
+
+    def type_probability(self, player: int, own_type: int) -> float:
+        """Marginal prior probability of ``player`` having type ``own_type``."""
+        axes = tuple(j for j in range(self.n_players) if j != player)
+        marg = self.prior.sum(axis=axes) if axes else self.prior
+        return float(marg[own_type])
+
+    def interim_regret(self, player: int, profile: Sequence[np.ndarray]) -> float:
+        """Max over types of the gain from deviating at that type."""
+        worst = 0.0
+        for own_type in range(self.num_types[player]):
+            if self.type_probability(player, own_type) == 0.0:
+                continue
+            best = self.best_response_values(player, profile)[own_type]
+            have = self.interim_payoff(player, own_type, profile)
+            worst = max(worst, best - have)
+        return worst
+
+    def is_bayes_nash(
+        self, profile: Sequence[np.ndarray], tol: float = 1e-6
+    ) -> bool:
+        """Check interim (hence ex-ante) ε-Bayes-Nash equilibrium."""
+        self.validate_profile(profile)
+        return all(
+            self.interim_regret(i, profile) <= tol for i in range(self.n_players)
+        )
+
+    def pure_bayes_nash_equilibria(
+        self, tol: float = 1e-9
+    ) -> List[Tuple[Tuple[int, ...], ...]]:
+        """Enumerate pure Bayes-Nash equilibria (maps from types to actions).
+
+        Exponential in the number of types; intended for the small games the
+        paper discusses.
+        """
+        spaces = [list(self.pure_strategy_space(i)) for i in range(self.n_players)]
+        out = []
+        for combo in itertools.product(*spaces):
+            profile = [
+                self.pure_strategy(i, combo[i]) for i in range(self.n_players)
+            ]
+            if self.is_bayes_nash(profile, tol=tol):
+                out.append(combo)
+        return out
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+
+    def agent_form(self) -> NormalFormGame:
+        """The induced one-shot game over pure type->action strategies.
+
+        Player ``i``'s actions in the agent form are the deterministic maps
+        from their types to actions; payoffs are ex-ante expectations.
+        Useful for handing Bayesian games to normal-form solvers.
+        """
+        spaces = [list(self.pure_strategy_space(i)) for i in range(self.n_players)]
+        shape = (self.n_players, *(len(s) for s in spaces))
+        tensor = np.zeros(shape)
+        for combo_idx in itertools.product(*(range(len(s)) for s in spaces)):
+            profile = [
+                self.pure_strategy(i, spaces[i][combo_idx[i]])
+                for i in range(self.n_players)
+            ]
+            values = self.ex_ante_payoffs(profile)
+            for i in range(self.n_players):
+                tensor[(i, *combo_idx)] = values[i]
+        labels = [
+            ["".join(str(a) for a in strat) for strat in spaces[i]]
+            for i in range(self.n_players)
+        ]
+        return NormalFormGame(
+            tensor,
+            players=self.players,
+            action_labels=labels,
+            name=(self.name + " (agent form)") if self.name else "agent form",
+        )
+
+    @classmethod
+    def from_normal_form(cls, game: NormalFormGame) -> "BayesianGame":
+        """Embed a complete-information game as a 1-type-per-player Bayesian game."""
+        prior = np.ones((1,) * game.n_players)
+
+        def payoff_fn(_types, actions):
+            return game.payoff_vector(actions)
+
+        return cls(
+            num_types=[1] * game.n_players,
+            num_actions=game.num_actions,
+            prior=prior,
+            payoff_fn=payoff_fn,
+            players=game.players,
+            name=game.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "BayesianGame"
+        return (
+            f"<{label}: {self.n_players} players, types {self.num_types}, "
+            f"actions {self.num_actions}>"
+        )

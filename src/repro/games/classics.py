@@ -1,0 +1,268 @@
+"""Every concrete game the paper mentions, as ready-made constructors.
+
+Includes the paper's own examples (Sections 2-4) plus the standard small
+games used to validate the solver substrate.
+
+Notes on fidelity:
+
+* ``prisoners_dilemma`` uses the payoff table printed in Example 3.2:
+  ``(C,C)=(3,3); (C,D)=(-5,5); (D,C)=(5,-5); (D,D)=(-3,-3)``.  The prose in
+  the same example says mutual defection "both get 1"; the printed table is
+  taken as authoritative, and ``prisoners_dilemma_prose`` provides the prose
+  variant (3/1/5/-5 structure) for completeness.
+* Figure 1's payoffs are not legible in the text (the figure is an image).
+  ``figure1_game`` uses payoffs chosen to satisfy every property the prose
+  asserts: (across_A, down_B) is a Nash equilibrium; an A unaware of down_B
+  strictly prefers down_A; and A aware of down_B strictly prefers across_A.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.games.bayesian import BayesianGame
+from repro.games.extensive import ExtensiveFormGame
+from repro.games.normal_form import NormalFormGame
+
+__all__ = [
+    "prisoners_dilemma",
+    "prisoners_dilemma_prose",
+    "roshambo",
+    "matching_pennies",
+    "coordination_01_game",
+    "bargaining_game",
+    "stag_hunt",
+    "chicken",
+    "battle_of_the_sexes",
+    "figure1_game",
+    "byzantine_agreement_game",
+    "primality_game",
+    "COOPERATE",
+    "DEFECT",
+    "ROCK",
+    "PAPER",
+    "SCISSORS",
+]
+
+COOPERATE = 0
+DEFECT = 1
+
+ROCK = 0
+PAPER = 1
+SCISSORS = 2
+
+
+def prisoners_dilemma() -> NormalFormGame:
+    """Example 3.2's prisoner's dilemma (payoff table as printed)."""
+    return NormalFormGame.from_bimatrix(
+        row_payoffs=[[3.0, -5.0], [5.0, -3.0]],
+        col_payoffs=[[3.0, 5.0], [-5.0, -3.0]],
+        action_labels=[["C", "D"], ["C", "D"]],
+        name="Prisoner's Dilemma",
+    )
+
+
+def prisoners_dilemma_prose() -> NormalFormGame:
+    """The prose variant of Example 3.2 where mutual defection yields 1."""
+    return NormalFormGame.from_bimatrix(
+        row_payoffs=[[3.0, -5.0], [5.0, 1.0]],
+        col_payoffs=[[3.0, 5.0], [-5.0, 1.0]],
+        action_labels=[["C", "D"], ["C", "D"]],
+        name="Prisoner's Dilemma (prose payoffs)",
+    )
+
+
+def roshambo() -> NormalFormGame:
+    """Example 3.3's rock-paper-scissors, actions 0/1/2, payoff via i = j ⊕ 1.
+
+    Player 1 wins (+1) at outcome ``(i, j)`` when ``i == (j + 1) % 3``;
+    loses (-1) when ``j == (i + 1) % 3``; ties at 0.  Zero-sum.
+    """
+    a = np.zeros((3, 3))
+    for i in range(3):
+        for j in range(3):
+            if i == (j + 1) % 3:
+                a[i, j] = 1.0
+            elif j == (i + 1) % 3:
+                a[i, j] = -1.0
+    return NormalFormGame.from_bimatrix(
+        row_payoffs=a,
+        action_labels=[["rock", "paper", "scissors"]] * 2,
+        name="Roshambo",
+    )
+
+
+def matching_pennies() -> NormalFormGame:
+    """The canonical 2x2 zero-sum game (solver validation)."""
+    return NormalFormGame.from_bimatrix(
+        row_payoffs=[[1.0, -1.0], [-1.0, 1.0]],
+        action_labels=[["heads", "tails"]] * 2,
+        name="Matching Pennies",
+    )
+
+
+def coordination_01_game(n_players: int) -> NormalFormGame:
+    """Section 2's 0/1 game showing Nash is not 2-resilient.
+
+    Everyone plays 0 or 1.  All-0 pays everyone 1; exactly two 1s pay the
+    deviating pair 2 each and everyone else 0; anything else pays all 0.
+    """
+    if n_players <= 1:
+        raise ValueError("the paper's game requires n > 1")
+
+    def payoff_fn(profile: Tuple[int, ...]) -> Sequence[float]:
+        ones = sum(profile)
+        if ones == 0:
+            return [1.0] * n_players
+        if ones == 2:
+            return [2.0 if a == 1 else 0.0 for a in profile]
+        return [0.0] * n_players
+
+    return NormalFormGame.from_payoff_function(
+        n_players,
+        [2] * n_players,
+        payoff_fn,
+        action_labels=[["0", "1"]] * n_players,
+        name=f"0/1 coordination game (n={n_players})",
+    )
+
+
+def bargaining_game(n_players: int) -> NormalFormGame:
+    """Section 2's bargaining game: resilient for every k, yet fragile.
+
+    Everyone staying pays 2 each.  If anyone leaves, leavers get 1 and
+    stayers get 0.  Action 0 = stay, action 1 = leave.
+    """
+    if n_players < 1:
+        raise ValueError("need at least one bargainer")
+
+    def payoff_fn(profile: Tuple[int, ...]) -> Sequence[float]:
+        leavers = sum(profile)
+        if leavers == 0:
+            return [2.0] * n_players
+        return [1.0 if a == 1 else 0.0 for a in profile]
+
+    return NormalFormGame.from_payoff_function(
+        n_players,
+        [2] * n_players,
+        payoff_fn,
+        action_labels=[["stay", "leave"]] * n_players,
+        name=f"bargaining game (n={n_players})",
+    )
+
+
+def stag_hunt() -> NormalFormGame:
+    """Standard stag hunt (two pure equilibria; solver validation)."""
+    return NormalFormGame.symmetric_two_player(
+        [[4.0, 0.0], [3.0, 2.0]],
+        action_labels=[["stag", "hare"]] * 2,
+        name="Stag Hunt",
+    )
+
+
+def chicken() -> NormalFormGame:
+    """Standard chicken/hawk-dove (mixed equilibrium; solver validation)."""
+    return NormalFormGame.symmetric_two_player(
+        [[0.0, -1.0], [1.0, -10.0]],
+        action_labels=[["swerve", "straight"]] * 2,
+        name="Chicken",
+    )
+
+
+def battle_of_the_sexes() -> NormalFormGame:
+    """Standard battle of the sexes (coordination with conflict)."""
+    return NormalFormGame.from_bimatrix(
+        row_payoffs=[[3.0, 0.0], [0.0, 2.0]],
+        col_payoffs=[[2.0, 0.0], [0.0, 3.0]],
+        action_labels=[["ballet", "boxing"]] * 2,
+        name="Battle of the Sexes",
+    )
+
+
+def figure1_game() -> ExtensiveFormGame:
+    """Section 4's Figure 1 game (see module docstring on payoff choice).
+
+    * A moves first: ``down_A`` ends the game with payoffs ``(1, 1)``.
+    * After ``across_A``, B chooses: ``across_B`` gives ``(0, 0)``;
+      ``down_B`` gives ``(2, 2)``.
+
+    Properties matching the prose:
+
+    * ``(across_A, down_B)`` is a Nash equilibrium (indeed subgame perfect).
+    * If A is unaware of ``down_B``, A models B as forced to play
+      ``across_B``, so rational A plays ``down_A`` (1 > 0).
+    * Aware A plays ``across_A`` (2 > 1).
+    """
+    game = ExtensiveFormGame(n_players=2, name="Figure 1")
+    game.add_decision((), player=0, moves=("across_A", "down_A"), infoset="A")
+    game.add_terminal(("down_A",), (1.0, 1.0))
+    game.add_decision(
+        ("across_A",), player=1, moves=("across_B", "down_B"), infoset="B"
+    )
+    game.add_terminal(("across_A", "across_B"), (0.0, 0.0))
+    game.add_terminal(("across_A", "down_B"), (2.0, 2.0))
+    return game.finalize()
+
+
+def byzantine_agreement_game(
+    n_players: int, prior_attack: float = 0.5
+) -> BayesianGame:
+    """Byzantine agreement as the Bayesian game of Section 2.
+
+    Player 0 is the general, whose type is their initial preference
+    (0 = retreat, 1 = attack); other players have a single dummy type.
+    Actions are 0 = retreat, 1 = attack.  Every player gets 1 when the
+    outcome satisfies the BA specification relative to the general's type
+    (everyone decides alike, and like the general), else 0.
+
+    This is the game form used to reason about mediator implementation;
+    the distributed protocol lives in :mod:`repro.dist.agreement`.
+    """
+    if n_players < 2:
+        raise ValueError("Byzantine agreement needs at least two players")
+    if not 0.0 <= prior_attack <= 1.0:
+        raise ValueError("prior_attack must be a probability")
+    num_types = [2] + [1] * (n_players - 1)
+    prior = np.zeros(num_types)
+    prior[(0,) + (0,) * (n_players - 1)] = 1.0 - prior_attack
+    prior[(1,) + (0,) * (n_players - 1)] = prior_attack
+
+    def payoff_fn(types, actions):
+        general_pref = types[0]
+        agreed = len(set(actions)) == 1
+        correct = agreed and actions[0] == general_pref
+        return [1.0 if correct else 0.0] * n_players
+
+    return BayesianGame(
+        num_types=num_types,
+        num_actions=[2] * n_players,
+        prior=prior,
+        payoff_fn=payoff_fn,
+        name=f"Byzantine agreement game (n={n_players})",
+    )
+
+
+def primality_game(
+    is_prime: bool,
+    reward_correct: float = 10.0,
+    penalty_wrong: float = -10.0,
+    reward_safe: float = 1.0,
+) -> NormalFormGame:
+    """Example 3.1's primality game for a *fixed* input number.
+
+    One player, three actions: guess "prime", guess "composite", or play
+    safe.  The computational version (where the input is a type and
+    strategies are machines) lives in
+    :func:`repro.core.computational.primality_machine_game`.
+    """
+    payoffs = np.zeros((1, 3))
+    payoffs[0, 0] = reward_correct if is_prime else penalty_wrong
+    payoffs[0, 1] = penalty_wrong if is_prime else reward_correct
+    payoffs[0, 2] = reward_safe
+    return NormalFormGame(
+        payoffs,
+        action_labels=[["say_prime", "say_composite", "safe"]],
+        name="Primality game",
+    )

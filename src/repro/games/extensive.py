@@ -1,0 +1,461 @@
+"""Finite extensive-form games with chance moves and information sets.
+
+This is the substrate for Section 4 of the paper (games with awareness):
+an extensive game is a tree whose internal nodes are either chance nodes or
+decision nodes owned by a player, decision nodes are partitioned into
+information sets, and leaves carry payoff vectors.
+
+Histories are tuples of move labels from the root; they double as node
+identifiers, matching the paper's use of "history" and "node"
+interchangeably.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.games.normal_form import NormalFormGame
+
+__all__ = [
+    "History",
+    "TerminalNode",
+    "DecisionNode",
+    "ChanceNode",
+    "InformationSet",
+    "ExtensiveFormGame",
+    "BehavioralStrategy",
+]
+
+History = Tuple[str, ...]
+
+# A behavioral strategy maps information-set ids to distributions over the
+# moves available there: {infoset_id: {move_label: probability}}.
+BehavioralStrategy = Dict[str, Dict[str, float]]
+
+
+@dataclass
+class TerminalNode:
+    """A leaf of the game tree carrying one payoff per player."""
+
+    history: History
+    payoffs: Tuple[float, ...]
+
+
+@dataclass
+class DecisionNode:
+    """An internal node where ``player`` chooses among ``moves``."""
+
+    history: History
+    player: int
+    moves: Tuple[str, ...]
+    infoset: str
+
+
+@dataclass
+class ChanceNode:
+    """An internal node where nature moves according to ``distribution``."""
+
+    history: History
+    distribution: Dict[str, float]
+
+    @property
+    def moves(self) -> Tuple[str, ...]:
+        return tuple(self.distribution.keys())
+
+
+@dataclass
+class InformationSet:
+    """A player's information set: histories the player cannot distinguish."""
+
+    label: str
+    player: int
+    histories: Tuple[History, ...]
+    moves: Tuple[str, ...]
+
+
+class ExtensiveFormGame:
+    """A finite extensive-form game built incrementally.
+
+    Typical construction::
+
+        game = ExtensiveFormGame(n_players=2, name="Figure 1")
+        game.add_decision((), player=0, moves=("across_A", "down_A"))
+        game.add_terminal(("down_A",), (1.0, 1.0))
+        game.add_decision(("across_A",), player=1, moves=("across_B", "down_B"))
+        game.add_terminal(("across_A", "across_B"), (0.0, 2.0))
+        game.add_terminal(("across_A", "down_B"), (3.0, 1.0))
+        game.finalize()
+
+    ``finalize`` checks tree integrity (every declared move leads to an
+    added node, information-set move consistency, payoff arity).
+    """
+
+    def __init__(self, n_players: int, name: str = "") -> None:
+        if n_players < 1:
+            raise ValueError("need at least one player")
+        self.n_players = n_players
+        self.name = name
+        self.nodes: Dict[History, object] = {}
+        self._infoset_members: Dict[str, List[History]] = {}
+        self._infoset_player: Dict[str, int] = {}
+        self._infoset_moves: Dict[str, Tuple[str, ...]] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_decision(
+        self,
+        history: Sequence[str],
+        player: int,
+        moves: Sequence[str],
+        infoset: Optional[str] = None,
+    ) -> DecisionNode:
+        """Add a decision node; ``infoset`` defaults to a singleton set."""
+        self._check_mutable()
+        h = tuple(history)
+        if h in self.nodes:
+            raise ValueError(f"duplicate history {h}")
+        if not 0 <= player < self.n_players:
+            raise ValueError(f"player {player} out of range")
+        if len(moves) == 0:
+            raise ValueError("decision node needs at least one move")
+        if len(set(moves)) != len(moves):
+            raise ValueError("duplicate move labels at a node")
+        if infoset is not None:
+            label = infoset
+        else:
+            label = "I:" + "/".join(h) if h else "I:root"
+        moves_t = tuple(moves)
+        if label in self._infoset_moves:
+            if self._infoset_moves[label] != moves_t:
+                raise ValueError(
+                    f"infoset {label!r} already has moves "
+                    f"{self._infoset_moves[label]}, got {moves_t}"
+                )
+            if self._infoset_player[label] != player:
+                raise ValueError(f"infoset {label!r} owned by another player")
+        else:
+            self._infoset_moves[label] = moves_t
+            self._infoset_player[label] = player
+            self._infoset_members[label] = []
+        self._infoset_members[label].append(h)
+        node = DecisionNode(history=h, player=player, moves=moves_t, infoset=label)
+        self.nodes[h] = node
+        return node
+
+    def add_chance(
+        self, history: Sequence[str], distribution: Mapping[str, float]
+    ) -> ChanceNode:
+        """Add a chance node with the given move distribution."""
+        self._check_mutable()
+        h = tuple(history)
+        if h in self.nodes:
+            raise ValueError(f"duplicate history {h}")
+        dist = {str(k): float(v) for k, v in distribution.items()}
+        if not dist:
+            raise ValueError("chance node needs at least one branch")
+        if any(v < 0 for v in dist.values()) or abs(sum(dist.values()) - 1.0) > 1e-9:
+            raise ValueError("chance distribution must be a probability distribution")
+        node = ChanceNode(history=h, distribution=dist)
+        self.nodes[h] = node
+        return node
+
+    def add_terminal(
+        self, history: Sequence[str], payoffs: Sequence[float]
+    ) -> TerminalNode:
+        """Add a leaf with one payoff per player."""
+        self._check_mutable()
+        h = tuple(history)
+        if h in self.nodes:
+            raise ValueError(f"duplicate history {h}")
+        if len(payoffs) != self.n_players:
+            raise ValueError(
+                f"payoff vector has {len(payoffs)} entries for "
+                f"{self.n_players} players"
+            )
+        node = TerminalNode(history=h, payoffs=tuple(float(p) for p in payoffs))
+        self.nodes[h] = node
+        return node
+
+    def finalize(self) -> "ExtensiveFormGame":
+        """Validate tree integrity; the game becomes immutable afterwards."""
+        if () not in self.nodes:
+            raise ValueError("game has no root (empty-history node)")
+        for h, node in self.nodes.items():
+            if isinstance(node, TerminalNode):
+                continue
+            for move in node.moves:
+                child = h + (move,)
+                if child not in self.nodes:
+                    raise ValueError(f"move {move!r} at {h} leads nowhere")
+        for h in self.nodes:
+            if h and h[:-1] not in self.nodes:
+                raise ValueError(f"history {h} has no parent node")
+            if h:
+                parent = self.nodes[h[:-1]]
+                if isinstance(parent, TerminalNode):
+                    raise ValueError(f"history {h} extends a terminal node")
+                if h[-1] not in parent.moves:
+                    raise ValueError(f"history {h} uses an undeclared move")
+        self._finalized = True
+        return self
+
+    def _check_mutable(self) -> None:
+        if self._finalized:
+            raise RuntimeError("game is finalized; build a new one instead")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> object:
+        return self.nodes[()]
+
+    def information_sets(self, player: Optional[int] = None) -> List[InformationSet]:
+        """All information sets, optionally filtered by owner."""
+        out = []
+        for label, members in self._infoset_members.items():
+            owner = self._infoset_player[label]
+            if player is not None and owner != player:
+                continue
+            out.append(
+                InformationSet(
+                    label=label,
+                    player=owner,
+                    histories=tuple(members),
+                    moves=self._infoset_moves[label],
+                )
+            )
+        return out
+
+    def infoset_of(self, history: Sequence[str]) -> InformationSet:
+        node = self.nodes[tuple(history)]
+        if not isinstance(node, DecisionNode):
+            raise ValueError(f"{history} is not a decision node")
+        return next(
+            info
+            for info in self.information_sets()
+            if info.label == node.infoset
+        )
+
+    def terminal_histories(self) -> List[History]:
+        return [
+            h for h, node in self.nodes.items() if isinstance(node, TerminalNode)
+        ]
+
+    def all_histories(self) -> List[History]:
+        return list(self.nodes.keys())
+
+    def has_perfect_information(self) -> bool:
+        """True if every information set is a singleton."""
+        return all(len(m) == 1 for m in self._infoset_members.values())
+
+    def max_depth(self) -> int:
+        return max(len(h) for h in self.nodes)
+
+    # ------------------------------------------------------------------
+    # Strategies and evaluation
+    # ------------------------------------------------------------------
+
+    def pure_strategies(self, player: int) -> Iterator[Dict[str, str]]:
+        """All pure strategies of ``player``: move choices at each infoset."""
+        infosets = self.information_sets(player)
+        labels = [info.label for info in infosets]
+        move_lists = [info.moves for info in infosets]
+        for combo in itertools.product(*move_lists):
+            yield dict(zip(labels, combo))
+
+    def behavioral_from_pure(self, player: int, pure: Mapping[str, str]) -> BehavioralStrategy:
+        """Represent a pure strategy as a degenerate behavioral strategy."""
+        out: BehavioralStrategy = {}
+        for info in self.information_sets(player):
+            choice = pure[info.label]
+            if choice not in info.moves:
+                raise ValueError(f"{choice!r} is not a move at {info.label!r}")
+            out[info.label] = {m: 1.0 if m == choice else 0.0 for m in info.moves}
+        return out
+
+    def uniform_behavioral(self, player: int) -> BehavioralStrategy:
+        """The behavioral strategy mixing uniformly at every infoset."""
+        out: BehavioralStrategy = {}
+        for info in self.information_sets(player):
+            p = 1.0 / len(info.moves)
+            out[info.label] = {m: p for m in info.moves}
+        return out
+
+    def validate_behavioral(self, player: int, strategy: BehavioralStrategy) -> None:
+        for info in self.information_sets(player):
+            if info.label not in strategy:
+                raise ValueError(f"strategy missing infoset {info.label!r}")
+            dist = strategy[info.label]
+            if set(dist) != set(info.moves):
+                raise ValueError(
+                    f"strategy at {info.label!r} must cover moves {info.moves}"
+                )
+            total = sum(dist.values())
+            if any(v < -1e-9 for v in dist.values()) or abs(total - 1.0) > 1e-6:
+                raise ValueError(f"strategy at {info.label!r} is not a distribution")
+
+    def outcome_distribution(
+        self, profile: Sequence[BehavioralStrategy]
+    ) -> Dict[History, float]:
+        """Distribution over terminal histories induced by a behavioral profile."""
+        if len(profile) != self.n_players:
+            raise ValueError("need one behavioral strategy per player")
+        reach: Dict[History, float] = {(): 1.0}
+        outcome: Dict[History, float] = {}
+        stack: List[History] = [()]
+        while stack:
+            h = stack.pop()
+            p = reach[h]
+            node = self.nodes[h]
+            if isinstance(node, TerminalNode):
+                outcome[h] = outcome.get(h, 0.0) + p
+                continue
+            if isinstance(node, ChanceNode):
+                for move, q in node.distribution.items():
+                    child = h + (move,)
+                    reach[child] = p * q
+                    if q > 0.0:
+                        stack.append(child)
+                continue
+            dist = profile[node.player].get(node.infoset)
+            if dist is None:
+                raise ValueError(
+                    f"player {node.player} strategy missing infoset "
+                    f"{node.infoset!r}"
+                )
+            for move in node.moves:
+                q = float(dist.get(move, 0.0))
+                child = h + (move,)
+                reach[child] = p * q
+                if q > 0.0:
+                    stack.append(child)
+        return outcome
+
+    def expected_payoffs(self, profile: Sequence[BehavioralStrategy]) -> np.ndarray:
+        """Expected payoff vector under a behavioral profile."""
+        totals = np.zeros(self.n_players)
+        for h, p in self.outcome_distribution(profile).items():
+            node = self.nodes[h]
+            assert isinstance(node, TerminalNode)
+            totals += p * np.asarray(node.payoffs)
+        return totals
+
+    def expected_payoff(
+        self, player: int, profile: Sequence[BehavioralStrategy]
+    ) -> float:
+        return float(self.expected_payoffs(profile)[player])
+
+    # ------------------------------------------------------------------
+    # Equilibrium helpers
+    # ------------------------------------------------------------------
+
+    def best_response_value(
+        self, player: int, profile: Sequence[BehavioralStrategy]
+    ) -> float:
+        """Value of ``player``'s best pure strategy against ``profile``.
+
+        Exhaustive over the player's pure strategies (fine for the small
+        trees the paper uses; the awareness solver relies on this).
+        """
+        best = -np.inf
+        for pure in self.pure_strategies(player):
+            candidate = list(profile)
+            candidate[player] = self.behavioral_from_pure(player, pure)
+            best = max(best, self.expected_payoff(player, candidate))
+        return best
+
+    def regret(self, player: int, profile: Sequence[BehavioralStrategy]) -> float:
+        return self.best_response_value(player, profile) - self.expected_payoff(
+            player, profile
+        )
+
+    def is_nash(
+        self, profile: Sequence[BehavioralStrategy], tol: float = 1e-9
+    ) -> bool:
+        """Is the behavioral profile an ε-Nash equilibrium of the tree game?"""
+        for i in range(self.n_players):
+            self.validate_behavioral(i, profile[i])
+        return all(self.regret(i, profile) <= tol for i in range(self.n_players))
+
+    def backward_induction(self) -> Tuple[List[BehavioralStrategy], np.ndarray]:
+        """Subgame-perfect equilibrium by backward induction.
+
+        Requires perfect information.  Ties are broken toward the
+        lexicographically first move.  Returns (profile, root value vector).
+        """
+        if not self.has_perfect_information():
+            raise ValueError("backward induction requires perfect information")
+        profile: List[BehavioralStrategy] = [dict() for _ in range(self.n_players)]
+        values: Dict[History, np.ndarray] = {}
+
+        for h in sorted(self.nodes, key=len, reverse=True):
+            node = self.nodes[h]
+            if isinstance(node, TerminalNode):
+                values[h] = np.asarray(node.payoffs, dtype=float)
+            elif isinstance(node, ChanceNode):
+                total = np.zeros(self.n_players)
+                for move, q in node.distribution.items():
+                    total += q * values[h + (move,)]
+                values[h] = total
+            else:
+                best_move = max(
+                    node.moves, key=lambda m: values[h + (m,)][node.player]
+                )
+                profile[node.player][node.infoset] = {
+                    m: 1.0 if m == best_move else 0.0 for m in node.moves
+                }
+                values[h] = values[h + (best_move,)]
+        return profile, values[()]
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+
+    def to_normal_form(self) -> Tuple[NormalFormGame, List[List[Dict[str, str]]]]:
+        """The induced normal form over pure strategies.
+
+        Returns the game plus, per player, the pure-strategy list indexing
+        the normal-form actions.
+        """
+        strategy_lists = [
+            list(self.pure_strategies(i)) for i in range(self.n_players)
+        ]
+        shape = (self.n_players, *(len(s) for s in strategy_lists))
+        tensor = np.zeros(shape)
+        for combo in itertools.product(*(range(len(s)) for s in strategy_lists)):
+            profile = [
+                self.behavioral_from_pure(i, strategy_lists[i][combo[i]])
+                for i in range(self.n_players)
+            ]
+            payoffs = self.expected_payoffs(profile)
+            for i in range(self.n_players):
+                tensor[(i, *combo)] = payoffs[i]
+        labels = [
+            [
+                ",".join(f"{k}={v}" for k, v in sorted(strat.items())) or "·"
+                for strat in strategy_lists[i]
+            ]
+            for i in range(self.n_players)
+        ]
+        game = NormalFormGame(
+            tensor,
+            action_labels=labels,
+            name=(self.name + " (normal form)") if self.name else "normal form",
+        )
+        return game, strategy_lists
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "ExtensiveFormGame"
+        return (
+            f"<{label}: {self.n_players} players, {len(self.nodes)} nodes, "
+            f"{len(self.terminal_histories())} outcomes>"
+        )

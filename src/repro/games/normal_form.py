@@ -1,0 +1,404 @@
+"""Normal-form (strategic-form) games over payoff tensors.
+
+A :class:`NormalFormGame` stores one payoff tensor per player.  For an
+``n``-player game in which player ``i`` has ``m_i`` actions, the payoff
+tensor has shape ``(n, m_0, m_1, ..., m_{n-1})``; entry
+``payoffs[i, a_0, ..., a_{n-1}]`` is player ``i``'s utility at the pure
+action profile ``(a_0, ..., a_{n-1})``.
+
+Mixed strategies are 1-D probability vectors; a mixed profile is one such
+vector per player.  Expected utility is the multilinear contraction of the
+payoff tensor with the profile, so every equilibrium notion in this library
+bottoms out in :meth:`NormalFormGame.expected_payoff`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "PureProfile",
+    "MixedProfile",
+    "NormalFormGame",
+    "pure_profiles",
+    "profile_as_mixed",
+    "is_distribution",
+    "normalize_distribution",
+]
+
+PureProfile = Tuple[int, ...]
+MixedProfile = List[np.ndarray]
+
+
+def is_distribution(vector: np.ndarray, tol: float = 1e-9) -> bool:
+    """Return True if ``vector`` is a probability distribution within ``tol``."""
+    arr = np.asarray(vector, dtype=float)
+    if arr.ndim != 1:
+        return False
+    if np.any(arr < -tol):
+        return False
+    return bool(abs(float(arr.sum()) - 1.0) <= tol)
+
+
+def normalize_distribution(vector: Sequence[float]) -> np.ndarray:
+    """Clip negatives to zero and rescale so the entries sum to one."""
+    arr = np.clip(np.asarray(vector, dtype=float), 0.0, None)
+    total = arr.sum()
+    if total <= 0.0:
+        raise ValueError("cannot normalize a vector with no positive mass")
+    return arr / total
+
+
+def pure_profiles(num_actions: Sequence[int]) -> Iterator[PureProfile]:
+    """Iterate over all pure action profiles of a game with these action counts."""
+    return itertools.product(*(range(m) for m in num_actions))
+
+
+def profile_as_mixed(profile: PureProfile, num_actions: Sequence[int]) -> MixedProfile:
+    """Embed a pure profile as the corresponding degenerate mixed profile."""
+    mixed = []
+    for action, count in zip(profile, num_actions):
+        vec = np.zeros(count)
+        vec[action] = 1.0
+        mixed.append(vec)
+    return mixed
+
+
+class NormalFormGame:
+    """An ``n``-player finite game in strategic form.
+
+    Parameters
+    ----------
+    payoffs:
+        Array-like of shape ``(n, m_0, ..., m_{n-1})``.
+    players:
+        Optional list of player names (defaults to ``"P0", "P1", ...``).
+    action_labels:
+        Optional list (one entry per player) of per-action label lists.
+    name:
+        Optional human-readable game name.
+    """
+
+    def __init__(
+        self,
+        payoffs: Union[np.ndarray, Sequence],
+        players: Optional[Sequence[str]] = None,
+        action_labels: Optional[Sequence[Sequence[str]]] = None,
+        name: str = "",
+    ) -> None:
+        tensor = np.asarray(payoffs, dtype=float)
+        if tensor.ndim < 2:
+            raise ValueError("payoff tensor must have at least 2 dimensions")
+        n_players = tensor.shape[0]
+        if tensor.ndim != n_players + 1:
+            raise ValueError(
+                f"payoff tensor for {n_players} players must have "
+                f"{n_players + 1} dimensions, got {tensor.ndim}"
+            )
+        self.payoffs = tensor
+        self.n_players = n_players
+        self.num_actions: Tuple[int, ...] = tensor.shape[1:]
+        self.name = name
+        if players is None:
+            players = [f"P{i}" for i in range(n_players)]
+        if len(players) != n_players:
+            raise ValueError("player name count does not match payoff tensor")
+        self.players = list(players)
+        if action_labels is None:
+            action_labels = [
+                [f"a{j}" for j in range(m)] for m in self.num_actions
+            ]
+        if len(action_labels) != n_players:
+            raise ValueError("need one action-label list per player")
+        for i, labels in enumerate(action_labels):
+            if len(labels) != self.num_actions[i]:
+                raise ValueError(
+                    f"player {i} has {self.num_actions[i]} actions but "
+                    f"{len(labels)} labels"
+                )
+        self.action_labels = [list(labels) for labels in action_labels]
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_bimatrix(
+        cls,
+        row_payoffs: Sequence[Sequence[float]],
+        col_payoffs: Optional[Sequence[Sequence[float]]] = None,
+        **kwargs,
+    ) -> "NormalFormGame":
+        """Build a 2-player game from row/column payoff matrices.
+
+        If ``col_payoffs`` is omitted the game is zero-sum with column
+        payoffs ``-row_payoffs``.
+        """
+        a = np.asarray(row_payoffs, dtype=float)
+        b = -a if col_payoffs is None else np.asarray(col_payoffs, dtype=float)
+        if a.shape != b.shape:
+            raise ValueError("row and column payoff matrices must share a shape")
+        return cls(np.stack([a, b]), **kwargs)
+
+    @classmethod
+    def symmetric_two_player(
+        cls, row_payoffs: Sequence[Sequence[float]], **kwargs
+    ) -> "NormalFormGame":
+        """Build the symmetric 2-player game with the given row-player matrix."""
+        a = np.asarray(row_payoffs, dtype=float)
+        if a.shape[0] != a.shape[1]:
+            raise ValueError("symmetric game needs a square payoff matrix")
+        return cls(np.stack([a, a.T]), **kwargs)
+
+    @classmethod
+    def from_payoff_function(
+        cls,
+        n_players: int,
+        num_actions: Sequence[int],
+        payoff_fn,
+        **kwargs,
+    ) -> "NormalFormGame":
+        """Build a game by evaluating ``payoff_fn(profile) -> sequence of n utilities``."""
+        shape = (n_players, *num_actions)
+        tensor = np.zeros(shape)
+        for profile in pure_profiles(num_actions):
+            values = payoff_fn(profile)
+            for i in range(n_players):
+                tensor[(i, *profile)] = values[i]
+        return cls(tensor, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Payoff evaluation
+    # ------------------------------------------------------------------
+
+    def payoff(self, player: int, profile: PureProfile) -> float:
+        """Utility of ``player`` at a pure action profile."""
+        return float(self.payoffs[(player, *profile)])
+
+    def payoff_vector(self, profile: PureProfile) -> np.ndarray:
+        """All players' utilities at a pure action profile."""
+        return self.payoffs[(slice(None), *profile)].copy()
+
+    def expected_payoff(self, player: int, profile: MixedProfile) -> float:
+        """Expected utility of ``player`` under a mixed profile (multilinear)."""
+        tensor = self.payoffs[player]
+        for vec in profile:
+            tensor = np.tensordot(np.asarray(vec, dtype=float), tensor, axes=(0, 0))
+        return float(tensor)
+
+    def expected_payoffs(self, profile: MixedProfile) -> np.ndarray:
+        """Vector of all players' expected utilities under a mixed profile."""
+        return np.array(
+            [self.expected_payoff(i, profile) for i in range(self.n_players)]
+        )
+
+    def payoff_against(self, player: int, profile: MixedProfile) -> np.ndarray:
+        """Expected utility of each pure action of ``player`` versus ``profile``.
+
+        ``profile[player]`` is ignored; the result is the vector of payoffs
+        for each of the player's pure actions against the others' mixtures.
+        """
+        tensor = self.payoffs[player]
+        # Contract opponents in descending axis order so axis indices stay valid.
+        for j in range(self.n_players - 1, -1, -1):
+            if j == player:
+                continue
+            vec = np.asarray(profile[j], dtype=float)
+            tensor = np.tensordot(tensor, vec, axes=(j, 0))
+        return np.asarray(tensor, dtype=float)
+
+    # ------------------------------------------------------------------
+    # Best responses and equilibrium predicates
+    # ------------------------------------------------------------------
+
+    def best_response_value(self, player: int, profile: MixedProfile) -> float:
+        """The value of ``player``'s best response against ``profile``."""
+        return float(self.payoff_against(player, profile).max())
+
+    def best_responses(
+        self, player: int, profile: MixedProfile, tol: float = 1e-9
+    ) -> List[int]:
+        """Pure best responses of ``player`` against ``profile`` (within ``tol``)."""
+        values = self.payoff_against(player, profile)
+        best = values.max()
+        return [int(a) for a in np.flatnonzero(values >= best - tol)]
+
+    def regret(self, player: int, profile: MixedProfile) -> float:
+        """Gain available to ``player`` by unilaterally deviating from ``profile``."""
+        return self.best_response_value(player, profile) - self.expected_payoff(
+            player, profile
+        )
+
+    def max_regret(self, profile: MixedProfile) -> float:
+        """Largest unilateral deviation gain across players (0 at a Nash point)."""
+        return max(self.regret(i, profile) for i in range(self.n_players))
+
+    def is_nash(self, profile: MixedProfile, tol: float = 1e-6) -> bool:
+        """Check whether a mixed profile is an (ε=``tol``) Nash equilibrium."""
+        self.validate_profile(profile)
+        return self.max_regret(profile) <= tol
+
+    def is_pure_nash(self, profile: PureProfile, tol: float = 1e-9) -> bool:
+        """Check whether a pure profile is a Nash equilibrium."""
+        mixed = profile_as_mixed(profile, self.num_actions)
+        return self.max_regret(mixed) <= tol
+
+    def pure_nash_equilibria(self, tol: float = 1e-9) -> List[PureProfile]:
+        """Enumerate all pure-strategy Nash equilibria."""
+        return [
+            profile
+            for profile in pure_profiles(self.num_actions)
+            if self.is_pure_nash(profile, tol=tol)
+        ]
+
+    def validate_profile(self, profile: MixedProfile, tol: float = 1e-6) -> None:
+        """Raise ``ValueError`` unless ``profile`` is a well-formed mixed profile."""
+        if len(profile) != self.n_players:
+            raise ValueError(
+                f"profile has {len(profile)} strategies for {self.n_players} players"
+            )
+        for i, vec in enumerate(profile):
+            arr = np.asarray(vec, dtype=float)
+            if arr.shape != (self.num_actions[i],):
+                raise ValueError(
+                    f"player {i} strategy has shape {arr.shape}, expected "
+                    f"({self.num_actions[i]},)"
+                )
+            if not is_distribution(arr, tol=tol):
+                raise ValueError(f"player {i} strategy is not a distribution: {arr}")
+
+    # ------------------------------------------------------------------
+    # Dominance
+    # ------------------------------------------------------------------
+
+    def dominates(
+        self,
+        player: int,
+        action: int,
+        other: int,
+        strict: bool = True,
+        tol: float = 1e-12,
+    ) -> bool:
+        """Does ``action`` dominate ``other`` for ``player``?
+
+        Strict dominance requires a strictly larger payoff at every opponent
+        profile; weak dominance requires at-least-as-large everywhere and
+        strictly larger somewhere.
+        """
+        axis = player + 1
+        payoff = np.moveaxis(self.payoffs[player], player, 0)
+        del axis
+        diff = payoff[action] - payoff[other]
+        if strict:
+            return bool(np.all(diff > tol))
+        return bool(np.all(diff >= -tol) and np.any(diff > tol))
+
+    def dominated_actions(
+        self, player: int, strict: bool = True, tol: float = 1e-12
+    ) -> List[int]:
+        """Actions of ``player`` dominated by some other pure action."""
+        out = []
+        for a in range(self.num_actions[player]):
+            for b in range(self.num_actions[player]):
+                if a == b:
+                    continue
+                if self.dominates(player, b, a, strict=strict, tol=tol):
+                    out.append(a)
+                    break
+        return out
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def restrict(self, kept_actions: Sequence[Sequence[int]]) -> "NormalFormGame":
+        """The subgame where each player ``i`` may only use ``kept_actions[i]``."""
+        if len(kept_actions) != self.n_players:
+            raise ValueError("need one kept-action list per player")
+        tensor = self.payoffs
+        for i, kept in enumerate(kept_actions):
+            if len(kept) == 0:
+                raise ValueError(f"player {i} must keep at least one action")
+            tensor = np.take(tensor, list(kept), axis=i + 1)
+        labels = [
+            [self.action_labels[i][a] for a in kept]
+            for i, kept in enumerate(kept_actions)
+        ]
+        return NormalFormGame(
+            tensor,
+            players=self.players,
+            action_labels=labels,
+            name=self.name + " (restricted)" if self.name else "",
+        )
+
+    def with_payoff_transform(self, fn) -> "NormalFormGame":
+        """A new game whose tensor is ``fn(payoffs)`` (same shape required)."""
+        tensor = np.asarray(fn(self.payoffs.copy()), dtype=float)
+        if tensor.shape != self.payoffs.shape:
+            raise ValueError("payoff transform must preserve the tensor shape")
+        return NormalFormGame(
+            tensor,
+            players=self.players,
+            action_labels=self.action_labels,
+            name=self.name,
+        )
+
+    def is_zero_sum(self, tol: float = 1e-9) -> bool:
+        """Do the players' payoffs sum to zero at every pure profile?"""
+        return bool(np.all(np.abs(self.payoffs.sum(axis=0)) <= tol))
+
+    def is_symmetric(self, tol: float = 1e-9) -> bool:
+        """Two-player symmetry check: ``B == A.T``."""
+        if self.n_players != 2 or self.num_actions[0] != self.num_actions[1]:
+            return False
+        return bool(
+            np.all(np.abs(self.payoffs[1] - self.payoffs[0].T) <= tol)
+        )
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+
+    def uniform_profile(self) -> MixedProfile:
+        """The profile in which every player mixes uniformly."""
+        return [np.full(m, 1.0 / m) for m in self.num_actions]
+
+    def social_welfare(self, profile: MixedProfile) -> float:
+        """Sum of expected utilities under ``profile``."""
+        return float(self.expected_payoffs(profile).sum())
+
+    def pareto_dominates(
+        self, profile_a: MixedProfile, profile_b: MixedProfile, tol: float = 1e-12
+    ) -> bool:
+        """Does ``profile_a`` weakly improve on ``profile_b`` for everyone, strictly for someone?"""
+        pa = self.expected_payoffs(profile_a)
+        pb = self.expected_payoffs(profile_b)
+        return bool(np.all(pa >= pb - tol) and np.any(pa > pb + tol))
+
+    def is_pareto_optimal_pure(self, profile: PureProfile, tol: float = 1e-12) -> bool:
+        """Is the pure profile Pareto-optimal among pure profiles?"""
+        base = self.payoff_vector(profile)
+        for other in pure_profiles(self.num_actions):
+            if other == profile:
+                continue
+            vec = self.payoff_vector(other)
+            if np.all(vec >= base - tol) and np.any(vec > base + tol):
+                return False
+        return True
+
+    def action_index(self, player: int, label: str) -> int:
+        """Index of the action of ``player`` with the given label."""
+        try:
+            return self.action_labels[player].index(label)
+        except ValueError as exc:
+            raise KeyError(
+                f"player {player} has no action labelled {label!r}"
+            ) from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "NormalFormGame"
+        sizes = "x".join(str(m) for m in self.num_actions)
+        return f"<{label}: {self.n_players} players, {sizes}>"

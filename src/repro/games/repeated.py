@@ -1,0 +1,153 @@
+"""Finitely repeated games with discounting.
+
+Section 3 of the paper analyzes finitely repeated prisoner's dilemma (FRPD)
+with a per-round discount factor ``delta``: a reward ``r_m`` in round ``m``
+(1-indexed) contributes ``delta**m * r_m`` to the total.  This module
+provides the repeated-game engine used by both the tournament code
+(`repro.dynamics`) and the computational-equilibrium analysis
+(`repro.core.computational`).
+
+Strategies are objects with ``reset()`` and ``act(history) -> action`` where
+``history`` is the list of past opponent actions (each player sees only the
+opponent's past moves, which suffices for all strategies in the paper).
+Richer strategies that need their own past moves can track them internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.games.normal_form import NormalFormGame
+
+__all__ = [
+    "RepeatedGameStrategy",
+    "FunctionStrategy",
+    "RepeatedGame",
+    "PlayResult",
+    "discounted_total",
+]
+
+
+class RepeatedGameStrategy(Protocol):
+    """Protocol for repeated-game strategies."""
+
+    def reset(self) -> None:
+        """Prepare for a fresh match."""
+
+    def act(self, opponent_history: Sequence[int]) -> int:
+        """Choose this round's action given the opponent's past actions."""
+
+
+@dataclass
+class FunctionStrategy:
+    """Wrap ``fn(opponent_history) -> action`` as a strategy.
+
+    Stateless by construction; ``reset`` is a no-op.
+    """
+
+    fn: Callable[[Sequence[int]], int]
+    name: str = "function"
+
+    def reset(self) -> None:
+        return None
+
+    def act(self, opponent_history: Sequence[int]) -> int:
+        return int(self.fn(opponent_history))
+
+
+def discounted_total(rewards: Sequence[float], delta: float) -> float:
+    """Sum ``delta**m * r_m`` with rounds 1-indexed, as in the paper."""
+    return float(
+        sum(delta ** (m + 1) * r for m, r in enumerate(rewards))
+    )
+
+
+@dataclass
+class PlayResult:
+    """Outcome of one repeated-game match."""
+
+    actions: List[Tuple[int, ...]]
+    stage_payoffs: List[np.ndarray]
+    totals: np.ndarray
+    discounted: np.ndarray
+
+
+class RepeatedGame:
+    """A stage game repeated ``rounds`` times with discount factor ``delta``.
+
+    Only 2-player stage games are supported for play (the paper's repeated
+    examples are all 2-player), though the stage game object itself may be
+    any :class:`NormalFormGame`.
+    """
+
+    def __init__(
+        self, stage: NormalFormGame, rounds: int, delta: float = 1.0
+    ) -> None:
+        if stage.n_players != 2:
+            raise ValueError("RepeatedGame play supports 2-player stage games")
+        if rounds < 1:
+            raise ValueError("need at least one round")
+        if not 0.0 < delta <= 1.0:
+            raise ValueError("delta must lie in (0, 1]")
+        self.stage = stage
+        self.rounds = rounds
+        self.delta = delta
+
+    def play(
+        self,
+        strategy_a: RepeatedGameStrategy,
+        strategy_b: RepeatedGameStrategy,
+    ) -> PlayResult:
+        """Run one match and return per-round and aggregate payoffs."""
+        strategy_a.reset()
+        strategy_b.reset()
+        history_a: List[int] = []  # actions taken by A
+        history_b: List[int] = []  # actions taken by B
+        actions: List[Tuple[int, ...]] = []
+        stage_payoffs: List[np.ndarray] = []
+        for _ in range(self.rounds):
+            a = int(strategy_a.act(history_b))
+            b = int(strategy_b.act(history_a))
+            self._check_action(0, a)
+            self._check_action(1, b)
+            actions.append((a, b))
+            stage_payoffs.append(self.stage.payoff_vector((a, b)))
+            history_a.append(a)
+            history_b.append(b)
+        totals = np.sum(stage_payoffs, axis=0)
+        discounted = np.array(
+            [
+                discounted_total([p[i] for p in stage_payoffs], self.delta)
+                for i in range(2)
+            ]
+        )
+        return PlayResult(
+            actions=actions,
+            stage_payoffs=stage_payoffs,
+            totals=np.asarray(totals, dtype=float),
+            discounted=discounted,
+        )
+
+    def discounted_payoffs(
+        self,
+        strategy_a: RepeatedGameStrategy,
+        strategy_b: RepeatedGameStrategy,
+    ) -> np.ndarray:
+        """Convenience wrapper: just the discounted totals of one match."""
+        return self.play(strategy_a, strategy_b).discounted
+
+    def _check_action(self, player: int, action: int) -> None:
+        if not 0 <= action < self.stage.num_actions[player]:
+            raise ValueError(
+                f"player {player} chose action {action} outside "
+                f"0..{self.stage.num_actions[player] - 1}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<RepeatedGame: {self.rounds} rounds of "
+            f"{self.stage.name or 'stage game'}, delta={self.delta}>"
+        )

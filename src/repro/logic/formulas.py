@@ -1,0 +1,157 @@
+"""Formulas of the logic of general awareness (Fagin–Halpern 1988).
+
+Syntax::
+
+    φ ::= p | ¬φ | (φ ∧ ψ) | (φ ∨ ψ) | (φ → ψ)
+        | K_i φ     (agent i implicitly knows φ)
+        | A_i φ     (agent i is aware of φ)
+        | X_i φ     (agent i explicitly knows φ; X_i φ ≡ K_i φ ∧ A_i φ)
+
+Formulas are immutable and hashable so they can populate awareness sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, Set
+
+__all__ = [
+    "Formula",
+    "Prop",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Knows",
+    "Aware",
+    "ExplicitlyKnows",
+    "primitive_propositions",
+    "subformulas",
+]
+
+
+class Formula:
+    """Base class; all concrete formulas are frozen dataclasses."""
+
+    def __and__(self, other: "Formula") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Implies":
+        return Implies(self, other)
+
+
+@dataclass(frozen=True)
+class Prop(Formula):
+    """A primitive proposition."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    inner: Formula
+
+    def __repr__(self) -> str:
+        return f"¬{self.inner!r}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∧ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∨ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} → {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Knows(Formula):
+    """Implicit knowledge K_i: truth in all accessible states."""
+
+    agent: int
+    inner: Formula
+
+    def __repr__(self) -> str:
+        return f"K_{self.agent}{self.inner!r}"
+
+
+@dataclass(frozen=True)
+class Aware(Formula):
+    """Awareness A_i: membership of the inner formula in i's awareness set."""
+
+    agent: int
+    inner: Formula
+
+    def __repr__(self) -> str:
+        return f"A_{self.agent}{self.inner!r}"
+
+
+@dataclass(frozen=True)
+class ExplicitlyKnows(Formula):
+    """Explicit knowledge X_i φ ≡ K_i φ ∧ A_i φ."""
+
+    agent: int
+    inner: Formula
+
+    def __repr__(self) -> str:
+        return f"X_{self.agent}{self.inner!r}"
+
+
+def primitive_propositions(formula: Formula) -> FrozenSet[str]:
+    """The primitive propositions occurring in a formula."""
+    out: Set[str] = set()
+
+    def walk(f: Formula) -> None:
+        if isinstance(f, Prop):
+            out.add(f.name)
+        elif isinstance(f, Not):
+            walk(f.inner)
+        elif isinstance(f, (And, Or, Implies)):
+            walk(f.left)
+            walk(f.right)
+        elif isinstance(f, (Knows, Aware, ExplicitlyKnows)):
+            walk(f.inner)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown formula {f!r}")
+
+    walk(formula)
+    return frozenset(out)
+
+
+def subformulas(formula: Formula) -> Iterator[Formula]:
+    """All subformulas, outermost first (including the formula itself)."""
+    yield formula
+    if isinstance(formula, Not):
+        yield from subformulas(formula.inner)
+    elif isinstance(formula, (And, Or, Implies)):
+        yield from subformulas(formula.left)
+        yield from subformulas(formula.right)
+    elif isinstance(formula, (Knows, Aware, ExplicitlyKnows)):
+        yield from subformulas(formula.inner)

@@ -1,0 +1,69 @@
+"""Machine strategies and complexity measures (Section 3 substrate).
+
+Halpern–Pass machine games need machines with an explicit complexity on
+each (machine, input) pair.  We provide two machine families:
+
+* :mod:`repro.machines.automata` — finite-state automata for repeated
+  games, with state-count complexity (Rubinstein's model, used by the
+  FRPD analysis).
+* :mod:`repro.machines.vm` — a step-counting register VM (the
+  Turing-machine stand-in), with programs for primality testing; the
+  step count scales with input length exactly as the paper's
+  Example 3.1 needs.
+* :mod:`repro.machines.strategies` — the strategy zoo for repeated-game
+  play and tournaments (tit-for-tat and friends).
+"""
+
+from repro.machines.automata import (
+    FiniteAutomaton,
+    all_one_state_automata,
+    all_two_state_automata,
+    counting_defector,
+    grim_trigger_automaton,
+    tit_for_tat_automaton,
+)
+from repro.machines.vm import (
+    Instruction,
+    Program,
+    VMResult,
+    miller_rabin_cost_model,
+    run_program,
+    trial_division_program,
+)
+from repro.machines.strategies import (
+    AlternatorStrategy,
+    AlwaysCooperate,
+    AlwaysDefect,
+    GrimTrigger,
+    Pavlov,
+    RandomStrategy,
+    SuspiciousTitForTat,
+    TitForTat,
+    TitForTwoTats,
+    strategy_zoo,
+)
+
+__all__ = [
+    "AlternatorStrategy",
+    "AlwaysCooperate",
+    "AlwaysDefect",
+    "FiniteAutomaton",
+    "GrimTrigger",
+    "Instruction",
+    "Pavlov",
+    "Program",
+    "RandomStrategy",
+    "SuspiciousTitForTat",
+    "TitForTat",
+    "TitForTwoTats",
+    "VMResult",
+    "all_one_state_automata",
+    "all_two_state_automata",
+    "counting_defector",
+    "grim_trigger_automaton",
+    "miller_rabin_cost_model",
+    "run_program",
+    "strategy_zoo",
+    "tit_for_tat_automaton",
+    "trial_division_program",
+]

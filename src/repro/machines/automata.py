@@ -1,0 +1,208 @@
+"""Finite-automaton strategies for repeated games.
+
+Rubinstein's model: a player picks an automaton; complexity is the number
+of states.  An automaton for a 2-action repeated game is
+
+* a set of states ``0..n_states-1`` with an initial state,
+* an output map ``state -> action``,
+* a transition map ``(state, opponent_action) -> state``.
+
+These implement the :class:`repro.games.repeated.RepeatedGameStrategy`
+protocol (``reset``/``act``), so they can play in the repeated-game engine
+and the Axelrod tournament directly, while the machine-game layer charges
+them for their state counts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+__all__ = [
+    "FiniteAutomaton",
+    "tit_for_tat_automaton",
+    "grim_trigger_automaton",
+    "constant_automaton",
+    "counting_defector",
+    "all_one_state_automata",
+    "all_two_state_automata",
+]
+
+
+@dataclass
+class FiniteAutomaton:
+    """A Moore machine playing a repeated game.
+
+    ``outputs[s]`` is the action emitted in state ``s``;
+    ``transitions[(s, o)]`` is the next state after observing opponent
+    action ``o``.  ``n_states`` is the complexity in Rubinstein's sense.
+    """
+
+    name: str
+    n_actions: int
+    outputs: Tuple[int, ...]
+    transitions: Dict[Tuple[int, int], int]
+    initial_state: int = 0
+    _state: int = field(default=0, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.outputs:
+            raise ValueError("automaton needs at least one state")
+        n = self.n_states
+        if not 0 <= self.initial_state < n:
+            raise ValueError("initial state out of range")
+        for s, action in enumerate(self.outputs):
+            if not 0 <= action < self.n_actions:
+                raise ValueError(f"state {s} outputs invalid action {action}")
+        for (s, o), target in self.transitions.items():
+            if not (0 <= s < n and 0 <= o < self.n_actions and 0 <= target < n):
+                raise ValueError(f"invalid transition ({s}, {o}) -> {target}")
+        for s in range(n):
+            for o in range(self.n_actions):
+                if (s, o) not in self.transitions:
+                    raise ValueError(f"missing transition for ({s}, {o})")
+        self._state = self.initial_state
+
+    @property
+    def n_states(self) -> int:
+        """Rubinstein complexity: the number of states."""
+        return len(self.outputs)
+
+    # -- RepeatedGameStrategy protocol --------------------------------
+
+    def reset(self) -> None:
+        self._state = self.initial_state
+
+    def act(self, opponent_history: Sequence[int]) -> int:
+        """Emit this round's action and advance on the opponent's last move.
+
+        The engine passes the opponent's full history; the automaton only
+        consumes the most recent entry (that is the point of the model).
+        """
+        if opponent_history:
+            self._state = self.transitions[(self._state, opponent_history[-1])]
+        return self.outputs[self._state]
+
+    def clone(self) -> "FiniteAutomaton":
+        return FiniteAutomaton(
+            name=self.name,
+            n_actions=self.n_actions,
+            outputs=self.outputs,
+            transitions=dict(self.transitions),
+            initial_state=self.initial_state,
+        )
+
+
+def constant_automaton(action: int, n_actions: int = 2, name: str = "") -> FiniteAutomaton:
+    """One state, always the same action (complexity 1)."""
+    return FiniteAutomaton(
+        name=name or f"always_{action}",
+        n_actions=n_actions,
+        outputs=(action,),
+        transitions={(0, o): 0 for o in range(n_actions)},
+    )
+
+
+def tit_for_tat_automaton(n_actions: int = 2) -> FiniteAutomaton:
+    """Tit-for-tat as a 2-state automaton (cooperate first; mirror after).
+
+    State s outputs action s; observing opponent action o moves to state o.
+    Complexity 2 — the "simple program which needs very little memory" of
+    Example 3.2.
+    """
+    if n_actions != 2:
+        raise ValueError("tit-for-tat automaton is defined for 2 actions")
+    return FiniteAutomaton(
+        name="tit_for_tat",
+        n_actions=2,
+        outputs=(0, 1),
+        transitions={(s, o): o for s in range(2) for o in range(2)},
+        initial_state=0,
+    )
+
+
+def grim_trigger_automaton() -> FiniteAutomaton:
+    """Cooperate until the opponent defects once; defect forever after."""
+    return FiniteAutomaton(
+        name="grim_trigger",
+        n_actions=2,
+        outputs=(0, 1),
+        transitions={(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1},
+        initial_state=0,
+    )
+
+
+def counting_defector(n_rounds: int) -> FiniteAutomaton:
+    """Tit-for-tat until the final round, then defect.
+
+    The best response to tit-for-tat in an ``n_rounds`` FRPD — but it must
+    *count rounds*, which costs ``n_rounds`` states (states 0..n-2 play
+    tit-for-tat while counting; state n-1 defects).  This is exactly the
+    machine whose memory cost Example 3.2 prices out of existence.
+
+    Because the engine only feeds opponent actions (not round numbers),
+    the automaton advances its counter on every ``act`` call regardless of
+    observation; its tit-for-tat behaviour is encoded by pairing counter
+    states with the mirrored action.  To keep the state count honest we
+    use 2 states per round for rounds 1..n-1 (counter x last-opponent-
+    action) plus a terminal defect state: ``2*(n_rounds-1) + 1`` states.
+    """
+    if n_rounds < 2:
+        raise ValueError("counting defector needs at least 2 rounds")
+    outputs: List[int] = []
+    transitions: Dict[Tuple[int, int], int] = {}
+    # State encoding: for round r in 0..n-2, states 2r (mirror says C) and
+    # 2r+1 (mirror says D).  Final state: index 2*(n-1), always defect.
+    final = 2 * (n_rounds - 1)
+    for r in range(n_rounds - 1):
+        outputs.extend([0, 1])
+        for bit in (0, 1):
+            state = 2 * r + bit
+            for o in (0, 1):
+                target = final if r == n_rounds - 2 else 2 * (r + 1) + o
+                transitions[(state, o)] = target
+    outputs.append(1)
+    for o in (0, 1):
+        transitions[(final, o)] = final
+    return FiniteAutomaton(
+        name=f"tft_defect_last_{n_rounds}",
+        n_actions=2,
+        outputs=tuple(outputs),
+        transitions=transitions,
+        initial_state=0,
+    )
+
+
+def all_one_state_automata(n_actions: int = 2) -> List[FiniteAutomaton]:
+    """Every 1-state automaton: the constant strategies."""
+    return [constant_automaton(a, n_actions) for a in range(n_actions)]
+
+
+def all_two_state_automata(n_actions: int = 2) -> Iterator[FiniteAutomaton]:
+    """Every 2-state automaton over a binary-action repeated game.
+
+    ``2^2`` output maps x ``4^2`` transition maps x 2 initial states =
+    512 machines (with duplicates by behaviour; callers may dedupe).
+    Used by exhaustive machine-space searches in the tests.
+    """
+    if n_actions != 2:
+        raise ValueError("enumeration implemented for 2 actions")
+    states = (0, 1)
+    index = 0
+    for outputs in itertools.product(range(2), repeat=2):
+        for transition_values in itertools.product(range(2), repeat=4):
+            transitions = {
+                (s, o): transition_values[2 * s + o]
+                for s in states
+                for o in states
+            }
+            for initial in states:
+                yield FiniteAutomaton(
+                    name=f"A2_{index}",
+                    n_actions=2,
+                    outputs=outputs,
+                    transitions=transitions,
+                    initial_state=initial,
+                )
+                index += 1

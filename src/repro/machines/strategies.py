@@ -1,0 +1,191 @@
+"""Strategy zoo for repeated prisoner's dilemma (tournament substrate).
+
+The paper cites Axelrod's tournaments, where "tit-for-tat does
+exceedingly well".  This module collects the classic entrants.  All
+strategies implement the :class:`repro.games.repeated.RepeatedGameStrategy`
+protocol; actions are 0 = cooperate, 1 = defect.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "TitForTat",
+    "AlwaysCooperate",
+    "AlwaysDefect",
+    "GrimTrigger",
+    "Pavlov",
+    "RandomStrategy",
+    "SuspiciousTitForTat",
+    "TitForTwoTats",
+    "AlternatorStrategy",
+    "strategy_zoo",
+]
+
+COOPERATE = 0
+DEFECT = 1
+
+
+class TitForTat:
+    """Cooperate first; then copy the opponent's last move (Example 3.2)."""
+
+    name = "tit_for_tat"
+
+    def reset(self) -> None:
+        return None
+
+    def act(self, opponent_history: Sequence[int]) -> int:
+        if not opponent_history:
+            return COOPERATE
+        return opponent_history[-1]
+
+
+class AlwaysCooperate:
+    """Unconditional cooperation."""
+
+    name = "always_cooperate"
+
+    def reset(self) -> None:
+        return None
+
+    def act(self, opponent_history: Sequence[int]) -> int:
+        return COOPERATE
+
+
+class AlwaysDefect:
+    """Unconditional defection — the stage-game Nash strategy."""
+
+    name = "always_defect"
+
+    def reset(self) -> None:
+        return None
+
+    def act(self, opponent_history: Sequence[int]) -> int:
+        return DEFECT
+
+
+class GrimTrigger:
+    """Cooperate until the opponent's first defection; then defect forever."""
+
+    name = "grim_trigger"
+
+    def __init__(self) -> None:
+        self._triggered = False
+
+    def reset(self) -> None:
+        self._triggered = False
+
+    def act(self, opponent_history: Sequence[int]) -> int:
+        if opponent_history and opponent_history[-1] == DEFECT:
+            self._triggered = True
+        return DEFECT if self._triggered else COOPERATE
+
+
+class Pavlov:
+    """Win-stay/lose-shift: repeat own move after a good outcome.
+
+    Good outcome = the opponent cooperated.  Needs own-history tracking,
+    kept internally.
+    """
+
+    name = "pavlov"
+
+    def __init__(self) -> None:
+        self._last_own = COOPERATE
+
+    def reset(self) -> None:
+        self._last_own = COOPERATE
+
+    def act(self, opponent_history: Sequence[int]) -> int:
+        if not opponent_history:
+            self._last_own = COOPERATE
+            return COOPERATE
+        if opponent_history[-1] == COOPERATE:
+            choice = self._last_own
+        else:
+            choice = 1 - self._last_own
+        self._last_own = choice
+        return choice
+
+
+class RandomStrategy:
+    """Cooperate with probability ``p`` each round (seeded)."""
+
+    def __init__(self, p_cooperate: float = 0.5, seed: int = 0) -> None:
+        if not 0.0 <= p_cooperate <= 1.0:
+            raise ValueError("p_cooperate must be a probability")
+        self.p_cooperate = p_cooperate
+        self.seed = seed
+        self.name = f"random_{p_cooperate:g}"
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def act(self, opponent_history: Sequence[int]) -> int:
+        return COOPERATE if self._rng.random() < self.p_cooperate else DEFECT
+
+
+class SuspiciousTitForTat:
+    """Defect first; then copy the opponent's last move."""
+
+    name = "suspicious_tit_for_tat"
+
+    def reset(self) -> None:
+        return None
+
+    def act(self, opponent_history: Sequence[int]) -> int:
+        if not opponent_history:
+            return DEFECT
+        return opponent_history[-1]
+
+
+class TitForTwoTats:
+    """Defect only after two consecutive opponent defections."""
+
+    name = "tit_for_two_tats"
+
+    def reset(self) -> None:
+        return None
+
+    def act(self, opponent_history: Sequence[int]) -> int:
+        if len(opponent_history) >= 2 and opponent_history[-1] == DEFECT and (
+            opponent_history[-2] == DEFECT
+        ):
+            return DEFECT
+        return COOPERATE
+
+
+class AlternatorStrategy:
+    """Cooperate and defect in alternation (a simple periodic baseline)."""
+
+    name = "alternator"
+
+    def __init__(self) -> None:
+        self._round = 0
+
+    def reset(self) -> None:
+        self._round = 0
+
+    def act(self, opponent_history: Sequence[int]) -> int:
+        choice = COOPERATE if self._round % 2 == 0 else DEFECT
+        self._round += 1
+        return choice
+
+
+def strategy_zoo(seed: int = 0) -> List:
+    """The default tournament lineup."""
+    return [
+        TitForTat(),
+        AlwaysCooperate(),
+        AlwaysDefect(),
+        GrimTrigger(),
+        Pavlov(),
+        RandomStrategy(0.5, seed=seed),
+        SuspiciousTitForTat(),
+        TitForTwoTats(),
+        AlternatorStrategy(),
+    ]

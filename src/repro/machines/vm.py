@@ -1,0 +1,352 @@
+"""A step-counting register VM: the library's Turing-machine stand-in.
+
+Halpern–Pass machine games attach a complexity to each (machine, input)
+pair — e.g. the running time of a Turing machine on that input.  This VM
+gives the same thing concretely: programs are lists of instructions over
+integer registers, and :func:`run_program` returns both the output and
+the number of executed steps.  The primality program's step count grows
+with the input value, which is exactly the structure Example 3.1 needs
+(the cost of deciding primality grows with the length of ``x``, while
+"play safe" is constant-time).
+
+Instruction set (three-address, registers are named strings):
+
+====  ==========================  =========================================
+op    operands                    effect
+====  ==========================  =========================================
+LI    dst, imm                    dst <- imm
+MOV   dst, src                    dst <- src
+ADD   dst, a, b                   dst <- a + b
+SUB   dst, a, b                   dst <- a - b
+MUL   dst, a, b                   dst <- a * b
+DIV   dst, a, b                   dst <- a // b  (b != 0)
+MOD   dst, a, b                   dst <- a % b   (b != 0)
+JMP   label                       jump
+JZ    reg, label                  jump if reg == 0
+JNZ   reg, label                  jump if reg != 0
+JGT   a, b, label                 jump if a > b
+JGE   a, b, label                 jump if a >= b
+HALT  reg                         stop; output <- reg
+====  ==========================  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Instruction",
+    "fermat_primality_program",
+    "modexp_program",
+    "Program",
+    "VMResult",
+    "VMError",
+    "run_program",
+    "trial_division_program",
+    "constant_program",
+    "miller_rabin_cost_model",
+]
+
+
+class VMError(RuntimeError):
+    """Raised on malformed programs or runaway executions."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One VM instruction; ``args`` mixes register names, ints, labels."""
+
+    op: str
+    args: Tuple[Union[str, int], ...]
+
+
+class Program:
+    """A labelled instruction sequence."""
+
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        labels: Dict[str, int],
+        name: str = "",
+    ) -> None:
+        self.instructions = list(instructions)
+        self.labels = dict(labels)
+        self.name = name
+        for label, target in self.labels.items():
+            if not 0 <= target <= len(self.instructions):
+                raise VMError(f"label {label!r} points outside the program")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class ProgramBuilder:
+    """Tiny assembler: ``emit`` instructions, ``label`` positions."""
+
+    def __init__(self, name: str = "") -> None:
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self.name = name
+
+    def emit(self, op: str, *args: Union[str, int]) -> "ProgramBuilder":
+        self._instructions.append(Instruction(op=op, args=tuple(args)))
+        return self
+
+    def label(self, label: str) -> "ProgramBuilder":
+        if label in self._labels:
+            raise VMError(f"duplicate label {label!r}")
+        self._labels[label] = len(self._instructions)
+        return self
+
+    def build(self) -> Program:
+        return Program(self._instructions, self._labels, name=self.name)
+
+
+@dataclass
+class VMResult:
+    """Output value and execution cost of one run."""
+
+    output: int
+    steps: int
+    halted: bool
+
+
+def run_program(
+    program: Program,
+    inputs: Optional[Dict[str, int]] = None,
+    max_steps: int = 10_000_000,
+) -> VMResult:
+    """Execute ``program``; registers start at 0 except ``inputs``.
+
+    Raises :class:`VMError` on invalid opcodes/operands; exceeding
+    ``max_steps`` returns ``halted=False`` with output 0 (a machine that
+    "ran out of time"), which machine games may price as they see fit.
+    """
+    registers: Dict[str, int] = dict(inputs or {})
+    pc = 0
+    steps = 0
+
+    def reg(name: Union[str, int]) -> int:
+        if isinstance(name, int):
+            raise VMError(f"expected register, got literal {name}")
+        return registers.get(name, 0)
+
+    def target(label: Union[str, int]) -> int:
+        if not isinstance(label, str) or label not in program.labels:
+            raise VMError(f"unknown label {label!r}")
+        return program.labels[label]
+
+    while pc < len(program.instructions):
+        if steps >= max_steps:
+            return VMResult(output=0, steps=steps, halted=False)
+        instruction = program.instructions[pc]
+        op, args = instruction.op, instruction.args
+        steps += 1
+        pc += 1
+        if op == "LI":
+            registers[args[0]] = int(args[1])
+        elif op == "MOV":
+            registers[args[0]] = reg(args[1])
+        elif op in ("ADD", "SUB", "MUL", "DIV", "MOD"):
+            a, b = reg(args[1]), reg(args[2])
+            if op == "ADD":
+                registers[args[0]] = a + b
+            elif op == "SUB":
+                registers[args[0]] = a - b
+            elif op == "MUL":
+                registers[args[0]] = a * b
+            else:
+                if b == 0:
+                    raise VMError("division by zero")
+                registers[args[0]] = a // b if op == "DIV" else a % b
+        elif op == "JMP":
+            pc = target(args[0])
+        elif op == "JZ":
+            if reg(args[0]) == 0:
+                pc = target(args[1])
+        elif op == "JNZ":
+            if reg(args[0]) != 0:
+                pc = target(args[1])
+        elif op == "JGT":
+            if reg(args[0]) > reg(args[1]):
+                pc = target(args[2])
+        elif op == "JGE":
+            if reg(args[0]) >= reg(args[1]):
+                pc = target(args[2])
+        elif op == "HALT":
+            return VMResult(output=reg(args[0]), steps=steps, halted=True)
+        else:
+            raise VMError(f"unknown opcode {op!r}")
+    return VMResult(output=0, steps=steps, halted=True)
+
+
+def trial_division_program() -> Program:
+    """Primality by trial division: input register ``x``; output 1 if prime.
+
+    Steps grow like ``O(sqrt(x))`` loop iterations — superpolynomial in
+    the *bit length* of ``x``, the "expensive but correct" machine of
+    Example 3.1.
+    """
+    b = ProgramBuilder(name="trial_division")
+    # if x < 2: return 0
+    b.emit("LI", "two", 2)
+    b.emit("JGE", "x", "two", "ge2")
+    b.emit("LI", "r", 0)
+    b.emit("HALT", "r")
+    b.label("ge2")
+    # if x == 2: return 1
+    b.emit("SUB", "d", "x", "two")
+    b.emit("JNZ", "d", "gt2")
+    b.emit("LI", "r", 1)
+    b.emit("HALT", "r")
+    b.label("gt2")
+    # d = 2; while d*d <= x: if x % d == 0: return 0; d += 1
+    b.emit("LI", "d", 2)
+    b.label("loop")
+    b.emit("MUL", "dd", "d", "d")
+    b.emit("JGT", "dd", "x", "prime")
+    b.emit("MOD", "m", "x", "d")
+    b.emit("JZ", "m", "composite")
+    b.emit("LI", "one", 1)
+    b.emit("ADD", "d", "d", "one")
+    b.emit("JMP", "loop")
+    b.label("composite")
+    b.emit("LI", "r", 0)
+    b.emit("HALT", "r")
+    b.label("prime")
+    b.emit("LI", "r", 1)
+    b.emit("HALT", "r")
+    return b.build()
+
+
+def constant_program(value: int, name: str = "") -> Program:
+    """A machine that ignores its input and outputs ``value`` in 2 steps."""
+    b = ProgramBuilder(name=name or f"const_{value}")
+    b.emit("LI", "r", value)
+    b.emit("HALT", "r")
+    return b.build()
+
+
+def miller_rabin_cost_model(x: int, rounds: int = 8) -> Tuple[bool, int]:
+    """Reference primality answer plus a polynomial cost model.
+
+    A VM implementation of Miller–Rabin would need modular exponentiation
+    loops; rather than inflating the instruction set, this helper returns
+    the true answer together with a step count calibrated to the VM's
+    per-instruction accounting: ``rounds * bitlen(x)**2`` (one modular
+    exponentiation is ``O(bitlen)`` multiplications of ``O(bitlen)``-cost
+    each in this flat-cost model).  It plays the "polynomial-time tester"
+    role in the Example 3.1 experiments, documented as a cost model.
+    """
+    if x < 2:
+        return False, 4
+    bits = max(1, x.bit_length())
+    cost = rounds * bits * bits
+    # Deterministic Miller-Rabin for the 64-bit range.
+    n = x
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p, cost
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        y = pow(a, d, n)
+        if y in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            y = y * y % n
+            if y == n - 1:
+                break
+        else:
+            return False, cost
+    return True, cost
+
+
+def modexp_program() -> Program:
+    """Square-and-multiply modular exponentiation.
+
+    Inputs: registers ``b`` (base), ``e`` (exponent), ``m`` (modulus > 1).
+    Output: ``b**e mod m``.  Steps are ``O(log e)`` loop iterations — the
+    polynomial-time primitive a real Miller–Rabin VM machine needs.
+    """
+    p = ProgramBuilder(name="modexp")
+    p.emit("LI", "r", 1)
+    p.emit("LI", "two", 2)
+    p.emit("MOD", "b", "b", "m")
+    p.label("loop")
+    p.emit("JZ", "e", "done")
+    p.emit("MOD", "bit", "e", "two")
+    p.emit("JZ", "bit", "even")
+    p.emit("MUL", "r", "r", "b")
+    p.emit("MOD", "r", "r", "m")
+    p.label("even")
+    p.emit("MUL", "b", "b", "b")
+    p.emit("MOD", "b", "b", "m")
+    p.emit("DIV", "e", "e", "two")
+    p.emit("JMP", "loop")
+    p.label("done")
+    p.emit("HALT", "r")
+    return p.build()
+
+
+def fermat_primality_program(witnesses: Tuple[int, ...] = (2, 3, 5)) -> Program:
+    """Fermat primality test with fixed witnesses, fully in the VM.
+
+    Input: register ``x``.  Output: 1 if ``a**(x-1) ≡ 1 (mod x)`` for
+    every witness ``a`` (and small-case handling), else 0.  Runs in
+    ``O(len(witnesses) * log x)`` loop iterations — genuinely polynomial
+    in the bit length, in contrast to trial division's ``O(sqrt x)``.
+
+    Caveat (documented): Fermat is fooled by Carmichael numbers coprime
+    to all witnesses; the experiment inputs avoid them, and
+    :func:`miller_rabin_cost_model` remains the reference answer.
+    """
+    p = ProgramBuilder(name="fermat")
+    p.emit("LI", "two", 2)
+    # x < 2 -> composite; x == 2 -> prime; even -> composite.
+    p.emit("JGE", "x", "two", "ge2")
+    p.emit("LI", "out", 0)
+    p.emit("HALT", "out")
+    p.label("ge2")
+    p.emit("SUB", "d", "x", "two")
+    p.emit("JNZ", "d", "gt2")
+    p.emit("LI", "out", 1)
+    p.emit("HALT", "out")
+    p.label("gt2")
+    p.emit("MOD", "par", "x", "two")
+    p.emit("JZ", "par", "composite")
+    for idx, witness in enumerate(witnesses):
+        # Skip the witness test when witness >= x (e.g. x == 3, 5).
+        p.emit("LI", "w", int(witness))
+        p.emit("JGE", "w", "x", f"skip{idx}")
+        # Inline modexp: r = w^(x-1) mod x.
+        p.emit("LI", "r", 1)
+        p.emit("MOD", "b", "w", "x")
+        p.emit("LI", "one", 1)
+        p.emit("SUB", "e", "x", "one")
+        p.label(f"loop{idx}")
+        p.emit("JZ", "e", f"done{idx}")
+        p.emit("MOD", "bit", "e", "two")
+        p.emit("JZ", "bit", f"even{idx}")
+        p.emit("MUL", "r", "r", "b")
+        p.emit("MOD", "r", "r", "x")
+        p.label(f"even{idx}")
+        p.emit("MUL", "b", "b", "b")
+        p.emit("MOD", "b", "b", "x")
+        p.emit("DIV", "e", "e", "two")
+        p.emit("JMP", f"loop{idx}")
+        p.label(f"done{idx}")
+        p.emit("LI", "one", 1)
+        p.emit("SUB", "chk", "r", "one")
+        p.emit("JNZ", "chk", "composite")
+        p.label(f"skip{idx}")
+    p.emit("LI", "out", 1)
+    p.emit("HALT", "out")
+    p.label("composite")
+    p.emit("LI", "out", 0)
+    p.emit("HALT", "out")
+    return p.build()

@@ -1,0 +1,58 @@
+"""Mediators, mediated games, and cheap-talk implementation.
+
+Section 2's central move: a (k,t)-robust equilibrium may not exist in the
+underlying game Γ, but can exist in the extension Γd where players may
+talk to a trusted mediator; the ADGH theorems say when Γd's equilibrium
+can instead be achieved by "cheap talk" among the players (extension
+ΓCT).  This package provides all three layers:
+
+* :mod:`repro.mediators.base` — :class:`Mediator` objects (type-dependent
+  recommendation tables) and :class:`MediatedGame` (Γd), including
+  deviation enumeration to verify honesty is an equilibrium.
+* :mod:`repro.mediators.cheap_talk` — ΓCT: a concrete cheap-talk protocol
+  implementing a mediator via Shamir sharing + BGW evaluation + robust
+  reconstruction, together with the distribution-equality check that
+  defines "implements".
+* :mod:`repro.mediators.punishment` — (k+t)-punishment strategies and
+  their detection/trigger logic.
+"""
+
+from repro.mediators.base import (
+    DeterministicMediator,
+    Mediator,
+    MediatedGame,
+    TableMediator,
+)
+from repro.mediators.cheap_talk import (
+    CheapTalkResult,
+    CheapTalkSimulation,
+    distributions_match,
+)
+from repro.mediators.rational_secret_sharing import (
+    RandomizedRSSProtocol,
+    RSSUtilities,
+    honest_equilibrium_alpha_bound,
+    naive_protocol_is_equilibrium,
+)
+from repro.mediators.punishment import (
+    PunishmentSpec,
+    has_punishment_strategy,
+    minmax_punishment,
+)
+
+__all__ = [
+    "CheapTalkResult",
+    "CheapTalkSimulation",
+    "DeterministicMediator",
+    "MediatedGame",
+    "Mediator",
+    "PunishmentSpec",
+    "RSSUtilities",
+    "RandomizedRSSProtocol",
+    "TableMediator",
+    "distributions_match",
+    "has_punishment_strategy",
+    "honest_equilibrium_alpha_bound",
+    "naive_protocol_is_equilibrium",
+    "minmax_punishment",
+]

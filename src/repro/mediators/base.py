@@ -1,0 +1,289 @@
+"""Mediators and the mediated game extension Γd.
+
+A :class:`Mediator` maps a reported type profile to a distribution over
+*recommended* action profiles (the correlated-equilibrium device,
+generalized to Bayesian games).  :class:`MediatedGame` wraps an underlying
+:class:`~repro.games.bayesian.BayesianGame` with a mediator and evaluates
+strategy profiles in which each player chooses (a) what to report and
+(b) how to act on the recommendation.
+
+The honest strategy reports truthfully and obeys the recommendation.  The
+deviation space we enumerate is the full space of *deterministic*
+communication strategies: a report map ``T_i -> T_i`` together with an
+action map ``T_i x A_i -> A_i`` (what to actually play given the true type
+and the recommendation).  For the finite games in the paper this space is
+small and exhaustively checkable; mixed deviations cannot help because
+utilities are multilinear in the deviation mixture.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.games.bayesian import BayesianGame, TypeProfile
+
+__all__ = [
+    "Mediator",
+    "TableMediator",
+    "DeterministicMediator",
+    "Deviation",
+    "MediatedGame",
+]
+
+ActionProfile = Tuple[int, ...]
+
+
+class Mediator:
+    """Interface: a recommendation distribution per reported type profile."""
+
+    def recommendation_distribution(
+        self, reported_types: TypeProfile
+    ) -> Dict[ActionProfile, float]:
+        """Distribution over recommended action profiles."""
+        raise NotImplementedError
+
+    def sample(
+        self, reported_types: TypeProfile, rng: np.random.Generator
+    ) -> ActionProfile:
+        dist = self.recommendation_distribution(reported_types)
+        profiles = list(dist.keys())
+        probs = np.array([dist[p] for p in profiles], dtype=float)
+        probs = probs / probs.sum()
+        index = int(rng.choice(len(profiles), p=probs))
+        return profiles[index]
+
+
+class TableMediator(Mediator):
+    """A mediator given by an explicit table of distributions."""
+
+    def __init__(
+        self, table: Dict[TypeProfile, Dict[ActionProfile, float]]
+    ) -> None:
+        for types, dist in table.items():
+            total = sum(dist.values())
+            if abs(total - 1.0) > 1e-9 or any(v < 0 for v in dist.values()):
+                raise ValueError(
+                    f"recommendations for {types} are not a distribution"
+                )
+        self.table = {
+            types: dict(dist) for types, dist in table.items()
+        }
+
+    def recommendation_distribution(self, reported_types):
+        if reported_types not in self.table:
+            raise KeyError(f"mediator has no entry for types {reported_types}")
+        return self.table[reported_types]
+
+
+class DeterministicMediator(TableMediator):
+    """A mediator computing a single recommended profile per type profile.
+
+    ``fn(reported_types) -> action profile``.  The Byzantine-agreement
+    mediator is the motivating instance: relay the general's preference to
+    everyone.
+    """
+
+    def __init__(
+        self,
+        num_types: Sequence[int],
+        fn: Callable[[TypeProfile], ActionProfile],
+    ) -> None:
+        table: Dict[TypeProfile, Dict[ActionProfile, float]] = {}
+        for types in itertools.product(*(range(m) for m in num_types)):
+            table[types] = {tuple(fn(types)): 1.0}
+        super().__init__(table)
+        self.fn = fn
+
+
+@dataclass(frozen=True)
+class Deviation:
+    """A deterministic communication-strategy deviation for one player.
+
+    ``report_map[t]`` is the reported type when the true type is ``t``;
+    ``action_map[(t, r)]`` is the action played when the true type is
+    ``t`` and the mediator recommends action ``r`` to this player.
+    """
+
+    report_map: Tuple[int, ...]
+    action_map: Dict[Tuple[int, int], int]
+
+    @classmethod
+    def honest(cls, num_types: int, num_actions: int) -> "Deviation":
+        return cls(
+            report_map=tuple(range(num_types)),
+            action_map={
+                (t, r): r
+                for t in range(num_types)
+                for r in range(num_actions)
+            },
+        )
+
+    def is_honest(self) -> bool:
+        return all(t == r for t, r in enumerate(self.report_map)) and all(
+            action == rec for (_t, rec), action in self.action_map.items()
+        )
+
+
+class MediatedGame:
+    """The extension Γd of a Bayesian game with a mediator.
+
+    Evaluates expected utilities when each player uses a (possibly
+    deviant) deterministic communication strategy, and checks whether the
+    all-honest profile is an equilibrium / k-resilient / t-immune within
+    the enumerated deviation space.
+    """
+
+    def __init__(self, game: BayesianGame, mediator: Mediator) -> None:
+        self.game = game
+        self.mediator = mediator
+
+    # ------------------------------------------------------------------
+    # Distributions and utilities
+    # ------------------------------------------------------------------
+
+    def action_distribution(
+        self,
+        types: TypeProfile,
+        deviations: Optional[Dict[int, Deviation]] = None,
+    ) -> Dict[ActionProfile, float]:
+        """Distribution over played actions given true types.
+
+        ``deviations`` maps player index to a :class:`Deviation`;
+        unlisted players are honest.
+        """
+        deviations = deviations or {}
+        reported = tuple(
+            deviations[i].report_map[types[i]] if i in deviations else types[i]
+            for i in range(self.game.n_players)
+        )
+        recommendation_dist = self.mediator.recommendation_distribution(reported)
+        outcome: Dict[ActionProfile, float] = {}
+        for recommended, prob in recommendation_dist.items():
+            played = tuple(
+                deviations[i].action_map[(types[i], recommended[i])]
+                if i in deviations
+                else recommended[i]
+                for i in range(self.game.n_players)
+            )
+            outcome[played] = outcome.get(played, 0.0) + prob
+        return outcome
+
+    def expected_utility(
+        self,
+        player: int,
+        deviations: Optional[Dict[int, Deviation]] = None,
+    ) -> float:
+        """Ex-ante expected utility of ``player`` under the given deviations."""
+        total = 0.0
+        for types in self.game.type_profiles():
+            p = float(self.game.prior[types])
+            if p == 0.0:
+                continue
+            for actions, q in self.action_distribution(types, deviations).items():
+                total += p * q * float(
+                    self.game.payoff_table[(player, *types, *actions)]
+                )
+        return total
+
+    def honest_utilities(self) -> np.ndarray:
+        return np.array(
+            [self.expected_utility(i) for i in range(self.game.n_players)]
+        )
+
+    # ------------------------------------------------------------------
+    # Deviation enumeration
+    # ------------------------------------------------------------------
+
+    def deviation_space(self, player: int) -> Iterator[Deviation]:
+        """All deterministic communication strategies of ``player``.
+
+        Size ``|T|^|T| * |A|^(|T|*|A|)``; fine for the paper's small games.
+        """
+        nt = self.game.num_types[player]
+        na = self.game.num_actions[player]
+        keys = [(t, r) for t in range(nt) for r in range(na)]
+        for report_map in itertools.product(range(nt), repeat=nt):
+            for action_values in itertools.product(range(na), repeat=len(keys)):
+                yield Deviation(
+                    report_map=report_map,
+                    action_map=dict(zip(keys, action_values)),
+                )
+
+    def is_honest_equilibrium(self, tol: float = 1e-9) -> bool:
+        """No single player gains by any deterministic deviation."""
+        base = self.honest_utilities()
+        for player in range(self.game.n_players):
+            for deviation in self.deviation_space(player):
+                if deviation.is_honest():
+                    continue
+                value = self.expected_utility(player, {player: deviation})
+                if value > base[player] + tol:
+                    return False
+        return True
+
+    def is_honest_k_resilient(
+        self, k: int, tol: float = 1e-9, max_coalitions: Optional[int] = None
+    ) -> bool:
+        """No coalition of size <= k has a joint deviation improving any member.
+
+        This is the strong (ADGH) reading of resilience: a deviation
+        counts if even one coalition member strictly gains.
+        """
+        base = self.honest_utilities()
+        n = self.game.n_players
+        checked = 0
+        for size in range(1, min(k, n) + 1):
+            for coalition in itertools.combinations(range(n), size):
+                spaces = [list(self.deviation_space(i)) for i in coalition]
+                for combo in itertools.product(*spaces):
+                    if all(d.is_honest() for d in combo):
+                        continue
+                    deviations = dict(zip(coalition, combo))
+                    for member in coalition:
+                        value = self.expected_utility(member, deviations)
+                        if value > base[member] + tol:
+                            return False
+                checked += 1
+                if max_coalitions is not None and checked >= max_coalitions:
+                    return True
+        return True
+
+    def is_honest_t_immune(
+        self, t: int, tol: float = 1e-9, max_sets: Optional[int] = None
+    ) -> bool:
+        """No set of <= t deviators can *hurt* any honest player."""
+        base = self.honest_utilities()
+        n = self.game.n_players
+        checked = 0
+        for size in range(1, min(t, n) + 1):
+            for deviators in itertools.combinations(range(n), size):
+                spaces = [list(self.deviation_space(i)) for i in deviators]
+                for combo in itertools.product(*spaces):
+                    deviations = dict(zip(deviators, combo))
+                    for honest in range(n):
+                        if honest in deviators:
+                            continue
+                        value = self.expected_utility(honest, deviations)
+                        if value < base[honest] - tol:
+                            return False
+                checked += 1
+                if max_sets is not None and checked >= max_sets:
+                    return True
+        return True
+
+    def is_honest_robust(
+        self, k: int, t: int, tol: float = 1e-9
+    ) -> bool:
+        """(k,t)-robustness of the honest profile within Γd.
+
+        Combines resilience against coalitions of size <= k with immunity
+        against <= t arbitrary deviators, the paper's Definition (a Nash
+        equilibrium is exactly a (1,0)-robust equilibrium).
+        """
+        return self.is_honest_k_resilient(k, tol=tol) and self.is_honest_t_immune(
+            t, tol=tol
+        )

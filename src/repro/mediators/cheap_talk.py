@@ -1,0 +1,370 @@
+"""Cheap-talk implementation of mediators (the extension ΓCT).
+
+The pipeline follows the structure of the ADGH possibility proofs, which
+"use techniques from secure multiparty computation":
+
+1. **Type sharing.**  Each player Shamir-shares its type among all ``n``
+   players with threshold ``t``.
+2. **Joint coin.**  For randomized mediators, players run commit-then-
+   reveal coin tossing (toy commitments): each contributes a random value
+   in ``[0, M)``; the public coin is the sum mod ``M``.  (In the full
+   ADGH construction the coin itself stays hidden; making it public is a
+   documented simplification that preserves the *induced action
+   distribution*, which is what "implements a mediator" quantifies.)
+3. **Recommendation computation.**  For the realized coin, the mediator's
+   recommendation function on the (secret-shared) encoded type profile is
+   a univariate polynomial over GF(p) (Lagrange interpolation of the
+   lookup table); it is evaluated on shares with BGW multiplications.
+4. **Directed opening.**  Player ``i``'s recommendation wire is opened to
+   player ``i`` alone.  Byzantine parties may submit corrupted shares;
+   honest players decode with Berlekamp–Welch, which succeeds iff
+   ``n >= t_poly + 2e + 1`` — the executable face of the paper's
+   resilience thresholds.
+
+If decoding fails, the player falls back to a designated *punishment
+action* (see :mod:`repro.mediators.punishment`), mirroring the role of
+punishment strategies in the ``n > 2k + 3t`` regime.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.crypto.field import Polynomial, PrimeField
+from repro.crypto.shamir import Share, reconstruct_with_errors, share_secret
+from repro.crypto.smpc import ArithmeticCircuit, SMPCEngine
+from repro.crypto.toys import ToyCommitment
+from repro.games.bayesian import BayesianGame, TypeProfile
+from repro.mediators.base import ActionProfile, Mediator
+
+__all__ = [
+    "CheapTalkResult",
+    "CheapTalkSimulation",
+    "distributions_match",
+]
+
+
+@dataclass
+class CheapTalkResult:
+    """Outcome of one cheap-talk execution."""
+
+    types: TypeProfile
+    coin: int
+    recommended: ActionProfile
+    played: ActionProfile
+    decode_failures: Tuple[int, ...]
+    punished: bool
+
+
+def _encode_type_profile(types: TypeProfile, num_types: Sequence[int]) -> int:
+    """Mixed-radix encoding of a type profile as a single integer."""
+    index = 0
+    for t, m in zip(types, num_types):
+        index = index * m + t
+    return index
+
+
+def _decode_action_index(
+    index: int, num_actions: Sequence[int]
+) -> ActionProfile:
+    out = []
+    for m in reversed(num_actions):
+        out.append(index % m)
+        index //= m
+    return tuple(reversed(out))
+
+
+def _encode_action_profile(
+    actions: ActionProfile, num_actions: Sequence[int]
+) -> int:
+    index = 0
+    for a, m in zip(actions, num_actions):
+        index = index * m + a
+    return index
+
+
+class CheapTalkSimulation:
+    """Simulate the cheap-talk implementation of a mediator.
+
+    Parameters
+    ----------
+    game, mediator:
+        The underlying Bayesian game and the mediator to implement.
+    t:
+        Upper bound on Byzantine parties the protocol must tolerate.
+    coin_resolution:
+        ``M``: mediator probabilities are quantized to multiples of
+        ``1/M`` (default 64; the quantization error shows up in the
+        distribution-equality tolerance).
+    punishment_actions:
+        Per-player fallback action when decoding fails.
+    """
+
+    def __init__(
+        self,
+        game: BayesianGame,
+        mediator: Mediator,
+        t: int,
+        coin_resolution: int = 64,
+        punishment_actions: Optional[Sequence[int]] = None,
+        field_prime: Optional[int] = None,
+    ) -> None:
+        self.game = game
+        self.mediator = mediator
+        self.n = game.n_players
+        self.t = int(t)
+        if self.n < 2 * self.t + 1:
+            raise ValueError(
+                "the BGW evaluation step needs n >= 2t + 1 "
+                f"(got n={self.n}, t={self.t})"
+            )
+        self.coin_resolution = int(coin_resolution)
+        self.field = PrimeField(field_prime) if field_prime else PrimeField()
+        self.punishment_actions = (
+            tuple(punishment_actions)
+            if punishment_actions is not None
+            else tuple(0 for _ in range(self.n))
+        )
+        self._type_space = list(
+            itertools.product(*(range(m) for m in game.num_types))
+        )
+        self._quantized = self._quantize_mediator()
+
+    # ------------------------------------------------------------------
+    # Mediator quantization: per coin value, a deterministic lookup table
+    # ------------------------------------------------------------------
+
+    def _quantize_mediator(self) -> Dict[TypeProfile, List[int]]:
+        """For each type profile, a list of ``M`` recommended-action-profile
+        indices such that a uniform coin reproduces the (quantized)
+        mediator distribution."""
+        m = self.coin_resolution
+        table: Dict[TypeProfile, List[int]] = {}
+        for types in self._type_space:
+            dist = self.mediator.recommendation_distribution(types)
+            slots: List[int] = []
+            items = sorted(dist.items())
+            # Largest-remainder quantization to exactly M slots.
+            raw = [(profile, prob * m) for profile, prob in items]
+            counts = [(profile, int(np.floor(x))) for profile, x in raw]
+            remainder = m - sum(c for _, c in counts)
+            fractional = sorted(
+                range(len(raw)),
+                key=lambda i: raw[i][1] - np.floor(raw[i][1]),
+                reverse=True,
+            )
+            extra = set(fractional[:remainder])
+            for i, (profile, count) in enumerate(counts):
+                total = count + (1 if i in extra else 0)
+                slots.extend(
+                    [_encode_action_profile(profile, self.game.num_actions)]
+                    * total
+                )
+            if len(slots) != m:  # pragma: no cover - defensive
+                raise RuntimeError("quantization produced the wrong slot count")
+            table[types] = slots
+        return table
+
+    def quantized_distribution(
+        self, types: TypeProfile
+    ) -> Dict[ActionProfile, float]:
+        """The mediator distribution after coin quantization."""
+        slots = self._quantized[types]
+        out: Dict[ActionProfile, float] = {}
+        for idx in slots:
+            profile = _decode_action_index(idx, self.game.num_actions)
+            out[profile] = out.get(profile, 0.0) + 1.0 / len(slots)
+        return out
+
+    # ------------------------------------------------------------------
+    # Protocol phases
+    # ------------------------------------------------------------------
+
+    def _joint_coin(self, rng: np.random.Generator) -> int:
+        """Commit-then-reveal coin tossing among the n players."""
+        contributions = [
+            int(rng.integers(self.coin_resolution)) for _ in range(self.n)
+        ]
+        nonces = [int(rng.integers(2**62)) for _ in range(self.n)]
+        commitments = [
+            ToyCommitment.commit(value, nonce)
+            for value, nonce in zip(contributions, nonces)
+        ]
+        # Reveal phase: every opening must verify against its commitment.
+        for commitment, value, nonce in zip(commitments, contributions, nonces):
+            if not commitment.open(value, nonce):  # pragma: no cover - defensive
+                raise RuntimeError("commitment verification failed")
+        return sum(contributions) % self.coin_resolution
+
+    def _recommendation_polynomial(self, coin: int, player: int) -> Polynomial:
+        """Interpolate ``g(type_index) = recommended action of player``
+        for the fixed public coin."""
+        points: List[Tuple[int, int]] = []
+        for types in self._type_space:
+            index = _encode_type_profile(types, self.game.num_types)
+            action_profile_index = self._quantized[types][coin]
+            actions = _decode_action_index(
+                action_profile_index, self.game.num_actions
+            )
+            points.append((index, actions[player]))
+        if len(points) == 1:
+            return Polynomial(self.field, [points[0][1]])
+        return Polynomial.interpolate(self.field, points)
+
+    def _build_circuit(
+        self, coin: int
+    ) -> Tuple[ArithmeticCircuit, List[int]]:
+        """Circuit: inputs are the n type values; outputs are per-player
+        recommendations, each a Horner evaluation of that player's
+        interpolated polynomial at the encoded type index."""
+        circuit = ArithmeticCircuit(self.field)
+        type_wires = [circuit.input_wire() for _ in range(self.n)]
+        # Encoded index wire: mixed-radix combination of the type wires.
+        index_wire = None
+        for player, wire in enumerate(type_wires):
+            if index_wire is None:
+                index_wire = wire
+            else:
+                scaled = circuit.const_mul(
+                    index_wire, self.game.num_types[player]
+                )
+                index_wire = circuit.add(scaled, wire)
+        output_wires = []
+        for player in range(self.n):
+            poly = self._recommendation_polynomial(coin, player)
+            coeffs = poly.coeffs
+            # Horner: result = (...(c_d * x + c_{d-1}) * x + ...) + c_0
+            acc = None
+            for c in reversed(coeffs):
+                if acc is None:
+                    acc = circuit.const_add(
+                        circuit.const_mul(index_wire, 0), c
+                    )
+                else:
+                    acc = circuit.const_add(circuit.mul(acc, index_wire), c)
+            circuit.mark_output(acc)
+            output_wires.append(acc)
+        return circuit, output_wires
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run_once(
+        self,
+        types: Optional[TypeProfile] = None,
+        corrupted: Optional[Set[int]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> CheapTalkResult:
+        """One execution of the cheap-talk protocol.
+
+        ``corrupted`` parties submit uniformly random shares at the
+        directed-opening phase (worst-case behaviour for the decoder is
+        arbitrary wrong values; random values are as hard to correct).
+        """
+        rng = rng if rng is not None else np.random.default_rng()
+        corrupted = set(corrupted or ())
+        if len(corrupted) > self.t:
+            raise ValueError(
+                f"protocol is parameterized for at most t={self.t} faults"
+            )
+        if types is None:
+            flat = self.game.prior.reshape(-1)
+            choice = int(rng.choice(len(flat), p=flat / flat.sum()))
+            types = self._type_space[choice]
+        coin = self._joint_coin(rng)
+        circuit, _ = self._build_circuit(coin)
+        engine = SMPCEngine(self.field, self.n, self.t, rng=rng)
+        transcript = engine.run(circuit, list(types))
+
+        recommended_idx = self._quantized[types][coin]
+        recommended = _decode_action_index(recommended_idx, self.game.num_actions)
+
+        played: List[int] = []
+        failures: List[int] = []
+        for player in range(self.n):
+            wire = circuit.outputs[player]
+            shares = []
+            for party in range(self.n):
+                y = transcript.wire_shares[wire][party]
+                if party in corrupted:
+                    y = self.field.rand(rng)
+                shares.append(Share(x=party + 1, y=y))
+            decoded = self._robust_decode(shares)
+            if decoded is None:
+                failures.append(player)
+                played.append(self.punishment_actions[player])
+            else:
+                action = decoded % self.game.num_actions[player]
+                played.append(action)
+        return CheapTalkResult(
+            types=types,
+            coin=coin,
+            recommended=recommended,
+            played=tuple(played),
+            decode_failures=tuple(failures),
+            punished=bool(failures),
+        )
+
+    def _robust_decode(self, shares: List[Share]) -> Optional[int]:
+        """Berlekamp–Welch decode of an output wire (degree t)."""
+        max_errors = (self.n - self.t - 1) // 2
+        effective = min(max_errors, self.t)
+        if effective < 0:
+            return None
+        try:
+            return reconstruct_with_errors(
+                self.field, shares, t=self.t, max_errors=effective
+            )
+        except ValueError:
+            return None
+
+    def sample_action_distribution(
+        self,
+        types: TypeProfile,
+        n_samples: int,
+        corrupted: Optional[Set[int]] = None,
+        seed: int = 0,
+    ) -> Dict[ActionProfile, float]:
+        """Empirical distribution of played actions over protocol runs."""
+        rng = np.random.default_rng(seed)
+        counts: Dict[ActionProfile, int] = {}
+        for _ in range(n_samples):
+            result = self.run_once(types=types, corrupted=corrupted, rng=rng)
+            counts[result.played] = counts.get(result.played, 0) + 1
+        return {k: v / n_samples for k, v in counts.items()}
+
+    def implements_mediator(
+        self,
+        n_samples: int = 400,
+        tolerance: float = 0.08,
+        seed: int = 0,
+    ) -> bool:
+        """The paper's "implements": for each type profile, the cheap-talk
+        action distribution matches the mediator's (within sampling +
+        quantization tolerance)."""
+        for types in self._type_space:
+            if float(self.game.prior[types]) == 0.0:
+                continue
+            empirical = self.sample_action_distribution(
+                types, n_samples, seed=seed
+            )
+            ideal = self.quantized_distribution(types)
+            if not distributions_match(empirical, ideal, tolerance):
+                return False
+        return True
+
+
+def distributions_match(
+    d1: Dict[ActionProfile, float],
+    d2: Dict[ActionProfile, float],
+    tolerance: float,
+) -> bool:
+    """Total-variation distance comparison of two finite distributions."""
+    keys = set(d1) | set(d2)
+    tv = 0.5 * sum(abs(d1.get(k, 0.0) - d2.get(k, 0.0)) for k in keys)
+    return tv <= tolerance

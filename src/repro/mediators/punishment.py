@@ -1,0 +1,151 @@
+"""(k+t)-punishment strategies.
+
+The ADGH ``n > 2k + 3t`` regime requires a *punishment strategy*: a
+profile that, if used by all but at most ``k + t`` players, guarantees
+every player a worse outcome than the equilibrium gives them.  This
+module searches for such profiles in finite games and computes the
+classical minmax punishment levels.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.games.normal_form import (
+    NormalFormGame,
+    PureProfile,
+    profile_as_mixed,
+    pure_profiles,
+)
+
+__all__ = ["PunishmentSpec", "minmax_punishment", "has_punishment_strategy"]
+
+
+@dataclass
+class PunishmentSpec:
+    """A verified punishment profile.
+
+    ``margin`` is the smallest gap between a player's equilibrium payoff
+    and the best that player (or any coalition containing them) can
+    achieve while the rest punish.
+    """
+
+    profile: PureProfile
+    margin: float
+    tolerated_deviators: int
+
+
+def minmax_punishment(
+    game: NormalFormGame, player: int
+) -> Tuple[float, PureProfile]:
+    """The pure-strategy minmax value of ``player`` and a minimizing profile.
+
+    ``min`` over the others' pure profiles of ``player``'s best response.
+    (Pure minmax upper-bounds mixed minmax; sufficient for the paper's
+    examples, and documented as such.)
+    """
+    best_value = np.inf
+    best_profile: Optional[PureProfile] = None
+    others_spaces = [
+        range(game.num_actions[j]) if j != player else (0,)
+        for j in range(game.n_players)
+    ]
+    for combo in itertools.product(*others_spaces):
+        responses = []
+        for a in range(game.num_actions[player]):
+            profile = tuple(
+                a if j == player else combo[j] for j in range(game.n_players)
+            )
+            responses.append(game.payoff(player, profile))
+        value = max(responses)
+        if value < best_value:
+            best_value = value
+            best_action = int(np.argmax(responses))
+            best_profile = tuple(
+                best_action if j == player else combo[j]
+                for j in range(game.n_players)
+            )
+    assert best_profile is not None
+    return float(best_value), best_profile
+
+
+def _worst_case_utilities_under_deviation(
+    game: NormalFormGame, punish: PureProfile, deviators: Sequence[int]
+) -> np.ndarray:
+    """For a fixed deviating set, the max utility each player can see over
+    all pure joint deviations of that set."""
+    spaces = [
+        range(game.num_actions[j]) if j in deviators else (punish[j],)
+        for j in range(game.n_players)
+    ]
+    best = np.full(game.n_players, -np.inf)
+    for combo in itertools.product(*spaces):
+        values = game.payoff_vector(tuple(combo))
+        best = np.maximum(best, values)
+    return best
+
+
+def has_punishment_strategy(
+    game: NormalFormGame,
+    equilibrium_payoffs: Sequence[float],
+    max_deviators: int,
+    strict_margin: float = 1e-9,
+    punish_whom: str = "deviators",
+) -> Optional[PunishmentSpec]:
+    """Search for a (``max_deviators``)-punishment strategy.
+
+    A pure profile ``q`` qualifies if, for every set ``D`` of up to
+    ``max_deviators`` players not following ``q`` and every joint action
+    of ``D``, the punished players' payoffs stay strictly below their
+    equilibrium payoffs.  ``punish_whom`` selects the reading of "every
+    player" in the paper's clause:
+
+    * ``"deviators"`` (default, the ADGH deterrence reading): the players
+      *not* following the punishment profile must end up strictly worse
+      than at equilibrium no matter what they do;
+    * ``"everyone"`` (literal reading): all players — including the
+      punishers — must end up strictly worse.
+
+    Returns the qualifying profile with the largest margin, or ``None``.
+    """
+    if punish_whom not in ("deviators", "everyone"):
+        raise ValueError("punish_whom must be 'deviators' or 'everyone'")
+    eq = np.asarray(equilibrium_payoffs, dtype=float)
+    if eq.shape != (game.n_players,):
+        raise ValueError("need one equilibrium payoff per player")
+    best_spec: Optional[PunishmentSpec] = None
+    n = game.n_players
+    deviator_sets: List[Tuple[int, ...]] = []
+    for size in range(1, min(max_deviators, n) + 1):
+        deviator_sets.extend(itertools.combinations(range(n), size))
+    if punish_whom == "everyone" or max_deviators == 0:
+        deviator_sets.insert(0, ())
+    for punish in pure_profiles(game.num_actions):
+        margin = np.inf
+        ok = True
+        for deviators in deviator_sets:
+            worst = _worst_case_utilities_under_deviation(
+                game, punish, deviators
+            )
+            judged = (
+                list(deviators) if punish_whom == "deviators" and deviators
+                else list(range(n))
+            )
+            gaps = eq[judged] - worst[judged]
+            if np.any(gaps <= strict_margin):
+                ok = False
+                break
+            margin = min(margin, float(gaps.min()))
+        if ok:
+            spec = PunishmentSpec(
+                profile=punish,
+                margin=float(margin),
+                tolerated_deviators=max_deviators,
+            )
+            if best_spec is None or spec.margin > best_spec.margin:
+                best_spec = spec
+    return best_spec

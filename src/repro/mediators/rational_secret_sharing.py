@@ -1,0 +1,293 @@
+"""Rational secret sharing (Halpern–Teague 2004), cited in Section 2.
+
+Setting: a dealer has Shamir-shared a secret among ``n`` rational agents
+with threshold ``t`` (any ``t+1`` shares reconstruct).  Agents have the
+utilities Halpern–Teague assume:
+
+1. each agent prefers outcomes where they learn the secret, and
+2. among those, prefers outcomes where *fewer* other agents learn it.
+
+The **naive protocol** — everyone broadcasts their share in one round —
+is not a Nash equilibrium: withholding your own share while receiving the
+others' lets you reconstruct alone (you keep your ``t+1``-th share) while
+depriving the rest, which utility (2) strictly prefers.  With
+simultaneous broadcast and ``n = t+1`` participants, withholding weakly
+dominates; iterated deletion leaves nobody sharing, so nobody learns.
+
+The **Halpern–Teague randomized protocol** defeats this with test
+rounds: in each iteration the dealer (or a jointly generated coin)
+makes it a *real* round with probability ``alpha`` and a *fake* round
+otherwise; agents cannot tell which before broadcasting.  Fake rounds
+broadcast re-randomized garbage shares; an agent who withholds is caught
+(the protocol aborts forever — a grim punishment), and with probability
+``1 - alpha`` the round was fake, so the cheater learned nothing.
+Honest participation is a Nash equilibrium iff the expected gain from
+cheating in a real round is outweighed by the risk of being punished in
+a fake one:
+
+    alpha * U_alone + (1 - alpha) * U_none  <=  U_all
+
+where ``U_alone`` is the cheater's utility when only they learn,
+``U_all`` when everyone learns, ``U_none`` when nobody does.  Hence
+honesty is an equilibrium iff ``alpha <= (U_all - U_none) /
+(U_alone - U_none)`` — the quantitative content reproduced by the
+ablation benchmark.
+
+This module implements both protocols over the real Shamir substrate
+(:mod:`repro.crypto.shamir`), an explicit deviation space (broadcast vs
+withhold policies), and the equilibrium analysis.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.crypto.field import PrimeField
+from repro.crypto.shamir import Share, reconstruct_secret, share_secret
+
+__all__ = [
+    "RSSUtilities",
+    "RSSOutcome",
+    "naive_protocol_outcome",
+    "naive_protocol_is_equilibrium",
+    "RandomizedRSSProtocol",
+    "honest_equilibrium_alpha_bound",
+]
+
+
+@dataclass(frozen=True)
+class RSSUtilities:
+    """Halpern–Teague preferences, as three calibration points.
+
+    ``u_all``: everyone learns the secret (the honest outcome).
+    ``u_alone``: only I learn it (the cheater's dream).
+    ``u_none``: nobody learns it.
+    Halpern–Teague require ``u_alone > u_all > u_none``.
+    """
+
+    u_all: float = 1.0
+    u_alone: float = 2.0
+    u_none: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.u_alone > self.u_all > self.u_none:
+            raise ValueError(
+                "rational secret sharing needs u_alone > u_all > u_none"
+            )
+
+    def outcome_utility(self, i_learn: bool, others_learn: int) -> float:
+        """Utility of an agent given what was learned.
+
+        Interpolates the calibration points: learning alone is best,
+        learning with everyone is ``u_all``; not learning is ``u_none``
+        regardless of others (condition 1 dominates condition 2).
+        """
+        if not i_learn:
+            return self.u_none
+        if others_learn == 0:
+            return self.u_alone
+        return self.u_all
+
+
+@dataclass
+class RSSOutcome:
+    """Who learned the secret in one protocol execution."""
+
+    learned: Tuple[bool, ...]
+    rounds: int
+    aborted: bool
+    cheater_caught: Optional[int] = None
+
+    def utility(self, player: int, utilities: RSSUtilities) -> float:
+        others = sum(
+            1 for j, l in enumerate(self.learned) if l and j != player
+        )
+        return utilities.outcome_utility(self.learned[player], others)
+
+
+# ---------------------------------------------------------------------------
+# The naive one-round protocol
+# ---------------------------------------------------------------------------
+
+
+def naive_protocol_outcome(
+    n: int,
+    t: int,
+    broadcast_policy: Sequence[bool],
+    field: Optional[PrimeField] = None,
+    secret: int = 424242,
+    rng: Optional[np.random.Generator] = None,
+) -> RSSOutcome:
+    """One round of 'everyone broadcasts their share simultaneously'.
+
+    ``broadcast_policy[i]`` is True if agent ``i`` sends their share.
+    Agent ``i`` learns the secret iff the shares they end up holding
+    (their own plus every broadcast one) number at least ``t + 1``.
+    """
+    if len(broadcast_policy) != n:
+        raise ValueError("need one policy bit per agent")
+    field = field or PrimeField()
+    rng = rng if rng is not None else np.random.default_rng(0)
+    shares = share_secret(field, secret, n=n, t=t, rng=rng)
+    broadcasters = [i for i in range(n) if broadcast_policy[i]]
+    learned = []
+    for i in range(n):
+        available = {i} | set(broadcasters)
+        can_learn = len(available) >= t + 1
+        if can_learn:
+            subset = [shares[j] for j in sorted(available)][: t + 1]
+            assert reconstruct_secret(field, subset) == secret
+        learned.append(can_learn)
+    return RSSOutcome(learned=tuple(learned), rounds=1, aborted=False)
+
+
+def naive_protocol_is_equilibrium(
+    n: int, t: int, utilities: Optional[RSSUtilities] = None
+) -> bool:
+    """Is all-broadcast a Nash equilibrium of the naive protocol?
+
+    Checked exhaustively over unilateral withhold deviations.  For
+    ``n = t + 1`` (every share needed) the answer is **no**: withholding
+    keeps everyone else ignorant while the deviator still learns.
+    For ``n > t + 1`` withholding does not even reduce what others learn,
+    so honesty is (weakly) an equilibrium — which is why Halpern–Teague
+    focus on the tight case.
+    """
+    utilities = utilities or RSSUtilities()
+    honest = [True] * n
+    base = naive_protocol_outcome(n, t, honest)
+    for deviator in range(n):
+        policy = list(honest)
+        policy[deviator] = False
+        outcome = naive_protocol_outcome(n, t, policy)
+        if outcome.utility(deviator, utilities) > base.utility(
+            deviator, utilities
+        ) + 1e-12:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# The randomized (test-round) protocol
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RandomizedRSSProtocol:
+    """Halpern–Teague-style randomized rational secret sharing.
+
+    Each iteration is real with probability ``alpha``.  In a fake
+    iteration the dealer distributes shares of a garbage value; agents
+    broadcast whatever they were dealt.  A withholder is detected at the
+    end of the iteration (shares are authenticated); upon detection the
+    protocol aborts forever.  A cheater therefore gets ``u_alone`` only
+    if the iteration happened to be real (probability ``alpha``) and
+    ``u_none`` otherwise, while honest play eventually yields ``u_all``.
+
+    ``run`` simulates executions; ``honest_is_equilibrium`` performs the
+    exact expected-utility comparison (no sampling error).
+    """
+
+    n: int
+    t: int
+    alpha: float
+    utilities: RSSUtilities = RSSUtilities()
+    max_iterations: int = 10_000
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must lie in (0, 1]")
+        if not 0 < self.t < self.n:
+            raise ValueError("need 0 < t < n")
+
+    def run(
+        self,
+        cheater: Optional[int] = None,
+        seed: int = 0,
+        secret: int = 77777,
+    ) -> RSSOutcome:
+        """Simulate one execution; ``cheater`` always withholds."""
+        rng = np.random.default_rng(seed)
+        field = PrimeField()
+        for iteration in range(1, self.max_iterations + 1):
+            is_real = bool(rng.random() < self.alpha)
+            value = secret if is_real else int(rng.integers(field.p))
+            shares = share_secret(field, value, self.n, self.t, rng=rng)
+            if cheater is None:
+                if is_real:
+                    # Everyone broadcast; everyone reconstructs.
+                    assert (
+                        reconstruct_secret(field, shares[: self.t + 1])
+                        == secret
+                    )
+                    return RSSOutcome(
+                        learned=(True,) * self.n,
+                        rounds=iteration,
+                        aborted=False,
+                    )
+                continue
+            # The cheater withholds this iteration.
+            if is_real:
+                learned = [False] * self.n
+                learned[cheater] = self.n - 1 >= self.t  # others' shares + own
+                return RSSOutcome(
+                    learned=tuple(learned),
+                    rounds=iteration,
+                    aborted=True,
+                    cheater_caught=cheater,
+                )
+            # Fake round: cheating detected, nothing leaked, abort.
+            return RSSOutcome(
+                learned=(False,) * self.n,
+                rounds=iteration,
+                aborted=True,
+                cheater_caught=cheater,
+            )
+        return RSSOutcome(
+            learned=(False,) * self.n,
+            rounds=self.max_iterations,
+            aborted=False,
+        )
+
+    def expected_honest_utility(self) -> float:
+        """All honest: the secret is eventually revealed to everyone."""
+        return self.utilities.u_all
+
+    def expected_cheating_utility(self) -> float:
+        """Always-withhold deviator: alpha-weighted gamble.
+
+        Requires ``n - 1 >= t + 1`` shares... precisely, the cheater holds
+        their own share plus the ``n - 1`` broadcast ones, so they learn
+        in a real round iff ``n >= t + 1`` (always true); the others hold
+        only ``n - 1`` shares *minus* the withheld one and learn iff
+        ``n - 1 >= t + 1``.  For the tight case ``n = t + 1`` the others
+        learn nothing — the interesting regime.
+        """
+        others_learn = (self.n - 1) >= (self.t + 1)
+        if others_learn:
+            u_real = self.utilities.u_all
+        else:
+            u_real = self.utilities.u_alone
+        return self.alpha * u_real + (1 - self.alpha) * self.utilities.u_none
+
+    def honest_is_equilibrium(self) -> bool:
+        """Exact comparison of honest vs always-withhold utilities."""
+        return (
+            self.expected_cheating_utility()
+            <= self.expected_honest_utility() + 1e-12
+        )
+
+
+def honest_equilibrium_alpha_bound(utilities: RSSUtilities) -> float:
+    """The largest alpha keeping honesty an equilibrium (tight case).
+
+    From ``alpha * u_alone + (1-alpha) * u_none <= u_all``:
+    ``alpha <= (u_all - u_none) / (u_alone - u_none)``.
+    """
+    return (utilities.u_all - utilities.u_none) / (
+        utilities.u_alone - utilities.u_none
+    )

@@ -1,0 +1,64 @@
+"""Equilibrium-computation substrate.
+
+The paper repeatedly needs "compute the Nash equilibria of this small
+game" as a primitive; this package provides it from scratch:
+
+* :mod:`repro.solvers.pure` — pure-equilibrium enumeration and
+  best-response dynamics for n-player games.
+* :mod:`repro.solvers.support_enumeration` — all equilibria of
+  nondegenerate 2-player games.
+* :mod:`repro.solvers.lemke_howson` — one equilibrium of a 2-player game
+  via complementary pivoting (integer pivoting, Lemke–Howson).
+* :mod:`repro.solvers.zerosum` — minimax solution of zero-sum games by
+  linear programming.
+* :mod:`repro.solvers.dominance` — iterated elimination of dominated
+  strategies (pure and mixed-domination via LP).
+* :mod:`repro.solvers.fictitious_play` / :mod:`repro.solvers.replicator`
+  — learning/evolutionary dynamics.
+* :mod:`repro.solvers.correlated` — correlated equilibria by LP (the
+  "mediator" solution concept in its classical form).
+"""
+
+from repro.solvers.pure import (
+    best_response_dynamics,
+    epsilon_pure_equilibria,
+    pure_equilibria,
+)
+from repro.solvers.support_enumeration import support_enumeration
+from repro.solvers.vertex_enumeration import vertex_enumeration
+from repro.solvers.lemke_howson import lemke_howson, lemke_howson_all
+from repro.solvers.zerosum import zero_sum_value, zero_sum_equilibrium
+from repro.solvers.dominance import (
+    iterated_strict_dominance,
+    iterated_weak_dominance,
+    mixed_dominated_actions,
+)
+from repro.solvers.fictitious_play import fictitious_play
+from repro.solvers.replicator import (
+    multi_population_replicator,
+    replicator_dynamics,
+)
+from repro.solvers.correlated import (
+    correlated_equilibrium,
+    is_correlated_equilibrium,
+)
+
+__all__ = [
+    "best_response_dynamics",
+    "correlated_equilibrium",
+    "epsilon_pure_equilibria",
+    "fictitious_play",
+    "is_correlated_equilibrium",
+    "iterated_strict_dominance",
+    "iterated_weak_dominance",
+    "lemke_howson",
+    "lemke_howson_all",
+    "mixed_dominated_actions",
+    "multi_population_replicator",
+    "pure_equilibria",
+    "replicator_dynamics",
+    "support_enumeration",
+    "vertex_enumeration",
+    "zero_sum_equilibrium",
+    "zero_sum_value",
+]

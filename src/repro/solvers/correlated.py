@@ -1,0 +1,125 @@
+"""Correlated equilibrium by linear programming.
+
+A correlated equilibrium is a distribution over pure action profiles such
+that, when a mediator draws a profile and privately recommends each player
+their component, following the recommendation is optimal.  This is the
+classical "mediator" solution concept; Section 2's mediated games
+generalize it with robustness, so this LP doubles as the baseline the
+(k,t)-robust machinery is compared against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.games.normal_form import NormalFormGame, PureProfile, pure_profiles
+
+__all__ = ["correlated_equilibrium", "is_correlated_equilibrium"]
+
+
+def _profiles(game: NormalFormGame):
+    return list(pure_profiles(game.num_actions))
+
+
+def is_correlated_equilibrium(
+    game: NormalFormGame,
+    distribution: Dict[PureProfile, float],
+    tol: float = 1e-7,
+) -> bool:
+    """Check the obedience constraints for a profile distribution."""
+    total = sum(distribution.values())
+    if abs(total - 1.0) > 1e-6 or any(p < -tol for p in distribution.values()):
+        return False
+    for player in range(game.n_players):
+        for recommended in range(game.num_actions[player]):
+            for alternative in range(game.num_actions[player]):
+                if alternative == recommended:
+                    continue
+                gain = 0.0
+                for profile, prob in distribution.items():
+                    if prob <= 0 or profile[player] != recommended:
+                        continue
+                    deviated = (
+                        profile[:player]
+                        + (alternative,)
+                        + profile[player + 1 :]
+                    )
+                    gain += prob * (
+                        game.payoff(player, deviated)
+                        - game.payoff(player, profile)
+                    )
+                if gain > tol:
+                    return False
+    return True
+
+
+def correlated_equilibrium(
+    game: NormalFormGame,
+    objective: str = "welfare",
+    weights: Optional[np.ndarray] = None,
+) -> Dict[PureProfile, float]:
+    """Compute a correlated equilibrium optimizing a linear objective.
+
+    ``objective`` is ``"welfare"`` (maximize total payoff), ``"uniform"``
+    (feasibility only; maximize entropy proxy = nothing), or ``"custom"``
+    with ``weights`` giving the per-profile objective coefficients.
+    """
+    profiles = _profiles(game)
+    index = {p: i for i, p in enumerate(profiles)}
+    n_vars = len(profiles)
+
+    rows = []
+    for player in range(game.n_players):
+        for recommended in range(game.num_actions[player]):
+            for alternative in range(game.num_actions[player]):
+                if alternative == recommended:
+                    continue
+                row = np.zeros(n_vars)
+                for profile in profiles:
+                    if profile[player] != recommended:
+                        continue
+                    deviated = (
+                        profile[:player]
+                        + (alternative,)
+                        + profile[player + 1 :]
+                    )
+                    row[index[profile]] = game.payoff(
+                        player, deviated
+                    ) - game.payoff(player, profile)
+                rows.append(row)
+    a_ub = np.array(rows) if rows else np.zeros((0, n_vars))
+    b_ub = np.zeros(a_ub.shape[0])
+    a_eq = np.ones((1, n_vars))
+    b_eq = np.ones(1)
+
+    if objective == "welfare":
+        c = -np.array(
+            [game.payoff_vector(p).sum() for p in profiles]
+        )
+    elif objective == "uniform":
+        c = np.zeros(n_vars)
+    elif objective == "custom":
+        if weights is None or len(weights) != n_vars:
+            raise ValueError("custom objective needs one weight per profile")
+        c = -np.asarray(weights, dtype=float)
+    else:
+        raise ValueError(f"unknown objective {objective!r}")
+
+    result = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=[(0.0, 1.0)] * n_vars,
+        method="highs",
+    )
+    if not result.success:
+        raise RuntimeError(f"correlated-equilibrium LP failed: {result.message}")
+    x = np.clip(result.x, 0.0, None)
+    x /= x.sum()
+    return {p: float(x[i]) for p, i in index.items() if x[i] > 1e-12}

@@ -1,0 +1,154 @@
+"""Iterated elimination of dominated strategies.
+
+Both pure-by-pure dominance and domination by *mixed* strategies (checked
+with a small LP) are supported.  Iterated strict dominance is
+order-independent; iterated weak dominance is not, and the implementation
+removes, at each round, every currently weakly dominated action
+simultaneously (one standard convention, documented here so results are
+reproducible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.games.normal_form import NormalFormGame
+
+__all__ = [
+    "EliminationResult",
+    "iterated_strict_dominance",
+    "iterated_weak_dominance",
+    "mixed_dominated_actions",
+]
+
+
+@dataclass
+class EliminationResult:
+    """Result of an iterated-elimination run.
+
+    ``kept`` maps each player to the surviving original action indices;
+    ``rounds`` records, per elimination round, the (player, original
+    action) pairs removed; ``reduced`` is the surviving subgame.
+    """
+
+    kept: List[List[int]]
+    rounds: List[List[Tuple[int, int]]]
+    reduced: NormalFormGame
+
+
+def _is_mixed_dominated(
+    payoff: np.ndarray, action: int, candidates: Sequence[int], strict: bool
+) -> bool:
+    """Is ``action`` dominated by a mixture over ``candidates``?
+
+    ``payoff`` has this player's actions on axis 0 and one column per
+    opponent profile.  Strict mixed domination is decided by the standard
+    LP: find a mixture beating ``action`` by at least ``eps`` everywhere,
+    maximizing ``eps``; dominated iff the optimum is positive.
+    """
+    others = [a for a in candidates if a != action]
+    if not others:
+        return False
+    target = payoff[action]
+    mat = payoff[others]  # (k, n_columns)
+    k, n_cols = mat.shape
+    # Variables: weights w_1..w_k, eps.  Maximize eps.
+    c = np.zeros(k + 1)
+    c[-1] = -1.0
+    # Constraints: -(mat^T w) + target + eps <= 0  per column.
+    a_ub = np.concatenate([-mat.T, np.ones((n_cols, 1))], axis=1)
+    b_ub = -target
+    a_eq = np.concatenate([np.ones((1, k)), np.zeros((1, 1))], axis=1)
+    b_eq = np.ones(1)
+    bounds = [(0.0, None)] * k + [(None, None)]
+    result = linprog(
+        c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        return False
+    eps = float(result.x[-1])
+    if strict:
+        return eps > 1e-9
+    # Weak domination: need eps >= 0 achievable with strict gain somewhere.
+    if eps < -1e-9:
+        return False
+    weights = result.x[:k]
+    gains = mat.T @ weights - target
+    return bool(np.all(gains >= -1e-9) and np.any(gains > 1e-9))
+
+
+def mixed_dominated_actions(
+    game: NormalFormGame,
+    player: int,
+    strict: bool = True,
+    kept: Sequence[Sequence[int]] = None,
+) -> List[int]:
+    """Actions of ``player`` dominated by some mixed strategy.
+
+    ``kept`` optionally restricts every player's action set first.
+    """
+    if kept is None:
+        kept = [list(range(m)) for m in game.num_actions]
+    sub = game.restrict(kept)
+    local_player_actions = list(range(len(kept[player])))
+    payoff = np.moveaxis(sub.payoffs[player], player, 0)
+    flat = payoff.reshape(payoff.shape[0], -1)
+    dominated_local = [
+        a
+        for a in local_player_actions
+        if _is_mixed_dominated(flat, a, local_player_actions, strict)
+    ]
+    return [kept[player][a] for a in dominated_local]
+
+
+def _iterate(
+    game: NormalFormGame, strict: bool, use_mixed: bool
+) -> EliminationResult:
+    kept: List[List[int]] = [list(range(m)) for m in game.num_actions]
+    rounds: List[List[Tuple[int, int]]] = []
+    while True:
+        removed_this_round: List[Tuple[int, int]] = []
+        sub = game.restrict(kept)
+        for player in range(game.n_players):
+            if len(kept[player]) <= 1:
+                continue
+            if use_mixed:
+                dominated = mixed_dominated_actions(
+                    game, player, strict=strict, kept=kept
+                )
+            else:
+                dominated = [
+                    kept[player][a]
+                    for a in sub.dominated_actions(player, strict=strict)
+                ]
+            for original_action in dominated:
+                removed_this_round.append((player, original_action))
+        if not removed_this_round:
+            break
+        rounds.append(removed_this_round)
+        for player, original_action in removed_this_round:
+            if (
+                original_action in kept[player]
+                and len(kept[player]) > 1
+            ):
+                kept[player].remove(original_action)
+    return EliminationResult(kept=kept, rounds=rounds, reduced=game.restrict(kept))
+
+
+def iterated_strict_dominance(
+    game: NormalFormGame, use_mixed: bool = False
+) -> EliminationResult:
+    """Iteratively remove strictly dominated actions until none remain."""
+    return _iterate(game, strict=True, use_mixed=use_mixed)
+
+
+def iterated_weak_dominance(
+    game: NormalFormGame, use_mixed: bool = False
+) -> EliminationResult:
+    """Iteratively remove weakly dominated actions (simultaneous convention)."""
+    return _iterate(game, strict=False, use_mixed=use_mixed)

@@ -1,0 +1,78 @@
+"""Fictitious play: each player best-responds to opponents' empirical play.
+
+Converges (in empirical frequencies) for 2-player zero-sum games, 2x2
+games, and potential games; the empirical mixture approximates an
+equilibrium there.  Works for any number of players here (joint
+independent empirical beliefs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.games.normal_form import MixedProfile, NormalFormGame
+
+__all__ = ["FictitiousPlayResult", "fictitious_play"]
+
+
+@dataclass
+class FictitiousPlayResult:
+    """Outcome of a fictitious-play run."""
+
+    empirical: MixedProfile
+    last_actions: List[int]
+    iterations: int
+    regret: float
+
+    def is_approximate_nash(self, game: NormalFormGame, tol: float) -> bool:
+        return game.max_regret(self.empirical) <= tol
+
+
+def fictitious_play(
+    game: NormalFormGame,
+    iterations: int = 2_000,
+    initial_actions: Optional[List[int]] = None,
+    rng: Optional[np.random.Generator] = None,
+    tie_break: str = "first",
+) -> FictitiousPlayResult:
+    """Run simultaneous fictitious play for ``iterations`` steps.
+
+    ``tie_break`` is ``"first"`` (deterministic) or ``"random"``.
+    """
+    if tie_break not in ("first", "random"):
+        raise ValueError("tie_break must be 'first' or 'random'")
+    if tie_break == "random" and rng is None:
+        rng = np.random.default_rng(0)
+    counts = [np.zeros(m) for m in game.num_actions]
+    if initial_actions is None:
+        initial_actions = [0] * game.n_players
+    actions = list(initial_actions)
+    for player, action in enumerate(actions):
+        counts[player][action] += 1.0
+
+    for _ in range(iterations - 1):
+        beliefs = [c / c.sum() for c in counts]
+        new_actions = []
+        for player in range(game.n_players):
+            values = game.payoff_against(player, beliefs)
+            best = values.max()
+            candidates = np.flatnonzero(values >= best - 1e-12)
+            if tie_break == "first":
+                choice = int(candidates[0])
+            else:
+                choice = int(rng.choice(candidates))
+            new_actions.append(choice)
+        actions = new_actions
+        for player, action in enumerate(actions):
+            counts[player][action] += 1.0
+
+    empirical = [c / c.sum() for c in counts]
+    return FictitiousPlayResult(
+        empirical=empirical,
+        last_actions=actions,
+        iterations=iterations,
+        regret=game.max_regret(empirical),
+    )

@@ -1,0 +1,170 @@
+"""Lemke–Howson complementary pivoting for bimatrix games.
+
+Uses integer pivoting on a pair of tableaux, following the classical
+algorithm: labels ``0..m-1`` are the row player's actions, labels
+``m..m+n-1`` the column player's.  Starting from the artificial
+equilibrium, dropping an initial label and alternating pivots between the
+two tableaux until the dropped label reappears yields a Nash equilibrium.
+
+Guaranteed to terminate on nondegenerate games; a ``max_iterations`` guard
+handles degenerate cycling by raising ``RuntimeError``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.games.normal_form import MixedProfile, NormalFormGame
+
+__all__ = ["lemke_howson", "lemke_howson_all"]
+
+
+def _non_basic_variables(tableau: np.ndarray) -> Set[int]:
+    """Labels currently out of the basis (columns with != 1 nonzero entry)."""
+    columns = tableau[:, :-1].T
+    return {
+        i
+        for i, col in enumerate(columns)
+        if np.count_nonzero(col) != 1 or col.max() <= 0
+    }
+
+
+def _pivot(tableau: np.ndarray, column: int) -> Set[int]:
+    """Integer-pivot ``tableau`` bringing ``column`` into the basis.
+
+    Returns the set of labels that left the basis (singleton for
+    nondegenerate steps).
+    """
+    original = _non_basic_variables(tableau)
+    ratios = []
+    for row in range(tableau.shape[0]):
+        coef = tableau[row, column]
+        if coef > 0:
+            ratios.append((tableau[row, -1] / coef, row))
+    if not ratios:
+        raise RuntimeError("unbounded pivot; malformed tableau")
+    pivot_row = min(ratios)[1]
+    pivot_value = tableau[pivot_row, column]
+    for row in range(tableau.shape[0]):
+        if row == pivot_row:
+            continue
+        tableau[row, :] = (
+            tableau[row, :] * pivot_value
+            - tableau[pivot_row, :] * tableau[row, column]
+        )
+    # Keep numbers from exploding: divide each row by its gcd-like scale.
+    for row in range(tableau.shape[0]):
+        scale = np.max(np.abs(tableau[row, :]))
+        if scale > 1e12:
+            tableau[row, :] /= scale
+    return _non_basic_variables(tableau) - original
+
+
+def _tableau_to_strategy(
+    tableau: np.ndarray, own_labels: range
+) -> np.ndarray:
+    """Read a strategy off a tableau's basic variables."""
+    basic = set(range(tableau.shape[1] - 1)) - _non_basic_variables(tableau)
+    vertex = np.zeros(len(own_labels))
+    for idx, label in enumerate(own_labels):
+        if label in basic:
+            col = tableau[:, label]
+            row = int(np.flatnonzero(col)[0])
+            vertex[idx] = tableau[row, -1] / tableau[row, label]
+    total = vertex.sum()
+    if total <= 0:
+        raise RuntimeError("degenerate tableau produced the zero vertex")
+    return vertex / total
+
+
+def lemke_howson(
+    game: NormalFormGame,
+    initial_dropped_label: int = 0,
+    max_iterations: int = 10_000,
+) -> MixedProfile:
+    """One Nash equilibrium of a 2-player game via Lemke–Howson.
+
+    ``initial_dropped_label`` selects the path (0..m+n-1); different labels
+    can reach different equilibria.
+    """
+    if game.n_players != 2:
+        raise ValueError("Lemke-Howson requires a 2-player game")
+    a = game.payoffs[0].copy()
+    b = game.payoffs[1].copy()
+    m, n = a.shape
+    if not 0 <= initial_dropped_label < m + n:
+        raise ValueError("initial_dropped_label out of range")
+    # Make payoffs strictly positive (equilibria are shift-invariant).
+    shift = 1.0 - min(a.min(), b.min())
+    a = a + shift
+    b = b + shift
+
+    # Column player's tableau: rows indexed by column strategies.
+    # Columns: [row-strategy labels 0..m-1 | slacks m..m+n-1 | RHS].
+    col_tableau = np.concatenate(
+        [b.T, np.eye(n), np.ones((n, 1))], axis=1
+    ).astype(float)
+    # Row player's tableau: rows indexed by row strategies.
+    row_tableau = np.concatenate(
+        [np.eye(m), a, np.ones((m, 1))], axis=1
+    ).astype(float)
+
+    if initial_dropped_label < m:
+        entering, tableau = initial_dropped_label, col_tableau
+    else:
+        entering, tableau = initial_dropped_label, row_tableau
+
+    full_labels = set(range(m + n))
+    current = entering
+    for _ in range(max_iterations):
+        dropped = _pivot(tableau, current)
+        if not dropped:
+            raise RuntimeError("pivot dropped no label (degenerate game)")
+        current = min(dropped)
+        if current == initial_dropped_label:
+            break
+        tableau = row_tableau if tableau is col_tableau else col_tableau
+    else:
+        raise RuntimeError("Lemke-Howson did not terminate (cycling)")
+    del full_labels
+
+    row_strategy = _tableau_to_strategy(col_tableau, range(0, m))
+    col_strategy = _tableau_to_strategy(row_tableau, range(m, m + n))
+    profile = [row_strategy, col_strategy]
+    # Without lexicographic tie-breaking, degenerate games can terminate at
+    # a non-equilibrium vertex; fail honestly rather than return it.
+    if not game.is_nash(profile, tol=1e-6):
+        raise RuntimeError(
+            "Lemke-Howson terminated at a non-equilibrium point (the game "
+            "is degenerate); use support_enumeration instead"
+        )
+    return profile
+
+
+def lemke_howson_all(
+    game: NormalFormGame, tol: float = 1e-7
+) -> List[MixedProfile]:
+    """Run Lemke–Howson from every initial label; deduplicate the results.
+
+    Not guaranteed to find *all* equilibria, but cheap and often complete
+    for small games.
+    """
+    if game.n_players != 2:
+        raise ValueError("Lemke-Howson requires a 2-player game")
+    m, n = game.num_actions
+    found: List[MixedProfile] = []
+    for label in range(m + n):
+        try:
+            profile = lemke_howson(game, initial_dropped_label=label)
+        except RuntimeError:
+            continue
+        if not game.is_nash(profile, tol=1e-6):
+            continue
+        if not any(
+            all(np.allclose(x, y, atol=tol) for x, y in zip(profile, other))
+            for other in found
+        ):
+            found.append(profile)
+    return found

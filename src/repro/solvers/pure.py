@@ -1,0 +1,69 @@
+"""Pure-strategy equilibrium computation for n-player games."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.games.normal_form import (
+    NormalFormGame,
+    PureProfile,
+    profile_as_mixed,
+    pure_profiles,
+)
+
+__all__ = ["pure_equilibria", "epsilon_pure_equilibria", "best_response_dynamics"]
+
+
+def pure_equilibria(game: NormalFormGame, tol: float = 1e-9) -> List[PureProfile]:
+    """All pure Nash equilibria (exhaustive over pure profiles)."""
+    return game.pure_nash_equilibria(tol=tol)
+
+
+def epsilon_pure_equilibria(
+    game: NormalFormGame, epsilon: float
+) -> List[PureProfile]:
+    """All pure profiles from which no player gains more than ``epsilon``."""
+    out = []
+    for profile in pure_profiles(game.num_actions):
+        mixed = profile_as_mixed(profile, game.num_actions)
+        if game.max_regret(mixed) <= epsilon:
+            out.append(profile)
+    return out
+
+
+def best_response_dynamics(
+    game: NormalFormGame,
+    start: Optional[PureProfile] = None,
+    max_iterations: int = 10_000,
+    tol: float = 1e-9,
+) -> Tuple[Optional[PureProfile], List[PureProfile]]:
+    """Sequential better-reply dynamics from ``start``.
+
+    Players are scanned round-robin; the first player with a strictly
+    improving deviation switches to a best response.  Converges on games
+    with the finite improvement property (e.g. potential games); returns
+    ``(equilibrium_or_None, trajectory)``.
+    """
+    profile: PureProfile = start if start is not None else (0,) * game.n_players
+    if len(profile) != game.n_players:
+        raise ValueError("start profile has the wrong arity")
+    trajectory = [profile]
+    for _ in range(max_iterations):
+        improved = False
+        for player in range(game.n_players):
+            mixed = profile_as_mixed(profile, game.num_actions)
+            current = game.expected_payoff(player, mixed)
+            values = game.payoff_against(player, mixed)
+            best_action = int(values.argmax())
+            if values[best_action] > current + tol:
+                profile = (
+                    profile[:player] + (best_action,) + profile[player + 1 :]
+                )
+                trajectory.append(profile)
+                improved = True
+                break
+        if not improved:
+            return profile, trajectory
+    return None, trajectory

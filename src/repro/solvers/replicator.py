@@ -1,0 +1,143 @@
+"""Replicator dynamics (discrete-time) for evolutionary analysis.
+
+Two variants:
+
+* :func:`replicator_dynamics` — single-population dynamics on a symmetric
+  2-player game; the state is one mixture over the action set.
+* :func:`multi_population_replicator` — one population per player role of
+  an arbitrary n-player game.
+
+Fixed points of the dynamics interior to the simplex are Nash equilibria;
+the tournament/evolution experiments (E13) build on this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.games.normal_form import MixedProfile, NormalFormGame
+
+__all__ = [
+    "ReplicatorResult",
+    "replicator_dynamics",
+    "multi_population_replicator",
+]
+
+
+@dataclass
+class ReplicatorResult:
+    """Trajectory and terminal state of a replicator run."""
+
+    trajectory: List[MixedProfile]
+    final: MixedProfile
+    converged: bool
+    iterations: int
+
+
+def _step_population(
+    fitness: np.ndarray, population: np.ndarray, step: float
+) -> np.ndarray:
+    """One discrete replicator step: growth proportional to excess fitness."""
+    average = float(fitness @ population)
+    # Shift fitness to be positive so the multiplicative update is valid.
+    shifted = fitness - fitness.min() + 1e-9
+    shifted_avg = float(shifted @ population)
+    updated = population * (
+        (1.0 - step) + step * shifted / max(shifted_avg, 1e-12)
+    )
+    del average
+    updated = np.clip(updated, 0.0, None)
+    total = updated.sum()
+    if total <= 0:
+        raise RuntimeError("replicator population collapsed")
+    return updated / total
+
+
+def replicator_dynamics(
+    game: NormalFormGame,
+    initial: Optional[Sequence[float]] = None,
+    iterations: int = 10_000,
+    step: float = 0.1,
+    tol: float = 1e-10,
+    record_every: int = 100,
+) -> ReplicatorResult:
+    """Single-population replicator dynamics on a symmetric 2-player game."""
+    if game.n_players != 2 or not game.is_symmetric():
+        raise ValueError("single-population replicator needs a symmetric game")
+    m = game.num_actions[0]
+    state = (
+        np.full(m, 1.0 / m)
+        if initial is None
+        else np.asarray(initial, dtype=float)
+    )
+    if state.shape != (m,) or abs(state.sum() - 1.0) > 1e-6 or np.any(state < 0):
+        raise ValueError("initial state must be a distribution over actions")
+    a = game.payoffs[0]
+    trajectory: List[MixedProfile] = [[state.copy(), state.copy()]]
+    converged = False
+    done = iterations
+    for it in range(iterations):
+        fitness = a @ state
+        new_state = _step_population(fitness, state, step)
+        if np.max(np.abs(new_state - state)) < tol:
+            state = new_state
+            converged = True
+            done = it + 1
+            break
+        state = new_state
+        if (it + 1) % record_every == 0:
+            trajectory.append([state.copy(), state.copy()])
+    trajectory.append([state.copy(), state.copy()])
+    return ReplicatorResult(
+        trajectory=trajectory,
+        final=[state.copy(), state.copy()],
+        converged=converged,
+        iterations=done,
+    )
+
+
+def multi_population_replicator(
+    game: NormalFormGame,
+    initial: Optional[MixedProfile] = None,
+    iterations: int = 10_000,
+    step: float = 0.1,
+    tol: float = 1e-10,
+    record_every: int = 100,
+) -> ReplicatorResult:
+    """One population per player role; asymmetric games supported."""
+    if initial is None:
+        profile = game.uniform_profile()
+    else:
+        profile = [np.asarray(v, dtype=float).copy() for v in initial]
+        game.validate_profile(profile)
+    trajectory: List[MixedProfile] = [[v.copy() for v in profile]]
+    converged = False
+    done = iterations
+    for it in range(iterations):
+        new_profile = []
+        for player in range(game.n_players):
+            fitness = game.payoff_against(player, profile)
+            new_profile.append(
+                _step_population(fitness, profile[player], step)
+            )
+        delta = max(
+            float(np.max(np.abs(a - b)))
+            for a, b in zip(new_profile, profile)
+        )
+        profile = new_profile
+        if delta < tol:
+            converged = True
+            done = it + 1
+            break
+        if (it + 1) % record_every == 0:
+            trajectory.append([v.copy() for v in profile])
+    trajectory.append([v.copy() for v in profile])
+    return ReplicatorResult(
+        trajectory=trajectory,
+        final=[v.copy() for v in profile],
+        converged=converged,
+        iterations=done,
+    )

@@ -1,0 +1,106 @@
+"""All mixed Nash equilibria of 2-player games by support enumeration.
+
+For each pair of equal-size supports ``(I, J)`` we solve the indifference
+system: the column player's mixture over ``J`` must make every row in ``I``
+equally good (and no row outside better), and symmetrically.  Complete for
+nondegenerate bimatrix games; degenerate games may have equilibrium
+components of which representatives are still found.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.games.normal_form import MixedProfile, NormalFormGame
+
+__all__ = ["support_enumeration", "indifference_mixture"]
+
+
+def indifference_mixture(
+    payoff: np.ndarray,
+    own_support: Sequence[int],
+    other_support: Sequence[int],
+) -> Optional[np.ndarray]:
+    """Solve for the *other* player's mixture making ``own_support`` indifferent.
+
+    ``payoff`` is this player's matrix with own actions as rows.  Returns a
+    full-length probability vector over the other player's actions (support
+    restricted to ``other_support``), or ``None`` if no valid solution.
+    """
+    own = list(own_support)
+    other = list(other_support)
+    k = len(own)
+    if k != len(other):
+        raise ValueError("supports must have equal size")
+    # Unknowns: probabilities p_j for j in `other`, plus the common value v.
+    # Equations: sum_j payoff[i, j] p_j - v = 0 for i in own; sum_j p_j = 1.
+    a = np.zeros((k + 1, k + 1))
+    b = np.zeros(k + 1)
+    for row, i in enumerate(own):
+        a[row, :k] = payoff[np.ix_([i], other)][0]
+        a[row, k] = -1.0
+    a[k, :k] = 1.0
+    b[k] = 1.0
+    try:
+        solution = np.linalg.solve(a, b)
+    except np.linalg.LinAlgError:
+        return None
+    probs = solution[:k]
+    if np.any(probs < -1e-9):
+        return None
+    full = np.zeros(payoff.shape[1])
+    full[other] = np.clip(probs, 0.0, None)
+    total = full.sum()
+    if total <= 0:
+        return None
+    return full / total
+
+
+def _supports(n: int) -> Iterator[Tuple[int, ...]]:
+    for size in range(1, n + 1):
+        yield from itertools.combinations(range(n), size)
+
+
+def support_enumeration(
+    game: NormalFormGame, tol: float = 1e-9
+) -> List[MixedProfile]:
+    """Enumerate mixed Nash equilibria of a 2-player game.
+
+    Returns a list of mixed profiles ``[x, y]``.  Duplicate equilibria
+    (from degenerate supports) are removed up to ``tol``.
+    """
+    if game.n_players != 2:
+        raise ValueError("support enumeration requires a 2-player game")
+    a = game.payoffs[0]  # row player, rows are own actions
+    b = game.payoffs[1].T  # column player with own actions as rows
+    m, n = a.shape
+    found: List[MixedProfile] = []
+    for support_row in _supports(m):
+        for support_col in (s for s in _supports(n) if len(s) == len(support_row)):
+            y = indifference_mixture(a, support_row, support_col)
+            x = indifference_mixture(b, support_col, support_row)
+            if x is None or y is None:
+                continue
+            # supports must actually be used
+            if np.any(x[list(support_row)] <= tol) or np.any(
+                y[list(support_col)] <= tol
+            ):
+                continue
+            profile = [x, y]
+            if game.is_nash(profile, tol=max(tol, 1e-7)) and not _seen(
+                found, profile, tol=1e-7
+            ):
+                found.append(profile)
+    return found
+
+
+def _seen(found: List[MixedProfile], profile: MixedProfile, tol: float) -> bool:
+    for other in found:
+        if all(
+            np.allclose(a, b, atol=tol) for a, b in zip(other, profile)
+        ):
+            return True
+    return False

@@ -1,0 +1,106 @@
+"""Vertex enumeration for 2-player Nash equilibria.
+
+A third, independent algorithm (after support enumeration and
+Lemke–Howson) used for cross-validation: enumerate the vertices of both
+players' best-response polytopes and pair up fully-labelled vertices.
+
+For the row player with payoff matrix ``A`` (made positive) the polytope
+is ``P = {x >= 0 : B^T x <= 1}``; labels of a vertex are the binding
+inequalities.  A pair of vertices ``(x, y)`` with every label of the game
+covered corresponds to a Nash equilibrium after normalization.  Practical
+for games up to ~6x6 actions; degenerate games may yield redundant
+vertices, which are filtered by the final Nash check.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from repro.games.normal_form import MixedProfile, NormalFormGame
+
+__all__ = ["vertex_enumeration"]
+
+
+def _polytope_vertices(
+    halfspace_matrix: np.ndarray, n_vars: int
+) -> List[Tuple[np.ndarray, Set[int]]]:
+    """Vertices of {z >= 0 : M z <= 1} with their binding-label sets.
+
+    Labels: 0..n_vars-1 are the nonnegativity constraints (z_i = 0);
+    n_vars..n_vars+rows-1 are the rows of ``M`` at equality.
+    """
+    m_rows = halfspace_matrix.shape[0]
+    constraints = np.vstack([-np.eye(n_vars), halfspace_matrix])
+    rhs = np.concatenate([np.zeros(n_vars), np.ones(m_rows)])
+    vertices: List[Tuple[np.ndarray, Set[int]]] = []
+    for combo in itertools.combinations(range(n_vars + m_rows), n_vars):
+        a = constraints[list(combo)]
+        b = rhs[list(combo)]
+        try:
+            z = np.linalg.solve(a, b)
+        except np.linalg.LinAlgError:
+            continue
+        satisfied = constraints @ z <= rhs + 1e-9
+        if not bool(np.all(satisfied)):
+            continue
+        if np.allclose(z, 0.0):
+            continue  # the origin is the artificial vertex
+        binding = {
+            label
+            for label in range(n_vars + m_rows)
+            if abs(constraints[label] @ z - rhs[label]) <= 1e-9
+        }
+        if not any(np.allclose(z, v) for v, _ in vertices):
+            vertices.append((z, binding))
+    return vertices
+
+
+def vertex_enumeration(
+    game: NormalFormGame, tol: float = 1e-7
+) -> List[MixedProfile]:
+    """All Nash equilibria of a nondegenerate 2-player game."""
+    if game.n_players != 2:
+        raise ValueError("vertex enumeration requires a 2-player game")
+    a = game.payoffs[0].copy()
+    b = game.payoffs[1].copy()
+    m, n = a.shape
+    shift = 1.0 - min(a.min(), b.min())
+    a += shift
+    b += shift
+
+    # Row player's polytope: {x >= 0 : B^T x <= 1}.
+    #   labels 0..m-1: x_i = 0 (row strategy i unused)
+    #   labels m..m+n-1: column j is a best response.
+    row_vertices = _polytope_vertices(b.T, m)
+    # Column player's polytope: {y >= 0 : A y <= 1}.
+    #   labels 0..n-1 map to game labels m..m+n-1 (y_j = 0)
+    #   labels n..n+m-1 map to game labels 0..m-1 (row i best response).
+    col_vertices = _polytope_vertices(a, n)
+
+    full = set(range(m + n))
+    found: List[MixedProfile] = []
+    for x, x_labels in row_vertices:
+        x_game_labels = set()
+        for label in x_labels:
+            x_game_labels.add(label if label < m else label)
+        for y, y_labels in col_vertices:
+            y_game_labels = set()
+            for label in y_labels:
+                if label < n:
+                    y_game_labels.add(m + label)
+                else:
+                    y_game_labels.add(label - n)
+            if x_game_labels | y_game_labels != full:
+                continue
+            profile = [x / x.sum(), y / y.sum()]
+            if not game.is_nash(profile, tol=1e-6):
+                continue
+            if not any(
+                all(np.allclose(p, q, atol=tol) for p, q in zip(profile, other))
+                for other in found
+            ):
+                found.append(profile)
+    return found

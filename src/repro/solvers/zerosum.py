@@ -1,0 +1,63 @@
+"""Zero-sum games by linear programming (scipy's HiGHS backend).
+
+The row player maximizes the game value ``v`` subject to every column of
+the payoff matrix yielding at least ``v`` against the chosen mixture.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.games.normal_form import MixedProfile, NormalFormGame
+
+__all__ = ["zero_sum_value", "zero_sum_equilibrium"]
+
+
+def _maximin_mixture(payoff: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Mixture over rows of ``payoff`` maximizing the worst-case column value."""
+    m, n = payoff.shape
+    # Variables: x_0..x_{m-1}, v.  Maximize v == minimize -v.
+    c = np.zeros(m + 1)
+    c[-1] = -1.0
+    # Constraints: -payoff[:, j] . x + v <= 0 for each column j.
+    a_ub = np.concatenate([-payoff.T, np.ones((n, 1))], axis=1)
+    b_ub = np.zeros(n)
+    a_eq = np.concatenate([np.ones((1, m)), np.zeros((1, 1))], axis=1)
+    b_eq = np.ones(1)
+    bounds = [(0.0, None)] * m + [(None, None)]
+    result = linprog(
+        c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        raise RuntimeError(f"zero-sum LP failed: {result.message}")
+    x = np.clip(result.x[:m], 0.0, None)
+    x /= x.sum()
+    return x, float(result.x[-1])
+
+
+def zero_sum_equilibrium(
+    game: NormalFormGame, tol: float = 1e-9
+) -> Tuple[MixedProfile, float]:
+    """Minimax equilibrium and value of a 2-player zero-sum game.
+
+    Returns ``([x, y], value)`` where ``value`` is the row player's
+    equilibrium payoff.
+    """
+    if game.n_players != 2:
+        raise ValueError("zero-sum solver requires a 2-player game")
+    if not game.is_zero_sum(tol=1e-6):
+        raise ValueError("game is not zero-sum")
+    a = game.payoffs[0]
+    x, value = _maximin_mixture(a)
+    # Column player maximizes their own payoff -A => mixture over columns of -A^T rows.
+    y, _ = _maximin_mixture(-a.T)
+    return [x, y], value
+
+
+def zero_sum_value(game: NormalFormGame) -> float:
+    """The minimax value (to the row player) of a zero-sum game."""
+    return zero_sum_equilibrium(game)[1]

@@ -1,0 +1,136 @@
+"""Tests for Byzantine agreement (E4): protocols and impossibility."""
+
+import pytest
+
+from repro.dist.agreement import (
+    check_agreement,
+    run_eig_agreement,
+    run_mediator_agreement,
+    run_phase_king_agreement,
+    search_for_disagreement,
+    two_faced_script,
+)
+from repro.dist.simulator import (
+    ByzantineRandomAdversary,
+    CrashAdversary,
+    NoFaultAdversary,
+    ScriptedAdversary,
+)
+
+
+class TestSpecChecker:
+    def test_agreement_and_validity(self):
+        out = check_agreement({1: 1, 2: 1}, general_value=1, general_faulty=False)
+        assert out.correct
+
+    def test_disagreement_detected(self):
+        out = check_agreement({1: 0, 2: 1}, general_value=1, general_faulty=False)
+        assert not out.agreement
+
+    def test_validity_vacuous_when_general_faulty(self):
+        out = check_agreement({1: 0, 2: 0}, general_value=1, general_faulty=True)
+        assert out.validity and out.agreement
+
+
+class TestEIG:
+    @pytest.mark.parametrize("general_value", [0, 1])
+    def test_no_faults(self, general_value):
+        out = run_eig_agreement(4, 1, general_value)
+        assert out.correct
+        assert set(out.outputs.values()) == {general_value}
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("general_value", [0, 1])
+    def test_random_byzantine_nongeneral(self, seed, general_value):
+        adv = ByzantineRandomAdversary({3}, seed=seed)
+        assert run_eig_agreement(4, 1, general_value, adv).correct
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_byzantine_general(self, seed):
+        adv = ByzantineRandomAdversary({0}, seed=seed)
+        out = run_eig_agreement(4, 1, 1, adv)
+        # General faulty: only agreement is required.
+        assert out.agreement
+
+    def test_two_faced_nongeneral(self):
+        for flip_for in ({0}, {1}, {0, 1}):
+            adv = ScriptedAdversary({3}, two_faced_script(flip_for))
+            assert run_eig_agreement(4, 1, 1, adv).correct
+
+    def test_two_faced_general(self):
+        adv = ScriptedAdversary({0}, two_faced_script({1}))
+        out = run_eig_agreement(4, 1, 1, adv)
+        assert out.agreement
+
+    def test_crash_fault(self):
+        adv = CrashAdversary({2}, crash_round={2: 1})
+        assert run_eig_agreement(4, 1, 1, adv).correct
+
+    def test_t2_needs_seven(self):
+        adv = ByzantineRandomAdversary({5, 6}, seed=3)
+        assert run_eig_agreement(7, 2, 1, adv).correct
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            run_eig_agreement(1, 0, 1)
+        with pytest.raises(ValueError):
+            run_eig_agreement(4, 4, 1)
+
+
+class TestPhaseKing:
+    @pytest.mark.parametrize("general_value", [0, 1])
+    def test_no_faults(self, general_value):
+        out = run_phase_king_agreement(5, 1, general_value)
+        assert out.correct
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_byzantine(self, seed):
+        adv = ByzantineRandomAdversary({4}, seed=seed)
+        assert run_phase_king_agreement(5, 1, 1, adv).correct
+
+    def test_two_faced(self):
+        adv = ScriptedAdversary({4}, two_faced_script({1, 2}))
+        assert run_phase_king_agreement(5, 1, 0, adv).correct
+
+
+class TestMediator:
+    def test_trivial_correctness(self):
+        out = run_mediator_agreement(4, 1)
+        assert out.correct
+
+    def test_tolerates_any_number_of_faulty_players(self):
+        # Even n-1 faulty players cannot disturb honest listeners.
+        adv = ByzantineRandomAdversary({1, 2, 3}, seed=0)
+        out = run_mediator_agreement(4, 1, adv)
+        assert out.outputs == {0: 1}
+        assert out.correct
+
+    def test_mediator_cannot_be_corrupted(self):
+        with pytest.raises(ValueError):
+            run_mediator_agreement(3, 1, ByzantineRandomAdversary({3}))
+
+    def test_faulty_general_still_agreement(self):
+        adv = ByzantineRandomAdversary({0}, seed=1)
+        out = run_mediator_agreement(4, 1, adv)
+        assert out.agreement  # everyone follows the mediator
+
+
+class TestImpossibility:
+    def test_n3_t1_breaks(self):
+        violation = search_for_disagreement(3, 1, "eig", random_seeds=10)
+        assert violation is not None
+        assert not violation.correct
+
+    def test_n4_t1_survives_search(self):
+        violation = search_for_disagreement(4, 1, "eig", random_seeds=10)
+        assert violation is None
+
+    def test_n6_t2_breaks(self):
+        violation = search_for_disagreement(
+            6, 2, "eig", general_values=(1,), random_seeds=2
+        )
+        assert violation is not None
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            search_for_disagreement(3, 1, "paxos")

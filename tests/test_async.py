@@ -1,0 +1,146 @@
+"""Tests for the asynchronous substrate and Ben-Or consensus."""
+
+import pytest
+
+from repro.dist.async_sim import (
+    AsyncMessage,
+    AsyncNetwork,
+    AsyncNode,
+    BenOrNode,
+    FIFOScheduler,
+    NaiveWaitAllNode,
+    RandomScheduler,
+    StarvationScheduler,
+    run_ben_or,
+)
+
+
+class PingNode(AsyncNode):
+    """Sends one ping to the next node; records what it receives."""
+
+    def __init__(self, node_id, n_nodes):
+        super().__init__(node_id, n_nodes)
+        self.received = []
+
+    def on_start(self):
+        return [
+            AsyncMessage(
+                sender=self.node_id,
+                recipient=(self.node_id + 1) % self.n_nodes,
+                payload=("ping", self.node_id),
+            )
+        ]
+
+    def on_message(self, message):
+        self.received.append(message)
+        self.output = message.payload
+        return []
+
+
+class TestAsyncNetwork:
+    def test_delivery_and_stamping(self):
+        nodes = [PingNode(i, 3) for i in range(3)]
+        AsyncNetwork(nodes, FIFOScheduler()).run()
+        for i, node in enumerate(nodes):
+            assert node.output == ("ping", (i - 1) % 3)
+            assert node.received[0].sender == (i - 1) % 3
+
+    def test_node_position_validation(self):
+        with pytest.raises(ValueError):
+            AsyncNetwork([PingNode(1, 2), PingNode(0, 2)])
+
+    def test_crashed_node_receives_nothing(self):
+        nodes = [PingNode(i, 3) for i in range(3)]
+        net = AsyncNetwork(nodes, FIFOScheduler(), crashed={1: 0})
+        net.run()
+        assert nodes[1].received == []
+
+    def test_random_scheduler_deterministic(self):
+        def run(seed):
+            nodes = [PingNode(i, 4) for i in range(4)]
+            net = AsyncNetwork(nodes, RandomScheduler(seed))
+            net.run()
+            return [n.output for n in nodes]
+
+        assert run(3) == run(3)
+
+    def test_deadlock_detection(self):
+        nodes = [NaiveWaitAllNode(i, 3, 1) for i in range(3)]
+        net = AsyncNetwork(nodes, FIFOScheduler(), crashed={2: 0})
+        net.run()
+        assert net.is_deadlocked()
+
+    def test_naive_protocol_works_without_faults(self):
+        nodes = [NaiveWaitAllNode(i, 5, 1 if i < 3 else 0) for i in range(5)]
+        net = AsyncNetwork(nodes, RandomScheduler(1))
+        net.run()
+        assert all(node.output == 1 for node in nodes)
+        assert not net.is_deadlocked()
+
+
+class TestBenOr:
+    def test_unanimous_validity(self):
+        for value in (0, 1):
+            result = run_ben_or(
+                5, 2, [value] * 5, scheduler=RandomScheduler(0)
+            )
+            assert result.agreement and result.validity
+            assert set(result.outputs.values()) == {value}
+
+    def test_mixed_inputs_reach_agreement(self):
+        for seed in range(5):
+            result = run_ben_or(
+                5, 2, [0, 1, 0, 1, 1],
+                scheduler=RandomScheduler(seed), seed=seed,
+            )
+            assert result.agreement
+
+    def test_unanimous_decides_in_one_phase(self):
+        result = run_ben_or(4, 1, [1, 1, 1, 1], scheduler=FIFOScheduler())
+        # Every node should decide by the end of phase 1 (maybe having
+        # started phase 2's bookkeeping).
+        assert result.agreement and result.validity
+        assert result.max_phase <= 2
+
+    def test_tolerates_crashes(self):
+        result = run_ben_or(
+            5, 2, [1, 1, 1, 1, 1],
+            scheduler=RandomScheduler(2),
+            crashed={0: 10, 4: 0},
+        )
+        assert result.agreement and result.validity
+        assert set(result.outputs) == {1, 2, 3}
+
+    def test_survives_starvation_scheduler(self):
+        for target in range(4):
+            result = run_ben_or(
+                4, 1, [0, 1, 1, 0],
+                scheduler=StarvationScheduler(target, seed=target),
+                seed=target,
+            )
+            assert result.agreement
+
+    def test_crash_during_run_keeps_agreement(self):
+        for seed in range(4):
+            result = run_ben_or(
+                5, 2, [0, 1, 1, 0, 1],
+                scheduler=RandomScheduler(seed),
+                crashed={1: 25},
+                seed=seed,
+            )
+            assert result.agreement
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BenOrNode(0, 4, t=2, initial=0)  # t >= n/2
+        with pytest.raises(ValueError):
+            run_ben_or(3, 1, [0, 1])  # arity mismatch
+
+    def test_deciders_drag_stragglers(self):
+        # Even under heavy starvation of one node, the DECIDE broadcast
+        # eventually reaches it and it outputs the same value.
+        result = run_ben_or(
+            5, 2, [1, 1, 1, 1, 1],
+            scheduler=StarvationScheduler(3, seed=9),
+        )
+        assert result.outputs.get(3) == 1

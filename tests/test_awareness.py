@@ -1,0 +1,236 @@
+"""Tests for games with awareness and generalized Nash equilibrium (E9, E10)."""
+
+import pytest
+
+from repro.core.awareness import (
+    GameWithAwareness,
+    canonical_representation,
+    find_generalized_nash,
+)
+from repro.core.awareness_examples import (
+    figure1_unaware_game,
+    figure_gamma_games,
+    gamma_b_game,
+    virtual_move_game,
+)
+from repro.games.classics import figure1_game
+from repro.games.extensive import ExtensiveFormGame
+
+
+def a_and_b_moves(gne, a_key, a_infoset, b_key, b_infoset):
+    a = max(gne[a_key][a_infoset], key=gne[a_key][a_infoset].get)
+    b = max(gne[b_key][b_infoset], key=gne[b_key][b_infoset].get)
+    return a, b
+
+
+class TestConstruction:
+    def test_canonical_representation_builds(self):
+        gw = canonical_representation(figure1_game())
+        assert gw.modeler_game == "G"
+        assert gw.strategy_pairs() == [(0, "G"), (1, "G")]
+
+    def test_missing_f_entry_rejected(self):
+        game = figure1_game()
+        with pytest.raises(ValueError):
+            GameWithAwareness(
+                games={"g": game},
+                modeler_game="g",
+                f_map={("g", ()): ("g", "A")},  # B's node missing
+            )
+
+    def test_wrong_player_infoset_rejected(self):
+        game = figure1_game()
+        with pytest.raises(ValueError):
+            GameWithAwareness(
+                games={"g": game},
+                modeler_game="g",
+                f_map={
+                    ("g", ()): ("g", "B"),  # A's node mapped to B's infoset
+                    ("g", ("across_A",)): ("g", "B"),
+                },
+            )
+
+    def test_unavailable_believed_moves_rejected(self):
+        # Believed game offers a move the actual node lacks.
+        restricted = ExtensiveFormGame(2, name="restricted")
+        restricted.add_decision((), player=0, moves=("down_A",), infoset="A0")
+        restricted.add_terminal(("down_A",), (1.0, 1.0))
+        restricted.finalize()
+        bigger = ExtensiveFormGame(2, name="bigger")
+        bigger.add_decision((), player=0, moves=("x", "y"), infoset="AX")
+        bigger.add_terminal(("x",), (0.0, 0.0))
+        bigger.add_terminal(("y",), (0.0, 0.0))
+        bigger.finalize()
+        with pytest.raises(ValueError):
+            GameWithAwareness(
+                games={"r": restricted, "b": bigger},
+                modeler_game="r",
+                f_map={("r", ()): ("b", "AX"), ("b", ()): ("b", "AX")},
+            )
+
+    def test_unknown_believed_game_rejected(self):
+        game = figure1_game()
+        with pytest.raises(ValueError):
+            GameWithAwareness(
+                games={"g": game},
+                modeler_game="g",
+                f_map={
+                    ("g", ()): ("missing", "A"),
+                    ("g", ("across_A",)): ("g", "B"),
+                },
+            )
+
+    def test_modeler_game_must_exist(self):
+        with pytest.raises(ValueError):
+            GameWithAwareness(games={}, modeler_game="g", f_map={})
+
+
+class TestCanonicalEquivalence:
+    """Nash of Γ iff generalized Nash of the canonical representation."""
+
+    def test_nash_profiles_are_gne(self):
+        game = figure1_game()
+        gw = canonical_representation(game)
+        # (across_A, down_B) is a Nash equilibrium of the tree game.
+        profile = {
+            (0, "G"): {"A": {"across_A": 1.0, "down_A": 0.0}},
+            (1, "G"): {"B": {"across_B": 0.0, "down_B": 1.0}},
+        }
+        behavioral = [profile[(0, "G")], profile[(1, "G")]]
+        assert game.is_nash(behavioral)
+        assert gw.is_generalized_nash(profile)
+
+    def test_non_nash_profiles_are_not_gne(self):
+        game = figure1_game()
+        gw = canonical_representation(game)
+        profile = {
+            (0, "G"): {"A": {"across_A": 1.0, "down_A": 0.0}},
+            (1, "G"): {"B": {"across_B": 1.0, "down_B": 0.0}},
+        }
+        behavioral = [profile[(0, "G")], profile[(1, "G")]]
+        assert not game.is_nash(behavioral)
+        assert not gw.is_generalized_nash(profile)
+
+    def test_full_equivalence_over_pure_profiles(self):
+        game = figure1_game()
+        gw = canonical_representation(game)
+        for a_move in ("across_A", "down_A"):
+            for b_move in ("across_B", "down_B"):
+                profile = {
+                    (0, "G"): {
+                        "A": {m: 1.0 if m == a_move else 0.0
+                              for m in ("across_A", "down_A")}
+                    },
+                    (1, "G"): {
+                        "B": {m: 1.0 if m == b_move else 0.0
+                              for m in ("across_B", "down_B")}
+                    },
+                }
+                behavioral = [profile[(0, "G")], profile[(1, "G")]]
+                assert game.is_nash(behavioral) == gw.is_generalized_nash(
+                    profile
+                )
+
+
+class TestUnawareA:
+    """The Figure 1 prose: unaware A plays down_A (E9)."""
+
+    def test_every_gne_has_a_playing_down(self):
+        gw = figure1_unaware_game()
+        gnes = list(gw.all_pure_generalized_nash())
+        assert gnes
+        for gne in gnes:
+            assert gne[(0, "gamma_b")]["A.3"]["down_A"] == 1.0
+
+    def test_nash_of_underlying_differs(self):
+        # The underlying game's subgame-perfect equilibrium has A across.
+        game = figure1_game()
+        profile, _values = game.backward_induction()
+        assert profile[0]["A"]["across_A"] == 1.0
+
+    def test_solver_finds_gne(self):
+        gw = figure1_unaware_game()
+        gne = find_generalized_nash(gw)
+        assert gne is not None
+        assert gw.is_generalized_nash(gne)
+
+
+class TestGammaStructure:
+    """Figures 2-3: the GNE depends on A's belief p that B is unaware (E10)."""
+
+    @staticmethod
+    def a_moves_across(gne):
+        return gne[(0, "gamma_a")]["A.1"]["across_A"] > 0.5
+
+    @staticmethod
+    def aware_b_plays_down(gne):
+        return gne[(1, "modeler")]["B"]["down_B"] > 0.5
+
+    def test_low_p_supports_across(self):
+        gw = figure_gamma_games(0.25)
+        found = [
+            gne
+            for gne in gw.all_pure_generalized_nash()
+            if self.a_moves_across(gne)
+        ]
+        assert found
+        assert all(self.aware_b_plays_down(gne) for gne in found)
+
+    def test_high_p_kills_across(self):
+        gw = figure_gamma_games(0.75)
+        found = [
+            gne
+            for gne in gw.all_pure_generalized_nash()
+            if self.a_moves_across(gne)
+        ]
+        assert not found
+
+    def test_unaware_b_forced_across(self):
+        gw = figure_gamma_games(0.3)
+        for gne in gw.all_pure_generalized_nash():
+            assert gne[(1, "gamma_b")]["B.3"]["across_B"] == 1.0
+
+    def test_degenerate_probabilities(self):
+        with pytest.raises(ValueError):
+            figure_gamma_games(1.5)
+
+    def test_gamma_b_structure(self):
+        game = gamma_b_game()
+        assert game.n_players == 2
+        info = game.infoset_of(("across_A",))
+        assert info.moves == ("across_B",)
+
+
+class TestVirtualMoves:
+    """Awareness of unawareness: virtual moves (Section 4's extension)."""
+
+    def test_pessimistic_beliefs_stay_down(self):
+        gw = virtual_move_game(believed_virtual_payoffs=(0.5, 1.5))
+        gnes = list(gw.all_pure_generalized_nash())
+        assert gnes
+        # A believes the unknown move gives her 0.5 < 1: plays down_A.
+        for gne in gnes:
+            if gne[(1, "subjective")]["B.v"]["virtual"] == 1.0:
+                assert gne[(0, "subjective")]["A.v"]["down_A"] == 1.0
+
+    def test_optimistic_beliefs_go_across(self):
+        gw = virtual_move_game(believed_virtual_payoffs=(1.5, 1.5))
+        found = [
+            gne
+            for gne in gw.all_pure_generalized_nash()
+            if gne[(0, "subjective")]["A.v"]["across_A"] == 1.0
+        ]
+        assert found
+
+
+class TestLocalRegret:
+    def test_regret_zero_at_equilibrium(self):
+        gw = figure1_unaware_game()
+        gne = find_generalized_nash(gw)
+        for player, game_label in gw.strategy_pairs():
+            assert gw.local_regret(player, game_label, gne) <= 1e-9
+
+    def test_missing_strategy_detected(self):
+        gw = figure1_unaware_game()
+        with pytest.raises(ValueError):
+            gw.validate_profile({})

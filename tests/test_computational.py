@@ -1,0 +1,217 @@
+"""Tests for computational Nash equilibrium (E6, E7, E8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.computational import (
+    ConstantMachine,
+    LambdaMachine,
+    MachineGame,
+    RandomizingMachine,
+    VMMachine,
+    computational_nash_equilibria,
+    default_frpd_machines,
+    frpd_machine_game,
+    is_computational_nash,
+    primality_machine_game,
+    roshambo_machine_game,
+)
+from repro.machines.vm import trial_division_program
+
+
+class TestMachinePrimitives:
+    def test_constant_machine(self):
+        m = ConstantMachine(2, cost=1.5)
+        assert m.action_distribution("anything") == {2: 1.0}
+        assert m.complexity("anything") == 1.5
+
+    def test_lambda_machine(self):
+        m = LambdaMachine(act=lambda x: x % 2, cost=lambda x: float(x))
+        assert m.action_distribution(5) == {1: 1.0}
+        assert m.complexity(3) == 3.0
+
+    def test_randomizing_machine_validation(self):
+        with pytest.raises(ValueError):
+            RandomizingMachine({0: 0.5, 1: 0.6})
+
+    def test_vm_machine_counts_steps(self):
+        m = VMMachine(trial_division_program())
+        cheap = m.complexity(7)
+        expensive = m.complexity(10_007)
+        assert expensive > cheap  # steps grow with the input
+
+    def test_vm_machine_caches(self):
+        m = VMMachine(trial_division_program())
+        assert m.complexity(97) == m.complexity(97)
+
+
+class TestMachineGameCore:
+    def build_simple_game(self):
+        # Matching pennies as a machine game, everyone cost-free.
+        machines = [ConstantMachine(a, cost=0.0) for a in range(2)]
+        mixer = RandomizingMachine({0: 0.5, 1: 0.5}, cost=0.0, name="mix")
+
+        def utility_fn(types, actions, complexities):
+            match = 1.0 if actions[0] == actions[1] else -1.0
+            return [match, -match]
+
+        return MachineGame(
+            type_spaces=[[0], [0]],
+            prior={(0, 0): 1.0},
+            machine_sets=[machines + [mixer], machines + [mixer]],
+            utility_fn=utility_fn,
+        )
+
+    def test_expected_utilities(self):
+        game = self.build_simple_game()
+        heads = game.machine_sets[0][0]
+        mixer = game.machine_sets[0][2]
+        assert game.expected_utility(0, [heads, heads]) == pytest.approx(1.0)
+        assert game.expected_utility(0, [heads, mixer]) == pytest.approx(0.0)
+
+    def test_equilibrium_with_free_randomization(self):
+        game = self.build_simple_game()
+        mixer = game.machine_sets[0][2]
+        assert is_computational_nash(game, [mixer, mixer])
+
+    def test_pure_profiles_not_equilibria(self):
+        game = self.build_simple_game()
+        heads = game.machine_sets[0][0]
+        assert not is_computational_nash(game, [heads, heads])
+
+    def test_prior_validation(self):
+        with pytest.raises(ValueError):
+            MachineGame(
+                [[0]], {(0,): 0.5}, [[ConstantMachine(0)]], lambda *a: [0]
+            )
+
+    def test_type_space_membership_validated(self):
+        with pytest.raises(ValueError):
+            MachineGame(
+                [[0]], {(1,): 1.0}, [[ConstantMachine(0)]], lambda *a: [0]
+            )
+
+    def test_empty_machine_set_rejected(self):
+        with pytest.raises(ValueError):
+            MachineGame([[0]], {(0,): 1.0}, [[]], lambda *a: [0])
+
+
+class TestPrimalityGame:
+    """Example 3.1: equilibrium flips from answering to playing safe."""
+
+    def test_small_inputs_answering_is_equilibrium(self):
+        game = primality_machine_game([97, 91, 53], step_price=0.001)
+        eqs = computational_nash_equilibria(game)
+        names = {m[0].name for m in eqs}
+        assert names == {"trial_division"}
+
+    def test_large_inputs_safe_wins(self):
+        # Mix primes and composites so blind guessing has expected payoff
+        # 0 < 1 (safe); at this step price even the polynomial Fermat
+        # tester costs more than the $10 reward on 40-bit inputs.
+        numbers = [10**12 + 39, 10**12 + 61, 10**12 + 1, 10**12 + 3]
+        game = primality_machine_game(numbers, step_price=0.03)
+        eqs = computational_nash_equilibria(game)
+        names = {m[0].name for m in eqs}
+        assert names == {"play_safe"}
+
+    def test_moderate_inputs_polynomial_tester_wins(self):
+        # The intermediate regime: trial division is priced out but the
+        # polynomial VM tester still earns more than playing safe.
+        numbers = [10**12 + 39, 10**12 + 61, 10**12 + 1, 10**12 + 3]
+        game = primality_machine_game(numbers, step_price=0.005)
+        eqs = computational_nash_equilibria(game)
+        names = {m[0].name for m in eqs}
+        assert names <= {"fermat_vm", "miller_rabin"} and names
+
+    def test_zero_step_price_recovers_standard_nash(self):
+        # With computation free, the unique equilibrium answers correctly.
+        game = primality_machine_game([97, 91], step_price=0.0)
+        eqs = computational_nash_equilibria(game)
+        answerers = ("trial_division", "miller_rabin", "fermat_vm")
+        assert eqs and all(m[0].name in answerers for m in eqs)
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            primality_machine_game([])
+
+
+class TestFRPDGame:
+    """Example 3.2: tit-for-tat under memory pricing."""
+
+    def test_tft_equilibrium_long_game(self):
+        game = frpd_machine_game(n_rounds=20, delta=0.9, memory_price=0.05)
+        machines = game.machine_sets[0]
+        tft = next(m for m in machines if m.name == "tit_for_tat")
+        assert is_computational_nash(game, [tft, tft])
+
+    def test_tft_not_equilibrium_when_memory_free(self):
+        game = frpd_machine_game(n_rounds=20, delta=0.9, memory_price=0.0)
+        machines = game.machine_sets[0]
+        tft = next(m for m in machines if m.name == "tit_for_tat")
+        # With free memory, defecting at the last round is profitable.
+        assert not is_computational_nash(game, [tft, tft])
+
+    def test_always_defect_remains_equilibrium(self):
+        game = frpd_machine_game(n_rounds=10, delta=0.9, memory_price=0.05)
+        machines = game.machine_sets[0]
+        alld = next(m for m in machines if m.name == "always_defect")
+        assert is_computational_nash(game, [alld, alld])
+
+    def test_asymmetric_charging(self):
+        # Paper: bounded player plays TFT; unbounded best-responds with
+        # cooperate-then-defect-at-the-end.
+        game = frpd_machine_game(
+            n_rounds=12, delta=0.9, memory_price=0.05, charge_player=0
+        )
+        machines = game.machine_sets[0]
+        tft = next(m for m in machines if m.name == "tit_for_tat")
+        counter = next(m for m in machines if m.name.startswith("tft_defect"))
+        assert is_computational_nash(game, [tft, counter])
+
+    def test_crossover_in_game_length(self):
+        # Short game: defecting at the end worth it; long game: not.
+        short = frpd_machine_game(n_rounds=3, delta=0.9, memory_price=0.01)
+        long_ = frpd_machine_game(n_rounds=40, delta=0.9, memory_price=0.01)
+        for game, expected in ((short, False), (long_, True)):
+            machines = game.machine_sets[0]
+            tft = next(m for m in machines if m.name == "tit_for_tat")
+            assert is_computational_nash(game, [tft, tft]) == expected
+
+    def test_machine_space_documented(self):
+        machines = default_frpd_machines(8)
+        names = {m.name for m in machines}
+        assert "tit_for_tat" in names and "always_defect" in names
+
+
+class TestRoshamboGame:
+    """Example 3.3: no computational Nash equilibrium."""
+
+    def test_no_equilibrium_with_paper_costs(self):
+        game = roshambo_machine_game(
+            deterministic_cost=1.0, randomization_cost=2.0
+        )
+        assert computational_nash_equilibria(game) == []
+
+    def test_no_equilibrium_with_biased_randomizers_either(self):
+        game = roshambo_machine_game(include_biased_randomizers=True)
+        assert computational_nash_equilibria(game) == []
+
+    def test_equal_costs_restore_equilibrium(self):
+        # If randomizing costs the same as determinism, uniform mixing is
+        # an equilibrium again (complexities cancel).
+        game = roshambo_machine_game(
+            deterministic_cost=1.0, randomization_cost=1.0
+        )
+        eqs = computational_nash_equilibria(game)
+        assert any(
+            m[0].name == "uniform" and m[1].name == "uniform" for m in eqs
+        )
+
+    def test_deviation_structure_matches_paper_argument(self):
+        # Against a deterministic opponent the best response is the
+        # beating deterministic machine, not the randomizer.
+        game = roshambo_machine_game()
+        rock = game.machine_sets[0][0]
+        best, _value = game.best_response(1, [rock, rock])
+        assert best.name == "paper"

@@ -1,0 +1,239 @@
+"""Unit tests for the crypto substrate: field, Shamir, SMPC, toys."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.field import DEFAULT_PRIME, Polynomial, PrimeField
+from repro.crypto.shamir import (
+    Share,
+    berlekamp_welch,
+    reconstruct_secret,
+    reconstruct_with_errors,
+    share_secret,
+)
+from repro.crypto.smpc import ArithmeticCircuit, SMPCEngine
+from repro.crypto.toys import ToyCommitment, ToyPKI
+
+
+FIELD = PrimeField(101)
+BIG = PrimeField()
+
+
+class TestPrimeField:
+    def test_rejects_composite(self):
+        with pytest.raises(ValueError):
+            PrimeField(100)
+
+    def test_default_prime_is_mersenne(self):
+        assert DEFAULT_PRIME == 2**31 - 1
+
+    def test_inverse(self):
+        for a in range(1, 20):
+            assert FIELD.mul(a, FIELD.inv(a)) == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ZeroDivisionError):
+            FIELD.inv(0)
+
+    def test_arithmetic_wraps(self):
+        assert FIELD.add(100, 5) == 4
+        assert FIELD.sub(3, 5) == 99
+        assert FIELD.neg(1) == 100
+
+    def test_lagrange_interpolation(self):
+        # f(x) = 3 + 2x over GF(101)
+        points = [(1, 5), (2, 7)]
+        assert FIELD.lagrange_interpolate_at(points, 0) == 3
+        assert FIELD.lagrange_interpolate_at(points, 5) == 13
+
+    def test_lagrange_rejects_duplicate_x(self):
+        with pytest.raises(ValueError):
+            FIELD.lagrange_interpolate_at([(1, 5), (1, 7)], 0)
+
+
+class TestPolynomial:
+    def test_evaluation_horner(self):
+        p = Polynomial(FIELD, [3, 2, 1])  # 3 + 2x + x^2
+        assert p(0) == 3
+        assert p(2) == 11
+
+    def test_degree_and_trimming(self):
+        assert Polynomial(FIELD, [1, 0, 0]).degree == 0
+        assert Polynomial(FIELD, [0]).degree == -1
+
+    def test_addition_subtraction(self):
+        a = Polynomial(FIELD, [1, 2])
+        b = Polynomial(FIELD, [3, 4, 5])
+        assert (a + b).coeffs == [4, 6, 5]
+        assert (b - a).coeffs == [2, 2, 5]
+
+    def test_multiplication(self):
+        a = Polynomial(FIELD, [1, 1])  # 1 + x
+        b = Polynomial(FIELD, [1, 100])  # 1 - x
+        assert (a * b).coeffs == [1, 0, 100]  # 1 - x^2
+
+    def test_divmod_roundtrip(self):
+        a = Polynomial(FIELD, [2, 0, 3, 1])
+        b = Polynomial(FIELD, [1, 1])
+        q, r = a.divmod(b)
+        assert (q * b + r).coeffs == a.coeffs
+
+    def test_divide_by_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            Polynomial(FIELD, [1]).divmod(Polynomial(FIELD, [0]))
+
+    def test_interpolation_exact(self):
+        p = Polynomial(FIELD, [7, 3, 9])
+        points = [(x, p(x)) for x in (2, 5, 11)]
+        q = Polynomial.interpolate(FIELD, points)
+        assert q == p
+
+    def test_random_polynomial_constant_term(self):
+        rng = np.random.default_rng(0)
+        p = Polynomial.random(FIELD, degree=3, constant_term=42, rng=rng)
+        assert p(0) == 42
+
+    def test_cross_field_operations_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial(FIELD, [1]) + Polynomial(BIG, [1])
+
+
+class TestShamir:
+    def test_share_and_reconstruct(self):
+        rng = np.random.default_rng(1)
+        shares = share_secret(BIG, 123456, n=5, t=2, rng=rng)
+        assert len(shares) == 5
+        assert reconstruct_secret(BIG, shares[:3]) == 123456
+        assert reconstruct_secret(BIG, shares[2:]) == 123456
+
+    def test_threshold_shares_insufficient_changes_answer(self):
+        # t shares interpolate to *a* value but not reliably the secret:
+        # verify that two different share subsets of size t can disagree.
+        rng = np.random.default_rng(2)
+        shares = share_secret(BIG, 99, n=6, t=3, rng=rng)
+        a = reconstruct_secret(BIG, shares[:3])  # only t shares
+        b = reconstruct_secret(BIG, shares[3:])
+        # With overwhelming probability these don't both equal 99.
+        assert not (a == 99 and b == 99)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            share_secret(BIG, 1, n=3, t=3)
+        with pytest.raises(ValueError):
+            share_secret(PrimeField(5), 1, n=7, t=1)
+        with pytest.raises(ValueError):
+            reconstruct_secret(BIG, [])
+
+    def test_robust_reconstruction_corrects_errors(self):
+        rng = np.random.default_rng(3)
+        shares = share_secret(BIG, 777, n=7, t=2, rng=rng)
+        tampered = list(shares)
+        tampered[1] = Share(tampered[1].x, 5)
+        tampered[4] = Share(tampered[4].x, 6)
+        assert reconstruct_with_errors(BIG, tampered, t=2, max_errors=2) == 777
+
+    def test_robust_reconstruction_bound(self):
+        rng = np.random.default_rng(4)
+        shares = share_secret(BIG, 55, n=5, t=2, rng=rng)
+        # n=5, t=2 allows e=1 (5 >= 2 + 2 + 1); e=2 must raise.
+        with pytest.raises(ValueError):
+            reconstruct_with_errors(BIG, shares, t=2, max_errors=2)
+
+    def test_berlekamp_welch_zero_errors_fast_path(self):
+        p = Polynomial(FIELD, [9, 4])
+        points = [(x, p(x)) for x in range(1, 5)]
+        decoded = berlekamp_welch(FIELD, points, degree=1, max_errors=0)
+        assert decoded == p
+
+    def test_berlekamp_welch_detects_inconsistency(self):
+        p = Polynomial(FIELD, [9, 4])
+        points = [(x, p(x)) for x in range(1, 5)]
+        points[0] = (1, p(1) + 1)
+        decoded = berlekamp_welch(FIELD, points, degree=1, max_errors=0)
+        assert decoded is None
+
+
+class TestSMPC:
+    def test_circuit_matches_plain_evaluation(self):
+        c = ArithmeticCircuit(BIG)
+        a, b = c.input_wire(), c.input_wire()
+        c.mark_output(c.add(c.mul(a, b), c.const_mul(a, 3)))
+        engine = SMPCEngine(BIG, n=5, t=2, rng=np.random.default_rng(0))
+        transcript = engine.run(c, [11, 13])
+        assert transcript.open_outputs() == c.evaluate_plain([11, 13])
+        assert transcript.open_outputs() == [(11 * 13 + 33)]
+
+    def test_multiplication_chains(self):
+        c = ArithmeticCircuit(BIG)
+        x = c.input_wire()
+        cube = c.mul(c.mul(x, x), x)
+        c.mark_output(cube)
+        engine = SMPCEngine(BIG, n=7, t=3, rng=np.random.default_rng(1))
+        assert engine.run(c, [6]).open_outputs() == [216]
+
+    def test_subtraction_and_const_add(self):
+        c = ArithmeticCircuit(BIG)
+        a, b = c.input_wire(), c.input_wire()
+        c.mark_output(c.const_add(c.sub(a, b), 100))
+        engine = SMPCEngine(BIG, n=3, t=1, rng=np.random.default_rng(2))
+        assert engine.run(c, [7, 9]).open_outputs() == [98]
+
+    def test_honest_majority_required(self):
+        with pytest.raises(ValueError):
+            SMPCEngine(BIG, n=4, t=2)
+
+    def test_robust_opening_with_corruptions(self):
+        c = ArithmeticCircuit(BIG)
+        a, b = c.input_wire(), c.input_wire()
+        c.mark_output(c.mul(a, b))
+        engine = SMPCEngine(BIG, n=7, t=1, rng=np.random.default_rng(3))
+        transcript = engine.run(c, [21, 2])
+        corrupted = {0: 12345}
+        assert transcript.open_outputs_with_corruptions(corrupted) == [42]
+
+    def test_party_view_has_one_share_per_wire(self):
+        c = ArithmeticCircuit(BIG)
+        a = c.input_wire()
+        c.mark_output(c.const_mul(a, 2))
+        engine = SMPCEngine(BIG, n=3, t=1, rng=np.random.default_rng(4))
+        transcript = engine.run(c, [5])
+        assert len(transcript.party_view(0)) == 2
+
+    def test_input_count_checked(self):
+        c = ArithmeticCircuit(BIG)
+        c.input_wire()
+        engine = SMPCEngine(BIG, n=3, t=1)
+        with pytest.raises(ValueError):
+            engine.run(c, [1, 2])
+
+    def test_wire_validation(self):
+        c = ArithmeticCircuit(BIG)
+        with pytest.raises(ValueError):
+            c.add(0, 1)
+
+
+class TestToys:
+    def test_commitment_roundtrip(self):
+        commitment = ToyCommitment.commit(42, nonce=777)
+        assert commitment.open(42, 777)
+        assert not commitment.open(43, 777)
+        assert not commitment.open(42, 778)
+
+    def test_signature_verifies(self):
+        pki = ToyPKI(3, seed=0)
+        sig = pki.sign(1, "attack at dawn")
+        assert sig.verify(pki, "attack at dawn")
+        assert not sig.verify(pki, "retreat")
+
+    def test_forgery_fails(self):
+        pki = ToyPKI(3, seed=0)
+        forged = pki.forge_attempt(2, claimed_signer=1, message="x", guess=12345)
+        assert forged is None
+
+    def test_unknown_signer(self):
+        pki = ToyPKI(2, seed=0)
+        with pytest.raises(KeyError):
+            pki.sign(9, "hello")
+        sig = pki.sign(0, "m")
+        other = ToyPKI(1, seed=9)
+        assert not sig.verify(other, "m") or other.public_record.get(0) == pki.public_record[0]

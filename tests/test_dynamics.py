@@ -1,0 +1,128 @@
+"""Tests for the Axelrod tournament and evolutionary dynamics (E13)."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.evolution import (
+    empirical_payoff_matrix,
+    evolutionary_tournament,
+)
+from repro.dynamics.tournament import (
+    NoisyStrategy,
+    round_robin_tournament,
+)
+from repro.machines.strategies import (
+    AlwaysCooperate,
+    AlwaysDefect,
+    GrimTrigger,
+    TitForTat,
+    strategy_zoo,
+)
+
+
+class TestRoundRobin:
+    def test_tft_near_top_of_zoo(self):
+        result = round_robin_tournament(strategy_zoo(), rounds=150, delta=0.99)
+        assert result.rank_of("tit_for_tat") <= 3
+
+    def test_always_defect_beats_always_cooperate_head_to_head(self):
+        result = round_robin_tournament(
+            [AlwaysDefect(), AlwaysCooperate()], rounds=50
+        )
+        record = result.match_records[1]  # (0,0), (0,1), (1,1) ordering
+        assert record.name_a == "always_defect"
+        assert record.score_a > record.score_b
+
+    def test_but_reciprocity_wins_the_tournament(self):
+        entrants = [AlwaysDefect(), AlwaysCooperate(), TitForTat(), GrimTrigger()]
+        result = round_robin_tournament(entrants, rounds=100, delta=0.99)
+        assert result.rank_of("always_defect") > result.rank_of("tit_for_tat")
+
+    def test_self_play_included_by_default(self):
+        result = round_robin_tournament([TitForTat(), AlwaysDefect()], rounds=10)
+        pairs = {(r.name_a, r.name_b) for r in result.match_records}
+        assert ("tit_for_tat", "tit_for_tat") in pairs
+
+    def test_self_play_can_be_excluded(self):
+        result = round_robin_tournament(
+            [TitForTat(), AlwaysDefect()], rounds=10, include_self_play=False
+        )
+        pairs = {(r.name_a, r.name_b) for r in result.match_records}
+        assert ("tit_for_tat", "tit_for_tat") not in pairs
+
+    def test_noise_degrades_grim_more_than_tft(self):
+        entrants = [TitForTat(), GrimTrigger(), AlwaysCooperate()]
+        clean = round_robin_tournament(entrants, rounds=200, repetitions=3)
+        noisy = round_robin_tournament(
+            entrants, rounds=200, noise=0.05, repetitions=3, seed=11
+        )
+
+        def score(result, name):
+            return dict(result.ranking())[name]
+
+        drop_grim = score(clean, "grim_trigger") - score(noisy, "grim_trigger")
+        drop_tft = score(clean, "tit_for_tat") - score(noisy, "tit_for_tat")
+        assert drop_grim > drop_tft
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            round_robin_tournament([TitForTat(), TitForTat()], rounds=5)
+
+    def test_table_renders(self):
+        result = round_robin_tournament([TitForTat(), AlwaysDefect()], rounds=10)
+        table = result.table()
+        assert "tit_for_tat" in table and "rank" in table
+
+    def test_unknown_entrant_rank(self):
+        result = round_robin_tournament([TitForTat(), AlwaysDefect()], rounds=5)
+        with pytest.raises(KeyError):
+            result.rank_of("zeus")
+
+
+class TestNoisyStrategy:
+    def test_zero_noise_is_transparent(self):
+        wrapped = NoisyStrategy(TitForTat(), 0.0)
+        assert wrapped.act([]) == 0
+        assert wrapped.act([1]) == 1
+
+    def test_full_noise_inverts(self):
+        wrapped = NoisyStrategy(AlwaysCooperate(), 1.0)
+        assert wrapped.act([]) == 1
+
+    def test_noise_validated(self):
+        with pytest.raises(ValueError):
+            NoisyStrategy(TitForTat(), 1.5)
+
+    def test_reset_reproducible(self):
+        wrapped = NoisyStrategy(AlwaysCooperate(), 0.5, seed=4)
+        first = [wrapped.act([]) for _ in range(10)]
+        wrapped.reset()
+        assert [wrapped.act([]) for _ in range(10)] == first
+
+
+class TestEvolution:
+    def test_payoff_matrix_shape(self):
+        entrants = [TitForTat(), AlwaysDefect()]
+        matrix = empirical_payoff_matrix(entrants, rounds=50)
+        assert matrix.shape == (2, 2)
+        # TFT vs TFT: 3 per round; AllD vs AllD: -3 per round.
+        assert matrix[0, 0] == pytest.approx(3.0)
+        assert matrix[1, 1] == pytest.approx(-3.0)
+
+    def test_defectors_wash_out_of_cooperative_ecosystem(self):
+        entrants = [TitForTat(), GrimTrigger(), AlwaysDefect()]
+        result = evolutionary_tournament(entrants, rounds=100, iterations=3000)
+        shares = dict(zip(result.names, result.final))
+        assert shares["always_defect"] < 0.05
+
+    def test_population_remains_simplex(self):
+        entrants = [TitForTat(), AlwaysDefect(), AlwaysCooperate()]
+        result = evolutionary_tournament(entrants, rounds=50, iterations=500)
+        assert result.final.sum() == pytest.approx(1.0)
+        assert np.all(result.final >= 0)
+
+    def test_dominant_listing(self):
+        entrants = [TitForTat(), AlwaysDefect()]
+        result = evolutionary_tournament(entrants, rounds=100, iterations=3000)
+        names = [name for name, _share in result.dominant()]
+        assert "tit_for_tat" in names

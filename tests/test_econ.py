@@ -1,0 +1,172 @@
+"""Tests for the scrip system (E11) and P2P free riding (E12)."""
+
+import numpy as np
+import pytest
+
+from repro.econ.p2p import SharingPopulation, sharing_game_small
+from repro.econ.scrip import (
+    Altruist,
+    Hoarder,
+    ScripSystem,
+    ThresholdAgent,
+    best_response_threshold,
+    find_symmetric_threshold_equilibrium,
+)
+from repro.solvers.dominance import iterated_strict_dominance
+
+
+class TestScripSystem:
+    def test_threshold_economy_circulates(self):
+        agents = [ThresholdAgent(3) for _ in range(10)]
+        system = ScripSystem(agents, benefit=1.0, cost=0.2)
+        result = system.run(5000, seed=0)
+        assert result.requests_made > 0
+        assert result.satisfaction_rate > 0.9
+        # Scrip is conserved (no altruists).
+        assert result.final_scrip.sum() == 10 * system.initial_scrip
+
+    def test_simulation_deterministic_per_seed(self):
+        agents = [ThresholdAgent(3) for _ in range(6)]
+        a = ScripSystem(agents).run(2000, seed=5)
+        b = ScripSystem(agents).run(2000, seed=5)
+        np.testing.assert_array_equal(a.final_scrip, b.final_scrip)
+        np.testing.assert_allclose(a.utilities, b.utilities)
+
+    def test_all_threshold_one_freezes(self):
+        # Everyone starts above threshold 1, so nobody ever volunteers.
+        agents = [ThresholdAgent(1) for _ in range(5)]
+        result = ScripSystem(agents, initial_scrip=2).run(1000, seed=0)
+        assert result.requests_satisfied == 0
+
+    def test_hoarders_drain_money_supply(self):
+        base = [ThresholdAgent(4) for _ in range(10)]
+        with_hoarders = [ThresholdAgent(4) for _ in range(7)] + [
+            Hoarder() for _ in range(3)
+        ]
+        rounds = 30_000
+        healthy = ScripSystem(base, initial_scrip=2).run(rounds, seed=1)
+        drained = ScripSystem(with_hoarders, initial_scrip=2).run(
+            rounds, seed=1
+        )
+        threshold_ids = range(7)
+        assert drained.mean_utility(threshold_ids) < healthy.mean_utility(
+            range(10)
+        )
+        # The hoarders end up holding a large share of all scrip.
+        hoarder_share = drained.final_scrip[7:].sum() / drained.final_scrip.sum()
+        assert hoarder_share > 0.4
+
+    def test_altruists_help_requesters(self):
+        base = [ThresholdAgent(4) for _ in range(10)]
+        with_altruists = [ThresholdAgent(4) for _ in range(8)] + [
+            Altruist() for _ in range(2)
+        ]
+        rounds = 20_000
+        plain = ScripSystem(base).run(rounds, seed=2)
+        helped = ScripSystem(with_altruists).run(rounds, seed=2)
+        assert helped.served_for_free > 0
+        # Requesters keep their scrip when served for free, so the
+        # satisfaction rate cannot be worse.
+        assert helped.satisfaction_rate >= plain.satisfaction_rate - 0.02
+
+    def test_validation(self):
+        agents = [ThresholdAgent(2), ThresholdAgent(2)]
+        with pytest.raises(ValueError):
+            ScripSystem(agents, benefit=0.1, cost=0.2)
+        with pytest.raises(ValueError):
+            ScripSystem(agents, discount=0.0)
+        with pytest.raises(ValueError):
+            ScripSystem([ThresholdAgent(2)])
+
+    def test_discounting_reduces_late_utility(self):
+        agents = [ThresholdAgent(4) for _ in range(6)]
+        undiscounted = ScripSystem(agents, discount=1.0).run(3000, seed=3)
+        discounted = ScripSystem(agents, discount=0.999).run(3000, seed=3)
+        assert discounted.utilities.sum() < undiscounted.utilities.sum()
+
+
+class TestThresholdEquilibrium:
+    def test_best_response_computes_all_candidates(self):
+        best, utilities = best_response_threshold(
+            3, [1, 3, 5], n_agents=8, rounds=4000, seed=0
+        )
+        assert set(utilities) == {1, 3, 5}
+        assert best in utilities
+
+    def test_some_threshold_is_equilibrium_with_discounting(self):
+        candidates = [2, 4, 8, 16]
+        equilibria = find_symmetric_threshold_equilibrium(
+            candidates,
+            n_agents=12,
+            rounds=12_000,
+            cost=0.6,
+            discount=0.999,
+            seed=4,
+            tolerance=3.0,
+        )
+        assert equilibria  # a threshold equilibrium exists
+
+    def test_degenerate_threshold_one_is_equilibrium(self):
+        # If nobody works, working alone just burns cost: all-1 is an
+        # (empirical) equilibrium.
+        equilibria = find_symmetric_threshold_equilibrium(
+            [1, 4], n_agents=6, rounds=4000, seed=0, tolerance=0.0
+        )
+        assert 1 in equilibria
+
+
+class TestP2PGame:
+    def test_free_riding_dominates(self):
+        game = sharing_game_small(4)
+        for player in range(4):
+            assert game.dominated_actions(player) == [1]  # sharing dominated
+
+    def test_unique_equilibrium_nobody_shares(self):
+        game = sharing_game_small(3)
+        result = iterated_strict_dominance(game)
+        assert result.kept == [[0], [0], [0]]
+        assert game.pure_nash_equilibria() == [(0, 0, 0)]
+
+    def test_population_reproduces_adar_huberman(self):
+        outcome = SharingPopulation(n_users=20_000, seed=0).equilibrium()
+        assert abs(outcome.fraction_free_riders - 0.70) < 0.03
+        assert abs(outcome.top1pct_response_share - 0.50) < 0.12
+
+    def test_population_statistics_stable_across_seeds(self):
+        fractions = [
+            SharingPopulation(n_users=10_000, seed=s)
+            .equilibrium()
+            .fraction_free_riders
+            for s in range(4)
+        ]
+        assert max(fractions) - min(fractions) < 0.03
+
+    def test_responses_sum_to_one(self):
+        outcome = SharingPopulation(n_users=2_000, seed=1).equilibrium()
+        assert outcome.responses.sum() == pytest.approx(1.0)
+        # Non-sharers answer nothing.
+        assert outcome.responses[~outcome.sharers].sum() == 0.0
+
+    def test_equilibrium_is_strict(self):
+        assert SharingPopulation(n_users=1_000, seed=2).is_equilibrium_strict()
+
+    def test_cost_quantile_controls_free_riding(self):
+        lax = SharingPopulation(
+            n_users=10_000, cost_quantile=0.3, seed=0
+        ).equilibrium()
+        harsh = SharingPopulation(
+            n_users=10_000, cost_quantile=0.9, seed=0
+        ).equilibrium()
+        assert lax.fraction_free_riders < harsh.fraction_free_riders
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SharingPopulation(cost_quantile=1.5)
+        with pytest.raises(ValueError):
+            SharingPopulation(pareto_alpha=0.0)
+        with pytest.raises(ValueError):
+            sharing_game_small(1)
+
+    def test_summary_renders(self):
+        outcome = SharingPopulation(n_users=1_000, seed=0).equilibrium()
+        assert "share nothing" in outcome.summary()

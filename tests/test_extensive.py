@@ -1,0 +1,201 @@
+"""Unit tests for repro.games.extensive."""
+
+import numpy as np
+import pytest
+
+from repro.games.classics import figure1_game
+from repro.games.extensive import ExtensiveFormGame, TerminalNode
+
+
+def entry_game() -> ExtensiveFormGame:
+    """Classic entry deterrence: entrant in/out, incumbent fight/accommodate."""
+    g = ExtensiveFormGame(2, name="entry")
+    g.add_decision((), player=0, moves=("out", "enter"))
+    g.add_terminal(("out",), (0.0, 2.0))
+    g.add_decision(("enter",), player=1, moves=("fight", "accommodate"))
+    g.add_terminal(("enter", "fight"), (-1.0, -1.0))
+    g.add_terminal(("enter", "accommodate"), (1.0, 1.0))
+    return g.finalize()
+
+
+def coin_game() -> ExtensiveFormGame:
+    """Nature flips a coin, player guesses without seeing it."""
+    g = ExtensiveFormGame(1, name="coin guess")
+    g.add_chance((), {"heads": 0.5, "tails": 0.5})
+    g.add_decision(("heads",), player=0, moves=("H", "T"), infoset="guess")
+    g.add_decision(("tails",), player=0, moves=("H", "T"), infoset="guess")
+    for flip in ("heads", "tails"):
+        for guess in ("H", "T"):
+            correct = (flip == "heads") == (guess == "H")
+            g.add_terminal((flip, guess), (1.0 if correct else 0.0,))
+    return g.finalize()
+
+
+class TestConstruction:
+    def test_figure1_builds(self):
+        g = figure1_game()
+        assert len(g.terminal_histories()) == 3
+        assert g.max_depth() == 2
+
+    def test_duplicate_history_rejected(self):
+        g = ExtensiveFormGame(1)
+        g.add_decision((), player=0, moves=("a",))
+        with pytest.raises(ValueError):
+            g.add_terminal((), (0.0,))
+
+    def test_missing_child_rejected_at_finalize(self):
+        g = ExtensiveFormGame(1)
+        g.add_decision((), player=0, moves=("a", "b"))
+        g.add_terminal(("a",), (0.0,))
+        with pytest.raises(ValueError):
+            g.finalize()
+
+    def test_orphan_history_rejected(self):
+        g = ExtensiveFormGame(1)
+        g.add_decision((), player=0, moves=("a",))
+        g.add_terminal(("a",), (0.0,))
+        with pytest.raises(ValueError):
+            g.add_terminal(("zzz", "deep"), (0.0,))
+            g.finalize()
+
+    def test_payoff_arity_checked(self):
+        g = ExtensiveFormGame(2)
+        g.add_decision((), player=0, moves=("a",))
+        with pytest.raises(ValueError):
+            g.add_terminal(("a",), (0.0,))
+
+    def test_infoset_move_consistency(self):
+        g = ExtensiveFormGame(1)
+        g.add_chance((), {"x": 0.5, "y": 0.5})
+        g.add_decision(("x",), player=0, moves=("a", "b"), infoset="I")
+        with pytest.raises(ValueError):
+            g.add_decision(("y",), player=0, moves=("a",), infoset="I")
+
+    def test_chance_distribution_validated(self):
+        g = ExtensiveFormGame(1)
+        with pytest.raises(ValueError):
+            g.add_chance((), {"x": 0.5, "y": 0.7})
+
+    def test_finalized_games_immutable(self):
+        g = entry_game()
+        with pytest.raises(RuntimeError):
+            g.add_terminal(("new",), (0.0, 0.0))
+
+
+class TestIntrospection:
+    def test_information_sets_by_player(self):
+        g = entry_game()
+        assert len(g.information_sets(0)) == 1
+        assert len(g.information_sets(1)) == 1
+
+    def test_perfect_information_detection(self):
+        assert entry_game().has_perfect_information()
+        assert not coin_game().has_perfect_information()
+
+    def test_infoset_of(self):
+        g = coin_game()
+        info = g.infoset_of(("heads",))
+        assert info.label == "guess"
+        assert set(info.histories) == {("heads",), ("tails",)}
+
+    def test_pure_strategy_enumeration(self):
+        g = entry_game()
+        assert len(list(g.pure_strategies(0))) == 2
+        assert len(list(g.pure_strategies(1))) == 2
+
+
+class TestEvaluation:
+    def test_outcome_distribution_pure(self):
+        g = entry_game()
+        profile = [
+            g.behavioral_from_pure(0, {"I:root": "enter"}),
+            g.behavioral_from_pure(1, {"I:enter": "accommodate"}),
+        ]
+        dist = g.outcome_distribution(profile)
+        assert dist == {("enter", "accommodate"): 1.0}
+
+    def test_outcome_distribution_with_chance(self):
+        g = coin_game()
+        profile = [g.behavioral_from_pure(0, {"guess": "H"})]
+        dist = g.outcome_distribution(profile)
+        assert dist[("heads", "H")] == pytest.approx(0.5)
+        assert dist[("tails", "H")] == pytest.approx(0.5)
+
+    def test_expected_payoffs_mixed(self):
+        g = coin_game()
+        profile = [g.uniform_behavioral(0)]
+        assert g.expected_payoff(0, profile) == pytest.approx(0.5)
+
+    def test_probabilities_sum_to_one(self):
+        g = figure1_game()
+        profile = [g.uniform_behavioral(0), g.uniform_behavioral(1)]
+        assert sum(g.outcome_distribution(profile).values()) == pytest.approx(1.0)
+
+
+class TestEquilibrium:
+    def test_backward_induction_entry_game(self):
+        g = entry_game()
+        profile, values = g.backward_induction()
+        assert profile[1]["I:enter"]["accommodate"] == 1.0
+        assert profile[0]["I:root"]["enter"] == 1.0
+        np.testing.assert_allclose(values, [1.0, 1.0])
+
+    def test_backward_induction_figure1(self):
+        g = figure1_game()
+        profile, values = g.backward_induction()
+        assert profile[1]["B"]["down_B"] == 1.0
+        assert profile[0]["A"]["across_A"] == 1.0
+        np.testing.assert_allclose(values, [2.0, 2.0])
+
+    def test_backward_induction_requires_perfect_info(self):
+        with pytest.raises(ValueError):
+            coin_game().backward_induction()
+
+    def test_is_nash_subgame_perfect_profile(self):
+        g = figure1_game()
+        profile, _ = g.backward_induction()
+        assert g.is_nash(profile)
+
+    def test_non_equilibrium_detected(self):
+        g = entry_game()
+        profile = [
+            g.behavioral_from_pure(0, {"I:root": "out"}),
+            g.behavioral_from_pure(1, {"I:enter": "accommodate"}),
+        ]
+        # Entrant should enter (1 > 0) when incumbent accommodates.
+        assert not g.is_nash(profile)
+        assert g.regret(0, profile) == pytest.approx(1.0)
+
+    def test_figure1_nash_with_across_down(self):
+        g = figure1_game()
+        profile = [
+            g.behavioral_from_pure(0, {"A": "across_A"}),
+            g.behavioral_from_pure(1, {"B": "down_B"}),
+        ]
+        assert g.is_nash(profile)
+
+
+class TestNormalFormConversion:
+    def test_to_normal_form_shape(self):
+        g = entry_game()
+        normal, strategies = g.to_normal_form()
+        assert normal.num_actions == (2, 2)
+        assert len(strategies[0]) == 2
+
+    def test_normal_form_equilibria_include_tree_nash(self):
+        g = figure1_game()
+        normal, strategies = g.to_normal_form()
+        pure = normal.pure_nash_equilibria()
+        # Find (across_A, down_B) among the pure normal-form equilibria.
+        found = False
+        for combo in pure:
+            s0 = strategies[0][combo[0]]
+            s1 = strategies[1][combo[1]]
+            if s0["A"] == "across_A" and s1["B"] == "down_B":
+                found = True
+        assert found
+
+    def test_chance_payoffs_in_normal_form(self):
+        g = coin_game()
+        normal, _ = g.to_normal_form()
+        np.testing.assert_allclose(normal.payoffs[0], [0.5, 0.5])

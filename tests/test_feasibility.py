@@ -1,0 +1,155 @@
+"""Tests for the ADGH feasibility decision procedure (E3)."""
+
+import pytest
+
+from repro.core.feasibility import (
+    Regime,
+    Resources,
+    classify_regime,
+    feasibility_table,
+    mediator_implementability,
+)
+
+ALL = Resources(
+    utilities_known=True,
+    punishment_strategy=True,
+    broadcast=True,
+    cryptography=True,
+    polynomially_bounded=True,
+    pki=True,
+)
+NOTHING = Resources()
+
+
+class TestRegimeClassification:
+    def test_boundaries_k1_t1(self):
+        # k=1, t=1: thresholds at 6 (3k+3t), 5 (2k+3t), 4 (2k+2t) = (k+3t),
+        # 2 (k+t).
+        assert classify_regime(7, 1, 1) is Regime.ABOVE_3K_3T
+        assert classify_regime(6, 1, 1) is Regime.ABOVE_2K_3T
+        assert classify_regime(5, 1, 1) is Regime.ABOVE_2K_2T
+        assert classify_regime(4, 1, 1) is Regime.ABOVE_K_T
+        assert classify_regime(2, 1, 1) is Regime.AT_OR_BELOW_K_T
+
+    def test_k_3t_band_appears_when_k_exceeds_t(self):
+        # The k+3t < n <= 2k+2t band is nonempty iff t < k.
+        # k=3, t=1: k+3t = 6 < n = 7 <= 2k+2t = 8.
+        assert classify_regime(7, 3, 1) is Regime.ABOVE_K_3T
+
+    def test_nash_special_case(self):
+        # (k,t) = (1,0): Nash equilibrium; n > 3 means cheap talk works
+        # with no extra assumptions.
+        assert classify_regime(4, 1, 0) is Regime.ABOVE_3K_3T
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            classify_regime(0, 1, 1)
+        with pytest.raises(ValueError):
+            classify_regime(5, 0, 1)
+        with pytest.raises(ValueError):
+            classify_regime(5, 1, -1)
+
+
+class TestVerdicts:
+    def test_bullet1_unconditional(self):
+        v = mediator_implementability(7, 1, 1, NOTHING)
+        assert v.implementable and not v.epsilon_only
+        assert v.requirements == ()
+        assert "Bullet 1" in v.provenance
+
+    def test_bullet3_needs_punishment_and_utilities(self):
+        denied = mediator_implementability(6, 1, 1, NOTHING)
+        assert not denied.implementable
+        granted = mediator_implementability(
+            6, 1, 1, Resources(utilities_known=True, punishment_strategy=True)
+        )
+        assert granted.implementable and not granted.epsilon_only
+        assert "Bullet 3" in granted.provenance
+
+    def test_bullet3_partial_resources_fail(self):
+        only_punish = mediator_implementability(
+            6, 1, 1, Resources(punishment_strategy=True)
+        )
+        assert not only_punish.implementable
+        assert "known utilities" in only_punish.requirements
+
+    def test_bullet5_broadcast_epsilon(self):
+        v = mediator_implementability(5, 1, 1, Resources(broadcast=True))
+        assert v.implementable and v.epsilon_only
+        assert "Bullet 5" in v.provenance
+
+    def test_bullet5_without_broadcast_fails(self):
+        v = mediator_implementability(5, 1, 1, NOTHING)
+        assert not v.implementable
+
+    def test_bullet7_crypto_in_broadcast_band_without_broadcast(self):
+        # k=2, t=1: 2k+2t = 6 < n = 7 <= 2k+3t = 7, and n > k+3t = 5, so
+        # crypto + bounded players rescue the no-broadcast case with
+        # runtime independent of utilities (n > 2k+2t).
+        v = mediator_implementability(
+            7, 2, 1,
+            Resources(cryptography=True, polynomially_bounded=True),
+        )
+        assert v.implementable and v.epsilon_only
+        assert "Bullet 7" in v.provenance
+        assert "independent of utilities" in v.runtime
+
+    def test_bullet7_runtime_depends_on_utilities_when_small(self):
+        # k=3, t=1: k+3t = 6 < n = 7 <= 2k+2t = 8: crypto band with
+        # utility-dependent running time.
+        v = mediator_implementability(
+            7, 3, 1,
+            Resources(cryptography=True, polynomially_bounded=True),
+        )
+        assert v.implementable
+        assert "depends on utilities" in v.runtime
+
+    def test_bullet9_pki(self):
+        v = mediator_implementability(4, 1, 1, ALL)
+        assert v.implementable and v.epsilon_only
+        assert "Bullet 9" in v.provenance
+
+    def test_bullet9_without_pki_fails(self):
+        v = mediator_implementability(
+            4, 1, 1,
+            Resources(cryptography=True, polynomially_bounded=True),
+        )
+        assert not v.implementable
+        assert "PKI" in "".join(v.requirements)
+
+    def test_below_k_t_impossible_even_with_everything(self):
+        v = mediator_implementability(2, 1, 1, ALL)
+        assert not v.implementable
+
+    def test_crypto_without_bounded_players_fails(self):
+        v = mediator_implementability(
+            7, 1, 2, Resources(cryptography=True)
+        )
+        assert not v.implementable
+
+    def test_summary_renders(self):
+        v = mediator_implementability(7, 1, 1)
+        text = v.summary()
+        assert "n=7" in text and "implementable" in text
+
+
+class TestTable:
+    def test_sweep_monotone_in_n(self):
+        # With all resources, implementability is monotone in n.
+        verdicts = feasibility_table(range(2, 12), 1, 1, ALL)
+        implementable = [v.implementable for v in verdicts]
+        first_true = implementable.index(True)
+        assert all(implementable[first_true:])
+
+    def test_sweep_without_resources_threshold_at_3k3t(self):
+        verdicts = feasibility_table(range(2, 12), 1, 1, NOTHING)
+        for v in verdicts:
+            assert v.implementable == (v.n > 6)
+
+    def test_epsilon_flag_only_in_weak_regimes(self):
+        verdicts = feasibility_table(range(2, 15), 1, 1, ALL)
+        for v in verdicts:
+            if v.n > 6:
+                assert not v.epsilon_only
+            elif v.implementable:
+                assert v.epsilon_only or v.n > 5  # bullet 3 band is exact

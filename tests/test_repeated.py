@@ -1,0 +1,127 @@
+"""Unit tests for repro.games.repeated and repro.games.classics."""
+
+import numpy as np
+import pytest
+
+from repro.games.classics import (
+    bargaining_game,
+    coordination_01_game,
+    prisoners_dilemma,
+    prisoners_dilemma_prose,
+    primality_game,
+    roshambo,
+)
+from repro.games.repeated import (
+    FunctionStrategy,
+    RepeatedGame,
+    discounted_total,
+)
+from repro.machines.strategies import AlwaysDefect, TitForTat
+
+
+class TestDiscounting:
+    def test_discounted_total_one_round(self):
+        assert discounted_total([10.0], 0.5) == pytest.approx(5.0)
+
+    def test_discounted_total_matches_paper_indexing(self):
+        # sum_{m=1..N} delta^m r_m with r = (1, 1): delta + delta^2
+        assert discounted_total([1.0, 1.0], 0.9) == pytest.approx(0.9 + 0.81)
+
+    def test_no_discounting(self):
+        assert discounted_total([1.0, 2.0, 3.0], 1.0) == pytest.approx(6.0)
+
+
+class TestRepeatedGame:
+    def test_mutual_tft_cooperates_forever(self):
+        game = RepeatedGame(prisoners_dilemma(), rounds=10)
+        result = game.play(TitForTat(), TitForTat())
+        assert all(actions == (0, 0) for actions in result.actions)
+        np.testing.assert_allclose(result.totals, [30.0, 30.0])
+
+    def test_tft_punishes_defector(self):
+        game = RepeatedGame(prisoners_dilemma(), rounds=3)
+        result = game.play(TitForTat(), AlwaysDefect())
+        assert result.actions == [(0, 1), (1, 1), (1, 1)]
+
+    def test_discounted_payoffs(self):
+        game = RepeatedGame(prisoners_dilemma(), rounds=2, delta=0.5)
+        result = game.play(TitForTat(), TitForTat())
+        # 3 each round: 0.5*3 + 0.25*3 = 2.25
+        np.testing.assert_allclose(result.discounted, [2.25, 2.25])
+
+    def test_function_strategy(self):
+        always_one = FunctionStrategy(lambda h: 1, name="d")
+        game = RepeatedGame(prisoners_dilemma(), rounds=4)
+        result = game.play(always_one, always_one)
+        assert all(actions == (1, 1) for actions in result.actions)
+
+    def test_invalid_action_rejected(self):
+        bad = FunctionStrategy(lambda h: 7)
+        game = RepeatedGame(prisoners_dilemma(), rounds=1)
+        with pytest.raises(ValueError):
+            game.play(bad, TitForTat())
+
+    def test_rejects_non_two_player_stage(self):
+        with pytest.raises(ValueError):
+            RepeatedGame(coordination_01_game(3), rounds=2)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            RepeatedGame(prisoners_dilemma(), rounds=2, delta=0.0)
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ValueError):
+            RepeatedGame(prisoners_dilemma(), rounds=0)
+
+
+class TestClassicGames:
+    def test_pd_matrix_as_printed(self):
+        game = prisoners_dilemma()
+        assert game.payoff_vector((0, 0)).tolist() == [3.0, 3.0]
+        assert game.payoff_vector((0, 1)).tolist() == [-5.0, 5.0]
+        assert game.payoff_vector((1, 0)).tolist() == [5.0, -5.0]
+        assert game.payoff_vector((1, 1)).tolist() == [-3.0, -3.0]
+
+    def test_pd_prose_variant(self):
+        game = prisoners_dilemma_prose()
+        assert game.payoff_vector((1, 1)).tolist() == [1.0, 1.0]
+        assert game.pure_nash_equilibria() == [(1, 1)]
+
+    def test_defection_dominates_in_both_variants(self):
+        for game in (prisoners_dilemma(), prisoners_dilemma_prose()):
+            assert game.dominated_actions(0) == [0]
+
+    def test_roshambo_payoff_rule(self):
+        game = roshambo()
+        # i = j ⊕ 1 means player 1 wins: (1, 0) -> paper beats rock.
+        assert game.payoff(0, (1, 0)) == 1.0
+        assert game.payoff(0, (0, 1)) == -1.0
+        assert game.payoff(0, (2, 2)) == 0.0
+        assert game.is_zero_sum()
+
+    def test_coordination_01_payoffs(self):
+        game = coordination_01_game(4)
+        assert game.payoff_vector((0, 0, 0, 0)).tolist() == [1.0] * 4
+        assert game.payoff_vector((1, 1, 0, 0)).tolist() == [2.0, 2.0, 0.0, 0.0]
+        assert game.payoff_vector((1, 1, 1, 0)).tolist() == [0.0] * 4
+
+    def test_bargaining_payoffs(self):
+        game = bargaining_game(3)
+        assert game.payoff_vector((0, 0, 0)).tolist() == [2.0] * 3
+        assert game.payoff_vector((1, 0, 0)).tolist() == [1.0, 0.0, 0.0]
+
+    def test_bargaining_all_stay_pareto_optimal(self):
+        game = bargaining_game(3)
+        assert game.is_pareto_optimal_pure((0, 0, 0))
+
+    def test_primality_game_payoffs(self):
+        prime_game = primality_game(is_prime=True)
+        assert prime_game.payoff(0, (0,)) == 10.0
+        assert prime_game.payoff(0, (1,)) == -10.0
+        assert prime_game.payoff(0, (2,)) == 1.0
+        # Unique Nash: answer correctly.
+        assert prime_game.pure_nash_equilibria() == [(0,)]
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            coordination_01_game(1)

@@ -1,0 +1,198 @@
+"""Tests for (k,t)-robustness (E1, E2, and the (1,0)=Nash identity)."""
+
+import numpy as np
+import pytest
+
+from repro.core.robust import (
+    immunity_violations,
+    is_k_resilient,
+    is_robust,
+    is_t_immune,
+    max_immunity,
+    max_resilience,
+    resilience_violations,
+    robustness_report,
+)
+from repro.games.classics import (
+    bargaining_game,
+    coordination_01_game,
+    matching_pennies,
+    prisoners_dilemma,
+)
+from repro.games.normal_form import NormalFormGame, profile_as_mixed
+
+
+def all_zero(game):
+    return profile_as_mixed((0,) * game.n_players, game.num_actions)
+
+
+class TestCoordinationExample:
+    """Section 2's 0/1 game: all-0 is Nash but any pair gains by deviating."""
+
+    @pytest.fixture(scope="class")
+    def game(self):
+        return coordination_01_game(4)
+
+    def test_all_zero_is_nash(self, game):
+        assert game.is_nash(all_zero(game))
+
+    def test_all_zero_is_1_resilient(self, game):
+        assert is_k_resilient(game, all_zero(game), 1)
+
+    def test_all_zero_not_2_resilient_strong(self, game):
+        assert not is_k_resilient(game, all_zero(game), 2, variant="strong")
+
+    def test_all_zero_not_2_resilient_weak(self, game):
+        # Both deviators strictly gain (2 > 1), so even the weak variant fails.
+        assert not is_k_resilient(game, all_zero(game), 2, variant="weak")
+
+    def test_violation_details(self, game):
+        violations = resilience_violations(game, all_zero(game), 2)
+        v = violations[0]
+        assert len(v.coalition) == 2
+        assert v.deviation == (1, 1)
+        assert all(g == pytest.approx(1.0) for g in v.gains)  # 2 - 1
+
+    def test_max_resilience_is_one(self, game):
+        assert max_resilience(game, all_zero(game)) == 1
+
+    def test_scales_with_n(self):
+        for n in (2, 3, 5):
+            game = coordination_01_game(n)
+            assert max_resilience(game, all_zero(game)) == 1
+
+
+class TestBargainingExample:
+    """Section 2's bargaining game: k-resilient for all k, not 1-immune."""
+
+    @pytest.fixture(scope="class")
+    def game(self):
+        return bargaining_game(4)
+
+    def test_all_stay_is_nash(self, game):
+        assert game.is_nash(all_zero(game))
+
+    def test_all_stay_resilient_for_every_k(self, game):
+        profile = all_zero(game)
+        for k in range(1, game.n_players + 1):
+            assert is_k_resilient(game, profile, k), k
+
+    def test_all_stay_not_1_immune(self, game):
+        assert not is_t_immune(game, all_zero(game), 1)
+
+    def test_immunity_violation_structure(self, game):
+        violations = immunity_violations(game, all_zero(game), 1)
+        v = violations[0]
+        assert len(v.deviators) == 1
+        assert v.deviation == (1,)  # the deviator leaves
+        assert v.loss == pytest.approx(2.0)  # stayers drop from 2 to 0
+
+    def test_max_immunity_zero(self, game):
+        assert max_immunity(game, all_zero(game)) == 0
+
+    def test_robustness_report(self, game):
+        report = robustness_report(game, all_zero(game))
+        assert report.is_nash
+        assert report.max_k_strong == game.n_players
+        assert report.max_t == 0
+        assert report.first_immunity_violation is not None
+        assert "immunity broken" in report.describe()
+
+
+class TestNashIdentity:
+    """A Nash equilibrium is exactly a (1,0)-robust equilibrium."""
+
+    @pytest.mark.parametrize(
+        "game_factory,profile",
+        [
+            (prisoners_dilemma, (1, 1)),
+            (lambda: coordination_01_game(3), (0, 0, 0)),
+            (lambda: bargaining_game(3), (0, 0, 0)),
+        ],
+    )
+    def test_pure_nash_iff_10_robust(self, game_factory, profile):
+        game = game_factory()
+        mixed = profile_as_mixed(profile, game.num_actions)
+        assert game.is_nash(mixed) == is_robust(game, mixed, 1, 0)
+
+    def test_non_nash_is_not_10_robust(self):
+        game = prisoners_dilemma()
+        cc = profile_as_mixed((0, 0), game.num_actions)
+        assert not is_robust(game, cc, 1, 0)
+
+    def test_mixed_nash_is_10_robust(self):
+        game = matching_pennies()
+        uniform = game.uniform_profile()
+        assert is_robust(game, uniform, 1, 0)
+
+
+class TestWeakVsStrongResilience:
+    def test_weak_holds_where_strong_fails(self):
+        # Coalition deviation helps one member and hurts the other:
+        # strong resilience is violated, weak resilience survives.
+        # Payoffs: baseline (0, 0) at (a, a); deviation to (b, b) gives
+        # (1, -1); unilateral deviations give -10 to the deviator.
+        a = np.array(
+            [
+                [[0.0, -10.0], [-10.0, 1.0]],
+                [[0.0, -10.0], [-10.0, -1.0]],
+            ]
+        )
+        game = NormalFormGame(a)
+        profile = profile_as_mixed((0, 0), game.num_actions)
+        assert game.is_nash(profile)
+        assert not is_k_resilient(game, profile, 2, variant="strong")
+        assert is_k_resilient(game, profile, 2, variant="weak")
+
+    def test_weak_correlated_violation_found_by_lp(self):
+        # No pure joint deviation benefits both, but a correlated mixture
+        # does: two deviations, each great for one member, fine for the
+        # other on average.
+        def payoff_fn(profile):
+            if profile == (0, 0):
+                return [0.0, 0.0]
+            if profile == (1, 1):
+                return [3.0, -1.0]
+            if profile == (2, 2):
+                return [-1.0, 3.0]
+            return [-5.0, -5.0]
+
+        game = NormalFormGame.from_payoff_function(2, [3, 3], payoff_fn)
+        profile = profile_as_mixed((0, 0), game.num_actions)
+        assert game.is_nash(profile)
+        # Pure check alone finds no all-gain deviation...
+        pure_all_gain = [
+            v
+            for v in resilience_violations(
+                game, profile, 2, variant="strong", first_only=False
+            )
+            if len(v.coalition) == 2 and all(g > 0 for g in v.gains)
+        ]
+        assert not pure_all_gain
+        # ...but the correlated LP does: mix (1,1) and (2,2) equally.
+        assert not is_k_resilient(game, profile, 2, variant="weak")
+
+    def test_variant_validation(self):
+        game = prisoners_dilemma()
+        with pytest.raises(ValueError):
+            is_k_resilient(game, all_zero(game), 1, variant="medium")
+
+
+class TestImmunityEdgeCases:
+    def test_immunity_trivial_for_t0(self):
+        game = bargaining_game(3)
+        assert is_robust(game, all_zero(game), 1, 0)
+
+    def test_immune_game(self):
+        # A game where nobody can hurt anyone: constant payoffs.
+        game = NormalFormGame(np.zeros((3, 2, 2, 2)))
+        profile = all_zero(game)
+        assert is_t_immune(game, profile, 2)
+        assert max_immunity(game, profile) == 2
+
+    def test_mixed_profile_immunity(self):
+        game = matching_pennies()
+        uniform = game.uniform_profile()
+        # Zero-sum 2-player: the opponent deviating cannot lower my
+        # guaranteed value at the maximin mix.
+        assert is_t_immune(game, uniform, 1)

@@ -1,0 +1,201 @@
+"""Tests for rational secret sharing (Halpern–Teague) and BAR robustness."""
+
+import numpy as np
+import pytest
+
+from repro.core.bar import (
+    bar_violations,
+    is_bar_robust,
+    max_byzantine_tolerance,
+    switching_cost_rescues,
+)
+from repro.games.classics import (
+    bargaining_game,
+    coordination_01_game,
+    matching_pennies,
+    prisoners_dilemma,
+)
+from repro.games.normal_form import profile_as_mixed
+from repro.mediators.rational_secret_sharing import (
+    RSSUtilities,
+    RandomizedRSSProtocol,
+    honest_equilibrium_alpha_bound,
+    naive_protocol_is_equilibrium,
+    naive_protocol_outcome,
+)
+
+
+class TestRSSUtilities:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            RSSUtilities(u_all=2.0, u_alone=1.0, u_none=0.0)
+
+    def test_outcome_utility(self):
+        u = RSSUtilities()
+        assert u.outcome_utility(True, 0) == u.u_alone
+        assert u.outcome_utility(True, 2) == u.u_all
+        assert u.outcome_utility(False, 5) == u.u_none
+
+
+class TestNaiveProtocol:
+    def test_all_broadcast_everyone_learns(self):
+        outcome = naive_protocol_outcome(3, 2, [True, True, True])
+        assert outcome.learned == (True, True, True)
+
+    def test_withholder_learns_alone_in_tight_case(self):
+        # n = t + 1 = 3: the withheld share is essential for the others.
+        outcome = naive_protocol_outcome(3, 2, [False, True, True])
+        assert outcome.learned == (True, False, False)
+
+    def test_not_equilibrium_in_tight_case(self):
+        assert not naive_protocol_is_equilibrium(3, 2)
+        assert not naive_protocol_is_equilibrium(4, 3)
+
+    def test_equilibrium_with_redundant_shares(self):
+        # n > t + 1: withholding does not deprive anyone.
+        assert naive_protocol_is_equilibrium(5, 2)
+
+    def test_policy_arity_checked(self):
+        with pytest.raises(ValueError):
+            naive_protocol_outcome(3, 2, [True, True])
+
+
+class TestRandomizedProtocol:
+    def test_alpha_bound_formula(self):
+        u = RSSUtilities(u_all=1.0, u_alone=2.0, u_none=0.0)
+        assert honest_equilibrium_alpha_bound(u) == pytest.approx(0.5)
+        greedy = RSSUtilities(u_all=1.0, u_alone=5.0, u_none=0.0)
+        assert honest_equilibrium_alpha_bound(greedy) == pytest.approx(0.2)
+
+    @pytest.mark.parametrize("alpha,expected", [(0.3, True), (0.49, True),
+                                                (0.51, False), (0.9, False)])
+    def test_equilibrium_matches_bound(self, alpha, expected):
+        protocol = RandomizedRSSProtocol(n=3, t=2, alpha=alpha)
+        assert protocol.honest_is_equilibrium() == expected
+
+    def test_honest_run_reveals_to_all(self):
+        protocol = RandomizedRSSProtocol(n=3, t=2, alpha=0.4)
+        outcome = protocol.run(seed=0)
+        assert outcome.learned == (True, True, True)
+        assert not outcome.aborted
+
+    def test_cheater_gamble(self):
+        protocol = RandomizedRSSProtocol(n=3, t=2, alpha=0.4)
+        results = [protocol.run(cheater=0, seed=s) for s in range(40)]
+        alone = sum(1 for r in results if r.learned == (True, False, False))
+        nothing = sum(1 for r in results if r.learned == (False,) * 3)
+        assert alone + nothing == len(results)  # always caught
+        # Roughly alpha of the cheats pay off.
+        assert 0.2 < alone / len(results) < 0.65
+
+    def test_redundant_case_cheating_pointless(self):
+        protocol = RandomizedRSSProtocol(n=5, t=2, alpha=0.9)
+        # With n - 1 >= t + 1 the others learn anyway; cheating gains
+        # nothing, so honesty is an equilibrium even at high alpha.
+        assert protocol.honest_is_equilibrium()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomizedRSSProtocol(n=3, t=2, alpha=0.0)
+        with pytest.raises(ValueError):
+            RandomizedRSSProtocol(n=3, t=3, alpha=0.5)
+
+    def test_expected_rounds_scale_with_alpha(self):
+        fast = RandomizedRSSProtocol(n=3, t=2, alpha=0.5)
+        slow = RandomizedRSSProtocol(n=3, t=2, alpha=0.05)
+        fast_rounds = np.mean([fast.run(seed=s).rounds for s in range(30)])
+        slow_rounds = np.mean([slow.run(seed=s).rounds for s in range(30)])
+        assert slow_rounds > fast_rounds
+
+
+class TestBARRobustness:
+    def test_b0_no_altruists_is_nash(self):
+        game = prisoners_dilemma()
+        dd = profile_as_mixed((1, 1), game.num_actions)
+        cc = profile_as_mixed((0, 0), game.num_actions)
+        assert is_bar_robust(game, dd, 0) == game.is_nash(dd)
+        assert is_bar_robust(game, cc, 0) == game.is_nash(cc)
+
+    def test_bargaining_not_bar_robust(self):
+        # One Byzantine leaver makes leaving the rational best response.
+        game = bargaining_game(4)
+        stay = profile_as_mixed((0,) * 4, game.num_actions)
+        assert is_bar_robust(game, stay, 0)
+        assert not is_bar_robust(game, stay, 1)
+        violation = bar_violations(game, stay, 1)[0]
+        assert violation.deviation == 1  # the rational player leaves too
+        assert violation.gain == pytest.approx(1.0)
+
+    def test_max_byzantine_tolerance(self):
+        game = bargaining_game(4)
+        stay = profile_as_mixed((0,) * 4, game.num_actions)
+        assert max_byzantine_tolerance(game, stay) == 0
+        # Non-Nash profiles report -1.
+        pd = prisoners_dilemma()
+        cc = profile_as_mixed((0, 0), pd.num_actions)
+        assert max_byzantine_tolerance(pd, cc) == -1
+
+    def test_matching_pennies_mixed_bar(self):
+        game = matching_pennies()
+        uniform = game.uniform_profile()
+        # 2 players: one Byzantine leaves one rational player, whose
+        # maximin mix stays a best response to *any* opponent action?  No:
+        # against a fixed pure action there is a strict best response, so
+        # uniform is not ex-post BAR-robust.
+        assert is_bar_robust(game, uniform, 0)
+        assert not is_bar_robust(game, uniform, 1)
+
+    def test_altruists_shrink_byzantine_sets(self):
+        game = bargaining_game(4)
+        stay = profile_as_mixed((0,) * 4, game.num_actions)
+        # If everyone else is altruistic, only the rational player could
+        # be Byzantine -- but Byzantine sets exclude altruists, and with
+        # b=1 the only remaining candidate is the rational player itself;
+        # then there is no rational player left to deviate.
+        assert is_bar_robust(game, stay, 1, altruists={0, 1, 2})
+
+    def test_switching_cost_rescue(self):
+        game = bargaining_game(4)
+        cost = switching_cost_rescues(game, (0, 0, 0, 0), 1)
+        assert cost == pytest.approx(1.0)
+        # And zero cost suffices when already robust.
+        pd = prisoners_dilemma()
+        assert switching_cost_rescues(pd, (1, 1), 0) == 0.0
+
+    def test_coordination_game_bar(self):
+        game = coordination_01_game(4)
+        all_zero = profile_as_mixed((0,) * 4, game.num_actions)
+        # A Byzantine playing 1 makes "join them at 1" profitable (pair
+        # payoff 2): not BAR-robust either.
+        assert not is_bar_robust(game, all_zero, 1)
+
+    def test_invalid_altruists(self):
+        game = prisoners_dilemma()
+        dd = profile_as_mixed((1, 1), game.num_actions)
+        with pytest.raises(ValueError):
+            is_bar_robust(game, dd, 0, altruists={7})
+
+
+class TestVertexEnumeration:
+    def test_agrees_with_support_enumeration(self):
+        from repro.solvers.support_enumeration import support_enumeration
+        from repro.solvers.vertex_enumeration import vertex_enumeration
+        from repro.games.classics import (
+            battle_of_the_sexes,
+            chicken,
+            roshambo,
+            stag_hunt,
+        )
+
+        for game in (chicken(), stag_hunt(), battle_of_the_sexes(), roshambo()):
+            ve = vertex_enumeration(game)
+            se = support_enumeration(game)
+            assert len(ve) == len(se), game.name
+            for profile in ve:
+                assert game.is_nash(profile, tol=1e-6)
+
+    def test_two_player_only(self):
+        from repro.solvers.vertex_enumeration import vertex_enumeration
+
+        with pytest.raises(ValueError):
+            vertex_enumeration(coordination_01_game(3))

@@ -1,0 +1,150 @@
+"""Unit tests for the synchronous message-passing simulator."""
+
+from typing import List
+
+import pytest
+
+from repro.dist.simulator import (
+    ByzantineRandomAdversary,
+    CrashAdversary,
+    Message,
+    Network,
+    NoFaultAdversary,
+    Node,
+    ScriptedAdversary,
+)
+
+
+class EchoNode(Node):
+    """Round 0: broadcast own id.  Round 1: record what arrived."""
+
+    def __init__(self, node_id, n_nodes):
+        super().__init__(node_id, n_nodes)
+        self.received: List[Message] = []
+
+    def step(self, round_number, inbox):
+        self.received.extend(inbox)
+        if round_number == 0:
+            return self.broadcast(("id", self.node_id))
+        if round_number == 1:
+            self.output = sorted(
+                m.payload[1]
+                for m in inbox
+                if isinstance(m.payload, tuple) and m.payload[0] == "id"
+            )
+        return []
+
+
+class ForgeryNode(Node):
+    """Tries to spoof another sender; the network must re-stamp."""
+
+    def step(self, round_number, inbox):
+        if round_number == 0 and self.node_id == 1:
+            return [Message(sender=99, recipient=0, payload="forged")]
+        if inbox:
+            self.output = inbox[0].sender
+        return []
+
+
+class TestNetworkBasics:
+    def test_messages_delivered_next_round(self):
+        nodes = [EchoNode(i, 3) for i in range(3)]
+        Network(nodes).run(2)
+        for node in nodes:
+            assert node.output == [0, 1, 2]
+
+    def test_sender_stamping_defeats_forgery(self):
+        nodes = [ForgeryNode(i, 2) for i in range(2)]
+        Network(nodes).run(2)
+        # Node 0 received the forged message, but stamped with sender 1.
+        assert nodes[0].output == 1
+
+    def test_node_id_position_mismatch_rejected(self):
+        nodes = [EchoNode(1, 2), EchoNode(0, 2)]
+        with pytest.raises(ValueError):
+            Network(nodes)
+
+    def test_unknown_faulty_node_rejected(self):
+        nodes = [EchoNode(i, 2) for i in range(2)]
+        with pytest.raises(ValueError):
+            Network(nodes, ByzantineRandomAdversary({5}))
+
+    def test_run_until_decided(self):
+        nodes = [EchoNode(i, 2) for i in range(2)]
+        net = Network(nodes)
+        net.run_until_decided(max_rounds=10)
+        assert all(n.output is not None for n in nodes)
+
+    def test_run_until_decided_timeout(self):
+        class NeverDecides(Node):
+            def step(self, round_number, inbox):
+                return []
+
+        nodes = [NeverDecides(i, 2) for i in range(2)]
+        with pytest.raises(RuntimeError):
+            Network(nodes).run_until_decided(max_rounds=5)
+
+    def test_trace_recording(self):
+        nodes = [EchoNode(i, 2) for i in range(2)]
+        net = Network(nodes, record_trace=True)
+        net.run(2)
+        assert len(net.trace) == 2
+        assert len(net.trace[0].sent) == 4  # 2 nodes broadcast to 2 each
+
+
+class TestAdversaries:
+    def test_no_fault_is_identity(self):
+        adv = NoFaultAdversary()
+        assert adv.corrupt_outbox(0, 0, ["x"], 2) == ["x"]
+        assert not adv.is_faulty(0)
+
+    def test_crash_immediately_silences(self):
+        nodes = [EchoNode(i, 3) for i in range(3)]
+        Network(nodes, CrashAdversary({2})).run(2)
+        assert nodes[0].output == [0, 1]
+
+    def test_crash_at_later_round(self):
+        class TwoRoundBroadcaster(Node):
+            def step(self, round_number, inbox):
+                if round_number <= 1:
+                    return self.broadcast(round_number)
+                self.output = sorted(
+                    (m.sender, m.payload) for m in inbox
+                )
+                return []
+
+        nodes = [TwoRoundBroadcaster(i, 2) for i in range(2)]
+        adv = CrashAdversary({1}, crash_round={1: 1})
+        Network(nodes, adv).run(3)
+        # Node 1's round-0 messages got out; round-1 did not.
+        assert (1, 1) not in nodes[0].output
+        # Node 0 still hears itself.
+        assert (0, 1) in nodes[0].output
+
+    def test_partial_reach_crash(self):
+        nodes = [EchoNode(i, 3) for i in range(3)]
+        adv = CrashAdversary({2}, crash_round={2: 0}, partial_reach={2: 1})
+        Network(nodes, adv).run(2)
+        # Node 0 (recipient < 1) heard node 2; node 1 did not.
+        assert nodes[0].output == [0, 1, 2]
+        assert nodes[1].output == [0, 1]
+
+    def test_byzantine_random_is_deterministic_per_seed(self):
+        def run(seed):
+            nodes = [EchoNode(i, 3) for i in range(3)]
+            Network(nodes, ByzantineRandomAdversary({2}, seed=seed)).run(2)
+            return [tuple(m.payload for m in n.received) for n in nodes]
+
+        assert run(7) == run(7)
+
+    def test_scripted_adversary_rewrites(self):
+        def script(node_id, round_number, honest_outbox, n_nodes):
+            return [
+                Message(sender=node_id, recipient=m.recipient, payload="lie")
+                for m in honest_outbox
+            ]
+
+        nodes = [EchoNode(i, 2) for i in range(2)]
+        Network(nodes, ScriptedAdversary({1}, script)).run(2)
+        payloads = [m.payload for m in nodes[0].received if m.sender == 1]
+        assert payloads == ["lie"]

@@ -1,0 +1,250 @@
+"""Unit tests for the solver substrate (pure, support enum, LH, LP, etc.)."""
+
+import numpy as np
+import pytest
+
+from repro.games.classics import (
+    battle_of_the_sexes,
+    chicken,
+    matching_pennies,
+    prisoners_dilemma,
+    roshambo,
+    stag_hunt,
+)
+from repro.games.normal_form import NormalFormGame
+from repro.solvers import (
+    best_response_dynamics,
+    correlated_equilibrium,
+    epsilon_pure_equilibria,
+    fictitious_play,
+    is_correlated_equilibrium,
+    iterated_strict_dominance,
+    iterated_weak_dominance,
+    lemke_howson,
+    lemke_howson_all,
+    mixed_dominated_actions,
+    multi_population_replicator,
+    pure_equilibria,
+    replicator_dynamics,
+    support_enumeration,
+    zero_sum_equilibrium,
+    zero_sum_value,
+)
+
+
+class TestPureSolvers:
+    def test_pure_equilibria_pd(self):
+        assert pure_equilibria(prisoners_dilemma()) == [(1, 1)]
+
+    def test_epsilon_pure_widens_set(self):
+        game = prisoners_dilemma()
+        assert (0, 0) not in epsilon_pure_equilibria(game, 0.5)
+        assert (0, 0) in epsilon_pure_equilibria(game, 2.0)  # regret exactly 2
+
+    def test_best_response_dynamics_converges_on_pd(self):
+        eq, trajectory = best_response_dynamics(prisoners_dilemma(), (0, 0))
+        assert eq == (1, 1)
+        assert trajectory[0] == (0, 0)
+
+    def test_best_response_dynamics_cycles_on_matching_pennies(self):
+        eq, _ = best_response_dynamics(
+            matching_pennies(), (0, 0), max_iterations=50
+        )
+        assert eq is None
+
+    def test_best_response_dynamics_stag_hunt(self):
+        eq, _ = best_response_dynamics(stag_hunt(), (0, 1))
+        assert eq in {(0, 0), (1, 1)}
+
+
+class TestSupportEnumeration:
+    def test_matching_pennies_unique_mixed(self):
+        eqs = support_enumeration(matching_pennies())
+        assert len(eqs) == 1
+        np.testing.assert_allclose(eqs[0][0], [0.5, 0.5])
+        np.testing.assert_allclose(eqs[0][1], [0.5, 0.5])
+
+    def test_battle_of_sexes_three_equilibria(self):
+        eqs = support_enumeration(battle_of_the_sexes())
+        assert len(eqs) == 3
+
+    def test_roshambo_uniform(self):
+        eqs = support_enumeration(roshambo())
+        assert len(eqs) == 1
+        np.testing.assert_allclose(eqs[0][0], [1 / 3] * 3, atol=1e-9)
+
+    def test_all_returned_profiles_are_nash(self):
+        for game in (chicken(), stag_hunt(), battle_of_the_sexes()):
+            for profile in support_enumeration(game):
+                assert game.is_nash(profile, tol=1e-6)
+
+    def test_requires_two_players(self):
+        from repro.games.classics import coordination_01_game
+
+        with pytest.raises(ValueError):
+            support_enumeration(coordination_01_game(3))
+
+
+class TestLemkeHowson:
+    def test_finds_nash_on_standard_games(self):
+        for game in (
+            prisoners_dilemma(),
+            matching_pennies(),
+            chicken(),
+            stag_hunt(),
+            battle_of_the_sexes(),
+        ):
+            profile = lemke_howson(game)
+            assert game.is_nash(profile, tol=1e-6), game.name
+
+    def test_all_labels_dedupe(self):
+        eqs = lemke_howson_all(stag_hunt())
+        assert 1 <= len(eqs) <= 3
+        for profile in eqs:
+            assert stag_hunt().is_nash(profile, tol=1e-6)
+
+    def test_nonsquare_game(self):
+        game = NormalFormGame.from_bimatrix(
+            [[3, 3], [2, 5], [0, 6]], [[3, 2], [2, 6], [3, 1]]
+        )
+        profile = lemke_howson(game)
+        assert game.is_nash(profile, tol=1e-6)
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(ValueError):
+            lemke_howson(matching_pennies(), initial_dropped_label=99)
+
+
+class TestZeroSum:
+    def test_matching_pennies_value(self):
+        assert zero_sum_value(matching_pennies()) == pytest.approx(0.0, abs=1e-8)
+
+    def test_roshambo_equilibrium(self):
+        profile, value = zero_sum_equilibrium(roshambo())
+        assert value == pytest.approx(0.0, abs=1e-8)
+        assert roshambo().is_nash(profile, tol=1e-6)
+
+    def test_asymmetric_zero_sum(self):
+        game = NormalFormGame.from_bimatrix([[2, -1], [-1, 1]])
+        profile, value = zero_sum_equilibrium(game)
+        # value = (2*1 - 1) / (2 + 1 + 1 + 1) = 1/5
+        assert value == pytest.approx(0.2)
+        assert game.is_nash(profile, tol=1e-6)
+
+    def test_rejects_general_sum(self):
+        with pytest.raises(ValueError):
+            zero_sum_equilibrium(prisoners_dilemma())
+
+
+class TestDominance:
+    def test_pd_reduces_to_defect(self):
+        result = iterated_strict_dominance(prisoners_dilemma())
+        assert result.kept == [[1], [1]]
+        assert len(result.rounds) == 1
+
+    def test_mixed_domination_detects_non_pure_case(self):
+        # Middle row dominated by a 50/50 mix of top and bottom, not by
+        # either pure row.
+        game = NormalFormGame.from_bimatrix(
+            [[4, 0], [1.5, 1.5], [0, 4]], [[0, 0], [0, 0], [0, 0]]
+        )
+        assert game.dominated_actions(0, strict=True) == []
+        assert mixed_dominated_actions(game, 0, strict=True) == [1]
+
+    def test_iterated_strict_with_mixed(self):
+        game = NormalFormGame.from_bimatrix(
+            [[4, 0], [1.5, 1.5], [0, 4]], [[1, 0], [0, 0], [0, 1]]
+        )
+        result = iterated_strict_dominance(game, use_mixed=True)
+        assert 1 not in result.kept[0]
+
+    def test_weak_dominance(self):
+        game = NormalFormGame.from_bimatrix(
+            [[1, 1], [1, 0]], [[1, 1], [1, 1]]
+        )
+        result = iterated_weak_dominance(game)
+        assert result.kept[0] == [0]
+
+    def test_reduced_game_playable(self):
+        result = iterated_strict_dominance(prisoners_dilemma())
+        assert result.reduced.pure_nash_equilibria() == [(0, 0)]
+
+
+class TestLearning:
+    def test_fictitious_play_matching_pennies(self):
+        result = fictitious_play(matching_pennies(), iterations=5000)
+        np.testing.assert_allclose(result.empirical[0], [0.5, 0.5], atol=0.05)
+        assert result.regret < 0.05
+
+    def test_fictitious_play_pd_converges_to_defect(self):
+        result = fictitious_play(prisoners_dilemma(), iterations=500)
+        assert result.empirical[0][1] > 0.95
+
+    def test_fictitious_play_random_tie_break(self):
+        result = fictitious_play(
+            matching_pennies(), iterations=2000, tie_break="random",
+            rng=np.random.default_rng(0),
+        )
+        assert result.regret < 0.1
+
+    def test_replicator_pd(self):
+        result = replicator_dynamics(prisoners_dilemma(), iterations=5000)
+        assert result.final[0][1] > 0.99  # defection takes over
+
+    def test_replicator_requires_symmetric(self):
+        with pytest.raises(ValueError):
+            replicator_dynamics(battle_of_the_sexes())
+
+    def test_replicator_interior_fixed_point_rps(self):
+        result = replicator_dynamics(
+            roshambo(), initial=[1 / 3, 1 / 3, 1 / 3], iterations=100
+        )
+        np.testing.assert_allclose(result.final[0], [1 / 3] * 3, atol=1e-6)
+
+    def test_multi_population_on_pd(self):
+        result = multi_population_replicator(
+            prisoners_dilemma(), iterations=5000
+        )
+        assert result.final[0][1] > 0.99
+        assert result.final[1][1] > 0.99
+
+    def test_multi_population_simplex_preserved(self):
+        result = multi_population_replicator(chicken(), iterations=200)
+        for vec in result.final:
+            assert abs(vec.sum() - 1.0) < 1e-9
+            assert np.all(vec >= 0)
+
+
+class TestCorrelated:
+    def test_nash_is_correlated(self):
+        game = prisoners_dilemma()
+        dist = {(1, 1): 1.0}
+        assert is_correlated_equilibrium(game, dist)
+
+    def test_non_equilibrium_distribution_rejected(self):
+        game = prisoners_dilemma()
+        assert not is_correlated_equilibrium(game, {(0, 0): 1.0})
+
+    def test_lp_produces_valid_correlated_equilibrium(self):
+        for game in (chicken(), battle_of_the_sexes()):
+            dist = correlated_equilibrium(game)
+            assert is_correlated_equilibrium(game, dist, tol=1e-6)
+
+    def test_welfare_objective_beats_mixed_nash_in_chicken(self):
+        game = chicken()
+        dist = correlated_equilibrium(game, objective="welfare")
+        welfare = sum(
+            p * game.payoff_vector(profile).sum() for profile, p in dist.items()
+        )
+        # The symmetric mixed Nash of this chicken gives total welfare < 0;
+        # the correlated optimum avoids the crash outcome entirely.
+        assert welfare >= -1e-9
+        assert dist.get((1, 1), 0.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_custom_objective_validation(self):
+        with pytest.raises(ValueError):
+            correlated_equilibrium(chicken(), objective="custom", weights=None)
+
+    def test_unknown_objective(self):
+        with pytest.raises(ValueError):
+            correlated_equilibrium(chicken(), objective="entropy")
