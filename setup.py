@@ -1,5 +1,31 @@
-"""Setup shim: enables legacy editable installs where `wheel` is absent."""
+"""Packaging for the repro distribution (src layout).
 
-from setuptools import setup
+``pip install -e .`` gives an editable install without any PYTHONPATH
+hacks; runtime dependencies are limited to numpy/scipy, with the test
+stack (pytest, pytest-benchmark, hypothesis) in the ``test`` extra.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-halpern-podc08",
+    version="1.0.0",
+    description=(
+        "Reproduction of Halpern, 'Beyond Nash Equilibrium: Solution "
+        "Concepts for the 21st Century' (PODC 2008)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=[
+        "numpy",
+        "scipy",
+    ],
+    extras_require={
+        "test": [
+            "pytest",
+            "pytest-benchmark",
+            "hypothesis",
+        ],
+    },
+)

@@ -29,7 +29,19 @@ __all__ = [
     "dynamics",
     "econ",
     "games",
+    "logic",
     "machines",
     "mediators",
     "solvers",
 ]
+
+
+def __getattr__(name):
+    """Lazily expose subpackages so ``import repro; repro.dist`` works."""
+    if name in __all__:
+        import importlib
+
+        module = importlib.import_module(f"repro.{name}")
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

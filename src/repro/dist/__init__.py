@@ -1,0 +1,24 @@
+"""repro.dist — the distributed-computing side of Halpern (PODC 2008).
+
+The paper's thesis is that game theory and distributed computing study
+the same systems with different failure lenses: game theory worries
+about *rational* deviators, distributed computing about *faulty* ones.
+This package supplies the distributed half of that meeting:
+
+* :mod:`repro.dist.faults` — the shared fault/adversary abstraction
+  (crash schedules, Byzantine corruption) used by both engines below.
+* :mod:`repro.dist.simulator` — a synchronous, round-based
+  message-passing engine with pluggable adversaries (§2's model for
+  Byzantine agreement and cheap talk).
+* :mod:`repro.dist.async_sim` — an event-driven asynchronous substrate
+  with pluggable schedulers, Ben-Or randomized consensus, and the
+  deadlocking wait-for-all strawman (§5's asynchrony agenda).
+* :mod:`repro.dist.agreement` — Byzantine agreement protocols (EIG
+  cheap talk, phase king, the trivial mediator protocol routed through
+  :mod:`repro.mediators`), the BA spec checker, and an adversary search
+  exhibiting the t >= n/3 impossibility.
+"""
+
+from repro.dist import agreement, async_sim, faults, simulator
+
+__all__ = ["agreement", "async_sim", "faults", "simulator"]

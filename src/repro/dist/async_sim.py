@@ -1,0 +1,440 @@
+"""Event-driven asynchronous message-passing substrate, plus Ben-Or.
+
+§5 of Halpern (PODC 2008) puts asynchrony on the agenda: once message
+delivery is at the scheduler's mercy, "what the other players are doing"
+becomes genuinely unknowable, deterministic consensus dies (FLP), and
+randomized protocols such as Ben-Or's take over.  This module makes the
+scheduler a first-class, pluggable adversary:
+
+* :class:`AsyncNetwork` keeps a multiset of in-flight messages; each
+  event, a :class:`Scheduler` picks which one to deliver next.
+  :class:`FIFOScheduler` is the benign baseline, :class:`RandomScheduler`
+  a seeded oblivious adversary, :class:`StarvationScheduler` delays one
+  victim for as long as any other traffic exists.
+* Crash faults reuse :class:`repro.dist.faults.CrashSchedule`, with the
+  tick being the global delivery counter: a node crashed at tick ``tau``
+  receives nothing from then on (and a node crashed at 0 never starts).
+* :class:`NaiveWaitAllNode` is the strawman that waits to hear from
+  *all* ``n`` nodes — correct when nothing fails, deadlocked by a single
+  crash, the cautionary tale motivating quorum-based protocols.
+* :class:`BenOrNode` / :func:`run_ben_or` implement Ben-Or's randomized
+  binary consensus for ``t < n/2`` crash faults, with a decide-broadcast
+  so late stragglers are dragged to the common decision.
+
+Determinism: every source of randomness (scheduler and per-node coins)
+is seeded, so a fixed ``(scheduler seed, coin seed)`` pair replays an
+identical execution — transcripts are comparable across runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.dist.faults import CrashSchedule
+
+__all__ = [
+    "AsyncMessage",
+    "AsyncNetwork",
+    "AsyncNode",
+    "BenOrNode",
+    "BenOrResult",
+    "FIFOScheduler",
+    "NaiveWaitAllNode",
+    "RandomScheduler",
+    "Scheduler",
+    "StarvationScheduler",
+    "run_ben_or",
+]
+
+
+@dataclass(frozen=True)
+class AsyncMessage:
+    """One in-flight message; ``sender`` is network-stamped on send."""
+
+    sender: int
+    recipient: int
+    payload: Any
+
+
+class AsyncNode:
+    """A process in the asynchronous model.
+
+    ``on_start`` fires once when the network starts; ``on_message`` fires
+    per delivery.  Both return the messages to inject.  A node announces
+    its decision by setting :attr:`output`.
+    """
+
+    def __init__(self, node_id: int, n_nodes: int) -> None:
+        self.node_id = node_id
+        self.n_nodes = n_nodes
+        self.output: Any = None
+
+    def on_start(self) -> List[AsyncMessage]:
+        return []
+
+    def on_message(self, message: AsyncMessage) -> List[AsyncMessage]:
+        return []
+
+    def broadcast(self, payload: Any) -> List[AsyncMessage]:
+        """Send ``payload`` to every node, including this one."""
+        return [
+            AsyncMessage(sender=self.node_id, recipient=recipient, payload=payload)
+            for recipient in range(self.n_nodes)
+        ]
+
+
+class Scheduler:
+    """Picks which pending message to deliver next."""
+
+    def select(self, pending: Sequence[AsyncMessage]) -> int:
+        raise NotImplementedError
+
+
+class FIFOScheduler(Scheduler):
+    """Deliver messages in the order they were sent."""
+
+    def select(self, pending):
+        return 0
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random (but seeded, hence replayable) delivery order."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def select(self, pending):
+        return self._rng.randrange(len(pending))
+
+
+class StarvationScheduler(Scheduler):
+    """Starve one victim: deliver to ``target`` only when forced to.
+
+    While any message addressed elsewhere is pending, one of those is
+    chosen (at seeded random); messages to the victim move only once no
+    other traffic exists.  This is the strongest oblivious scheduler the
+    fairness assumption allows — every message is still delivered
+    eventually.
+    """
+
+    def __init__(self, target: int, seed: int = 0) -> None:
+        self.target = target
+        self._rng = random.Random(seed)
+
+    def select(self, pending):
+        others = [
+            index
+            for index, message in enumerate(pending)
+            if message.recipient != self.target
+        ]
+        pool = others if others else range(len(pending))
+        return pool[self._rng.randrange(len(pool))]
+
+
+class AsyncNetwork:
+    """Deliver pending messages one at a time, as the scheduler dictates.
+
+    ``crashed`` maps node id to the delivery tick at which that node
+    halts; tick 0 (or less) means the node never even runs ``on_start``.
+    The run stops when every live node has decided, when no messages are
+    pending (a potential deadlock — see :meth:`is_deadlocked`), or at
+    ``max_events``.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[AsyncNode],
+        scheduler: Optional[Scheduler] = None,
+        crashed: Optional[Dict[int, int]] = None,
+    ) -> None:
+        for position, node in enumerate(nodes):
+            if node.node_id != position:
+                raise ValueError(
+                    f"node at position {position} has id {node.node_id}; "
+                    "nodes must be listed in id order"
+                )
+        self.nodes = list(nodes)
+        self.scheduler = scheduler if scheduler is not None else FIFOScheduler()
+        self.crashes = CrashSchedule(crashed or {})
+        self.crashes.validate(len(self.nodes))
+        self.clock = 0
+        self.log: List[AsyncMessage] = []
+        self._pending: List[AsyncMessage] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+
+    def _stamp(self, origin: AsyncNode, messages: Sequence[AsyncMessage]) -> None:
+        for message in messages:
+            stamped = AsyncMessage(
+                sender=origin.node_id,
+                recipient=message.recipient,
+                payload=message.payload,
+            )
+            if 0 <= stamped.recipient < len(self.nodes):
+                self._pending.append(stamped)
+
+    def is_alive(self, node_id: int) -> bool:
+        return not self.crashes.is_crashed(node_id, self.clock)
+
+    def _all_live_decided(self) -> bool:
+        return all(
+            node.output is not None
+            for node in self.nodes
+            if self.is_alive(node.node_id)
+        )
+
+    def run(self, max_events: int = 500_000) -> "AsyncNetwork":
+        if not self._started:
+            self._started = True
+            for node in self.nodes:
+                if self.crashes.is_crashed(node.node_id, 0):
+                    continue
+                self._stamp(node, node.on_start() or [])
+        events = 0
+        while self._pending and not self._all_live_decided():
+            events += 1
+            if events > max_events:
+                break
+            index = self.scheduler.select(self._pending)
+            message = self._pending.pop(index)
+            alive = self.is_alive(message.recipient)
+            self.clock += 1
+            if not alive:
+                continue
+            recipient = self.nodes[message.recipient]
+            self.log.append(message)
+            self._stamp(recipient, recipient.on_message(message) or [])
+        return self
+
+    def is_deadlocked(self) -> bool:
+        """No pending traffic, yet some live node never decided."""
+        return not self._pending and any(
+            node.output is None
+            for node in self.nodes
+            if self.is_alive(node.node_id)
+        )
+
+    def honest_outputs(self) -> Dict[int, Any]:
+        """Outputs of nodes that were never scheduled to crash."""
+        return {
+            node.node_id: node.output
+            for node in self.nodes
+            if node.node_id not in self.crashes.crashed_ids()
+        }
+
+
+# ----------------------------------------------------------------------
+# The wait-for-all strawman
+# ----------------------------------------------------------------------
+
+
+class NaiveWaitAllNode(AsyncNode):
+    """Broadcast the input, wait to hear from *everyone*, take majority.
+
+    Perfectly correct in a failure-free world; a single crash starves it
+    forever.  This is the §5 point that synchronous intuitions ("just
+    collect all the votes") are not merely slow but *wrong* under
+    asynchrony with faults.
+    """
+
+    def __init__(self, node_id: int, n_nodes: int, initial: int) -> None:
+        super().__init__(node_id, n_nodes)
+        self.initial = 1 if initial == 1 else 0
+        self.values: Dict[int, int] = {}
+
+    def on_start(self):
+        return self.broadcast(("value", self.initial))
+
+    def on_message(self, message):
+        payload = message.payload
+        if isinstance(payload, tuple) and len(payload) == 2 and payload[0] == "value":
+            self.values[message.sender] = 1 if payload[1] == 1 else 0
+        if self.output is None and len(self.values) == self.n_nodes:
+            ones = sum(self.values.values())
+            self.output = 1 if 2 * ones > self.n_nodes else 0
+        return []
+
+
+# ----------------------------------------------------------------------
+# Ben-Or randomized consensus
+# ----------------------------------------------------------------------
+
+
+def _bit(value: Any) -> int:
+    return 1 if value == 1 else 0
+
+
+class BenOrNode(AsyncNode):
+    """Ben-Or (1983) binary consensus for ``t < n/2`` crash faults.
+
+    Phase ``p``: broadcast a report ``(R, p, x)``; on ``n - t`` phase-p
+    reports, propose ``v`` if ``v`` held a strict majority of all ``n``
+    possible reporters, else propose "no value".  On ``n - t`` phase-p
+    proposals: decide ``v`` on ``t + 1`` proposals for ``v`` (then
+    broadcast ``(D, v)`` so stragglers are dragged along), adopt ``v`` on
+    at least one proposal for ``v``, else flip the (seeded) local coin.
+    Safety is deterministic; termination holds with probability 1.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        n_nodes: int,
+        t: int,
+        initial: int,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if n_nodes < 2:
+            raise ValueError("Ben-Or needs at least two nodes")
+        if not 0 <= t or 2 * t >= n_nodes:
+            raise ValueError(
+                f"Ben-Or requires t < n/2; got n={n_nodes}, t={t}"
+            )
+        super().__init__(node_id, n_nodes)
+        self.t = t
+        self.x = _bit(initial)
+        self.phase = 1
+        self.stage = "report"
+        self.rng = rng if rng is not None else random.Random(node_id)
+        self._reports: Dict[int, Dict[int, int]] = {}
+        self._proposals: Dict[int, Dict[int, Optional[int]]] = {}
+        self._sent_decide = False
+
+    def on_start(self):
+        return self.broadcast(("R", self.phase, self.x))
+
+    def on_message(self, message):
+        payload = message.payload
+        if not isinstance(payload, tuple) or len(payload) < 2:
+            return []
+        kind = payload[0]
+        if kind == "D":
+            return self._decide(_bit(payload[1]))
+        if self.output is not None or len(payload) != 3:
+            return []
+        phase = payload[1]
+        if not isinstance(phase, int) or phase < 1:
+            return []
+        if kind == "R":
+            self._reports.setdefault(phase, {})[message.sender] = _bit(payload[2])
+        elif kind == "P":
+            value = payload[2]
+            self._proposals.setdefault(phase, {})[message.sender] = (
+                _bit(value) if value in (0, 1) else None
+            )
+        else:
+            return []
+        return self._advance()
+
+    def _decide(self, value: int) -> List[AsyncMessage]:
+        if self.output is not None:
+            return []
+        self.output = value
+        if self._sent_decide:
+            return []
+        self._sent_decide = True
+        return self.broadcast(("D", value))
+
+    def _advance(self) -> List[AsyncMessage]:
+        out: List[AsyncMessage] = []
+        quorum = self.n_nodes - self.t
+        progressed = True
+        while progressed and self.output is None:
+            progressed = False
+            phase = self.phase
+            if self.stage == "report":
+                reports = self._reports.get(phase, {})
+                if len(reports) >= quorum:
+                    ones = sum(reports.values())
+                    zeros = len(reports) - ones
+                    if 2 * ones > self.n_nodes:
+                        proposal: Optional[int] = 1
+                    elif 2 * zeros > self.n_nodes:
+                        proposal = 0
+                    else:
+                        proposal = None
+                    self.stage = "propose"
+                    out.extend(self.broadcast(("P", phase, proposal)))
+                    progressed = True
+            else:
+                proposals = self._proposals.get(phase, {})
+                if len(proposals) >= quorum:
+                    counts = {0: 0, 1: 0}
+                    for value in proposals.values():
+                        if value is not None:
+                            counts[value] += 1
+                    decided = next(
+                        (v for v in (0, 1) if counts[v] > self.t), None
+                    )
+                    if decided is not None:
+                        out.extend(self._decide(decided))
+                        break
+                    if counts[0] + counts[1] > 0:
+                        self.x = 1 if counts[1] > 0 else 0
+                    else:
+                        self.x = self.rng.randint(0, 1)
+                    self.phase += 1
+                    self.stage = "report"
+                    out.extend(self.broadcast(("R", self.phase, self.x)))
+                    progressed = True
+        return out
+
+
+@dataclass(frozen=True)
+class BenOrResult:
+    """Outcome of one Ben-Or execution over the surviving nodes."""
+
+    outputs: Dict[int, Optional[int]]
+    agreement: bool
+    validity: bool
+    max_phase: int
+    deliveries: int
+    transcript: Tuple[AsyncMessage, ...] = field(default=(), repr=False)
+
+
+def run_ben_or(
+    n: int,
+    t: int,
+    inputs: Sequence[int],
+    scheduler: Optional[Scheduler] = None,
+    crashed: Optional[Dict[int, int]] = None,
+    seed: int = 0,
+    max_events: int = 500_000,
+) -> BenOrResult:
+    """Run Ben-Or consensus and check agreement/validity over survivors.
+
+    ``seed`` derives every node's local coin, and the scheduler carries
+    its own seed, so identical arguments replay identical transcripts.
+    Nodes scheduled to crash (at any tick) are excluded from ``outputs``.
+    """
+    if len(inputs) != n:
+        raise ValueError(
+            f"expected {n} inputs, got {len(inputs)}"
+        )
+    nodes = [
+        BenOrNode(
+            i, n, t, inputs[i], rng=random.Random(1_000_003 * (seed or 0) + i)
+        )
+        for i in range(n)
+    ]
+    net = AsyncNetwork(nodes, scheduler, crashed=crashed)
+    net.run(max_events)
+    crashed_ids = net.crashes.crashed_ids()
+    outputs = {
+        i: nodes[i].output for i in range(n) if i not in crashed_ids
+    }
+    values = list(outputs.values())
+    agreement = all(v is not None for v in values) and len(set(values)) <= 1
+    unanimous = len(set(_bit(v) for v in inputs)) == 1
+    validity = (not unanimous) or all(v == _bit(inputs[0]) for v in values)
+    return BenOrResult(
+        outputs=outputs,
+        agreement=agreement,
+        validity=validity,
+        max_phase=max(node.phase for node in nodes),
+        deliveries=len(net.log),
+        transcript=tuple(net.log),
+    )

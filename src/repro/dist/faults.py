@@ -1,0 +1,208 @@
+"""Fault models shared by the synchronous and asynchronous engines.
+
+Halpern (PODC 2008, §2) frames robustness as tolerating two kinds of
+misbehaviour at once: coalitions of *rational* deviators and up to ``t``
+players who are simply *faulty* — "whether because they have unexpected
+utilities, they make mistakes, or they are controlled by an adversary".
+This module is the single place where "faulty" is given operational
+meaning, so the round-based simulator (:mod:`repro.dist.simulator`) and
+the event-driven substrate (:mod:`repro.dist.async_sim`) agree on it:
+
+* :class:`Adversary` — controls a fixed set of faulty nodes and rewrites
+  their outgoing traffic; subclasses realize the classical hierarchy
+  (no fault < crash < Byzantine).
+* :class:`CrashSchedule` — per-node crash times measured in engine
+  ticks (rounds for the synchronous engine, delivery events for the
+  asynchronous one), so a "crash fault" is the same object in both
+  worlds.
+
+The network, not the adversary, stamps the true sender on every
+message: channels are authenticated, which is the standing assumption
+behind the paper's cheap-talk results.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "Adversary",
+    "ByzantineRandomAdversary",
+    "CrashAdversary",
+    "CrashSchedule",
+    "NoFaultAdversary",
+    "ScriptedAdversary",
+]
+
+
+class CrashSchedule:
+    """Per-node crash times in engine-specific ticks.
+
+    A node with crash time ``tau`` behaves correctly at ticks
+    ``0 .. tau-1`` and is silent/dead from tick ``tau`` on.  ``tau <= 0``
+    means the node was dead on arrival.
+    """
+
+    def __init__(self, times: Optional[Mapping[int, int]] = None) -> None:
+        self.times: Dict[int, int] = dict(times or {})
+
+    def is_crashed(self, node_id: int, tick: int) -> bool:
+        tau = self.times.get(node_id)
+        return tau is not None and tick >= tau
+
+    def crashed_ids(self) -> frozenset:
+        return frozenset(self.times)
+
+    def validate(self, n_nodes: int) -> None:
+        unknown = {i for i in self.times if not 0 <= i < n_nodes}
+        if unknown:
+            raise ValueError(
+                f"crash schedule names unknown nodes {sorted(unknown)} "
+                f"(network has {n_nodes})"
+            )
+
+
+class Adversary:
+    """Base class: controls ``faulty`` and rewrites their outboxes.
+
+    ``corrupt_outbox`` is called by the network for *every* node each
+    round; for honest nodes it is the identity.  Subclasses override
+    :meth:`_corrupt`, which only sees faulty nodes' traffic.
+    """
+
+    def __init__(self, faulty: Iterable[int] = ()) -> None:
+        self.faulty = frozenset(faulty)
+
+    def is_faulty(self, node_id: int) -> bool:
+        return node_id in self.faulty
+
+    def validate(self, n_nodes: int) -> None:
+        unknown = {i for i in self.faulty if not 0 <= i < n_nodes}
+        if unknown:
+            raise ValueError(
+                f"adversary controls unknown nodes {sorted(unknown)} "
+                f"(network has {n_nodes})"
+            )
+
+    def corrupt_outbox(
+        self,
+        node_id: int,
+        round_number: int,
+        outbox: Sequence[Any],
+        n_nodes: int,
+    ) -> List[Any]:
+        if not self.is_faulty(node_id):
+            return list(outbox)
+        return self._corrupt(node_id, round_number, list(outbox), n_nodes)
+
+    def _corrupt(
+        self,
+        node_id: int,
+        round_number: int,
+        outbox: List[Any],
+        n_nodes: int,
+    ) -> List[Any]:
+        return outbox
+
+
+class NoFaultAdversary(Adversary):
+    """Every node is honest; corruption is the identity."""
+
+    def __init__(self) -> None:
+        super().__init__(())
+
+
+class CrashAdversary(Adversary):
+    """Fail-stop faults: a node falls silent at its crash round.
+
+    ``crash_round[i]`` (default 0) is the first round whose messages are
+    lost.  In exactly that round, ``partial_reach[i]`` (default 0) of the
+    outbox survives: messages to recipients ``< partial_reach[i]`` are
+    still delivered, modelling a node that dies mid-broadcast — the
+    classical reason crash consensus needs multiple rounds.
+    """
+
+    def __init__(
+        self,
+        faulty: Iterable[int],
+        crash_round: Optional[Mapping[int, int]] = None,
+        partial_reach: Optional[Mapping[int, int]] = None,
+    ) -> None:
+        super().__init__(faulty)
+        self.crash_round = {i: 0 for i in self.faulty}
+        self.crash_round.update(crash_round or {})
+        self.partial_reach = dict(partial_reach or {})
+
+    def _corrupt(self, node_id, round_number, outbox, n_nodes):
+        crash = self.crash_round.get(node_id, 0)
+        if round_number < crash:
+            return outbox
+        if round_number == crash:
+            reach = self.partial_reach.get(node_id, 0)
+            return [m for m in outbox if m.recipient < reach]
+        return []
+
+
+def _garble(payload: Any, rng: random.Random) -> Any:
+    """Randomly rewrite a payload while keeping its rough shape."""
+    if isinstance(payload, dict):
+        return {key: rng.randint(0, 1) for key in payload}
+    if isinstance(payload, tuple):
+        return tuple(
+            rng.randint(0, 1) if isinstance(x, int) else x for x in payload
+        )
+    return rng.randint(0, 1)
+
+
+class ByzantineRandomAdversary(Adversary):
+    """Byzantine nodes that emit deterministic pseudo-random garbage.
+
+    Per message, the adversary keeps it, rewrites the payload with random
+    bits (shape-preserving when the payload is structured), replaces it
+    with a bare random bit, or drops it.  All choices come from one
+    ``random.Random(seed)`` stream, so a fixed seed gives a fixed attack
+    — which is what lets :func:`repro.dist.agreement.search_for_disagreement`
+    treat each seed as one candidate adversary.
+    """
+
+    def __init__(self, faulty: Iterable[int], seed: int = 0) -> None:
+        super().__init__(faulty)
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def _corrupt(self, node_id, round_number, outbox, n_nodes):
+        corrupted = []
+        for message in outbox:
+            roll = self._rng.random()
+            if roll < 0.25:
+                corrupted.append(message)
+            elif roll < 0.55:
+                corrupted.append(
+                    replace(message, payload=_garble(message.payload, self._rng))
+                )
+            elif roll < 0.85:
+                corrupted.append(replace(message, payload=self._rng.randint(0, 1)))
+            # else: drop the message (silence looks like a crash).
+        return corrupted
+
+
+Script = Callable[[int, int, List[Any], int], List[Any]]
+
+
+class ScriptedAdversary(Adversary):
+    """Fully scripted Byzantine behaviour.
+
+    ``script(node_id, round_number, honest_outbox, n_nodes)`` returns the
+    messages the faulty node actually sends.  The network re-stamps the
+    sender afterwards, so even a scripted adversary cannot forge
+    identities — it can only lie about content.
+    """
+
+    def __init__(self, faulty: Iterable[int], script: Script) -> None:
+        super().__init__(faulty)
+        self.script = script
+
+    def _corrupt(self, node_id, round_number, outbox, n_nodes):
+        return list(self.script(node_id, round_number, outbox, n_nodes))

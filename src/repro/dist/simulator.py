@@ -1,0 +1,165 @@
+"""Synchronous round-based message-passing simulator.
+
+This is the model of §2 of Halpern (PODC 2008): ``n`` processes proceed
+in lockstep rounds, every pair is connected by an authenticated channel,
+and up to ``t`` of them are controlled by an adversary drawn from the
+hierarchy in :mod:`repro.dist.faults`.  A message sent in round ``r`` is
+delivered at the start of round ``r + 1``; the network stamps the true
+sender on every message, which is exactly the "private authenticated
+channels" assumption under which cheap talk can replace a mediator when
+``n > 3t``.
+
+The engine is deliberately tiny — :class:`Node` subclasses implement one
+``step`` method — so protocol code (:mod:`repro.dist.agreement`) reads
+like the pseudocode in Aspnes' *Notes on Theory of Distributed Systems*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.dist.faults import (
+    Adversary,
+    ByzantineRandomAdversary,
+    CrashAdversary,
+    NoFaultAdversary,
+    ScriptedAdversary,
+)
+
+__all__ = [
+    "Adversary",
+    "ByzantineRandomAdversary",
+    "CrashAdversary",
+    "Message",
+    "Network",
+    "NoFaultAdversary",
+    "Node",
+    "RoundTrace",
+    "ScriptedAdversary",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message; ``sender`` is network-stamped."""
+
+    sender: int
+    recipient: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class RoundTrace:
+    """Everything that was put on the wire in one round (post-adversary)."""
+
+    round_number: int
+    sent: Tuple[Message, ...]
+
+
+class Node:
+    """A process in the synchronous model.
+
+    Subclasses implement :meth:`step`, which receives the round number
+    and the inbox of messages sent to this node in the previous round,
+    and returns the messages to send this round.  A node announces its
+    decision by setting :attr:`output`.
+    """
+
+    def __init__(self, node_id: int, n_nodes: int) -> None:
+        self.node_id = node_id
+        self.n_nodes = n_nodes
+        self.output: Any = None
+
+    def step(self, round_number: int, inbox: List[Message]) -> List[Message]:
+        raise NotImplementedError
+
+    def send(self, recipient: int, payload: Any) -> List[Message]:
+        return [Message(sender=self.node_id, recipient=recipient, payload=payload)]
+
+    def broadcast(self, payload: Any) -> List[Message]:
+        """Send ``payload`` to every node, including this one."""
+        return [
+            Message(sender=self.node_id, recipient=recipient, payload=payload)
+            for recipient in range(self.n_nodes)
+        ]
+
+
+class Network:
+    """Lockstep executor: step all nodes, corrupt faulty outboxes, deliver.
+
+    The sender field of every outgoing message is overwritten with the
+    true origin *after* adversarial corruption, so neither honest bugs
+    nor Byzantine nodes can forge identities.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        adversary: Optional[Adversary] = None,
+        record_trace: bool = False,
+    ) -> None:
+        for position, node in enumerate(nodes):
+            if node.node_id != position:
+                raise ValueError(
+                    f"node at position {position} has id {node.node_id}; "
+                    "nodes must be listed in id order"
+                )
+        self.nodes = list(nodes)
+        self.adversary = adversary if adversary is not None else NoFaultAdversary()
+        self.adversary.validate(len(self.nodes))
+        self.record_trace = record_trace
+        self.trace: List[RoundTrace] = []
+        self.round_number = 0
+        self._inboxes: List[List[Message]] = [[] for _ in self.nodes]
+
+    # ------------------------------------------------------------------
+
+    def _step_round(self) -> None:
+        round_number = self.round_number
+        inboxes = self._inboxes
+        self._inboxes = [[] for _ in self.nodes]
+        sent: List[Message] = []
+        for node in self.nodes:
+            outbox = node.step(round_number, inboxes[node.node_id]) or []
+            outbox = self.adversary.corrupt_outbox(
+                node.node_id, round_number, outbox, len(self.nodes)
+            )
+            for message in outbox:
+                stamped = Message(
+                    sender=node.node_id,
+                    recipient=message.recipient,
+                    payload=message.payload,
+                )
+                if 0 <= stamped.recipient < len(self.nodes):
+                    self._inboxes[stamped.recipient].append(stamped)
+                    sent.append(stamped)
+        if self.record_trace:
+            self.trace.append(RoundTrace(round_number, tuple(sent)))
+        self.round_number += 1
+
+    def run(self, n_rounds: int) -> "Network":
+        for _ in range(n_rounds):
+            self._step_round()
+        return self
+
+    def run_until_decided(self, max_rounds: int = 1000) -> "Network":
+        """Run until every honest node has set ``output``."""
+        for _ in range(max_rounds):
+            self._step_round()
+            if all(
+                node.output is not None
+                for node in self.nodes
+                if not self.adversary.is_faulty(node.node_id)
+            ):
+                return self
+        raise RuntimeError(
+            f"no decision after {max_rounds} rounds; protocol may not terminate"
+        )
+
+    def honest_outputs(self) -> dict:
+        return {
+            node.node_id: node.output
+            for node in self.nodes
+            if not self.adversary.is_faulty(node.node_id)
+        }

@@ -22,6 +22,7 @@ from repro.mediators.base import (
     Mediator,
     MediatedGame,
     TableMediator,
+    byzantine_agreement_mediator,
 )
 from repro.mediators.cheap_talk import (
     CheapTalkResult,
@@ -50,6 +51,7 @@ __all__ = [
     "RSSUtilities",
     "RandomizedRSSProtocol",
     "TableMediator",
+    "byzantine_agreement_mediator",
     "distributions_match",
     "has_punishment_strategy",
     "honest_equilibrium_alpha_bound",

@@ -32,6 +32,7 @@ __all__ = [
     "DeterministicMediator",
     "Deviation",
     "MediatedGame",
+    "byzantine_agreement_mediator",
 ]
 
 ActionProfile = Tuple[int, ...]
@@ -97,6 +98,24 @@ class DeterministicMediator(TableMediator):
             table[types] = {tuple(fn(types)): 1.0}
         super().__init__(table)
         self.fn = fn
+
+
+def byzantine_agreement_mediator(n_players: int) -> DeterministicMediator:
+    """The Section 2 mediator for Byzantine agreement.
+
+    Relay the general's reported preference (its type) to every player.
+    This single object backs both faces of the paper's argument: the
+    game-theoretic one (honesty is an equilibrium of Γd — see
+    :class:`MediatedGame`) and the distributed one (the trivial
+    three-round protocol in
+    :func:`repro.dist.agreement.run_mediator_agreement`).
+    """
+    if n_players < 2:
+        raise ValueError("Byzantine agreement needs at least two players")
+    return DeterministicMediator(
+        [2] + [1] * (n_players - 1),
+        lambda types: (types[0],) * n_players,
+    )
 
 
 @dataclass(frozen=True)
