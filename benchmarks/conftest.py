@@ -4,25 +4,20 @@ Every benchmark regenerates one artifact of the paper (a worked example,
 a theorem table, or a figure's game) and prints the reproduced rows so a
 run with ``pytest benchmarks/ --benchmark-only -s`` doubles as the
 experiment log.  EXPERIMENTS.md records the expected output of each.
+
+Table rendering is shared with the experiment runner
+(:func:`repro.experiments.results.format_table`), so registry sweeps and
+benchmark logs produce identical layouts.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.experiments.results import format_table
+
 
 def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
     """Render one reproduced table to stdout."""
-    rows = [tuple(str(c) for c in row) for row in rows]
-    header = tuple(str(c) for c in header)
-    widths = [
-        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
-        for i in range(len(header))
-    ]
-    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
     print()
-    print(f"=== {title} ===")
-    print(line)
-    print("-" * len(line))
-    for row in rows:
-        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    print(format_table(title, header, rows))

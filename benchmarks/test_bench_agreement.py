@@ -13,38 +13,26 @@ from repro.dist.agreement import (
     run_eig_agreement,
     run_mediator_agreement,
     run_phase_king_agreement,
-    search_for_disagreement,
 )
 from repro.dist.simulator import ByzantineRandomAdversary
+from repro.experiments import run_experiments
 
 
 def eig_grid():
-    rows = []
-    for n, t in [(4, 1), (5, 1), (7, 2), (3, 1), (6, 2)]:
-        correct = 0
-        trials = 0
-        for seed in range(10):
-            for gv in (0, 1):
-                faulty = set(range(n - t, n))
-                adv = ByzantineRandomAdversary(faulty, seed=seed)
-                outcome = run_eig_agreement(n, t, gv, adv)
-                correct += outcome.correct
-                trials += 1
-        violation = (
-            search_for_disagreement(n, t, "eig", random_seeds=5)
-            if n <= 3 * t
-            else None
+    """The threshold table via the registry's ``eig_reliability`` scenario."""
+    results = run_experiments(scenarios=["eig_reliability"])
+    return [
+        (
+            r.params["n"],
+            r.params["t"],
+            r.metrics["regime"],
+            f"{r.metrics['correct']}/{r.metrics['trials']}",
+            "violation found"
+            if r.metrics["violation_found"]
+            else "none found",
         )
-        rows.append(
-            (
-                n,
-                t,
-                "n > 3t" if n > 3 * t else "n <= 3t",
-                f"{correct}/{trials}",
-                "violation found" if violation is not None else "none found",
-            )
-        )
-    return rows
+        for r in results
+    ]
 
 
 def test_bench_e4_eig_threshold(benchmark):

@@ -5,78 +5,64 @@ players can jointly deviate and double their payoff (not 2-resilient).
 
 E2 — the bargaining game: all-stay is k-resilient for every k and Pareto
 optimal, yet a single deviator zeroes out everyone else (not 1-immune).
+
+Both tables are produced by the experiment registry
+(``coordination_robustness`` / ``bargaining_robustness`` scenarios) run
+through :func:`repro.experiments.run_experiments` — the benchmark times
+the shared sweep pipeline, not a bespoke driver.
 """
 
 import pytest
 
 from benchmarks.conftest import print_table
-from repro.core.robust import (
-    immunity_violations,
-    max_immunity,
-    max_resilience,
-    resilience_violations,
-    robustness_report,
-)
-from repro.games.classics import bargaining_game, coordination_01_game
-from repro.games.normal_form import profile_as_mixed
+from repro.experiments import run_experiments
 
 
-def _all_zero(game):
-    return profile_as_mixed((0,) * game.n_players, game.num_actions)
-
-
-def e1_rows(n_values):
-    rows = []
-    for n in n_values:
-        game = coordination_01_game(n)
-        profile = _all_zero(game)
-        report = robustness_report(game, profile)
-        violation = resilience_violations(game, profile, 2)[0]
-        rows.append(
-            (
-                n,
-                report.is_nash,
-                report.max_k_strong,
-                f"pair {violation.coalition} -> gains {violation.gains}",
-            )
+def e1_rows():
+    results = run_experiments(scenarios=["coordination_robustness"])
+    return [
+        (
+            r.params["n"],
+            r.metrics["is_nash"],
+            r.metrics["max_k_strong"],
+            f"pair {r.metrics['witness_coalition']} -> "
+            f"gains {r.metrics['witness_gains']}",
         )
-    return rows
+        for r in results
+    ]
 
 
 def test_bench_e1_coordination_resilience(benchmark):
-    rows = benchmark.pedantic(
-        e1_rows, args=([2, 3, 4, 5],), iterations=1, rounds=1
-    )
+    rows = benchmark.pedantic(e1_rows, iterations=1, rounds=1)
     print_table(
         "E1: 0/1 coordination game (all-0 profile)",
         ["n", "Nash?", "max k-resilient", "witness 2-coalition deviation"],
         rows,
     )
+    assert [n for n, *_ in rows] == [2, 3, 4, 5]
     for n, is_nash, max_k, _witness in rows:
         assert is_nash
         assert max_k == 1  # Nash but never 2-resilient
 
 
-def e2_rows(n_values):
-    rows = []
-    for n in n_values:
-        game = bargaining_game(n)
-        profile = _all_zero(game)
-        k = max_resilience(game, profile)
-        t = max_immunity(game, profile)
-        violation = immunity_violations(game, profile, 1)[0]
-        pareto = game.is_pareto_optimal_pure((0,) * n)
-        rows.append(
-            (n, k, t, pareto, f"player {violation.deviators[0]} leaves -> "
-             f"victim {violation.victim} loses {violation.loss:g}")
+def e2_rows():
+    results = run_experiments(scenarios=["bargaining_robustness"])
+    return [
+        (
+            r.params["n"],
+            r.metrics["max_k"],
+            r.metrics["max_t"],
+            r.metrics["pareto_optimal"],
+            f"player {r.metrics['witness_deviator']} leaves -> "
+            f"victim {r.metrics['witness_victim']} loses "
+            f"{r.metrics['witness_loss']:g}",
         )
-    return rows
+        for r in results
+    ]
 
 
 def test_bench_e2_bargaining_immunity(benchmark):
-    rows = benchmark.pedantic(
-        e2_rows, args=([2, 3, 4, 5],), iterations=1, rounds=1
-    )
+    rows = benchmark.pedantic(e2_rows, iterations=1, rounds=1)
     print_table(
         "E2: bargaining game (all-stay profile)",
         ["n", "max k-resilient", "max t-immune", "Pareto optimal", "fragility witness"],

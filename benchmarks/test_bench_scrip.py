@@ -16,6 +16,7 @@ from repro.econ.scrip import (
     ThresholdAgent,
     best_response_threshold,
 )
+from repro.experiments import run_experiments
 
 N_AGENTS = 12
 ROUNDS = 15_000
@@ -128,34 +129,24 @@ def test_bench_e11_simulation_throughput(benchmark):
     assert result.requests_made > 0
 
 
-def money_supply_rows(threshold, supplies):
-    rows = []
-    for m in supplies:
-        agents = [ThresholdAgent(threshold) for _ in range(N_AGENTS)]
-        result = ScripSystem(agents, cost=0.2, initial_scrip=m).run(
-            20_000, seed=0
+def money_supply_rows():
+    """E17's sweep via the registry's ``scrip_money_supply`` scenario."""
+    results = run_experiments(scenarios=["scrip_money_supply"])
+    return [
+        (
+            r.params["initial_scrip"],
+            f"{r.metrics['satisfaction_rate']:.2f}",
+            f"{r.metrics['total_welfare']:.0f}",
+            "CRASH" if r.metrics["crashed"] else "ok",
         )
-        rows.append(
-            (
-                m,
-                f"{result.satisfaction_rate:.2f}",
-                f"{result.utilities.sum():.0f}",
-                "CRASH" if (
-                    result.requests_made > 0
-                    and result.requests_satisfied == 0
-                ) else "ok",
-            )
-        )
-    return rows
+        for r in results
+    ]
 
 
 def test_bench_e17_money_supply_crash(benchmark):
     """E17: KFH 'crashes' — too much scrip and nobody ever works."""
     threshold = 4
-    rows = benchmark.pedantic(
-        money_supply_rows, args=(threshold, [1, 2, 3, 4, 6, 8]),
-        iterations=1, rounds=1,
-    )
+    rows = benchmark.pedantic(money_supply_rows, iterations=1, rounds=1)
     print_table(
         f"E17: welfare vs money supply (threshold-{threshold} agents) — "
         "the KFH crash",

@@ -3,23 +3,19 @@
 Not a paper table — this benchmark certifies the substrate every other
 experiment stands on: the three independent 2-player solvers agree on
 equilibrium values, and their costs scale as expected.
+
+The cross-validation table runs through the experiment registry
+(``solver_cross_validation`` scenario); the scaling cases below it
+benchmark the raw solver calls directly.
 """
 
 import numpy as np
 import pytest
 
 from benchmarks.conftest import print_table
-from repro.games.classics import (
-    battle_of_the_sexes,
-    chicken,
-    matching_pennies,
-    prisoners_dilemma,
-    roshambo,
-    stag_hunt,
-)
+from repro.experiments import run_experiments
 from repro.games.normal_form import NormalFormGame
 from repro.solvers import (
-    fictitious_play,
     lemke_howson,
     support_enumeration,
     zero_sum_equilibrium,
@@ -27,32 +23,16 @@ from repro.solvers import (
 
 
 def cross_validation_rows():
-    rows = []
-    for game in (
-        prisoners_dilemma(),
-        matching_pennies(),
-        chicken(),
-        stag_hunt(),
-        battle_of_the_sexes(),
-        roshambo(),
-    ):
-        se = support_enumeration(game)
-        lh_ok = True
-        try:
-            lh = lemke_howson(game)
-            lh_ok = game.is_nash(lh, tol=1e-6)
-        except RuntimeError:
-            lh = None
-        fp = fictitious_play(game, iterations=3000)
-        rows.append(
-            (
-                game.name,
-                len(se),
-                "ok" if lh_ok else "FAIL",
-                f"{fp.regret:.3f}",
-            )
+    results = run_experiments(scenarios=["solver_cross_validation"])
+    return [
+        (
+            r.params["game"],
+            r.metrics["n_support_equilibria"],
+            "ok" if r.metrics["lemke_howson_ok"] else "FAIL",
+            f"{r.metrics['fp_regret']:.3f}",
         )
-    return rows
+        for r in results
+    ]
 
 
 def test_bench_e14_cross_validation(benchmark):
@@ -103,3 +83,33 @@ def test_bench_e14_lemke_howson_medium_game(benchmark):
     )
     profile = benchmark(lambda: lemke_howson(game))
     assert game.is_nash(profile, tol=1e-5)
+
+
+def batched_dynamics_rows():
+    results = run_experiments(
+        scenarios=["fp_basin_sweep", "replicator_basin_sweep"]
+    )
+    rows = []
+    for r in results:
+        if r.scenario == "fp_basin_sweep":
+            detail = (
+                f"modal terminal {r.metrics['modal_terminal']}, "
+                f"max regret {r.metrics['max_regret']:.3f}"
+            )
+        else:
+            detail = (
+                f"basins {r.metrics['basin_counts']}, "
+                f"converged {r.metrics['converged_fraction']:.0%}"
+            )
+        rows.append((r.scenario, r.params["game"], r.params["n_runs"], detail))
+    return rows
+
+
+def test_bench_e14_batched_dynamics(benchmark):
+    rows = benchmark.pedantic(batched_dynamics_rows, iterations=1, rounds=1)
+    print_table(
+        "E14b: batched learning-dynamics replay (registry sweeps)",
+        ["scenario", "game", "runs", "outcome"],
+        rows,
+    )
+    assert len(rows) == 4

@@ -67,6 +67,20 @@ def main() -> None:
         "not 1-immune."
     )
 
+    # ------------------------------------------------------------------
+    section("5. Sweep both examples at once via the experiment registry")
+    from repro.experiments import run_experiments
+
+    results = run_experiments(families=["robustness"])
+    for r in results:
+        keys = ("max_k_strong", "max_k", "max_t")
+        shown = {k: r.metrics[k] for k in keys if k in r.metrics}
+        print(f"{r.scenario}(n={r.params['n']}): {shown}")
+    print(
+        "-> the same registry drives benchmarks/ and "
+        "`python -m repro.experiments`; see examples/run_experiments.py."
+    )
+
 
 if __name__ == "__main__":
     main()

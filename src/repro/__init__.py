@@ -28,6 +28,7 @@ __all__ = [
     "dist",
     "dynamics",
     "econ",
+    "experiments",
     "games",
     "logic",
     "machines",

@@ -191,6 +191,7 @@ class GameWithAwareness:
         ]
 
     def validate_profile(self, profile: GeneralizedStrategyProfile) -> None:
+        """Raise ``ValueError`` unless every (player, game) infoset has a strategy."""
         for player, game_label in self.strategy_pairs():
             for infoset in self.local_infosets(player, game_label):
                 key = (player, game_label)
@@ -264,6 +265,7 @@ class GameWithAwareness:
         overrides: Optional[Dict[str, Dict[str, float]]] = None,
         override_player: Optional[int] = None,
     ) -> float:
+        """Player's expected utility in ``game_label`` under the generalized profile."""
         behavioral = self.effective_profile(
             game_label, profile, overrides=overrides,
             override_player=override_player,

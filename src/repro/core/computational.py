@@ -87,9 +87,11 @@ class ConstantMachine(Machine):
         self.name = name or f"const_{action}"
 
     def action_distribution(self, type_value):
+        """Point mass on the constant action, for every type."""
         return {self.action: 1.0}
 
     def complexity(self, type_value):
+        """The fixed declared cost, independent of type."""
         return self.cost
 
 
@@ -110,9 +112,11 @@ class LambdaMachine(Machine):
         self.name = name
 
     def action_distribution(self, type_value):
+        """Point mass on ``act(type)``."""
         return {int(self._act(type_value)): 1.0}
 
     def complexity(self, type_value):
+        """Evaluate the supplied ``cost(type)`` callable."""
         return float(self._cost(type_value))
 
 
@@ -135,9 +139,11 @@ class RandomizingMachine(Machine):
         self.name = name or "randomizer"
 
     def action_distribution(self, type_value):
+        """The fixed mixed action, for every type."""
         return dict(self.distribution)
 
     def complexity(self, type_value):
+        """The declared randomization cost, independent of type."""
         return self.cost
 
 
@@ -173,10 +179,12 @@ class VMMachine(Machine):
         return self._cache[type_value]
 
     def action_distribution(self, type_value):
+        """Point mass on the action the VM program outputs for this type."""
         action, _ = self._run(type_value)
         return {action: 1.0}
 
     def complexity(self, type_value):
+        """Executed VM steps on this type (the Section 3 complexity measure)."""
         _, steps = self._run(type_value)
         return float(steps)
 
@@ -262,6 +270,7 @@ class MachineGame:
         return total
 
     def expected_utilities(self, profile: Sequence[Machine]) -> np.ndarray:
+        """All players' expected utilities under a machine profile."""
         return np.array(
             [self.expected_utility(i, profile) for i in range(self.n_players)]
         )
@@ -281,10 +290,12 @@ class MachineGame:
         return best_machine, best_value
 
     def regret(self, player: int, profile: Sequence[Machine]) -> float:
+        """Gain available to ``player`` by switching to their best machine."""
         _, best = self.best_response(player, profile)
         return best - self.expected_utility(player, profile)
 
     def profiles(self):
+        """Iterate over every pure machine profile of the declared sets."""
         return itertools.product(*self.machine_sets)
 
 
@@ -360,6 +371,7 @@ def primality_machine_game(
     )
 
     def utility_fn(types, actions, complexities):
+        """Example 3.1 payoffs: rewards minus the machine's step-count bill."""
         x = int(types[0])
         action = actions[0]
         is_prime, _ = miller_rabin_cost_model(x)
@@ -447,6 +459,7 @@ def frpd_machine_game(
     ]
 
     def utility_fn(types, actions, complexities):
+        """Stage payoffs net of the per-player memory bill."""
         i, j = actions
         base = payoff_table[i, j]
         bill = [memory_price * complexities[0], memory_price * complexities[1]]
@@ -519,6 +532,7 @@ def roshambo_machine_game(
             )
 
     def utility_fn(types, actions, complexities):
+        """Stage payoffs net of randomization cost (Example 3.3's trap)."""
         base = stage.payoff_vector(actions)
         return [base[0] - complexities[0], base[1] - complexities[1]]
 

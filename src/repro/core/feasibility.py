@@ -83,6 +83,7 @@ class FeasibilityVerdict:
     provenance: str
 
     def summary(self) -> str:
+        """One-line human-readable verdict with requirements and runtime."""
         kind = (
             "ε-implementable"
             if self.implementable and self.epsilon_only

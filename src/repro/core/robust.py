@@ -25,13 +25,21 @@ in the paper):
 
 * A profile is **(k,t)-robust** if it is both; a Nash equilibrium is
   exactly a (1,0)-robust equilibrium — that identity is tested.
+
+Implementation note: the searches are vectorized.  A
+:class:`_ProfileEvaluator` memoizes, per (player, free-player-set), the
+payoff tensor obtained by contracting every *other* player's mixture into
+the payoff array, so a coalition's whole deviation space is scored with
+one NumPy broadcast instead of a per-profile Python loop.  The original
+loop implementations survive as ``_reference_*`` oracles for the
+property tests in ``tests/test_properties_vectorized.py``.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
@@ -75,13 +83,75 @@ class ImmunityViolation:
     loss: float
 
 
+class _ProfileEvaluator:
+    """Memoized payoff-tensor contractions of one game against one profile.
+
+    ``payoff_tensor(player, free)`` returns ``player``'s expected payoff
+    as an array over the *free* players' pure actions, with every other
+    player's mixture contracted in.  Robustness checks for overlapping
+    coalitions/deviator sets reuse these tables instead of recomputing
+    ``expected_payoff`` per pure deviation.
+    """
+
+    def __init__(self, game: NormalFormGame, profile: MixedProfile) -> None:
+        self.game = game
+        self.profile = [np.asarray(v, dtype=float) for v in profile]
+        self._tensors: Dict[Tuple[int, Tuple[int, ...]], np.ndarray] = {}
+        self._base: Optional[np.ndarray] = None
+
+    def payoff_tensor(
+        self, player: int, free: Tuple[int, ...]
+    ) -> np.ndarray:
+        """Expected payoff of ``player`` as a tensor over ``free`` players' actions."""
+        key = (player, free)
+        cached = self._tensors.get(key)
+        if cached is not None:
+            return cached
+        tensor = self.game.payoffs[player]
+        free_set = set(free)
+        # Contract bound players in descending axis order so the remaining
+        # axis indices stay valid; the surviving axes end up ordered by
+        # ascending player index, matching sorted(free).
+        for j in range(self.game.n_players - 1, -1, -1):
+            if j in free_set:
+                continue
+            # Descending order: every player below j is still uncontracted,
+            # so player j's axis index in the current tensor is exactly j.
+            tensor = np.tensordot(tensor, self.profile[j], axes=(j, 0))
+        tensor = np.asarray(tensor, dtype=float)
+        self._tensors[key] = tensor
+        return tensor
+
+    def base_payoffs(self) -> np.ndarray:
+        """Every player's expected payoff when nobody deviates."""
+        if self._base is None:
+            self._base = np.array(
+                [
+                    float(self.payoff_tensor(i, ()))
+                    for i in range(self.game.n_players)
+                ]
+            )
+        return self._base
+
+    def coalition_table(self, coalition: Tuple[int, ...]) -> np.ndarray:
+        """Members' payoffs over the coalition's joint pure deviations.
+
+        Shape ``(len(coalition), m_{c_1}, ..., m_{c_s})`` with coalition
+        members in ascending player order along both the leading axis and
+        the action axes (matching ``itertools.product`` enumeration).
+        """
+        return np.stack([self.payoff_tensor(i, coalition) for i in coalition])
+
+
 def _coalition_payoffs(
     game: NormalFormGame,
     profile: MixedProfile,
     coalition: Sequence[int],
 ) -> Dict[Tuple[int, ...], np.ndarray]:
-    """For each pure joint action of the coalition, the members' utilities
-    when everyone else keeps playing ``profile``."""
+    """Reference (loop) coalition payoff table: for each pure joint action of
+    the coalition, the members' utilities when everyone else keeps playing
+    ``profile``.  Kept as the oracle for the vectorized
+    :meth:`_ProfileEvaluator.coalition_table`."""
     spaces = [range(game.num_actions[i]) for i in coalition]
     out: Dict[Tuple[int, ...], np.ndarray] = {}
     for joint in itertools.product(*spaces):
@@ -97,29 +167,27 @@ def _coalition_payoffs(
 
 
 def _weak_violation_lp(
-    base: np.ndarray, payoffs: Dict[Tuple[int, ...], np.ndarray], tol: float
+    base: np.ndarray, payoff_matrix: np.ndarray, tol: float
 ) -> Optional[Tuple[float, np.ndarray]]:
     """Does a correlated deviation make *every* member strictly gain?
 
-    Maximize ``m`` subject to ``sum_a lambda_a u_i(a) - base_i >= m`` for
-    each member, ``lambda`` a distribution.  Returns ``(m, lambda)`` when
-    ``m > tol``.
+    ``payoff_matrix`` has one row per joint coalition action and one
+    column per member.  Maximize ``m`` subject to
+    ``sum_a lambda_a u_i(a) - base_i >= m`` for each member, ``lambda`` a
+    distribution.  Returns ``(m, lambda)`` when ``m > tol``.
     """
-    joints = list(payoffs.keys())
-    n_vars = len(joints) + 1  # lambdas + m
-    n_members = len(base)
+    n_joints, n_members = payoff_matrix.shape
+    n_vars = n_joints + 1  # lambdas + m
     c = np.zeros(n_vars)
     c[-1] = -1.0  # maximize m
     a_ub = np.zeros((n_members, n_vars))
+    a_ub[:, :n_joints] = -(payoff_matrix.T - base[:, None])
+    a_ub[:, -1] = 1.0
     b_ub = np.zeros(n_members)
-    for row in range(n_members):
-        for col, joint in enumerate(joints):
-            a_ub[row, col] = -(payoffs[joint][row] - base[row])
-        a_ub[row, -1] = 1.0
     a_eq = np.zeros((1, n_vars))
     a_eq[0, :-1] = 1.0
     b_eq = np.ones(1)
-    bounds = [(0.0, 1.0)] * len(joints) + [(None, None)]
+    bounds = [(0.0, 1.0)] * n_joints + [(None, None)]
     result = linprog(
         c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
         method="highs",
@@ -132,6 +200,65 @@ def _weak_violation_lp(
     return None
 
 
+def _iter_resilience_violations(
+    ev: _ProfileEvaluator,
+    sizes: Iterable[int],
+    variant: str,
+    tol: float,
+) -> Iterator[ResilienceViolation]:
+    """Yield resilience violations for the given coalition sizes, in the
+    same (size, coalition, joint) order as the reference loop search."""
+    game = ev.game
+    base_all = ev.base_payoffs()
+    n = game.n_players
+    for size in sizes:
+        for coalition in itertools.combinations(range(n), size):
+            table = ev.coalition_table(coalition)
+            shape = table.shape[1:]
+            base = base_all[list(coalition)]
+            gains = table - base.reshape((size,) + (1,) * size)
+            flat = gains.reshape(size, -1)
+            if variant == "strong":
+                hit = np.any(flat > tol, axis=0)
+                for joint_idx in np.flatnonzero(hit):
+                    joint = tuple(
+                        int(a) for a in np.unravel_index(joint_idx, shape)
+                    )
+                    yield ResilienceViolation(
+                        coalition=coalition,
+                        deviation=joint,
+                        gains=tuple(float(g) for g in flat[:, joint_idx]),
+                        variant=variant,
+                    )
+            else:
+                # Quick pure check first (cheap sufficient condition).
+                all_hit = np.flatnonzero(np.all(flat > tol, axis=0))
+                if all_hit.size:
+                    joint_idx = int(all_hit[0])
+                    joint = tuple(
+                        int(a) for a in np.unravel_index(joint_idx, shape)
+                    )
+                    yield ResilienceViolation(
+                        coalition=coalition,
+                        deviation=joint,
+                        gains=tuple(float(g) for g in flat[:, joint_idx]),
+                        variant=variant,
+                    )
+                elif np.all(flat.max(axis=1) > tol):
+                    # Necessary condition for the LP: m* is at most each
+                    # member's best pure gain, so any member who can never
+                    # gain caps m* at <= tol and the LP is skipped.
+                    lp = _weak_violation_lp(base, table.reshape(size, -1).T, tol)
+                    if lp is not None:
+                        m, _lam = lp
+                        yield ResilienceViolation(
+                            coalition=coalition,
+                            deviation=(),
+                            gains=tuple([float(m)] * size),
+                            variant="weak(correlated)",
+                        )
+
+
 def resilience_violations(
     game: NormalFormGame,
     profile: MixedProfile,
@@ -139,67 +266,20 @@ def resilience_violations(
     variant: str = "strong",
     tol: float = 1e-9,
     first_only: bool = True,
+    _ev: Optional[_ProfileEvaluator] = None,
 ) -> List[ResilienceViolation]:
     """Find coalition deviations that defeat k-resilience."""
     if variant not in ("strong", "weak"):
         raise ValueError("variant must be 'strong' or 'weak'")
-    game.validate_profile(profile)
-    base_all = game.expected_payoffs(profile)
-    violations: List[ResilienceViolation] = []
-    n = game.n_players
-    for size in range(1, min(k, n) + 1):
-        for coalition in itertools.combinations(range(n), size):
-            payoffs = _coalition_payoffs(game, profile, coalition)
-            base = base_all[list(coalition)]
-            if variant == "strong":
-                for joint, values in payoffs.items():
-                    gains = values - base
-                    if np.any(gains > tol):
-                        violations.append(
-                            ResilienceViolation(
-                                coalition=coalition,
-                                deviation=joint,
-                                gains=tuple(float(g) for g in gains),
-                                variant=variant,
-                            )
-                        )
-                        if first_only:
-                            return violations
-            else:
-                # Quick pure check first (cheap sufficient condition).
-                found = None
-                for joint, values in payoffs.items():
-                    gains = values - base
-                    if np.all(gains > tol):
-                        found = (joint, gains)
-                        break
-                if found is None:
-                    lp = _weak_violation_lp(base, payoffs, tol)
-                    if lp is not None:
-                        m, _lam = lp
-                        violations.append(
-                            ResilienceViolation(
-                                coalition=coalition,
-                                deviation=(),
-                                gains=tuple([float(m)] * size),
-                                variant="weak(correlated)",
-                            )
-                        )
-                        if first_only:
-                            return violations
-                else:
-                    joint, gains = found
-                    violations.append(
-                        ResilienceViolation(
-                            coalition=coalition,
-                            deviation=joint,
-                            gains=tuple(float(g) for g in gains),
-                            variant=variant,
-                        )
-                    )
-                    if first_only:
-                        return violations
-    return violations
+    if _ev is None:
+        game.validate_profile(profile)
+        _ev = _ProfileEvaluator(game, profile)
+    sizes = range(1, min(k, game.n_players) + 1)
+    found = _iter_resilience_violations(_ev, sizes, variant, tol)
+    if first_only:
+        first = next(found, None)
+        return [] if first is None else [first]
+    return list(found)
 
 
 def is_k_resilient(
@@ -215,44 +295,59 @@ def is_k_resilient(
     )
 
 
+def _iter_immunity_violations(
+    ev: _ProfileEvaluator,
+    sizes: Iterable[int],
+    tol: float,
+) -> Iterator[ImmunityViolation]:
+    """Yield immunity violations for the given deviator-set sizes, in the
+    same (size, deviators, joint, victim) order as the reference loop."""
+    game = ev.game
+    base_all = ev.base_payoffs()
+    n = game.n_players
+    for size in sizes:
+        for deviators in itertools.combinations(range(n), size):
+            victims = [v for v in range(n) if v not in deviators]
+            if not victims:
+                continue
+            tables = np.stack(
+                [ev.payoff_tensor(v, deviators) for v in victims]
+            )
+            shape = tables.shape[1:]
+            flat = tables.reshape(len(victims), -1)
+            losses = base_all[victims][:, None] - flat
+            # Reference order is joint-major, victim-minor: transpose so
+            # argwhere's row-major scan walks joints before victims.
+            for joint_idx, victim_idx in np.argwhere(losses.T > tol):
+                joint = tuple(
+                    int(a) for a in np.unravel_index(joint_idx, shape)
+                )
+                yield ImmunityViolation(
+                    deviators=deviators,
+                    deviation=joint,
+                    victim=victims[victim_idx],
+                    loss=float(losses[victim_idx, joint_idx]),
+                )
+
+
 def immunity_violations(
     game: NormalFormGame,
     profile: MixedProfile,
     t: int,
     tol: float = 1e-9,
     first_only: bool = True,
+    _ev: Optional[_ProfileEvaluator] = None,
 ) -> List[ImmunityViolation]:
     """Find deviating sets whose behaviour hurts a non-deviator."""
-    game.validate_profile(profile)
-    base_all = game.expected_payoffs(profile)
-    violations: List[ImmunityViolation] = []
-    n = game.n_players
-    for size in range(1, min(t, n) + 1):
-        for deviators in itertools.combinations(range(n), size):
-            spaces = [range(game.num_actions[i]) for i in deviators]
-            for joint in itertools.product(*spaces):
-                adjusted = list(profile)
-                for member, action in zip(deviators, joint):
-                    vec = np.zeros(game.num_actions[member])
-                    vec[action] = 1.0
-                    adjusted[member] = vec
-                for victim in range(n):
-                    if victim in deviators:
-                        continue
-                    value = game.expected_payoff(victim, adjusted)
-                    loss = base_all[victim] - value
-                    if loss > tol:
-                        violations.append(
-                            ImmunityViolation(
-                                deviators=deviators,
-                                deviation=joint,
-                                victim=victim,
-                                loss=float(loss),
-                            )
-                        )
-                        if first_only:
-                            return violations
-    return violations
+    if _ev is None:
+        game.validate_profile(profile)
+        _ev = _ProfileEvaluator(game, profile)
+    sizes = range(1, min(t, game.n_players) + 1)
+    found = _iter_immunity_violations(_ev, sizes, tol)
+    if first_only:
+        first = next(found, None)
+        return [] if first is None else [first]
+    return list(found)
 
 
 def is_t_immune(
@@ -287,23 +382,37 @@ def max_resilience(
     profile: MixedProfile,
     variant: str = "strong",
     tol: float = 1e-9,
+    _ev: Optional[_ProfileEvaluator] = None,
 ) -> int:
-    """The largest k for which ``profile`` is k-resilient (0 if not Nash)."""
-    for k in range(1, game.n_players + 1):
-        if resilience_violations(
-            game, profile, k, variant=variant, tol=tol, first_only=True
-        ):
-            return k - 1
+    """The largest k for which ``profile`` is k-resilient (0 if not Nash).
+
+    Scans coalition sizes incrementally (each size checked once) instead
+    of re-searching sizes ``1..k`` for every candidate ``k``.
+    """
+    if _ev is None:
+        game.validate_profile(profile)
+        _ev = _ProfileEvaluator(game, profile)
+    for size in range(1, game.n_players + 1):
+        if next(
+            _iter_resilience_violations(_ev, [size], variant, tol), None
+        ) is not None:
+            return size - 1
     return game.n_players
 
 
 def max_immunity(
-    game: NormalFormGame, profile: MixedProfile, tol: float = 1e-9
+    game: NormalFormGame,
+    profile: MixedProfile,
+    tol: float = 1e-9,
+    _ev: Optional[_ProfileEvaluator] = None,
 ) -> int:
     """The largest t for which ``profile`` is t-immune."""
-    for t in range(1, game.n_players):
-        if immunity_violations(game, profile, t, tol=tol, first_only=True):
-            return t - 1
+    if _ev is None:
+        game.validate_profile(profile)
+        _ev = _ProfileEvaluator(game, profile)
+    for size in range(1, game.n_players):
+        if next(_iter_immunity_violations(_ev, [size], tol), None) is not None:
+            return size - 1
     return game.n_players - 1
 
 
@@ -320,6 +429,7 @@ class RobustnessReport:
     first_immunity_violation: Optional[ImmunityViolation]
 
     def describe(self) -> str:
+        """Human-readable multi-line rendering of the report."""
         lines = [
             f"payoffs: {tuple(round(p, 4) for p in self.payoffs)}",
             f"Nash equilibrium: {self.is_nash}",
@@ -345,19 +455,24 @@ class RobustnessReport:
 def robustness_report(
     game: NormalFormGame, profile: MixedProfile, tol: float = 1e-9
 ) -> RobustnessReport:
-    """Full robustness diagnosis of a profile."""
+    """Full robustness diagnosis of a profile.
+
+    All five sub-analyses share one :class:`_ProfileEvaluator`, so each
+    coalition payoff table is contracted exactly once.
+    """
     game.validate_profile(profile)
-    max_k_strong = max_resilience(game, profile, variant="strong", tol=tol)
-    max_k_weak = max_resilience(game, profile, variant="weak", tol=tol)
-    max_t = max_immunity(game, profile, tol=tol)
+    ev = _ProfileEvaluator(game, profile)
+    max_k_strong = max_resilience(game, profile, variant="strong", tol=tol, _ev=ev)
+    max_k_weak = max_resilience(game, profile, variant="weak", tol=tol, _ev=ev)
+    max_t = max_immunity(game, profile, tol=tol, _ev=ev)
     res_violations = resilience_violations(
-        game, profile, game.n_players, variant="strong", tol=tol
+        game, profile, game.n_players, variant="strong", tol=tol, _ev=ev
     )
     imm_violations = immunity_violations(
-        game, profile, game.n_players - 1, tol=tol
+        game, profile, game.n_players - 1, tol=tol, _ev=ev
     )
     return RobustnessReport(
-        payoffs=tuple(float(p) for p in game.expected_payoffs(profile)),
+        payoffs=tuple(float(p) for p in ev.base_payoffs()),
         is_nash=game.is_nash(profile, tol=max(tol, 1e-7)),
         max_k_strong=max_k_strong,
         max_k_weak=max_k_weak,
@@ -365,3 +480,118 @@ def robustness_report(
         first_resilience_violation=res_violations[0] if res_violations else None,
         first_immunity_violation=imm_violations[0] if imm_violations else None,
     )
+
+
+# ----------------------------------------------------------------------
+# Reference (pre-vectorization) implementations — property-test oracles.
+# ----------------------------------------------------------------------
+
+
+def _reference_resilience_violations(
+    game: NormalFormGame,
+    profile: MixedProfile,
+    k: int,
+    variant: str = "strong",
+    tol: float = 1e-9,
+    first_only: bool = True,
+) -> List[ResilienceViolation]:
+    """Pre-vectorization loop search over coalitions and pure deviations."""
+    if variant not in ("strong", "weak"):
+        raise ValueError("variant must be 'strong' or 'weak'")
+    game.validate_profile(profile)
+    base_all = game.expected_payoffs(profile)
+    violations: List[ResilienceViolation] = []
+    n = game.n_players
+    for size in range(1, min(k, n) + 1):
+        for coalition in itertools.combinations(range(n), size):
+            payoffs = _coalition_payoffs(game, profile, coalition)
+            base = base_all[list(coalition)]
+            if variant == "strong":
+                for joint, values in payoffs.items():
+                    gains = values - base
+                    if np.any(gains > tol):
+                        violations.append(
+                            ResilienceViolation(
+                                coalition=coalition,
+                                deviation=joint,
+                                gains=tuple(float(g) for g in gains),
+                                variant=variant,
+                            )
+                        )
+                        if first_only:
+                            return violations
+            else:
+                found = None
+                for joint, values in payoffs.items():
+                    gains = values - base
+                    if np.all(gains > tol):
+                        found = (joint, gains)
+                        break
+                if found is None:
+                    matrix = np.array(list(payoffs.values()))
+                    lp = _weak_violation_lp(base, matrix, tol)
+                    if lp is not None:
+                        m, _lam = lp
+                        violations.append(
+                            ResilienceViolation(
+                                coalition=coalition,
+                                deviation=(),
+                                gains=tuple([float(m)] * size),
+                                variant="weak(correlated)",
+                            )
+                        )
+                        if first_only:
+                            return violations
+                else:
+                    joint, gains = found
+                    violations.append(
+                        ResilienceViolation(
+                            coalition=coalition,
+                            deviation=joint,
+                            gains=tuple(float(g) for g in gains),
+                            variant=variant,
+                        )
+                    )
+                    if first_only:
+                        return violations
+    return violations
+
+
+def _reference_immunity_violations(
+    game: NormalFormGame,
+    profile: MixedProfile,
+    t: int,
+    tol: float = 1e-9,
+    first_only: bool = True,
+) -> List[ImmunityViolation]:
+    """Pre-vectorization loop search over deviator sets and victims."""
+    game.validate_profile(profile)
+    base_all = game.expected_payoffs(profile)
+    violations: List[ImmunityViolation] = []
+    n = game.n_players
+    for size in range(1, min(t, n) + 1):
+        for deviators in itertools.combinations(range(n), size):
+            spaces = [range(game.num_actions[i]) for i in deviators]
+            for joint in itertools.product(*spaces):
+                adjusted = list(profile)
+                for member, action in zip(deviators, joint):
+                    vec = np.zeros(game.num_actions[member])
+                    vec[action] = 1.0
+                    adjusted[member] = vec
+                for victim in range(n):
+                    if victim in deviators:
+                        continue
+                    value = game.expected_payoff(victim, adjusted)
+                    loss = base_all[victim] - value
+                    if loss > tol:
+                        violations.append(
+                            ImmunityViolation(
+                                deviators=deviators,
+                                deviation=joint,
+                                victim=victim,
+                                loss=float(loss),
+                            )
+                        )
+                        if first_only:
+                            return violations
+    return violations

@@ -1,0 +1,45 @@
+"""Unified experiment infrastructure for the reproduction.
+
+The paper's contributions live in many subsystems — robustness checks
+(Section 2), mediator protocols (Section 2), machine games (Section 3),
+scrip economies (Section 3's motivation), and Byzantine agreement
+(Sections 2 and 5).  Before this package, every benchmark and example
+hand-rolled its own driver over those subsystems.  Here they share one
+pipeline:
+
+* :mod:`repro.experiments.registry` — ``@scenario``-decorated,
+  parameterized generators grouped into families (``games``,
+  ``robustness``, ``solvers``, ``mediators``, ``scrip``, ``dist``).
+* :mod:`repro.experiments.runner` — a batched runner with optional
+  ``concurrent.futures`` process-pool parallelism and deterministic
+  per-case seeding.
+* :mod:`repro.experiments.results` — a results model with JSON/CSV
+  emission and plain-text tables.
+
+``python -m repro.experiments --list`` shows every registered scenario;
+the benchmarks under ``benchmarks/`` and the examples under
+``examples/`` drive their sweeps through this package.
+"""
+
+from repro.experiments.registry import (
+    ScenarioSpec,
+    all_scenarios,
+    families,
+    get_scenario,
+    scenario,
+)
+from repro.experiments.results import ExperimentResult, ResultSet, format_table
+from repro.experiments.runner import run_experiments, smoke_cases
+
+__all__ = [
+    "ExperimentResult",
+    "ResultSet",
+    "ScenarioSpec",
+    "all_scenarios",
+    "families",
+    "format_table",
+    "get_scenario",
+    "run_experiments",
+    "scenario",
+    "smoke_cases",
+]

@@ -1,0 +1,130 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Examples::
+
+    python -m repro.experiments --list
+    python -m repro.experiments --family robustness
+    python -m repro.experiments --scenario scrip_threshold_economy --workers 4
+    python -m repro.experiments --smoke --json smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.registry import all_scenarios
+from repro.experiments.results import ResultSet, format_table
+from repro.experiments.runner import run_experiments, smoke_cases
+
+
+def _print_listing() -> None:
+    """Print every registered scenario with its family and grid size."""
+    rows = [
+        (spec.family, spec.name, spec.n_cases, spec.description)
+        for spec in all_scenarios()
+    ]
+    print(
+        format_table(
+            "registered scenarios",
+            ["family", "scenario", "cases", "description"],
+            rows,
+        )
+    )
+
+
+def _print_results(results: ResultSet) -> None:
+    """Print one aligned table per scenario in the result set."""
+    by_scenario: dict = {}
+    for result in results:
+        by_scenario.setdefault(result.scenario, []).append(result)
+    for name, group in by_scenario.items():
+        param_keys = sorted({k for r in group for k in r.params})
+        metric_keys = sorted({k for r in group for k in r.metrics})
+        header = param_keys + metric_keys + ["elapsed"]
+        rows = [
+            [r.params.get(k, "") for k in param_keys]
+            + [r.metrics.get(k, "") for k in metric_keys]
+            + [f"{r.elapsed:.4f}s"]
+            for r in group
+        ]
+        print(format_table(f"{group[0].family} / {name}", header, rows))
+        print()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments, run the requested sweep, and emit results."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run registered experiment scenarios.",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=[],
+        help="scenario name to run (repeatable)",
+    )
+    parser.add_argument(
+        "--family",
+        action="append",
+        default=[],
+        help="run every scenario in this family (repeatable)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run one representative case per family",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size (1 = serial, the default)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="cap the number of cases per scenario",
+    )
+    parser.add_argument("--json", default=None, help="write results JSON here")
+    parser.add_argument("--csv", default=None, help="write results CSV here")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        _print_listing()
+        return 0
+
+    try:
+        if args.smoke:
+            results = smoke_cases(base_seed=args.seed)
+        else:
+            results = run_experiments(
+                scenarios=args.scenario or None,
+                families=args.family or None,
+                base_seed=args.seed,
+                max_workers=args.workers,
+                limit_per_scenario=args.limit,
+            )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    _print_results(results)
+    print(f"{len(results)} cases run.")
+    if args.json:
+        results.to_json(args.json)
+        print(f"JSON written to {args.json}")
+    if args.csv:
+        results.to_csv(args.csv)
+        print(f"CSV written to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Scenario registry: ``@scenario``-decorated, parameterized generators.
+
+A *scenario* is a function ``fn(seed=..., **params) -> dict`` returning a
+flat metrics mapping.  Registering it attaches a parameter grid — either
+an explicit list of param dicts or a dict of per-key value lists whose
+cartesian product is expanded — and a family name used for grouping
+(``games``, ``robustness``, ``solvers``, ``mediators``, ``scrip``,
+``dist``).  The runner (:mod:`repro.experiments.runner`) executes cases;
+this module only stores and enumerates them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+__all__ = [
+    "ScenarioSpec",
+    "scenario",
+    "get_scenario",
+    "all_scenarios",
+    "families",
+    "unregister",
+]
+
+ParamGrid = Union[Dict[str, Sequence[Any]], Sequence[Dict[str, Any]]]
+
+_REGISTRY: Dict[str, "ScenarioSpec"] = {}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A registered scenario: callable, family, and parameter grid."""
+
+    name: str
+    family: str
+    fn: Callable[..., Dict[str, Any]]
+    cases: Sequence[Dict[str, Any]] = field(default_factory=tuple)
+    description: str = ""
+
+    def iter_cases(self) -> Iterator[Dict[str, Any]]:
+        """Yield each parameter assignment of the grid (copies)."""
+        for case in self.cases:
+            yield dict(case)
+
+    @property
+    def n_cases(self) -> int:
+        """Number of parameter assignments in the grid."""
+        return len(self.cases)
+
+
+def _expand_grid(params: Optional[ParamGrid]) -> List[Dict[str, Any]]:
+    """Normalize a grid spec into an explicit list of param dicts."""
+    if params is None:
+        return [{}]
+    if isinstance(params, dict):
+        keys = list(params.keys())
+        combos = itertools.product(*(params[k] for k in keys))
+        return [dict(zip(keys, values)) for values in combos]
+    out = []
+    for case in params:
+        if not isinstance(case, dict):
+            raise TypeError("explicit scenario cases must be dicts")
+        out.append(dict(case))
+    return out
+
+
+def scenario(
+    family: str,
+    name: Optional[str] = None,
+    params: Optional[ParamGrid] = None,
+):
+    """Decorator registering a function as a parameterized scenario.
+
+    ``params`` is either a dict of per-key value lists (expanded as a
+    cartesian product) or an explicit sequence of param dicts.  The
+    decorated function must accept every grid key plus a ``seed`` keyword
+    and return a flat ``dict`` of metrics.
+    """
+
+    def register(fn: Callable[..., Dict[str, Any]]) -> Callable[..., Dict[str, Any]]:
+        """Record the decorated function in the module registry."""
+        scenario_name = name or fn.__name__
+        if scenario_name in _REGISTRY:
+            raise ValueError(f"scenario {scenario_name!r} already registered")
+        doc = (fn.__doc__ or "").strip()
+        _REGISTRY[scenario_name] = ScenarioSpec(
+            name=scenario_name,
+            family=family,
+            fn=fn,
+            cases=tuple(_expand_grid(params)),
+            description=doc.splitlines()[0] if doc else "",
+        )
+        return fn
+
+    return register
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in scenario definitions exactly once."""
+    # Imported lazily to avoid a registry<->scenarios import cycle.
+    import repro.experiments.scenarios  # noqa: F401
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up one scenario by name (raises ``KeyError`` with candidates)."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {known}"
+        ) from None
+
+
+def all_scenarios(family: Optional[str] = None) -> List[ScenarioSpec]:
+    """Every registered scenario, optionally restricted to one family."""
+    _ensure_builtins()
+    specs = [
+        spec
+        for spec in _REGISTRY.values()
+        if family is None or spec.family == family
+    ]
+    return sorted(specs, key=lambda s: (s.family, s.name))
+
+
+def families() -> List[str]:
+    """The sorted list of registered scenario families."""
+    _ensure_builtins()
+    return sorted({spec.family for spec in _REGISTRY.values()})
+
+
+def unregister(name: str) -> None:
+    """Remove one registration (test isolation helper; missing names ok)."""
+    _REGISTRY.pop(name, None)

@@ -1,0 +1,169 @@
+"""Results model for experiment sweeps: records, aggregation, and emission.
+
+One :class:`ExperimentResult` per executed (scenario, params, seed) case;
+a :class:`ResultSet` aggregates a sweep and serializes it to JSON or CSV
+so downstream analysis never re-parses ad-hoc stdout logs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ExperimentResult", "ResultSet", "format_table"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce NumPy scalars/arrays (and tuples) into JSON-serializable types."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return value
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one scenario case: identity, inputs, and metrics."""
+
+    scenario: str
+    family: str
+    params: Dict[str, Any]
+    seed: int
+    metrics: Dict[str, Any]
+    elapsed: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict rendering with NumPy values coerced to JSON types."""
+        return {
+            "scenario": self.scenario,
+            "family": self.family,
+            "params": _jsonable(self.params),
+            "seed": int(self.seed),
+            "metrics": _jsonable(self.metrics),
+            "elapsed": float(self.elapsed),
+        }
+
+
+@dataclass
+class ResultSet:
+    """An ordered collection of experiment results with emit helpers."""
+
+    results: List[ExperimentResult] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        """Number of recorded cases."""
+        return len(self.results)
+
+    def __iter__(self):
+        """Iterate over the recorded :class:`ExperimentResult` objects."""
+        return iter(self.results)
+
+    def append(self, result: ExperimentResult) -> None:
+        """Record one more case."""
+        self.results.append(result)
+
+    def filter(
+        self,
+        family: Optional[str] = None,
+        scenario: Optional[str] = None,
+    ) -> "ResultSet":
+        """Sub-set by family and/or scenario name."""
+        kept = [
+            r
+            for r in self.results
+            if (family is None or r.family == family)
+            and (scenario is None or r.scenario == scenario)
+        ]
+        return ResultSet(kept)
+
+    def metric(self, key: str) -> List[Any]:
+        """The named metric across all cases (missing key -> None)."""
+        return [r.metrics.get(key) for r in self.results]
+
+    def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
+        """Serialize to JSON; also writes ``path`` when given."""
+        text = json.dumps([r.to_dict() for r in self.results], indent=indent)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        return text
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """Serialize to CSV (one row per case, flat param/metric columns).
+
+        Param columns are prefixed ``param_`` and metric columns
+        ``metric_``; the column set is the union over all cases.
+        """
+        param_keys: List[str] = []
+        metric_keys: List[str] = []
+        for r in self.results:
+            for k in r.params:
+                if k not in param_keys:
+                    param_keys.append(k)
+            for k in r.metrics:
+                if k not in metric_keys:
+                    metric_keys.append(k)
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(
+            ["scenario", "family", "seed", "elapsed"]
+            + [f"param_{k}" for k in param_keys]
+            + [f"metric_{k}" for k in metric_keys]
+        )
+        for r in self.results:
+            writer.writerow(
+                [r.scenario, r.family, r.seed, f"{r.elapsed:.6f}"]
+                + [_jsonable(r.params.get(k, "")) for k in param_keys]
+                + [_jsonable(r.metrics.get(k, "")) for k in metric_keys]
+            )
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", encoding="utf-8", newline="") as handle:
+                handle.write(text)
+        return text
+
+    def rows(self, columns: Sequence[str]) -> List[List[Any]]:
+        """Tabular projection: each named column is a param or metric key."""
+        out = []
+        for r in self.results:
+            row: List[Any] = []
+            for col in columns:
+                if col == "scenario":
+                    row.append(r.scenario)
+                elif col == "seed":
+                    row.append(r.seed)
+                elif col in r.params:
+                    row.append(r.params[col])
+                else:
+                    row.append(r.metrics.get(col))
+            out.append(row)
+        return out
+
+
+def format_table(
+    title: str, header: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> str:
+    """Render one results table as aligned plain text."""
+    str_rows = [tuple(str(c) for c in row) for row in rows]
+    header = tuple(str(c) for c in header)
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in str_rows))
+        if str_rows
+        else len(header[i])
+        for i in range(len(header))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    out = [f"=== {title} ===", line, "-" * len(line)]
+    for row in str_rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)

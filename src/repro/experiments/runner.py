@@ -1,0 +1,150 @@
+"""Batched scenario runner with optional process-pool parallelism.
+
+Each case is one ``(scenario, params)`` pair plus a deterministic seed
+derived by hashing ``(base_seed, scenario, params)`` — the same case
+always sees the same seed, no matter how the sweep is sliced across
+workers, so results are reproducible under any parallelism level.
+Workers are plain ``concurrent.futures.ProcessPoolExecutor`` processes.
+A case carries the scenario *function* itself: pickle ships it by
+qualified name, so a spawn-started worker imports the defining module —
+including user modules whose ``@scenario`` registrations never ran in
+the worker — instead of re-resolving the name from worker-local registry
+state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.registry import all_scenarios, get_scenario
+from repro.experiments.results import ExperimentResult, ResultSet
+
+__all__ = ["case_seed", "run_experiments", "smoke_cases"]
+
+Case = Tuple[str, str, Callable[..., Dict[str, Any]], Dict[str, Any], int]
+
+
+def case_seed(base_seed: int, scenario_name: str, params: Dict[str, Any]) -> int:
+    """Deterministic 63-bit seed for one case, stable across processes.
+
+    Uses SHA-256 over a canonical JSON rendering (sorted keys) so the
+    derivation is independent of dict ordering, platform hash
+    randomization, and worker count.
+    """
+    payload = json.dumps(
+        [base_seed, scenario_name, params], sort_keys=True, default=str
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def _run_case(case: Case) -> ExperimentResult:
+    """Execute one case (also the process-pool entry point)."""
+    name, family, fn, params, seed = case
+    start = time.perf_counter()
+    metrics = fn(seed=seed, **params)
+    elapsed = time.perf_counter() - start
+    if not isinstance(metrics, dict):
+        raise TypeError(
+            f"scenario {name!r} returned {type(metrics).__name__}, expected dict"
+        )
+    return ExperimentResult(
+        scenario=name,
+        family=family,
+        params=dict(params),
+        seed=seed,
+        metrics=metrics,
+        elapsed=elapsed,
+    )
+
+
+def _collect_cases(
+    scenarios: Optional[Sequence[str]],
+    families: Optional[Sequence[str]],
+    base_seed: int,
+    limit_per_scenario: Optional[int],
+) -> List[Case]:
+    """Expand the requested scenarios/families into concrete seeded cases."""
+    specs = []
+    if scenarios:
+        specs.extend(get_scenario(name) for name in scenarios)
+    if families:
+        for family in families:
+            specs.extend(all_scenarios(family))
+    if not scenarios and not families:
+        specs = all_scenarios()
+    seen = set()
+    cases: List[Case] = []
+    for spec in specs:
+        if spec.name in seen:
+            continue
+        seen.add(spec.name)
+        for i, params in enumerate(spec.iter_cases()):
+            if limit_per_scenario is not None and i >= limit_per_scenario:
+                break
+            cases.append(_make_case(spec, params, base_seed))
+    return cases
+
+
+def _make_case(spec, params: Dict[str, Any], base_seed: int) -> Case:
+    """Bundle one seeded, self-contained case from a registry spec."""
+    return (
+        spec.name,
+        spec.family,
+        spec.fn,
+        params,
+        case_seed(base_seed, spec.name, params),
+    )
+
+
+def run_experiments(
+    scenarios: Optional[Sequence[str]] = None,
+    families: Optional[Sequence[str]] = None,
+    base_seed: int = 0,
+    max_workers: Optional[int] = None,
+    limit_per_scenario: Optional[int] = None,
+) -> ResultSet:
+    """Run a sweep and return its :class:`ResultSet`.
+
+    ``scenarios`` and/or ``families`` select what runs (both empty means
+    everything registered).  ``max_workers`` > 1 fans cases out over a
+    process pool; the default (``None`` or 1) runs serially in-process,
+    which is fastest for the small grids and keeps tracebacks direct.
+    Results are always returned in deterministic case order regardless of
+    worker scheduling.
+    """
+    cases = _collect_cases(scenarios, families, base_seed, limit_per_scenario)
+    results = ResultSet()
+    if max_workers is not None and max_workers > 1 and len(cases) > 1:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            for result in pool.map(_run_case, cases):
+                results.append(result)
+    else:
+        for case in cases:
+            results.append(_run_case(case))
+    return results
+
+
+def smoke_cases(base_seed: int = 0) -> ResultSet:
+    """Run the first case of one scenario per family (CI regression probe).
+
+    Cheap by construction: one representative case per registry family,
+    run serially, so a broken scenario surfaces before merge without
+    paying for the full grids.
+    """
+    results = ResultSet()
+    picked: List[Case] = []
+    seen_families = set()
+    for spec in all_scenarios():
+        if spec.family in seen_families or spec.n_cases == 0:
+            continue
+        seen_families.add(spec.family)
+        params = next(spec.iter_cases())
+        picked.append(_make_case(spec, params, base_seed))
+    for case in picked:
+        results.append(_run_case(case))
+    return results

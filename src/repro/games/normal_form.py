@@ -34,7 +34,13 @@ MixedProfile = List[np.ndarray]
 
 
 def is_distribution(vector: np.ndarray, tol: float = 1e-9) -> bool:
-    """Return True if ``vector`` is a probability distribution within ``tol``."""
+    """Return True if ``vector`` is a probability distribution within ``tol``.
+
+    Entries may dip as low as ``-tol`` (they are treated as rounding noise)
+    and the total may differ from one by at most ``tol``.  The same ``tol``
+    convention governs :func:`normalize_distribution`, so the two helpers
+    agree on which vectors count as "effectively zero mass".
+    """
     arr = np.asarray(vector, dtype=float)
     if arr.ndim != 1:
         return False
@@ -43,12 +49,32 @@ def is_distribution(vector: np.ndarray, tol: float = 1e-9) -> bool:
     return bool(abs(float(arr.sum()) - 1.0) <= tol)
 
 
-def normalize_distribution(vector: Sequence[float]) -> np.ndarray:
-    """Clip negatives to zero and rescale so the entries sum to one."""
-    arr = np.clip(np.asarray(vector, dtype=float), 0.0, None)
-    total = arr.sum()
-    if total <= 0.0:
-        raise ValueError("cannot normalize a vector with no positive mass")
+def normalize_distribution(
+    vector: Sequence[float], tol: float = 1e-9, on_zero: str = "raise"
+) -> np.ndarray:
+    """Clip negatives to zero and rescale so the entries sum to one.
+
+    Entries in ``[-tol, 0)`` are treated as rounding noise and clipped to
+    zero, matching the tolerance convention of :func:`is_distribution`.
+
+    The all-zero edge case is explicit, never silent: when the clipped
+    vector has total mass at most ``tol`` the behaviour is selected by
+    ``on_zero`` — ``"raise"`` (the default) raises ``ValueError``, while
+    ``"uniform"`` returns the uniform distribution of the same length.
+    """
+    if on_zero not in ("raise", "uniform"):
+        raise ValueError("on_zero must be 'raise' or 'uniform'")
+    arr = np.asarray(vector, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError("can only normalize a 1-D vector")
+    arr = np.clip(arr, 0.0, None)
+    total = float(arr.sum())
+    if total <= tol:
+        if on_zero == "raise":
+            raise ValueError("cannot normalize a vector with no positive mass")
+        if arr.size == 0:
+            raise ValueError("cannot build a uniform distribution of length 0")
+        return np.full(arr.size, 1.0 / arr.size)
     return arr / total
 
 
@@ -246,8 +272,33 @@ class NormalFormGame:
         mixed = profile_as_mixed(profile, self.num_actions)
         return self.max_regret(mixed) <= tol
 
+    def best_response_mask(self, tol: float = 1e-9) -> np.ndarray:
+        """Boolean tensor over pure profiles: True where nobody can gain > ``tol``.
+
+        Entry ``mask[a_0, ..., a_{n-1}]`` is True exactly when the pure
+        profile is a (``tol``-tolerant) Nash equilibrium: each player's
+        action is within ``tol`` of their best response to the others.
+        """
+        mask = np.ones(self.num_actions, dtype=bool)
+        for i in range(self.n_players):
+            u = self.payoffs[i]
+            mask &= u >= u.max(axis=i, keepdims=True) - tol
+        return mask
+
     def pure_nash_equilibria(self, tol: float = 1e-9) -> List[PureProfile]:
-        """Enumerate all pure-strategy Nash equilibria."""
+        """Enumerate all pure-strategy Nash equilibria.
+
+        Vectorized: one max/compare broadcast per player over the payoff
+        tensor instead of a per-profile regret scan.  The per-profile loop
+        survives as :meth:`_reference_pure_nash_equilibria` (test oracle).
+        """
+        return [
+            tuple(int(a) for a in idx)
+            for idx in np.argwhere(self.best_response_mask(tol=tol))
+        ]
+
+    def _reference_pure_nash_equilibria(self, tol: float = 1e-9) -> List[PureProfile]:
+        """Loop oracle for :meth:`pure_nash_equilibria` (kept for property tests)."""
         return [
             profile
             for profile in pure_profiles(self.num_actions)
@@ -299,7 +350,29 @@ class NormalFormGame:
     def dominated_actions(
         self, player: int, strict: bool = True, tol: float = 1e-12
     ) -> List[int]:
-        """Actions of ``player`` dominated by some other pure action."""
+        """Actions of ``player`` dominated by some other pure action.
+
+        Vectorized: all action pairs are compared in one ``(m, m, -1)``
+        broadcast over opponent profiles.  The pairwise loop survives as
+        :meth:`_reference_dominated_actions` (test oracle).
+        """
+        m = self.num_actions[player]
+        flat = np.moveaxis(self.payoffs[player], player, 0).reshape(m, -1)
+        # diff[b, a, s] = u(b, s) - u(a, s); b dominates a when the slice
+        # over opponent profiles s is everywhere positive (strict) or
+        # nonnegative with at least one strictly positive entry (weak).
+        diff = flat[:, None, :] - flat[None, :, :]
+        if strict:
+            pair = np.all(diff > tol, axis=2)
+        else:
+            pair = np.all(diff >= -tol, axis=2) & np.any(diff > tol, axis=2)
+        np.fill_diagonal(pair, False)
+        return [int(a) for a in np.flatnonzero(pair.any(axis=0))]
+
+    def _reference_dominated_actions(
+        self, player: int, strict: bool = True, tol: float = 1e-12
+    ) -> List[int]:
+        """Loop oracle for :meth:`dominated_actions` (kept for property tests)."""
         out = []
         for a in range(self.num_actions[player]):
             for b in range(self.num_actions[player]):

@@ -33,10 +33,11 @@ from repro.solvers.dominance import (
     iterated_weak_dominance,
     mixed_dominated_actions,
 )
-from repro.solvers.fictitious_play import fictitious_play
+from repro.solvers.fictitious_play import fictitious_play, fictitious_play_batch
 from repro.solvers.replicator import (
     multi_population_replicator,
     replicator_dynamics,
+    replicator_dynamics_batch,
 )
 from repro.solvers.correlated import (
     correlated_equilibrium,
@@ -48,6 +49,7 @@ __all__ = [
     "correlated_equilibrium",
     "epsilon_pure_equilibria",
     "fictitious_play",
+    "fictitious_play_batch",
     "is_correlated_equilibrium",
     "iterated_strict_dominance",
     "iterated_weak_dominance",
@@ -57,6 +59,7 @@ __all__ = [
     "multi_population_replicator",
     "pure_equilibria",
     "replicator_dynamics",
+    "replicator_dynamics_batch",
     "support_enumeration",
     "vertex_enumeration",
     "zero_sum_equilibrium",

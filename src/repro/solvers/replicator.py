@@ -6,6 +6,10 @@ Two variants:
   2-player game; the state is one mixture over the action set.
 * :func:`multi_population_replicator` — one population per player role of
   an arbitrary n-player game.
+* :func:`replicator_dynamics_batch` — batched replay: many independent
+  single-population runs advanced in lockstep with ``(runs, actions)``
+  matrix products (the experiment runner's entry point for basin-of-
+  attraction sweeps).
 
 Fixed points of the dynamics interior to the simplex are Nash equilibria;
 the tournament/evolution experiments (E13) build on this module.
@@ -22,7 +26,9 @@ from repro.games.normal_form import MixedProfile, NormalFormGame
 
 __all__ = [
     "ReplicatorResult",
+    "BatchReplicatorResult",
     "replicator_dynamics",
+    "replicator_dynamics_batch",
     "multi_population_replicator",
 ]
 
@@ -96,6 +102,80 @@ def replicator_dynamics(
         final=[state.copy(), state.copy()],
         converged=converged,
         iterations=done,
+    )
+
+
+@dataclass
+class BatchReplicatorResult:
+    """Terminal states of a batch of single-population replicator runs."""
+
+    finals: np.ndarray  # (runs, actions) terminal mixtures
+    converged: np.ndarray  # (runs,) bool
+    iterations: np.ndarray  # (runs,) steps taken until convergence (or cap)
+
+    @property
+    def n_runs(self) -> int:
+        """Number of runs in the batch."""
+        return int(self.finals.shape[0])
+
+    def final_profile(self, run: int) -> MixedProfile:
+        """Run ``run``'s terminal state as a symmetric 2-player mixed profile."""
+        state = self.finals[run].copy()
+        return [state, state.copy()]
+
+
+def replicator_dynamics_batch(
+    game: NormalFormGame,
+    initials: Sequence[Sequence[float]],
+    iterations: int = 10_000,
+    step: float = 0.1,
+    tol: float = 1e-10,
+) -> BatchReplicatorResult:
+    """Advance many single-population replicator runs in lockstep.
+
+    ``initials`` is a ``(runs, actions)`` array of starting mixtures on a
+    symmetric 2-player game.  Each iteration updates every still-active
+    run with one ``(runs, actions)`` matrix product; a run freezes once
+    its update moves it by less than ``tol`` in sup norm.  Per-run
+    results match :func:`replicator_dynamics` up to floating-point
+    reduction order.
+    """
+    if game.n_players != 2 or not game.is_symmetric():
+        raise ValueError("single-population replicator needs a symmetric game")
+    m = game.num_actions[0]
+    states = np.array(initials, dtype=float)
+    if states.ndim != 2 or states.shape[1] != m:
+        raise ValueError(f"initials must have shape (runs, {m})")
+    if np.any(states < 0) or np.any(np.abs(states.sum(axis=1) - 1.0) > 1e-6):
+        raise ValueError("every initial state must be a distribution over actions")
+    n_runs = states.shape[0]
+    a = game.payoffs[0]
+    converged = np.zeros(n_runs, dtype=bool)
+    done = np.full(n_runs, iterations)
+    for it in range(iterations):
+        active = ~converged
+        if not active.any():
+            break
+        fitness = states[active] @ a.T
+        shifted = fitness - fitness.min(axis=1, keepdims=True) + 1e-9
+        shifted_avg = np.einsum("ij,ij->i", shifted, states[active])
+        updated = states[active] * (
+            (1.0 - step)
+            + step * shifted / np.maximum(shifted_avg, 1e-12)[:, None]
+        )
+        updated = np.clip(updated, 0.0, None)
+        totals = updated.sum(axis=1)
+        if np.any(totals <= 0):
+            raise RuntimeError("replicator population collapsed")
+        updated /= totals[:, None]
+        delta = np.max(np.abs(updated - states[active]), axis=1)
+        newly = delta < tol
+        states[active] = updated
+        idx = np.flatnonzero(active)[newly]
+        converged[idx] = True
+        done[idx] = it + 1
+    return BatchReplicatorResult(
+        finals=states, converged=converged, iterations=done
     )
 
 

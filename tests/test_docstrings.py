@@ -1,0 +1,40 @@
+"""D1-style docstring enforcement for the documented packages.
+
+CI also runs ``ruff check --select D1`` over the same packages; this
+AST-based twin keeps the guarantee inside the tier-1 suite, where it runs
+without any linter installed.  Scope matches the docs site: every public
+module, class, and function in ``repro.core``, ``repro.solvers``, and
+``repro.experiments`` must carry a docstring.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+PACKAGES = ["core", "solvers", "experiments"]
+
+
+def _public_defs_missing_docstrings(path: pathlib.Path):
+    """Yield '<file>:<line> <name>' for each undocumented public definition."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    if not ast.get_docstring(tree):
+        yield f"{path}:1 <module>"
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if node.name.startswith("_"):
+            continue
+        if not ast.get_docstring(node):
+            yield f"{path}:{node.lineno} {node.name}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_api_is_documented(package):
+    missing = []
+    for path in sorted((SRC / package).glob("*.py")):
+        missing.extend(_public_defs_missing_docstrings(path))
+    assert not missing, "undocumented public definitions:\n" + "\n".join(missing)

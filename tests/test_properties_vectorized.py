@@ -1,0 +1,170 @@
+"""Vectorized hot paths agree with their ``_reference_*`` loop oracles.
+
+The PR that vectorized ``repro.core.robust`` and the ``NormalFormGame``
+enumeration paths kept the original per-profile loops as private
+reference implementations; these hypothesis properties pin the two
+implementations together on random small games.  Integer payoffs and
+degenerate (pure) profiles keep the comparisons exact — any disagreement
+is a logic bug, not floating-point noise.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.robust import (
+    _reference_immunity_violations,
+    _reference_resilience_violations,
+    immunity_violations,
+    is_k_resilient,
+    is_t_immune,
+    max_immunity,
+    max_resilience,
+    resilience_violations,
+)
+from repro.games.normal_form import (
+    NormalFormGame,
+    is_distribution,
+    normalize_distribution,
+    profile_as_mixed,
+)
+from repro.solvers import fictitious_play, fictitious_play_batch
+
+
+@st.composite
+def small_games(draw, max_players=3, max_actions=3):
+    """A random n-player game with small integer payoffs."""
+    n = draw(st.integers(2, max_players))
+    actions = [draw(st.integers(2, max_actions)) for _ in range(n)]
+    size = int(np.prod([n] + actions))
+    values = draw(
+        st.lists(st.integers(-5, 5), min_size=size, max_size=size)
+    )
+    tensor = np.array(values, dtype=float).reshape((n, *actions))
+    return NormalFormGame(tensor)
+
+
+@st.composite
+def games_with_pure_profile(draw):
+    """A random small game plus one of its pure profiles, embedded as mixed."""
+    game = draw(small_games())
+    profile = tuple(
+        draw(st.integers(0, m - 1)) for m in game.num_actions
+    )
+    return game, profile_as_mixed(profile, game.num_actions)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_games())
+def test_pure_nash_matches_reference(game):
+    assert game.pure_nash_equilibria() == game._reference_pure_nash_equilibria()
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_games(), st.booleans())
+def test_dominated_actions_match_reference(game, strict):
+    for player in range(game.n_players):
+        assert game.dominated_actions(
+            player, strict=strict
+        ) == game._reference_dominated_actions(player, strict=strict)
+
+
+@settings(max_examples=40, deadline=None)
+@given(games_with_pure_profile(), st.integers(1, 3))
+def test_resilience_violations_match_reference(game_profile, k):
+    game, profile = game_profile
+    vec = resilience_violations(game, profile, k, first_only=False)
+    ref = _reference_resilience_violations(game, profile, k, first_only=False)
+    assert vec == ref  # pure profiles: payoffs are exact integer sums
+
+
+@settings(max_examples=40, deadline=None)
+@given(games_with_pure_profile(), st.integers(1, 3))
+def test_immunity_violations_match_reference(game_profile, t):
+    game, profile = game_profile
+    vec = immunity_violations(game, profile, t, first_only=False)
+    ref = _reference_immunity_violations(game, profile, t, first_only=False)
+    assert vec == ref
+
+
+@settings(max_examples=30, deadline=None)
+@given(games_with_pure_profile())
+def test_weak_variant_and_max_orders_consistent(game_profile):
+    game, profile = game_profile
+    n = game.n_players
+    max_k = max_resilience(game, profile)
+    max_t = max_immunity(game, profile)
+    # max_* answers agree with the is_* predicates at and past the boundary.
+    assert (max_k == n) or not is_k_resilient(game, profile, max_k + 1)
+    if max_k >= 1:
+        assert is_k_resilient(game, profile, max_k)
+    assert (max_t == n - 1) or not is_t_immune(game, profile, max_t + 1)
+    if max_t >= 1:
+        assert is_t_immune(game, profile, max_t)
+    # The weak notion is implied by the strong one being violated-free:
+    # a weak violation (every member gains) is in particular a strong one.
+    for k in range(1, n + 1):
+        if is_k_resilient(game, profile, k, variant="strong"):
+            assert is_k_resilient(game, profile, k, variant="weak")
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_games(max_players=2, max_actions=4), st.integers(50, 200))
+def test_fictitious_play_batch_rows_match_single_runs(game, iterations):
+    starts = np.zeros((3, 2), dtype=int)
+    starts[1] = [m - 1 for m in game.num_actions]
+    batch = fictitious_play_batch(
+        game, 3, iterations=iterations, initial_actions=starts
+    )
+    for row, start in zip(batch, starts):
+        single = fictitious_play(
+            game, iterations=iterations, initial_actions=list(start)
+        )
+        assert row.last_actions == single.last_actions
+        for a, b in zip(row.empirical, single.empirical):
+            assert np.allclose(a, b, atol=1e-12)
+
+
+class TestDistributionHelpers:
+    """The documented edge-case contract of the two distribution helpers."""
+
+    def test_all_zero_raises_by_default(self):
+        with pytest.raises(ValueError):
+            normalize_distribution([0.0, 0.0, 0.0])
+
+    def test_all_negative_raises_by_default(self):
+        # Negatives clip to zero first, so this is the same zero-mass case.
+        with pytest.raises(ValueError):
+            normalize_distribution([-1.0, -2.0])
+
+    def test_all_zero_uniform_mode(self):
+        out = normalize_distribution([0.0, 0.0, 0.0, 0.0], on_zero="uniform")
+        assert np.allclose(out, 0.25)
+
+    def test_on_zero_validated(self):
+        with pytest.raises(ValueError):
+            normalize_distribution([1.0], on_zero="nonsense")
+
+    def test_tolerance_consistency_with_is_distribution(self):
+        # Mass at exactly the tolerance boundary counts as zero for both.
+        tol = 1e-6
+        tiny = [tol / 4, tol / 4]
+        with pytest.raises(ValueError):
+            normalize_distribution(tiny, tol=tol)
+        uniform = normalize_distribution(tiny, tol=tol, on_zero="uniform")
+        assert is_distribution(uniform, tol=tol)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-1e-12, max_value=10.0), min_size=1, max_size=6
+        )
+    )
+    def test_normalize_output_is_distribution(self, values):
+        arr = np.asarray(values)
+        if float(np.clip(arr, 0.0, None).sum()) <= 1e-9:
+            out = normalize_distribution(values, on_zero="uniform")
+        else:
+            out = normalize_distribution(values)
+        assert is_distribution(out)
