@@ -1,0 +1,130 @@
+"""Fail when a benchmark row regresses against the committed baselines.
+
+Usage (what the CI ``benchmarks-smoke`` job runs after the benchmark
+suite has emitted ``benchmarks/out/BENCH_*.json``)::
+
+    python benchmarks/check_bench_regression.py
+    python benchmarks/check_bench_regression.py --factor 3 --require scrip
+
+A row fails when its fresh timing exceeds ``factor`` times the committed
+``benchmarks/baselines/BENCH_<suite>.json`` value — loose enough to
+absorb runner-to-runner hardware variance, tight enough to catch a hot
+path falling off its vectorized fast path.  Rows are compared against
+``max(baseline, --floor-ms)`` so sub-floor rows (a few milliseconds,
+dominated by timer and scheduler jitter) cannot fail CI on noise alone.
+If the runner fleet's hardware shifts, re-commit the baselines from the
+``bench-trajectory`` CI artifact.  Suites present only in the baselines
+(not emitted by this run) are skipped with a note unless named via
+``--require``; rows new to this run are reported for adoption into the
+baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import List
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def compare_suite(
+    suite: str, baseline: dict, fresh: dict, factor: float, floor_ms: float
+) -> List[str]:
+    """Return failure messages for rows slower than ``factor`` x baseline.
+
+    The effective baseline is ``max(committed, floor_ms)``: tiny rows
+    are pure call overhead whose wall-clock jitters by more than the
+    regression factor on shared CI runners, so they only fail once they
+    grow past ``factor * floor_ms`` — real fast-path losses (10x+ on
+    the substantial rows) still trip the gate.
+    """
+    failures = []
+    for row, entry in sorted(baseline.items()):
+        if row not in fresh:
+            print(f"  [{suite}] {row}: missing from this run (baseline "
+                  f"{entry['ms']:.1f} ms)")
+            continue
+        fresh_ms = fresh[row]["ms"]
+        base_ms = entry["ms"]
+        effective = max(base_ms, floor_ms)
+        ratio = fresh_ms / effective if effective > 0 else float("inf")
+        status = "FAIL" if ratio > factor else "ok"
+        print(f"  [{suite}] {row}: {base_ms:.1f} ms -> {fresh_ms:.1f} ms "
+              f"({ratio:.2f}x of max(baseline, {floor_ms:g} ms floor)) "
+              f"{status}")
+        if ratio > factor:
+            failures.append(
+                f"{suite}/{row}: {fresh_ms:.1f} ms is {ratio:.2f}x the "
+                f"effective baseline {effective:.1f} ms (limit {factor:g}x)"
+            )
+    for row in sorted(set(fresh) - set(baseline)):
+        print(f"  [{suite}] {row}: new row ({fresh[row]['ms']:.1f} ms), "
+              "not in baseline")
+    return failures
+
+
+def main(argv=None) -> int:
+    """Compare emitted BENCH JSONs against the committed baselines."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=os.path.join(HERE, "out"),
+        help="directory with freshly emitted BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--baselines", default=os.path.join(HERE, "baselines"),
+        help="directory with committed baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--factor", type=float, default=3.0,
+        help="failure threshold: fresh > factor * effective baseline",
+    )
+    parser.add_argument(
+        "--floor-ms", type=float, default=25.0,
+        help="jitter floor: baselines below this compare as this value",
+    )
+    parser.add_argument(
+        "--require", action="append", default=[],
+        help="suite name that must have been emitted (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    failures: List[str] = []
+    seen = set()
+    for path in sorted(glob.glob(os.path.join(args.baselines, "BENCH_*.json"))):
+        suite = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        seen.add(suite)
+        with open(path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        fresh_path = os.path.join(args.out, os.path.basename(path))
+        if not os.path.exists(fresh_path):
+            message = f"suite {suite!r}: no fresh BENCH JSON emitted"
+            if suite in args.require:
+                failures.append(message)
+                print(f"  {message} (required)")
+            else:
+                print(f"  {message} (skipped)")
+            continue
+        with open(fresh_path, encoding="utf-8") as handle:
+            fresh = json.load(handle)
+        failures.extend(
+            compare_suite(suite, baseline, fresh, args.factor, args.floor_ms)
+        )
+    for name in args.require:
+        if name not in seen:
+            failures.append(f"required suite {name!r} has no committed baseline")
+
+    if failures:
+        print("\nbenchmark regression check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbenchmark regression check passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

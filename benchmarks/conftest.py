@@ -8,16 +8,70 @@ experiment log.  EXPERIMENTS.md records the expected output of each.
 Table rendering is shared with the experiment runner
 (:func:`repro.experiments.results.format_table`), so registry sweeps and
 benchmark logs produce identical layouts.
+
+Benchmark trajectory: rows timed through :func:`timed_rows` (or recorded
+directly with :func:`record_row`) are written through to
+``benchmarks/out/BENCH_<suite>.json`` — warm best-of-N millisecond
+timings keyed by row name.  CI uploads these as artifacts
+and ``benchmarks/check_bench_regression.py`` fails the build when a row
+regresses more than 3x against the committed ``benchmarks/baselines/``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import json
+import os
+from typing import Dict, Iterable, Sequence
 
 from repro.experiments.results import format_table
+
+BENCH_OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+_RECORDS: Dict[str, Dict[str, dict]] = {}
 
 
 def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
     """Render one reproduced table to stdout."""
     print()
     print(format_table(title, header, rows))
+
+
+def record_row(suite: str, row: str, seconds: float, workload: str = "") -> None:
+    """Record one timed benchmark row into the suite's BENCH JSON.
+
+    Rows write through to ``benchmarks/out/BENCH_<suite>.json``
+    immediately (merging with rows already emitted this run), so the
+    artifact exists however pytest's session ends and regardless of
+    which subset of the suite ran.
+    """
+    entry = {"ms": round(seconds * 1000.0, 3)}
+    if workload:
+        entry["workload"] = workload
+    rows = _RECORDS.setdefault(suite, {})
+    rows[row] = entry
+    os.makedirs(BENCH_OUT_DIR, exist_ok=True)
+    path = os.path.join(BENCH_OUT_DIR, f"BENCH_{suite}.json")
+    if os.path.exists(path) and len(rows) == 1:
+        # First write of this run: fold in rows from an earlier pytest
+        # invocation of the same session (e.g. per-file CI runs).
+        try:
+            with open(path, encoding="utf-8") as handle:
+                rows = {**json.load(handle), **rows}
+        except (OSError, ValueError):
+            pass
+        _RECORDS[suite] = rows
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(rows, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def timed_rows(benchmark, suite: str, row: str, fn, *args, workload: str = ""):
+    """Run ``fn`` warm best-of-3 under pytest-benchmark and record it.
+
+    Three rounds through ``benchmark.pedantic`` warm caches on the first
+    round; the recorded timing is the minimum, matching the "warm
+    best-of-3" convention of the committed baselines.
+    """
+    out = benchmark.pedantic(fn, args=args, iterations=1, rounds=3)
+    record_row(suite, row, benchmark.stats.stats.min, workload=workload)
+    return out

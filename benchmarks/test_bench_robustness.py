@@ -14,7 +14,7 @@ the shared sweep pipeline, not a bespoke driver.
 
 import pytest
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, timed_rows
 from repro.experiments import run_experiments
 
 
@@ -33,7 +33,10 @@ def e1_rows():
 
 
 def test_bench_e1_coordination_resilience(benchmark):
-    rows = benchmark.pedantic(e1_rows, iterations=1, rounds=1)
+    rows = timed_rows(
+        benchmark, "robustness", "e1_coordination", e1_rows,
+        workload="coordination_robustness registry sweep, n=2..5",
+    )
     print_table(
         "E1: 0/1 coordination game (all-0 profile)",
         ["n", "Nash?", "max k-resilient", "witness 2-coalition deviation"],
@@ -62,7 +65,10 @@ def e2_rows():
 
 
 def test_bench_e2_bargaining_immunity(benchmark):
-    rows = benchmark.pedantic(e2_rows, iterations=1, rounds=1)
+    rows = timed_rows(
+        benchmark, "robustness", "e2_bargaining", e2_rows,
+        workload="bargaining_robustness registry sweep, n=2..5",
+    )
     print_table(
         "E2: bargaining game (all-stay profile)",
         ["n", "max k-resilient", "max t-immune", "Pareto optimal", "fragility witness"],

@@ -4,17 +4,26 @@ Reproduces the Section 5 discussion of Kash–Friedman–Halpern: threshold
 strategies support an equilibrium, and the two "standard irrational
 behaviours" (hoarding, altruism) shift the welfare of threshold players
 in opposite directions.
+
+The best-response sweep runs every (base, candidate) economy in one
+batched pass on the array engine; ``best_response_sweep_reference``
+times the surviving per-round loop engine on a reduced workload so the
+trajectory JSON keeps both engines honest.  A Markov-chain row
+cross-checks Monte Carlo against the exact stationary utility.
 """
 
+import numpy as np
 import pytest
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, record_row, timed_rows
+from repro.econ.markov import analytic_threshold_utility
 from repro.econ.scrip import (
     Altruist,
     Hoarder,
     ScripSystem,
     ThresholdAgent,
-    best_response_threshold,
+    best_response_sweep,
+    run_batch,
 )
 from repro.experiments import run_experiments
 
@@ -25,13 +34,15 @@ DISCOUNT = 0.999
 
 
 def best_response_rows(candidates):
+    sweep = best_response_sweep(
+        candidates, candidates,
+        n_agents=N_AGENTS, rounds=ROUNDS,
+        cost=COST, discount=DISCOUNT, seed=4,
+    )
     rows = []
     for base in candidates:
-        best, utilities = best_response_threshold(
-            base, candidates,
-            n_agents=N_AGENTS, rounds=ROUNDS,
-            cost=COST, discount=DISCOUNT, seed=4,
-        )
+        utilities = sweep.utility_map(base)
+        best = sweep.best_response(base)
         gap = utilities[best] - utilities[base]
         rows.append(
             (
@@ -47,8 +58,10 @@ def best_response_rows(candidates):
 
 def test_bench_e11_threshold_best_responses(benchmark):
     candidates = [1, 2, 4, 8, 16]
-    rows = benchmark.pedantic(
-        best_response_rows, args=(candidates,), iterations=1, rounds=1
+    rows = timed_rows(
+        benchmark, "scrip", "best_response_sweep", best_response_rows,
+        candidates,
+        workload=f"5x5 economies x {ROUNDS} rounds, n={N_AGENTS}, batched",
     )
     print_table(
         "E11a: empirical best-response thresholds "
@@ -62,52 +75,71 @@ def test_bench_e11_threshold_best_responses(benchmark):
     assert min(gaps.values()) <= 3.0
 
 
+def reference_engine_rows():
+    """The pre-batching loop engine on a reduced sweep (trajectory row)."""
+    candidates = [1, 2, 4, 8, 16]
+    rounds = 2_000
+    utilities = {}
+    for candidate in candidates:
+        agents = [ThresholdAgent(candidate)] + [
+            ThresholdAgent(4) for _ in range(N_AGENTS - 1)
+        ]
+        system = ScripSystem(agents, cost=COST, discount=DISCOUNT)
+        result = system._reference_run(rounds, seed=4)
+        utilities[candidate] = float(result.utilities[0])
+    return utilities
+
+
+def test_bench_e11_reference_engine(benchmark):
+    utilities = timed_rows(
+        benchmark, "scrip", "best_response_sweep_reference",
+        reference_engine_rows,
+        workload="1x5 economies x 2000 rounds, loop engine",
+    )
+    assert set(utilities) == {1, 2, 4, 8, 16}
+
+
 def population_rows():
-    rows = []
     rounds = 25_000
-    base = [ThresholdAgent(4) for _ in range(N_AGENTS)]
-    healthy = ScripSystem(base, cost=0.2).run(rounds, seed=1)
-    rows.append(
+    populations = [
+        [ThresholdAgent(4) for _ in range(N_AGENTS)],
+        [ThresholdAgent(4) for _ in range(N_AGENTS - 3)]
+        + [Hoarder() for _ in range(3)],
+        [ThresholdAgent(4) for _ in range(N_AGENTS - 3)]
+        + [Altruist() for _ in range(3)],
+    ]
+    batch = run_batch(populations, rounds, [1, 1, 1], cost=0.2)
+    healthy, drained, helped = (batch.result(b) for b in range(3))
+    hoarder_share = (
+        drained.final_scrip[N_AGENTS - 3:].sum() / drained.final_scrip.sum()
+    )
+    rows = [
         (
             "12 threshold-4",
             f"{healthy.mean_utility(range(N_AGENTS)):.1f}",
             f"{healthy.satisfaction_rate:.2%}",
             "-",
-        )
-    )
-    with_hoarders = [ThresholdAgent(4) for _ in range(N_AGENTS - 3)] + [
-        Hoarder() for _ in range(3)
-    ]
-    drained = ScripSystem(with_hoarders, cost=0.2).run(rounds, seed=1)
-    hoarder_share = (
-        drained.final_scrip[N_AGENTS - 3:].sum() / drained.final_scrip.sum()
-    )
-    rows.append(
+        ),
         (
             "9 threshold-4 + 3 hoarders",
             f"{drained.mean_utility(range(N_AGENTS - 3)):.1f}",
             f"{drained.satisfaction_rate:.2%}",
             f"hoarders hold {hoarder_share:.0%} of scrip",
-        )
-    )
-    with_altruists = [ThresholdAgent(4) for _ in range(N_AGENTS - 3)] + [
-        Altruist() for _ in range(3)
-    ]
-    helped = ScripSystem(with_altruists, cost=0.2).run(rounds, seed=1)
-    rows.append(
+        ),
         (
             "9 threshold-4 + 3 altruists",
             f"{helped.mean_utility(range(N_AGENTS - 3)):.1f}",
             f"{helped.satisfaction_rate:.2%}",
             f"{helped.served_for_free} jobs done for free",
-        )
-    )
+        ),
+    ]
     return rows, healthy, drained, helped
 
 
 def test_bench_e11_hoarders_and_altruists(benchmark):
-    rows, healthy, drained, helped = benchmark.pedantic(
-        population_rows, iterations=1, rounds=1
+    rows, healthy, drained, helped = timed_rows(
+        benchmark, "scrip", "population_mix", population_rows,
+        workload="3 economies x 25000 rounds, one batch",
     )
     print_table(
         "E11b: population composition vs threshold agents' welfare",
@@ -126,7 +158,53 @@ def test_bench_e11_simulation_throughput(benchmark):
     agents = [ThresholdAgent(4) for _ in range(20)]
     system = ScripSystem(agents, cost=0.2)
     result = benchmark(lambda: system.run(5_000, seed=0))
+    record_row(
+        "scrip", "simulation_throughput", benchmark.stats.stats.min,
+        workload="one economy, 5000 rounds, n=20",
+    )
     assert result.requests_made > 0
+
+
+def analytic_rows():
+    """E11c: the exact chain against long-horizon Monte Carlo."""
+    rows = []
+    for n, threshold, initial in [(3, 2, 1), (4, 3, 2), (4, 2, 3)]:
+        analysis = analytic_threshold_utility(
+            n, threshold, benefit=1.0, cost=0.2, initial_scrip=initial
+        )
+        mc = ScripSystem(
+            [ThresholdAgent(threshold) for _ in range(n)],
+            cost=0.2,
+            initial_scrip=initial,
+        ).run(60_000, seed=9)
+        mc_utility = mc.utilities.mean() / mc.rounds
+        rows.append(
+            (
+                f"n={n} k={threshold} m={initial}",
+                analysis.n_states,
+                f"{analysis.expected_utility:+.5f}",
+                f"{mc_utility:+.5f}",
+                "frozen" if analysis.frozen else "circulating",
+            )
+        )
+    return rows
+
+
+def test_bench_e11_analytic_cross_check(benchmark):
+    rows = timed_rows(
+        benchmark, "scrip", "analytic_vs_mc", analytic_rows,
+        workload="3 grids: exact chain + 60000-round MC",
+    )
+    print_table(
+        "E11c: exact Markov-chain utility vs Monte Carlo",
+        ["economy", "states", "analytic U/round", "MC U/round", "regime"],
+        rows,
+    )
+    for _economy, _states, analytic, mc, regime in rows:
+        if regime == "frozen":
+            assert float(analytic) == 0.0 and float(mc) == 0.0
+        else:
+            assert abs(float(analytic) - float(mc)) < 0.01
 
 
 def money_supply_rows():
@@ -146,7 +224,10 @@ def money_supply_rows():
 def test_bench_e17_money_supply_crash(benchmark):
     """E17: KFH 'crashes' — too much scrip and nobody ever works."""
     threshold = 4
-    rows = benchmark.pedantic(money_supply_rows, iterations=1, rounds=1)
+    rows = timed_rows(
+        benchmark, "scrip", "money_supply_sweep", money_supply_rows,
+        workload="6 economies x 20000 rounds via registry",
+    )
     print_table(
         f"E17: welfare vs money supply (threshold-{threshold} agents) — "
         "the KFH crash",

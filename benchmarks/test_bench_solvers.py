@@ -12,7 +12,7 @@ benchmark the raw solver calls directly.
 import numpy as np
 import pytest
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, timed_rows
 from repro.experiments import run_experiments
 from repro.games.normal_form import NormalFormGame
 from repro.solvers import (
@@ -36,7 +36,10 @@ def cross_validation_rows():
 
 
 def test_bench_e14_cross_validation(benchmark):
-    rows = benchmark.pedantic(cross_validation_rows, iterations=1, rounds=1)
+    rows = timed_rows(
+        benchmark, "solvers", "cross_validation", cross_validation_rows,
+        workload="solver_cross_validation registry sweep, 6 classic games",
+    )
     print_table(
         "E14a: solver cross-validation on the classic games",
         ["game", "#equilibria (support enum)", "Lemke-Howson", "FP regret"],

@@ -6,19 +6,19 @@ the ecological (replicator) tournament in which defectors wash out.
 
 import pytest
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, timed_rows
 from repro.dynamics.evolution import evolutionary_tournament
 from repro.dynamics.tournament import round_robin_tournament
 from repro.machines.strategies import strategy_zoo
 
 
 def test_bench_e13_round_robin(benchmark):
-    result = benchmark.pedantic(
+    result = timed_rows(
+        benchmark, "tournament", "round_robin",
         lambda: round_robin_tournament(
             strategy_zoo(), rounds=200, delta=0.995, repetitions=1
         ),
-        iterations=1,
-        rounds=1,
+        workload="9-strategy zoo, 200 rounds, memory-one grid + generic",
     )
     print_table(
         "E13a: round-robin FRPD tournament (200 rounds, delta=0.995)",
@@ -58,12 +58,12 @@ def test_bench_e13_noisy_tournament(benchmark):
 
 
 def test_bench_e13_ecological(benchmark):
-    result = benchmark.pedantic(
+    result = timed_rows(
+        benchmark, "tournament", "ecological",
         lambda: evolutionary_tournament(
             strategy_zoo()[:6], rounds=150, iterations=4000
         ),
-        iterations=1,
-        rounds=1,
+        workload="6-strategy empirical matrix + 4000 replicator steps",
     )
     print_table(
         "E13c: ecological tournament (replicator dynamics over the zoo)",

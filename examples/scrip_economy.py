@@ -11,13 +11,14 @@ Run with::
     python examples/scrip_economy.py
 """
 
+from repro.econ.markov import analytic_threshold_utility
 from repro.econ.p2p import SharingPopulation, sharing_game_small
 from repro.econ.scrip import (
     Altruist,
     Hoarder,
     ScripSystem,
     ThresholdAgent,
-    best_response_threshold,
+    best_response_sweep,
 )
 from repro.solvers.dominance import iterated_strict_dominance
 
@@ -33,16 +34,34 @@ def main() -> None:
 
     print()
     print("## 2. Empirical best responses (cost 0.6, discount 0.999)")
+    print("   (one batched sweep: every base x candidate x replication")
+    print("   economy simulates simultaneously, with sha256-derived seeds)")
     candidates = [1, 2, 4, 8, 16]
-    for base in (2, 4, 8):
-        best, utilities = best_response_threshold(
-            base, candidates, n_agents=12, rounds=15_000,
-            cost=0.6, discount=0.999, seed=4,
+    sweep = best_response_sweep(
+        [2, 4, 8], candidates, n_agents=12, rounds=15_000,
+        cost=0.6, discount=0.999, seed=4, replications=3,
+    )
+    for i, base in enumerate(sweep.bases):
+        best = sweep.best_response(base)
+        cells = ", ".join(
+            f"{c}:{m:.0f}±{s:.0f}"
+            for c, m, s in zip(
+                candidates, sweep.mean_utilities[i], sweep.std_utilities[i]
+            )
         )
-        print(
-            f"   everyone at k={base}: best response k={best} "
-            f"(U: {', '.join(f'{k}:{u:.0f}' for k, u in utilities.items())})"
-        )
+        print(f"   everyone at k={base}: best response k={best} (U: {cells})")
+
+    print()
+    print("## 2b. The exact Markov chain agrees with Monte Carlo")
+    analysis = analytic_threshold_utility(4, 3, cost=0.2, initial_scrip=2)
+    mc = ScripSystem(
+        [ThresholdAgent(3) for _ in range(4)], cost=0.2
+    ).run(100_000, seed=0)
+    print(
+        f"   (n=4, k=3, m=2): {analysis.n_states} reachable allocations; "
+        f"analytic U/round {analysis.expected_utility:+.4f} vs "
+        f"MC {mc.utilities.mean() / mc.rounds:+.4f}"
+    )
 
     print()
     print("## 3. Hoarders and altruists (the paper's 'standard irrationality')")

@@ -13,9 +13,11 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.dynamics.tournament import memory_one_match_grid
 from repro.games.classics import prisoners_dilemma
 from repro.games.normal_form import NormalFormGame
 from repro.games.repeated import RepeatedGame, RepeatedGameStrategy
+from repro.machines.strategies import memory_one_spec
 from repro.solvers.replicator import replicator_dynamics
 
 __all__ = ["EvolutionResult", "evolutionary_tournament", "empirical_payoff_matrix"]
@@ -47,15 +49,26 @@ def empirical_payoff_matrix(
     delta: float = 1.0,
     stage: Optional[NormalFormGame] = None,
 ) -> np.ndarray:
-    """Average per-round payoff of strategy ``i`` against strategy ``j``."""
+    """Average per-round payoff of strategy ``i`` against strategy ``j``.
+
+    Pairs of deterministic memory-one strategies fill in from one
+    batched all-pairs recurrence (:func:`memory_one_match_grid`); only
+    pairings that involve a strategy with no memory-one form fall back
+    to per-match object playouts.
+    """
     stage = stage if stage is not None else prisoners_dilemma()
     game = RepeatedGame(stage, rounds=rounds, delta=delta)
     n = len(strategies)
+    specs = [memory_one_spec(s) for s in strategies]
     matrix = np.zeros((n, n))
+    if any(spec is not None for spec in specs):
+        grid = memory_one_match_grid(specs, game)
+        matrix = grid.discounted_0 / rounds
     for i in range(n):
         for j in range(n):
-            result = game.play(strategies[i], strategies[j])
-            matrix[i, j] = float(result.discounted[0]) / rounds
+            if specs[i] is None or specs[j] is None:
+                result = game.play(strategies[i], strategies[j])
+                matrix[i, j] = float(result.discounted[0]) / rounds
     return matrix
 
 

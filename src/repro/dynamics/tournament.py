@@ -3,6 +3,15 @@
 The paper: "tit-for-tat does exceedingly well in FRPD tournaments, where
 computer programs play each other [Axelrod 1984]".  Experiment E13 runs
 the round-robin and checks tit-for-tat's placement.
+
+Noise-free matches between deterministic memory-one entrants (the bulk
+of the classic zoo — see :func:`repro.machines.strategies.memory_one_spec`)
+are played for *all* pairs at once by :func:`memory_one_match_grid`: the
+joint action of every pairing advances through one fancy-indexed array
+recurrence per round instead of per-match Python playouts.  Entrants
+without a memory-one form (randomized, longer memory, or noise-wrapped)
+still play through the generic strategy-object path, and the two paths
+produce identical scores.
 """
 
 from __future__ import annotations
@@ -15,13 +24,85 @@ import numpy as np
 from repro.games.classics import prisoners_dilemma
 from repro.games.normal_form import NormalFormGame
 from repro.games.repeated import RepeatedGame, RepeatedGameStrategy
+from repro.machines.strategies import memory_one_spec
 
 __all__ = [
     "NoisyStrategy",
     "MatchRecord",
+    "MemoryOneGrid",
     "TournamentResult",
+    "memory_one_match_grid",
     "round_robin_tournament",
 ]
+
+
+@dataclass
+class MemoryOneGrid:
+    """All-pairs match outcomes of memory-one entrants.
+
+    Entry ``[i, j]`` describes the match where entrant ``i`` sits as
+    player 0 and entrant ``j`` as player 1 (``None`` rows/columns in the
+    spec list leave NaN holes for non-memory-one entrants).
+    """
+
+    discounted_0: np.ndarray
+    discounted_1: np.ndarray
+    cooperation_0: np.ndarray
+    cooperation_1: np.ndarray
+
+
+def memory_one_match_grid(
+    specs: Sequence[Optional[Tuple[int, Tuple[Tuple[int, int], Tuple[int, int]]]]],
+    game: RepeatedGame,
+) -> MemoryOneGrid:
+    """Play every ordered pair of memory-one specs in one batched pass.
+
+    Each spec is ``(initial_action, table)`` with ``table[own][opp]``
+    the follow-up action; ``None`` entries (non-memory-one entrants) are
+    simulated as self-cooperators and masked to NaN afterwards.  The
+    recurrence applies the per-round float operations in the same order
+    as :meth:`repro.games.repeated.RepeatedGame.play`, so grid entries
+    match the object path's discounted scores exactly.
+    """
+    m = len(specs)
+    present = np.array([spec is not None for spec in specs])
+    init = np.array(
+        [spec[0] if spec is not None else 0 for spec in specs], dtype=np.int64
+    )
+    table = np.array(
+        [
+            spec[1] if spec is not None else ((0, 0), (0, 0))
+            for spec in specs
+        ],
+        dtype=np.int64,
+    )
+    p0 = game.stage.payoffs[0]
+    p1 = game.stage.payoffs[1]
+    row = np.broadcast_to(np.arange(m)[:, None], (m, m))
+    col = np.broadcast_to(np.arange(m)[None, :], (m, m))
+    a = np.broadcast_to(init[:, None], (m, m)).copy()
+    b = np.broadcast_to(init[None, :], (m, m)).copy()
+    disc0 = np.zeros((m, m))
+    disc1 = np.zeros((m, m))
+    coop0 = np.zeros((m, m))
+    coop1 = np.zeros((m, m))
+    for t in range(game.rounds):
+        weight = game.delta ** (t + 1)
+        disc0 += weight * p0[a, b]
+        disc1 += weight * p1[a, b]
+        coop0 += a == 0
+        coop1 += b == 0
+        a, b = table[row, a, b], table[col, b, a]
+    hole = ~(present[:, None] & present[None, :])
+    for grid in (disc0, disc1, coop0, coop1):
+        grid[hole] = np.nan
+    rounds = max(game.rounds, 1)
+    return MemoryOneGrid(
+        discounted_0=disc0,
+        discounted_1=disc1,
+        cooperation_0=coop0 / rounds,
+        cooperation_1=coop1 / rounds,
+    )
 
 
 class NoisyStrategy:
@@ -115,12 +196,41 @@ def round_robin_tournament(
     if len(set(names)) != len(names):
         raise ValueError("strategy names must be unique")
     n = len(strategies)
+    specs = [memory_one_spec(s) for s in strategies]
+    grid = (
+        memory_one_match_grid(specs, game)
+        if noise == 0.0 and any(spec is not None for spec in specs)
+        else None
+    )
     totals = np.zeros(n)
     records: List[MatchRecord] = []
     seed_counter = seed
     for i in range(n):
         for j in range(i, n):
             if i == j and not include_self_play:
+                continue
+            if grid is not None and specs[i] is not None and specs[j] is not None:
+                # Deterministic memory-one pairing: every repetition
+                # replays the same match, so the batched grid entry is
+                # the per-repetition score.
+                seed_counter += 2 * repetitions
+                score_a = float(grid.discounted_0[i, j])
+                score_b = float(grid.discounted_1[i, j])
+                coop_a = float(grid.cooperation_0[i, j])
+                coop_b = float(grid.cooperation_1[i, j])
+                records.append(
+                    MatchRecord(
+                        name_a=names[i],
+                        name_b=names[j],
+                        score_a=score_a,
+                        score_b=score_b,
+                        cooperation_rate_a=coop_a,
+                        cooperation_rate_b=coop_b,
+                    )
+                )
+                totals[i] += score_a
+                if i != j:
+                    totals[j] += score_b
                 continue
             score_a = score_b = 0.0
             coop_a = coop_b = 0.0

@@ -1,21 +1,29 @@
 """Economic models from the paper's agenda (Section 5 / Section 2).
 
 * :mod:`repro.econ.scrip` — the Kash–Friedman–Halpern scrip system:
-  threshold equilibria, hoarders, altruists.
+  threshold equilibria, hoarders, altruists, and the batched array
+  engine behind the best-response sweeps.
+* :mod:`repro.econ.markov` — the same economy as an exact finite Markov
+  chain over money allocations (analytic cross-check of Monte Carlo).
 * :mod:`repro.econ.p2p` — Gnutella-style file sharing: free riding with
   standard utilities, and the heterogeneous-utility population that
   reproduces the Adar–Huberman measurements.
 """
 
+from repro.econ.markov import MarkovScripAnalysis, analytic_threshold_utility
 from repro.econ.scrip import (
     Altruist,
+    BestResponseSweep,
     Hoarder,
     ScripAgent,
+    ScripBatchResult,
     ScripSimulationResult,
     ScripSystem,
     ThresholdAgent,
+    best_response_sweep,
     best_response_threshold,
     find_symmetric_threshold_equilibrium,
+    run_batch,
 )
 from repro.econ.p2p import (
     SharingOutcome,
@@ -25,14 +33,20 @@ from repro.econ.p2p import (
 
 __all__ = [
     "Altruist",
+    "BestResponseSweep",
     "Hoarder",
+    "MarkovScripAnalysis",
     "ScripAgent",
+    "ScripBatchResult",
     "ScripSimulationResult",
     "ScripSystem",
     "SharingOutcome",
     "SharingPopulation",
     "ThresholdAgent",
+    "analytic_threshold_utility",
+    "best_response_sweep",
     "best_response_threshold",
     "find_symmetric_threshold_equilibrium",
+    "run_batch",
     "sharing_game_small",
 ]

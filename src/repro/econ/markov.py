@@ -1,0 +1,207 @@
+"""Exact Markov-chain analysis of homogeneous threshold scrip economies.
+
+For ``n`` agents all playing the threshold-``k`` strategy, the scrip
+economy of :mod:`repro.econ.scrip` is a finite Markov chain over money
+allocations: a state is the vector of holdings, the money supply
+``n * initial_scrip`` is conserved, and no holding can exceed
+``max(initial_scrip, k)`` (an agent at or above its threshold stops
+volunteering, so it can only spend).  That makes the state space small
+enough to solve exactly for small grids — the same move as the
+stationary-distribution analyses in "Proving the Herman-Protocol
+Conjecture" — giving the *analytic* expected per-round utility and
+satisfaction rate that cross-validate the Monte Carlo engine (and
+reproduce the E17 "crash" as a frozen chain: everyone starting above
+threshold is an absorbing state with zero welfare).
+
+Transitions mirror one simulation round exactly: a uniformly random
+requester pays 1 scrip to a worker drawn uniformly from the willing
+non-requesters; rounds with no affordable request or no volunteer leave
+the allocation unchanged (a self-loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["MarkovScripAnalysis", "analytic_threshold_utility"]
+
+_MAX_STATES = 20_000
+
+
+@dataclass
+class MarkovScripAnalysis:
+    """Exact stationary quantities of a homogeneous threshold economy."""
+
+    n: int
+    threshold: int
+    initial_scrip: int
+    benefit: float
+    cost: float
+    states: np.ndarray  # (S, n) holdings of every reachable state
+    stationary: np.ndarray  # (S,) stationary probability of each state
+    expected_utility: float  # per agent, per round
+    satisfaction_rate: float
+    request_rate: float
+    scrip_distribution: np.ndarray  # P(an agent holds s), s = 0..cap
+
+    @property
+    def n_states(self) -> int:
+        """Number of allocations reachable from the initial state."""
+        return len(self.states)
+
+    @property
+    def frozen(self) -> bool:
+        """Whether the economy never trades (the E17 crash regime)."""
+        return self.satisfaction_rate == 0.0
+
+
+def _reachable_states(
+    n: int, threshold: int, initial_scrip: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """BFS the allocation graph from the all-equal initial state.
+
+    Returns the reachable states (row-per-state holdings) and the dense
+    transition matrix between them.  A transition moves one scrip from a
+    requester ``r`` (prob ``1/n``, needs a scrip) to a worker chosen
+    uniformly among willing non-requesters; all residual probability is
+    the state's self-loop.
+    """
+    start = (initial_scrip,) * n
+    index: Dict[Tuple[int, ...], int] = {start: 0}
+    frontier: List[Tuple[int, ...]] = [start]
+    transitions: List[Tuple[int, int, float]] = []  # (from, to, prob)
+    while frontier:
+        state = frontier.pop()
+        i = index[state]
+        out = 0.0
+        for r in range(n):
+            if state[r] < 1:
+                continue
+            willing = [
+                w for w in range(n) if w != r and state[w] < threshold
+            ]
+            if not willing:
+                continue
+            p = 1.0 / (n * len(willing))
+            for w in willing:
+                nxt = list(state)
+                nxt[r] -= 1
+                nxt[w] += 1
+                key = tuple(nxt)
+                j = index.get(key)
+                if j is None:
+                    j = len(index)
+                    if j >= _MAX_STATES:
+                        raise ValueError(
+                            "state space exceeds "
+                            f"{_MAX_STATES} allocations; the exact chain "
+                            "is meant for small (n, k, money) grids"
+                        )
+                    index[key] = j
+                    frontier.append(key)
+                transitions.append((i, j, p))
+                out += p
+        transitions.append((i, i, 1.0 - out))
+    states = np.array(sorted(index, key=index.get), dtype=np.int64)
+    matrix = np.zeros((len(index), len(index)))
+    for i, j, p in transitions:
+        matrix[i, j] += p
+    return states, matrix
+
+
+def _stationary_distribution(matrix: np.ndarray) -> np.ndarray:
+    """Stationary distribution of a finite chain started at state 0.
+
+    Solves ``pi P = pi`` directly when the stationary distribution is
+    unique; otherwise (several recurrent classes) takes the Cesàro limit
+    from state 0 via repeated squaring of the lazy chain
+    ``(P + I) / 2``, whose self-loops remove any periodicity without
+    changing the stationary distributions.
+    """
+    size = len(matrix)
+    system = matrix.T - np.eye(size)
+    system[-1, :] = 1.0
+    rhs = np.zeros(size)
+    rhs[-1] = 1.0
+    try:
+        pi = np.linalg.solve(system, rhs)
+    except np.linalg.LinAlgError:
+        pi = None
+    if pi is not None and pi.min() > -1e-9:
+        residual = np.abs(pi @ matrix - pi).max()
+        if residual < 1e-9:
+            return np.clip(pi, 0.0, None) / pi.sum()
+    lazy = 0.5 * (matrix + np.eye(size))
+    for _ in range(60):
+        lazy = lazy @ lazy
+        lazy /= lazy.sum(axis=1, keepdims=True)  # fight drift
+    return lazy[0] / lazy[0].sum()
+
+
+def analytic_threshold_utility(
+    n: int,
+    threshold: int,
+    benefit: float = 1.0,
+    cost: float = 0.2,
+    initial_scrip: int = 2,
+) -> MarkovScripAnalysis:
+    """Exact stationary per-round utility of a threshold-``k`` economy.
+
+    Builds the money-allocation chain reachable from the all-equal
+    initial allocation, solves for its stationary distribution, and
+    integrates the per-state expected utility of each agent: a benefit
+    when the agent is the (paying, serviceable) requester, a cost when
+    it is the uniformly chosen worker of another requester.  The result
+    matches the undiscounted Monte Carlo engine's long-horizon mean
+    per-round utility (see the ``scrip_analytic_vs_mc`` scenario and
+    the tolerance tests in ``tests/test_properties_scrip.py``).
+    """
+    if n < 2:
+        raise ValueError("a scrip economy needs at least two agents")
+    if threshold < 0 or initial_scrip < 0:
+        raise ValueError("threshold and initial scrip must be non-negative")
+    if benefit <= cost:
+        raise ValueError(
+            "service must be worth more than it costs (benefit > cost)"
+        )
+    states, matrix = _reachable_states(n, threshold, initial_scrip)
+    pi = _stationary_distribution(matrix)
+
+    spendable = states >= 1  # (S, n)
+    willing = states < threshold  # (S, n)
+    # |W_r| for each requester r: willing others, excluding r itself.
+    count_excl = willing.sum(axis=1, keepdims=True) - willing
+    served = spendable & (count_excl > 0)
+    # P(agent i pays the cost | state) = sum over requesters r != i of
+    # P(r requests and i is drawn): spendable_r / (n * |W_r|) for
+    # willing i.  terms[:, r] is that per-requester factor.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(served, spendable / np.maximum(count_excl, 1), 0.0)
+    cost_events = willing * (terms.sum(axis=1, keepdims=True) - terms) / n
+    benefit_events = served / n
+    per_agent = pi @ (benefit * benefit_events - cost * cost_events)
+
+    request_rate = float(pi @ spendable.mean(axis=1))
+    satisfied_rate = float(pi @ served.mean(axis=1))
+    cap = max(initial_scrip, threshold)
+    holdings = np.zeros(cap + 1)
+    for s, weight in zip(states, pi):
+        holdings += weight * np.bincount(s, minlength=cap + 1) / n
+    return MarkovScripAnalysis(
+        n=n,
+        threshold=threshold,
+        initial_scrip=initial_scrip,
+        benefit=float(benefit),
+        cost=float(cost),
+        states=states,
+        stationary=pi,
+        expected_utility=float(per_agent.mean()),
+        satisfaction_rate=(
+            satisfied_rate / request_rate if request_rate > 0 else 0.0
+        ),
+        request_rate=request_rate,
+        scrip_distribution=holdings,
+    )

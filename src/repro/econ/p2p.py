@@ -56,6 +56,7 @@ def sharing_game_small(
         raise ValueError("need at least two users")
 
     def payoff_fn(profile: Tuple[int, ...]):
+        """Per-player utilities of one pure sharing profile."""
         out = []
         for i, action in enumerate(profile):
             others = [a for j, a in enumerate(profile) if j != i]
@@ -86,6 +87,7 @@ class SharingOutcome:
     top1pct_response_share: float
 
     def summary(self) -> str:
+        """One-line rendering of the Adar-Huberman-style statistics."""
         return (
             f"{self.n_users} users: {self.fraction_free_riders:.1%} share "
             f"nothing; top 1% of hosts serve "

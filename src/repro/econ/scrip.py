@@ -20,11 +20,27 @@ exactly when your scrip holdings are below a threshold ``k``.  The two
 The experiments (E11) look for a symmetric threshold equilibrium by
 empirical best response, and measure how hoarders/altruists shift the
 welfare of threshold agents.
+
+Engines
+-------
+Populations built from the three standard agent types compile to arrays
+(per-agent thresholds and hoarder/altruist flags) and simulate on a
+vectorized engine; :func:`run_batch` runs many economies — e.g. every
+(base-threshold, candidate, replication) cell of a best-response sweep —
+simultaneously, which is what makes :func:`best_response_sweep` and
+:func:`find_symmetric_threshold_equilibrium` one batched pass instead of
+``|candidates|²`` separate simulations.  The original per-round Python
+loop survives as :meth:`ScripSystem._reference_run`; both engines share
+one randomness protocol (see :func:`_draw_randomness`) so they agree
+*exactly* under identical seeds, and arbitrary :class:`ScripAgent`
+subclasses fall back to the reference loop automatically.  For the exact
+stationary analysis of homogeneous threshold populations see
+:mod:`repro.econ.markov`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -36,6 +52,10 @@ __all__ = [
     "Altruist",
     "ScripSystem",
     "ScripSimulationResult",
+    "ScripBatchResult",
+    "BestResponseSweep",
+    "run_batch",
+    "best_response_sweep",
     "best_response_threshold",
     "find_symmetric_threshold_equilibrium",
 ]
@@ -47,6 +67,7 @@ class ScripAgent:
     name = "agent"
 
     def wants_to_volunteer(self, scrip: int) -> bool:
+        """Whether the agent is willing to work this round."""
         raise NotImplementedError
 
     def wants_to_spend(self, scrip: int) -> bool:
@@ -56,6 +77,7 @@ class ScripAgent:
 
     @property
     def works_for_free(self) -> bool:
+        """Whether requesters served by this agent keep their scrip."""
         return False
 
 
@@ -67,9 +89,11 @@ class ThresholdAgent(ScripAgent):
     name: str = "threshold"
 
     def wants_to_volunteer(self, scrip: int) -> bool:
+        """Work exactly while below the threshold."""
         return scrip < self.threshold
 
     def wants_to_spend(self, scrip: int) -> bool:
+        """Pay for service whenever a scrip is available."""
         return scrip >= 1
 
 
@@ -80,9 +104,11 @@ class Hoarder(ScripAgent):
     name: str = "hoarder"
 
     def wants_to_volunteer(self, scrip: int) -> bool:
+        """Always willing to work."""
         return True
 
     def wants_to_spend(self, scrip: int) -> bool:
+        """Never spends the hoard."""
         return False
 
 
@@ -93,13 +119,16 @@ class Altruist(ScripAgent):
     name: str = "altruist"
 
     def wants_to_volunteer(self, scrip: int) -> bool:
+        """Always willing to work."""
         return True
 
     def wants_to_spend(self, scrip: int) -> bool:
+        """Always requests service when selected."""
         return True
 
     @property
     def works_for_free(self) -> bool:
+        """Requesters served by an altruist keep their scrip."""
         return True
 
 
@@ -116,17 +145,328 @@ class ScripSimulationResult:
 
     @property
     def satisfaction_rate(self) -> float:
+        """Fraction of requests that found a volunteer."""
         if self.requests_made == 0:
             return 0.0
         return self.requests_satisfied / self.requests_made
 
     def mean_utility(self, indices: Optional[Sequence[int]] = None) -> float:
+        """Mean realized utility over ``indices`` (default: everyone)."""
         values = (
             self.utilities
             if indices is None
             else self.utilities[list(indices)]
         )
         return float(values.mean()) if len(values) else 0.0
+
+
+@dataclass
+class ScripBatchResult:
+    """Aggregates of many economies simulated in one batched pass.
+
+    Axis 0 indexes the economy (one per entry of ``seeds``); per-agent
+    arrays have shape ``(n_economies, n_agents)``.
+    """
+
+    utilities: np.ndarray
+    final_scrip: np.ndarray
+    requests_made: np.ndarray
+    requests_satisfied: np.ndarray
+    served_for_free: np.ndarray
+    rounds: int
+    seeds: Tuple[int, ...]
+
+    @property
+    def n_economies(self) -> int:
+        """Number of economies in the batch."""
+        return self.utilities.shape[0]
+
+    @property
+    def satisfaction_rates(self) -> np.ndarray:
+        """Per-economy fraction of requests that found a volunteer."""
+        made = self.requests_made
+        return np.divide(
+            self.requests_satisfied,
+            made,
+            out=np.zeros(len(made)),
+            where=made > 0,
+        )
+
+    def result(self, economy: int) -> ScripSimulationResult:
+        """Slice one economy out as a :class:`ScripSimulationResult`."""
+        return ScripSimulationResult(
+            utilities=self.utilities[economy].copy(),
+            rounds=self.rounds,
+            requests_made=int(self.requests_made[economy]),
+            requests_satisfied=int(self.requests_satisfied[economy]),
+            final_scrip=self.final_scrip[economy].copy(),
+            served_for_free=int(self.served_for_free[economy]),
+        )
+
+
+def _validate_economy(
+    benefit: float, cost: float, initial_scrip: int, discount: float
+) -> None:
+    """Shared parameter validation for both engines."""
+    if benefit <= cost:
+        raise ValueError(
+            "service must be worth more than it costs (benefit > cost)"
+        )
+    if initial_scrip < 0:
+        raise ValueError("initial scrip must be non-negative")
+    if not 0.0 < discount <= 1.0:
+        raise ValueError("discount must lie in (0, 1]")
+
+
+def _compile_populations(
+    populations: Sequence[Sequence[ScripAgent]],
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Compile agent populations to engine arrays, or ``None``.
+
+    Returns ``(thresholds, never_spends, spends_broke, works_free)``,
+    each of shape ``(n_economies, n_agents)``, for populations built
+    entirely from the three standard agent types.  Any other
+    :class:`ScripAgent` subclass makes the population non-compilable
+    (``None``), in which case callers fall back to the reference loop —
+    exact type checks keep subclasses that override behaviour honest.
+    """
+    n_econ = len(populations)
+    n = len(populations[0])
+    thresholds = np.empty((n_econ, n))
+    never_spends = np.zeros((n_econ, n), dtype=bool)
+    spends_broke = np.zeros((n_econ, n), dtype=bool)
+    works_free = np.zeros((n_econ, n), dtype=bool)
+    for b, agents in enumerate(populations):
+        for j, agent in enumerate(agents):
+            kind = type(agent)
+            if kind is ThresholdAgent:
+                thresholds[b, j] = float(agent.threshold)
+            elif kind is Hoarder:
+                thresholds[b, j] = np.inf
+                never_spends[b, j] = True
+            elif kind is Altruist:
+                thresholds[b, j] = np.inf
+                spends_broke[b, j] = True
+                works_free[b, j] = True
+            else:
+                return None
+    return thresholds, never_spends, spends_broke, works_free
+
+
+def _draw_randomness(
+    n: int, rounds: int, seed: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The shared randomness protocol of both engines.
+
+    Per economy: one generator seeded with ``seed`` draws the round's
+    requesters up front (``rounds`` uniform integers), then a float32
+    selection key per (round, agent).  Each round's worker is the
+    willing non-requester with the highest key — uniform over the
+    willing set — so both engines consume randomness identically and
+    agree exactly under the same seed.
+    """
+    rng = np.random.default_rng(seed)
+    requesters = rng.integers(n, size=rounds)
+    keys = rng.random((rounds, n), dtype=np.float32)
+    return requesters, keys
+
+
+def _simulate_batch(
+    compiled: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    rounds: int,
+    seeds: Sequence[int],
+    benefit: float,
+    cost: float,
+    initial_scrip,
+    discount: float,
+) -> ScripBatchResult:
+    """The vectorized engine: all economies advance one round per step.
+
+    Scrip state lives in one ``(B, n)`` array; each round is a handful
+    of broadcast operations (willingness mask, keyed argmax worker
+    selection, masked settlement), with requester keys pre-poisoned so
+    no per-round exclusion pass is needed.  Utility accumulation is
+    deferred to a single interleaved ``bincount`` pass that reproduces
+    the reference loop's float operation order exactly.
+    """
+    thresholds, never_spends, spends_broke, works_free = compiled
+    n_econ, n = thresholds.shape
+    req = np.empty((rounds, n_econ), dtype=np.int64)
+    keys = np.empty((rounds, n_econ, n), dtype=np.float32)
+    for b, seed in enumerate(seeds):
+        requesters_b, keys_b = _draw_randomness(n, rounds, int(seed))
+        req[:, b] = requesters_b
+        keys[:, b, :] = keys_b
+
+    base = np.arange(n_econ) * n
+    reqf = req + base  # flat (economy, requester) index per round
+    if rounds:
+        keys.reshape(rounds, n_econ * n)[
+            np.arange(rounds)[:, None], reqf
+        ] = -1.0
+
+    scrip = np.empty((n_econ, n))
+    scrip[...] = np.asarray(initial_scrip, dtype=float).reshape(-1, 1)
+    sf = scrip.ravel()
+    neverf = never_spends.ravel()
+    brokef = spends_broke.ravel()
+    freef = works_free.ravel()
+    any_special_spend = bool(never_spends.any() or spends_broke.any())
+    any_free = bool(works_free.any())
+
+    act_buf = np.empty((rounds, n_econ), dtype=bool)
+    spend_buf = np.empty((rounds, n_econ), dtype=bool)
+    wf_buf = np.empty((rounds, n_econ), dtype=np.int64)
+    NEG = np.float32(-1.0)
+    ZERO = np.float32(0.0)
+    lt, where, add = np.less, np.where, np.add
+    ge, land = np.greater_equal, np.logical_and
+    for kt, rf, ab, sb, wb in zip(keys, reqf, act_buf, spend_buf, wf_buf):
+        keyed = where(lt(scrip, thresholds), kt, NEG)
+        wfl = add(keyed.argmax(axis=1), base, out=wb)
+        ge(sf[rf], 1.0, out=sb)
+        if any_special_spend:
+            sb |= brokef[rf]
+            sb &= ~neverf[rf]
+        land(sb, ge(keyed.ravel()[wfl], ZERO), out=ab)
+        if any_free:
+            pay = ab & ~freef[wfl]
+            sf[rf] -= pay
+            sf[wfl] += pay
+        else:
+            sf[rf] -= ab
+            sf[wfl] += ab
+
+    weights = discount ** np.arange(rounds)
+    # One bincount over (requester, worker) events interleaved in round
+    # order reproduces the reference loop's per-agent float summation
+    # order exactly (inactive rounds contribute an exact +0.0).
+    gains = (weights[:, None] * benefit) * act_buf
+    losses = (weights[:, None] * -cost) * act_buf
+    events = np.stack([reqf, wf_buf], axis=1).ravel()
+    amounts = np.stack([gains, losses], axis=1).ravel()
+    utilities = np.bincount(
+        events, weights=amounts, minlength=n_econ * n
+    ).reshape(n_econ, n)
+
+    free_served = (
+        (freef[wf_buf] & act_buf).sum(axis=0)
+        if any_free
+        else np.zeros(n_econ, dtype=np.int64)
+    )
+    return ScripBatchResult(
+        utilities=utilities,
+        final_scrip=scrip.astype(np.int64),
+        requests_made=spend_buf.sum(axis=0),
+        requests_satisfied=act_buf.sum(axis=0),
+        served_for_free=free_served,
+        rounds=rounds,
+        seeds=tuple(int(s) for s in seeds),
+    )
+
+
+def _simulate_single(
+    compiled: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    rounds: int,
+    seed: int,
+    benefit: float,
+    cost: float,
+    initial_scrip: int,
+    discount: float,
+) -> ScripSimulationResult:
+    """One-economy fast path: scalar state access, array worker selection.
+
+    Applies exactly the same per-round formulas as
+    :func:`_simulate_batch` (same draws, same keyed argmax, same float
+    operations in the same order), but indexes the single economy with
+    Python scalars instead of per-round gather/scatter arrays — roughly
+    twice the throughput at batch size 1.
+    """
+    thresholds, never_spends, spends_broke, works_free = compiled
+    n = thresholds.shape[1]
+    thr = thresholds[0]
+    never = never_spends[0]
+    broke = spends_broke[0]
+    free = works_free[0]
+    requesters, keys = _draw_randomness(n, rounds, seed)
+    if rounds:
+        keys[np.arange(rounds), requesters] = -1.0
+    weights = discount ** np.arange(rounds)
+    scrip = np.full(n, float(initial_scrip))
+    utilities = np.zeros(n)
+    requests_made = 0
+    requests_satisfied = 0
+    served_for_free = 0
+    lt, where = np.less, np.where
+    NEG = np.float32(-1.0)
+    for t in range(rounds):
+        r = requesters[t]
+        if never[r] or not (scrip[r] >= 1.0 or broke[r]):
+            continue
+        requests_made += 1
+        keyed = where(lt(scrip, thr), keys[t], NEG)
+        w = keyed.argmax()
+        if keyed[w] < 0.0:
+            continue
+        requests_satisfied += 1
+        utilities[r] += weights[t] * benefit
+        utilities[w] += weights[t] * -cost
+        if free[w]:
+            served_for_free += 1
+        else:
+            scrip[r] -= 1.0
+            scrip[w] += 1.0
+    return ScripSimulationResult(
+        utilities=utilities,
+        rounds=rounds,
+        requests_made=requests_made,
+        requests_satisfied=requests_satisfied,
+        final_scrip=scrip.astype(np.int64),
+        served_for_free=served_for_free,
+    )
+
+
+def run_batch(
+    populations: Sequence[Sequence[ScripAgent]],
+    rounds: int,
+    seeds: Sequence[int],
+    benefit: float = 1.0,
+    cost: float = 0.2,
+    initial_scrip=2,
+    discount: float = 1.0,
+) -> ScripBatchResult:
+    """Simulate many scrip economies simultaneously on the array engine.
+
+    ``populations[b]`` and ``seeds[b]`` define economy ``b``; all
+    economies share ``rounds`` and the pricing parameters, while
+    ``initial_scrip`` may be a scalar or one value per economy.  Column
+    ``b`` of the result is exactly ``ScripSystem(populations[b]).run(
+    rounds, seeds[b])`` — batching changes wall-clock, never outcomes.
+    Populations must consist of the three standard agent types (other
+    :class:`ScripAgent` subclasses require the per-economy loop engine).
+    """
+    if len(populations) != len(seeds):
+        raise ValueError("need exactly one seed per population")
+    if not populations:
+        raise ValueError("need at least one population")
+    n = len(populations[0])
+    if n < 2:
+        raise ValueError("a scrip economy needs at least two agents")
+    if any(len(agents) != n for agents in populations):
+        raise ValueError("all batched populations must share one size")
+    initial = np.broadcast_to(
+        np.asarray(initial_scrip, dtype=int), (len(populations),)
+    )
+    _validate_economy(benefit, cost, int(initial.min()), discount)
+    compiled = _compile_populations(populations)
+    if compiled is None:
+        raise TypeError(
+            "run_batch requires Threshold/Hoarder/Altruist agents; "
+            "custom ScripAgent subclasses run via ScripSystem.run"
+        )
+    return _simulate_batch(
+        compiled, rounds, seeds, benefit, cost, initial, discount
+    )
 
 
 class ScripSystem:
@@ -144,14 +484,7 @@ class ScripSystem:
         Kash–Friedman–Halpern model; it is what makes very high thresholds
         unattractive (work — and pay its cost — now, spend the scrip only
         much later)."""
-        if benefit <= cost:
-            raise ValueError(
-                "service must be worth more than it costs (benefit > cost)"
-            )
-        if initial_scrip < 0:
-            raise ValueError("initial scrip must be non-negative")
-        if not 0.0 < discount <= 1.0:
-            raise ValueError("discount must lie in (0, 1]")
+        _validate_economy(benefit, cost, initial_scrip, discount)
         self.agents = list(agents)
         self.n = len(self.agents)
         if self.n < 2:
@@ -160,6 +493,40 @@ class ScripSystem:
         self.cost = float(cost)
         self.initial_scrip = int(initial_scrip)
         self.discount = float(discount)
+        self._compiled = _compile_populations([self.agents])
+
+    def run(self, rounds: int, seed: int = 0) -> ScripSimulationResult:
+        """Simulate ``rounds`` service opportunities.
+
+        Standard populations run on the vectorized engine; populations
+        containing custom :class:`ScripAgent` subclasses fall back to
+        the (identical-output) reference loop.
+        """
+        if self._compiled is None:
+            return self._reference_run(rounds, seed)
+        return _simulate_single(
+            self._compiled,
+            rounds,
+            seed,
+            self.benefit,
+            self.cost,
+            self.initial_scrip,
+            self.discount,
+        )
+
+    def run_batch(
+        self, rounds: int, seeds: Sequence[int]
+    ) -> ScripBatchResult:
+        """Replicate this economy under many seeds in one batched pass."""
+        return run_batch(
+            [self.agents] * len(seeds),
+            rounds,
+            seeds,
+            benefit=self.benefit,
+            cost=self.cost,
+            initial_scrip=self.initial_scrip,
+            discount=self.discount,
+        )
 
     def _settle(self, scrip: np.ndarray, requester: int, worker: int) -> None:
         """Move the scrip unless the worker serves for free."""
@@ -167,37 +534,45 @@ class ScripSystem:
             scrip[requester] -= 1
             scrip[worker] += 1
 
-    def run(self, rounds: int, seed: int = 0) -> ScripSimulationResult:
-        """Simulate ``rounds`` service opportunities."""
-        rng = np.random.default_rng(seed)
+    def _reference_run(self, rounds: int, seed: int = 0) -> ScripSimulationResult:
+        """The per-round loop engine (oracle for the vectorized path).
+
+        Consumes randomness through the same protocol as the array
+        engine (:func:`_draw_randomness`), so for standard populations
+        the two agree exactly; it also handles arbitrary
+        :class:`ScripAgent` subclasses via method dispatch.
+        """
+        requesters, keys = _draw_randomness(self.n, rounds, seed)
+        weights = self.discount ** np.arange(rounds)
         scrip = np.full(self.n, self.initial_scrip, dtype=np.int64)
         utilities = np.zeros(self.n)
         requests_made = 0
         requests_satisfied = 0
         served_for_free = 0
-        weight = 1.0
-        for _ in range(rounds):
-            requester = int(rng.integers(self.n))
+        for t in range(rounds):
+            requester = int(requesters[t])
             agent = self.agents[requester]
-            if agent.wants_to_spend(int(scrip[requester])):
-                requests_made += 1
-                volunteers = [
-                    j
-                    for j in range(self.n)
-                    if j != requester
-                    and self.agents[j].wants_to_volunteer(int(scrip[j]))
-                ]
-                if volunteers:
-                    worker = int(
-                        volunteers[int(rng.integers(len(volunteers)))]
-                    )
-                    requests_satisfied += 1
-                    utilities[requester] += weight * self.benefit
-                    utilities[worker] -= weight * self.cost
-                    self._settle(scrip, requester, worker)
-                    if self.agents[worker].works_for_free:
-                        served_for_free += 1
-            weight *= self.discount
+            if not agent.wants_to_spend(int(scrip[requester])):
+                continue
+            requests_made += 1
+            best_key = np.float32(-1.0)
+            worker = -1
+            round_keys = keys[t]
+            for j in range(self.n):
+                if j == requester:
+                    continue
+                if self.agents[j].wants_to_volunteer(int(scrip[j])):
+                    key = round_keys[j]
+                    if key > best_key or worker < 0:
+                        best_key = key
+                        worker = j
+            if worker >= 0:
+                requests_satisfied += 1
+                utilities[requester] += weights[t] * self.benefit
+                utilities[worker] += weights[t] * -self.cost
+                self._settle(scrip, requester, worker)
+                if self.agents[worker].works_for_free:
+                    served_for_free += 1
         return ScripSimulationResult(
             utilities=utilities,
             rounds=rounds,
@@ -206,6 +581,135 @@ class ScripSystem:
             final_scrip=scrip,
             served_for_free=served_for_free,
         )
+
+
+def _sweep_seed(
+    base_seed: int,
+    base_threshold: int,
+    candidate: int,
+    replication: int,
+    common_random_numbers: bool,
+) -> int:
+    """Per-cell seed for a best-response sweep.
+
+    Derived with the experiment runner's sha256 scheme so each
+    (base, candidate, replication) cell gets an independent stream;
+    under common random numbers the candidate is dropped from the
+    derivation, giving every candidate the same stream.
+    """
+    from repro.experiments.runner import case_seed
+
+    params: Dict[str, int] = {
+        "base_threshold": int(base_threshold),
+        "replication": int(replication),
+    }
+    if not common_random_numbers:
+        params["candidate"] = int(candidate)
+    return case_seed(base_seed, "scrip_best_response", params)
+
+
+@dataclass
+class BestResponseSweep:
+    """The full utility tensor of a batched best-response sweep.
+
+    ``utilities[i, j, r]`` is the deviant's (agent 0's) realized utility
+    when everyone else plays ``bases[i]``, the deviant plays
+    ``candidates[j]``, and the cell runs under replication ``r``'s seed.
+    """
+
+    bases: Tuple[int, ...]
+    candidates: Tuple[int, ...]
+    utilities: np.ndarray
+    seeds: np.ndarray
+
+    @property
+    def mean_utilities(self) -> np.ndarray:
+        """Per-(base, candidate) deviant utility, averaged over replications."""
+        return self.utilities.mean(axis=2)
+
+    @property
+    def std_utilities(self) -> np.ndarray:
+        """Per-(base, candidate) standard deviation across replications."""
+        return self.utilities.std(axis=2)
+
+    def best_response(self, base_threshold: int) -> int:
+        """The utility-maximizing candidate against all-``base_threshold``."""
+        i = self.bases.index(int(base_threshold))
+        return self.candidates[int(np.argmax(self.mean_utilities[i]))]
+
+    def utility_map(self, base_threshold: int) -> Dict[int, float]:
+        """Candidate → mean deviant utility against ``base_threshold``."""
+        i = self.bases.index(int(base_threshold))
+        means = self.mean_utilities[i]
+        return {c: float(means[j]) for j, c in enumerate(self.candidates)}
+
+    def equilibria(self, tolerance: float = 0.0) -> List[int]:
+        """Bases (also candidates) no candidate beats by > ``tolerance``."""
+        means = self.mean_utilities
+        out = []
+        for i, k in enumerate(self.bases):
+            if k not in self.candidates:
+                continue
+            j = self.candidates.index(k)
+            if means[i].max() - means[i, j] <= tolerance:
+                out.append(k)
+        return out
+
+
+def best_response_sweep(
+    base_thresholds: Sequence[int],
+    candidate_thresholds: Sequence[int],
+    n_agents: int = 20,
+    rounds: int = 20_000,
+    benefit: float = 1.0,
+    cost: float = 0.2,
+    discount: float = 1.0,
+    seed: int = 0,
+    replications: int = 1,
+    common_random_numbers: bool = False,
+) -> BestResponseSweep:
+    """Every (base, candidate, replication) cell in one batched pass.
+
+    For each base threshold, agent 0 deviates to each candidate while
+    the other ``n_agents - 1`` agents play the base; all
+    ``len(bases) × len(candidates) × replications`` economies simulate
+    simultaneously on the array engine.  Cell seeds come from
+    :func:`_sweep_seed`; ``common_random_numbers=True`` gives all
+    candidates (within one base and replication) the same stream, a
+    variance-reduction trade-off — utility *differences* between
+    candidates are estimated with far less noise because they face
+    identical request sequences, at the price of correlated (not
+    independent) utility levels across candidates.
+    """
+    bases = [int(b) for b in base_thresholds]
+    candidates = [int(c) for c in candidate_thresholds]
+    if replications < 1:
+        raise ValueError("need at least one replication")
+    populations = []
+    seeds = []
+    for base in bases:
+        others = [ThresholdAgent(base) for _ in range(n_agents - 1)]
+        for candidate in candidates:
+            for rep in range(replications):
+                populations.append([ThresholdAgent(candidate)] + others)
+                seeds.append(
+                    _sweep_seed(seed, base, candidate, rep, common_random_numbers)
+                )
+    batch = run_batch(
+        populations,
+        rounds,
+        seeds,
+        benefit=benefit,
+        cost=cost,
+        discount=discount,
+    )
+    shape = (len(bases), len(candidates), replications)
+    return BestResponseSweep(
+        bases=tuple(bases),
+        candidates=tuple(candidates),
+        utilities=batch.utilities[:, 0].reshape(shape),
+        seeds=np.asarray(seeds).reshape(shape),
+    )
 
 
 def best_response_threshold(
@@ -217,24 +721,32 @@ def best_response_threshold(
     cost: float = 0.2,
     discount: float = 1.0,
     seed: int = 0,
+    replications: int = 1,
+    common_random_numbers: bool = False,
 ) -> Tuple[int, Dict[int, float]]:
     """Empirical best-response threshold for agent 0 when everyone else
     plays ``base_threshold``.
 
-    Returns the utility-maximizing candidate and the utility map.
+    Candidates are simulated in one batched pass, each cell under its
+    own sha256-derived seed (``replications`` > 1 averages several
+    seeds per candidate); set ``common_random_numbers=True`` to instead
+    evaluate all candidates against identical random streams — see
+    :func:`best_response_sweep` for the variance trade-off.  Returns the
+    utility-maximizing candidate and the (mean) utility map.
     """
-    utilities: Dict[int, float] = {}
-    for candidate in candidate_thresholds:
-        agents: List[ScripAgent] = [ThresholdAgent(int(candidate))] + [
-            ThresholdAgent(int(base_threshold)) for _ in range(n_agents - 1)
-        ]
-        system = ScripSystem(
-            agents, benefit=benefit, cost=cost, discount=discount
-        )
-        result = system.run(rounds, seed=seed)
-        utilities[int(candidate)] = float(result.utilities[0])
-    best = max(utilities, key=lambda k: utilities[k])
-    return best, utilities
+    sweep = best_response_sweep(
+        [base_threshold],
+        candidate_thresholds,
+        n_agents=n_agents,
+        rounds=rounds,
+        benefit=benefit,
+        cost=cost,
+        discount=discount,
+        seed=seed,
+        replications=replications,
+        common_random_numbers=common_random_numbers,
+    )
+    return sweep.best_response(base_threshold), sweep.utility_map(base_threshold)
 
 
 def find_symmetric_threshold_equilibrium(
@@ -246,19 +758,23 @@ def find_symmetric_threshold_equilibrium(
     discount: float = 1.0,
     seed: int = 0,
     tolerance: float = 0.0,
+    replications: int = 1,
 ) -> List[int]:
     """Thresholds k such that k is an (empirical) best response to all-k.
 
+    One batched sweep over every (base, candidate, replication) cell.
     ``tolerance`` relaxes the comparison: k qualifies when no candidate
     beats it by more than ``tolerance`` (simulation noise allowance).
     """
-    equilibria = []
-    for k in candidate_thresholds:
-        best, utilities = best_response_threshold(
-            int(k), candidate_thresholds,
-            n_agents=n_agents, rounds=rounds,
-            benefit=benefit, cost=cost, discount=discount, seed=seed,
-        )
-        if utilities[best] - utilities[int(k)] <= tolerance:
-            equilibria.append(int(k))
-    return equilibria
+    sweep = best_response_sweep(
+        candidate_thresholds,
+        candidate_thresholds,
+        n_agents=n_agents,
+        rounds=rounds,
+        benefit=benefit,
+        cost=cost,
+        discount=discount,
+        seed=seed,
+        replications=replications,
+    )
+    return sweep.equilibria(tolerance)

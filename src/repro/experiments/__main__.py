@@ -42,15 +42,38 @@ def _print_results(results: ResultSet) -> None:
     for name, group in by_scenario.items():
         param_keys = sorted({k for r in group for k in r.params})
         metric_keys = sorted({k for r in group for k in r.metrics})
+        if any(r.replication for r in group):
+            param_keys = ["replication"] + param_keys
+            rows = [
+                [r.replication]
+                + [r.params.get(k, "") for k in param_keys[1:]]
+                + [r.metrics.get(k, "") for k in metric_keys]
+                + [f"{r.elapsed:.4f}s"]
+                for r in group
+            ]
+        else:
+            rows = [
+                [r.params.get(k, "") for k in param_keys]
+                + [r.metrics.get(k, "") for k in metric_keys]
+                + [f"{r.elapsed:.4f}s"]
+                for r in group
+            ]
         header = param_keys + metric_keys + ["elapsed"]
-        rows = [
-            [r.params.get(k, "") for k in param_keys]
-            + [r.metrics.get(k, "") for k in metric_keys]
-            + [f"{r.elapsed:.4f}s"]
-            for r in group
-        ]
         print(format_table(f"{group[0].family} / {name}", header, rows))
         print()
+
+
+def _print_timing(results: ResultSet) -> None:
+    """Print the per-scenario wall-time summary of a finished sweep."""
+    rows = results.timing_summary()
+    if rows:
+        print(
+            format_table(
+                "wall time by scenario",
+                ["scenario", "cases", "total s", "mean ms"],
+                rows,
+            )
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -92,6 +115,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="cap the number of cases per scenario",
     )
+    parser.add_argument(
+        "--replications",
+        type=int,
+        default=1,
+        help="independent seeded repeats of every case (error bars)",
+    )
     parser.add_argument("--json", default=None, help="write results JSON here")
     parser.add_argument("--csv", default=None, help="write results CSV here")
     args = parser.parse_args(argv)
@@ -110,12 +139,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 base_seed=args.seed,
                 max_workers=args.workers,
                 limit_per_scenario=args.limit,
+                replications=args.replications,
             )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
 
     _print_results(results)
+    _print_timing(results)
     print(f"{len(results)} cases run.")
     if args.json:
         results.to_json(args.json)

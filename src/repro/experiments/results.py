@@ -33,7 +33,12 @@ def _jsonable(value: Any) -> Any:
 
 @dataclass
 class ExperimentResult:
-    """Outcome of one scenario case: identity, inputs, and metrics."""
+    """Outcome of one scenario case: identity, inputs, and metrics.
+
+    ``replication`` distinguishes repeated runs of the same parameter
+    assignment under independent seeds (see the runner's
+    ``replications`` option); single-run sweeps leave it at 0.
+    """
 
     scenario: str
     family: str
@@ -41,6 +46,7 @@ class ExperimentResult:
     seed: int
     metrics: Dict[str, Any]
     elapsed: float
+    replication: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict rendering with NumPy values coerced to JSON types."""
@@ -49,6 +55,7 @@ class ExperimentResult:
             "family": self.family,
             "params": _jsonable(self.params),
             "seed": int(self.seed),
+            "replication": int(self.replication),
             "metrics": _jsonable(self.metrics),
             "elapsed": float(self.elapsed),
         }
@@ -116,13 +123,13 @@ class ResultSet:
         buffer = io.StringIO()
         writer = csv.writer(buffer)
         writer.writerow(
-            ["scenario", "family", "seed", "elapsed"]
+            ["scenario", "family", "seed", "replication", "elapsed"]
             + [f"param_{k}" for k in param_keys]
             + [f"metric_{k}" for k in metric_keys]
         )
         for r in self.results:
             writer.writerow(
-                [r.scenario, r.family, r.seed, f"{r.elapsed:.6f}"]
+                [r.scenario, r.family, r.seed, r.replication, f"{r.elapsed:.6f}"]
                 + [_jsonable(r.params.get(k, "")) for k in param_keys]
                 + [_jsonable(r.metrics.get(k, "")) for k in metric_keys]
             )
@@ -131,6 +138,29 @@ class ResultSet:
             with open(path, "w", encoding="utf-8", newline="") as handle:
                 handle.write(text)
         return text
+
+    def timing_summary(self) -> List[List[Any]]:
+        """Per-scenario wall-time rows: cases, total and mean seconds.
+
+        Ordered by first appearance, so CLI output lines up with the
+        per-scenario result tables above it.
+        """
+        order: List[str] = []
+        grouped: Dict[str, List[float]] = {}
+        for r in self.results:
+            if r.scenario not in grouped:
+                grouped[r.scenario] = []
+                order.append(r.scenario)
+            grouped[r.scenario].append(r.elapsed)
+        return [
+            [
+                name,
+                len(grouped[name]),
+                f"{sum(grouped[name]):.3f}",
+                f"{1000.0 * sum(grouped[name]) / len(grouped[name]):.1f}",
+            ]
+            for name in order
+        ]
 
     def rows(self, columns: Sequence[str]) -> List[List[Any]]:
         """Tabular projection: each named column is a param or metric key."""

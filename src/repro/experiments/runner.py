@@ -25,7 +25,9 @@ from repro.experiments.results import ExperimentResult, ResultSet
 
 __all__ = ["case_seed", "run_experiments", "smoke_cases"]
 
-Case = Tuple[str, str, Callable[..., Dict[str, Any]], Dict[str, Any], int]
+Case = Tuple[
+    str, str, Callable[..., Dict[str, Any]], Dict[str, Any], int, int
+]
 
 
 def case_seed(base_seed: int, scenario_name: str, params: Dict[str, Any]) -> int:
@@ -44,7 +46,7 @@ def case_seed(base_seed: int, scenario_name: str, params: Dict[str, Any]) -> int
 
 def _run_case(case: Case) -> ExperimentResult:
     """Execute one case (also the process-pool entry point)."""
-    name, family, fn, params, seed = case
+    name, family, fn, params, seed, replication = case
     start = time.perf_counter()
     metrics = fn(seed=seed, **params)
     elapsed = time.perf_counter() - start
@@ -59,6 +61,7 @@ def _run_case(case: Case) -> ExperimentResult:
         seed=seed,
         metrics=metrics,
         elapsed=elapsed,
+        replication=replication,
     )
 
 
@@ -67,6 +70,7 @@ def _collect_cases(
     families: Optional[Sequence[str]],
     base_seed: int,
     limit_per_scenario: Optional[int],
+    replications: int = 1,
 ) -> List[Case]:
     """Expand the requested scenarios/families into concrete seeded cases."""
     specs = []
@@ -86,18 +90,35 @@ def _collect_cases(
         for i, params in enumerate(spec.iter_cases()):
             if limit_per_scenario is not None and i >= limit_per_scenario:
                 break
-            cases.append(_make_case(spec, params, base_seed))
+            for replication in range(replications):
+                cases.append(
+                    _make_case(spec, params, base_seed, replication)
+                )
     return cases
 
 
-def _make_case(spec, params: Dict[str, Any], base_seed: int) -> Case:
-    """Bundle one seeded, self-contained case from a registry spec."""
+def _make_case(
+    spec, params: Dict[str, Any], base_seed: int, replication: int = 0
+) -> Case:
+    """Bundle one seeded, self-contained case from a registry spec.
+
+    Replication 0 derives its seed from the params alone (identical to
+    single-run sweeps, so adding replications never reshuffles existing
+    results); higher replications mix a ``__replication__`` key into
+    the hashed payload for an independent stream per repeat.
+    """
+    seed_params = (
+        params
+        if replication == 0
+        else {**params, "__replication__": replication}
+    )
     return (
         spec.name,
         spec.family,
         spec.fn,
         params,
-        case_seed(base_seed, spec.name, params),
+        case_seed(base_seed, spec.name, seed_params),
+        replication,
     )
 
 
@@ -107,6 +128,7 @@ def run_experiments(
     base_seed: int = 0,
     max_workers: Optional[int] = None,
     limit_per_scenario: Optional[int] = None,
+    replications: int = 1,
 ) -> ResultSet:
     """Run a sweep and return its :class:`ResultSet`.
 
@@ -114,10 +136,16 @@ def run_experiments(
     everything registered).  ``max_workers`` > 1 fans cases out over a
     process pool; the default (``None`` or 1) runs serially in-process,
     which is fastest for the small grids and keeps tracebacks direct.
-    Results are always returned in deterministic case order regardless of
-    worker scheduling.
+    ``replications`` repeats every case under independent derived seeds
+    (replication 0 reproduces the single-run sweep exactly), which is
+    what gives grid metrics error bars.  Results are always returned in
+    deterministic case order regardless of worker scheduling.
     """
-    cases = _collect_cases(scenarios, families, base_seed, limit_per_scenario)
+    if replications < 1:
+        raise ValueError("need at least one replication")
+    cases = _collect_cases(
+        scenarios, families, base_seed, limit_per_scenario, replications
+    )
     results = ResultSet()
     if max_workers is not None and max_workers > 1 and len(cases) > 1:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:

@@ -260,6 +260,119 @@ def scrip_threshold_economy(
 
 @scenario(
     family="scrip",
+    params={"base_threshold": [2, 4, 8], "replications": [5]},
+)
+def scrip_best_response_grid(
+    base_threshold: int, replications: int, seed: int
+) -> Dict[str, Any]:
+    """Replicated empirical best responses with error bars (batched sweep)."""
+    from repro.econ.scrip import best_response_sweep
+
+    candidates = [1, 2, 4, 8, 16]
+    sweep = best_response_sweep(
+        [base_threshold],
+        candidates,
+        n_agents=12,
+        rounds=8_000,
+        cost=0.6,
+        discount=0.999,
+        seed=seed,
+        replications=replications,
+    )
+    means = sweep.mean_utilities[0]
+    stds = sweep.std_utilities[0]
+    best = sweep.best_response(base_threshold)
+    base_col = candidates.index(base_threshold)
+    metrics: Dict[str, Any] = {
+        "best_response": int(best),
+        "gap": float(means.max() - means[base_col]),
+        "gap_noise": float(stds[base_col]),
+    }
+    for candidate, mean, std in zip(candidates, means, stds):
+        metrics[f"u{candidate}"] = float(mean)
+        metrics[f"u{candidate}_std"] = float(std)
+    return metrics
+
+
+@scenario(
+    family="scrip",
+    params=[
+        {"n_agents": 3, "threshold": 2, "initial_scrip": 1},
+        {"n_agents": 4, "threshold": 3, "initial_scrip": 2},
+        {"n_agents": 5, "threshold": 3, "initial_scrip": 2},
+        {"n_agents": 4, "threshold": 2, "initial_scrip": 3},
+    ],
+)
+def scrip_analytic_vs_mc(
+    n_agents: int, threshold: int, initial_scrip: int, seed: int
+) -> Dict[str, Any]:
+    """Exact Markov-chain utility vs long-horizon Monte Carlo (cross-check)."""
+    from repro.econ.markov import analytic_threshold_utility
+    from repro.econ.scrip import ScripSystem, ThresholdAgent
+
+    analysis = analytic_threshold_utility(
+        n_agents, threshold, benefit=1.0, cost=0.2, initial_scrip=initial_scrip
+    )
+    mc = ScripSystem(
+        [ThresholdAgent(threshold) for _ in range(n_agents)],
+        benefit=1.0,
+        cost=0.2,
+        initial_scrip=initial_scrip,
+    ).run(120_000, seed=seed)
+    mc_utility = float(mc.utilities.mean() / mc.rounds)
+    return {
+        "n_states": int(analysis.n_states),
+        "analytic_utility": float(analysis.expected_utility),
+        "mc_utility": mc_utility,
+        "abs_error": float(abs(analysis.expected_utility - mc_utility)),
+        "analytic_satisfaction": float(analysis.satisfaction_rate),
+        "mc_satisfaction": float(mc.satisfaction_rate),
+        "frozen": bool(analysis.frozen),
+    }
+
+
+@scenario(
+    family="scrip",
+    params={
+        "n_agents": [12, 120],
+        "composition": ["healthy", "hoarders", "altruists"],
+    },
+)
+def scrip_population_mix(
+    n_agents: int, composition: str, seed: int
+) -> Dict[str, Any]:
+    """Hoarder/altruist welfare shifts, up to 10x the classic population."""
+    from repro.econ.scrip import (
+        Altruist,
+        Hoarder,
+        ScripSystem,
+        ThresholdAgent,
+    )
+
+    n_irrational = 0 if composition == "healthy" else n_agents // 4
+    irrational = Hoarder if composition == "hoarders" else Altruist
+    agents = [
+        ThresholdAgent(4) for _ in range(n_agents - n_irrational)
+    ] + [irrational() for _ in range(n_irrational)]
+    result = ScripSystem(agents, cost=0.2).run(1_000 * n_agents, seed=seed)
+    threshold_ids = range(n_agents - n_irrational)
+    irrational_scrip = (
+        float(result.final_scrip[n_agents - n_irrational:].sum())
+        if n_irrational
+        else 0.0
+    )
+    return {
+        "threshold_mean_utility": float(result.mean_utility(threshold_ids))
+        / result.rounds,
+        "satisfaction_rate": float(result.satisfaction_rate),
+        "served_for_free": int(result.served_for_free),
+        "irrational_scrip_share": irrational_scrip
+        / max(float(result.final_scrip.sum()), 1.0),
+    }
+
+
+@scenario(
+    family="scrip",
     params={"initial_scrip": [1, 2, 3, 4, 6, 8]},
 )
 def scrip_money_supply(initial_scrip: int, seed: int) -> Dict[str, Any]:

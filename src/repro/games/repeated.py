@@ -15,6 +15,7 @@ Richer strategies that need their own past moves can track them internally.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Protocol, Sequence, Tuple
 
@@ -101,7 +102,15 @@ class RepeatedGame:
         strategy_a: RepeatedGameStrategy,
         strategy_b: RepeatedGameStrategy,
     ) -> PlayResult:
-        """Run one match and return per-round and aggregate payoffs."""
+        """Run one match and return per-round and aggregate payoffs.
+
+        Passing the same object for both seats plays it against an
+        independent deep copy of itself (the Axelrod self-play twin) —
+        otherwise stateful strategies would leak one seat's internal
+        state into the other's decisions mid-round.
+        """
+        if strategy_a is strategy_b:
+            strategy_b = copy.deepcopy(strategy_b)
         strategy_a.reset()
         strategy_b.reset()
         history_a: List[int] = []  # actions taken by A

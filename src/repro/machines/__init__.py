@@ -40,6 +40,7 @@ from repro.machines.strategies import (
     SuspiciousTitForTat,
     TitForTat,
     TitForTwoTats,
+    memory_one_spec,
     strategy_zoo,
 )
 
@@ -63,6 +64,7 @@ __all__ = [
     "grim_trigger_automaton",
     "miller_rabin_cost_model",
     "run_program",
+    "memory_one_spec",
     "strategy_zoo",
     "tit_for_tat_automaton",
     "trial_division_program",

@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 __all__ = [
+    "memory_one_spec",
     "TitForTat",
     "AlwaysCooperate",
     "AlwaysDefect",
@@ -29,10 +30,25 @@ COOPERATE = 0
 DEFECT = 1
 
 
+def memory_one_spec(strategy):
+    """The ``(initial_action, table)`` memory-one form of a strategy.
+
+    Deterministic strategies whose next action depends only on the last
+    (own, opponent) action pair carry a ``memory_one`` class attribute:
+    ``table[own][opp]`` is the follow-up action.  The batched tournament
+    engine (:mod:`repro.dynamics.tournament`) plays every such pair of
+    entrants as one array recurrence; strategies without the attribute
+    (stateful beyond one round, or randomized) return ``None`` and play
+    through the generic object path.
+    """
+    return getattr(strategy, "memory_one", None)
+
+
 class TitForTat:
     """Cooperate first; then copy the opponent's last move (Example 3.2)."""
 
     name = "tit_for_tat"
+    memory_one = (COOPERATE, ((COOPERATE, DEFECT), (COOPERATE, DEFECT)))
 
     def reset(self) -> None:
         return None
@@ -47,6 +63,7 @@ class AlwaysCooperate:
     """Unconditional cooperation."""
 
     name = "always_cooperate"
+    memory_one = (COOPERATE, ((COOPERATE, COOPERATE), (COOPERATE, COOPERATE)))
 
     def reset(self) -> None:
         return None
@@ -59,6 +76,7 @@ class AlwaysDefect:
     """Unconditional defection — the stage-game Nash strategy."""
 
     name = "always_defect"
+    memory_one = (DEFECT, ((DEFECT, DEFECT), (DEFECT, DEFECT)))
 
     def reset(self) -> None:
         return None
@@ -71,6 +89,7 @@ class GrimTrigger:
     """Cooperate until the opponent's first defection; then defect forever."""
 
     name = "grim_trigger"
+    memory_one = (COOPERATE, ((COOPERATE, DEFECT), (DEFECT, DEFECT)))
 
     def __init__(self) -> None:
         self._triggered = False
@@ -92,6 +111,7 @@ class Pavlov:
     """
 
     name = "pavlov"
+    memory_one = (COOPERATE, ((COOPERATE, DEFECT), (DEFECT, COOPERATE)))
 
     def __init__(self) -> None:
         self._last_own = COOPERATE
@@ -133,6 +153,7 @@ class SuspiciousTitForTat:
     """Defect first; then copy the opponent's last move."""
 
     name = "suspicious_tit_for_tat"
+    memory_one = (DEFECT, ((COOPERATE, DEFECT), (COOPERATE, DEFECT)))
 
     def reset(self) -> None:
         return None
@@ -163,6 +184,7 @@ class AlternatorStrategy:
     """Cooperate and defect in alternation (a simple periodic baseline)."""
 
     name = "alternator"
+    memory_one = (COOPERATE, ((DEFECT, DEFECT), (COOPERATE, COOPERATE)))
 
     def __init__(self) -> None:
         self._round = 0

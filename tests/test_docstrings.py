@@ -3,8 +3,8 @@
 CI also runs ``ruff check --select D1`` over the same packages; this
 AST-based twin keeps the guarantee inside the tier-1 suite, where it runs
 without any linter installed.  Scope matches the docs site: every public
-module, class, and function in ``repro.core``, ``repro.solvers``, and
-``repro.experiments`` must carry a docstring.
+module, class, and function in ``repro.core``, ``repro.solvers``,
+``repro.experiments``, and ``repro.econ`` must carry a docstring.
 """
 
 import ast
@@ -13,7 +13,7 @@ import pathlib
 import pytest
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
-PACKAGES = ["core", "solvers", "experiments"]
+PACKAGES = ["core", "solvers", "experiments", "econ"]
 
 
 def _public_defs_missing_docstrings(path: pathlib.Path):

@@ -1,0 +1,174 @@
+"""The scrip engines agree exactly, and the exact chain matches MC.
+
+The vectorized batch engine, the single-economy fast path, and the
+``_reference_run`` loop oracle share one randomness protocol, so on any
+population of the standard agent types they must produce *identical*
+floats — utilities included — under the same seed.  Hypothesis drives
+random mixed populations through all three.  A second set of tests pins
+the analytic Markov-chain utility (:mod:`repro.econ.markov`) against
+long-horizon Monte Carlo on small grids.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.econ.markov import analytic_threshold_utility
+from repro.econ.scrip import (
+    Altruist,
+    Hoarder,
+    ScripSystem,
+    ThresholdAgent,
+    best_response_sweep,
+    best_response_threshold,
+    run_batch,
+)
+
+
+@st.composite
+def mixed_populations(draw, min_agents=2, max_agents=6):
+    """A random population mixing threshold agents, hoarders, altruists."""
+    n = draw(st.integers(min_agents, max_agents))
+    agents = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["threshold", "hoarder", "altruist"]))
+        if kind == "threshold":
+            agents.append(ThresholdAgent(draw(st.integers(0, 6))))
+        elif kind == "hoarder":
+            agents.append(Hoarder())
+        else:
+            agents.append(Altruist())
+    return agents
+
+
+@st.composite
+def economies(draw):
+    """A random economy: population plus pricing/discount parameters."""
+    agents = draw(mixed_populations())
+    return ScripSystem(
+        agents,
+        benefit=1.0,
+        cost=draw(st.sampled_from([0.2, 0.5, 0.9])),
+        initial_scrip=draw(st.integers(0, 4)),
+        discount=draw(st.sampled_from([1.0, 0.999, 0.9])),
+    )
+
+
+def assert_results_identical(a, b):
+    """Every field of two simulation results matches exactly."""
+    np.testing.assert_array_equal(a.final_scrip, b.final_scrip)
+    np.testing.assert_array_equal(a.utilities, b.utilities)
+    assert a.requests_made == b.requests_made
+    assert a.requests_satisfied == b.requests_satisfied
+    assert a.served_for_free == b.served_for_free
+    assert a.rounds == b.rounds
+
+
+@settings(max_examples=50, deadline=None)
+@given(economies(), st.integers(0, 120), st.integers(0, 2**32 - 1))
+def test_fast_path_matches_reference(system, rounds, seed):
+    assert_results_identical(
+        system.run(rounds, seed=seed),
+        system._reference_run(rounds, seed=seed),
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(economies(), st.integers(1, 80), st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=4))
+def test_run_batch_matches_per_economy_runs(system, rounds, seeds):
+    batch = system.run_batch(rounds, seeds)
+    for b, seed in enumerate(seeds):
+        assert_results_identical(batch.result(b), system.run(rounds, seed=seed))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(mixed_populations(min_agents=3, max_agents=3), min_size=2, max_size=4),
+    st.integers(1, 60),
+    st.integers(0, 2**16),
+)
+def test_heterogeneous_batch_matches_singles(populations, rounds, base_seed):
+    seeds = [base_seed + i for i in range(len(populations))]
+    batch = run_batch(populations, rounds, seeds, cost=0.4)
+    for b, agents in enumerate(populations):
+        single = ScripSystem(agents, cost=0.4).run(rounds, seed=seeds[b])
+        assert_results_identical(batch.result(b), single)
+
+
+class TestBestResponseSeeding:
+    def test_candidates_get_distinct_seeds(self):
+        sweep = best_response_sweep([3], [1, 2, 4], n_agents=6, rounds=50)
+        assert len(set(sweep.seeds.ravel().tolist())) == 3
+
+    def test_common_random_numbers_share_one_stream(self):
+        sweep = best_response_sweep(
+            [3], [1, 2, 4], n_agents=6, rounds=50, common_random_numbers=True
+        )
+        assert len(set(sweep.seeds.ravel().tolist())) == 1
+
+    def test_replications_are_independent_streams(self):
+        sweep = best_response_sweep(
+            [3], [2], n_agents=6, rounds=50, replications=4
+        )
+        assert len(set(sweep.seeds.ravel().tolist())) == 4
+
+    def test_best_response_threshold_matches_sweep(self):
+        best, utilities = best_response_threshold(
+            4, [1, 4, 8], n_agents=8, rounds=2000, seed=3
+        )
+        sweep = best_response_sweep([4], [1, 4, 8], n_agents=8, rounds=2000, seed=3)
+        assert utilities == sweep.utility_map(4)
+        assert best == sweep.best_response(4)
+
+    def test_sweep_cell_reproduces_direct_simulation(self):
+        sweep = best_response_sweep(
+            [3], [5], n_agents=6, rounds=800, cost=0.4, seed=11
+        )
+        agents = [ThresholdAgent(5)] + [ThresholdAgent(3) for _ in range(5)]
+        direct = ScripSystem(agents, cost=0.4).run(
+            800, seed=int(sweep.seeds[0, 0, 0])
+        )
+        assert float(sweep.utilities[0, 0, 0]) == float(direct.utilities[0])
+
+
+class TestMarkovCrossValidation:
+    GRID = [(3, 2, 1), (4, 3, 2), (4, 4, 2), (5, 3, 2), (4, 2, 3)]
+
+    @pytest.mark.parametrize("n,threshold,initial", GRID)
+    def test_analytic_matches_monte_carlo(self, n, threshold, initial):
+        analysis = analytic_threshold_utility(
+            n, threshold, benefit=1.0, cost=0.2, initial_scrip=initial
+        )
+        mc = ScripSystem(
+            [ThresholdAgent(threshold) for _ in range(n)],
+            benefit=1.0,
+            cost=0.2,
+            initial_scrip=initial,
+        ).run(150_000, seed=5)
+        mc_utility = mc.utilities.mean() / mc.rounds
+        assert analysis.expected_utility == pytest.approx(mc_utility, abs=5e-3)
+        assert analysis.satisfaction_rate == pytest.approx(
+            mc.satisfaction_rate, abs=5e-3
+        )
+
+    def test_stationary_is_a_distribution(self):
+        analysis = analytic_threshold_utility(4, 3, initial_scrip=2)
+        assert analysis.stationary.sum() == pytest.approx(1.0)
+        assert analysis.stationary.min() >= 0.0
+        assert analysis.scrip_distribution.sum() == pytest.approx(1.0)
+
+    def test_frozen_economy_is_the_crash(self):
+        # Everyone starts at/above threshold: nobody ever volunteers.
+        analysis = analytic_threshold_utility(4, 2, initial_scrip=3)
+        assert analysis.frozen
+        assert analysis.n_states == 1
+        assert analysis.expected_utility == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analytic_threshold_utility(1, 2)
+        with pytest.raises(ValueError):
+            analytic_threshold_utility(3, 2, benefit=0.1, cost=0.2)
+        with pytest.raises(ValueError):
+            analytic_threshold_utility(3, -1)
