@@ -33,6 +33,7 @@ __all__ = [
     "logic",
     "machines",
     "mediators",
+    "service",
     "solvers",
 ]
 

@@ -70,7 +70,7 @@ def _print_timing(results: ResultSet) -> None:
         print(
             format_table(
                 "wall time by scenario",
-                ["scenario", "cases", "total s", "mean ms"],
+                ["scenario", "cases", "cache hits", "total s", "mean ms"],
                 rows,
             )
         )
@@ -121,6 +121,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=1,
         help="independent seeded repeats of every case (error bars)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "content-addressed result cache directory; cases already "
+            "stored there are served without recomputation"
+        ),
+    )
     parser.add_argument("--json", default=None, help="write results JSON here")
     parser.add_argument("--csv", default=None, help="write results CSV here")
     args = parser.parse_args(argv)
@@ -129,9 +137,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         _print_listing()
         return 0
 
+    store = None
+    if args.cache_dir:
+        from repro.service.store import ResultStore
+
+        store = ResultStore(args.cache_dir)
+
     try:
         if args.smoke:
-            results = smoke_cases(base_seed=args.seed)
+            results = smoke_cases(base_seed=args.seed, store=store)
         else:
             results = run_experiments(
                 scenarios=args.scenario or None,
@@ -140,6 +154,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 max_workers=args.workers,
                 limit_per_scenario=args.limit,
                 replications=args.replications,
+                store=store,
             )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -148,6 +163,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     _print_results(results)
     _print_timing(results)
     print(f"{len(results)} cases run.")
+    if store is not None:
+        print(
+            f"cache: {results.cache_hits} hits, "
+            f"{results.cache_misses} misses ({args.cache_dir})"
+        )
     if args.json:
         results.to_json(args.json)
         print(f"JSON written to {args.json}")

@@ -38,6 +38,12 @@ class ExperimentResult:
     ``replication`` distinguishes repeated runs of the same parameter
     assignment under independent seeds (see the runner's
     ``replications`` option); single-run sweeps leave it at 0.
+
+    ``cached`` marks results served from a
+    :class:`repro.service.store.ResultStore` instead of being computed
+    this run.  It is in-memory bookkeeping only — excluded from equality
+    and from :meth:`to_dict` — so a cache hit serializes byte-identically
+    to the cold computation it replays.
     """
 
     scenario: str
@@ -47,6 +53,7 @@ class ExperimentResult:
     metrics: Dict[str, Any]
     elapsed: float
     replication: int = 0
+    cached: bool = field(default=False, compare=False)
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict rendering with NumPy values coerced to JSON types."""
@@ -59,6 +66,20 @@ class ExperimentResult:
             "metrics": _jsonable(self.metrics),
             "elapsed": float(self.elapsed),
         }
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, Any], cached: bool = False) -> "ExperimentResult":
+        """Rebuild a result from its :meth:`to_dict` rendering."""
+        return cls(
+            scenario=obj["scenario"],
+            family=obj["family"],
+            params=dict(obj["params"]),
+            seed=int(obj["seed"]),
+            metrics=dict(obj["metrics"]),
+            elapsed=float(obj["elapsed"]),
+            replication=int(obj.get("replication", 0)),
+            cached=cached,
+        )
 
 
 @dataclass
@@ -97,9 +118,23 @@ class ResultSet:
         """The named metric across all cases (missing key -> None)."""
         return [r.metrics.get(key) for r in self.results]
 
+    def to_json_obj(self) -> List[Dict[str, Any]]:
+        """JSON-ready rendering: one :meth:`ExperimentResult.to_dict` per case.
+
+        The inverse of :meth:`from_json_obj`; the service's result store
+        and HTTP layer ship result sets through this pair, so it never
+        touches the filesystem.
+        """
+        return [r.to_dict() for r in self.results]
+
+    @classmethod
+    def from_json_obj(cls, obj: Iterable[Dict[str, Any]]) -> "ResultSet":
+        """Rebuild a result set from a :meth:`to_json_obj` rendering."""
+        return cls([ExperimentResult.from_dict(row) for row in obj])
+
     def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
         """Serialize to JSON; also writes ``path`` when given."""
-        text = json.dumps([r.to_dict() for r in self.results], indent=indent)
+        text = json.dumps(self.to_json_obj(), indent=indent)
         if path is not None:
             with open(path, "w", encoding="utf-8") as handle:
                 handle.write(text + "\n")
@@ -139,25 +174,39 @@ class ResultSet:
                 handle.write(text)
         return text
 
+    @property
+    def cache_hits(self) -> int:
+        """Number of cases served from a result store this run."""
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        """Number of cases actually computed this run."""
+        return sum(1 for r in self.results if not r.cached)
+
     def timing_summary(self) -> List[List[Any]]:
-        """Per-scenario wall-time rows: cases, total and mean seconds.
+        """Per-scenario wall-time rows: cases, cache hits, total/mean seconds.
 
         Ordered by first appearance, so CLI output lines up with the
-        per-scenario result tables above it.
+        per-scenario result tables above it.  The ``hits`` column counts
+        cases served from a result store; their recorded ``elapsed`` is
+        the original computation's, so totals stay comparable across
+        cold and warm runs.
         """
         order: List[str] = []
-        grouped: Dict[str, List[float]] = {}
+        grouped: Dict[str, List[ExperimentResult]] = {}
         for r in self.results:
             if r.scenario not in grouped:
                 grouped[r.scenario] = []
                 order.append(r.scenario)
-            grouped[r.scenario].append(r.elapsed)
+            grouped[r.scenario].append(r)
         return [
             [
                 name,
                 len(grouped[name]),
-                f"{sum(grouped[name]):.3f}",
-                f"{1000.0 * sum(grouped[name]) / len(grouped[name]):.1f}",
+                sum(1 for r in grouped[name] if r.cached),
+                f"{sum(r.elapsed for r in grouped[name]):.3f}",
+                f"{1000.0 * sum(r.elapsed for r in grouped[name]) / len(grouped[name]):.1f}",
             ]
             for name in order
         ]

@@ -197,6 +197,42 @@ class NormalFormGame:
         return cls(tensor, **kwargs)
 
     # ------------------------------------------------------------------
+    # JSON round-trip (the wire format of the repro.service HTTP layer)
+    # ------------------------------------------------------------------
+
+    def to_json_obj(self) -> dict:
+        """JSON-ready rendering: payoff tensor as nested lists plus labels.
+
+        The inverse of :meth:`from_json_obj`.  The service layer
+        (:mod:`repro.service`) ships games over HTTP through this pair,
+        so it uses only JSON-native types.
+        """
+        return {
+            "payoffs": self.payoffs.tolist(),
+            "players": list(self.players),
+            "action_labels": [list(labels) for labels in self.action_labels],
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_json_obj(cls, obj: dict) -> "NormalFormGame":
+        """Rebuild a game from its :meth:`to_json_obj` rendering.
+
+        Only ``payoffs`` is required, so hand-written payloads (e.g. a
+        ``/solve`` HTTP request carrying a bare bimatrix tensor) work
+        unchanged; names and labels fall back to the constructor
+        defaults.
+        """
+        if "payoffs" not in obj:
+            raise ValueError("game JSON object needs a 'payoffs' tensor")
+        return cls(
+            np.asarray(obj["payoffs"], dtype=float),
+            players=obj.get("players"),
+            action_labels=obj.get("action_labels"),
+            name=obj.get("name", ""),
+        )
+
+    # ------------------------------------------------------------------
     # Payoff evaluation
     # ------------------------------------------------------------------
 

@@ -1,0 +1,48 @@
+"""Serving layer: content-addressed result cache + experiment/solver API.
+
+PR 2 made every experiment case a pure function of
+``(scenario, params, base_seed, replication)``; this package exploits
+that purity to turn the batch reproduction into a queryable system:
+
+* :mod:`repro.service.store` — :class:`~repro.service.store.ResultStore`,
+  a content-addressed result cache (sha256 keys over canonical JSON,
+  disk blobs behind an in-process LRU, atomic temp-file/rename writes).
+* :mod:`repro.service.jobs` — :class:`~repro.service.jobs.JobManager`,
+  asynchronous sweep jobs with single-flight dedup of identical
+  in-flight requests and a persistent process pool for the misses.
+* :mod:`repro.service.app` — a stdlib ``ThreadingHTTPServer`` JSON API
+  (scenarios, sweep submit/poll/fetch, cached-blob fetch by key, and a
+  synchronous ``/v1/solve`` for small normal-form games).
+* :mod:`repro.service.client` — a urllib
+  :class:`~repro.service.client.ServiceClient` mirroring the endpoints.
+* :mod:`repro.service.solve` — the JSON game-solving dispatch shared by
+  the server and any embedding caller.
+
+``python -m repro.service`` drives it from the shell::
+
+    python -m repro.service serve --port 8642 --cache-dir .repro-cache
+    python -m repro.service submit --family robustness --wait
+    python -m repro.service status job-1
+    python -m repro.service fetch <sha256-key>
+"""
+
+from repro.service.app import make_server, serve_forever, start_server
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import Job, JobManager, SweepRequest
+from repro.service.solve import solve_request
+from repro.service.store import ResultStore, canonical_json, result_key
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceError",
+    "SweepRequest",
+    "canonical_json",
+    "make_server",
+    "result_key",
+    "serve_forever",
+    "solve_request",
+    "start_server",
+]

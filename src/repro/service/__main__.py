@@ -1,0 +1,220 @@
+"""Command-line entry point: ``python -m repro.service``.
+
+Subcommands::
+
+    serve    run the HTTP server (blocking)
+    submit   submit a sweep to a running server, optionally wait for it
+    status   print one job's status (or all jobs)
+    fetch    print one cached result blob by content-address key
+    solve    solve a small classic game synchronously
+
+Examples::
+
+    python -m repro.service serve --port 8642 --cache-dir .repro-cache
+    python -m repro.service submit --family robustness --wait
+    python -m repro.service submit --smoke --wait --require-cached
+    python -m repro.service status job-1
+    python -m repro.service solve --classic matching_pennies --method zerosum
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.experiments.results import format_table
+from repro.service.app import serve_forever
+from repro.service.client import ServiceClient
+
+
+def _add_url(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--url`` option of the client subcommands."""
+    parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8642",
+        help="server base URL (default: http://127.0.0.1:8642)",
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the blocking HTTP server."""
+    serve_forever(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        max_workers=args.workers,
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a sweep; optionally wait and print the results table."""
+    client = ServiceClient(args.url)
+    client.wait_until_up(timeout=args.connect_timeout)
+    submitted = client.submit_sweep(
+        scenarios=args.scenario or None,
+        families=args.family or None,
+        smoke=args.smoke,
+        base_seed=args.seed,
+        limit_per_scenario=args.limit,
+        replications=args.replications,
+    )
+    print(json.dumps(submitted, indent=2))
+    if not args.wait:
+        return 0
+    status = client.wait_for_job(submitted["job_id"], timeout=args.timeout)
+    print(json.dumps(status, indent=2))
+    if status["status"] != "done":
+        return 1
+    _job, results = client.results(status["job_id"])
+    print(
+        format_table(
+            "wall time by scenario",
+            ["scenario", "cases", "cache hits", "total s", "mean ms"],
+            results.timing_summary(),
+        )
+    )
+    print(
+        f"{len(results)} cases: {status['cache_hits']} cache hits, "
+        f"{status['cache_misses']} misses."
+    )
+    if args.json:
+        results.to_json(args.json)
+        print(f"JSON written to {args.json}")
+    if args.require_cached and status["cache_misses"] > 0:
+        print(
+            f"error: expected a full cache hit but {status['cache_misses']} "
+            "cases were recomputed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """Print one job's status payload, or every job's."""
+    client = ServiceClient(args.url)
+    if args.job_id:
+        print(json.dumps(client.job(args.job_id), indent=2))
+    else:
+        print(json.dumps(client.jobs(), indent=2))
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    """Print one cached blob verbatim by its content-address key."""
+    client = ServiceClient(args.url)
+    sys.stdout.write(client.fetch_bytes(args.key).decode("utf-8"))
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    """Solve one small game synchronously and print the solution JSON."""
+    client = ServiceClient(args.url)
+    body = {"method": args.method}
+    if args.classic:
+        body["classic"] = args.classic
+        if args.n_players is not None:
+            body["n_players"] = args.n_players
+    else:
+        with open(args.game_json, encoding="utf-8") as handle:
+            body["game"] = json.load(handle)
+    if args.iterations is not None:
+        body["iterations"] = args.iterations
+    print(json.dumps(client.solve(**body), indent=2))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and dispatch to the chosen subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve and query experiment sweeps and solvers.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the HTTP server (blocking)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed result cache directory (recommended)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for sweep cases (default: in-thread)",
+    )
+    serve.set_defaults(fn=_cmd_serve)
+
+    submit = sub.add_parser("submit", help="submit a sweep to a server")
+    _add_url(submit)
+    submit.add_argument("--scenario", action="append", default=[])
+    submit.add_argument("--family", action="append", default=[])
+    submit.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one representative case per family",
+    )
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--limit", type=int, default=None)
+    submit.add_argument("--replications", type=int, default=1)
+    submit.add_argument(
+        "--wait", action="store_true", help="poll until done and print results"
+    )
+    submit.add_argument("--timeout", type=float, default=600.0)
+    submit.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=15.0,
+        help="seconds to wait for the server to come up",
+    )
+    submit.add_argument("--json", default=None, help="write results JSON here")
+    submit.add_argument(
+        "--require-cached",
+        action="store_true",
+        help="exit nonzero unless every case was a cache hit (CI gate)",
+    )
+    submit.set_defaults(fn=_cmd_submit)
+
+    status = sub.add_parser("status", help="print job status")
+    _add_url(status)
+    status.add_argument("job_id", nargs="?", default=None)
+    status.set_defaults(fn=_cmd_status)
+
+    fetch = sub.add_parser("fetch", help="print one cached blob by key")
+    _add_url(fetch)
+    fetch.add_argument("key")
+    fetch.set_defaults(fn=_cmd_fetch)
+
+    solve = sub.add_parser("solve", help="solve a small game synchronously")
+    _add_url(solve)
+    solve.add_argument("--classic", default=None, help="classic game name")
+    solve.add_argument(
+        "--game-json", default=None, help="path to a game JSON file"
+    )
+    solve.add_argument(
+        "--method",
+        default="pure",
+        choices=["pure", "zerosum", "fictitious_play"],
+    )
+    solve.add_argument("--n-players", type=int, default=None)
+    solve.add_argument("--iterations", type=int, default=None)
+    solve.set_defaults(fn=_cmd_solve)
+
+    args = parser.parse_args(argv)
+    if args.command == "solve" and not args.classic and not args.game_json:
+        parser.error("solve needs --classic or --game-json")
+    if args.command == "submit" and args.require_cached and not args.wait:
+        # Without --wait the hit/miss counts are never checked; a CI
+        # gate that silently passes cold runs is worse than an error.
+        parser.error("--require-cached needs --wait")
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,335 @@
+"""Stdlib HTTP JSON API over the job manager and result store.
+
+A ``ThreadingHTTPServer`` (one thread per connection, no dependencies
+beyond the standard library) exposing:
+
+====== =========================== ==========================================
+Method Path                        Meaning
+====== =========================== ==========================================
+GET    ``/v1/health``              liveness + store/job-manager counters
+GET    ``/v1/scenarios``           the scenario registry listing
+POST   ``/v1/sweeps``              submit a sweep; returns the job id
+GET    ``/v1/jobs``                all jobs, oldest first
+GET    ``/v1/jobs/<id>``           one job's status/progress payload
+GET    ``/v1/jobs/<id>/results``   finished job's results (409 until done)
+GET    ``/v1/results/<key>``       one cached blob, verbatim on-disk bytes
+POST   ``/v1/solve``               synchronous small-game solving
+====== =========================== ==========================================
+
+Sweep submission replies immediately (HTTP 202) with the job id; heavy
+work happens on the manager's worker threads and process pool.  The
+``/v1/results/<key>`` fetch serves the store's file bytes unmodified, so
+a warm client read is byte-identical to what the cold computation wrote.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.experiments.results import format_table
+from repro.service.jobs import JobManager, SweepRequest, TooManyJobsError
+from repro.service.solve import solve_request
+from repro.service.store import ResultStore
+
+__all__ = ["ApiError", "make_server", "start_server", "serve_forever"]
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ApiError(Exception):
+    """An HTTP-visible request failure: status code plus message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound (via ``make_server``) to one JobManager."""
+
+    manager: JobManager = None  # type: ignore[assignment]
+    quiet: bool = True
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request stderr logging unless ``quiet`` is off."""
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        """Write one JSON response with correct framing headers."""
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        self._send_bytes(status, body, "application/json")
+
+    def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
+        """Write raw response bytes (used verbatim for store blobs)."""
+        self._drain_request_body()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _request_body_length(self) -> int:
+        """Declared request body length (chunked encoding forces close)."""
+        if self.headers.get("Transfer-Encoding"):
+            self.close_connection = True
+            return 0
+        try:
+            return int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self.close_connection = True
+            return 0
+
+    def _drain_request_body(self) -> None:
+        """Consume any unread request body before responding.
+
+        This connection speaks keep-alive HTTP/1.1: if a request errors
+        before its body was read (unknown route, malformed fields), the
+        unread bytes would otherwise be parsed as the *next* request
+        line, desyncing every later exchange on the socket.  Oversized
+        bodies aren't worth reading — close the connection instead.
+        """
+        length = self._request_body_length()
+        remaining = length - self._body_consumed
+        if remaining <= 0:
+            return
+        if length > _MAX_BODY_BYTES:
+            self.close_connection = True
+            return
+        self.rfile.read(remaining)
+        self._body_consumed = length
+
+    def _read_json_body(self) -> Dict[str, Any]:
+        """Parse the request body as a JSON object (ApiError on garbage)."""
+        length = self._request_body_length()
+        if length > _MAX_BODY_BYTES:
+            raise ApiError(413, "request body too large")
+        raw = self.rfile.read(length) if length else b""
+        self._body_consumed = length
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw)
+        except ValueError as exc:
+            raise ApiError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(body, dict):
+            raise ApiError(400, "JSON body must be an object")
+        return body
+
+    def _dispatch(self, method: str) -> None:
+        """Route one request; uniform JSON error envelope on failure."""
+        self._body_consumed = 0
+        try:
+            handler, args = self._route(method)
+            handler(*args)
+        except ApiError as exc:
+            self._send_json(exc.status, {"error": exc.message})
+        except TooManyJobsError as exc:
+            self._send_json(503, {"error": str(exc)})
+        except (KeyError, ValueError) as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            status = 404 if isinstance(exc, KeyError) else 400
+            self._send_json(status, {"error": str(message)})
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _route(self, method: str) -> Tuple[Any, tuple]:
+        """Resolve (handler, args) for the request path."""
+        path = self.path.split("?", 1)[0].rstrip("/")
+        parts = [p for p in path.split("/") if p]
+        if method == "GET":
+            if parts == ["v1", "health"]:
+                return self._get_health, ()
+            if parts == ["v1", "scenarios"]:
+                return self._get_scenarios, ()
+            if parts == ["v1", "jobs"]:
+                return self._get_jobs, ()
+            if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                return self._get_job, (parts[2],)
+            if (
+                len(parts) == 4
+                and parts[:2] == ["v1", "jobs"]
+                and parts[3] == "results"
+            ):
+                return self._get_job_results, (parts[2],)
+            if len(parts) == 3 and parts[:2] == ["v1", "results"]:
+                return self._get_result_blob, (parts[2],)
+        if method == "POST":
+            if parts == ["v1", "sweeps"]:
+                return self._post_sweep, ()
+            if parts == ["v1", "solve"]:
+                return self._post_solve, ()
+        raise ApiError(404, f"no route for {method} {self.path}")
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        """Serve one GET request."""
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        """Serve one POST request."""
+        self._dispatch("POST")
+
+    # -- endpoints -----------------------------------------------------
+
+    def _get_health(self) -> None:
+        """Liveness plus store and manager counters."""
+        store = self.manager.store
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "store": None if store is None else store.stats(),
+                "manager": self.manager.stats(),
+            },
+        )
+
+    def _get_scenarios(self) -> None:
+        """The scenario registry listing."""
+        self._send_json(200, {"scenarios": self.manager.scenario_listing()})
+
+    def _get_jobs(self) -> None:
+        """Status payloads for every job, oldest first."""
+        self._send_json(
+            200, {"jobs": [job.to_json_obj() for job in self.manager.jobs()]}
+        )
+
+    def _get_job(self, job_id: str) -> None:
+        """One job's status payload."""
+        self._send_json(200, self.manager.get(job_id).to_json_obj())
+
+    def _get_job_results(self, job_id: str) -> None:
+        """A finished job's results (409 while running, 500-ish on error)."""
+        job = self.manager.get(job_id)
+        if job.status in ("queued", "running"):
+            raise ApiError(409, f"job {job_id} is {job.status}; poll until done")
+        if job.status == "error" or job.results is None:
+            raise ApiError(502, f"job {job_id} failed: {job.error}")
+        # ``cached`` is transport metadata, not part of the result rows
+        # (rows must serialize byte-identically warm or cold), so it
+        # rides alongside as a parallel array.
+        self._send_json(
+            200,
+            {
+                "job": job.to_json_obj(),
+                "results": job.results.to_json_obj(),
+                "cached": [r.cached for r in job.results],
+            },
+        )
+
+    def _get_result_blob(self, key: str) -> None:
+        """One cached case, served as its verbatim on-disk bytes."""
+        store = self.manager.store
+        if store is None:
+            raise ApiError(404, "server is running without a result store")
+        try:
+            data = store.get_bytes(key)
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from None
+        if data is None:
+            raise ApiError(404, f"no cached result under key {key}")
+        self._send_bytes(200, data, "application/json")
+
+    def _post_sweep(self) -> None:
+        """Submit (or single-flight join) a sweep; 202 with the job id."""
+        body = self._read_json_body()
+        request = SweepRequest.from_json_obj(body)
+        job = self.manager.submit(request)
+        self._send_json(
+            202,
+            {
+                "job_id": job.job_id,
+                "status": job.status,
+                "submissions": job.submissions,
+            },
+        )
+
+    def _post_solve(self) -> None:
+        """Synchronously solve one small normal-form game."""
+        self._send_json(200, solve_request(self._read_json_body()))
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    manager: Optional[JobManager] = None,
+    store: Optional[ResultStore] = None,
+    max_workers: Optional[int] = None,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """Build (but don't start) the HTTP server.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address`` — which is what the tests and the
+    in-process quickstart use.  A fresh :class:`JobManager` is created
+    from ``store``/``max_workers`` unless one is passed in.
+    """
+    if manager is None:
+        manager = JobManager(store=store, max_workers=max_workers)
+
+    class BoundHandler(_Handler):
+        """The handler class closed over this server's manager."""
+
+    BoundHandler.manager = manager
+    BoundHandler.quiet = quiet
+    server = ThreadingHTTPServer((host, port), BoundHandler)
+    server.daemon_threads = True
+    server.manager = manager  # type: ignore[attr-defined]
+    return server
+
+
+def start_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **kwargs,
+) -> Tuple[ThreadingHTTPServer, threading.Thread]:
+    """Start the server on a background thread; returns (server, thread).
+
+    The embedding entry point: examples and tests run the whole service
+    in-process and talk to ``http://host:port`` like any remote client.
+    Shut down with ``server.shutdown()`` then ``server.server_close()``.
+    """
+    server = make_server(host=host, port=port, **kwargs)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+def serve_forever(
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    cache_dir: Optional[str] = None,
+    max_workers: Optional[int] = None,
+    quiet: bool = False,
+) -> None:
+    """Blocking entry point behind ``python -m repro.service serve``."""
+    store = None if cache_dir is None else ResultStore(cache_dir)
+    server = make_server(
+        host=host,
+        port=port,
+        store=store,
+        max_workers=max_workers,
+        quiet=quiet,
+    )
+    actual_host, actual_port = server.server_address[:2]
+    rows = [
+        ["url", f"http://{actual_host}:{actual_port}"],
+        ["cache_dir", cache_dir or "<none: recompute every case>"],
+        ["max_workers", max_workers or 1],
+    ]
+    print(format_table("repro.service", ["setting", "value"], rows))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        manager: JobManager = server.manager  # type: ignore[attr-defined]
+        manager.shutdown()

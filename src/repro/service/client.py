@@ -1,0 +1,184 @@
+"""HTTP client for the service API (urllib only, no dependencies).
+
+:class:`ServiceClient` wraps the JSON endpoints of
+:mod:`repro.service.app` behind typed helpers; server-side failures
+surface as :class:`ServiceError` carrying the HTTP status and the
+server's error message.  Sweeps come back as real
+:class:`~repro.experiments.results.ResultSet` objects, so everything
+downstream of the runner (tables, CSV/JSON emit, metric extraction)
+works identically on remote results.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.results import ResultSet
+from repro.service.jobs import SweepRequest
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(Exception):
+    """A failed API call: HTTP status plus the server's error message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Typed access to one running service instance.
+
+    Parameters
+    ----------
+    base_url:
+        Server root, e.g. ``http://127.0.0.1:8642`` (trailing slash ok).
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request_bytes(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> bytes:
+        """One HTTP exchange; raises :class:`ServiceError` on 4xx/5xx."""
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = json.loads(raw).get("error", raw.decode("utf-8"))
+            except ValueError:
+                message = raw.decode("utf-8", "replace")
+            raise ServiceError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {self.base_url}: {exc.reason}") from None
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        """One JSON exchange (decoded response payload)."""
+        return json.loads(self._request_bytes(method, path, body))
+
+    # -- endpoints -----------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /v1/health`` payload."""
+        return self._request("GET", "/v1/health")
+
+    def wait_until_up(self, timeout: float = 10.0, poll: float = 0.1) -> Dict[str, Any]:
+        """Poll health until the server answers (for freshly spawned servers)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except ServiceError as exc:
+                if exc.status != 0 or time.monotonic() >= deadline:
+                    raise
+            time.sleep(poll)
+
+    def scenarios(self) -> List[Dict[str, Any]]:
+        """The server's scenario registry listing."""
+        return self._request("GET", "/v1/scenarios")["scenarios"]
+
+    def submit_sweep(
+        self,
+        scenarios: Optional[Sequence[str]] = None,
+        families: Optional[Sequence[str]] = None,
+        smoke: bool = False,
+        base_seed: int = 0,
+        limit_per_scenario: Optional[int] = None,
+        replications: int = 1,
+    ) -> Dict[str, Any]:
+        """``POST /v1/sweeps``; returns ``{job_id, status, submissions}``."""
+        request = SweepRequest(
+            scenarios=tuple(scenarios or ()),
+            families=tuple(families or ()),
+            smoke=smoke,
+            base_seed=base_seed,
+            limit_per_scenario=limit_per_scenario,
+            replications=replications,
+        )
+        return self._request("POST", "/v1/sweeps", request.to_json_obj())
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """One job's status payload."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """Every job's status payload, oldest first."""
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def wait_for_job(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll until the job leaves queued/running; returns final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["status"] not in ("queued", "running"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['status']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def results(self, job_id: str) -> Tuple[Dict[str, Any], ResultSet]:
+        """A finished job's (status, ResultSet) pair.
+
+        The server ships per-row cache provenance as a parallel array
+        (it is transport metadata, never serialized inside the rows);
+        it is folded back into ``ExperimentResult.cached`` here.
+        """
+        payload = self._request("GET", f"/v1/jobs/{job_id}/results")
+        results = ResultSet.from_json_obj(payload["results"])
+        for result, cached in zip(results, payload.get("cached", ())):
+            result.cached = bool(cached)
+        return payload["job"], results
+
+    def run_sweep(self, timeout: float = 300.0, **kwargs) -> Tuple[Dict[str, Any], ResultSet]:
+        """Submit, wait, and fetch in one call (the quickstart path)."""
+        submitted = self.submit_sweep(**kwargs)
+        status = self.wait_for_job(submitted["job_id"], timeout=timeout)
+        if status["status"] != "done":
+            raise ServiceError(502, f"job failed: {status['error']}")
+        return self.results(status["job_id"])
+
+    def fetch_bytes(self, key: str) -> bytes:
+        """Verbatim cached blob bytes for one content-address key."""
+        return self._request_bytes("GET", f"/v1/results/{key}")
+
+    def fetch(self, key: str) -> Dict[str, Any]:
+        """Decoded cached blob for one content-address key."""
+        return json.loads(self.fetch_bytes(key))
+
+    def solve(self, **body) -> Dict[str, Any]:
+        """``POST /v1/solve`` with the given request fields.
+
+        Examples::
+
+            client.solve(classic="matching_pennies", method="zerosum")
+            client.solve(game=game.to_json_obj(), method="pure")
+        """
+        return self._request("POST", "/v1/solve", body)

@@ -1,0 +1,153 @@
+"""Synchronous game solving for the HTTP ``/v1/solve`` endpoint.
+
+Small normal-form games round-trip as JSON
+(:meth:`repro.games.normal_form.NormalFormGame.to_json_obj`) and are
+solved inline by the existing vectorized solvers — pure-equilibrium
+enumeration, the zero-sum LP, and two-player fictitious play.  Requests
+either carry an explicit payoff tensor or name one of the paper's
+classic games; responses are flat JSON with mixed strategies as plain
+lists.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+from repro.games import classics
+from repro.games.normal_form import NormalFormGame
+from repro.solvers import fictitious_play, pure_equilibria, zero_sum_equilibrium
+
+__all__ = ["CLASSIC_GAMES", "game_from_request", "solve_request"]
+
+#: Named zero-argument game factories a request may refer to by name.
+CLASSIC_GAMES: Dict[str, Callable[[], NormalFormGame]] = {
+    "prisoners_dilemma": classics.prisoners_dilemma,
+    "matching_pennies": classics.matching_pennies,
+    "roshambo": classics.roshambo,
+    "stag_hunt": classics.stag_hunt,
+    "chicken": classics.chicken,
+    "battle_of_the_sexes": classics.battle_of_the_sexes,
+}
+
+#: Parameterized classics taking one ``n_players`` argument.
+SIZED_CLASSIC_GAMES: Dict[str, Callable[[int], NormalFormGame]] = {
+    "coordination_01_game": classics.coordination_01_game,
+    "bargaining_game": classics.bargaining_game,
+}
+
+_MAX_PROFILES = 1_000_000
+_MAX_CLASSIC_PLAYERS = 16
+
+
+def game_from_request(body: Dict[str, Any]) -> NormalFormGame:
+    """Materialize the game a solve request describes.
+
+    ``{"game": {...}}`` is an explicit :meth:`NormalFormGame.to_json_obj`
+    payload; ``{"classic": "matching_pennies"}`` names a factory from
+    :data:`CLASSIC_GAMES` (sized classics additionally take
+    ``"n_players"``).  Profile count is capped — the endpoint is for
+    *small* games; sweeps belong in jobs.
+    """
+    if ("game" in body) == ("classic" in body):
+        raise ValueError("request needs exactly one of 'game' or 'classic'")
+    if "game" in body:
+        game = NormalFormGame.from_json_obj(body["game"])
+    else:
+        name = body["classic"]
+        if name in CLASSIC_GAMES:
+            game = CLASSIC_GAMES[name]()
+        elif name in SIZED_CLASSIC_GAMES:
+            n_players = int(body.get("n_players", 2))
+            # Checked BEFORE the factory runs: the payoff tensor is
+            # exponential in n_players, so a large request must be
+            # rejected without ever materializing it.
+            if not 2 <= n_players <= _MAX_CLASSIC_PLAYERS:
+                raise ValueError(
+                    f"n_players must be in [2, {_MAX_CLASSIC_PLAYERS}]"
+                )
+            game = SIZED_CLASSIC_GAMES[name](n_players)
+        else:
+            known = sorted(CLASSIC_GAMES) + sorted(SIZED_CLASSIC_GAMES)
+            raise ValueError(
+                f"unknown classic {name!r}; known: {', '.join(known)}"
+            )
+    profiles = 1
+    for m in game.num_actions:
+        profiles *= m
+    if profiles > _MAX_PROFILES:
+        raise ValueError(
+            f"game has {profiles} pure profiles; /solve caps at "
+            f"{_MAX_PROFILES} — submit a sweep instead"
+        )
+    return game
+
+
+def _solve_pure(game: NormalFormGame, body: Dict[str, Any]) -> Dict[str, Any]:
+    """All pure Nash equilibria (vectorized enumeration)."""
+    equilibria = pure_equilibria(game)
+    return {
+        "equilibria": [list(profile) for profile in equilibria],
+        "count": len(equilibria),
+    }
+
+
+def _solve_zerosum(game: NormalFormGame, body: Dict[str, Any]) -> Dict[str, Any]:
+    """Minimax strategies and value of a 2-player zero-sum game (LP)."""
+    profile, value = zero_sum_equilibrium(game)
+    return {
+        "value": value,
+        "strategies": [vec.tolist() for vec in profile],
+    }
+
+
+def _solve_fictitious_play(
+    game: NormalFormGame, body: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Empirical mixture after ``iterations`` of fictitious play."""
+    iterations = int(body.get("iterations", 1000))
+    if not 1 <= iterations <= 1_000_000:
+        raise ValueError("iterations must be in [1, 1000000]")
+    tie_break = body.get("tie_break", "first")
+    rng = np.random.default_rng(int(body.get("seed", 0)))
+    result = fictitious_play(
+        game, iterations=iterations, rng=rng, tie_break=tie_break
+    )
+    return {
+        "empirical": [vec.tolist() for vec in result.empirical],
+        "iterations": result.iterations,
+        "regret": result.regret,
+        "last_actions": list(result.last_actions),
+    }
+
+
+_METHODS = {
+    "pure": _solve_pure,
+    "zerosum": _solve_zerosum,
+    "fictitious_play": _solve_fictitious_play,
+}
+
+
+def solve_request(body: Dict[str, Any]) -> Dict[str, Any]:
+    """Dispatch one ``/v1/solve`` body to a solver; returns the response.
+
+    The response echoes the method and the game's identity (name, shape)
+    next to the method-specific solution fields.
+    """
+    method = body.get("method", "pure")
+    if method not in _METHODS:
+        raise ValueError(
+            f"unknown method {method!r}; known: {', '.join(sorted(_METHODS))}"
+        )
+    game = game_from_request(body)
+    solution = _METHODS[method](game, body)
+    return {
+        "method": method,
+        "game": {
+            "name": game.name,
+            "n_players": game.n_players,
+            "num_actions": list(game.num_actions),
+        },
+        **solution,
+    }

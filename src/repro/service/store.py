@@ -1,0 +1,262 @@
+"""Content-addressed result store: sha256 keys, disk blobs, in-process LRU.
+
+Since PR 2 every experiment case is a pure function of
+``(scenario, params, base_seed, replication)`` — the per-case seed is
+itself derived from those inputs by sha256 — so a finished result can be
+cached under a content address and replayed byte-identically forever.
+:func:`result_key` is that address: sha256 over a canonical-JSON
+rendering of the inputs plus ``code_version``, so bumping the package
+version naturally invalidates every cached cell.
+
+:class:`ResultStore` keeps blobs as canonical JSON files under a cache
+directory (sharded by key prefix) with an in-process LRU in front.
+Writes go through a temp file in the destination directory followed by
+``os.replace``, which is atomic on POSIX and Windows — concurrent
+writers of the same key can interleave freely and readers always see a
+complete blob (one writer's value, never a torn mix).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Iterator, Optional
+
+import repro
+
+__all__ = ["canonical_json", "result_key", "ResultStore"]
+
+
+def canonical_json(obj: Any) -> str:
+    """Render ``obj`` as canonical JSON: sorted keys, compact separators.
+
+    The byte-stable rendering used both for key derivation and for the
+    on-disk blobs, so "the cached fetch is byte-identical to a cold
+    recompute" holds at the file level, not just semantically.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def result_key(
+    scenario: str,
+    params: Dict[str, Any],
+    base_seed: int,
+    replication: int = 0,
+    code_version: Optional[str] = None,
+) -> str:
+    """Content address of one experiment case (sha256 hex digest).
+
+    Hashes the canonical JSON of
+    ``[scenario, params, base_seed, replication, code_version]``; the
+    version defaults to ``repro.__version__`` so results computed by a
+    different release never alias.
+    """
+    if code_version is None:
+        code_version = repro.__version__
+    payload = canonical_json(
+        [scenario, params, int(base_seed), int(replication), code_version]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Disk-backed, LRU-fronted store of JSON result blobs by content key.
+
+    Parameters
+    ----------
+    cache_dir:
+        Root directory for the blob files (created on demand).  Blobs
+        live at ``<cache_dir>/<key[:2]>/<key>.json`` so no single
+        directory accumulates millions of entries.
+    max_memory_entries:
+        LRU capacity; 0 disables the in-process layer entirely.
+    code_version:
+        Version string mixed into every key (defaults to
+        ``repro.__version__``).
+
+    The store is thread-safe: the LRU is guarded by a lock and disk
+    writes are atomic renames, so the experiment runner's workers, the
+    job manager's threads, and concurrent server processes sharing one
+    cache directory all compose.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str,
+        max_memory_entries: int = 4096,
+        code_version: Optional[str] = None,
+    ) -> None:
+        self.cache_dir = os.fspath(cache_dir)
+        self.max_memory_entries = int(max_memory_entries)
+        self.code_version = (
+            repro.__version__ if code_version is None else code_version
+        )
+        self._memory: "OrderedDict[str, str]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._disk_count: Optional[int] = None
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    # -- key and path derivation --------------------------------------
+
+    def key_for(
+        self,
+        scenario: str,
+        params: Dict[str, Any],
+        base_seed: int,
+        replication: int = 0,
+    ) -> str:
+        """Content address of one case under this store's code version."""
+        return result_key(
+            scenario, params, base_seed, replication, self.code_version
+        )
+
+    def path_for(self, key: str) -> str:
+        """Filesystem path of the blob for ``key`` (whether or not it exists)."""
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed store key: {key!r}")
+        return os.path.join(self.cache_dir, key[:2], f"{key}.json")
+
+    # -- blob access ---------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """The blob stored under ``key``, or ``None`` (counts hit/miss).
+
+        Every call returns a *fresh* parse: the LRU holds canonical JSON
+        text, never live objects, so a caller mutating a returned blob
+        (or the dict it passed to :meth:`put`) can never corrupt what
+        later readers see.
+        """
+        with self._lock:
+            text = self._memory.get(key)
+            if text is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+        if text is not None:
+            return json.loads(text)
+        try:
+            with open(self.path_for(key), encoding="utf-8") as handle:
+                text = handle.read()
+            blob = json.loads(text)
+        except (OSError, ValueError):
+            with self._lock:
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+            self._remember(key, text)
+        return blob
+
+    def get_bytes(self, key: str) -> Optional[bytes]:
+        """The raw on-disk bytes for ``key`` (what HTTP fetch serves).
+
+        Bypasses the LRU so the response is verbatim file content; a
+        memory-only entry (possible only with a racing eviction of the
+        file, which the store itself never does) falls back to
+        re-rendering the blob canonically — the same bytes :meth:`put`
+        wrote.
+        """
+        try:
+            with open(self.path_for(key), "rb") as handle:
+                return handle.read()
+        except OSError:
+            blob = self.get(key)
+            if blob is None:
+                return None
+            return (canonical_json(blob) + "\n").encode("utf-8")
+
+    def put(self, key: str, blob: Any) -> str:
+        """Store ``blob`` under ``key`` atomically; returns the blob path.
+
+        The blob is written as canonical JSON to a temp file in the
+        destination directory and moved into place with ``os.replace``,
+        so concurrent writers are safe and readers never observe a
+        partial file.
+        """
+        path = self.path_for(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        text = canonical_json(blob) + "\n"
+        existed = os.path.exists(path)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(text.encode("utf-8"))
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            self.puts += 1
+            if self._disk_count is not None and not existed:
+                self._disk_count += 1
+            self._remember(key, text)
+        return path
+
+    def _remember(self, key: str, text: str) -> None:
+        """Insert canonical JSON text into the LRU, evicting past capacity.
+
+        Text, not objects: memory hits re-parse, so cached state is
+        immune to caller-side mutation of returned/stored blobs.
+        """
+        if self.max_memory_entries <= 0:
+            return
+        self._memory[key] = text
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    # -- introspection -------------------------------------------------
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over every key currently persisted on disk."""
+        if not os.path.isdir(self.cache_dir):
+            return
+        for shard in sorted(os.listdir(self.cache_dir)):
+            shard_dir = os.path.join(self.cache_dir, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for entry in sorted(os.listdir(shard_dir)):
+                if entry.endswith(".json"):
+                    yield entry[: -len(".json")]
+
+    def __len__(self) -> int:
+        """Number of blobs persisted on disk."""
+        return sum(1 for _ in self.keys())
+
+    def stats(self) -> Dict[str, Any]:
+        """Hit/miss/put counters plus sizes (the health endpoint payload).
+
+        ``disk_entries`` is a maintained counter: the full directory
+        walk runs once (outside the lock, on the first call) and is
+        then kept current by :meth:`put` — a health probe polled at
+        high frequency over a huge store must not pay an O(blobs)
+        listdir sweep per request.  External writers sharing the cache
+        directory are therefore reflected only approximately.
+        """
+        with self._lock:
+            disk_count = self._disk_count
+            snapshot = {
+                "cache_dir": self.cache_dir,
+                "code_version": self.code_version,
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "memory_entries": len(self._memory),
+            }
+        if disk_count is None:
+            disk_count = len(self)
+            with self._lock:
+                if self._disk_count is None:
+                    self._disk_count = disk_count
+                disk_count = self._disk_count
+        snapshot["disk_entries"] = disk_count
+        return snapshot

@@ -1,0 +1,447 @@
+"""Service-layer tests: content-addressed store, jobs, and cache hooks.
+
+Covers the ISSUE-4 acceptance criteria that don't need a live HTTP
+server: store key semantics and atomicity under concurrent writers,
+runner cache hits skipping the executor, byte-identical warm replays,
+single-flight dedup of concurrent identical submissions, and the
+>= 10x warm-over-cold speedup of a cached sweep re-run.
+"""
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.experiments.registry import scenario, unregister
+from repro.experiments.results import ExperimentResult, ResultSet
+from repro.experiments.runner import run_experiments
+from repro.service.jobs import JobManager, SweepRequest
+from repro.service.store import ResultStore, canonical_json, result_key
+
+
+# ---------------------------------------------------------------------------
+# Test scenarios (registered per-test via fixtures, never left behind)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def counting_scenario():
+    """Register a scenario that counts its executions; yields the counter."""
+    calls = []
+    lock = threading.Lock()
+
+    @scenario(family="_svc_test", name="_svc_counting", params={"x": [1, 2, 3]})
+    def _svc_counting(x: int, seed: int):
+        """Counted toy scenario for dedup tests."""
+        with lock:
+            calls.append((x, seed))
+        return {"y": x * x, "seed_mod": seed % 97, "gains": [float(x), 2.0]}
+
+    try:
+        yield calls
+    finally:
+        unregister("_svc_counting")
+
+
+@pytest.fixture
+def slow_scenario():
+    """Register a deliberately slow scenario (for speedup/dedup timing)."""
+
+    @scenario(family="_svc_test", name="_svc_slow", params={"x": [1, 2, 3, 4]})
+    def _svc_slow(x: int, seed: int):
+        """Sleepy toy scenario standing in for a heavy sweep case."""
+        time.sleep(0.03)
+        return {"y": x + seed % 7}
+
+    try:
+        yield
+    finally:
+        unregister("_svc_slow")
+
+
+# ---------------------------------------------------------------------------
+# Keys
+# ---------------------------------------------------------------------------
+
+
+def test_result_key_is_order_independent_and_version_sensitive():
+    a = result_key("s", {"a": 1, "b": 2}, 0, 0, code_version="v")
+    b = result_key("s", {"b": 2, "a": 1}, 0, 0, code_version="v")
+    assert a == b
+    assert len(a) == 64 and set(a) <= set("0123456789abcdef")
+    assert result_key("s", {"a": 1, "b": 2}, 0, 0, code_version="w") != a
+    assert result_key("s", {"a": 1, "b": 2}, 1, 0, code_version="v") != a
+    assert result_key("s", {"a": 1, "b": 2}, 0, 1, code_version="v") != a
+    assert result_key("t", {"a": 1, "b": 2}, 0, 0, code_version="v") != a
+
+
+def test_store_rejects_malformed_keys(tmp_path):
+    store = ResultStore(str(tmp_path))
+    with pytest.raises(ValueError):
+        store.path_for("../../etc/passwd")
+    with pytest.raises(ValueError):
+        store.path_for("")
+
+
+# ---------------------------------------------------------------------------
+# Store basics
+# ---------------------------------------------------------------------------
+
+
+def test_store_round_trip_and_stats(tmp_path):
+    store = ResultStore(str(tmp_path))
+    key = store.key_for("s", {"x": 1}, 0)
+    assert store.get(key) is None
+    store.put(key, {"v": [1, 2, 3]})
+    assert store.get(key) == {"v": [1, 2, 3]}
+    stats = store.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1 and stats["puts"] == 1
+    assert stats["disk_entries"] == 1
+    assert list(store.keys()) == [key]
+
+
+def test_store_survives_process_restart(tmp_path):
+    first = ResultStore(str(tmp_path))
+    key = first.key_for("s", {"x": 1}, 0)
+    first.put(key, {"v": 7})
+    # A brand-new store over the same directory (fresh LRU) still hits.
+    second = ResultStore(str(tmp_path))
+    assert second.get(key) == {"v": 7}
+    assert second.stats()["hits"] == 1
+
+
+def test_store_treats_corrupt_blob_as_miss(tmp_path):
+    """A truncated/garbage blob file degrades to a recompute, not a crash."""
+    store = ResultStore(str(tmp_path))
+    key = store.key_for("s", {"x": 1}, 0)
+    store.put(key, {"v": 7})
+    with open(store.path_for(key), "w", encoding="utf-8") as handle:
+        handle.write("garbage{")
+    fresh = ResultStore(str(tmp_path))  # fresh LRU, must read the file
+    assert fresh.get(key) is None
+    assert fresh.stats()["misses"] == 1
+    fresh.put(key, {"v": 8})  # and the cell is repairable in place
+    assert fresh.get(key) == {"v": 8}
+
+
+def test_store_blobs_are_isolated_from_caller_mutation(tmp_path):
+    """Mutating a returned (or stored) blob never corrupts later reads."""
+    store = ResultStore(str(tmp_path))
+    key = store.key_for("s", {"x": 1}, 0)
+    original = {"gains": [1.0, 2.0]}
+    store.put(key, original)
+    original["gains"].append("CORRUPTED-AT-PUT")
+    first = store.get(key)
+    assert first == {"gains": [1.0, 2.0]}
+    first["gains"].append("CORRUPTED-AT-GET")
+    assert store.get(key) == {"gains": [1.0, 2.0]}
+
+
+def test_store_lru_eviction_falls_back_to_disk(tmp_path):
+    store = ResultStore(str(tmp_path), max_memory_entries=2)
+    keys = [store.key_for("s", {"x": i}, 0) for i in range(5)]
+    for i, key in enumerate(keys):
+        store.put(key, {"i": i})
+    assert store.stats()["memory_entries"] == 2
+    # Evicted entries are still served (from disk) and re-promoted.
+    for i, key in enumerate(keys):
+        assert store.get(key) == {"i": i}
+
+
+def test_store_get_bytes_is_verbatim_file_content(tmp_path):
+    store = ResultStore(str(tmp_path))
+    key = store.key_for("s", {"x": 1}, 0)
+    store.put(key, {"b": 2, "a": 1})
+    with open(store.path_for(key), "rb") as handle:
+        assert store.get_bytes(key) == handle.read()
+    assert store.get_bytes(key) == (canonical_json({"a": 1, "b": 2}) + "\n").encode()
+
+
+def test_store_atomic_under_concurrent_writers(tmp_path):
+    """Racing writers to one key never produce a torn/invalid blob."""
+    store = ResultStore(str(tmp_path), max_memory_entries=0)
+    key = store.key_for("s", {"x": 1}, 0)
+    payloads = [{"writer": w, "fill": "z" * 4096} for w in range(8)]
+    valid = [canonical_json(p) for p in payloads]
+    stop = threading.Event()
+    bad = []
+
+    def writer(payload):
+        while not stop.is_set():
+            store.put(key, payload)
+
+    def reader():
+        while not stop.is_set():
+            blob = store.get(key)
+            if blob is None:
+                continue
+            if canonical_json(blob) not in valid:
+                bad.append(blob)
+
+    threads = [threading.Thread(target=writer, args=(p,)) for p in payloads]
+    threads += [threading.Thread(target=reader) for _ in range(4)]
+    for t in threads:
+        t.start()
+    time.sleep(0.5)
+    stop.set()
+    for t in threads:
+        t.join()
+    assert not bad
+    # The final on-disk blob is exactly one writer's payload.
+    final = json.loads(store.get_bytes(key))
+    assert canonical_json(final) in valid
+
+
+# ---------------------------------------------------------------------------
+# Runner integration
+# ---------------------------------------------------------------------------
+
+
+def test_run_experiments_populates_and_consults_store(tmp_path, counting_scenario):
+    store = ResultStore(str(tmp_path))
+    cold = run_experiments(scenarios=["_svc_counting"], store=store)
+    assert len(cold) == 3
+    assert cold.cache_hits == 0 and cold.cache_misses == 3
+    assert len(counting_scenario) == 3
+
+    warm = run_experiments(scenarios=["_svc_counting"], store=store)
+    assert warm.cache_hits == 3 and warm.cache_misses == 0
+    assert len(counting_scenario) == 3  # nothing recomputed
+    # Warm rows replay the cold rows exactly, elapsed included — as
+    # equal *objects*, not just equal serializations (computed rows are
+    # JSON-coerced at build time, so tuple-vs-list can't diverge).
+    assert warm.to_json_obj() == cold.to_json_obj()
+    assert list(warm) == list(cold)
+    # And mutating a warm row cannot reach back into the store's cache.
+    for r in warm:
+        for value in r.metrics.values():
+            if isinstance(value, list):
+                value.append("CORRUPTED")
+    again = run_experiments(scenarios=["_svc_counting"], store=store)
+    assert again.to_json_obj() == cold.to_json_obj()
+    # Hit counts surface in the wall-time table (scenario, cases, hits, ...).
+    assert warm.timing_summary()[0][:3] == ["_svc_counting", 3, 3]
+    assert cold.timing_summary()[0][:3] == ["_svc_counting", 3, 0]
+
+
+def test_changed_inputs_miss_the_cache(tmp_path, counting_scenario):
+    store = ResultStore(str(tmp_path))
+    run_experiments(scenarios=["_svc_counting"], store=store)
+    baseline = len(counting_scenario)
+    # Different base seed -> different content address -> recompute.
+    rerun = run_experiments(scenarios=["_svc_counting"], base_seed=1, store=store)
+    assert rerun.cache_misses == 3
+    assert len(counting_scenario) == baseline + 3
+
+
+def test_replications_get_distinct_cache_cells(tmp_path, counting_scenario):
+    store = ResultStore(str(tmp_path))
+    cold = run_experiments(
+        scenarios=["_svc_counting"], replications=2, store=store
+    )
+    assert cold.cache_misses == 6
+    warm = run_experiments(
+        scenarios=["_svc_counting"], replications=2, store=store
+    )
+    assert warm.cache_hits == 6
+    assert warm.to_json_obj() == cold.to_json_obj()
+
+
+def test_cached_fetch_is_byte_identical_to_cold_recompute(
+    tmp_path, counting_scenario
+):
+    """The determinism contract: same inputs, same bytes, forever."""
+    store_a = ResultStore(str(tmp_path / "a"))
+    store_b = ResultStore(str(tmp_path / "b"))
+    run_experiments(scenarios=["_svc_counting"], store=store_a)
+    run_experiments(scenarios=["_svc_counting"], store=store_b)
+    keys_a = sorted(store_a.keys())
+    assert keys_a == sorted(store_b.keys())
+    for key in keys_a:
+        blob_a = store_a.get_bytes(key)
+        blob_b = store_b.get_bytes(key)
+        # Blobs agree on everything except the timing of the two runs.
+        a, b = json.loads(blob_a), json.loads(blob_b)
+        a.pop("elapsed"), b.pop("elapsed")
+        assert canonical_json(a) == canonical_json(b)
+    # And a warm fetch of an existing cell is *fully* byte-identical.
+    fresh = ResultStore(str(tmp_path / "a"))
+    for key in keys_a:
+        assert fresh.get_bytes(key) == store_a.get_bytes(key)
+
+
+def test_result_round_trip_preserves_everything():
+    result = ExperimentResult(
+        scenario="s",
+        family="f",
+        params={"x": 1},
+        seed=123,
+        metrics={"m": 2.5, "v": [1, 2]},
+        elapsed=0.25,
+        replication=3,
+    )
+    rebuilt = ExperimentResult.from_dict(result.to_dict())
+    assert rebuilt == result
+    assert not rebuilt.cached
+    cached = ExperimentResult.from_dict(result.to_dict(), cached=True)
+    assert cached == result  # cached flag is excluded from equality
+    assert cached.cached
+
+    rs = ResultSet([result])
+    assert ResultSet.from_json_obj(rs.to_json_obj()).to_json_obj() == rs.to_json_obj()
+    assert json.loads(rs.to_json(indent=2)) == rs.to_json_obj()
+
+
+# ---------------------------------------------------------------------------
+# Jobs: single-flight dedup and warm speedup
+# ---------------------------------------------------------------------------
+
+
+def test_single_flight_dedup_one_computation(tmp_path, slow_scenario, counting_scenario):
+    """N concurrent identical submits -> one job, one computation."""
+    manager = JobManager(store=ResultStore(str(tmp_path)))
+    request = SweepRequest(scenarios=("_svc_slow", "_svc_counting"))
+    n = 12
+    with ThreadPoolExecutor(max_workers=n) as pool:
+        jobs = list(pool.map(lambda _: manager.submit(request), range(n)))
+    assert len({job.job_id for job in jobs}) == 1
+    job = jobs[0]
+    assert job.wait(timeout=30)
+    assert job.status == "done"
+    assert job.submissions == n
+    assert manager.computations == 1
+    # The counting scenario's 3 cases ran exactly once each.
+    assert len(counting_scenario) == 3
+    assert job.total_cases == 7 and job.completed_cases == 7
+
+
+def test_distinct_requests_are_not_deduped(tmp_path, counting_scenario):
+    manager = JobManager(store=ResultStore(str(tmp_path)))
+    a = manager.submit(SweepRequest(scenarios=("_svc_counting",)))
+    b = manager.submit(SweepRequest(scenarios=("_svc_counting",), base_seed=1))
+    assert a.job_id != b.job_id
+    assert a.wait(10) and b.wait(10)
+
+
+def test_sequential_identical_submits_start_fresh_jobs_but_hit_cache(
+    tmp_path, counting_scenario
+):
+    manager = JobManager(store=ResultStore(str(tmp_path)))
+    request = SweepRequest(scenarios=("_svc_counting",))
+    first = manager.submit(request)
+    assert first.wait(10) and first.status == "done"
+    second = manager.submit(request)
+    assert second.wait(10) and second.status == "done"
+    assert second.job_id != first.job_id  # finished jobs leave the flight table
+    assert second.cache_hits == 3 and second.cache_misses == 0
+    assert len(counting_scenario) == 3
+
+
+def test_warm_cache_rerun_is_10x_faster(tmp_path, slow_scenario):
+    """ISSUE-4 acceptance: warm service re-run >= 10x faster than cold."""
+    manager = JobManager(store=ResultStore(str(tmp_path)))
+    request = SweepRequest(scenarios=("_svc_slow",))
+    cold = manager.submit(request)
+    assert cold.wait(30) and cold.status == "done"
+    warm = manager.submit(request)
+    assert warm.wait(30) and warm.status == "done"
+    assert cold.cache_misses == 4 and warm.cache_hits == 4
+    assert warm.elapsed * 10 <= cold.elapsed, (
+        f"warm {warm.elapsed:.4f}s vs cold {cold.elapsed:.4f}s"
+    )
+    # Warm results replay the cold rows exactly.
+    assert warm.results.to_json_obj() == cold.results.to_json_obj()
+
+
+def test_job_error_is_reported_not_raised(tmp_path):
+    manager = JobManager(store=ResultStore(str(tmp_path)))
+    job = manager.submit(SweepRequest(scenarios=("_svc_no_such_scenario",)))
+    assert job.wait(10)
+    assert job.status == "error"
+    assert "unknown scenario" in job.error
+    # The manager survives and can run real work afterwards.
+    ok = manager.submit(SweepRequest(smoke=True))
+    assert ok.wait(60) and ok.status == "done"
+
+
+def test_finished_job_retention_is_bounded(tmp_path, counting_scenario):
+    manager = JobManager(store=ResultStore(str(tmp_path)), max_finished_jobs=2)
+    jobs = []
+    for seed in range(5):
+        job = manager.submit(
+            SweepRequest(scenarios=("_svc_counting",), base_seed=seed)
+        )
+        assert job.wait(10) and job.status == "done"
+        jobs.append(job)
+    assert manager.stats()["jobs"] == 2
+    # The newest finished jobs survive; the oldest were evicted.
+    manager.get(jobs[-1].job_id)
+    manager.get(jobs[-2].job_id)
+    with pytest.raises(KeyError):
+        manager.get(jobs[0].job_id)
+
+
+def test_concurrent_job_cap(tmp_path, slow_scenario):
+    from repro.service.jobs import TooManyJobsError
+
+    manager = JobManager(store=ResultStore(str(tmp_path)), max_concurrent_jobs=1)
+    running = manager.submit(SweepRequest(scenarios=("_svc_slow",)))
+    # A *distinct* request beyond the cap is rejected...
+    with pytest.raises(TooManyJobsError):
+        manager.submit(SweepRequest(scenarios=("_svc_slow",), base_seed=9))
+    # ...but an identical one still single-flights onto the running job.
+    joined = manager.submit(SweepRequest(scenarios=("_svc_slow",)))
+    assert joined.job_id == running.job_id
+    assert running.wait(30) and running.status == "done"
+    # Capacity frees up once the job finishes.
+    after = manager.submit(SweepRequest(scenarios=("_svc_slow",), base_seed=9))
+    assert after.wait(30) and after.status == "done"
+
+
+def test_fully_cached_job_never_starts_the_pool(tmp_path, counting_scenario):
+    """The persistent executor is sized on post-cache misses, not cases."""
+    cold = JobManager(store=ResultStore(str(tmp_path)))
+    job = cold.submit(SweepRequest(scenarios=("_svc_counting",)))
+    assert job.wait(10) and job.status == "done"
+    warm = JobManager(store=ResultStore(str(tmp_path)), max_workers=4)
+    job = warm.submit(SweepRequest(scenarios=("_svc_counting",)))
+    assert job.wait(10) and job.status == "done"
+    assert job.cache_hits == 3
+    assert not warm.stats()["pool_started"]
+    warm.shutdown()
+
+
+def test_stats_disk_counter_tracks_puts(tmp_path):
+    store = ResultStore(str(tmp_path))
+    assert store.stats()["disk_entries"] == 0
+    for i in range(3):
+        store.put(store.key_for("s", {"x": i}, 0), {"i": i})
+    assert store.stats()["disk_entries"] == 3
+    # Overwriting an existing key does not inflate the count.
+    store.put(store.key_for("s", {"x": 0}, 0), {"i": 99})
+    assert store.stats()["disk_entries"] == 3
+
+
+def test_cli_require_cached_demands_wait(capsys):
+    from repro.service.__main__ import main
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["submit", "--smoke", "--require-cached"])
+    assert excinfo.value.code == 2
+    assert "--require-cached needs --wait" in capsys.readouterr().err
+
+
+def test_sweep_request_normalization():
+    a = SweepRequest(scenarios=("b", "a")).signature()
+    b = SweepRequest(scenarios=("a", "b")).signature()
+    assert a == b
+    with pytest.raises(ValueError):
+        SweepRequest.from_json_obj({"bogus_field": 1})
+    with pytest.raises(ValueError):
+        SweepRequest.from_json_obj({"replications": 0})
+    round_tripped = SweepRequest.from_json_obj(
+        SweepRequest(families=("robustness",), replications=2).to_json_obj()
+    )
+    assert round_tripped == SweepRequest(families=("robustness",), replications=2)

@@ -1,0 +1,287 @@
+"""HTTP round-trip tests against a live server on an ephemeral port.
+
+One real ``ThreadingHTTPServer`` per test (port 0 → OS-assigned), talked
+to through :class:`repro.service.client.ServiceClient` exactly as a
+remote caller would — covering scenario listing, sweep submit/poll/
+results, verbatim blob fetch by content key, single-flight over HTTP,
+the synchronous ``/v1/solve`` endpoint, and the error envelope.
+"""
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import scenario, unregister
+from repro.experiments.runner import run_experiments
+from repro.games.normal_form import NormalFormGame
+from repro.service.app import start_server
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.store import ResultStore
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A live server + client + store triple, torn down after the test."""
+    store = ResultStore(str(tmp_path / "cache"))
+    server, _thread = start_server(store=store)
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}", timeout=30.0)
+    try:
+        yield client, store, server
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.manager.shutdown()
+
+
+@pytest.fixture
+def gate_scenario():
+    """A scenario whose cases block on an event (for in-flight states)."""
+    gate = threading.Event()
+
+    @scenario(family="_svc_test", name="_svc_gated", params={"x": [1, 2]})
+    def _svc_gated(x: int, seed: int):
+        """Toy scenario that waits for the test to open the gate."""
+        gate.wait(10)
+        return {"y": x}
+
+    try:
+        yield gate
+    finally:
+        gate.set()
+        unregister("_svc_gated")
+
+
+def test_health_and_scenario_listing(service):
+    client, _store, _server = service
+    health = client.wait_until_up()
+    assert health["status"] == "ok"
+    assert health["store"]["disk_entries"] == 0
+    listing = client.scenarios()
+    names = {entry["name"] for entry in listing}
+    assert "coordination_robustness" in names
+    assert all({"name", "family", "n_cases"} <= set(e) for e in listing)
+
+
+def test_sweep_round_trip_matches_local_run(service):
+    client, _store, _server = service
+    job, remote = client.run_sweep(scenarios=["coordination_robustness"])
+    assert job["status"] == "done"
+    assert job["total_cases"] == job["completed_cases"] == len(remote)
+    local = run_experiments(scenarios=["coordination_robustness"])
+
+    def rows(results):
+        """Identity + metrics rows, JSON-coerced, timing dropped."""
+        out = []
+        for r in results:
+            row = r.to_dict()
+            row.pop("elapsed")
+            out.append(row)
+        return out
+
+    assert rows(remote) == rows(local)
+
+
+def test_warm_rerun_full_cache_hit_and_cached_flags(service):
+    client, _store, _server = service
+    cold_job, cold = client.run_sweep(scenarios=["coordination_robustness"])
+    warm_job, warm = client.run_sweep(scenarios=["coordination_robustness"])
+    assert cold_job["cache_misses"] == len(cold)
+    assert warm_job["cache_hits"] == len(warm)
+    assert all(r.cached for r in warm)
+    assert not any(r.cached for r in cold)
+    assert warm.to_json_obj() == cold.to_json_obj()
+
+
+def test_fetch_by_key_serves_verbatim_store_bytes(service):
+    client, store, _server = service
+    client.run_sweep(scenarios=["coordination_robustness"])
+    key = store.key_for("coordination_robustness", {"n": 3}, 0, 0)
+    over_http = client.fetch_bytes(key)
+    with open(store.path_for(key), "rb") as handle:
+        assert over_http == handle.read()
+    blob = json.loads(over_http)
+    assert blob["scenario"] == "coordination_robustness"
+    assert blob["params"] == {"n": 3}
+
+
+def test_concurrent_http_submits_single_flight(service, gate_scenario):
+    client, _store, _server = service
+    n = 8
+    with ThreadPoolExecutor(max_workers=n) as pool:
+        replies = list(
+            pool.map(
+                lambda _: client.submit_sweep(scenarios=["_svc_gated"]),
+                range(n),
+            )
+        )
+    assert len({r["job_id"] for r in replies}) == 1
+    gate_scenario.set()
+    status = client.wait_for_job(replies[0]["job_id"], timeout=30)
+    assert status["status"] == "done"
+    assert status["submissions"] == n
+
+
+def test_results_before_done_is_409(service, gate_scenario):
+    client, _store, _server = service
+    submitted = client.submit_sweep(scenarios=["_svc_gated"])
+    deadline = time.monotonic() + 5
+    while client.job(submitted["job_id"])["status"] == "queued":
+        assert time.monotonic() < deadline
+        time.sleep(0.01)
+    with pytest.raises(ServiceError) as excinfo:
+        client.results(submitted["job_id"])
+    assert excinfo.value.status == 409
+    gate_scenario.set()
+    assert client.wait_for_job(submitted["job_id"], timeout=30)["status"] == "done"
+
+
+def test_solve_endpoint_classics_and_explicit_game(service):
+    client, _store, _server = service
+    pd = client.solve(classic="prisoners_dilemma", method="pure")
+    assert pd["equilibria"] == [[1, 1]] and pd["count"] == 1
+
+    mp = client.solve(classic="matching_pennies", method="zerosum")
+    assert mp["value"] == pytest.approx(0.0)
+    assert mp["strategies"][0] == pytest.approx([0.5, 0.5])
+
+    fp = client.solve(
+        classic="matching_pennies", method="fictitious_play", iterations=2000
+    )
+    assert np.allclose(fp["empirical"], [[0.5, 0.5], [0.5, 0.5]], atol=0.05)
+    assert fp["iterations"] == 2000
+
+    game = NormalFormGame.from_bimatrix([[2, 0], [0, 1]], [[1, 0], [0, 2]])
+    explicit = client.solve(game=game.to_json_obj(), method="pure")
+    assert sorted(explicit["equilibria"]) == [[0, 0], [1, 1]]
+
+    sized = client.solve(classic="coordination_01_game", n_players=3, method="pure")
+    assert sized["game"]["n_players"] == 3
+    assert sized["count"] >= 2  # all-0 and all-1 coordination points
+
+
+def test_game_json_round_trip():
+    game = NormalFormGame.from_bimatrix(
+        [[2, 0], [0, 1]],
+        [[1, 0], [0, 2]],
+        players=["row", "col"],
+        action_labels=[["u", "d"], ["l", "r"]],
+        name="bos-ish",
+    )
+    rebuilt = NormalFormGame.from_json_obj(
+        json.loads(json.dumps(game.to_json_obj()))
+    )
+    assert np.array_equal(rebuilt.payoffs, game.payoffs)
+    assert rebuilt.players == game.players
+    assert rebuilt.action_labels == game.action_labels
+    assert rebuilt.name == game.name
+
+
+def test_error_envelope(service):
+    client, _store, _server = service
+    with pytest.raises(ServiceError) as excinfo:
+        client.job("job-999")
+    assert excinfo.value.status == 404
+    assert "unknown job" in excinfo.value.message
+
+    with pytest.raises(ServiceError) as excinfo:
+        client.fetch("deadbeef" * 8)
+    assert excinfo.value.status == 404
+
+    with pytest.raises(ServiceError) as excinfo:
+        client.fetch("NOT-A-HEX-KEY")
+    assert excinfo.value.status == 400
+
+    # Path-traversal shapes never reach the store: the extra slash
+    # falls off the route table entirely.
+    with pytest.raises(ServiceError) as excinfo:
+        client._request("GET", "/v1/results/../escape")
+    assert excinfo.value.status == 404
+
+    with pytest.raises(ServiceError) as excinfo:
+        client.solve(classic="not_a_game", method="pure")
+    assert excinfo.value.status == 400
+    assert "unknown classic" in excinfo.value.message
+
+    with pytest.raises(ServiceError) as excinfo:
+        client.solve(classic="matching_pennies", method="quantum")
+    assert excinfo.value.status == 400
+
+    # Exponential-size requests are rejected before the payoff tensor
+    # is ever materialized (this must answer fast, not allocate GBs).
+    start = time.monotonic()
+    with pytest.raises(ServiceError) as excinfo:
+        client.solve(classic="coordination_01_game", n_players=25, method="pure")
+    assert excinfo.value.status == 400
+    assert "n_players" in excinfo.value.message
+    assert time.monotonic() - start < 5.0
+
+    # Unknown scenario names are accepted at submit time (the job
+    # reports the failure); malformed request fields are rejected early.
+    accepted = client.submit_sweep(scenarios=["_no_such_scenario_"])
+    assert client.wait_for_job(accepted["job_id"], timeout=10)["status"] == "error"
+    with pytest.raises(ServiceError) as excinfo:
+        client._request("POST", "/v1/sweeps", {"bogus": 1})
+    assert excinfo.value.status == 400
+
+    with pytest.raises(ServiceError) as excinfo:
+        client._request("GET", "/v1/nope")
+    assert excinfo.value.status == 404
+
+
+def test_keep_alive_survives_failed_posts(service):
+    """An errored POST must not desync later requests on the same socket."""
+    import http.client
+
+    client, _store, server = service
+    host, port = server.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        # 1. POST with a body to an unknown route: 404 *with* the body
+        #    drained, so the connection stays usable.
+        conn.request(
+            "POST",
+            "/v1/nope",
+            body=json.dumps({"pad": "x" * 2048}),
+            headers={"Content-Type": "application/json"},
+        )
+        resp = conn.getresponse()
+        assert resp.status == 404
+        resp.read()
+        # 2. A valid request on the SAME connection must still work.
+        conn.request("GET", "/v1/health")
+        resp = conn.getresponse()
+        assert resp.status == 200
+        assert json.loads(resp.read())["status"] == "ok"
+        # 3. Same for a request whose body errors mid-validation.
+        conn.request(
+            "POST",
+            "/v1/sweeps",
+            body=json.dumps({"bogus": 1, "pad": "y" * 2048}),
+            headers={"Content-Type": "application/json"},
+        )
+        resp = conn.getresponse()
+        assert resp.status == 400
+        resp.read()
+        conn.request("GET", "/v1/health")
+        resp = conn.getresponse()
+        assert resp.status == 200
+        resp.read()
+    finally:
+        conn.close()
+
+
+def test_smoke_sweep_over_http(service):
+    client, store, _server = service
+    job, results = client.run_sweep(smoke=True)
+    assert job["status"] == "done"
+    families = {r.family for r in results}
+    assert len(results) == len(families)  # one case per family
+    assert store.stats()["disk_entries"] == len(results)
+    # Second smoke run is a full cache hit.
+    job2, _ = client.run_sweep(smoke=True)
+    assert job2["cache_hits"] == len(results) and job2["cache_misses"] == 0
