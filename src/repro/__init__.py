@@ -23,6 +23,7 @@ See README.md, DESIGN.md, and EXPERIMENTS.md for the full map.
 __version__ = "1.0.0"
 
 __all__ = [
+    "cluster",
     "core",
     "crypto",
     "dist",

@@ -1,0 +1,661 @@
+"""Coordinator: shard cases into leased work units, accept quorum results.
+
+The :class:`ClusterCoordinator` is the brain of the compute fabric.  It
+takes the exact ``Case`` tuples the experiment runner produces, shards
+them **by content-address key** (the same sha256 the result store uses,
+so the sharding is deterministic and seed-stable) into :class:`WorkUnit`
+chunks, and hands those units out to registered workers under *leases*:
+
+* a worker that crashes or stalls simply never completes its lease; the
+  lease expires after ``lease_ttl`` seconds and the unit is reassigned
+  to another worker (crash/straggler tolerance);
+* with ``redundancy = r > 1`` every unit must be executed by *distinct*
+  workers until ``⌊r/2⌋ + 1`` of them return byte-identical canonical
+  JSON payloads — a Byzantine worker returning corrupt rows is outvoted
+  by the honest majority, struck, and quarantined (no further leases);
+* scheduling is lazy: leases are only extended while
+  ``active leases + best matching votes < threshold``, so the happy path
+  costs the majority threshold in executions, not the full ``r``.
+
+Votes are digests over the rows' *deterministic payload* — the result
+dict minus wall-clock ``elapsed`` (see
+:meth:`repro.experiments.results.ExperimentResult.payload_dict`) — which
+is why serial, process-pool, and cluster execution agree byte-for-byte
+under fixed seeds even though their timings differ.
+
+In the paper's vocabulary (Halpern PODC'08, §2) the fabric tolerates the
+same two misbehaviour classes the solution concepts do: ``t`` "faulty"
+workers (crashed, slow, or adversarial — outvoted so the computation is
+*t-immune* for ``t < ⌈r/2⌉`` per unit) on top of any number of merely
+slow ones.
+
+The coordinator is thread-safe and transport-agnostic: the HTTP layer
+(:mod:`repro.service.app`) forwards ``POST /v1/workers``, ``/v1/lease``
+and ``/v1/complete`` bodies straight into :meth:`register_worker`,
+:meth:`lease` and :meth:`complete`, and the same three methods double as
+the in-process transport for :class:`repro.cluster.worker.Worker`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.results import ExperimentResult
+from repro.service.store import canonical_json, result_key
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterError",
+    "ClusterExecutor",
+    "WorkUnit",
+    "WorkerState",
+    "unit_digest",
+]
+
+
+class ClusterError(RuntimeError):
+    """A sweep-fatal cluster failure (quorum exhausted, timeout, ...)."""
+
+
+def _strip_elapsed(row: Any) -> Any:
+    """A row's deterministic payload: the dict minus wall-clock ``elapsed``."""
+    if isinstance(row, dict):
+        return {k: v for k, v in row.items() if k != "elapsed"}
+    return row
+
+
+def unit_digest(rows: Sequence[Any]) -> str:
+    """Vote identity of one completion: sha256 over canonical payload JSON.
+
+    Any structurally-parseable completion gets a digest — malformed or
+    corrupt rows simply hash to something no honest worker will ever
+    produce, so the quorum machinery (not ad-hoc validation) is what
+    rejects them.  ``elapsed`` is stripped first: it is wall-clock
+    metadata, never part of the deterministic result.
+    """
+    payload = canonical_json([_strip_elapsed(r) for r in rows])
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class WorkerState:
+    """Registry entry for one worker: identity, throughput, and trust."""
+
+    worker_id: str
+    name: str
+    registered_at: float = field(default_factory=time.time)
+    completed: int = 0
+    votes_cast: int = 0
+    strikes: int = 0
+    quarantined: bool = False
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        """JSON rendering served by ``GET /v1/cluster``."""
+        return {
+            "worker_id": self.worker_id,
+            "name": self.name,
+            "completed": self.completed,
+            "votes_cast": self.votes_cast,
+            "strikes": self.strikes,
+            "quarantined": self.quarantined,
+        }
+
+
+class WorkUnit:
+    """One leased chunk of cases plus its replication voting state."""
+
+    def __init__(
+        self,
+        unit_id: str,
+        cases: List[Tuple[int, tuple]],
+        base_seed: int,
+        redundancy: int,
+        max_votes: int,
+    ) -> None:
+        self.unit_id = unit_id
+        self.cases = cases  # [(original sweep index, runner Case tuple)]
+        self.base_seed = base_seed
+        self.redundancy = redundancy
+        self.threshold = redundancy // 2 + 1
+        self.max_votes = max_votes
+        self.status = "open"  # open -> done | failed
+        self.leases: Dict[str, float] = {}  # worker_id -> monotonic deadline
+        self.votes: Dict[str, str] = {}  # worker_id -> digest
+        self.rows_by_digest: Dict[str, List[Any]] = {}
+        self.winning_digest: Optional[str] = None
+        self.winning_votes = 0
+        self.accepted_results: List[ExperimentResult] = []
+
+    def tally(self) -> Tuple[Optional[str], int]:
+        """The leading digest and its vote count (``(None, 0)`` if empty)."""
+        if not self.votes:
+            return None, 0
+        counts: Dict[str, int] = {}
+        for digest in self.votes.values():
+            counts[digest] = counts.get(digest, 0) + 1
+        best = max(counts, key=lambda d: counts[d])
+        return best, counts[best]
+
+    def best_count(self) -> int:
+        """Size of the largest agreeing vote block so far."""
+        return self.tally()[1]
+
+    def leasable_by(self, worker: WorkerState) -> bool:
+        """Whether granting ``worker`` a lease can still help resolve this unit.
+
+        Lazy redundancy: no new lease once active leases plus the best
+        agreeing vote block already reach the acceptance threshold —
+        outstanding honest work is assumed to agree until proven
+        otherwise, so the happy path runs ``threshold`` executions, not
+        the full ``redundancy``.
+        """
+        if self.status != "open" or worker.quarantined:
+            return False
+        if worker.worker_id in self.votes or worker.worker_id in self.leases:
+            return False
+        if len(self.leases) + self.best_count() >= self.threshold:
+            return False
+        return len(self.votes) + len(self.leases) < self.max_votes
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        """The lease payload a worker receives (JSON-shippable case refs)."""
+        return {
+            "unit_id": self.unit_id,
+            "base_seed": self.base_seed,
+            "cases": [
+                {
+                    "scenario": case[0],
+                    "family": case[1],
+                    "params": case[3],
+                    "seed": case[4],
+                    "replication": case[5],
+                }
+                for _index, case in self.cases
+            ],
+        }
+
+
+class _Sweep:
+    """Bookkeeping for one blocking :meth:`execute_cases` call."""
+
+    def __init__(self, n_cases: int, unit_ids: List[str]) -> None:
+        self.slots: List[Optional[ExperimentResult]] = [None] * n_cases
+        self.unit_ids = set(unit_ids)
+        self.open_units = len(unit_ids)
+        self.error: Optional[str] = None
+
+
+class ClusterCoordinator:
+    """Thread-safe work-unit scheduler with leases, quorum, and quarantine.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`~repro.service.store.ResultStore`; quorum-accepted
+        rows are written through
+        :meth:`~repro.service.store.ResultStore.put_quorum` when their
+        sweep finishes — on the failure path too, so every unit accepted
+        before a timeout stays durable and is never recomputed.
+    redundancy:
+        Default r-fold replication per unit (overridable per sweep);
+        acceptance needs ``r // 2 + 1`` byte-identical payloads from
+        distinct workers.  ``1`` trusts a single worker (no verification).
+    unit_size:
+        Cases per work unit.  ``1`` (the default) gives the finest
+        straggler tolerance; larger units amortize HTTP overhead.
+    lease_ttl:
+        Seconds before an uncompleted lease expires and is reassigned.
+    quarantine_after:
+        Strikes (losing or stale-mismatched votes) before a worker stops
+        receiving leases.
+    """
+
+    def __init__(
+        self,
+        store: Optional[Any] = None,
+        redundancy: int = 1,
+        unit_size: int = 1,
+        lease_ttl: float = 30.0,
+        quarantine_after: int = 1,
+    ) -> None:
+        if redundancy < 1:
+            raise ValueError("redundancy must be >= 1")
+        if unit_size < 1:
+            raise ValueError("unit_size must be >= 1")
+        self.store = store
+        self.redundancy = int(redundancy)
+        self.unit_size = int(unit_size)
+        self.lease_ttl = float(lease_ttl)
+        self.quarantine_after = int(quarantine_after)
+        self._cond = threading.Condition()
+        self._workers: Dict[str, WorkerState] = {}
+        self._units: Dict[str, WorkUnit] = {}
+        self._queue: List[WorkUnit] = []
+        self._sweeps: List[_Sweep] = []
+        self._worker_ids = itertools.count(1)
+        self._unit_ids = itertools.count(1)
+        # Counters (all mutated under the lock).
+        self.leases_granted = 0
+        self.leases_expired = 0
+        self.units_completed = 0
+        self.units_failed = 0
+        self.votes_received = 0
+        self.strikes_issued = 0
+
+    # -- worker-facing API (mirrors the HTTP endpoints) ----------------
+
+    def register_worker(self, name: Optional[str] = None) -> Dict[str, Any]:
+        """Register a worker; returns its assigned ``worker_id``."""
+        with self._cond:
+            worker_id = f"w{next(self._worker_ids)}"
+            state = WorkerState(worker_id=worker_id, name=name or worker_id)
+            self._workers[worker_id] = state
+            return {"worker_id": worker_id, "name": state.name}
+
+    def lease(self, worker_id: str) -> Dict[str, Any]:
+        """Grant the next eligible work unit to ``worker_id`` (or none).
+
+        Expired leases are reaped first, so a crashed worker's units are
+        reassignable by the very next lease request.  The response always
+        carries ``open`` (unresolved unit count) and ``quarantined`` so a
+        worker loop can decide to idle or exit.
+        """
+        now = time.monotonic()
+        with self._cond:
+            worker = self._worker(worker_id)
+            self._expire_leases_locked(now)
+            open_units = sum(1 for u in self._queue if u.status == "open")
+            if worker.quarantined:
+                return {"unit": None, "open": open_units, "quarantined": True}
+            for unit in self._queue:
+                if unit.leasable_by(worker):
+                    unit.leases[worker_id] = now + self.lease_ttl
+                    self.leases_granted += 1
+                    payload = unit.to_json_obj()
+                    payload["lease_ttl"] = self.lease_ttl
+                    return {
+                        "unit": payload,
+                        "open": open_units,
+                        "quarantined": False,
+                    }
+            return {"unit": None, "open": open_units, "quarantined": False}
+
+    def complete(
+        self, worker_id: str, unit_id: str, rows: Sequence[Any]
+    ) -> Dict[str, Any]:
+        """Record one worker's result rows for a unit as a quorum vote.
+
+        Every structurally-parseable completion counts as a vote for the
+        digest of its payload bytes; acceptance happens when
+        ``threshold`` distinct workers agree.  Votes that lose the
+        quorum — and late completions that contradict an already
+        accepted digest — earn the worker a strike.
+        """
+        now = time.monotonic()
+        with self._cond:
+            worker = self._worker(worker_id)
+            unit = self._units.get(unit_id)
+            if unit is None:
+                raise KeyError(f"unknown work unit {unit_id!r}")
+            unit.leases.pop(worker_id, None)
+            digest = unit_digest(rows)
+            if unit.status != "open":
+                # Late completion: free verification against the accepted
+                # payload — agreement is fine, contradiction is a strike.
+                if unit.status == "done" and digest != unit.winning_digest:
+                    self._strike_locked(worker)
+                return {
+                    "status": "stale",
+                    "accepted": unit.status == "done",
+                    "quarantined": worker.quarantined,
+                }
+            if worker.quarantined:
+                # A quarantined worker may still finish an in-flight
+                # lease; its result must never count toward a quorum.
+                return {
+                    "status": "quarantined",
+                    "accepted": False,
+                    "quarantined": True,
+                }
+            if worker_id in unit.votes:
+                return {
+                    "status": "duplicate",
+                    "accepted": False,
+                    "quarantined": worker.quarantined,
+                }
+            unit.votes[worker_id] = digest
+            unit.rows_by_digest.setdefault(digest, list(rows))
+            worker.votes_cast += 1
+            worker.completed += 1
+            self.votes_received += 1
+            status = "pending"
+            best_digest, best_votes = unit.tally()
+            if best_votes >= unit.threshold:
+                self._accept_locked(unit, best_digest)
+                status = "accepted" if digest == best_digest else "outvoted"
+            elif len(unit.votes) >= unit.max_votes:
+                self._fail_locked(
+                    unit,
+                    f"unit {unit.unit_id}: no {unit.threshold}-quorum among "
+                    f"{len(unit.votes)} votes (too many faulty workers?)",
+                )
+                status = "failed"
+            self._expire_leases_locked(now)
+            self._cond.notify_all()
+            return {
+                "status": status,
+                "accepted": status == "accepted",
+                "quarantined": worker.quarantined,
+            }
+
+    # -- sweep-facing API ----------------------------------------------
+
+    def execute_cases(
+        self,
+        cases: Sequence[tuple],
+        base_seed: int = 0,
+        redundancy: Optional[int] = None,
+        timeout: Optional[float] = None,
+        progress: Optional[Any] = None,
+    ) -> List[ExperimentResult]:
+        """Distribute runner ``Case`` tuples to workers; block until done.
+
+        This is the pluggable-executor entry point the experiment runner
+        delegates to (any object with an ``execute_cases`` attribute is
+        treated as a case executor by
+        :func:`repro.experiments.runner.run_experiments`).  Cases are
+        sharded by content-address key, enqueued as work units, and the
+        call blocks — reaping expired leases as it waits — until every
+        unit is quorum-accepted.  Results come back in the original case
+        order, built from the winning vote's rows.  ``progress`` (one
+        finished :class:`ExperimentResult` per call) fires from this
+        thread, outside the scheduler lock, as units are accepted — so
+        a polling client sees live completion counts.
+
+        Quorum-verified store writes are flushed in the ``finally``
+        path, outside the scheduler lock: every unit accepted before a
+        timeout or failure is durable even when the sweep as a whole is
+        not.
+        """
+        if not cases:
+            return []
+        r = self.redundancy if redundancy is None else int(redundancy)
+        if r < 1:
+            raise ValueError("redundancy must be >= 1")
+        units = self._shard(cases, base_seed, r)
+        sweep = _Sweep(len(cases), [u.unit_id for u in units])
+        deadline = None if timeout is None else time.monotonic() + timeout
+        reported: set = set()
+        try:
+            with self._cond:
+                for unit in units:
+                    self._units[unit.unit_id] = unit
+                    self._queue.append(unit)
+                self._sweeps.append(sweep)
+            while True:
+                with self._cond:
+                    if sweep.error is not None:
+                        raise ClusterError(sweep.error)
+                    now = time.monotonic()
+                    finished = sweep.open_units == 0
+                    fresh = [
+                        (i, result)
+                        for i, result in enumerate(sweep.slots)
+                        if result is not None and i not in reported
+                    ]
+                    if not finished and not fresh:
+                        if deadline is not None and now >= deadline:
+                            pending = [
+                                u.unit_id for u in units if u.status == "open"
+                            ]
+                            raise ClusterError(
+                                f"cluster sweep timed out after {timeout}s "
+                                f"with {len(pending)} unresolved units: "
+                                f"{pending[:5]}"
+                            )
+                        self._expire_leases_locked(now)
+                        wait = min(self.lease_ttl, 0.25)
+                        if deadline is not None:
+                            wait = min(wait, max(deadline - now, 0.0))
+                        self._cond.wait(timeout=wait)
+                        continue
+                    if finished:
+                        results = list(sweep.slots)
+                # Report outside the lock: a callback that re-enters the
+                # coordinator (or blocks) must not stall worker traffic.
+                for i, result in fresh:
+                    reported.add(i)
+                    if progress is not None:
+                        progress(result)
+                if finished:
+                    return results  # type: ignore[return-value]
+        finally:
+            # Purge this sweep's units so the queue and unit table stay
+            # bounded (a straggler completing a purged unit gets a clean
+            # "unknown work unit" error and moves on), then flush the
+            # quorum-verified store writes — outside the scheduler lock,
+            # on success *and* failure paths alike.
+            with self._cond:
+                self._sweeps.remove(sweep)
+                for unit in units:
+                    self._units.pop(unit.unit_id, None)
+                self._queue = [
+                    u for u in self._queue if u.unit_id not in sweep.unit_ids
+                ]
+            self._flush_accepted(units)
+
+    def _flush_accepted(self, units: List[WorkUnit]) -> None:
+        """Write every accepted unit's rows through the store (if any)."""
+        if self.store is None:
+            return
+        for unit in units:
+            if unit.status != "done":
+                continue
+            for (_index, case), result in zip(
+                unit.cases, unit.accepted_results
+            ):
+                key = self.store.key_for(
+                    case[0], case[3], unit.base_seed, case[5]
+                )
+                self.store.put_quorum(
+                    key,
+                    result.to_dict(),
+                    votes=unit.winning_votes,
+                    threshold=unit.threshold,
+                )
+
+    def executor(
+        self,
+        redundancy: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> "ClusterExecutor":
+        """A runner-pluggable executor bound to a redundancy + deadline."""
+        return ClusterExecutor(self, redundancy=redundancy, timeout=timeout)
+
+    # -- introspection -------------------------------------------------
+
+    def workers(self) -> List[Dict[str, Any]]:
+        """Per-worker registry snapshot (id, throughput, strikes, trust)."""
+        with self._cond:
+            snapshot = sorted(self._workers.values(), key=lambda w: w.worker_id)
+            return [w.to_json_obj() for w in snapshot]
+
+    def stats(self) -> Dict[str, Any]:
+        """Scheduler counters for the health endpoint and tests."""
+        with self._cond:
+            return {
+                "workers": len(self._workers),
+                "quarantined": sum(
+                    1 for w in self._workers.values() if w.quarantined
+                ),
+                "open_units": sum(
+                    1 for u in self._queue if u.status == "open"
+                ),
+                "redundancy": self.redundancy,
+                "unit_size": self.unit_size,
+                "lease_ttl": self.lease_ttl,
+                "leases_granted": self.leases_granted,
+                "leases_expired": self.leases_expired,
+                "units_completed": self.units_completed,
+                "units_failed": self.units_failed,
+                "votes_received": self.votes_received,
+                "strikes_issued": self.strikes_issued,
+            }
+
+    # -- internals (all called with the lock held) ---------------------
+
+    def _worker(self, worker_id: str) -> WorkerState:
+        """Look up a registered worker (KeyError on unknown ids)."""
+        worker = self._workers.get(worker_id)
+        if worker is None:
+            raise KeyError(f"unknown worker {worker_id!r}; register first")
+        return worker
+
+    def _shard(
+        self, cases: Sequence[tuple], base_seed: int, redundancy: int
+    ) -> List[WorkUnit]:
+        """Shard cases into work units ordered by content-address key.
+
+        Sorting by the result store's sha256 key makes the sharding a
+        pure function of the cases themselves — independent of submit
+        order, worker count, and wall clock — so any two coordinators
+        given the same sweep produce the same units in the same order.
+        """
+        keyed = sorted(
+            enumerate(cases),
+            key=lambda pair: result_key(
+                pair[1][0], pair[1][3], base_seed, pair[1][5]
+            ),
+        )
+        units = []
+        max_votes = 2 * redundancy + 1
+        for start in range(0, len(keyed), self.unit_size):
+            chunk = keyed[start : start + self.unit_size]
+            units.append(
+                WorkUnit(
+                    unit_id=f"u{next(self._unit_ids)}",
+                    cases=[(index, case) for index, case in chunk],
+                    base_seed=base_seed,
+                    redundancy=redundancy,
+                    max_votes=max_votes,
+                )
+            )
+        return units
+
+    def _expire_leases_locked(self, now: float) -> None:
+        """Reap leases past their deadline so units become reassignable."""
+        for unit in self._queue:
+            if unit.status != "open":
+                continue
+            expired = [w for w, t in unit.leases.items() if t <= now]
+            for worker_id in expired:
+                del unit.leases[worker_id]
+                self.leases_expired += 1
+
+    def _strike_locked(self, worker: WorkerState) -> None:
+        """Record one strike; quarantine past the threshold.
+
+        Quarantine releases every lease the worker still holds, so its
+        in-flight units go straight back to the honest pool.
+        """
+        worker.strikes += 1
+        self.strikes_issued += 1
+        if not worker.quarantined and worker.strikes >= self.quarantine_after:
+            worker.quarantined = True
+            for unit in self._queue:
+                unit.leases.pop(worker.worker_id, None)
+
+    def _accept_locked(self, unit: WorkUnit, digest: str) -> None:
+        """Publish a quorum-accepted unit and strike the outvoted voters.
+
+        Deliberately does **no** disk I/O: the blocking
+        :meth:`execute_cases` caller flushes the quorum-verified store
+        writes after it wakes, outside this lock, so lease/complete
+        traffic from every other worker never stalls behind blob writes.
+        """
+        rows = unit.rows_by_digest[digest]
+        votes = sum(1 for d in unit.votes.values() if d == digest)
+        try:
+            results = [ExperimentResult.from_dict(row) for row in rows]
+            if len(results) != len(unit.cases):
+                raise ValueError(
+                    f"{len(results)} rows for {len(unit.cases)} cases"
+                )
+        except Exception as exc:
+            # Only reachable if a full quorum of workers colluded on a
+            # malformed payload; fail loudly rather than trust it.
+            self._fail_locked(
+                unit, f"unit {unit.unit_id}: accepted payload is invalid: {exc}"
+            )
+            return
+        unit.status = "done"
+        unit.winning_digest = digest
+        unit.winning_votes = votes
+        unit.accepted_results = results
+        unit.leases.clear()
+        for worker_id, vote in unit.votes.items():
+            if vote != digest:
+                self._strike_locked(self._workers[worker_id])
+        self.units_completed += 1
+        for sweep in self._sweeps:
+            if unit.unit_id in sweep.unit_ids:
+                for (index, _case), result in zip(unit.cases, results):
+                    sweep.slots[index] = result
+                sweep.open_units -= 1
+
+    def _fail_locked(self, unit: WorkUnit, message: str) -> None:
+        """Mark a unit unresolvable and poison its sweep."""
+        unit.status = "failed"
+        unit.leases.clear()
+        self.units_failed += 1
+        for sweep in self._sweeps:
+            if unit.unit_id in sweep.unit_ids and sweep.error is None:
+                sweep.error = message
+
+
+class ClusterExecutor:
+    """Adapter binding a coordinator to one sweep's redundancy + deadline.
+
+    The experiment runner treats any object with an ``execute_cases``
+    attribute as a pluggable case executor; this is the object to pass —
+    ``run_experiments(..., executor=coordinator.executor(redundancy=3))``
+    — when the per-sweep redundancy differs from the coordinator
+    default.  ``timeout`` bounds the blocking wait (the job manager sets
+    one so a quorum that can never form fails the job instead of
+    wedging its slot forever).
+    """
+
+    def __init__(
+        self,
+        coordinator: ClusterCoordinator,
+        redundancy: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.coordinator = coordinator
+        self.redundancy = redundancy
+        self.timeout = timeout
+
+    @property
+    def store(self) -> Optional[Any]:
+        """The coordinator's store (lets the runner skip duplicate puts)."""
+        return self.coordinator.store
+
+    def execute_cases(
+        self,
+        cases: Sequence[tuple],
+        base_seed: int = 0,
+        progress: Optional[Any] = None,
+    ) -> List[ExperimentResult]:
+        """Delegate to the coordinator under this executor's binding."""
+        return self.coordinator.execute_cases(
+            cases,
+            base_seed=base_seed,
+            redundancy=self.redundancy,
+            timeout=self.timeout,
+            progress=progress,
+        )

@@ -67,6 +67,18 @@ class ExperimentResult:
             "elapsed": float(self.elapsed),
         }
 
+    def payload_dict(self) -> Dict[str, Any]:
+        """Deterministic row content: :meth:`to_dict` minus ``elapsed``.
+
+        ``elapsed`` is wall-clock metadata — it differs between two runs
+        of the very same case — so every byte-identity claim (quorum
+        voting across cluster workers, serial-vs-cluster comparisons)
+        is made over this payload, never over the full dict.
+        """
+        payload = self.to_dict()
+        del payload["elapsed"]
+        return payload
+
     @classmethod
     def from_dict(cls, obj: Dict[str, Any], cached: bool = False) -> "ExperimentResult":
         """Rebuild a result from its :meth:`to_dict` rendering."""
@@ -131,6 +143,20 @@ class ResultSet:
     def from_json_obj(cls, obj: Iterable[Dict[str, Any]]) -> "ResultSet":
         """Rebuild a result set from a :meth:`to_json_obj` rendering."""
         return cls([ExperimentResult.from_dict(row) for row in obj])
+
+    def payload_bytes(self) -> bytes:
+        """Canonical bytes of the sweep's deterministic content.
+
+        Canonical JSON (sorted keys, compact separators) over every
+        row's :meth:`ExperimentResult.payload_dict`, in order.  Two runs
+        of the same seeded sweep — serial, process-pool, or cluster —
+        must agree on these bytes exactly; this is what the cluster
+        determinism tests and the quorum fabric compare.
+        """
+        rows = [r.payload_dict() for r in self.results]
+        return json.dumps(
+            rows, sort_keys=True, separators=(",", ":"), default=str
+        ).encode("utf-8")
 
     def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
         """Serialize to JSON; also writes ``path`` when given."""

@@ -177,8 +177,14 @@ def _execute_cases(
     ``store`` is any object with the :class:`repro.service.store.ResultStore`
     surface (``key_for``/``get``/``put``); hits are rebuilt from their
     stored dicts without touching the executor, and misses are written
-    back after computing.  ``executor`` reuses a caller-owned pool (the
-    service's persistent one); ``executor_factory`` defers that choice
+    back after computing.  ``executor`` is either a caller-owned
+    ``concurrent.futures`` pool (the service's persistent one) or a
+    *case executor* — any object with an ``execute_cases(cases,
+    base_seed=..., progress=...)`` method, such as a
+    :class:`repro.cluster.coordinator.ClusterCoordinator` (or its
+    redundancy-bound :class:`~repro.cluster.coordinator.ClusterExecutor`)
+    — which receives the post-cache pending cases wholesale and returns
+    their results in order.  ``executor_factory`` defers the pool choice
     until after the store pass, receiving the post-cache *miss* count —
     a fully-cached sweep never starts worker processes; otherwise
     ``max_workers > 1`` spins up a temporary ``ProcessPoolExecutor``.
@@ -200,14 +206,19 @@ def _execute_cases(
         else:
             pending.append((i, case))
 
-    def finish(i: int, result: ExperimentResult) -> None:
+    def finish(
+        i: int,
+        result: ExperimentResult,
+        write_back: bool = True,
+        report: bool = True,
+    ) -> None:
         """Record one computed result: slot, store write-back, progress."""
         slots[i] = result
-        if store is not None:
+        if store is not None and write_back:
             name, _family, _fn, params, _seed, replication = cases[i]
             key = store.key_for(name, params, base_seed, replication)
             store.put(key, result.to_dict())
-        if progress is not None:
+        if report and progress is not None:
             progress(result)
 
     if executor is None and executor_factory is not None and pending:
@@ -224,6 +235,21 @@ def _execute_cases(
                 pending, pool.map(_run_case, [c for _i, c in pending])
             ):
                 finish(i, result)
+    elif (
+        executor is not None
+        and hasattr(executor, "execute_cases")
+        and len(pending) > 0
+    ):
+        # The executor reports per-case progress itself (live, as units
+        # finish), so finish() must not report a second time; and a case
+        # executor writing through this very store has already persisted
+        # the rows (quorum-verified), so don't write each blob twice.
+        computed = executor.execute_cases(
+            [c for _i, c in pending], base_seed=base_seed, progress=progress
+        )
+        write_back = store is None or getattr(executor, "store", None) is not store
+        for (i, _case), result in zip(pending, computed):
+            finish(i, result, write_back=write_back, report=False)
     elif executor is not None and len(pending) > 0:
         futures = [(i, executor.submit(_run_case, c)) for i, c in pending]
         for i, future in futures:
@@ -256,7 +282,10 @@ def run_experiments(
     what gives grid metrics error bars.  ``store`` short-circuits cached
     cases through a content-addressed result store (see
     :mod:`repro.service.store`) and persists fresh ones; ``executor``
-    lets a caller-owned pool be reused across sweeps; ``progress`` is
+    lets a caller-owned pool be reused across sweeps — or, given any
+    object with an ``execute_cases`` method (e.g. a
+    :class:`repro.cluster.coordinator.ClusterCoordinator`), fans the
+    pending cases out to a whole compute fabric; ``progress`` is
     called once per finished case.  Results are always returned in
     deterministic case order regardless of worker scheduling.
     """

@@ -18,6 +18,11 @@ that purity to turn the batch reproduction into a queryable system:
 * :mod:`repro.service.solve` — the JSON game-solving dispatch shared by
   the server and any embedding caller.
 
+With a :class:`repro.cluster.coordinator.ClusterCoordinator` attached
+(``python -m repro.cluster coordinator``), the same server also speaks
+the compute-fabric protocol: worker registration, work-unit leases, and
+quorum-voted completions (see :mod:`repro.cluster`).
+
 ``python -m repro.service`` drives it from the shell::
 
     python -m repro.service serve --port 8642 --cache-dir .repro-cache

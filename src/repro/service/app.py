@@ -13,18 +13,32 @@ GET    ``/v1/jobs``                all jobs, oldest first
 GET    ``/v1/jobs/<id>``           one job's status/progress payload
 GET    ``/v1/jobs/<id>/results``   finished job's results (409 until done)
 GET    ``/v1/results/<key>``       one cached blob, verbatim on-disk bytes
+GET    ``/v1/store/stats``         store counters (hits/misses/disk bytes)
 POST   ``/v1/solve``               synchronous small-game solving
+POST   ``/v1/workers``             register a cluster worker
+POST   ``/v1/lease``               lease one work unit to a worker
+POST   ``/v1/complete``            post a unit's result rows (quorum vote)
+GET    ``/v1/cluster``             cluster scheduler counters + workers
 ====== =========================== ==========================================
 
 Sweep submission replies immediately (HTTP 202) with the job id; heavy
 work happens on the manager's worker threads and process pool.  The
 ``/v1/results/<key>`` fetch serves the store's file bytes unmodified, so
 a warm client read is byte-identical to what the cold computation wrote.
+The cluster endpoints forward their JSON bodies verbatim into the
+attached :class:`~repro.cluster.coordinator.ClusterCoordinator` (404
+when the server runs without one).
+
+Lifecycle: the server owns its :class:`JobManager` — ``server_close()``
+shuts the manager (and its persistent process pool) down, and the
+blocking ``serve`` entry point converts SIGTERM into the same clean
+path, so a stopped server never leaks worker processes.
 """
 
 from __future__ import annotations
 
 import json
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
@@ -34,7 +48,13 @@ from repro.service.jobs import JobManager, SweepRequest, TooManyJobsError
 from repro.service.solve import solve_request
 from repro.service.store import ResultStore
 
-__all__ = ["ApiError", "make_server", "start_server", "serve_forever"]
+__all__ = [
+    "ApiError",
+    "ManagedHTTPServer",
+    "make_server",
+    "start_server",
+    "serve_forever",
+]
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024
 
@@ -161,11 +181,21 @@ class _Handler(BaseHTTPRequestHandler):
                 return self._get_job_results, (parts[2],)
             if len(parts) == 3 and parts[:2] == ["v1", "results"]:
                 return self._get_result_blob, (parts[2],)
+            if parts == ["v1", "store", "stats"]:
+                return self._get_store_stats, ()
+            if parts == ["v1", "cluster"]:
+                return self._get_cluster, ()
         if method == "POST":
             if parts == ["v1", "sweeps"]:
                 return self._post_sweep, ()
             if parts == ["v1", "solve"]:
                 return self._post_solve, ()
+            if parts == ["v1", "workers"]:
+                return self._post_register_worker, ()
+            if parts == ["v1", "lease"]:
+                return self._post_lease, ()
+            if parts == ["v1", "complete"]:
+                return self._post_complete, ()
         raise ApiError(404, f"no route for {method} {self.path}")
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
@@ -179,15 +209,71 @@ class _Handler(BaseHTTPRequestHandler):
     # -- endpoints -----------------------------------------------------
 
     def _get_health(self) -> None:
-        """Liveness plus store and manager counters."""
+        """Liveness plus store, manager, and cluster counters."""
         store = self.manager.store
+        coordinator = self.manager.coordinator
         self._send_json(
             200,
             {
                 "status": "ok",
                 "store": None if store is None else store.stats(),
                 "manager": self.manager.stats(),
+                "cluster": None
+                if coordinator is None
+                else coordinator.stats(),
             },
+        )
+
+    def _get_store_stats(self) -> None:
+        """The result store's counters (hits/misses, blob count, bytes)."""
+        store = self.manager.store
+        if store is None:
+            raise ApiError(404, "server is running without a result store")
+        self._send_json(200, store.stats())
+
+    def _coordinator(self):
+        """The attached cluster coordinator (404 when absent)."""
+        coordinator = self.manager.coordinator
+        if coordinator is None:
+            raise ApiError(
+                404, "server is running without a cluster coordinator"
+            )
+        return coordinator
+
+    def _get_cluster(self) -> None:
+        """Cluster scheduler counters plus the per-worker registry."""
+        coordinator = self._coordinator()
+        self._send_json(
+            200,
+            {"stats": coordinator.stats(), "workers": coordinator.workers()},
+        )
+
+    def _post_register_worker(self) -> None:
+        """Register a cluster worker; returns its assigned id."""
+        body = self._read_json_body()
+        name = body.get("name")
+        self._send_json(200, self._coordinator().register_worker(name))
+
+    def _post_lease(self) -> None:
+        """Lease the next eligible work unit to the requesting worker."""
+        body = self._read_json_body()
+        worker_id = body.get("worker_id")
+        if not worker_id:
+            raise ApiError(400, "lease request needs a worker_id")
+        self._send_json(200, self._coordinator().lease(worker_id))
+
+    def _post_complete(self) -> None:
+        """Record a worker's result rows for a unit as a quorum vote."""
+        body = self._read_json_body()
+        worker_id = body.get("worker_id")
+        unit_id = body.get("unit_id")
+        rows = body.get("rows")
+        if not worker_id or not unit_id or not isinstance(rows, list):
+            raise ApiError(
+                400, "complete request needs worker_id, unit_id, and rows"
+            )
+        self._send_json(
+            200, self._coordinator().complete(worker_id, unit_id, rows)
         )
 
     def _get_scenarios(self) -> None:
@@ -255,32 +341,57 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(200, solve_request(self._read_json_body()))
 
 
+class ManagedHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server that owns its :class:`JobManager`'s lifecycle.
+
+    ``server_close()`` also shuts the manager down — including the
+    persistent ``ProcessPoolExecutor`` — so every stop path (SIGTERM via
+    ``serve``, tests tearing a server down, embedding callers) releases
+    the worker processes without needing to know about the manager.
+    """
+
+    daemon_threads = True
+    manager: Optional[JobManager] = None
+
+    def server_close(self) -> None:
+        """Close the listening socket, then the job manager and its pool."""
+        super().server_close()
+        if self.manager is not None:
+            self.manager.shutdown()
+
+
 def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     manager: Optional[JobManager] = None,
     store: Optional[ResultStore] = None,
     max_workers: Optional[int] = None,
+    coordinator: Optional[Any] = None,
     quiet: bool = True,
-) -> ThreadingHTTPServer:
+) -> ManagedHTTPServer:
     """Build (but don't start) the HTTP server.
 
     ``port=0`` binds an ephemeral port — read it back from
     ``server.server_address`` — which is what the tests and the
     in-process quickstart use.  A fresh :class:`JobManager` is created
-    from ``store``/``max_workers`` unless one is passed in.
+    from ``store``/``max_workers``/``coordinator`` unless one is passed
+    in; attaching a
+    :class:`~repro.cluster.coordinator.ClusterCoordinator` enables the
+    ``/v1/workers``/``/v1/lease``/``/v1/complete`` endpoints and
+    ``executor="cluster"`` sweeps.
     """
     if manager is None:
-        manager = JobManager(store=store, max_workers=max_workers)
+        manager = JobManager(
+            store=store, max_workers=max_workers, coordinator=coordinator
+        )
 
     class BoundHandler(_Handler):
         """The handler class closed over this server's manager."""
 
     BoundHandler.manager = manager
     BoundHandler.quiet = quiet
-    server = ThreadingHTTPServer((host, port), BoundHandler)
-    server.daemon_threads = True
-    server.manager = manager  # type: ignore[attr-defined]
+    server = ManagedHTTPServer((host, port), BoundHandler)
+    server.manager = manager
     return server
 
 
@@ -301,20 +412,44 @@ def start_server(
     return server, thread
 
 
+def _sigterm_to_interrupt(signum, frame) -> None:
+    """SIGTERM handler: unwind ``serve_forever`` through its clean path.
+
+    Raising inside the handler (which runs on the main thread, *under*
+    the serving loop's frame) lets the ``finally`` block close the
+    socket and the job manager; calling ``server.shutdown()`` here
+    instead would deadlock — it waits for the very loop this handler
+    interrupted.
+    """
+    raise KeyboardInterrupt
+
+
 def serve_forever(
     host: str = "127.0.0.1",
     port: int = 8642,
     cache_dir: Optional[str] = None,
     max_workers: Optional[int] = None,
     quiet: bool = False,
+    store: Optional[ResultStore] = None,
+    coordinator: Optional[Any] = None,
 ) -> None:
-    """Blocking entry point behind ``python -m repro.service serve``."""
-    store = None if cache_dir is None else ResultStore(cache_dir)
+    """Blocking entry point behind ``python -m repro.service serve``.
+
+    Installs a SIGTERM handler (when running on the main thread) so
+    ``kill <pid>`` and container stops drain through the same clean
+    shutdown as Ctrl-C: socket closed, job manager and process pool
+    stopped, no leaked workers.  ``store``/``coordinator`` let callers
+    (the ``python -m repro.cluster coordinator`` CLI) pass pre-built
+    components; otherwise ``cache_dir`` builds the store.
+    """
+    if store is None and cache_dir is not None:
+        store = ResultStore(cache_dir)
     server = make_server(
         host=host,
         port=port,
         store=store,
         max_workers=max_workers,
+        coordinator=coordinator,
         quiet=quiet,
     )
     actual_host, actual_port = server.server_address[:2]
@@ -323,13 +458,21 @@ def serve_forever(
         ["cache_dir", cache_dir or "<none: recompute every case>"],
         ["max_workers", max_workers or 1],
     ]
+    if coordinator is not None:
+        stats = coordinator.stats()
+        rows.append(["cluster", f"redundancy={stats['redundancy']}"])
     print(format_table("repro.service", ["setting", "value"], rows))
+    previous_sigterm = None
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
+    except ValueError:
+        pass  # not on the main thread; rely on the embedder to stop us
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
         server.shutdown()
-        server.server_close()
-        manager: JobManager = server.manager  # type: ignore[attr-defined]
-        manager.shutdown()
+        server.server_close()  # also shuts the manager and its pool down

@@ -41,38 +41,81 @@ class ServiceClient:
         Server root, e.g. ``http://127.0.0.1:8642`` (trailing slash ok).
     timeout:
         Per-request socket timeout in seconds.
+    retries:
+        Extra attempts for *idempotent* requests (GETs) that die on a
+        transient connection error — ``URLError`` refusals or a reset
+        mid-read.  POSTs are never retried: a sweep submit or a cluster
+        vote that actually landed must not be replayed blindly.
+    backoff:
+        First retry delay in seconds; doubles per retry, capped at
+        ``max_backoff`` (bounded exponential backoff).
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 2,
+        backoff: float = 0.1,
+        max_backoff: float = 2.0,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.max_backoff = float(max_backoff)
 
     # -- transport -----------------------------------------------------
 
     def _request_bytes(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> bytes:
-        """One HTTP exchange; raises :class:`ServiceError` on 4xx/5xx."""
+        """One HTTP exchange; raises :class:`ServiceError` on 4xx/5xx.
+
+        Idempotent GETs survive transient connection blips: they are
+        retried up to ``retries`` times with bounded exponential
+        backoff before the failure surfaces as a status-0
+        :class:`ServiceError`.
+        """
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            f"{self.base_url}{path}", data=data, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return resp.read()
-        except urllib.error.HTTPError as exc:
-            raw = exc.read()
+        attempts = self.retries + 1 if method == "GET" else 1
+        delay = self.backoff
+        for attempt in range(attempts):
+            request = urllib.request.Request(
+                f"{self.base_url}{path}",
+                data=data,
+                headers=headers,
+                method=method,
+            )
             try:
-                message = json.loads(raw).get("error", raw.decode("utf-8"))
-            except ValueError:
-                message = raw.decode("utf-8", "replace")
-            raise ServiceError(exc.code, message) from None
-        except urllib.error.URLError as exc:
-            raise ServiceError(0, f"cannot reach {self.base_url}: {exc.reason}") from None
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as resp:
+                    return resp.read()
+            except urllib.error.HTTPError as exc:
+                # A real server response — never a transport blip, so
+                # never retried.
+                raw = exc.read()
+                try:
+                    message = json.loads(raw).get("error", raw.decode("utf-8"))
+                except ValueError:
+                    message = raw.decode("utf-8", "replace")
+                raise ServiceError(exc.code, message) from None
+            except (urllib.error.URLError, ConnectionResetError) as exc:
+                reason = getattr(exc, "reason", exc)
+                if attempt + 1 >= attempts:
+                    raise ServiceError(
+                        0,
+                        f"cannot reach {self.base_url} after {attempts} "
+                        f"attempt(s): {reason}",
+                    ) from None
+                time.sleep(delay)
+                delay = min(delay * 2.0, self.max_backoff)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _request(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
@@ -109,8 +152,15 @@ class ServiceClient:
         base_seed: int = 0,
         limit_per_scenario: Optional[int] = None,
         replications: int = 1,
+        executor: str = "local",
+        redundancy: int = 1,
     ) -> Dict[str, Any]:
-        """``POST /v1/sweeps``; returns ``{job_id, status, submissions}``."""
+        """``POST /v1/sweeps``; returns ``{job_id, status, submissions}``.
+
+        ``executor="cluster"`` fans cache misses out to the server's
+        registered cluster workers, with r-fold ``redundancy`` and
+        majority-quorum acceptance.
+        """
         request = SweepRequest(
             scenarios=tuple(scenarios or ()),
             families=tuple(families or ()),
@@ -118,6 +168,8 @@ class ServiceClient:
             base_seed=base_seed,
             limit_per_scenario=limit_per_scenario,
             replications=replications,
+            executor=executor,
+            redundancy=redundancy,
         )
         return self._request("POST", "/v1/sweeps", request.to_json_obj())
 
@@ -172,6 +224,40 @@ class ServiceClient:
     def fetch(self, key: str) -> Dict[str, Any]:
         """Decoded cached blob for one content-address key."""
         return json.loads(self.fetch_bytes(key))
+
+    def store_stats(self) -> Dict[str, Any]:
+        """``GET /v1/store/stats``: hit/miss counters, blob count, bytes."""
+        return self._request("GET", "/v1/store/stats")
+
+    # -- cluster endpoints ---------------------------------------------
+
+    def cluster(self) -> Dict[str, Any]:
+        """``GET /v1/cluster``: scheduler counters plus worker registry."""
+        return self._request("GET", "/v1/cluster")
+
+    def register_worker(self, name: Optional[str] = None) -> Dict[str, Any]:
+        """``POST /v1/workers``: register a worker; returns its id.
+
+        Together with :meth:`lease` and :meth:`complete` this mirrors
+        the coordinator's in-process surface, so a
+        :class:`repro.cluster.worker.Worker` can use this client as its
+        transport unchanged.
+        """
+        return self._request("POST", "/v1/workers", {"name": name})
+
+    def lease(self, worker_id: str) -> Dict[str, Any]:
+        """``POST /v1/lease``: request the next work unit for a worker."""
+        return self._request("POST", "/v1/lease", {"worker_id": worker_id})
+
+    def complete(
+        self, worker_id: str, unit_id: str, rows: Sequence[Any]
+    ) -> Dict[str, Any]:
+        """``POST /v1/complete``: post a unit's result rows (quorum vote)."""
+        return self._request(
+            "POST",
+            "/v1/complete",
+            {"worker_id": worker_id, "unit_id": unit_id, "rows": list(rows)},
+        )
 
     def solve(self, **body) -> Dict[str, Any]:
         """``POST /v1/solve`` with the given request fields.

@@ -42,7 +42,14 @@ class TooManyJobsError(RuntimeError):
 
 @dataclass(frozen=True)
 class SweepRequest:
-    """A normalized sweep request (the unit of single-flight dedup)."""
+    """A normalized sweep request (the unit of single-flight dedup).
+
+    ``executor`` selects where cache-miss cases compute: ``"local"``
+    (the job thread / shared process pool) or ``"cluster"`` (the
+    server's :class:`~repro.cluster.coordinator.ClusterCoordinator`,
+    which leases units to registered workers); ``redundancy`` is the
+    cluster's r-fold replication level with majority-quorum acceptance.
+    """
 
     scenarios: tuple = ()
     families: tuple = ()
@@ -50,6 +57,8 @@ class SweepRequest:
     base_seed: int = 0
     limit_per_scenario: Optional[int] = None
     replications: int = 1
+    executor: str = "local"
+    redundancy: int = 1
 
     @classmethod
     def from_json_obj(cls, obj: Dict[str, Any]) -> "SweepRequest":
@@ -61,6 +70,8 @@ class SweepRequest:
             "base_seed",
             "limit_per_scenario",
             "replications",
+            "executor",
+            "redundancy",
         }
         extra = set(obj) - known
         if extra:
@@ -68,6 +79,14 @@ class SweepRequest:
         replications = int(obj.get("replications", 1))
         if replications < 1:
             raise ValueError("replications must be >= 1")
+        executor = str(obj.get("executor", "local"))
+        if executor not in ("local", "cluster"):
+            raise ValueError(
+                f"executor must be 'local' or 'cluster', got {executor!r}"
+            )
+        redundancy = int(obj.get("redundancy", 1))
+        if redundancy < 1:
+            raise ValueError("redundancy must be >= 1")
         limit = obj.get("limit_per_scenario")
         return cls(
             scenarios=tuple(obj.get("scenarios") or ()),
@@ -76,6 +95,8 @@ class SweepRequest:
             base_seed=int(obj.get("base_seed", 0)),
             limit_per_scenario=None if limit is None else int(limit),
             replications=replications,
+            executor=executor,
+            redundancy=redundancy,
         )
 
     def signature(self) -> str:
@@ -88,6 +109,8 @@ class SweepRequest:
                 "base_seed": self.base_seed,
                 "limit_per_scenario": self.limit_per_scenario,
                 "replications": self.replications,
+                "executor": self.executor,
+                "redundancy": self.redundancy,
             }
         )
 
@@ -100,6 +123,8 @@ class SweepRequest:
             "base_seed": self.base_seed,
             "limit_per_scenario": self.limit_per_scenario,
             "replications": self.replications,
+            "executor": self.executor,
+            "redundancy": self.redundancy,
         }
 
 
@@ -179,6 +204,16 @@ class JobManager:
         sets) are kept for later status/results queries — the oldest are
         evicted first, so a long-lived server's memory stays bounded no
         matter how many sweeps it has served.
+    coordinator:
+        Optional :class:`~repro.cluster.coordinator.ClusterCoordinator`.
+        Sweeps submitted with ``executor="cluster"`` fan their cache
+        misses out to its registered workers instead of computing
+        locally; without one, such sweeps fail with a clear error.
+    cluster_timeout:
+        Server-side deadline (seconds) for one cluster-executed sweep.
+        A sweep whose quorum can never form — no workers, all
+        quarantined — then errors its job and frees the in-flight slot
+        instead of wedging it forever.  ``None`` waits without bound.
     """
 
     def __init__(
@@ -187,15 +222,20 @@ class JobManager:
         max_workers: Optional[int] = None,
         max_concurrent_jobs: int = 32,
         max_finished_jobs: int = 256,
+        coordinator: Optional[Any] = None,
+        cluster_timeout: Optional[float] = 3600.0,
     ) -> None:
         self.store = store
         self.max_workers = max_workers
         self.max_concurrent_jobs = int(max_concurrent_jobs)
         self.max_finished_jobs = int(max_finished_jobs)
+        self.coordinator = coordinator
+        self.cluster_timeout = cluster_timeout
         self._jobs: Dict[str, Job] = {}
         self._inflight: Dict[str, Job] = {}
         self._executor: Optional[ProcessPoolExecutor] = None
         self._lock = threading.Lock()
+        self._closed = False
         self._ids = itertools.count(1)
         self.computations = 0
 
@@ -257,11 +297,24 @@ class JobManager:
 
             with self._lock:
                 self.computations += 1
+            executor = None
+            if request.executor == "cluster":
+                if self.coordinator is None:
+                    raise ValueError(
+                        "sweep requested executor='cluster' but this server "
+                        "has no cluster coordinator (start one with "
+                        "'python -m repro.cluster coordinator')"
+                    )
+                executor = self.coordinator.executor(
+                    request.redundancy, timeout=self.cluster_timeout
+                )
             job.results = _execute_cases(
                 cases,
                 base_seed=request.base_seed,
+                executor=executor,
                 # Factory, not a pool: sized on the post-cache miss
                 # count, so a fully-cached job never spawns workers.
+                # Ignored when the cluster executor is set above.
                 executor_factory=self._pool_for,
                 store=self.store,
                 progress=progress,
@@ -303,6 +356,8 @@ class JobManager:
         if self.max_workers is None or self.max_workers <= 1 or n_pending <= 1:
             return None
         with self._lock:
+            if self._closed:
+                return None
             if self._executor is None:
                 self._executor = ProcessPoolExecutor(
                     max_workers=self.max_workers
@@ -355,8 +410,14 @@ class JobManager:
             }
 
     def shutdown(self) -> None:
-        """Stop the shared pool (running jobs finish their inline work)."""
+        """Stop the shared pool (running jobs finish their inline work).
+
+        Idempotent, and terminal: once closed, no later job can lazily
+        restart the pool, so a stopped server never leaks worker
+        processes (``serve`` calls this from its SIGTERM/close path).
+        """
         with self._lock:
             executor, self._executor = self._executor, None
+            self._closed = True
         if executor is not None:
             executor.shutdown(wait=False, cancel_futures=True)

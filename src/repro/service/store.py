@@ -14,6 +14,12 @@ Writes go through a temp file in the destination directory followed by
 ``os.replace``, which is atomic on POSIX and Windows — concurrent
 writers of the same key can interleave freely and readers always see a
 complete blob (one writer's value, never a torn mix).
+
+Operators bound and observe the store with :meth:`ResultStore.prune`
+(age/size eviction) and :meth:`ResultStore.stats` (hit/miss counters,
+blob count, disk bytes — served over ``GET /v1/store/stats``); the
+cluster fabric writes replication-verified results through
+:meth:`ResultStore.put_quorum`.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import json
 import os
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from typing import Any, Dict, Iterator, Optional
 
@@ -97,10 +104,18 @@ class ResultStore:
         )
         self._memory: "OrderedDict[str, str]" = OrderedDict()
         self._lock = threading.Lock()
+        # Serializes the (stat, replace) pair in put(): without it, two
+        # racing writers of one fresh key would both observe "absent"
+        # and the maintained disk counters would double-count the blob.
+        # Blob rendering and temp-file writing stay outside it.
+        self._replace_lock = threading.Lock()
         self._disk_count: Optional[int] = None
+        self._disk_bytes: Optional[int] = None
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self.quorum_puts = 0
+        self.pruned = 0
 
     # -- key and path derivation --------------------------------------
 
@@ -182,12 +197,19 @@ class ResultStore:
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
         text = canonical_json(blob) + "\n"
-        existed = os.path.exists(path)
+        data = text.encode("utf-8")
         fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                handle.write(text.encode("utf-8"))
-            os.replace(tmp_path, path)
+                handle.write(data)
+            with self._replace_lock:
+                try:
+                    old_size = os.path.getsize(path)
+                    existed = True
+                except OSError:
+                    old_size = 0
+                    existed = False
+                os.replace(tmp_path, path)
         except BaseException:
             try:
                 os.unlink(tmp_path)
@@ -198,7 +220,34 @@ class ResultStore:
             self.puts += 1
             if self._disk_count is not None and not existed:
                 self._disk_count += 1
+            if self._disk_bytes is not None:
+                self._disk_bytes += len(data) - old_size
             self._remember(key, text)
+        return path
+
+    def put_quorum(
+        self, key: str, blob: Any, votes: int, threshold: int
+    ) -> str:
+        """Store a replication-verified blob (the cluster's write path).
+
+        ``votes`` is how many distinct workers returned byte-identical
+        payloads and ``threshold`` the majority quorum that was required;
+        the check is re-asserted here — defensively, so a coordinator
+        bug can never poison the content-addressed cache with an
+        unverified payload — and the write is counted separately
+        (``quorum_puts`` in :meth:`stats`).
+        """
+        votes, threshold = int(votes), int(threshold)
+        if threshold < 1:
+            raise ValueError(f"quorum threshold must be >= 1, got {threshold}")
+        if votes < threshold:
+            raise ValueError(
+                f"refusing unverified write: {votes} vote(s) below the "
+                f"{threshold}-vote quorum"
+            )
+        path = self.put(key, blob)
+        with self._lock:
+            self.quorum_puts += 1
         return path
 
     def _remember(self, key: str, text: str) -> None:
@@ -232,31 +281,116 @@ class ResultStore:
         """Number of blobs persisted on disk."""
         return sum(1 for _ in self.keys())
 
+    def _disk_entries(self):
+        """Yield ``(key, path, mtime, size)`` for every persisted blob."""
+        for key in self.keys():
+            path = self.path_for(key)
+            try:
+                status = os.stat(path)
+            except OSError:
+                continue
+            yield key, path, status.st_mtime, status.st_size
+
+    def prune(
+        self,
+        max_age_s: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Bound the store: drop blobs by age and/or total disk bytes.
+
+        ``max_age_s`` removes every blob whose file mtime is older than
+        ``now - max_age_s``; ``max_bytes`` then evicts oldest-first until
+        the remaining blobs total at most ``max_bytes``.  Removed keys
+        are also purged from the in-process LRU, and the maintained
+        ``disk_entries``/``disk_bytes`` counters are decremented by
+        exactly what was unlinked — deltas, not a snapshot overwrite,
+        so concurrent :meth:`put` traffic is never erased from the
+        accounting.  Returns a summary an operator can log
+        (``disk_entries``/``disk_bytes`` are the survivors as of the
+        scan).
+        """
+        if now is None:
+            now = time.time()
+        entries = sorted(self._disk_entries(), key=lambda e: (e[2], e[0]))
+        keep = []
+        drop = []
+        for entry in entries:
+            if max_age_s is not None and entry[2] < now - max_age_s:
+                drop.append(entry)
+            else:
+                keep.append(entry)
+        if max_bytes is not None:
+            total = sum(e[3] for e in keep)
+            while keep and total > max_bytes:
+                oldest = keep.pop(0)
+                total -= oldest[3]
+                drop.append(oldest)
+        freed = 0
+        removed = 0
+        removed_keys = []
+        for key, path, _mtime, size in drop:
+            # Under the replace lock so an unlink can never interleave
+            # with put()'s (stat, replace) pair — otherwise a racing
+            # writer of the same key would see "existed" for a file this
+            # prune is about to delete, and the maintained counters
+            # would drift.
+            with self._replace_lock:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue  # still on disk: keep it in the accounting
+            removed += 1
+            freed += size
+            removed_keys.append(key)
+        with self._lock:
+            for key in removed_keys:
+                self._memory.pop(key, None)
+            if self._disk_count is not None:
+                self._disk_count = max(0, self._disk_count - removed)
+            if self._disk_bytes is not None:
+                self._disk_bytes = max(0, self._disk_bytes - freed)
+            self.pruned += removed
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "disk_entries": len(keep),
+            "disk_bytes": sum(e[3] for e in keep),
+        }
+
     def stats(self) -> Dict[str, Any]:
         """Hit/miss/put counters plus sizes (the health endpoint payload).
 
-        ``disk_entries`` is a maintained counter: the full directory
-        walk runs once (outside the lock, on the first call) and is
-        then kept current by :meth:`put` — a health probe polled at
-        high frequency over a huge store must not pay an O(blobs)
-        listdir sweep per request.  External writers sharing the cache
-        directory are therefore reflected only approximately.
+        ``disk_entries`` and ``disk_bytes`` are maintained counters: the
+        full directory walk runs once (outside the lock, on the first
+        call) and is then kept current by :meth:`put` and :meth:`prune`
+        — a health probe polled at high frequency over a huge store must
+        not pay an O(blobs) stat sweep per request.  External writers
+        sharing the cache directory are therefore reflected only
+        approximately.
         """
         with self._lock:
             disk_count = self._disk_count
+            disk_bytes = self._disk_bytes
             snapshot = {
                 "cache_dir": self.cache_dir,
                 "code_version": self.code_version,
                 "hits": self.hits,
                 "misses": self.misses,
                 "puts": self.puts,
+                "quorum_puts": self.quorum_puts,
+                "pruned": self.pruned,
                 "memory_entries": len(self._memory),
             }
-        if disk_count is None:
-            disk_count = len(self)
+        if disk_count is None or disk_bytes is None:
+            scanned = list(self._disk_entries())
             with self._lock:
                 if self._disk_count is None:
-                    self._disk_count = disk_count
+                    self._disk_count = len(scanned)
+                if self._disk_bytes is None:
+                    self._disk_bytes = sum(e[3] for e in scanned)
                 disk_count = self._disk_count
+                disk_bytes = self._disk_bytes
         snapshot["disk_entries"] = disk_count
+        snapshot["disk_bytes"] = disk_bytes
         return snapshot

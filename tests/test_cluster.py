@@ -1,0 +1,480 @@
+"""Direct (no-HTTP) tests of the cluster coordinator's scheduling core.
+
+The coordinator is driven synchronously from the test thread — register,
+lease, complete — while the blocking ``execute_cases`` call runs on a
+helper thread, so every quorum/strike/expiry decision happens in a
+deterministic order: content-address sharding, majority-quorum
+acceptance, ByzantineRandom corruption being outvoted and quarantined,
+lease expiry and reassignment, stale-vote verification, and the runner's
+pluggable-executor integration with a content-addressed store in front.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    ClusterError,
+    unit_digest,
+)
+from repro.cluster.worker import Worker, corrupt_rows, run_worker_thread
+from repro.dist.faults import (
+    ByzantineRandomAdversary,
+    NoFaultAdversary,
+)
+from repro.experiments.registry import get_scenario
+from repro.experiments.runner import (
+    _collect_cases,
+    _execute_cases,
+    run_experiments,
+)
+from repro.service.store import ResultStore, result_key
+
+E1 = "coordination_robustness"
+
+
+def e1_cases(base_seed=0, replications=1):
+    """The E1 sweep's runner Case tuples (what a sweep submits)."""
+    return _collect_cases([E1], None, base_seed, None, replications)
+
+
+def serial_results(base_seed=0, replications=1):
+    """The serial reference run the cluster must agree with byte-for-byte."""
+    return run_experiments(
+        scenarios=[E1], base_seed=base_seed, replications=replications
+    )
+
+
+def honest_rows(unit):
+    """Compute a leased unit's rows exactly as an honest worker would."""
+    cases = [
+        (
+            ref["scenario"],
+            ref["family"],
+            get_scenario(ref["scenario"]).fn,
+            ref["params"],
+            ref["seed"],
+            ref["replication"],
+        )
+        for ref in unit["cases"]
+    ]
+    results = _execute_cases(cases, base_seed=unit["base_seed"])
+    return [r.to_dict() for r in results]
+
+
+def submit_async(coordinator, cases, base_seed=0, redundancy=None, timeout=30.0):
+    """Run ``execute_cases`` on a helper thread; returns (holder, thread)."""
+    holder = {}
+
+    def run():
+        """Capture the sweep's results or error for the test thread."""
+        try:
+            holder["results"] = coordinator.execute_cases(
+                cases, base_seed=base_seed, redundancy=redundancy, timeout=timeout
+            )
+        except Exception as exc:  # noqa: BLE001 - surfaced via holder
+            holder["error"] = exc
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 5.0
+    while coordinator.stats()["open_units"] == 0:
+        if "error" in holder or time.monotonic() > deadline:
+            break
+        time.sleep(0.005)
+    return holder, thread
+
+
+def drain(coordinator, worker_id, corrupt=None):
+    """Lease-and-complete until no unit is leasable to ``worker_id``."""
+    completed = 0
+    while True:
+        reply = coordinator.lease(worker_id)
+        if reply["unit"] is None:
+            return completed
+        rows = honest_rows(reply["unit"])
+        if corrupt is not None:
+            rows = corrupt(rows)
+        coordinator.complete(worker_id, reply["unit"]["unit_id"], rows)
+        completed += 1
+
+
+def test_sharding_is_sorted_by_content_address_key():
+    cases = e1_cases()
+    coordinator = ClusterCoordinator(unit_size=1)
+    units = coordinator._shard(cases, 0, 1)
+    keys = [
+        result_key(unit.cases[0][1][0], unit.cases[0][1][3], 0, 0)
+        for unit in units
+    ]
+    assert keys == sorted(keys)
+    assert sorted(index for unit in units for index, _case in unit.cases) == [
+        0,
+        1,
+        2,
+        3,
+    ]
+    # Sharding twice yields the same assignment (unit ids aside).
+    again = coordinator._shard(cases, 0, 1)
+    assert [u.cases for u in again] == [u.cases for u in units]
+
+
+def test_single_worker_matches_serial_bytes():
+    coordinator = ClusterCoordinator()
+    worker_id = coordinator.register_worker("solo")["worker_id"]
+    holder, thread = submit_async(coordinator, e1_cases())
+    assert drain(coordinator, worker_id) == 4
+    thread.join(timeout=10)
+    assert "error" not in holder
+    results = holder["results"]
+    serial = serial_results()
+    assert [r.payload_dict() for r in results] == [
+        r.payload_dict() for r in serial
+    ]
+
+
+def test_byzantine_random_worker_outvoted_and_quarantined():
+    """ByzantineRandom corruption loses the 3-fold quorum and is quarantined.
+
+    Driven in a fixed order: the Byzantine worker votes first on the
+    first unit (seed 0's first roll corrupts deterministically), then
+    two honest workers supply the majority.
+    """
+    coordinator = ClusterCoordinator(redundancy=3, quarantine_after=1)
+    byz = coordinator.register_worker("byz")["worker_id"]
+    h1 = coordinator.register_worker("h1")["worker_id"]
+    h2 = coordinator.register_worker("h2")["worker_id"]
+    adversary = ByzantineRandomAdversary({0}, seed=0)
+
+    holder, thread = submit_async(coordinator, e1_cases(), redundancy=3)
+
+    lease_byz = coordinator.lease(byz)
+    unit = lease_byz["unit"]
+    assert unit is not None
+    bad = corrupt_rows(adversary, 0, honest_rows(unit))
+    assert unit_digest(bad) != unit_digest(honest_rows(unit))
+    reply = coordinator.complete(byz, unit["unit_id"], bad)
+    assert reply["status"] == "pending"
+
+    # Two honest votes form the majority; the Byzantine vote loses.
+    lease_h1 = coordinator.lease(h1)
+    assert lease_h1["unit"]["unit_id"] == unit["unit_id"]
+    assert coordinator.complete(
+        h1, unit["unit_id"], honest_rows(unit)
+    )["status"] == "pending"
+    lease_h2 = coordinator.lease(h2)
+    assert lease_h2["unit"]["unit_id"] == unit["unit_id"]
+    assert coordinator.complete(
+        h2, unit["unit_id"], honest_rows(unit)
+    )["status"] == "accepted"
+
+    workers = {w["name"]: w for w in coordinator.workers()}
+    assert workers["byz"]["strikes"] == 1
+    assert workers["byz"]["quarantined"] is True
+    assert coordinator.lease(byz) == {
+        "unit": None,
+        "open": 3,
+        "quarantined": True,
+    }
+
+    # The two honest workers finish the sweep between them.
+    while drain(coordinator, h1) + drain(coordinator, h2) > 0:
+        pass
+    thread.join(timeout=10)
+    assert "error" not in holder
+    assert [r.payload_dict() for r in holder["results"]] == [
+        r.payload_dict() for r in serial_results()
+    ]
+
+
+def test_quarantined_worker_votes_are_ignored():
+    coordinator = ClusterCoordinator(redundancy=3, quarantine_after=1)
+    byz = coordinator.register_worker("byz")["worker_id"]
+    h1 = coordinator.register_worker("h1")["worker_id"]
+    h2 = coordinator.register_worker("h2")["worker_id"]
+    holder, thread = submit_async(coordinator, e1_cases()[:2], redundancy=3)
+    first = coordinator.lease(byz)["unit"]
+    coordinator.complete(byz, first["unit_id"], [{"garbage": 1}])
+    assert coordinator.complete(
+        h1, first["unit_id"], honest_rows(first)
+    )["status"] == "pending"
+    # Resolution strikes and quarantines byz.
+    assert coordinator.complete(
+        h2, first["unit_id"], honest_rows(first)
+    )["status"] == "accepted"
+    # The second unit is still open: a quarantined worker's vote on it
+    # is acknowledged but never counted toward the quorum.
+    second = coordinator.lease(h1)["unit"]
+    assert second is not None
+    reply = coordinator.complete(byz, second["unit_id"], [{"garbage": 2}])
+    assert reply == {
+        "status": "quarantined",
+        "accepted": False,
+        "quarantined": True,
+    }
+    assert coordinator.complete(
+        h1, second["unit_id"], honest_rows(second)
+    )["status"] == "pending"
+    assert coordinator.complete(
+        h2, second["unit_id"], honest_rows(second)
+    )["status"] == "accepted"
+    thread.join(timeout=10)
+    assert "error" not in holder
+    assert len(holder["results"]) == 2
+
+
+def test_lease_expiry_reassigns_crashed_workers_unit():
+    coordinator = ClusterCoordinator(lease_ttl=0.15)
+    dead = coordinator.register_worker("dead")["worker_id"]
+    live = coordinator.register_worker("live")["worker_id"]
+    holder, thread = submit_async(coordinator, e1_cases())
+    crashed_unit = coordinator.lease(dead)["unit"]
+    assert crashed_unit is not None  # ... and 'dead' never completes it.
+    time.sleep(0.2)
+    seen = set()
+    while True:
+        reply = coordinator.lease(live)
+        if reply["unit"] is None:
+            break
+        seen.add(reply["unit"]["unit_id"])
+        coordinator.complete(
+            live, reply["unit"]["unit_id"], honest_rows(reply["unit"])
+        )
+    assert crashed_unit["unit_id"] in seen
+    assert coordinator.stats()["leases_expired"] >= 1
+    thread.join(timeout=10)
+    assert "error" not in holder
+    assert [r.payload_dict() for r in holder["results"]] == [
+        r.payload_dict() for r in serial_results()
+    ]
+
+
+def test_stale_completion_after_acceptance_is_verified():
+    coordinator = ClusterCoordinator(lease_ttl=0.1, quarantine_after=2)
+    slow = coordinator.register_worker("slow")["worker_id"]
+    fast = coordinator.register_worker("fast")["worker_id"]
+    holder, thread = submit_async(coordinator, e1_cases()[:2])
+    unit = coordinator.lease(slow)["unit"]
+    time.sleep(0.15)  # the straggler's lease expires...
+    reassigned = coordinator.lease(fast)["unit"]
+    assert reassigned["unit_id"] == unit["unit_id"]
+    coordinator.complete(fast, unit["unit_id"], honest_rows(unit))
+
+    # The sweep's second unit is still open, so the resolved unit is
+    # queryable.  Agreeing late vote: no strike.  Contradicting: strike.
+    assert coordinator.complete(
+        slow, unit["unit_id"], honest_rows(unit)
+    )["status"] == "stale"
+    assert {w["name"]: w for w in coordinator.workers()}["slow"]["strikes"] == 0
+    assert coordinator.complete(
+        slow, unit["unit_id"], [{"garbage": True}]
+    )["status"] == "stale"
+    assert {w["name"]: w for w in coordinator.workers()}["slow"]["strikes"] == 1
+
+    while drain(coordinator, fast) + drain(coordinator, slow) > 0:
+        pass
+    thread.join(timeout=10)
+    assert "error" not in holder
+
+
+def test_no_quorum_among_max_votes_fails_the_sweep():
+    """Seven pairwise-disagreeing voters exhaust max_votes: sweep fails loudly."""
+    coordinator = ClusterCoordinator(quarantine_after=99)
+    workers = [
+        coordinator.register_worker(f"b{i}")["worker_id"] for i in range(7)
+    ]
+    # redundancy=3 -> threshold 2, max_votes 2*3+1 = 7.
+    holder, thread = submit_async(coordinator, e1_cases()[:1], redundancy=3)
+    unit_id = None
+    for i, worker_id in enumerate(workers):
+        reply = coordinator.lease(worker_id)
+        if reply["unit"] is not None:
+            unit_id = reply["unit"]["unit_id"]
+        assert unit_id is not None
+        coordinator.complete(worker_id, unit_id, [{"junk": i}])
+    thread.join(timeout=10)
+    assert isinstance(holder.get("error"), ClusterError)
+    assert "quorum" in str(holder["error"])
+    assert coordinator.stats()["units_failed"] == 1
+
+
+def test_execute_cases_timeout_raises():
+    coordinator = ClusterCoordinator()
+    with pytest.raises(ClusterError, match="timed out"):
+        coordinator.execute_cases(e1_cases(), timeout=0.2)
+
+
+def test_units_accepted_before_a_timeout_stay_durable(tmp_path):
+    """A timed-out sweep still flushes its quorum-accepted units."""
+    store = ResultStore(str(tmp_path / "cache"))
+    coordinator = ClusterCoordinator(store=store)
+    worker_id = coordinator.register_worker("slowpoke")["worker_id"]
+    holder, thread = submit_async(
+        coordinator, e1_cases()[:2], timeout=0.6
+    )
+    unit = coordinator.lease(worker_id)["unit"]
+    coordinator.complete(worker_id, unit["unit_id"], honest_rows(unit))
+    thread.join(timeout=10)  # ... and the second unit never completes.
+    assert isinstance(holder.get("error"), ClusterError)
+    assert store.quorum_puts == 1
+    key = store.key_for(
+        unit["cases"][0]["scenario"],
+        unit["cases"][0]["params"],
+        unit["base_seed"],
+        unit["cases"][0]["replication"],
+    )
+    assert store.get(key) is not None
+
+
+def test_unknown_ids_raise_key_errors():
+    coordinator = ClusterCoordinator()
+    with pytest.raises(KeyError, match="unknown worker"):
+        coordinator.lease("w999")
+    worker_id = coordinator.register_worker()["worker_id"]
+    with pytest.raises(KeyError, match="unknown work unit"):
+        coordinator.complete(worker_id, "u999", [])
+
+
+def test_corrupt_rows_is_identity_for_honest_workers():
+    rows = [{"metrics": {"a": 1}}, {"metrics": {"b": 2}}]
+    assert corrupt_rows(NoFaultAdversary(), 0, rows) == rows
+
+
+def test_runner_executor_plugin_and_store_short_circuit(tmp_path):
+    """run_experiments(executor=coordinator) + store: warm runs skip the fabric."""
+    store = ResultStore(str(tmp_path / "cache"))
+    coordinator = ClusterCoordinator(store=store)
+    stop = threading.Event()
+    worker, thread = run_worker_thread(coordinator, name="w", stop=stop)
+    try:
+        live_progress = []
+        cold = run_experiments(
+            scenarios=[E1],
+            store=store,
+            executor=coordinator,
+            progress=live_progress.append,
+        )
+        # Progress fired once per case (live from the fabric, no double
+        # reporting from the runner's finish pass).
+        assert len(live_progress) == 4
+        assert coordinator.stats()["units_completed"] == 4
+        # The store was written exactly once per case, via the
+        # quorum-verified path — the runner skipped its duplicate put.
+        assert store.quorum_puts == 4
+        assert store.puts == 4
+        warm = run_experiments(scenarios=[E1], store=store, executor=coordinator)
+        # Fully cached: the coordinator never saw a second sweep.
+        assert coordinator.stats()["units_completed"] == 4
+        assert warm.cache_hits == len(warm) == 4
+        assert warm.to_json_obj() == cold.to_json_obj()
+        assert warm.payload_bytes() == serial_results().payload_bytes()
+    finally:
+        stop.set()
+        thread.join(timeout=5)
+
+
+def test_worker_thread_with_in_process_transport_matches_serial():
+    coordinator = ClusterCoordinator(redundancy=1)
+    stop = threading.Event()
+    workers = [
+        run_worker_thread(coordinator, name=f"w{i}", stop=stop)
+        for i in range(3)
+    ]
+    try:
+        results = coordinator.execute_cases(e1_cases(), timeout=30)
+        assert [r.payload_dict() for r in results] == [
+            r.payload_dict() for r in serial_results()
+        ]
+    finally:
+        stop.set()
+        for _worker, thread in workers:
+            thread.join(timeout=5)
+    assert sum(w.completed for w, _t in workers) == 4
+
+
+class _ErrorTransport:
+    """Transport whose lease always fails with a configurable error."""
+
+    def __init__(self, error):
+        self.error = error
+
+    def register_worker(self, name):
+        """Pretend registration succeeded before the coordinator died."""
+        return {"worker_id": "w1", "name": name or "w1"}
+
+    def lease(self, worker_id):
+        """Fail every lease with the configured error."""
+        raise self.error
+
+    def complete(self, worker_id, unit_id, rows):  # pragma: no cover
+        """Unreachable: leases never succeed."""
+        raise AssertionError("never reached")
+
+
+def test_worker_idle_timeout_covers_transient_transport_errors():
+    """A worker whose coordinator is unreachable drains off on idle_timeout."""
+    from repro.service.client import ServiceError
+
+    transport = _ErrorTransport(ServiceError(0, "cannot reach coordinator"))
+    worker = Worker(transport, name="orphan", poll=0.01)
+    start = time.monotonic()
+    summary = worker.run(idle_timeout=0.15)
+    assert time.monotonic() - start < 5.0
+    assert summary["completed"] == 0
+    assert summary["transport_errors"] >= 2  # kept retrying until idle
+    assert "cannot reach" in summary["last_error"]
+
+
+def test_worker_stops_immediately_on_permanent_server_errors():
+    """HTTP 404s (no coordinator / unknown worker) stop the loop at once."""
+    from repro.service.client import ServiceError
+
+    transport = _ErrorTransport(
+        ServiceError(404, "server is running without a cluster coordinator")
+    )
+    worker = Worker(transport, name="hopeless", poll=0.01)
+    summary = worker.run(idle_timeout=None)  # would spin forever if transient
+    assert summary["transport_errors"] == 1
+    assert "without a cluster coordinator" in summary["last_error"]
+
+    worker = Worker(
+        _ErrorTransport(KeyError("unknown worker 'w1'; register first")),
+        name="forgotten",
+        poll=0.01,
+    )
+    summary = worker.run(idle_timeout=None)
+    assert summary["transport_errors"] == 1
+    assert "unknown worker" in summary["last_error"]
+
+
+def test_worker_fails_loudly_on_unknown_scenario():
+    coordinator = ClusterCoordinator()
+    worker = Worker(coordinator, name="stale-code")
+    worker.register()
+    unit = {
+        "unit_id": "u1",
+        "base_seed": 0,
+        "cases": [
+            {
+                "scenario": "_no_such_scenario",
+                "family": "x",
+                "params": {},
+                "seed": 1,
+                "replication": 0,
+            }
+        ],
+    }
+    with pytest.raises(KeyError, match="_no_such_scenario"):
+        worker.run_unit(unit)
+
+
+def test_worker_summary_and_register_roundtrip():
+    coordinator = ClusterCoordinator()
+    worker = Worker(coordinator, name="summary")
+    assert worker.register().startswith("w")
+    summary = worker.run(max_units=0)
+    assert summary["worker_id"] == worker.worker_id
+    assert summary["completed"] == 0
+    assert summary["crashed"] is False

@@ -4,8 +4,8 @@ CI also runs ``ruff check --select D1`` over the same packages; this
 AST-based twin keeps the guarantee inside the tier-1 suite, where it runs
 without any linter installed.  Scope matches the docs site: every public
 module, class, and function in ``repro.core``, ``repro.solvers``,
-``repro.experiments``, ``repro.econ``, and ``repro.service`` must carry
-a docstring.
+``repro.experiments``, ``repro.econ``, ``repro.service``, and
+``repro.cluster`` must carry a docstring.
 """
 
 import ast
@@ -14,7 +14,7 @@ import pathlib
 import pytest
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
-PACKAGES = ["core", "solvers", "experiments", "econ", "service"]
+PACKAGES = ["cluster", "core", "solvers", "experiments", "econ", "service"]
 
 
 def _public_defs_missing_docstrings(path: pathlib.Path):

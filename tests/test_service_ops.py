@@ -1,0 +1,286 @@
+"""Operational satellites: client retry, store prune/stats, clean shutdown.
+
+Covers the ISSUE-5 satellite behaviours around the service:
+
+* :class:`ServiceClient` retries idempotent GETs on transient connection
+  errors with bounded exponential backoff — and never retries POSTs;
+* :meth:`ResultStore.prune` bounds the store by age and bytes, and
+  ``GET /v1/store/stats`` exposes the counters;
+* :meth:`ResultStore.put_quorum` refuses unverified writes;
+* stopping a server — ``server_close()`` in-process or SIGTERM against a
+  real ``python -m repro.service serve`` subprocess — shuts the
+  :class:`JobManager` and its persistent process pool down, so no
+  worker processes leak.
+"""
+
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import urllib.error
+
+import pytest
+
+from repro.service import client as client_mod
+from repro.service.app import make_server, start_server
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobManager
+from repro.service.store import ResultStore
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+# -- client retry/backoff ----------------------------------------------
+
+
+class _FakeResponse:
+    """Minimal context-manager response for a patched urlopen."""
+
+    def __init__(self, body: bytes) -> None:
+        self._body = body
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def read(self) -> bytes:
+        return self._body
+
+
+def _patch_transport(monkeypatch, failures, body=b'{"ok": true}'):
+    """urlopen raising each exception in ``failures`` before succeeding."""
+    calls = {"n": 0}
+    sleeps = []
+
+    def fake_urlopen(request, timeout=None):
+        calls["n"] += 1
+        if calls["n"] <= len(failures):
+            raise failures[calls["n"] - 1]
+        return _FakeResponse(body)
+
+    monkeypatch.setattr(client_mod.urllib.request, "urlopen", fake_urlopen)
+    monkeypatch.setattr(client_mod.time, "sleep", sleeps.append)
+    return calls, sleeps
+
+
+def test_get_retries_transient_errors_with_backoff(monkeypatch):
+    calls, sleeps = _patch_transport(
+        monkeypatch,
+        [urllib.error.URLError("refused"), ConnectionResetError("reset")],
+    )
+    client = ServiceClient("http://example", retries=3, backoff=0.05)
+    assert client._request("GET", "/v1/health") == {"ok": True}
+    assert calls["n"] == 3
+    assert sleeps == [0.05, 0.1]  # bounded exponential backoff
+
+
+def test_get_retry_budget_exhausts_with_status_zero(monkeypatch):
+    calls, sleeps = _patch_transport(
+        monkeypatch, [urllib.error.URLError("down")] * 10
+    )
+    client = ServiceClient("http://example", retries=2, backoff=0.01)
+    with pytest.raises(ServiceError) as excinfo:
+        client._request("GET", "/v1/health")
+    assert excinfo.value.status == 0
+    assert "3 attempt(s)" in excinfo.value.message
+    assert calls["n"] == 3
+    assert len(sleeps) == 2
+
+
+def test_post_is_never_retried(monkeypatch):
+    calls, sleeps = _patch_transport(
+        monkeypatch, [urllib.error.URLError("refused")] * 10
+    )
+    client = ServiceClient("http://example", retries=5)
+    with pytest.raises(ServiceError):
+        client._request("POST", "/v1/sweeps", {"smoke": True})
+    assert calls["n"] == 1  # a submit that landed must not be replayed
+    assert sleeps == []
+
+
+def test_http_errors_are_not_retried(monkeypatch):
+    error = urllib.error.HTTPError(
+        "http://example/v1/x", 404, "nf", {}, None
+    )
+    error.read = lambda: b'{"error": "no route"}'  # type: ignore[method-assign]
+    calls, _sleeps = _patch_transport(monkeypatch, [error] * 3)
+    client = ServiceClient("http://example", retries=3)
+    with pytest.raises(ServiceError) as excinfo:
+        client._request("GET", "/v1/x")
+    assert excinfo.value.status == 404
+    assert calls["n"] == 1
+
+
+def test_backoff_is_capped(monkeypatch):
+    calls, sleeps = _patch_transport(
+        monkeypatch, [urllib.error.URLError("down")] * 4
+    )
+    client = ServiceClient(
+        "http://example", retries=4, backoff=0.5, max_backoff=1.0
+    )
+    assert client._request("GET", "/v1/health") == {"ok": True}
+    assert sleeps == [0.5, 1.0, 1.0, 1.0]
+    assert calls["n"] == 5
+
+
+# -- store prune / stats / quorum writes --------------------------------
+
+
+def _fill(store, n, size=0):
+    """Put ``n`` blobs (optionally padded) and return their keys."""
+    keys = []
+    for i in range(n):
+        key = store.key_for("scn", {"i": i, "pad": "x" * size}, 0)
+        store.put(key, {"metrics": {"i": i}, "pad": "x" * size})
+        keys.append(key)
+    return keys
+
+
+def test_prune_by_age(tmp_path):
+    store = ResultStore(str(tmp_path))
+    keys = _fill(store, 4)
+    old = keys[:2]
+    for key in old:
+        os.utime(store.path_for(key), (1, 1))  # ancient mtime
+    report = store.prune(max_age_s=3600)
+    assert report["removed"] == 2
+    assert report["disk_entries"] == 2
+    assert store.get(old[0]) is None  # purged from LRU and disk
+    assert store.get(keys[3]) is not None
+    stats = store.stats()
+    assert stats["disk_entries"] == 2
+    assert stats["pruned"] == 2
+
+
+def test_prune_by_bytes_evicts_oldest_first(tmp_path):
+    store = ResultStore(str(tmp_path))
+    keys = _fill(store, 4, size=100)
+    sizes = [os.path.getsize(store.path_for(k)) for k in keys]
+    for i, key in enumerate(keys):
+        os.utime(store.path_for(key), (1000 + i, 1000 + i))
+    budget = sizes[2] + sizes[3]
+    report = store.prune(max_bytes=budget)
+    assert report["removed"] == 2
+    assert report["disk_bytes"] <= budget
+    assert store.get(keys[0]) is None and store.get(keys[1]) is None
+    assert store.get(keys[2]) is not None and store.get(keys[3]) is not None
+
+
+def test_stats_disk_bytes_tracks_puts(tmp_path):
+    store = ResultStore(str(tmp_path))
+    assert store.stats()["disk_bytes"] == 0
+    key = _fill(store, 1)[0]
+    expected = os.path.getsize(store.path_for(key))
+    assert store.stats()["disk_bytes"] == expected
+    # Overwriting the same key must not double-count.
+    store.put(key, {"metrics": {"i": 0}, "pad": ""})
+    assert store.stats()["disk_bytes"] == os.path.getsize(store.path_for(key))
+
+
+def test_put_quorum_refuses_unverified_writes(tmp_path):
+    store = ResultStore(str(tmp_path))
+    key = store.key_for("scn", {}, 0)
+    with pytest.raises(ValueError, match="unverified"):
+        store.put_quorum(key, {"m": 1}, votes=1, threshold=2)
+    assert store.get(key) is None
+    store.put_quorum(key, {"m": 1}, votes=2, threshold=2)
+    assert store.get(key) == {"m": 1}
+    assert store.stats()["quorum_puts"] == 1
+
+
+def test_store_stats_endpoint(tmp_path):
+    store = ResultStore(str(tmp_path / "cache"))
+    server, _thread = start_server(store=store)
+    try:
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}")
+        client.run_sweep(scenarios=["coordination_robustness"])
+        stats = client.store_stats()
+        assert stats["disk_entries"] == 4
+        assert stats["disk_bytes"] > 0
+        assert stats["puts"] == 4
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_store_stats_endpoint_404_without_store():
+    server, _thread = start_server()
+    try:
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}")
+        with pytest.raises(ServiceError, match="without a result store"):
+            client.store_stats()
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+# -- clean shutdown ----------------------------------------------------
+
+
+def test_server_close_shuts_the_manager_pool_down():
+    manager = JobManager(max_workers=2)
+    server = make_server(manager=manager)
+    try:
+        pool = manager._pool_for(4)
+        assert pool is not None
+        assert manager.stats()["pool_started"] is True
+    finally:
+        server.server_close()
+    assert manager.stats()["pool_started"] is False
+    # ... and the pool cannot be lazily restarted after close.
+    assert manager._pool_for(4) is None
+
+
+def _free_port() -> int:
+    """An OS-assigned free TCP port (racy but fine for a test)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def test_sigterm_stops_a_served_process_cleanly():
+    """Regression: serve + pooled sweep + SIGTERM exits 0, no leaked pool.
+
+    Before the managed shutdown, the persistent ``ProcessPoolExecutor``
+    survived SIGTERM-as-KeyboardInterrupt and its non-daemon threads
+    kept the interpreter (and its child processes) alive — this test
+    would hang at ``wait`` instead of exiting 0.
+    """
+    port = _free_port()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO / "src")] + env.get("PYTHONPATH", "").split(os.pathsep)
+    ).rstrip(os.pathsep)
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "serve",
+            "--port",
+            str(port),
+            "--workers",
+            "2",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        client = ServiceClient(f"http://127.0.0.1:{port}")
+        client.wait_until_up(timeout=30)
+        # Force the persistent process pool into existence.
+        client.run_sweep(scenarios=["coordination_robustness"], timeout=60)
+        assert client.health()["manager"]["pool_started"] is True
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
