@@ -1,0 +1,141 @@
+"""Asyncio HTTP/1.1 load generator for the service benchmarks.
+
+Drives N concurrent keep-alive connections against one endpoint, with
+optional request pipelining (each connection keeps up to ``depth``
+requests in flight on its socket).  Generator and server share one
+event loop when the caller runs them that way, which is exactly the
+honest configuration for a single-core container: there is no second
+core for the load generator anyway, and the loop interleaves both
+sides cooperatively instead of ping-ponging the GIL between threads.
+
+Latency is recorded per request from the moment its bytes are queued to
+the socket until its response is fully read, so under pipelining the
+percentiles include queueing delay — the number a real pipelined client
+would observe, not an idealized service time.
+
+Usage::
+
+    report = asyncio.run(run_load("127.0.0.1", 8642, "/v1/health",
+                                  connections=100,
+                                  requests_per_connection=100,
+                                  pipeline_depth=16))
+    print(report.req_per_s, report.p99_ms)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["LoadReport", "run_load"]
+
+
+@dataclass
+class LoadReport:
+    """One load run's aggregate throughput and latency percentiles."""
+
+    connections: int
+    pipeline_depth: int
+    total_requests: int
+    seconds: float
+    req_per_s: float
+    p50_ms: float
+    p99_ms: float
+
+    def workload(self, path: str) -> str:
+        """Human-readable row description for the BENCH JSON."""
+        return (
+            f"{self.total_requests} GET {path} over {self.connections} "
+            f"conns (depth {self.pipeline_depth}): "
+            f"{self.req_per_s:,.0f} req/s, p50 {self.p50_ms:.2f} ms, "
+            f"p99 {self.p99_ms:.2f} ms"
+        )
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile of pre-sorted values (nearest-rank)."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+async def _drive_connection(
+    host: str,
+    port: int,
+    request: bytes,
+    n_requests: int,
+    depth: int,
+) -> List[float]:
+    """One keep-alive connection: pipeline ``n_requests``, time each.
+
+    Keeps up to ``depth`` requests outstanding; returns per-request
+    latencies (send-enqueue → response fully read).  Asserts every
+    response is a 200 — a load test that silently measures error pages
+    is worse than one that fails.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    latencies: List[float] = []
+    sent_at: List[float] = []
+    sent = 0
+    done = 0
+    try:
+        while done < n_requests:
+            burst = min(depth - (sent - done), n_requests - sent)
+            if burst > 0:
+                writer.write(request * burst)
+                now = time.perf_counter()
+                sent_at.extend([now] * burst)
+                sent += burst
+                await writer.drain()
+            header = await reader.readuntil(b"\r\n\r\n")
+            status = int(header.split(b" ", 2)[1])
+            assert status == 200, f"load target answered {status}"
+            length = 0
+            for line in header.split(b"\r\n"):
+                if line.lower().startswith(b"content-length:"):
+                    length = int(line.split(b":", 1)[1])
+            if length:
+                await reader.readexactly(length)
+            latencies.append(time.perf_counter() - sent_at[done])
+            done += 1
+    finally:
+        writer.close()
+    return latencies
+
+
+async def run_load(
+    host: str,
+    port: int,
+    path: str,
+    connections: int,
+    requests_per_connection: int,
+    pipeline_depth: int = 1,
+) -> LoadReport:
+    """Run the full load matrix and aggregate a :class:`LoadReport`."""
+    request = (
+        f"GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode("ascii")
+    )
+    start = time.perf_counter()
+    per_connection = await asyncio.gather(
+        *(
+            _drive_connection(
+                host, port, request, requests_per_connection, pipeline_depth
+            )
+            for _ in range(connections)
+        )
+    )
+    seconds = time.perf_counter() - start
+    latencies = sorted(lat for conn in per_connection for lat in conn)
+    total = len(latencies)
+    return LoadReport(
+        connections=connections,
+        pipeline_depth=pipeline_depth,
+        total_requests=total,
+        seconds=seconds,
+        req_per_s=total / seconds if seconds else 0.0,
+        p50_ms=1000.0 * _percentile(latencies, 0.50),
+        p99_ms=1000.0 * _percentile(latencies, 0.99),
+    )

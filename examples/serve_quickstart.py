@@ -1,10 +1,11 @@
 """Service quickstart: run the experiment server and query it in-process.
 
-Starts the ``repro.service`` HTTP server on an ephemeral port with a
-temporary content-addressed result cache, submits the paper's E1
+Starts the ``repro.service`` asyncio HTTP server on an ephemeral port
+with a temporary content-addressed result cache, submits the paper's E1
 robustness sweep through the :class:`~repro.service.client.ServiceClient`
 twice (cold, then fully cached), fetches one result blob by its content
-address, and solves a classic game through ``/v1/solve``.
+address, and solves a classic game through ``/v1/solve``.  (The
+threaded reference server, ``start_server``, has the same surface.)
 
 Run with::
 
@@ -15,13 +16,13 @@ import tempfile
 import time
 
 from repro.experiments.results import format_table
-from repro.service import ResultStore, ServiceClient, start_server
+from repro.service import ResultStore, ServiceClient, start_async_server
 
 
 def main() -> None:
     cache_dir = tempfile.mkdtemp(prefix="repro-service-")
     store = ResultStore(cache_dir)
-    server, _thread = start_server(store=store)
+    server, _thread = start_async_server(store=store)
     host, port = server.server_address[:2]
     client = ServiceClient(f"http://{host}:{port}")
     print(f"## serving http://{host}:{port} (cache: {cache_dir})")

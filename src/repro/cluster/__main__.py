@@ -31,6 +31,7 @@ from repro.cluster.worker import Worker
 from repro.dist.faults import ByzantineRandomAdversary, CrashAdversary
 from repro.experiments.results import format_table
 from repro.service.app import serve_forever
+from repro.service.aserver import aserve_forever
 from repro.service.client import ServiceClient
 from repro.service.store import ResultStore
 
@@ -54,7 +55,8 @@ def _cmd_coordinator(args: argparse.Namespace) -> int:
         lease_ttl=args.lease_ttl,
         quarantine_after=args.quarantine_after,
     )
-    serve_forever(
+    serve = serve_forever if args.legacy_threads else aserve_forever
+    serve(
         host=args.host,
         port=args.port,
         cache_dir=args.cache_dir,
@@ -168,6 +170,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=1,
         help="strikes before a worker stops receiving leases",
+    )
+    coord.add_argument(
+        "--legacy-threads",
+        action="store_true",
+        help="use the threaded reference server instead of asyncio",
     )
     coord.set_defaults(fn=_cmd_coordinator)
 

@@ -10,10 +10,15 @@ that purity to turn the batch reproduction into a queryable system:
 * :mod:`repro.service.jobs` — :class:`~repro.service.jobs.JobManager`,
   asynchronous sweep jobs with single-flight dedup of identical
   in-flight requests and a persistent process pool for the misses.
-* :mod:`repro.service.app` — a stdlib ``ThreadingHTTPServer`` JSON API
-  (scenarios, sweep submit/poll/fetch, cached-blob fetch by key, and a
-  synchronous ``/v1/solve`` for small normal-form games).
-* :mod:`repro.service.client` — a urllib
+* :mod:`repro.service.app` — the transport-agnostic
+  :class:`~repro.service.app.ServiceAPI` JSON routing core (scenarios,
+  sweep submit/poll/fetch, cached-blob fetch by key with ETag/304, an
+  NDJSON ``/v1/results:batch``, and a synchronous ``/v1/solve`` for
+  small normal-form games) plus the threaded reference server.
+* :mod:`repro.service.aserver` — the asyncio production server: one
+  event loop multiplexing thousands of pipelined keep-alive
+  connections, zero-copy blob responses, graceful SIGTERM drain.
+* :mod:`repro.service.client` — a keep-alive
   :class:`~repro.service.client.ServiceClient` mirroring the endpoints.
 * :mod:`repro.service.solve` — the JSON game-solving dispatch shared by
   the server and any embedding caller.
@@ -32,6 +37,7 @@ quorum-voted completions (see :mod:`repro.cluster`).
 """
 
 from repro.service.app import make_server, serve_forever, start_server
+from repro.service.aserver import aserve_forever, start_async_server
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.jobs import Job, JobManager, SweepRequest
 from repro.service.solve import solve_request
@@ -44,10 +50,12 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "SweepRequest",
+    "aserve_forever",
     "canonical_json",
     "make_server",
     "result_key",
     "serve_forever",
     "solve_request",
+    "start_async_server",
     "start_server",
 ]

@@ -26,6 +26,7 @@ from typing import List, Optional
 
 from repro.experiments.results import format_table
 from repro.service.app import serve_forever
+from repro.service.aserver import aserve_forever
 from repro.service.client import ServiceClient
 
 
@@ -39,13 +40,22 @@ def _add_url(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Run the blocking HTTP server."""
-    serve_forever(
-        host=args.host,
-        port=args.port,
-        cache_dir=args.cache_dir,
-        max_workers=args.workers,
-    )
+    """Run the blocking HTTP server (asyncio by default)."""
+    if args.legacy_threads:
+        serve_forever(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            max_workers=args.workers,
+        )
+    else:
+        aserve_forever(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            max_workers=args.workers,
+            max_connections=args.max_connections,
+        )
     return 0
 
 
@@ -148,6 +158,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=None,
         help="process-pool size for sweep cases (default: in-thread)",
+    )
+    serve.add_argument(
+        "--legacy-threads",
+        action="store_true",
+        help="use the threaded reference server instead of asyncio",
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=4096,
+        help="asyncio server keep-alive connection bound (default: 4096)",
     )
     serve.set_defaults(fn=_cmd_serve)
 

@@ -1,33 +1,47 @@
-"""Stdlib HTTP JSON API over the job manager and result store.
+"""HTTP JSON API over the job manager and result store.
 
-A ``ThreadingHTTPServer`` (one thread per connection, no dependencies
-beyond the standard library) exposing:
+The route handlers live in :class:`ServiceAPI`, a transport-agnostic
+core: one method per endpoint, each returning an :class:`ApiResponse`
+value (status, body bytes or a blob file reference, content type,
+ETag).  Two transports serve it:
 
-====== =========================== ==========================================
-Method Path                        Meaning
-====== =========================== ==========================================
-GET    ``/v1/health``              liveness + store/job-manager counters
-GET    ``/v1/scenarios``           the scenario registry listing
-POST   ``/v1/sweeps``              submit a sweep; returns the job id
-GET    ``/v1/jobs``                all jobs, oldest first
-GET    ``/v1/jobs/<id>``           one job's status/progress payload
-GET    ``/v1/jobs/<id>/results``   finished job's results (409 until done)
-GET    ``/v1/results/<key>``       one cached blob, verbatim on-disk bytes
-GET    ``/v1/store/stats``         store counters (hits/misses/disk bytes)
-POST   ``/v1/solve``               synchronous small-game solving
-POST   ``/v1/workers``             register a cluster worker
-POST   ``/v1/lease``               lease one work unit to a worker
-POST   ``/v1/complete``            post a unit's result rows (quorum vote)
-GET    ``/v1/cluster``             cluster scheduler counters + workers
-====== =========================== ==========================================
+* this module's ``ThreadingHTTPServer`` (one thread per connection, the
+  original reference implementation), and
+* :mod:`repro.service.aserver`, the asyncio event-loop server that
+  multiplexes thousands of keep-alive connections on one core.
+
+====== ============================ ==========================================
+Method Path                         Meaning
+====== ============================ ==========================================
+GET    ``/v1/health``               liveness + store/job-manager counters
+GET    ``/v1/scenarios``            the scenario registry listing
+POST   ``/v1/sweeps``               submit a sweep; returns the job id
+GET    ``/v1/jobs``                 all jobs, oldest first
+GET    ``/v1/jobs/<id>``            one job's status/progress payload
+GET    ``/v1/jobs/<id>/results``    finished job's results (409 until done)
+GET    ``/v1/results/<key>``        one cached blob (ETag = content address)
+POST   ``/v1/results:batch``        N cached blobs, newline-delimited JSON
+GET    ``/v1/store/stats``          store counters (hits/misses/disk bytes)
+POST   ``/v1/solve``                synchronous small-game solving
+POST   ``/v1/workers``              register a cluster worker
+POST   ``/v1/lease``                lease one work unit to a worker
+POST   ``/v1/complete``             post a unit's result rows (quorum vote)
+GET    ``/v1/cluster``              cluster scheduler counters + workers
+====== ============================ ==========================================
+
+``HEAD`` is supported on every GET route (same headers, no body).
+Because results are content-addressed, ``/v1/results/<key>`` carries a
+perfect ``ETag`` — the key itself — and honours ``If-None-Match`` with
+a body-less 304, so warm clients pay zero body bytes per revalidation.
 
 Sweep submission replies immediately (HTTP 202) with the job id; heavy
 work happens on the manager's worker threads and process pool.  The
-``/v1/results/<key>`` fetch serves the store's file bytes unmodified, so
-a warm client read is byte-identical to what the cold computation wrote.
-The cluster endpoints forward their JSON bodies verbatim into the
-attached :class:`~repro.cluster.coordinator.ClusterCoordinator` (404
-when the server runs without one).
+``/v1/results/<key>`` fetch serves the store's canonical bytes, so a
+warm client read is byte-identical to what the cold computation wrote.
+The cluster endpoints (``/v1/workers``, ``/v1/lease``,
+``/v1/complete``) forward their JSON bodies verbatim into the attached
+:class:`~repro.cluster.coordinator.ClusterCoordinator` (404 when the
+server runs without one).
 
 Lifecycle: the server owns its :class:`JobManager` — ``server_close()``
 shuts the manager (and its persistent process pool) down, and the
@@ -38,10 +52,13 @@ path, so a stopped server never leaks worker processes.
 from __future__ import annotations
 
 import json
+import os
+import shutil
 import signal
 import threading
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.experiments.results import format_table
 from repro.service.jobs import JobManager, SweepRequest, TooManyJobsError
@@ -50,13 +67,21 @@ from repro.service.store import ResultStore
 
 __all__ = [
     "ApiError",
+    "ApiResponse",
+    "ServiceAPI",
     "ManagedHTTPServer",
+    "etag_matches",
     "make_server",
     "start_server",
     "serve_forever",
 ]
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024
+_MAX_BATCH_KEYS = 10_000
+# Blobs at or above this size are handed to the transport as a file
+# reference (``ApiResponse.blob_path``) for sendfile/streamed serving;
+# smaller ones ride in memory through the store's LRU.
+_SENDFILE_MIN_BYTES = 64 * 1024
 
 
 class ApiError(Exception):
@@ -68,102 +93,96 @@ class ApiError(Exception):
         self.message = message
 
 
-class _Handler(BaseHTTPRequestHandler):
-    """Request handler bound (via ``make_server``) to one JobManager."""
+def etag_matches(header: Optional[str], etag: str) -> bool:
+    """Does an ``If-None-Match`` header value match a strong ``etag``?
 
-    manager: JobManager = None  # type: ignore[assignment]
-    quiet: bool = True
-    protocol_version = "HTTP/1.1"
+    Accepts ``*``, a single tag, or a comma-separated list; weak
+    validators (``W/"..."``) compare by opaque tag, which is correct
+    here because a content address can never collide weakly.
+    """
+    if not header:
+        return False
+    header = header.strip()
+    if header == "*":
+        return True
+    for candidate in header.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == etag:
+            return True
+    return False
 
-    # -- plumbing ------------------------------------------------------
 
-    def log_message(self, format: str, *args) -> None:  # noqa: A002
-        """Silence per-request stderr logging unless ``quiet`` is off."""
-        if not self.quiet:
-            super().log_message(format, *args)
+@dataclass
+class ApiResponse:
+    """One endpoint's transport-agnostic result.
 
-    def _send_json(self, status: int, payload: Any) -> None:
-        """Write one JSON response with correct framing headers."""
-        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
-        self._send_bytes(status, body, "application/json")
+    Exactly one of ``body`` or ``blob_path`` is set (``body`` may be
+    empty for 304s).  ``chunks`` optionally carries a pre-split body
+    for transports that stream (the NDJSON batch endpoint); when set,
+    ``body`` is their concatenation for transports that don't.
+    """
 
-    def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
-        """Write raw response bytes (used verbatim for store blobs)."""
-        self._drain_request_body()
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    etag: Optional[str] = None
+    blob_path: Optional[str] = None
+    blob_size: int = 0
+    chunks: Optional[List[bytes]] = field(default=None, repr=False)
 
-    def _request_body_length(self) -> int:
-        """Declared request body length (chunked encoding forces close)."""
-        if self.headers.get("Transfer-Encoding"):
-            self.close_connection = True
-            return 0
+    @property
+    def content_length(self) -> int:
+        """Declared body length (the blob size for file responses)."""
+        if self.blob_path is not None:
+            return self.blob_size
+        return len(self.body)
+
+
+class ServiceAPI:
+    """The route table and handlers, independent of any HTTP transport.
+
+    A transport parses the request line, headers, and body off its
+    connection and calls :meth:`handle`; everything after that —
+    routing, validation, the JSON error envelope, ETag revalidation —
+    happens here, so the threaded and asyncio servers cannot drift
+    apart behaviourally.
+    """
+
+    def __init__(self, manager: JobManager) -> None:
+        self.manager = manager
+
+    # -- dispatch ------------------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        if_none_match: Optional[str] = None,
+    ) -> ApiResponse:
+        """Serve one request; failures become the JSON error envelope."""
         try:
-            return int(self.headers.get("Content-Length") or 0)
-        except ValueError:
-            self.close_connection = True
-            return 0
-
-    def _drain_request_body(self) -> None:
-        """Consume any unread request body before responding.
-
-        This connection speaks keep-alive HTTP/1.1: if a request errors
-        before its body was read (unknown route, malformed fields), the
-        unread bytes would otherwise be parsed as the *next* request
-        line, desyncing every later exchange on the socket.  Oversized
-        bodies aren't worth reading — close the connection instead.
-        """
-        length = self._request_body_length()
-        remaining = length - self._body_consumed
-        if remaining <= 0:
-            return
-        if length > _MAX_BODY_BYTES:
-            self.close_connection = True
-            return
-        self.rfile.read(remaining)
-        self._body_consumed = length
-
-    def _read_json_body(self) -> Dict[str, Any]:
-        """Parse the request body as a JSON object (ApiError on garbage)."""
-        length = self._request_body_length()
-        if length > _MAX_BODY_BYTES:
-            raise ApiError(413, "request body too large")
-        raw = self.rfile.read(length) if length else b""
-        self._body_consumed = length
-        if not raw:
-            return {}
-        try:
-            body = json.loads(raw)
-        except ValueError as exc:
-            raise ApiError(400, f"invalid JSON body: {exc}") from None
-        if not isinstance(body, dict):
-            raise ApiError(400, "JSON body must be an object")
-        return body
-
-    def _dispatch(self, method: str) -> None:
-        """Route one request; uniform JSON error envelope on failure."""
-        self._body_consumed = 0
-        try:
-            handler, args = self._route(method)
-            handler(*args)
+            handler, args = self._route(method, path)
+            return handler(*args, body=body, if_none_match=if_none_match)
         except ApiError as exc:
-            self._send_json(exc.status, {"error": exc.message})
+            return self._json(exc.status, {"error": exc.message})
         except TooManyJobsError as exc:
-            self._send_json(503, {"error": str(exc)})
+            return self._json(503, {"error": str(exc)})
         except (KeyError, ValueError) as exc:
             message = exc.args[0] if exc.args else str(exc)
             status = 404 if isinstance(exc, KeyError) else 400
-            self._send_json(status, {"error": str(message)})
+            return self._json(status, {"error": str(message)})
         except Exception as exc:  # pragma: no cover - defensive 500
-            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return self._json(500, {"error": f"{type(exc).__name__}: {exc}"})
 
-    def _route(self, method: str) -> Tuple[Any, tuple]:
+    def _route(self, method: str, raw_path: str) -> Tuple[Any, tuple]:
         """Resolve (handler, args) for the request path."""
-        path = self.path.split("?", 1)[0].rstrip("/")
+        path = raw_path.split("?", 1)[0].rstrip("/")
         parts = [p for p in path.split("/") if p]
+        if method == "HEAD":
+            method = "GET"  # identical routing; transports drop the body
         if method == "GET":
             if parts == ["v1", "health"]:
                 return self._get_health, ()
@@ -188,6 +207,8 @@ class _Handler(BaseHTTPRequestHandler):
         if method == "POST":
             if parts == ["v1", "sweeps"]:
                 return self._post_sweep, ()
+            if parts == ["v1", "results:batch"]:
+                return self._post_results_batch, ()
             if parts == ["v1", "solve"]:
                 return self._post_solve, ()
             if parts == ["v1", "workers"]:
@@ -196,23 +217,52 @@ class _Handler(BaseHTTPRequestHandler):
                 return self._post_lease, ()
             if parts == ["v1", "complete"]:
                 return self._post_complete, ()
-        raise ApiError(404, f"no route for {method} {self.path}")
+        raise ApiError(404, f"no route for {method} {raw_path}")
 
-    def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        """Serve one GET request."""
-        self._dispatch("GET")
+    # -- response/body helpers -----------------------------------------
 
-    def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        """Serve one POST request."""
-        self._dispatch("POST")
+    @staticmethod
+    def _json(status: int, payload: Any) -> ApiResponse:
+        """One JSON response (human-readable rendering, both servers)."""
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        return ApiResponse(status, body)
+
+    @staticmethod
+    def _parse_json_body(body: bytes) -> Dict[str, Any]:
+        """Parse a request body as a JSON object (ApiError on garbage)."""
+        if not body:
+            return {}
+        try:
+            obj = json.loads(body)
+        except ValueError as exc:
+            raise ApiError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(obj, dict):
+            raise ApiError(400, "JSON body must be an object")
+        return obj
+
+    def _store(self) -> ResultStore:
+        """The attached result store (404 when absent)."""
+        store = self.manager.store
+        if store is None:
+            raise ApiError(404, "server is running without a result store")
+        return store
+
+    def _coordinator(self):
+        """The attached cluster coordinator (404 when absent)."""
+        coordinator = self.manager.coordinator
+        if coordinator is None:
+            raise ApiError(
+                404, "server is running without a cluster coordinator"
+            )
+        return coordinator
 
     # -- endpoints -----------------------------------------------------
 
-    def _get_health(self) -> None:
+    def _get_health(self, **_ignored) -> ApiResponse:
         """Liveness plus store, manager, and cluster counters."""
         store = self.manager.store
         coordinator = self.manager.coordinator
-        self._send_json(
+        return self._json(
             200,
             {
                 "status": "ok",
@@ -224,83 +274,75 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
-    def _get_store_stats(self) -> None:
+    def _get_store_stats(self, **_ignored) -> ApiResponse:
         """The result store's counters (hits/misses, blob count, bytes)."""
-        store = self.manager.store
-        if store is None:
-            raise ApiError(404, "server is running without a result store")
-        self._send_json(200, store.stats())
+        return self._json(200, self._store().stats())
 
-    def _coordinator(self):
-        """The attached cluster coordinator (404 when absent)."""
-        coordinator = self.manager.coordinator
-        if coordinator is None:
-            raise ApiError(
-                404, "server is running without a cluster coordinator"
-            )
-        return coordinator
-
-    def _get_cluster(self) -> None:
+    def _get_cluster(self, **_ignored) -> ApiResponse:
         """Cluster scheduler counters plus the per-worker registry."""
         coordinator = self._coordinator()
-        self._send_json(
+        return self._json(
             200,
             {"stats": coordinator.stats(), "workers": coordinator.workers()},
         )
 
-    def _post_register_worker(self) -> None:
+    def _post_register_worker(self, body=b"", **_ignored) -> ApiResponse:
         """Register a cluster worker; returns its assigned id."""
-        body = self._read_json_body()
-        name = body.get("name")
-        self._send_json(200, self._coordinator().register_worker(name))
+        parsed = self._parse_json_body(body)
+        name = parsed.get("name")
+        return self._json(200, self._coordinator().register_worker(name))
 
-    def _post_lease(self) -> None:
+    def _post_lease(self, body=b"", **_ignored) -> ApiResponse:
         """Lease the next eligible work unit to the requesting worker."""
-        body = self._read_json_body()
-        worker_id = body.get("worker_id")
+        parsed = self._parse_json_body(body)
+        worker_id = parsed.get("worker_id")
         if not worker_id:
             raise ApiError(400, "lease request needs a worker_id")
-        self._send_json(200, self._coordinator().lease(worker_id))
+        return self._json(200, self._coordinator().lease(worker_id))
 
-    def _post_complete(self) -> None:
+    def _post_complete(self, body=b"", **_ignored) -> ApiResponse:
         """Record a worker's result rows for a unit as a quorum vote."""
-        body = self._read_json_body()
-        worker_id = body.get("worker_id")
-        unit_id = body.get("unit_id")
-        rows = body.get("rows")
+        parsed = self._parse_json_body(body)
+        worker_id = parsed.get("worker_id")
+        unit_id = parsed.get("unit_id")
+        rows = parsed.get("rows")
         if not worker_id or not unit_id or not isinstance(rows, list):
             raise ApiError(
                 400, "complete request needs worker_id, unit_id, and rows"
             )
-        self._send_json(
+        return self._json(
             200, self._coordinator().complete(worker_id, unit_id, rows)
         )
 
-    def _get_scenarios(self) -> None:
+    def _get_scenarios(self, **_ignored) -> ApiResponse:
         """The scenario registry listing."""
-        self._send_json(200, {"scenarios": self.manager.scenario_listing()})
+        return self._json(
+            200, {"scenarios": self.manager.scenario_listing()}
+        )
 
-    def _get_jobs(self) -> None:
+    def _get_jobs(self, **_ignored) -> ApiResponse:
         """Status payloads for every job, oldest first."""
-        self._send_json(
+        return self._json(
             200, {"jobs": [job.to_json_obj() for job in self.manager.jobs()]}
         )
 
-    def _get_job(self, job_id: str) -> None:
+    def _get_job(self, job_id: str, **_ignored) -> ApiResponse:
         """One job's status payload."""
-        self._send_json(200, self.manager.get(job_id).to_json_obj())
+        return self._json(200, self.manager.get(job_id).to_json_obj())
 
-    def _get_job_results(self, job_id: str) -> None:
-        """A finished job's results (409 while running, 500-ish on error)."""
+    def _get_job_results(self, job_id: str, **_ignored) -> ApiResponse:
+        """A finished job's results (409 while running, 502 on error)."""
         job = self.manager.get(job_id)
         if job.status in ("queued", "running"):
-            raise ApiError(409, f"job {job_id} is {job.status}; poll until done")
+            raise ApiError(
+                409, f"job {job_id} is {job.status}; poll until done"
+            )
         if job.status == "error" or job.results is None:
             raise ApiError(502, f"job {job_id} failed: {job.error}")
         # ``cached`` is transport metadata, not part of the result rows
         # (rows must serialize byte-identically warm or cold), so it
         # rides alongside as a parallel array.
-        self._send_json(
+        return self._json(
             200,
             {
                 "job": job.to_json_obj(),
@@ -309,25 +351,94 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
-    def _get_result_blob(self, key: str) -> None:
-        """One cached case, served as its verbatim on-disk bytes."""
-        store = self.manager.store
-        if store is None:
-            raise ApiError(404, "server is running without a result store")
+    def _get_result_blob(
+        self, key: str, if_none_match: Optional[str] = None, **_ignored
+    ) -> ApiResponse:
+        """One cached case: canonical store bytes, content-address ETag.
+
+        The content address *is* the representation's identity, so the
+        ETag is simply the quoted key and an ``If-None-Match`` hit is a
+        body-less 304 — the cheapest possible warm read.  Blobs past
+        ``_SENDFILE_MIN_BYTES`` are returned as a file reference so the
+        async transport can ``sendfile`` them without copying through
+        Python.
+        """
+        store = self._store()
         try:
-            data = store.get_bytes(key)
+            path = store.path_for(key)
         except ValueError as exc:
             raise ApiError(400, str(exc)) from None
+        etag = f'"{key}"'
+        size: Optional[int]
+        try:
+            size = os.stat(path).st_size
+        except OSError:
+            size = None
+        if size is None:
+            # Rare: memory-only entry (file raced away); serve the LRU.
+            data = store.get_bytes_cached(key)
+            if data is None:
+                raise ApiError(404, f"no cached result under key {key}")
+            if etag_matches(if_none_match, etag):
+                return ApiResponse(304, b"", etag=etag)
+            return ApiResponse(200, data, etag=etag)
+        if etag_matches(if_none_match, etag):
+            return ApiResponse(304, b"", etag=etag)
+        if size >= _SENDFILE_MIN_BYTES:
+            return ApiResponse(
+                200, b"", etag=etag, blob_path=path, blob_size=size
+            )
+        data = store.get_bytes_cached(key)
         if data is None:
             raise ApiError(404, f"no cached result under key {key}")
-        self._send_bytes(200, data, "application/json")
+        return ApiResponse(200, data, etag=etag)
 
-    def _post_sweep(self) -> None:
+    def _post_results_batch(self, body=b"", **_ignored) -> ApiResponse:
+        """N cached blobs in one round trip, as newline-delimited JSON.
+
+        Request: ``{"keys": ["<sha256>", ...]}``.  Response: one JSON
+        object per line, in request order —
+        ``{"key": ..., "found": true, "result": <blob>}`` or
+        ``{"key": ..., "found": false}`` — so a client can stream-parse
+        results as they arrive instead of buffering one giant array.
+        """
+        parsed = self._parse_json_body(body)
+        keys = parsed.get("keys")
+        if not isinstance(keys, list) or not all(
+            isinstance(k, str) for k in keys
+        ):
+            raise ApiError(400, "batch request needs keys: [str, ...]")
+        if len(keys) > _MAX_BATCH_KEYS:
+            raise ApiError(
+                413, f"at most {_MAX_BATCH_KEYS} keys per batch request"
+            )
+        store = self._store()
+        chunks: List[bytes] = []
+        for key in keys:
+            try:
+                data = store.get_bytes_cached(key)
+            except ValueError:
+                data = None  # malformed key: reported as not found
+            key_json = json.dumps(key).encode("utf-8")
+            if data is None:
+                chunks.append(b'{"key":%s,"found":false}\n' % key_json)
+            else:
+                chunks.append(
+                    b'{"key":%s,"found":true,"result":%s}\n'
+                    % (key_json, data.strip())
+                )
+        return ApiResponse(
+            200,
+            b"".join(chunks),
+            content_type="application/x-ndjson",
+            chunks=chunks,
+        )
+
+    def _post_sweep(self, body=b"", **_ignored) -> ApiResponse:
         """Submit (or single-flight join) a sweep; 202 with the job id."""
-        body = self._read_json_body()
-        request = SweepRequest.from_json_obj(body)
+        request = SweepRequest.from_json_obj(self._parse_json_body(body))
         job = self.manager.submit(request)
-        self._send_json(
+        return self._json(
             202,
             {
                 "job_id": job.job_id,
@@ -336,9 +447,109 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
-    def _post_solve(self) -> None:
+    def _post_solve(self, body=b"", **_ignored) -> ApiResponse:
         """Synchronously solve one small normal-form game."""
-        self._send_json(200, solve_request(self._read_json_body()))
+        return self._json(200, solve_request(self._parse_json_body(body)))
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin threaded-transport adapter over one :class:`ServiceAPI`.
+
+    Reads the request body up front (bounded), delegates to the shared
+    route handlers, and writes the response with correct keep-alive
+    framing.  Because the body is consumed before dispatch, an errored
+    POST can never leave unread bytes to desync the next request on
+    the connection.
+    """
+
+    api: ServiceAPI = None  # type: ignore[assignment]
+    quiet: bool = True
+    protocol_version = "HTTP/1.1"
+    # The stdlib handler writes headers and body as separate sends; on
+    # a keep-alive connection Nagle holds the second send until the
+    # peer's delayed ACK (~40 ms/request on Linux loopback).  Fresh
+    # per-request connections never showed it because close() flushed.
+    disable_nagle_algorithm = True
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request stderr logging unless ``quiet`` is off."""
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    def _read_request_body(self) -> Optional[bytes]:
+        """The full request body, or ``None`` after an error response.
+
+        Chunked uploads and bodies past the size limit are answered
+        immediately and the connection is closed — skipping an
+        arbitrarily large body is not worth the read.
+        """
+        if self.headers.get("Transfer-Encoding"):
+            self.close_connection = True
+            self._respond(
+                ServiceAPI._json(
+                    411, {"error": "chunked request bodies are unsupported"}
+                ),
+                head_only=False,
+            )
+            return None
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        if length > _MAX_BODY_BYTES:
+            self.close_connection = True
+            self._respond(
+                ServiceAPI._json(413, {"error": "request body too large"}),
+                head_only=False,
+            )
+            return None
+        return self.rfile.read(length) if length > 0 else b""
+
+    def _respond(self, response: ApiResponse, head_only: bool) -> None:
+        """Write one :class:`ApiResponse` with correct framing headers."""
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        if response.etag is not None:
+            self.send_header("ETag", response.etag)
+        self.send_header("Content-Length", str(response.content_length))
+        self.end_headers()
+        if head_only or response.status == 304:
+            return
+        if response.blob_path is not None:
+            try:
+                with open(response.blob_path, "rb") as handle:
+                    shutil.copyfileobj(handle, self.wfile)
+            except OSError:
+                # The blob raced away after routing; the declared
+                # Content-Length can no longer be honoured.
+                self.close_connection = True
+            return
+        if response.body:
+            self.wfile.write(response.body)
+
+    def _dispatch(self, method: str) -> None:
+        """Read, delegate to the shared API core, respond."""
+        body = self._read_request_body()
+        if body is None:
+            return
+        response = self.api.handle(
+            method, self.path, body, self.headers.get("If-None-Match")
+        )
+        self._respond(response, head_only=method == "HEAD")
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        """Serve one GET request."""
+        self._dispatch("GET")
+
+    def do_HEAD(self) -> None:  # noqa: N802 (http.server API)
+        """Serve one HEAD request (GET headers, no body)."""
+        self._dispatch("HEAD")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        """Serve one POST request."""
+        self._dispatch("POST")
 
 
 class ManagedHTTPServer(ThreadingHTTPServer):
@@ -360,6 +571,24 @@ class ManagedHTTPServer(ThreadingHTTPServer):
             self.manager.shutdown()
 
 
+def build_manager(
+    manager: Optional[JobManager] = None,
+    store: Optional[ResultStore] = None,
+    max_workers: Optional[int] = None,
+    coordinator: Optional[Any] = None,
+) -> JobManager:
+    """The manager both transports build their server around.
+
+    Returns ``manager`` unchanged when given one; otherwise constructs
+    a fresh :class:`JobManager` from the parts.
+    """
+    if manager is not None:
+        return manager
+    return JobManager(
+        store=store, max_workers=max_workers, coordinator=coordinator
+    )
+
+
 def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
@@ -369,7 +598,7 @@ def make_server(
     coordinator: Optional[Any] = None,
     quiet: bool = True,
 ) -> ManagedHTTPServer:
-    """Build (but don't start) the HTTP server.
+    """Build (but don't start) the threaded HTTP server.
 
     ``port=0`` binds an ephemeral port — read it back from
     ``server.server_address`` — which is what the tests and the
@@ -380,15 +609,12 @@ def make_server(
     ``/v1/workers``/``/v1/lease``/``/v1/complete`` endpoints and
     ``executor="cluster"`` sweeps.
     """
-    if manager is None:
-        manager = JobManager(
-            store=store, max_workers=max_workers, coordinator=coordinator
-        )
+    manager = build_manager(manager, store, max_workers, coordinator)
 
     class BoundHandler(_Handler):
-        """The handler class closed over this server's manager."""
+        """The handler class closed over this server's API core."""
 
-    BoundHandler.manager = manager
+    BoundHandler.api = ServiceAPI(manager)
     BoundHandler.quiet = quiet
     server = ManagedHTTPServer((host, port), BoundHandler)
     server.manager = manager
@@ -400,11 +626,13 @@ def start_server(
     port: int = 0,
     **kwargs,
 ) -> Tuple[ThreadingHTTPServer, threading.Thread]:
-    """Start the server on a background thread; returns (server, thread).
+    """Start the threaded server on a background thread.
 
     The embedding entry point: examples and tests run the whole service
     in-process and talk to ``http://host:port`` like any remote client.
     Shut down with ``server.shutdown()`` then ``server.server_close()``.
+    (:func:`repro.service.aserver.start_async_server` is the drop-in
+    asyncio equivalent.)
     """
     server = make_server(host=host, port=port, **kwargs)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
@@ -433,13 +661,15 @@ def serve_forever(
     store: Optional[ResultStore] = None,
     coordinator: Optional[Any] = None,
 ) -> None:
-    """Blocking entry point behind ``python -m repro.service serve``.
+    """Blocking entry point for the *threaded* reference server.
 
-    Installs a SIGTERM handler (when running on the main thread) so
-    ``kill <pid>`` and container stops drain through the same clean
-    shutdown as Ctrl-C: socket closed, job manager and process pool
-    stopped, no leaked workers.  ``store``/``coordinator`` let callers
-    (the ``python -m repro.cluster coordinator`` CLI) pass pre-built
+    ``python -m repro.service serve`` runs the asyncio server by
+    default and reaches this only under ``--legacy-threads``.  Installs
+    a SIGTERM handler (when running on the main thread) so ``kill
+    <pid>`` and container stops drain through the same clean shutdown
+    as Ctrl-C: socket closed, job manager and process pool stopped, no
+    leaked workers.  ``store``/``coordinator`` let callers (the
+    ``python -m repro.cluster coordinator`` CLI) pass pre-built
     components; otherwise ``cache_dir`` builds the store.
     """
     if store is None and cache_dir is not None:
@@ -455,6 +685,7 @@ def serve_forever(
     actual_host, actual_port = server.server_address[:2]
     rows = [
         ["url", f"http://{actual_host}:{actual_port}"],
+        ["server", "threaded (legacy reference)"],
         ["cache_dir", cache_dir or "<none: recompute every case>"],
         ["max_workers", max_workers or 1],
     ]

@@ -1,0 +1,695 @@
+"""Asyncio high-concurrency HTTP core for the service API.
+
+One event loop multiplexes thousands of keep-alive connections on one
+core — the serving-layer analogue of the paper's asynchronous
+message-passing model, where progress never depends on one participant
+(here: one OS thread per socket) being scheduled.  The route handlers
+are the exact :class:`~repro.service.app.ServiceAPI` methods the
+threaded reference server uses, so the two transports answer
+byte-identically; what changes is everything around them:
+
+* **Hand-rolled HTTP/1.1 protocol** (``asyncio.Protocol``, not
+  streams): request parsing works directly on the connection's byte
+  buffer, and responses for pipelined requests are coalesced into one
+  ``transport.write`` — many requests per syscall in both directions.
+* **Request pipelining**: a client may write N requests back-to-back;
+  responses come back in order on the same connection.
+* **Bounded keep-alive**: at most ``max_connections`` sockets (503 +
+  close beyond that), with an idle sweeper closing connections that
+  have gone quiet for ``keep_alive_timeout`` seconds.
+* **Event loop ↔ pool bridge**: ``GET``/``HEAD`` run inline on the
+  loop (they are dict lookups over in-memory state); ``POST`` handlers
+  — sweep submission, LP solving, cluster lease/complete with their
+  locks and store writes — run through ``loop.run_in_executor`` on a
+  small thread pool, so the accept loop never blocks on CPU-bound or
+  disk-bound work.  Sweeps themselves keep running on the
+  :class:`~repro.service.jobs.JobManager`'s worker threads and its
+  persistent ``ProcessPoolExecutor``, exactly as before.
+* **Zero-copy blobs**: responses carrying a ``blob_path`` are served
+  with ``loop.sendfile`` (chunked streaming with backpressure as the
+  fallback), so large cached results never transit Python bytes.
+* **Graceful drain**: SIGTERM stops the accept socket, lets in-flight
+  requests finish (bounded by ``drain_timeout``), then closes
+  connections and shuts the job manager down — the same no-leak
+  guarantee as the threaded server's close path.
+
+Entry points mirror :mod:`repro.service.app`:
+:func:`start_async_server` (background thread, tests/embedding) and
+:func:`aserve_forever` (blocking CLI path behind
+``python -m repro.service serve``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, List, Optional, Tuple
+
+from repro.experiments.results import format_table
+from repro.service.app import (
+    _MAX_BODY_BYTES,
+    ApiResponse,
+    ServiceAPI,
+    build_manager,
+)
+from repro.service.jobs import JobManager
+from repro.service.store import ResultStore
+
+__all__ = [
+    "AsyncServiceServer",
+    "AsyncServerHandle",
+    "start_async_server",
+    "aserve_forever",
+]
+
+_MAX_HEADER_BYTES = 64 * 1024
+# Flush the coalesced-response buffer once it holds this many bytes;
+# large enough to amortize syscalls over a pipelined burst, small
+# enough to keep per-connection memory bounded.
+_FLUSH_BYTES = 256 * 1024
+_SENDFILE_CHUNK = 256 * 1024
+
+_REASONS = {
+    200: b"OK",
+    202: b"Accepted",
+    304: b"Not Modified",
+    400: b"Bad Request",
+    404: b"Not Found",
+    409: b"Conflict",
+    411: b"Length Required",
+    413: b"Payload Too Large",
+    431: b"Request Header Fields Too Large",
+    500: b"Internal Server Error",
+    502: b"Bad Gateway",
+    503: b"Service Unavailable",
+}
+
+
+def _status_line(status: int) -> bytes:
+    """The ``HTTP/1.1 <code> <reason>\\r\\n`` line for a status code."""
+    reason = _REASONS.get(status)
+    if reason is None:
+        reason = b"Unknown"
+    return b"HTTP/1.1 %d %s\r\n" % (status, reason)
+
+
+class _HttpProtocol(asyncio.Protocol):
+    """One keep-alive HTTP/1.1 connection on the event loop.
+
+    ``data_received`` appends to a byte buffer and (re)schedules the
+    processing task; the task parses as many complete requests as the
+    buffer holds, dispatching each and coalescing their responses into
+    one write.  Because the loop is single-threaded, parsing state
+    needs no locks — new bytes only interleave at ``await`` points,
+    after which the parse loop simply continues.
+    """
+
+    __slots__ = (
+        "server",
+        "api",
+        "loop",
+        "transport",
+        "buffer",
+        "last_active",
+        "_task",
+        "_can_write",
+        "_closed",
+    )
+
+    def __init__(self, server: "AsyncServiceServer") -> None:
+        self.server = server
+        self.api = server.api
+        self.loop = server.loop
+        self.transport: Optional[asyncio.Transport] = None
+        self.buffer = bytearray()
+        self.last_active = 0.0
+        self._task: Optional[asyncio.Task] = None
+        self._can_write = asyncio.Event()
+        self._can_write.set()
+        self._closed = False
+
+    # -- connection lifecycle ------------------------------------------
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        """Register the connection; refuse past the connection bound."""
+        self.transport = transport  # type: ignore[assignment]
+        self.last_active = self.loop.time()
+        connections = self.server.connections
+        if (
+            len(connections) >= self.server.max_connections
+            or self.server.draining
+        ):
+            body = b'{"error": "connection limit reached"}\n'
+            transport.write(  # type: ignore[union-attr]
+                _status_line(503)
+                + b"Content-Type: application/json\r\n"
+                + b"Content-Length: %d\r\n" % len(body)
+                + b"Connection: close\r\n\r\n"
+                + body
+            )
+            transport.close()  # type: ignore[union-attr]
+            self._closed = True
+            return
+        connections.add(self)
+
+    def connection_lost(self, exc: Optional[Exception]) -> None:
+        """Drop the connection from the server's registry."""
+        self.server.connections.discard(self)
+        self._closed = True
+        self._can_write.set()  # unblock a writer awaiting drain
+
+    def pause_writing(self) -> None:
+        """Transport buffer above high water: block response writers."""
+        self._can_write.clear()
+
+    def resume_writing(self) -> None:
+        """Transport buffer drained below low water: unblock writers."""
+        self._can_write.set()
+
+    def eof_received(self) -> bool:
+        """Client closed its write side; finish in-flight work, close."""
+        return False  # let the transport close
+
+    def data_received(self, data: bytes) -> None:
+        """Buffer bytes and ensure exactly one processing task runs."""
+        self.buffer += data
+        self.last_active = self.loop.time()
+        if self._task is None or self._task.done():
+            self._task = self.loop.create_task(self._process())
+
+    # -- request processing --------------------------------------------
+
+    async def _drain(self) -> None:
+        """Respect transport backpressure before writing more."""
+        if not self._can_write.is_set():
+            await self._can_write.wait()
+
+    def _flush(self, out: List[bytes]) -> None:
+        """Write the coalesced response bytes in one syscall."""
+        if out and not self._closed:
+            self.transport.write(b"".join(out))  # type: ignore[union-attr]
+            out.clear()
+
+    async def _process(self) -> None:
+        """Parse and serve every complete request currently buffered."""
+        out: List[bytes] = []
+        out_bytes = 0
+        try:
+            while not self._closed:
+                parsed = self._parse_one(out)
+                if parsed is None:
+                    break
+                method, path, if_none_match, body, close_after = parsed
+                if method in ("GET", "HEAD"):
+                    # In-memory lookups: cheaper to run inline than to
+                    # round-trip a thread pool.
+                    response = self.api.handle(
+                        method, path, b"", if_none_match
+                    )
+                else:
+                    # POSTs take locks, solve LPs, write blobs: off the
+                    # loop so a slow one never stalls other sockets.
+                    self._flush(out)
+                    out_bytes = 0
+                    response = await self.loop.run_in_executor(
+                        self.server.executor,
+                        self.api.handle,
+                        method,
+                        path,
+                        body,
+                        if_none_match,
+                    )
+                if self._closed:
+                    return
+                out_bytes += await self._write_response(
+                    response, method == "HEAD", close_after, out
+                )
+                if close_after:
+                    self._flush(out)
+                    self.transport.close()  # type: ignore[union-attr]
+                    self._closed = True
+                    return
+                if out_bytes >= _FLUSH_BYTES:
+                    self._flush(out)
+                    out_bytes = 0
+                    await self._drain()
+        finally:
+            self._flush(out)
+            self.last_active = self.loop.time()
+            if self.server.draining and not self._closed:
+                # New requests are not welcome once draining started.
+                self.transport.close()  # type: ignore[union-attr]
+                self._closed = True
+
+    def _parse_one(
+        self, out: List[bytes]
+    ) -> Optional[Tuple[str, str, Optional[str], bytes, bool]]:
+        """Parse one complete request off the buffer, or ``None``.
+
+        Returns ``(method, path, if_none_match, body, close_after)``.
+        Malformed or oversized requests are answered directly (via
+        ``out``) with the connection marked for close.
+        """
+        buf = self.buffer
+        head_end = buf.find(b"\r\n\r\n")
+        if head_end < 0:
+            if len(buf) > _MAX_HEADER_BYTES:
+                self._error_close(out, 431, "request headers too large")
+            return None
+        if head_end > _MAX_HEADER_BYTES:
+            # Complete but oversized head: same verdict as an unbounded
+            # one, reached via a different arrival pattern.
+            self._error_close(out, 431, "request headers too large")
+            return None
+        head = bytes(buf[:head_end])
+        lines = head.split(b"\r\n")
+        try:
+            method_b, target_b, version_b = lines[0].split(b" ", 2)
+        except ValueError:
+            self._error_close(out, 400, "malformed request line")
+            return None
+        content_length = 0
+        if_none_match: Optional[str] = None
+        connection = b""
+        chunked = False
+        for line in lines[1:]:
+            name, sep, value = line.partition(b":")
+            if not sep:
+                continue
+            lowered = name.strip().lower()
+            if lowered == b"content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    self._error_close(out, 400, "malformed Content-Length")
+                    return None
+            elif lowered == b"if-none-match":
+                if_none_match = value.strip().decode("latin-1")
+            elif lowered == b"connection":
+                connection = value.strip().lower()
+            elif lowered == b"transfer-encoding":
+                chunked = True
+        if chunked:
+            self._error_close(
+                out, 411, "chunked request bodies are unsupported"
+            )
+            return None
+        if content_length > _MAX_BODY_BYTES:
+            self._error_close(out, 413, "request body too large")
+            return None
+        total = head_end + 4 + content_length
+        if len(buf) < total:
+            return None
+        body = bytes(buf[head_end + 4 : total])
+        del buf[:total]
+        close_after = connection == b"close" or (
+            version_b == b"HTTP/1.0" and connection != b"keep-alive"
+        )
+        return (
+            method_b.decode("latin-1"),
+            target_b.decode("latin-1"),
+            if_none_match,
+            body,
+            close_after,
+        )
+
+    def _error_close(self, out: List[bytes], status: int, message: str) -> None:
+        """Queue an error response and mark the connection closed.
+
+        Used for protocol-level failures where resynchronizing the
+        byte stream is impossible or not worth it (oversized bodies,
+        garbled framing) — mirroring the threaded server's
+        drain-or-close rule.
+        """
+        body = ('{"error": "%s"}\n' % message).encode("utf-8")
+        out.append(
+            _status_line(status)
+            + b"Content-Type: application/json\r\n"
+            + b"Content-Length: %d\r\n" % len(body)
+            + b"Connection: close\r\n\r\n"
+            + body
+        )
+        self._flush(out)
+        self.transport.close()  # type: ignore[union-attr]
+        self._closed = True
+
+    async def _write_response(
+        self,
+        response: ApiResponse,
+        head_only: bool,
+        close_after: bool,
+        out: List[bytes],
+    ) -> int:
+        """Queue (or stream) one response; returns queued byte count."""
+        header = [
+            _status_line(response.status),
+            b"Content-Type: ",
+            response.content_type.encode("latin-1"),
+            b"\r\n",
+        ]
+        if response.etag is not None:
+            header += [b"ETag: ", response.etag.encode("latin-1"), b"\r\n"]
+        header += [b"Content-Length: %d\r\n" % response.content_length]
+        if close_after:
+            header.append(b"Connection: close\r\n")
+        header.append(b"\r\n")
+        head = b"".join(header)
+        if head_only or response.status == 304:
+            out.append(head)
+            return len(head)
+        if response.blob_path is not None:
+            out.append(head)
+            self._flush(out)
+            await self._sendfile(response)
+            return 0
+        if response.chunks is not None and response.content_length >= _FLUSH_BYTES:
+            # Large streamed response: write header + chunks with
+            # backpressure instead of materializing one giant buffer.
+            out.append(head)
+            self._flush(out)
+            for chunk in response.chunks:
+                if self._closed:
+                    return 0
+                self.transport.write(chunk)  # type: ignore[union-attr]
+                await self._drain()
+            return 0
+        out.append(head)
+        out.append(response.body)
+        return len(head) + len(response.body)
+
+    async def _sendfile(self, response: ApiResponse) -> None:
+        """Zero-copy the blob file into the socket (streamed fallback).
+
+        ``loop.sendfile`` hands the file to the kernel; transports that
+        cannot (or a file that shrank mid-flight) fall back to chunked
+        reads with backpressure.  Content-Length was already declared,
+        so a short file forces a close to keep framing honest.
+        """
+        try:
+            handle = open(response.blob_path, "rb")  # type: ignore[arg-type]
+        except OSError:
+            self.transport.close()  # type: ignore[union-attr]
+            self._closed = True
+            return
+        sent = 0
+        try:
+            await self._drain()
+            try:
+                sent = await self.loop.sendfile(
+                    self.transport, handle, count=response.blob_size
+                )
+            except (NotImplementedError, RuntimeError, AttributeError):
+                handle.seek(0)
+                while sent < response.blob_size and not self._closed:
+                    chunk = handle.read(
+                        min(_SENDFILE_CHUNK, response.blob_size - sent)
+                    )
+                    if not chunk:
+                        break
+                    self.transport.write(chunk)  # type: ignore[union-attr]
+                    sent += len(chunk)
+                    await self._drain()
+        except (ConnectionError, OSError):
+            self._closed = True
+            return
+        finally:
+            handle.close()
+        if sent != response.blob_size and not self._closed:
+            self.transport.close()  # type: ignore[union-attr]
+            self._closed = True
+
+
+class AsyncServiceServer:
+    """The asyncio service server: accept loop, registry, drain logic.
+
+    Owns the :class:`~repro.service.app.ServiceAPI` core, the bounded
+    connection registry, the POST-offload thread pool, and — like the
+    threaded :class:`~repro.service.app.ManagedHTTPServer` — its
+    :class:`JobManager`'s lifecycle: :meth:`drain` shuts the manager
+    (and its persistent process pool) down after the last in-flight
+    request finishes.
+    """
+
+    def __init__(
+        self,
+        manager: JobManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_connections: int = 4096,
+        keep_alive_timeout: float = 300.0,
+        drain_timeout: float = 10.0,
+        quiet: bool = True,
+    ) -> None:
+        self.manager = manager
+        self.api = ServiceAPI(manager)
+        self.host = host
+        self.port = port
+        self.max_connections = int(max_connections)
+        self.keep_alive_timeout = float(keep_alive_timeout)
+        self.drain_timeout = float(drain_timeout)
+        self.quiet = quiet
+        self.connections: set = set()
+        self.draining = False
+        self.executor = ThreadPoolExecutor(
+            max_workers=8, thread_name_prefix="aserver-post"
+        )
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self.server_address: Tuple[str, int] = (host, port)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._sweeper: Optional[asyncio.Task] = None
+
+    async def start(self) -> "AsyncServiceServer":
+        """Bind the listening socket and start the idle sweeper."""
+        self.loop = asyncio.get_running_loop()
+        self._server = await self.loop.create_server(
+            lambda: _HttpProtocol(self),
+            self.host,
+            self.port,
+            backlog=2048,
+        )
+        self.server_address = self._server.sockets[0].getsockname()[:2]
+        self._sweeper = self.loop.create_task(self._sweep_idle())
+        return self
+
+    async def _sweep_idle(self) -> None:
+        """Close keep-alive connections idle past the timeout."""
+        interval = max(1.0, min(self.keep_alive_timeout / 4.0, 30.0))
+        while True:
+            await asyncio.sleep(interval)
+            cutoff = self.loop.time() - self.keep_alive_timeout
+            for conn in list(self.connections):
+                busy = conn._task is not None and not conn._task.done()
+                if not busy and conn.last_active < cutoff:
+                    conn.transport.close()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight, close.
+
+        Idempotent.  In-flight request handlers get up to
+        ``drain_timeout`` seconds to complete (their responses are
+        written before the socket closes); idle connections close
+        immediately; finally the POST pool and the job manager — with
+        its persistent process pool — are shut down.
+        """
+        if self.draining:
+            return
+        self.draining = True
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        busy = [
+            conn._task
+            for conn in list(self.connections)
+            if conn._task is not None and not conn._task.done()
+        ]
+        if busy:
+            try:
+                await asyncio.wait_for(
+                    asyncio.gather(*busy, return_exceptions=True),
+                    self.drain_timeout,
+                )
+            except asyncio.TimeoutError:
+                pass  # overdue handlers lose their connection below
+        for conn in list(self.connections):
+            conn.transport.close()
+        await asyncio.sleep(0)  # let close callbacks run
+        self.executor.shutdown(wait=False)
+        self.manager.shutdown()
+
+
+class AsyncServerHandle:
+    """Thread-hosted async server with the threaded server's surface.
+
+    Mirrors ``ManagedHTTPServer`` where tests and embedders touch it:
+    ``server_address``, ``manager``, ``shutdown()`` (graceful drain),
+    ``server_close()`` (idempotent manager/pool teardown + thread
+    join).  Built by :func:`start_async_server`.
+    """
+
+    def __init__(
+        self, server: AsyncServiceServer, loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self._server = server
+        self._loop = loop
+        self._thread = thread
+        self._stopped = False
+
+    @property
+    def server_address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (ephemeral port resolved)."""
+        return self._server.server_address
+
+    @property
+    def manager(self) -> JobManager:
+        """The owned job manager (for parity with the threaded server)."""
+        return self._server.manager
+
+    def shutdown(self) -> None:
+        """Drain gracefully and stop the event loop (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        future = asyncio.run_coroutine_threadsafe(
+            self._server.drain(), self._loop
+        )
+        try:
+            future.result(timeout=self._server.drain_timeout + 15.0)
+        except Exception:
+            future.cancel()
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+
+    def server_close(self) -> None:
+        """Finish teardown; safe to call after (or without) shutdown."""
+        self.shutdown()
+        self._server.manager.shutdown()
+
+
+def start_async_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    manager: Optional[JobManager] = None,
+    store: Optional[ResultStore] = None,
+    max_workers: Optional[int] = None,
+    coordinator: Optional[Any] = None,
+    quiet: bool = True,
+    **server_options,
+) -> Tuple[AsyncServerHandle, threading.Thread]:
+    """Start the asyncio server on a background thread.
+
+    Drop-in replacement for :func:`repro.service.app.start_server`:
+    same keyword surface, same ``(server, thread)`` return shape, and
+    the returned handle exposes ``server_address``/``manager``/
+    ``shutdown``/``server_close`` like the threaded server.  Extra
+    ``server_options`` (``max_connections``, ``keep_alive_timeout``,
+    ``drain_timeout``) pass through to :class:`AsyncServiceServer`.
+    """
+    built_manager = build_manager(manager, store, max_workers, coordinator)
+    server = AsyncServiceServer(
+        built_manager, host=host, port=port, quiet=quiet, **server_options
+    )
+    ready = threading.Event()
+    boot_error: List[BaseException] = []
+    loop = asyncio.new_event_loop()
+
+    def _run() -> None:
+        """Thread body: bind, signal readiness, serve until stopped."""
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # surfaced to the caller below
+            boot_error.append(exc)
+            ready.set()
+            loop.close()
+            return
+        ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    thread = threading.Thread(
+        target=_run, name="aserver-loop", daemon=True
+    )
+    thread.start()
+    ready.wait(timeout=30.0)
+    if boot_error:
+        raise boot_error[0]
+    return AsyncServerHandle(server, loop, thread), thread
+
+
+def aserve_forever(
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    cache_dir: Optional[str] = None,
+    max_workers: Optional[int] = None,
+    quiet: bool = False,
+    store: Optional[ResultStore] = None,
+    coordinator: Optional[Any] = None,
+    max_connections: int = 4096,
+    keep_alive_timeout: float = 300.0,
+    drain_timeout: float = 10.0,
+) -> None:
+    """Blocking asyncio entry point behind ``python -m repro.service serve``.
+
+    SIGTERM and SIGINT both trigger the graceful drain: the accept
+    socket closes first, in-flight requests get ``drain_timeout``
+    seconds to finish, then connections, the POST pool, the job
+    manager, and its process pool shut down — ``kill <pid>`` exits 0
+    with nothing leaked, matching the threaded server's contract.
+    """
+    if store is None and cache_dir is not None:
+        store = ResultStore(cache_dir)
+    manager = build_manager(
+        None, store=store, max_workers=max_workers, coordinator=coordinator
+    )
+    server = AsyncServiceServer(
+        manager,
+        host=host,
+        port=port,
+        max_connections=max_connections,
+        keep_alive_timeout=keep_alive_timeout,
+        drain_timeout=drain_timeout,
+        quiet=quiet,
+    )
+
+    async def _main() -> None:
+        """Start, announce, wait for a stop signal, drain."""
+        await server.start()
+        actual_host, actual_port = server.server_address
+        rows = [
+            ["url", f"http://{actual_host}:{actual_port}"],
+            ["server", "asyncio (event loop, pipelined keep-alive)"],
+            ["cache_dir", cache_dir or "<none: recompute every case>"],
+            ["max_workers", max_workers or 1],
+            ["max_connections", max_connections],
+        ]
+        if coordinator is not None:
+            stats = coordinator.stats()
+            rows.append(["cluster", f"redundancy={stats['redundancy']}"])
+        print(format_table("repro.service", ["setting", "value"], rows))
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        import signal as _signal
+
+        for signum in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, ValueError, RuntimeError):
+                pass  # non-main thread / platform without signal support
+        try:
+            await stop.wait()
+        finally:
+            await server.drain()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        manager.shutdown()  # idempotent; covers interrupt-before-drain

@@ -1,4 +1,4 @@
-"""HTTP client for the service API (urllib only, no dependencies).
+"""HTTP client for the service API (stdlib only, no dependencies).
 
 :class:`ServiceClient` wraps the JSON endpoints of
 :mod:`repro.service.app` behind typed helpers; server-side failures
@@ -7,20 +7,43 @@ server's error message.  Sweeps come back as real
 :class:`~repro.experiments.results.ResultSet` objects, so everything
 downstream of the runner (tables, CSV/JSON emit, metric extraction)
 works identically on remote results.
+
+The transport is a **keep-alive** ``http.client.HTTPConnection`` —
+one persistent TCP connection per calling thread (the client is shared
+across threads in tests and in the cluster workers), with transparent
+reconnect when a reused connection turns out to have been closed by
+the server between requests.  Content-addressed fetches carry an
+``If-None-Match`` header once a key has been seen, so warm re-fetches
+cost a 304 with zero body bytes (see :meth:`ServiceClient.fetch_bytes`).
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import socket
+import threading
 import time
-import urllib.error
-import urllib.request
+import urllib.parse
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.results import ResultSet
 from repro.service.jobs import SweepRequest
 
 __all__ = ["ServiceError", "ServiceClient"]
+
+# Symptoms of the keep-alive race: the server closed an idle persistent
+# connection after we decided to reuse it.  No response bytes were ever
+# received, so replaying the request on a fresh connection is safe for
+# any method — the server provably never started processing a reply.
+_STALE_CONNECTION_ERRORS = (
+    http.client.RemoteDisconnected,
+    http.client.CannotSendRequest,
+    BrokenPipeError,
+    ConnectionResetError,
+    ConnectionAbortedError,
+)
 
 
 class ServiceError(Exception):
@@ -43,12 +66,18 @@ class ServiceClient:
         Per-request socket timeout in seconds.
     retries:
         Extra attempts for *idempotent* requests (GETs) that die on a
-        transient connection error — ``URLError`` refusals or a reset
-        mid-read.  POSTs are never retried: a sweep submit or a cluster
-        vote that actually landed must not be replayed blindly.
+        transient connection error — refusals or a reset mid-read.
+        POSTs are never retried: a sweep submit or a cluster vote that
+        actually landed must not be replayed blindly.  (Separately from
+        this policy, *any* method is replayed once when a **reused**
+        keep-alive connection turns out to be stale — the server closed
+        it idle before our bytes arrived, so nothing was processed.)
     backoff:
         First retry delay in seconds; doubles per retry, capped at
         ``max_backoff`` (bounded exponential backoff).
+    etag_cache_size:
+        Blobs kept in the client-side ETag cache for
+        :meth:`fetch_bytes` (content-addressed, so never stale).
     """
 
     def __init__(
@@ -58,64 +87,154 @@ class ServiceClient:
         retries: int = 2,
         backoff: float = 0.1,
         max_backoff: float = 2.0,
+        etag_cache_size: int = 256,
     ) -> None:
         self.base_url = base_url.rstrip("/")
+        split = urllib.parse.urlsplit(self.base_url)
+        self._host = split.hostname or "127.0.0.1"
+        self._port = split.port or 80
         self.timeout = timeout
         self.retries = int(retries)
         self.backoff = float(backoff)
         self.max_backoff = float(max_backoff)
+        self.etag_cache_size = int(etag_cache_size)
+        self.etag_hits = 0
+        self._etag_cache: "OrderedDict[str, bytes]" = OrderedDict()
+        self._cache_lock = threading.Lock()
+        # One persistent connection per calling thread: http.client
+        # connections are not thread-safe, and tests drive one client
+        # from many threads at once.
+        self._local = threading.local()
 
     # -- transport -----------------------------------------------------
 
-    def _request_bytes(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
-    ) -> bytes:
+    def _connect(self) -> http.client.HTTPConnection:
+        """Open (and remember) a fresh connection for this thread.
+
+        Nagle is disabled: on a keep-alive connection a coalescing
+        delay on small request writes interacts with the peer's
+        delayed ACK and turns into a per-request latency floor.
+        """
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.timeout
+        )
+        conn.connect()
+        try:
+            conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, True
+            )
+        except OSError:  # pragma: no cover - non-TCP transports
+            pass
+        self._local.conn = conn
+        return conn
+
+    def _drop_connection(self) -> None:
+        """Close and forget this thread's cached connection, if any."""
+        conn = getattr(self._local, "conn", None)
+        self._local.conn = None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close() best effort
+                pass
+
+    def close(self) -> None:
+        """Close this thread's persistent connection (it reopens lazily)."""
+        self._drop_connection()
+
+    def _exchange(
+        self,
+        method: str,
+        path: str,
+        data: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> Tuple[int, Any, bytes]:
+        """One request/response on the thread's keep-alive connection.
+
+        Returns ``(status, response_headers, body)``.  A *reused*
+        connection that fails with a stale-socket symptom (the server
+        closed it idle; no response bytes were received) is replaced
+        and the request replayed once — transparent reconnect.  Errors
+        on a fresh connection propagate to the caller's retry policy.
+        """
+        conn = getattr(self._local, "conn", None)
+        reused = conn is not None
+        if conn is None:
+            conn = self._connect()
+        while True:
+            try:
+                conn.request(method, path, body=data, headers=headers)
+                response = conn.getresponse()
+                body = response.read()
+            except _STALE_CONNECTION_ERRORS:
+                self._drop_connection()
+                if not reused:
+                    raise
+                reused = False
+                conn = self._connect()
+                continue
+            except (OSError, http.client.HTTPException):
+                self._drop_connection()
+                raise
+            if response.will_close:
+                self._drop_connection()
+            return response.status, response.headers, body
+
+    def _request_raw(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Any, bytes]:
         """One HTTP exchange; raises :class:`ServiceError` on 4xx/5xx.
 
         Idempotent GETs survive transient connection blips: they are
         retried up to ``retries`` times with bounded exponential
         backoff before the failure surfaces as a status-0
-        :class:`ServiceError`.
+        :class:`ServiceError`.  Error statuses are real server
+        responses and are never retried.
         """
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if extra_headers:
+            headers.update(extra_headers)
         attempts = self.retries + 1 if method == "GET" else 1
         delay = self.backoff
         for attempt in range(attempts):
-            request = urllib.request.Request(
-                f"{self.base_url}{path}",
-                data=data,
-                headers=headers,
-                method=method,
-            )
             try:
-                with urllib.request.urlopen(
-                    request, timeout=self.timeout
-                ) as resp:
-                    return resp.read()
-            except urllib.error.HTTPError as exc:
-                # A real server response — never a transport blip, so
-                # never retried.
-                raw = exc.read()
-                try:
-                    message = json.loads(raw).get("error", raw.decode("utf-8"))
-                except ValueError:
-                    message = raw.decode("utf-8", "replace")
-                raise ServiceError(exc.code, message) from None
-            except (urllib.error.URLError, ConnectionResetError) as exc:
-                reason = getattr(exc, "reason", exc)
+                status, resp_headers, raw = self._exchange(
+                    method, path, data, headers
+                )
+            except (OSError, http.client.HTTPException) as exc:
                 if attempt + 1 >= attempts:
                     raise ServiceError(
                         0,
                         f"cannot reach {self.base_url} after {attempts} "
-                        f"attempt(s): {reason}",
+                        f"attempt(s): {exc}",
                     ) from None
                 time.sleep(delay)
                 delay = min(delay * 2.0, self.max_backoff)
+                continue
+            if status >= 400:
+                # A real server response — never a transport blip, so
+                # never retried.
+                try:
+                    message = json.loads(raw).get("error", raw.decode("utf-8"))
+                except ValueError:
+                    message = raw.decode("utf-8", "replace")
+                raise ServiceError(status, message)
+            return status, resp_headers, raw
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_bytes(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> bytes:
+        """One HTTP exchange returning the raw response body."""
+        return self._request_raw(method, path, body)[2]
 
     def _request(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
@@ -218,12 +337,57 @@ class ServiceClient:
         return self.results(status["job_id"])
 
     def fetch_bytes(self, key: str) -> bytes:
-        """Verbatim cached blob bytes for one content-address key."""
-        return self._request_bytes("GET", f"/v1/results/{key}")
+        """Verbatim cached blob bytes for one content-address key.
+
+        Once a key has been fetched, re-fetches send
+        ``If-None-Match: "<key>"`` and a 304 answer is served from the
+        client-side cache with zero body bytes on the wire — safe
+        because a content address can only ever name one payload.
+        ``etag_hits`` counts the 304s.
+        """
+        with self._cache_lock:
+            cached = self._etag_cache.get(key)
+            if cached is not None:
+                self._etag_cache.move_to_end(key)
+        extra = {"If-None-Match": f'"{key}"'} if cached is not None else None
+        status, _headers, raw = self._request_raw(
+            "GET", f"/v1/results/{key}", extra_headers=extra
+        )
+        if status == 304 and cached is not None:
+            with self._cache_lock:
+                self.etag_hits += 1
+            return cached
+        with self._cache_lock:
+            self._etag_cache[key] = raw
+            self._etag_cache.move_to_end(key)
+            while len(self._etag_cache) > self.etag_cache_size:
+                self._etag_cache.popitem(last=False)
+        return raw
 
     def fetch(self, key: str) -> Dict[str, Any]:
         """Decoded cached blob for one content-address key."""
         return json.loads(self.fetch_bytes(key))
+
+    def fetch_batch(
+        self, keys: Sequence[str]
+    ) -> Dict[str, Optional[Dict[str, Any]]]:
+        """``POST /v1/results:batch``: N cached blobs in one round trip.
+
+        Returns ``{key: decoded_blob_or_None}`` — ``None`` marks keys
+        the store does not hold.  The response is newline-delimited
+        JSON, one object per requested key, streamed by the async
+        server without materializing the full payload.
+        """
+        _status, _headers, raw = self._request_raw(
+            "POST", "/v1/results:batch", {"keys": list(keys)}
+        )
+        out: Dict[str, Optional[Dict[str, Any]]] = {}
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            entry = json.loads(line)
+            out[entry["key"]] = entry.get("result") if entry["found"] else None
+        return out
 
     def store_stats(self) -> Dict[str, Any]:
         """``GET /v1/store/stats``: hit/miss counters, blob count, bytes."""

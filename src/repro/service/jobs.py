@@ -17,6 +17,7 @@ traffic over time.
 
 from __future__ import annotations
 
+import asyncio
 import itertools
 import threading
 import time
@@ -164,6 +165,19 @@ class Job:
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job finishes; True unless the wait timed out."""
         return self._done.wait(timeout)
+
+    async def wait_async(self, timeout: Optional[float] = None) -> bool:
+        """Await job completion without blocking the calling event loop.
+
+        The job runs on a worker thread, so the underlying signal is a
+        ``threading.Event``; this bridges it through ``run_in_executor``
+        so an asyncio caller (e.g. the :mod:`repro.service.aserver`
+        event loop) can await it cooperatively.
+        """
+        if self._done.is_set():
+            return True
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._done.wait, timeout)
 
     def to_json_obj(self) -> Dict[str, Any]:
         """Status payload served by ``GET /v1/jobs/<id>``."""

@@ -31,7 +31,7 @@ import tempfile
 import threading
 import time
 from collections import OrderedDict
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, BinaryIO, Dict, Iterator, Optional, Tuple
 
 import repro
 
@@ -184,6 +184,65 @@ class ResultStore:
             if blob is None:
                 return None
             return (canonical_json(blob) + "\n").encode("utf-8")
+
+    def get_bytes_cached(self, key: str) -> Optional[bytes]:
+        """The blob bytes for ``key``, served from the LRU when warm.
+
+        The high-concurrency read path of the async server: the LRU
+        holds the exact text :meth:`put` wrote to disk (canonical JSON
+        plus one trailing newline), so encoding a memory entry yields
+        the same bytes a disk read would — content addressing makes the
+        entry immutable, hence infinitely cacheable.  Counts hits and
+        misses like :meth:`get`.
+        """
+        with self._lock:
+            text = self._memory.get(key)
+            if text is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+        if text is not None:
+            return text.encode("utf-8")
+        try:
+            with open(self.path_for(key), "rb") as handle:
+                data = handle.read()
+        except OSError:
+            with self._lock:
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+            self._remember(key, data.decode("utf-8"))
+        return data
+
+    def get_path(self, key: str) -> Optional[str]:
+        """The on-disk blob path for ``key`` if one exists, else ``None``.
+
+        The zero-copy handle the async server hands to ``sendfile`` —
+        blobs are immutable once written, so the path stays valid until
+        an explicit :meth:`prune`.
+        """
+        path = self.path_for(key)
+        return path if os.path.exists(path) else None
+
+    def open_blob(self, key: str) -> Optional[Tuple[BinaryIO, int]]:
+        """Open the blob for ``key`` for streaming: ``(file, size)``.
+
+        Returns an open binary file handle plus its byte size, or
+        ``None`` when no blob is on disk.  The caller owns the handle
+        and must close it; because writes are atomic renames, a handle
+        opened here keeps serving the bytes it was opened on even if
+        the key is concurrently rewritten or pruned.
+        """
+        try:
+            handle = open(self.path_for(key), "rb")
+        except OSError:
+            return None
+        try:
+            size = os.fstat(handle.fileno()).st_size
+        except OSError:
+            handle.close()
+            return None
+        return handle, size
 
     def put(self, key: str, blob: Any) -> str:
         """Store ``blob`` under ``key`` atomically; returns the blob path.

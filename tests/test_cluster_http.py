@@ -7,6 +7,9 @@ a seeded 3-worker sweep byte-identical to the serial run; a worker that
 crashes mid-lease (expiry → reassignment); a ByzantineRandom worker
 outvoted by the 3-fold quorum and quarantined; worker-local stores
 serving warm keys; and the combined crash+Byzantine run.
+
+The ``cluster`` fixture is parametrized over the threaded and asyncio
+servers, so the whole fabric protocol is a parity suite for both.
 """
 
 import threading
@@ -19,14 +22,17 @@ from repro.cluster.worker import run_worker_thread
 from repro.dist.faults import ByzantineRandomAdversary, CrashAdversary
 from repro.experiments.runner import run_experiments
 from repro.service.app import start_server
+from repro.service.aserver import start_async_server
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.store import ResultStore
 
 E1 = "coordination_robustness"
 
+SERVER_STARTERS = {"threaded": start_server, "async": start_async_server}
 
-@pytest.fixture
-def cluster(tmp_path):
+
+@pytest.fixture(params=sorted(SERVER_STARTERS))
+def cluster(request, tmp_path):
     """Factory for a live cluster server; tears everything down after."""
     servers = []
     stop = threading.Event()
@@ -39,7 +45,9 @@ def cluster(tmp_path):
             else None
         )
         coordinator = ClusterCoordinator(store=store, **coordinator_kwargs)
-        server, _thread = start_server(store=store, coordinator=coordinator)
+        server, _thread = SERVER_STARTERS[request.param](
+            store=store, coordinator=coordinator
+        )
         servers.append(server)
         host, port = server.server_address[:2]
         url = f"http://{host}:{port}"

@@ -1,0 +1,357 @@
+"""Asyncio-server-specific behaviour: the read-scale and drain features.
+
+The cross-server parity matrix lives in ``test_service_http.py`` /
+``test_cluster_http.py`` (parametrized fixtures).  This module covers
+what only the async core promises: conditional GETs (ETag/304 — a
+content address *is* its ETag), the NDJSON ``/v1/results:batch``
+endpoint, raw-socket request pipelining, HEAD/GET header agreement,
+zero-copy large-blob responses, the keep-alive connection bound, idle
+sweeping plus the client's transparent reconnect, and graceful drain
+with requests in flight.
+"""
+
+import http.client
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.service.aserver import start_async_server
+from repro.service.client import ServiceClient
+from repro.service.store import ResultStore
+
+
+@pytest.fixture
+def aservice(tmp_path):
+    """A live asyncio server + client + store triple."""
+    store = ResultStore(str(tmp_path / "cache"))
+    server, _thread = start_async_server(store=store)
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}", timeout=30.0)
+    try:
+        yield client, store, server
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def _seed(client, store):
+    """Run one small sweep and return a warm content-address key."""
+    client.run_sweep(scenarios=["coordination_robustness"])
+    return store.key_for("coordination_robustness", {"n": 3}, 0, 0)
+
+
+def _raw_conn(server):
+    """A raw ``http.client`` connection to the server."""
+    host, port = server.server_address[:2]
+    return http.client.HTTPConnection(host, port, timeout=10)
+
+
+# -- ETag / If-None-Match ----------------------------------------------
+
+
+def test_etag_and_304_on_results(aservice):
+    client, store, server = aservice
+    key = _seed(client, store)
+    conn = _raw_conn(server)
+    try:
+        conn.request("GET", f"/v1/results/{key}")
+        resp = conn.getresponse()
+        body = resp.read()
+        assert resp.status == 200
+        assert resp.getheader("ETag") == f'"{key}"'
+        assert len(body) == int(resp.getheader("Content-Length"))
+
+        # The content address is the ETag: revalidation costs 0 bytes.
+        for header in (f'"{key}"', "*", f'W/"{key}"', f'"nope", "{key}"'):
+            conn.request(
+                "GET", f"/v1/results/{key}", headers={"If-None-Match": header}
+            )
+            resp = conn.getresponse()
+            assert resp.read() == b""
+            assert resp.status == 304, header
+            assert resp.getheader("ETag") == f'"{key}"'
+
+        # A non-matching validator gets the full body again.
+        conn.request(
+            "GET", f"/v1/results/{key}", headers={"If-None-Match": '"stale"'}
+        )
+        resp = conn.getresponse()
+        assert resp.status == 200
+        assert resp.read() == body
+    finally:
+        conn.close()
+
+
+def test_client_etag_cache_serves_304s_locally(aservice):
+    client, store, _server = aservice
+    key = _seed(client, store)
+    first = client.fetch_bytes(key)
+    assert client.etag_hits == 0
+    again = client.fetch_bytes(key)
+    assert again == first
+    assert client.etag_hits == 1  # second fetch was a 304, zero body bytes
+    with open(store.path_for(key), "rb") as handle:
+        assert first == handle.read()
+
+
+# -- batch endpoint -----------------------------------------------------
+
+
+def test_results_batch_round_trip(aservice):
+    client, store, server = aservice
+    _seed(client, store)
+    keys = sorted(store.keys())
+    assert len(keys) == 4
+    missing = "ab" * 32
+    fetched = client.fetch_batch(keys + [missing])
+    assert fetched[missing] is None
+    for key in keys:
+        assert fetched[key] == json.loads(client.fetch_bytes(key))
+
+    # Raw shape: NDJSON, one line per requested key, in request order.
+    conn = _raw_conn(server)
+    try:
+        conn.request(
+            "POST",
+            "/v1/results:batch",
+            body=json.dumps({"keys": keys + [missing]}),
+            headers={"Content-Type": "application/json"},
+        )
+        resp = conn.getresponse()
+        assert resp.status == 200
+        assert resp.getheader("Content-Type") == "application/x-ndjson"
+        lines = resp.read().decode("utf-8").splitlines()
+        assert [json.loads(line)["key"] for line in lines] == keys + [missing]
+        assert json.loads(lines[-1]) == {"key": missing, "found": False}
+    finally:
+        conn.close()
+
+
+def test_results_batch_validates_requests(aservice):
+    client, _store, _server = aservice
+    from repro.service.client import ServiceError
+
+    with pytest.raises(ServiceError) as excinfo:
+        client._request("POST", "/v1/results:batch", {"keys": "notalist"})
+    assert excinfo.value.status == 400
+    with pytest.raises(ServiceError) as excinfo:
+        client._request("POST", "/v1/results:batch", {})
+    assert excinfo.value.status == 400
+
+
+# -- pipelining ---------------------------------------------------------
+
+
+def test_pipelined_requests_answer_in_order(aservice):
+    client, store, server = aservice
+    key = _seed(client, store)
+    host, port = server.server_address[:2]
+    n = 16
+    request = (
+        f"GET /v1/results/{key} HTTP/1.1\r\nHost: t\r\n\r\n".encode("ascii")
+    )
+    with socket.create_connection((host, port), timeout=10) as sock:
+        sock.sendall(request * n)  # one burst, no waiting between requests
+        reader = sock.makefile("rb")
+        bodies = []
+        for _ in range(n):
+            status_line = reader.readline()
+            assert status_line == b"HTTP/1.1 200 OK\r\n"
+            length = 0
+            while True:
+                line = reader.readline()
+                if line in (b"\r\n", b""):
+                    break
+                if line.lower().startswith(b"content-length:"):
+                    length = int(line.split(b":", 1)[1])
+            bodies.append(reader.read(length))
+    assert len(set(bodies)) == 1  # same key → byte-identical responses
+    with open(store.path_for(key), "rb") as handle:
+        assert bodies[0] == handle.read()
+
+
+def test_pipelined_mix_of_gets_and_posts_keeps_order(aservice):
+    """POSTs detour through the executor; response order must not."""
+    _client, _store, server = aservice
+    host, port = server.server_address[:2]
+    get = b"GET /v1/health HTTP/1.1\r\nHost: t\r\n\r\n"
+    solve_body = json.dumps(
+        {"classic": "prisoners_dilemma", "method": "pure"}
+    ).encode("ascii")
+    post = (
+        b"POST /v1/solve HTTP/1.1\r\nHost: t\r\n"
+        b"Content-Type: application/json\r\n"
+        b"Content-Length: %d\r\n\r\n%s" % (len(solve_body), solve_body)
+    )
+    with socket.create_connection((host, port), timeout=10) as sock:
+        sock.sendall(get + post + get)
+        reader = sock.makefile("rb")
+        kinds = []
+        for _ in range(3):
+            assert reader.readline() == b"HTTP/1.1 200 OK\r\n"
+            length = 0
+            while True:
+                line = reader.readline()
+                if line in (b"\r\n", b""):
+                    break
+                if line.lower().startswith(b"content-length:"):
+                    length = int(line.split(b":", 1)[1])
+            payload = json.loads(reader.read(length))
+            kinds.append("solve" if "equilibria" in payload else "health")
+    assert kinds == ["health", "solve", "health"]
+
+
+# -- HEAD ---------------------------------------------------------------
+
+
+def test_head_agrees_with_get(aservice):
+    client, store, server = aservice
+    key = _seed(client, store)
+    conn = _raw_conn(server)
+    try:
+        for path in ("/v1/health", f"/v1/results/{key}"):
+            conn.request("GET", path)
+            get_resp = conn.getresponse()
+            get_body = get_resp.read()
+            conn.request("HEAD", path)
+            head_resp = conn.getresponse()
+            head_body = head_resp.read()
+            assert head_resp.status == get_resp.status == 200
+            assert head_body == b""
+            assert int(head_resp.getheader("Content-Length")) == len(get_body)
+    finally:
+        conn.close()
+
+
+# -- zero-copy blobs ----------------------------------------------------
+
+
+def test_large_blob_served_verbatim_via_sendfile_path(aservice):
+    """Blobs over the sendfile threshold stream from disk, byte-exact."""
+    client, store, _server = aservice
+    pad = "x" * 200_000  # well past _SENDFILE_MIN_BYTES (64 KiB)
+    key = store.key_for("big", {"pad_id": 1}, 0)
+    store.put(key, {"metrics": {"ok": 1}, "pad": pad})
+    over_http = client.fetch_bytes(key)
+    with open(store.path_for(key), "rb") as handle:
+        disk = handle.read()
+    assert len(disk) > 200_000
+    assert over_http == disk
+    # And the conditional fetch still works at this size.
+    assert client.fetch_bytes(key) == disk
+    assert client.etag_hits == 1
+
+
+# -- connection management ---------------------------------------------
+
+
+def test_connection_bound_refuses_excess_with_503(tmp_path):
+    store = ResultStore(str(tmp_path / "cache"))
+    server, _thread = start_async_server(store=store, max_connections=2)
+    conns = []
+    try:
+        for _ in range(2):
+            conn = _raw_conn(server)
+            conn.request("GET", "/v1/health")
+            assert conn.getresponse().read() != b""
+            conns.append(conn)
+        extra = _raw_conn(server)
+        conns.append(extra)
+        extra.request("GET", "/v1/health")
+        resp = extra.getresponse()
+        assert resp.status == 503
+        assert b"connection limit" in resp.read()
+    finally:
+        for conn in conns:
+            conn.close()
+        server.shutdown()
+        server.server_close()
+
+
+def test_idle_sweeper_closes_and_client_reconnects(tmp_path):
+    """Server-side idle close is invisible to the keep-alive client."""
+    import time
+
+    store = ResultStore(str(tmp_path / "cache"))
+    server, _thread = start_async_server(
+        store=store, keep_alive_timeout=0.5
+    )
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}", timeout=10.0)
+    try:
+        assert client.health()["status"] == "ok"
+        deadline = time.monotonic() + 10
+        while server._server.connections and time.monotonic() < deadline:
+            time.sleep(0.1)  # sweeper fires on a ~1s cadence
+        assert not server._server.connections  # idle conn was closed
+        # The client's cached connection is now stale; the next call
+        # must silently reconnect rather than surface an error.
+        assert client.health()["status"] == "ok"
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+# -- graceful drain -----------------------------------------------------
+
+
+def test_drain_finishes_in_flight_requests(tmp_path):
+    """Shutdown waits for in-flight handlers and still answers them."""
+    store = ResultStore(str(tmp_path / "cache"))
+    server, _thread = start_async_server(store=store, drain_timeout=20.0)
+    core = server._server
+    started = threading.Event()
+    gate = threading.Event()
+    real_handle = core.api.handle
+
+    def gated_handle(method, path, body=b"", if_none_match=None):
+        """Block POSTs until the test opens the gate."""
+        if method == "POST":
+            started.set()
+            assert gate.wait(15)
+        return real_handle(method, path, body, if_none_match)
+
+    core.api.handle = gated_handle
+    host, port = server.server_address[:2]
+    reply = {}
+
+    def slow_post():
+        """The in-flight request riding through the drain."""
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.request(
+                "POST",
+                "/v1/solve",
+                body=json.dumps(
+                    {"classic": "prisoners_dilemma", "method": "pure"}
+                ),
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            reply["status"] = resp.status
+            reply["body"] = json.loads(resp.read())
+        finally:
+            conn.close()
+
+    poster = threading.Thread(target=slow_post)
+    poster.start()
+    assert started.wait(15)  # request is in flight inside the handler
+
+    shutdown = threading.Thread(target=server.shutdown)
+    shutdown.start()
+    shutdown.join(timeout=0.5)
+    assert shutdown.is_alive()  # drain is waiting on the in-flight POST
+
+    gate.set()
+    shutdown.join(timeout=20)
+    poster.join(timeout=20)
+    assert not shutdown.is_alive()
+    assert reply["status"] == 200  # the response made it out before close
+    assert reply["body"]["equilibria"] == [[1, 1]]
+    server.server_close()
+
+    # Post-drain, the port no longer accepts new work.
+    with pytest.raises(OSError):
+        socket.create_connection((host, port), timeout=2).close()

@@ -13,13 +13,13 @@ Covers the ISSUE-5 satellite behaviours around the service:
   worker processes leak.
 """
 
+import http.client
 import os
 import pathlib
 import signal
 import socket
 import subprocess
 import sys
-import urllib.error
 
 import pytest
 
@@ -35,34 +35,23 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 # -- client retry/backoff ----------------------------------------------
 
 
-class _FakeResponse:
-    """Minimal context-manager response for a patched urlopen."""
+def _patch_transport(monkeypatch, failures, body=b'{"ok": true}', status=200):
+    """``_exchange`` raising each exception in ``failures``, then answering.
 
-    def __init__(self, body: bytes) -> None:
-        self._body = body
-
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc):
-        return False
-
-    def read(self) -> bytes:
-        return self._body
-
-
-def _patch_transport(monkeypatch, failures, body=b'{"ok": true}'):
-    """urlopen raising each exception in ``failures`` before succeeding."""
+    Patches below the retry policy (the per-exchange seam where the
+    keep-alive connection lives), so the backoff loop in
+    ``_request_raw`` is exercised for real.
+    """
     calls = {"n": 0}
     sleeps = []
 
-    def fake_urlopen(request, timeout=None):
+    def fake_exchange(self, method, path, data, headers):
         calls["n"] += 1
         if calls["n"] <= len(failures):
             raise failures[calls["n"] - 1]
-        return _FakeResponse(body)
+        return status, {}, body
 
-    monkeypatch.setattr(client_mod.urllib.request, "urlopen", fake_urlopen)
+    monkeypatch.setattr(client_mod.ServiceClient, "_exchange", fake_exchange)
     monkeypatch.setattr(client_mod.time, "sleep", sleeps.append)
     return calls, sleeps
 
@@ -70,7 +59,7 @@ def _patch_transport(monkeypatch, failures, body=b'{"ok": true}'):
 def test_get_retries_transient_errors_with_backoff(monkeypatch):
     calls, sleeps = _patch_transport(
         monkeypatch,
-        [urllib.error.URLError("refused"), ConnectionResetError("reset")],
+        [ConnectionRefusedError("refused"), ConnectionResetError("reset")],
     )
     client = ServiceClient("http://example", retries=3, backoff=0.05)
     assert client._request("GET", "/v1/health") == {"ok": True}
@@ -80,7 +69,7 @@ def test_get_retries_transient_errors_with_backoff(monkeypatch):
 
 def test_get_retry_budget_exhausts_with_status_zero(monkeypatch):
     calls, sleeps = _patch_transport(
-        monkeypatch, [urllib.error.URLError("down")] * 10
+        monkeypatch, [ConnectionRefusedError("down")] * 10
     )
     client = ServiceClient("http://example", retries=2, backoff=0.01)
     with pytest.raises(ServiceError) as excinfo:
@@ -93,7 +82,7 @@ def test_get_retry_budget_exhausts_with_status_zero(monkeypatch):
 
 def test_post_is_never_retried(monkeypatch):
     calls, sleeps = _patch_transport(
-        monkeypatch, [urllib.error.URLError("refused")] * 10
+        monkeypatch, [ConnectionRefusedError("refused")] * 10
     )
     client = ServiceClient("http://example", retries=5)
     with pytest.raises(ServiceError):
@@ -103,11 +92,9 @@ def test_post_is_never_retried(monkeypatch):
 
 
 def test_http_errors_are_not_retried(monkeypatch):
-    error = urllib.error.HTTPError(
-        "http://example/v1/x", 404, "nf", {}, None
+    calls, _sleeps = _patch_transport(
+        monkeypatch, [], body=b'{"error": "no route"}', status=404
     )
-    error.read = lambda: b'{"error": "no route"}'  # type: ignore[method-assign]
-    calls, _sleeps = _patch_transport(monkeypatch, [error] * 3)
     client = ServiceClient("http://example", retries=3)
     with pytest.raises(ServiceError) as excinfo:
         client._request("GET", "/v1/x")
@@ -117,7 +104,7 @@ def test_http_errors_are_not_retried(monkeypatch):
 
 def test_backoff_is_capped(monkeypatch):
     calls, sleeps = _patch_transport(
-        monkeypatch, [urllib.error.URLError("down")] * 4
+        monkeypatch, [ConnectionRefusedError("down")] * 4
     )
     client = ServiceClient(
         "http://example", retries=4, backoff=0.5, max_backoff=1.0
@@ -125,6 +112,67 @@ def test_backoff_is_capped(monkeypatch):
     assert client._request("GET", "/v1/health") == {"ok": True}
     assert sleeps == [0.5, 1.0, 1.0, 1.0]
     assert calls["n"] == 5
+
+
+def test_stale_keep_alive_connection_is_replayed_once(monkeypatch):
+    """A reused connection the server closed idle is replaced silently.
+
+    The replay happens below the GET-only retry policy: it applies to
+    any method, because ``RemoteDisconnected`` on a reused connection
+    means the server never received the request.
+    """
+    attempts = []
+
+    class _FakeConn:
+        """Connection double: first one is stale, successor answers."""
+
+        def __init__(self, stale):
+            self.stale = stale
+
+        def request(self, method, path, body=None, headers=None):
+            attempts.append((method, path, self.stale))
+            if self.stale:
+                raise http.client.RemoteDisconnected("server closed idle")
+
+        def getresponse(self):
+            class _R:
+                status = 200
+                headers = {}
+                will_close = False
+
+                @staticmethod
+                def read():
+                    return b'{"ok": true}'
+
+            return _R()
+
+        def close(self):
+            pass
+
+    client = ServiceClient("http://example", retries=0)
+    client._local.conn = _FakeConn(stale=True)  # a previously-used conn
+    monkeypatch.setattr(
+        client_mod.ServiceClient,
+        "_connect",
+        lambda self: setattr(self._local, "conn", _FakeConn(stale=False))
+        or self._local.conn,
+    )
+    assert client._request("POST", "/v1/sweeps", {"smoke": True}) == {
+        "ok": True
+    }
+    assert [stale for (_m, _p, stale) in attempts] == [True, False]
+
+
+def test_fresh_connection_failures_are_not_replayed(monkeypatch):
+    """The stale-connection replay never fires on a first-use connection."""
+    calls, sleeps = _patch_transport(
+        monkeypatch, [http.client.RemoteDisconnected("boom")] * 10
+    )
+    client = ServiceClient("http://example", retries=0)
+    with pytest.raises(ServiceError) as excinfo:
+        client._request("POST", "/v1/sweeps", {"smoke": True})
+    assert excinfo.value.status == 0
+    assert calls["n"] == 1 and sleeps == []
 
 
 # -- store prune / stats / quorum writes --------------------------------
