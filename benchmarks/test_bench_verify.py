@@ -1,0 +1,62 @@
+"""Bounded model checking — exhaustive verification as a benchmark.
+
+Times the three canonical checker workloads: rediscovering the
+``n <= 3t`` impossibility as a minimal counterexample (eig at (3, 1)),
+certifying EIG at (4, 1) over *every* coalition, and certifying phase
+king at (4, 1) under the ``search_for_disagreement`` placement family.
+Timings land in ``benchmarks/out/BENCH_verify.json`` and are gated
+against ``benchmarks/baselines/BENCH_verify.json`` by
+``check_bench_regression.py`` (3x threshold).
+"""
+
+from benchmarks.conftest import print_table, timed_rows
+from repro.verify import check_model
+
+
+def test_bench_verify_eig_counterexample(benchmark):
+    """(3,1): the checker finds, shrinks, and replays a violation."""
+    result = timed_rows(
+        benchmark,
+        "verify",
+        "eig_n3_t1_counterexample",
+        lambda: check_model("eig", 3, 1, bound=2),
+        workload="eig n=3 t=1 bound=2, family coalitions",
+    )
+    assert not result.ok
+    trace = result.counterexample
+    assert len(trace.events) == 1
+    assert trace.replay_violates()
+
+
+def test_bench_verify_eig_certify_all_coalitions(benchmark):
+    """(4,1) all coalitions: EIG certified exhaustively (n > 3t)."""
+    result = timed_rows(
+        benchmark,
+        "verify",
+        "eig_n4_t1_certify_all",
+        lambda: check_model("eig", 4, 1, bound=3, coalitions="all"),
+        workload="eig n=4 t=1 bound=3, all coalitions",
+    )
+    assert result.ok
+    assert not result.truncated
+
+
+def test_bench_verify_phase_king_certify(benchmark):
+    """(4,1) family placements: phase king certified to bound 3."""
+    result = timed_rows(
+        benchmark,
+        "verify",
+        "phase_king_n4_t1_certify",
+        lambda: check_model("phase_king", 4, 1, bound=3),
+        workload="phase_king n=4 t=1 bound=3, family coalitions",
+    )
+    assert result.ok
+    assert not result.truncated
+    print_table(
+        "Bounded model checking (exhaustive, per config)",
+        ["general", "faulty", "states", "violations"],
+        [
+            (c["general_value"], c["faulty"], c["states"], c["violations"])
+            for c in result.configs
+        ],
+    )

@@ -36,6 +36,7 @@ __all__ = [
     "mediators",
     "service",
     "solvers",
+    "verify",
 ]
 
 

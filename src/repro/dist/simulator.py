@@ -16,6 +16,8 @@ like the pseudocode in Aspnes' *Notes on Theory of Distributed Systems*.
 
 from __future__ import annotations
 
+import copy
+import pickle
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
@@ -137,6 +139,56 @@ class Network:
         if self.record_trace:
             self.trace.append(RoundTrace(round_number, tuple(sent)))
         self.round_number += 1
+
+    def step_round(self) -> "Network":
+        """Advance exactly one round (deterministic single-step hook).
+
+        The model checker (:mod:`repro.verify`) drives exploration through
+        this instead of :meth:`run` so it can interleave adversary choices
+        between rounds; ``run(k)`` is ``k`` calls to this method.
+        """
+        self._step_round()
+        return self
+
+    def fork(self) -> "Network":
+        """Return an independent deep copy of this network mid-execution.
+
+        The copy shares nothing with the original: stepping one never
+        affects the other, and stepping both produces identical states —
+        the fork point of the model checker's state-space exploration.
+        Pickle round-trips when possible (fast path); adversaries holding
+        closures (e.g. :class:`ScriptedAdversary`) fall back to
+        :func:`copy.deepcopy`.
+        """
+        try:
+            return pickle.loads(pickle.dumps(self, pickle.HIGHEST_PROTOCOL))
+        except Exception:
+            return copy.deepcopy(self)
+
+    def pending_inboxes(self) -> Tuple[Tuple[Message, ...], ...]:
+        """The undelivered inboxes (one tuple per node), in delivery order.
+
+        Together with each node's internal state and :attr:`round_number`
+        this is the full execution state — what :mod:`repro.verify`
+        hash-conses to deduplicate the exploration frontier.
+        """
+        return tuple(tuple(inbox) for inbox in self._inboxes)
+
+    def set_pending_inboxes(
+        self, inboxes: Sequence[Sequence[Message]]
+    ) -> None:
+        """Replace the undelivered inboxes (the fork-with-override hook).
+
+        Sibling states in :mod:`repro.verify` share their post-step node
+        states and differ only in the messages in flight; the checker
+        materializes a sibling as ``fork()`` plus this override instead
+        of re-stepping the round under a different adversary choice.
+        """
+        if len(inboxes) != len(self.nodes):
+            raise ValueError(
+                f"expected {len(self.nodes)} inboxes, got {len(inboxes)}"
+            )
+        self._inboxes = [list(inbox) for inbox in inboxes]
 
     def run(self, n_rounds: int) -> "Network":
         for _ in range(n_rounds):

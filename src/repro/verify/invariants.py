@@ -1,0 +1,135 @@
+"""Invariants: named predicates the checker evaluates at the bound.
+
+An :class:`Invariant` is a predicate over the honest outputs of a
+terminal execution state (``Network.honest_outputs()``) plus an
+:class:`InvariantContext` describing the model instance.  The built-in
+trio is the Byzantine agreement specification of
+:func:`repro.dist.agreement.check_agreement`, split into separately
+nameable clauses so a counterexample says *which* clause broke:
+
+* ``termination`` — every honest node decided within the horizon;
+* ``agreement`` — all honest decisions are equal;
+* ``validity`` — honest decisions equal the general's value, vacuously
+  true when the general is faulty (the classical weakening).
+
+Custom invariants are plain predicates — anything over the outputs
+mapping — so the same checker gates future protocols (e.g. the
+replicated coordinator's lease/quorum state machine) without change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "AGREEMENT",
+    "BYZANTINE_AGREEMENT",
+    "INVARIANTS",
+    "TERMINATION",
+    "VALIDITY",
+    "Invariant",
+    "InvariantContext",
+    "first_violation",
+    "get_invariant",
+]
+
+
+@dataclass(frozen=True)
+class InvariantContext:
+    """The model instance a terminal state is judged against."""
+
+    n: int
+    t: int
+    general_value: int
+    faulty: frozenset
+
+    @property
+    def general_faulty(self) -> bool:
+        """Whether the general (node 0) is adversary-controlled."""
+        return 0 in self.faulty
+
+
+Predicate = Callable[[Mapping[int, Any], InvariantContext], bool]
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A named predicate over honest outputs; ``True`` means it holds."""
+
+    name: str
+    description: str
+    predicate: Predicate
+
+    def holds(self, outputs: Mapping[int, Any], ctx: InvariantContext) -> bool:
+        """Evaluate the predicate on one terminal state."""
+        return bool(self.predicate(outputs, ctx))
+
+
+def _termination(outputs: Mapping[int, Any], ctx: InvariantContext) -> bool:
+    return all(value is not None for value in outputs.values())
+
+
+def _agreement(outputs: Mapping[int, Any], ctx: InvariantContext) -> bool:
+    decided = [value for value in outputs.values() if value is not None]
+    return len(set(decided)) <= 1
+
+
+def _validity(outputs: Mapping[int, Any], ctx: InvariantContext) -> bool:
+    if ctx.general_faulty:
+        return True
+    return all(
+        value == ctx.general_value
+        for value in outputs.values()
+        if value is not None
+    )
+
+
+TERMINATION = Invariant(
+    "termination",
+    "every honest node has decided by the end of the horizon",
+    _termination,
+)
+AGREEMENT = Invariant(
+    "agreement",
+    "all honest decisions are equal",
+    _agreement,
+)
+VALIDITY = Invariant(
+    "validity",
+    "honest decisions equal the general's value (vacuous if it is faulty)",
+    _validity,
+)
+
+BYZANTINE_AGREEMENT: Tuple[Invariant, ...] = (
+    TERMINATION,
+    AGREEMENT,
+    VALIDITY,
+)
+
+INVARIANTS: Dict[str, Invariant] = {
+    inv.name: inv for inv in BYZANTINE_AGREEMENT
+}
+
+
+def get_invariant(name: str) -> Invariant:
+    """Look up a built-in invariant by name."""
+    try:
+        return INVARIANTS[name]
+    except KeyError:
+        known = ", ".join(sorted(INVARIANTS))
+        raise KeyError(
+            f"unknown invariant {name!r}; built-ins: {known}"
+        ) from None
+
+
+def first_violation(
+    invariants: Sequence[Invariant],
+    outputs: Mapping[int, Any],
+    ctx: InvariantContext,
+) -> Optional[str]:
+    """The name of the first violated invariant, or ``None`` if all hold."""
+    for invariant in invariants:
+        if not invariant.holds(outputs, ctx):
+            return invariant.name
+    return None

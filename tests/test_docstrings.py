@@ -14,7 +14,15 @@ import pathlib
 import pytest
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
-PACKAGES = ["cluster", "core", "solvers", "experiments", "econ", "service"]
+PACKAGES = [
+    "cluster",
+    "core",
+    "solvers",
+    "experiments",
+    "econ",
+    "service",
+    "verify",
+]
 
 
 def _public_defs_missing_docstrings(path: pathlib.Path):

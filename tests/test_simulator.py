@@ -4,6 +4,7 @@ from typing import List
 
 import pytest
 
+from repro.dist.faults import CrashSchedule
 from repro.dist.simulator import (
     ByzantineRandomAdversary,
     CrashAdversary,
@@ -148,3 +149,56 @@ class TestAdversaries:
         Network(nodes, ScriptedAdversary({1}, script)).run(2)
         payloads = [m.payload for m in nodes[0].received if m.sender == 1]
         assert payloads == ["lie"]
+
+
+class TestFaultEdgeCases:
+    def test_crash_schedule_rejects_out_of_range_nodes(self):
+        with pytest.raises(ValueError, match="unknown nodes"):
+            CrashSchedule({5: 1}).validate(3)
+        with pytest.raises(ValueError, match="unknown nodes"):
+            CrashSchedule({-1: 0}).validate(3)
+        CrashSchedule({0: 2, 2: 0}).validate(3)  # in range: fine
+
+    def test_crash_schedule_negative_tick_is_dead_on_arrival(self):
+        schedule = CrashSchedule({1: -3})
+        assert schedule.is_crashed(1, 0)
+        assert schedule.is_crashed(1, 100)
+        assert not schedule.is_crashed(0, 0)  # unscheduled nodes never crash
+        assert schedule.crashed_ids() == frozenset({1})
+
+    def test_crash_schedule_boundary_tick(self):
+        schedule = CrashSchedule({1: 2})
+        assert not schedule.is_crashed(1, 1)  # correct through tick tau-1
+        assert schedule.is_crashed(1, 2)  # dead from tick tau on
+
+    def test_empty_crash_schedule(self):
+        schedule = CrashSchedule()
+        schedule.validate(0)
+        assert schedule.crashed_ids() == frozenset()
+        assert not schedule.is_crashed(0, 10)
+
+    def test_scripted_adversary_empty_faulty_set_is_identity(self):
+        def script(node_id, round_number, honest_outbox, n_nodes):
+            return []  # would silence everyone — but controls nobody
+
+        nodes = [EchoNode(i, 2) for i in range(2)]
+        Network(nodes, ScriptedAdversary((), script)).run(2)
+        assert nodes[0].output == [0, 1]
+
+    def test_scripted_adversary_silencing_script(self):
+        nodes = [EchoNode(i, 3) for i in range(3)]
+        silence = ScriptedAdversary({2}, lambda *_: [])
+        Network(nodes, silence).run(2)
+        assert nodes[0].output == [0, 1]
+
+    def test_scripted_adversary_out_of_range_faulty_rejected(self):
+        adversary = ScriptedAdversary({9}, lambda *_: [])
+        with pytest.raises(ValueError, match="unknown nodes"):
+            Network([EchoNode(i, 2) for i in range(2)], adversary)
+
+    def test_crash_adversary_negative_crash_round(self):
+        """A negative crash round means silent from round 0 onward."""
+        nodes = [EchoNode(i, 3) for i in range(3)]
+        adv = CrashAdversary({2}, crash_round={2: -1})
+        Network(nodes, adv).run(2)
+        assert nodes[0].output == [0, 1]
