@@ -35,7 +35,7 @@ from conftest import print_table, record_row
 
 from repro.cluster import ClusterCoordinator, run_worker_thread
 from repro.experiments.registry import scenario, unregister
-from repro.service.app import start_server
+from repro.service.aserver import start_async_server
 from repro.service.client import ServiceClient
 from repro.service.store import ResultStore
 
@@ -81,7 +81,7 @@ def test_bench_cluster_two_workers_beat_one(tmp_path, latency_scenario):
     """Record 1-worker vs 2-worker wall clock on a parallelizable sweep."""
     store = ResultStore(str(tmp_path / "server-cache"))
     coordinator = ClusterCoordinator(store=store, unit_size=1, lease_ttl=60.0)
-    server, _thread = start_server(store=store, coordinator=coordinator)
+    server, _thread = start_async_server(store=store, coordinator=coordinator)
     host, port = server.server_address[:2]
     url = f"http://{host}:{port}"
     client = ServiceClient(url, timeout=120.0)

@@ -21,7 +21,7 @@ import pytest
 
 from conftest import print_table, record_row
 
-from repro.service.app import start_server
+from repro.service.aserver import start_async_server
 from repro.service.client import ServiceClient
 from repro.service.store import ResultStore
 
@@ -32,7 +32,7 @@ SWEEP = ["coordination_robustness"]
 def service(tmp_path):
     """A live server + client pair over a fresh cache directory."""
     store = ResultStore(str(tmp_path / "cache"))
-    server, _thread = start_server(store=store)
+    server, _thread = start_async_server(store=store)
     host, port = server.server_address[:2]
     client = ServiceClient(f"http://{host}:{port}", timeout=60.0)
     try:

@@ -22,7 +22,7 @@ from repro.cluster import ClusterCoordinator, run_worker_thread
 from repro.dist.faults import ByzantineRandomAdversary
 from repro.experiments.results import format_table
 from repro.experiments.runner import run_experiments
-from repro.service import ResultStore, ServiceClient, start_server
+from repro.service import ResultStore, ServiceClient, start_async_server
 
 SWEEP = "coordination_robustness"
 
@@ -33,7 +33,7 @@ def main() -> None:
     coordinator = ClusterCoordinator(
         store=store, redundancy=3, unit_size=1, quarantine_after=1
     )
-    server, _thread = start_server(store=store, coordinator=coordinator)
+    server, _thread = start_async_server(store=store, coordinator=coordinator)
     host, port = server.server_address[:2]
     url = f"http://{host}:{port}"
     client = ServiceClient(url)

@@ -4,8 +4,7 @@ Starts the ``repro.service`` asyncio HTTP server on an ephemeral port
 with a temporary content-addressed result cache, submits the paper's E1
 robustness sweep through the :class:`~repro.service.client.ServiceClient`
 twice (cold, then fully cached), fetches one result blob by its content
-address, and solves a classic game through ``/v1/solve``.  (The
-threaded reference server, ``start_server``, has the same surface.)
+address, and solves a classic game through ``/v1/solve``.
 
 Run with::
 

@@ -25,31 +25,55 @@ the :mod:`repro.service` HTTP API (``POST /v1/workers``, ``/v1/lease``,
 Fault injection reuses the :mod:`repro.dist.faults` adversary hierarchy
 (NoFault/Crash/ByzantineRandom/Scripted) wrapped around the worker loop.
 
+The coordinator itself is no longer a single point of failure: the
+:mod:`repro.cluster.replica` module replicates the scheduling machine
+across 3+ :class:`~repro.cluster.replica.Replica` processes behind a
+majority-quorum consensus log (:class:`~repro.cluster.log.DurableLog`
+on disk, :class:`~repro.cluster.replica.RaftCore` for the pure
+consensus rules).  Followers bounce writes with HTTP 421 plus a leader
+hint (:class:`~repro.cluster.errors.NotLeaderError`); workers and
+clients take every replica URL and fail over automatically, so sweeps
+finish byte-identically through a leader ``SIGKILL``.
+
 ``python -m repro.cluster`` drives it from the shell::
 
     python -m repro.cluster coordinator --port 8642 --cache-dir .cache
     python -m repro.cluster worker --url http://127.0.0.1:8642
     python -m repro.cluster worker --url ... --fault byzantine
     python -m repro.cluster submit --family robustness --redundancy 3 --wait
+
+or, replicated (one ``replica`` process per data directory)::
+
+    python -m repro.cluster replica --port 8651 --data-dir r1 \\
+        --peers http://127.0.0.1:8652,http://127.0.0.1:8653
+    python -m repro.cluster worker \\
+        --url http://127.0.0.1:8651,http://127.0.0.1:8652,http://127.0.0.1:8653
 """
 
 from repro.cluster.coordinator import (
     ClusterCoordinator,
     ClusterError,
     ClusterExecutor,
-    WorkUnit,
-    WorkerState,
+    CoordinatorMachine,
     unit_digest,
 )
+from repro.cluster.errors import NotLeaderError
+from repro.cluster.log import DurableLog, LogEntry
+from repro.cluster.replica import MemoryLog, RaftCore, Replica
 from repro.cluster.worker import Worker, corrupt_rows, run_worker_thread
 
 __all__ = [
     "ClusterCoordinator",
     "ClusterError",
     "ClusterExecutor",
-    "WorkUnit",
+    "CoordinatorMachine",
+    "DurableLog",
+    "LogEntry",
+    "MemoryLog",
+    "NotLeaderError",
+    "RaftCore",
+    "Replica",
     "Worker",
-    "WorkerState",
     "corrupt_rows",
     "run_worker_thread",
     "unit_digest",

@@ -3,20 +3,27 @@
 Subcommands::
 
     coordinator  run the HTTP service with the cluster scheduler enabled
+    replica      run one consensus replica of the replicated control plane
     worker       run one worker process against a coordinator URL
     submit       submit a cluster-executed sweep and optionally wait
 
 Examples::
 
     python -m repro.cluster coordinator --port 8642 --cache-dir .cache
+    python -m repro.cluster replica --port 8651 --data-dir .r1 \\
+        --peers http://127.0.0.1:8652,http://127.0.0.1:8653
     python -m repro.cluster worker --url http://127.0.0.1:8642 \\
         --cache-dir .worker-cache --idle-timeout 120
+    python -m repro.cluster worker \\
+        --url http://127.0.0.1:8651,http://127.0.0.1:8652,http://127.0.0.1:8653
     python -m repro.cluster worker --url http://127.0.0.1:8642 \\
         --fault byzantine --fault-seed 0
-    python -m repro.cluster worker --url http://127.0.0.1:8642 \\
-        --fault crash --crash-after 2
     python -m repro.cluster submit --scenario coordination_robustness \\
         --redundancy 3 --wait
+
+``worker`` and ``submit`` accept a comma-separated ``--url`` list; the
+client fails over between endpoints and chases leader hints, so a sweep
+keeps running while individual replicas crash.
 """
 
 from __future__ import annotations
@@ -27,10 +34,10 @@ import sys
 from typing import List, Optional
 
 from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.replica import Replica
 from repro.cluster.worker import Worker
 from repro.dist.faults import ByzantineRandomAdversary, CrashAdversary
 from repro.experiments.results import format_table
-from repro.service.app import serve_forever
 from repro.service.aserver import aserve_forever
 from repro.service.client import ServiceClient
 from repro.service.store import ResultStore
@@ -41,7 +48,10 @@ def _add_url(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--url",
         default="http://127.0.0.1:8642",
-        help="coordinator base URL (default: http://127.0.0.1:8642)",
+        help=(
+            "coordinator base URL, or a comma-separated replica list "
+            "(default: http://127.0.0.1:8642)"
+        ),
     )
 
 
@@ -55,14 +65,45 @@ def _cmd_coordinator(args: argparse.Namespace) -> int:
         lease_ttl=args.lease_ttl,
         quarantine_after=args.quarantine_after,
     )
-    serve = serve_forever if args.legacy_threads else aserve_forever
-    serve(
+    aserve_forever(
         host=args.host,
         port=args.port,
         cache_dir=args.cache_dir,
         store=store,
         coordinator=coordinator,
     )
+    return 0
+
+
+def _cmd_replica(args: argparse.Namespace) -> int:
+    """Run one consensus replica: raft node + full service API."""
+    store = None if args.cache_dir is None else ResultStore(args.cache_dir)
+    self_url = args.self_url or f"http://{args.host}:{args.port}"
+    peers = [url.strip() for url in args.peers.split(",") if url.strip()]
+    replica = Replica(
+        data_dir=args.data_dir,
+        self_url=self_url,
+        peer_urls=peers,
+        store=store,
+        redundancy=args.redundancy,
+        unit_size=args.unit_size,
+        lease_ttl=args.lease_ttl,
+        quarantine_after=args.quarantine_after,
+        heartbeat_interval=args.heartbeat_interval,
+        election_timeout=(args.election_min, args.election_max),
+        fsync=not args.no_fsync,
+    )
+    replica.start()
+    try:
+        aserve_forever(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            store=store,
+            coordinator=replica,
+        )
+    finally:
+        replica.close()
     return 0
 
 
@@ -171,12 +212,78 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=1,
         help="strikes before a worker stops receiving leases",
     )
-    coord.add_argument(
-        "--legacy-threads",
-        action="store_true",
-        help="use the threaded reference server instead of asyncio",
-    )
     coord.set_defaults(fn=_cmd_coordinator)
+
+    replica = sub.add_parser(
+        "replica", help="run one replica of the replicated control plane"
+    )
+    replica.add_argument("--host", default="127.0.0.1")
+    replica.add_argument("--port", type=int, default=8642)
+    replica.add_argument(
+        "--data-dir",
+        required=True,
+        help="durable consensus state directory owned by this replica",
+    )
+    replica.add_argument(
+        "--self-url",
+        default=None,
+        help="URL peers reach this replica at (default: http://host:port)",
+    )
+    replica.add_argument(
+        "--peers",
+        default="",
+        help="comma-separated URLs of the other replicas",
+    )
+    replica.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed result cache directory (recommended)",
+    )
+    replica.add_argument(
+        "--redundancy",
+        type=int,
+        default=1,
+        help="default r-fold replication per work unit (majority quorum)",
+    )
+    replica.add_argument(
+        "--unit-size", type=int, default=1, help="cases per work unit"
+    )
+    replica.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="logical-clock seconds before a lease is reassigned",
+    )
+    replica.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=1,
+        help="strikes before a worker stops receiving leases",
+    )
+    replica.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=0.08,
+        help="leader heartbeat period in seconds",
+    )
+    replica.add_argument(
+        "--election-min",
+        type=float,
+        default=0.3,
+        help="lower bound of the randomized election timeout",
+    )
+    replica.add_argument(
+        "--election-max",
+        type=float,
+        default=0.6,
+        help="upper bound of the randomized election timeout",
+    )
+    replica.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip fsync on the consensus log (tests/CI only)",
+    )
+    replica.set_defaults(fn=_cmd_replica)
 
     worker = sub.add_parser("worker", help="run one worker process")
     _add_url(worker)

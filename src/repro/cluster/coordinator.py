@@ -1,48 +1,65 @@
-"""Coordinator: shard cases into leased work units, accept quorum results.
+"""Coordinator: a deterministic scheduling state machine plus a thin shell.
 
-The :class:`ClusterCoordinator` is the brain of the compute fabric.  It
-takes the exact ``Case`` tuples the experiment runner produces, shards
-them **by content-address key** (the same sha256 the result store uses,
-so the sharding is deterministic and seed-stable) into :class:`WorkUnit`
-chunks, and hands those units out to registered workers under *leases*:
+Since PR 8 the brain of the compute fabric is split in two layers:
 
+* :class:`CoordinatorMachine` — a **pure, deterministic, replicated-log
+  -ready state machine**.  Its entire state is one JSON-serializable
+  dict and every transition is ``apply(command) -> reply`` where
+  ``command`` is a JSON command dict (``register`` / ``lease`` /
+  ``complete`` / ``submit`` / ``purge`` / ``tick`` / ``noop``).  Nothing
+  inside reads the wall clock, allocates ids non-deterministically, or
+  touches the disk: time arrives as an explicit ``now`` field on every
+  command (the machine's logical clock is the running maximum), worker
+  and unit ids are derived from counters and content hashes held in the
+  state, and quorum-accepted rows are emitted as *effects* for the
+  caller to flush.  Two machines that apply the same command sequence
+  hold byte-identical state — :meth:`CoordinatorMachine.state_digest`
+  is the sha256 the replicated control plane's anti-entropy probes
+  compare.
+
+* :class:`ClusterCoordinator` — the thread-safe single-process shell
+  that keeps the historical public surface (``register_worker`` /
+  ``lease`` / ``complete`` / ``execute_cases`` / ``stats``): it applies
+  commands directly under one lock, stamps ``now`` from the wall clock,
+  and flushes store effects outside the lock.  The replicated
+  deployment (:mod:`repro.cluster.replica`) drives the *same* machine
+  through a majority-quorum log instead.
+
+Scheduling semantics are unchanged from the original coordinator:
+
+* cases are sharded **by content-address key** (the same sha256 the
+  result store uses) into work units, so the sharding is a pure
+  function of the sweep, independent of submit order and wall clock;
 * a worker that crashes or stalls simply never completes its lease; the
-  lease expires after ``lease_ttl`` seconds and the unit is reassigned
-  to another worker (crash/straggler tolerance);
+  lease expires after ``lease_ttl`` seconds and the unit is reassigned;
 * with ``redundancy = r > 1`` every unit must be executed by *distinct*
   workers until ``⌊r/2⌋ + 1`` of them return byte-identical canonical
   JSON payloads — a Byzantine worker returning corrupt rows is outvoted
   by the honest majority, struck, and quarantined (no further leases);
 * scheduling is lazy: leases are only extended while
-  ``active leases + best matching votes < threshold``, so the happy path
-  costs the majority threshold in executions, not the full ``r``.
+  ``active leases + best matching votes < threshold``, so the happy
+  path costs the majority threshold in executions, not the full ``r``.
 
 Votes are digests over the rows' *deterministic payload* — the result
 dict minus wall-clock ``elapsed`` (see
-:meth:`repro.experiments.results.ExperimentResult.payload_dict`) — which
-is why serial, process-pool, and cluster execution agree byte-for-byte
-under fixed seeds even though their timings differ.
+:meth:`repro.experiments.results.ExperimentResult.payload_dict`) —
+which is why serial, process-pool, and cluster execution agree
+byte-for-byte under fixed seeds even though their timings differ.
 
-In the paper's vocabulary (Halpern PODC'08, §2) the fabric tolerates the
-same two misbehaviour classes the solution concepts do: ``t`` "faulty"
-workers (crashed, slow, or adversarial — outvoted so the computation is
-*t-immune* for ``t < ⌈r/2⌉`` per unit) on top of any number of merely
-slow ones.
-
-The coordinator is thread-safe and transport-agnostic: the HTTP layer
-(:mod:`repro.service.app`) forwards ``POST /v1/workers``, ``/v1/lease``
-and ``/v1/complete`` bodies straight into :meth:`register_worker`,
-:meth:`lease` and :meth:`complete`, and the same three methods double as
-the in-process transport for :class:`repro.cluster.worker.Worker`.
+Sweeps are **idempotent by content**: a sweep's id is the sha256 of its
+case refs, base seed, and redundancy, and resubmitting an in-flight or
+finished sweep attaches to the existing one instead of duplicating
+work.  This is what makes client failover safe — a sweep resubmitted
+to a freshly elected leader reuses every unit the old leader's quorum
+already accepted.
 """
 
 from __future__ import annotations
 
+import copy
 import hashlib
-import itertools
 import threading
 import time
-from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.results import ExperimentResult
@@ -52,8 +69,9 @@ __all__ = [
     "ClusterCoordinator",
     "ClusterError",
     "ClusterExecutor",
-    "WorkUnit",
-    "WorkerState",
+    "CoordinatorMachine",
+    "case_refs",
+    "sweep_id_for",
     "unit_digest",
 ]
 
@@ -82,71 +100,461 @@ def unit_digest(rows: Sequence[Any]) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-@dataclass
-class WorkerState:
-    """Registry entry for one worker: identity, throughput, and trust."""
+def case_refs(cases: Sequence[tuple]) -> List[Dict[str, Any]]:
+    """JSON-shippable refs for runner ``Case`` tuples (original order).
 
-    worker_id: str
-    name: str
-    registered_at: float = field(default_factory=time.time)
-    completed: int = 0
-    votes_cast: int = 0
-    strikes: int = 0
-    quarantined: bool = False
-
-    def to_json_obj(self) -> Dict[str, Any]:
-        """JSON rendering served by ``GET /v1/cluster``."""
-        return {
-            "worker_id": self.worker_id,
-            "name": self.name,
-            "completed": self.completed,
-            "votes_cast": self.votes_cast,
-            "strikes": self.strikes,
-            "quarantined": self.quarantined,
+    A ref carries everything a worker needs to rebuild the case —
+    scenario name (function resolved from the registry), family,
+    params, the pre-derived seed, and the replication index — plus the
+    case's position in the submitted sweep so results can be reordered.
+    """
+    return [
+        {
+            "index": index,
+            "scenario": case[0],
+            "family": case[1],
+            "params": case[3],
+            "seed": int(case[4]),
+            "replication": int(case[5]),
         }
+        for index, case in enumerate(cases)
+    ]
 
 
-class WorkUnit:
-    """One leased chunk of cases plus its replication voting state."""
+def sweep_id_for(
+    refs: Sequence[Dict[str, Any]], base_seed: int, redundancy: int
+) -> str:
+    """Content-derived sweep identity (the unit of submit idempotency)."""
+    payload = canonical_json(
+        {"cases": list(refs), "base_seed": int(base_seed), "redundancy": int(redundancy)}
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _ref_key(ref: Dict[str, Any], base_seed: int) -> str:
+    """The content-address key the sharder sorts one case ref by."""
+    return result_key(
+        ref["scenario"], ref["params"], base_seed, ref["replication"]
+    )
+
+
+class CoordinatorMachine:
+    """The coordinator as a pure ``(command, state) -> (reply, state')`` map.
+
+    Parameters mirror the historical coordinator knobs; they are part
+    of the machine's state (and therefore of its digest), so replicas
+    must be configured identically.
+
+    Commands are dicts with an ``op`` field and, for every op that can
+    advance time, an explicit ``now`` — wall-clock decisions like lease
+    expiry are functions of the *logical* clock (the running max of
+    every ``now`` seen), never of the machine's host.  Replies are JSON
+    dicts; errors are ``{"error": message}`` replies, not exceptions,
+    so a replicated apply can never diverge on exception semantics.
+
+    Accepted units are appended to an internal *effects* list (the
+    quorum-verified rows to flush into a result store).  Effects are
+    **not** part of the hashed state: every host applying the log
+    drains them via :meth:`take_effects` and performs the (idempotent,
+    content-addressed) store writes itself.
+    """
 
     def __init__(
         self,
-        unit_id: str,
-        cases: List[Tuple[int, tuple]],
-        base_seed: int,
-        redundancy: int,
-        max_votes: int,
+        redundancy: int = 1,
+        unit_size: int = 1,
+        lease_ttl: float = 30.0,
+        quarantine_after: int = 1,
     ) -> None:
-        self.unit_id = unit_id
-        self.cases = cases  # [(original sweep index, runner Case tuple)]
-        self.base_seed = base_seed
-        self.redundancy = redundancy
-        self.threshold = redundancy // 2 + 1
-        self.max_votes = max_votes
-        self.status = "open"  # open -> done | failed
-        self.leases: Dict[str, float] = {}  # worker_id -> monotonic deadline
-        self.votes: Dict[str, str] = {}  # worker_id -> digest
-        self.rows_by_digest: Dict[str, List[Any]] = {}
-        self.winning_digest: Optional[str] = None
-        self.winning_votes = 0
-        self.accepted_results: List[ExperimentResult] = []
+        if redundancy < 1:
+            raise ValueError("redundancy must be >= 1")
+        if unit_size < 1:
+            raise ValueError("unit_size must be >= 1")
+        self.s: Dict[str, Any] = {
+            "config": {
+                "redundancy": int(redundancy),
+                "unit_size": int(unit_size),
+                "lease_ttl": float(lease_ttl),
+                "quarantine_after": int(quarantine_after),
+            },
+            "clock": 0.0,
+            "next_worker": 1,
+            "workers": {},  # worker_id -> registry entry
+            "units": {},  # unit_id -> unit record
+            "queue": [],  # unit_ids in lease-priority order
+            "sweeps": {},  # sweep_id -> sweep record
+            "counters": {
+                "leases_granted": 0,
+                "leases_expired": 0,
+                "units_completed": 0,
+                "units_failed": 0,
+                "votes_received": 0,
+                "strikes_issued": 0,
+            },
+        }
+        self._effects: List[Dict[str, Any]] = []
 
-    def tally(self) -> Tuple[Optional[str], int]:
+    # -- identity and snapshots ----------------------------------------
+
+    def state_digest(self) -> str:
+        """sha256 over the canonical-JSON state (anti-entropy identity)."""
+        payload = canonical_json(self.s)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A deep, JSON-clean copy of the state (for log compaction)."""
+        return copy.deepcopy(self.s)
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Replace the state wholesale (installing a snapshot)."""
+        self.s = copy.deepcopy(state)
+        self._effects = []
+
+    def take_effects(self) -> List[Dict[str, Any]]:
+        """Drain the pending store-write effects (accepted unit records)."""
+        effects, self._effects = self._effects, []
+        return effects
+
+    # -- the transition function ---------------------------------------
+
+    def apply(self, command: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply one command; returns its reply (never raises on bad input)."""
+        op = command.get("op")
+        now = float(command.get("now", self.s["clock"]))
+        if now > self.s["clock"]:
+            self.s["clock"] = now
+        if op == "register":
+            return self._register(command)
+        if op == "lease":
+            return self._lease(command)
+        if op == "complete":
+            return self._complete(command)
+        if op == "submit":
+            return self._submit(command)
+        if op == "purge":
+            return self._purge(command)
+        if op == "tick":
+            self._expire_leases()
+            return {"clock": self.s["clock"]}
+        if op == "noop":
+            return {}
+        return {"error": f"unknown coordinator command {op!r}"}
+
+    # -- worker-facing ops ---------------------------------------------
+
+    def _register(self, command: Dict[str, Any]) -> Dict[str, Any]:
+        """Register a worker (idempotent when an explicit id is given)."""
+        workers = self.s["workers"]
+        worker_id = command.get("worker_id")
+        if worker_id is not None:
+            existing = workers.get(worker_id)
+            if existing is not None:
+                # Idempotent re-registration after a failover: same id,
+                # same registry entry, strikes and quarantine preserved.
+                return {
+                    "worker_id": worker_id,
+                    "name": existing["name"],
+                }
+            # Re-adopt an id this machine has never seen (a worker that
+            # outlived a total state loss): keep the sequence ahead of
+            # it so fresh assignments can never collide.
+            digits = worker_id[1:] if worker_id.startswith("w") else ""
+            if digits.isdigit():
+                self.s["next_worker"] = max(
+                    self.s["next_worker"], int(digits) + 1
+                )
+        else:
+            worker_id = f"w{self.s['next_worker']}"
+            self.s["next_worker"] += 1
+        name = command.get("name") or worker_id
+        workers[worker_id] = {
+            "worker_id": worker_id,
+            "name": name,
+            "registered_at": self.s["clock"],
+            "completed": 0,
+            "votes_cast": 0,
+            "strikes": 0,
+            "quarantined": False,
+        }
+        return {"worker_id": worker_id, "name": name}
+
+    def _lease(self, command: Dict[str, Any]) -> Dict[str, Any]:
+        """Grant the next eligible unit to the requesting worker (or none).
+
+        Expired leases are reaped first, so a crashed worker's units are
+        reassignable by the very next lease request.  The reply always
+        carries ``open`` (unresolved unit count) and ``quarantined`` so
+        a worker loop can decide to idle or exit.
+        """
+        worker = self.s["workers"].get(command.get("worker_id"))
+        if worker is None:
+            return {
+                "error": f"unknown worker {command.get('worker_id')!r}; "
+                "register first"
+            }
+        self._expire_leases()
+        units = self.s["units"]
+        open_units = sum(
+            1 for uid in self.s["queue"] if units[uid]["status"] == "open"
+        )
+        if worker["quarantined"]:
+            return {"unit": None, "open": open_units, "quarantined": True}
+        lease_ttl = self.s["config"]["lease_ttl"]
+        for uid in self.s["queue"]:
+            unit = units[uid]
+            if self._leasable_by(unit, worker):
+                unit["leases"][worker["worker_id"]] = (
+                    self.s["clock"] + lease_ttl
+                )
+                self.s["counters"]["leases_granted"] += 1
+                return {
+                    "unit": self._lease_payload(unit),
+                    "open": open_units,
+                    "quarantined": False,
+                }
+        return {"unit": None, "open": open_units, "quarantined": False}
+
+    def _complete(self, command: Dict[str, Any]) -> Dict[str, Any]:
+        """Record one worker's result rows for a unit as a quorum vote.
+
+        Every structurally-parseable completion counts as a vote for
+        the digest of its payload bytes; acceptance happens when
+        ``threshold`` distinct workers agree.  Votes that lose the
+        quorum — and late completions that contradict an already
+        accepted digest — earn the worker a strike.
+        """
+        worker = self.s["workers"].get(command.get("worker_id"))
+        if worker is None:
+            return {
+                "error": f"unknown worker {command.get('worker_id')!r}; "
+                "register first"
+            }
+        unit = self.s["units"].get(command.get("unit_id"))
+        if unit is None:
+            return {"error": f"unknown work unit {command.get('unit_id')!r}"}
+        rows = command.get("rows") or []
+        worker_id = worker["worker_id"]
+        unit["leases"].pop(worker_id, None)
+        digest = unit_digest(rows)
+        if unit["status"] != "open":
+            # Late completion: free verification against the accepted
+            # payload — agreement is fine, contradiction is a strike.
+            if unit["status"] == "done" and digest != unit["winning_digest"]:
+                self._strike(worker)
+            return {
+                "status": "stale",
+                "accepted": unit["status"] == "done",
+                "quarantined": worker["quarantined"],
+            }
+        if worker["quarantined"]:
+            # A quarantined worker may still finish an in-flight lease;
+            # its result must never count toward a quorum.
+            return {
+                "status": "quarantined",
+                "accepted": False,
+                "quarantined": True,
+            }
+        if worker_id in unit["votes"]:
+            return {
+                "status": "duplicate",
+                "accepted": False,
+                "quarantined": worker["quarantined"],
+            }
+        unit["votes"][worker_id] = digest
+        unit["rows_by_digest"].setdefault(digest, list(rows))
+        worker["votes_cast"] += 1
+        worker["completed"] += 1
+        self.s["counters"]["votes_received"] += 1
+        status = "pending"
+        best_digest, best_votes = self._tally(unit)
+        if best_votes >= unit["threshold"]:
+            self._accept(unit, best_digest)
+            status = "accepted" if digest == best_digest else "outvoted"
+            if unit["status"] == "failed":
+                status = "failed"  # quorum payload was structurally invalid
+        elif len(unit["votes"]) >= unit["max_votes"]:
+            self._fail(
+                unit,
+                f"unit {unit['unit_id']}: no {unit['threshold']}-quorum "
+                f"among {len(unit['votes'])} votes (too many faulty "
+                "workers?)",
+            )
+            status = "failed"
+        self._expire_leases()
+        return {
+            "status": status,
+            "accepted": status == "accepted",
+            "quarantined": worker["quarantined"],
+        }
+
+    # -- sweep-facing ops ----------------------------------------------
+
+    def _submit(self, command: Dict[str, Any]) -> Dict[str, Any]:
+        """Open (or attach to) a sweep; enqueue its work units.
+
+        The sweep id is a content hash of the refs + seed + redundancy,
+        so identical submissions — concurrent duplicates, or a client
+        resubmitting after a leader failover — share one sweep and its
+        already-accepted units.  ``waiters`` counts attached callers;
+        the sweep is purged when the last one detaches.
+        """
+        refs = command.get("cases") or []
+        base_seed = int(command.get("base_seed", 0))
+        redundancy = int(
+            command.get("redundancy") or self.s["config"]["redundancy"]
+        )
+        if redundancy < 1:
+            return {"error": "redundancy must be >= 1"}
+        sweep_id = sweep_id_for(refs, base_seed, redundancy)
+        sweep = self.s["sweeps"].get(sweep_id)
+        if sweep is not None:
+            sweep["waiters"] += 1
+            return {
+                "sweep_id": sweep_id,
+                "unit_ids": list(sweep["unit_ids"]),
+                "attached": True,
+            }
+        units = self._shard_refs(refs, base_seed, redundancy, sweep_id)
+        self.s["sweeps"][sweep_id] = {
+            "sweep_id": sweep_id,
+            "n_cases": len(refs),
+            "unit_ids": [u["unit_id"] for u in units],
+            "open_units": len(units),
+            "slots": [None] * len(refs),
+            "error": None,
+            "waiters": 1,
+            "base_seed": base_seed,
+            "redundancy": redundancy,
+        }
+        for unit in units:
+            self.s["units"][unit["unit_id"]] = unit
+            self.s["queue"].append(unit["unit_id"])
+        return {
+            "sweep_id": sweep_id,
+            "unit_ids": [u["unit_id"] for u in units],
+            "attached": False,
+        }
+
+    def _purge(self, command: Dict[str, Any]) -> Dict[str, Any]:
+        """Detach one waiter; drop the sweep and its units on the last.
+
+        A straggler completing a purged unit gets a clean "unknown work
+        unit" reply and moves on — exactly the pre-replication
+        behavior, now expressed as a log command so every replica
+        prunes its tables at the same point in the log.
+        """
+        sweep = self.s["sweeps"].get(command.get("sweep_id"))
+        if sweep is None:
+            return {"purged": False}
+        sweep["waiters"] -= 1
+        if sweep["waiters"] > 0:
+            return {"purged": False}
+        del self.s["sweeps"][sweep["sweep_id"]]
+        drop = set(sweep["unit_ids"])
+        for uid in sweep["unit_ids"]:
+            self.s["units"].pop(uid, None)
+        self.s["queue"] = [u for u in self.s["queue"] if u not in drop]
+        return {"purged": True}
+
+    # -- introspection (read-only, no commands needed) ------------------
+
+    def sweep_view(self, sweep_id: str) -> Optional[Dict[str, Any]]:
+        """A caller-facing snapshot of one sweep's progress (or None)."""
+        sweep = self.s["sweeps"].get(sweep_id)
+        if sweep is None:
+            return None
+        units = self.s["units"]
+        pending = [
+            uid
+            for uid in sweep["unit_ids"]
+            if units.get(uid, {}).get("status") == "open"
+        ]
+        return {
+            "sweep_id": sweep_id,
+            "error": sweep["error"],
+            "open_units": sweep["open_units"],
+            "slots": sweep["slots"],
+            "pending_units": pending,
+            "n_cases": sweep["n_cases"],
+        }
+
+    def busy(self) -> bool:
+        """Whether any sweep is unresolved (drives replicated ticks)."""
+        return any(
+            sweep["open_units"] > 0 for sweep in self.s["sweeps"].values()
+        )
+
+    def workers_view(self) -> List[Dict[str, Any]]:
+        """Per-worker registry snapshot (id, throughput, strikes, trust)."""
+        snapshot = sorted(
+            self.s["workers"].values(), key=lambda w: w["worker_id"]
+        )
+        return [
+            {
+                "worker_id": w["worker_id"],
+                "name": w["name"],
+                "completed": w["completed"],
+                "votes_cast": w["votes_cast"],
+                "strikes": w["strikes"],
+                "quarantined": w["quarantined"],
+            }
+            for w in snapshot
+        ]
+
+    def stats(self) -> Dict[str, Any]:
+        """Scheduler counters for the health endpoint and tests."""
+        units = self.s["units"]
+        config = self.s["config"]
+        out = {
+            "workers": len(self.s["workers"]),
+            "quarantined": sum(
+                1 for w in self.s["workers"].values() if w["quarantined"]
+            ),
+            "open_units": sum(
+                1 for uid in self.s["queue"] if units[uid]["status"] == "open"
+            ),
+            "redundancy": config["redundancy"],
+            "unit_size": config["unit_size"],
+            "lease_ttl": config["lease_ttl"],
+        }
+        out.update(self.s["counters"])
+        return out
+
+    # -- internals ------------------------------------------------------
+
+    def _lease_payload(self, unit: Dict[str, Any]) -> Dict[str, Any]:
+        """The lease payload a worker receives (JSON-shippable case refs)."""
+        return {
+            "unit_id": unit["unit_id"],
+            "base_seed": unit["base_seed"],
+            "cases": [
+                {
+                    "scenario": ref["scenario"],
+                    "family": ref["family"],
+                    "params": ref["params"],
+                    "seed": ref["seed"],
+                    "replication": ref["replication"],
+                }
+                for ref in unit["cases"]
+            ],
+            "lease_ttl": self.s["config"]["lease_ttl"],
+        }
+
+    @staticmethod
+    def _tally(unit: Dict[str, Any]) -> Tuple[Optional[str], int]:
         """The leading digest and its vote count (``(None, 0)`` if empty)."""
-        if not self.votes:
+        if not unit["votes"]:
             return None, 0
         counts: Dict[str, int] = {}
-        for digest in self.votes.values():
+        for digest in unit["votes"].values():
             counts[digest] = counts.get(digest, 0) + 1
         best = max(counts, key=lambda d: counts[d])
         return best, counts[best]
 
-    def best_count(self) -> int:
-        """Size of the largest agreeing vote block so far."""
-        return self.tally()[1]
-
-    def leasable_by(self, worker: WorkerState) -> bool:
-        """Whether granting ``worker`` a lease can still help resolve this unit.
+    def _leasable_by(
+        self, unit: Dict[str, Any], worker: Dict[str, Any]
+    ) -> bool:
+        """Whether granting ``worker`` a lease can still help this unit.
 
         Lazy redundancy: no new lease once active leases plus the best
         agreeing vote block already reach the acceptance threshold —
@@ -154,65 +562,179 @@ class WorkUnit:
         otherwise, so the happy path runs ``threshold`` executions, not
         the full ``redundancy``.
         """
-        if self.status != "open" or worker.quarantined:
+        if unit["status"] != "open" or worker["quarantined"]:
             return False
-        if worker.worker_id in self.votes or worker.worker_id in self.leases:
+        worker_id = worker["worker_id"]
+        if worker_id in unit["votes"] or worker_id in unit["leases"]:
             return False
-        if len(self.leases) + self.best_count() >= self.threshold:
+        _best, best_count = self._tally(unit)
+        if len(unit["leases"]) + best_count >= unit["threshold"]:
             return False
-        return len(self.votes) + len(self.leases) < self.max_votes
+        return len(unit["votes"]) + len(unit["leases"]) < unit["max_votes"]
 
-    def to_json_obj(self) -> Dict[str, Any]:
-        """The lease payload a worker receives (JSON-shippable case refs)."""
-        return {
-            "unit_id": self.unit_id,
-            "base_seed": self.base_seed,
-            "cases": [
+    def _shard_refs(
+        self,
+        refs: Sequence[Dict[str, Any]],
+        base_seed: int,
+        redundancy: int,
+        sweep_id: str,
+    ) -> List[Dict[str, Any]]:
+        """Shard case refs into unit records ordered by content-address key.
+
+        Sorting by the result store's sha256 key makes the sharding a
+        pure function of the cases themselves — independent of submit
+        order, worker count, and wall clock — so any two coordinators
+        given the same sweep produce the same units in the same order.
+        Unit ids are derived from the sweep id, so a resubmitted sweep
+        regenerates the very same ids.
+        """
+        keyed = sorted(refs, key=lambda ref: _ref_key(ref, base_seed))
+        unit_size = self.s["config"]["unit_size"]
+        max_votes = 2 * redundancy + 1
+        units = []
+        for k, start in enumerate(range(0, len(keyed), unit_size)):
+            chunk = keyed[start : start + unit_size]
+            units.append(
                 {
-                    "scenario": case[0],
-                    "family": case[1],
-                    "params": case[3],
-                    "seed": case[4],
-                    "replication": case[5],
+                    "unit_id": f"u{sweep_id}.{k}",
+                    "sweep_id": sweep_id,
+                    "cases": list(chunk),
+                    "base_seed": base_seed,
+                    "redundancy": redundancy,
+                    "threshold": redundancy // 2 + 1,
+                    "max_votes": max_votes,
+                    "status": "open",  # open -> done | failed
+                    "leases": {},  # worker_id -> logical-clock deadline
+                    "votes": {},  # worker_id -> digest
+                    "rows_by_digest": {},
+                    "winning_digest": None,
+                    "winning_votes": 0,
+                    "accepted_rows": [],
                 }
-                for _index, case in self.cases
-            ],
-        }
+            )
+        return units
 
+    def _expire_leases(self) -> None:
+        """Reap leases past their deadline so units become reassignable."""
+        now = self.s["clock"]
+        units = self.s["units"]
+        for uid in self.s["queue"]:
+            unit = units[uid]
+            if unit["status"] != "open":
+                continue
+            expired = [w for w, t in unit["leases"].items() if t <= now]
+            for worker_id in expired:
+                del unit["leases"][worker_id]
+                self.s["counters"]["leases_expired"] += 1
 
-class _Sweep:
-    """Bookkeeping for one blocking :meth:`execute_cases` call."""
+    def _strike(self, worker: Dict[str, Any]) -> None:
+        """Record one strike; quarantine past the threshold.
 
-    def __init__(self, n_cases: int, unit_ids: List[str]) -> None:
-        self.slots: List[Optional[ExperimentResult]] = [None] * n_cases
-        self.unit_ids = set(unit_ids)
-        self.open_units = len(unit_ids)
-        self.error: Optional[str] = None
+        Quarantine releases every lease the worker still holds, so its
+        in-flight units go straight back to the honest pool.
+        """
+        worker["strikes"] += 1
+        self.s["counters"]["strikes_issued"] += 1
+        quarantine_after = self.s["config"]["quarantine_after"]
+        if not worker["quarantined"] and worker["strikes"] >= quarantine_after:
+            worker["quarantined"] = True
+            units = self.s["units"]
+            for uid in self.s["queue"]:
+                units[uid]["leases"].pop(worker["worker_id"], None)
+
+    def _accept(self, unit: Dict[str, Any], digest: str) -> None:
+        """Publish a quorum-accepted unit and strike the outvoted voters.
+
+        Deliberately does **no** disk I/O: the accepted rows ride out
+        as an effect record, flushed by whichever host applied the
+        command — outside any scheduler lock, idempotently, on every
+        replica.
+        """
+        rows = unit["rows_by_digest"][digest]
+        votes = sum(1 for d in unit["votes"].values() if d == digest)
+        try:
+            normalized = [
+                ExperimentResult.from_dict(row).to_dict() for row in rows
+            ]
+            if len(normalized) != len(unit["cases"]):
+                raise ValueError(
+                    f"{len(normalized)} rows for {len(unit['cases'])} cases"
+                )
+        except Exception as exc:
+            # Only reachable if a full quorum of workers colluded on a
+            # malformed payload; fail loudly rather than trust it.
+            self._fail(
+                unit,
+                f"unit {unit['unit_id']}: accepted payload is invalid: {exc}",
+            )
+            return
+        unit["status"] = "done"
+        unit["winning_digest"] = digest
+        unit["winning_votes"] = votes
+        unit["accepted_rows"] = normalized
+        unit["leases"] = {}
+        for worker_id, vote in unit["votes"].items():
+            if vote != digest:
+                self._strike(self.s["workers"][worker_id])
+        self.s["counters"]["units_completed"] += 1
+        sweep = self.s["sweeps"].get(unit["sweep_id"])
+        if sweep is not None:
+            for ref, row in zip(unit["cases"], normalized):
+                sweep["slots"][ref["index"]] = row
+            sweep["open_units"] -= 1
+        self._effects.append(
+            {
+                "kind": "accepted_unit",
+                "unit_id": unit["unit_id"],
+                "base_seed": unit["base_seed"],
+                "cases": list(unit["cases"]),
+                "rows": normalized,
+                "votes": votes,
+                "threshold": unit["threshold"],
+            }
+        )
+
+    def _fail(self, unit: Dict[str, Any], message: str) -> None:
+        """Mark a unit unresolvable and poison its sweep."""
+        unit["status"] = "failed"
+        unit["leases"] = {}
+        self.s["counters"]["units_failed"] += 1
+        sweep = self.s["sweeps"].get(unit["sweep_id"])
+        if sweep is not None and sweep["error"] is None:
+            sweep["error"] = message
 
 
 class ClusterCoordinator:
-    """Thread-safe work-unit scheduler with leases, quorum, and quarantine.
+    """Thread-safe single-process shell over one :class:`CoordinatorMachine`.
+
+    Keeps the historical public surface — the HTTP layer
+    (:mod:`repro.service.app`) forwards ``POST /v1/workers``,
+    ``/v1/lease`` and ``/v1/complete`` bodies straight into
+    :meth:`register_worker`, :meth:`lease` and :meth:`complete`, and
+    the same three methods double as the in-process transport for
+    :class:`repro.cluster.worker.Worker`.
 
     Parameters
     ----------
     store:
-        Optional :class:`~repro.service.store.ResultStore`; quorum-accepted
-        rows are written through
-        :meth:`~repro.service.store.ResultStore.put_quorum` when their
-        sweep finishes — on the failure path too, so every unit accepted
+        Optional :class:`~repro.service.store.ResultStore`;
+        quorum-accepted rows are written through
+        :meth:`~repro.service.store.ResultStore.put_quorum` as units
+        resolve — on the failure path too, so every unit accepted
         before a timeout stays durable and is never recomputed.
     redundancy:
         Default r-fold replication per unit (overridable per sweep);
         acceptance needs ``r // 2 + 1`` byte-identical payloads from
-        distinct workers.  ``1`` trusts a single worker (no verification).
+        distinct workers.  ``1`` trusts a single worker (no
+        verification).
     unit_size:
         Cases per work unit.  ``1`` (the default) gives the finest
         straggler tolerance; larger units amortize HTTP overhead.
     lease_ttl:
         Seconds before an uncompleted lease expires and is reassigned.
     quarantine_after:
-        Strikes (losing or stale-mismatched votes) before a worker stops
-        receiving leases.
+        Strikes (losing or stale-mismatched votes) before a worker
+        stops receiving leases.
     """
 
     def __init__(
@@ -223,135 +745,98 @@ class ClusterCoordinator:
         lease_ttl: float = 30.0,
         quarantine_after: int = 1,
     ) -> None:
-        if redundancy < 1:
-            raise ValueError("redundancy must be >= 1")
-        if unit_size < 1:
-            raise ValueError("unit_size must be >= 1")
         self.store = store
         self.redundancy = int(redundancy)
         self.unit_size = int(unit_size)
         self.lease_ttl = float(lease_ttl)
         self.quarantine_after = int(quarantine_after)
+        self._machine = CoordinatorMachine(
+            redundancy=redundancy,
+            unit_size=unit_size,
+            lease_ttl=lease_ttl,
+            quarantine_after=quarantine_after,
+        )
         self._cond = threading.Condition()
-        self._workers: Dict[str, WorkerState] = {}
-        self._units: Dict[str, WorkUnit] = {}
-        self._queue: List[WorkUnit] = []
-        self._sweeps: List[_Sweep] = []
-        self._worker_ids = itertools.count(1)
-        self._unit_ids = itertools.count(1)
-        # Counters (all mutated under the lock).
-        self.leases_granted = 0
-        self.leases_expired = 0
-        self.units_completed = 0
-        self.units_failed = 0
-        self.votes_received = 0
-        self.strikes_issued = 0
+        self._flushing = 0  # in-flight store writes (outside the lock)
+
+    # -- command plumbing ----------------------------------------------
+
+    def _now(self) -> float:
+        """The wall clock stamped into locally-applied commands."""
+        return time.time()
+
+    def _apply(self, command: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply one command under the lock; flush effects outside it.
+
+        Store writes happen off-lock so slow disks never stall worker
+        traffic, but they are *tracked*: ``_flushing`` counts in-flight
+        flushes and :meth:`execute_cases` drains it before returning,
+        so a finished sweep's quorum rows are always durable by the
+        time the caller sees results (or a timeout error).
+        """
+        with self._cond:
+            reply = self._machine.apply(command)
+            effects = self._machine.take_effects()
+            if effects:
+                self._flushing += 1
+            self._cond.notify_all()
+        if effects:
+            try:
+                flush_effects(self.store, effects)
+            finally:
+                with self._cond:
+                    self._flushing -= 1
+                    self._cond.notify_all()
+        if "error" in reply:
+            raise KeyError(reply["error"])
+        return reply
+
+    def _drain_flushes(self, timeout: float = 10.0) -> None:
+        """Block until every in-flight effect flush has hit the store."""
+        with self._cond:
+            self._cond.wait_for(
+                lambda: self._flushing == 0, timeout=timeout
+            )
 
     # -- worker-facing API (mirrors the HTTP endpoints) ----------------
 
-    def register_worker(self, name: Optional[str] = None) -> Dict[str, Any]:
-        """Register a worker; returns its assigned ``worker_id``."""
-        with self._cond:
-            worker_id = f"w{next(self._worker_ids)}"
-            state = WorkerState(worker_id=worker_id, name=name or worker_id)
-            self._workers[worker_id] = state
-            return {"worker_id": worker_id, "name": state.name}
+    def register_worker(
+        self, name: Optional[str] = None, worker_id: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Register a worker; returns its assigned ``worker_id``.
+
+        Passing an explicit ``worker_id`` makes registration
+        idempotent: a worker re-registering after a failover keeps its
+        identity (and its strike history).
+        """
+        return self._apply(
+            {
+                "op": "register",
+                "name": name,
+                "worker_id": worker_id,
+                "now": self._now(),
+            }
+        )
 
     def lease(self, worker_id: str) -> Dict[str, Any]:
-        """Grant the next eligible work unit to ``worker_id`` (or none).
-
-        Expired leases are reaped first, so a crashed worker's units are
-        reassignable by the very next lease request.  The response always
-        carries ``open`` (unresolved unit count) and ``quarantined`` so a
-        worker loop can decide to idle or exit.
-        """
-        now = time.monotonic()
-        with self._cond:
-            worker = self._worker(worker_id)
-            self._expire_leases_locked(now)
-            open_units = sum(1 for u in self._queue if u.status == "open")
-            if worker.quarantined:
-                return {"unit": None, "open": open_units, "quarantined": True}
-            for unit in self._queue:
-                if unit.leasable_by(worker):
-                    unit.leases[worker_id] = now + self.lease_ttl
-                    self.leases_granted += 1
-                    payload = unit.to_json_obj()
-                    payload["lease_ttl"] = self.lease_ttl
-                    return {
-                        "unit": payload,
-                        "open": open_units,
-                        "quarantined": False,
-                    }
-            return {"unit": None, "open": open_units, "quarantined": False}
+        """Grant the next eligible work unit to ``worker_id`` (or none)."""
+        return self._apply(
+            {"op": "lease", "worker_id": worker_id, "now": self._now()}
+        )
 
     def complete(
         self, worker_id: str, unit_id: str, rows: Sequence[Any]
     ) -> Dict[str, Any]:
-        """Record one worker's result rows for a unit as a quorum vote.
-
-        Every structurally-parseable completion counts as a vote for the
-        digest of its payload bytes; acceptance happens when
-        ``threshold`` distinct workers agree.  Votes that lose the
-        quorum — and late completions that contradict an already
-        accepted digest — earn the worker a strike.
-        """
-        now = time.monotonic()
-        with self._cond:
-            worker = self._worker(worker_id)
-            unit = self._units.get(unit_id)
-            if unit is None:
-                raise KeyError(f"unknown work unit {unit_id!r}")
-            unit.leases.pop(worker_id, None)
-            digest = unit_digest(rows)
-            if unit.status != "open":
-                # Late completion: free verification against the accepted
-                # payload — agreement is fine, contradiction is a strike.
-                if unit.status == "done" and digest != unit.winning_digest:
-                    self._strike_locked(worker)
-                return {
-                    "status": "stale",
-                    "accepted": unit.status == "done",
-                    "quarantined": worker.quarantined,
-                }
-            if worker.quarantined:
-                # A quarantined worker may still finish an in-flight
-                # lease; its result must never count toward a quorum.
-                return {
-                    "status": "quarantined",
-                    "accepted": False,
-                    "quarantined": True,
-                }
-            if worker_id in unit.votes:
-                return {
-                    "status": "duplicate",
-                    "accepted": False,
-                    "quarantined": worker.quarantined,
-                }
-            unit.votes[worker_id] = digest
-            unit.rows_by_digest.setdefault(digest, list(rows))
-            worker.votes_cast += 1
-            worker.completed += 1
-            self.votes_received += 1
-            status = "pending"
-            best_digest, best_votes = unit.tally()
-            if best_votes >= unit.threshold:
-                self._accept_locked(unit, best_digest)
-                status = "accepted" if digest == best_digest else "outvoted"
-            elif len(unit.votes) >= unit.max_votes:
-                self._fail_locked(
-                    unit,
-                    f"unit {unit.unit_id}: no {unit.threshold}-quorum among "
-                    f"{len(unit.votes)} votes (too many faulty workers?)",
-                )
-                status = "failed"
-            self._expire_leases_locked(now)
-            self._cond.notify_all()
-            return {
-                "status": status,
-                "accepted": status == "accepted",
-                "quarantined": worker.quarantined,
+        """Record one worker's result rows for a unit as a quorum vote."""
+        return self._apply(
+            {
+                "op": "complete",
+                "worker_id": worker_id,
+                "unit_id": unit_id,
+                "rows": list(rows),
+                "now": self._now(),
             }
+        )
 
     # -- sweep-facing API ----------------------------------------------
 
@@ -365,109 +850,86 @@ class ClusterCoordinator:
     ) -> List[ExperimentResult]:
         """Distribute runner ``Case`` tuples to workers; block until done.
 
-        This is the pluggable-executor entry point the experiment runner
-        delegates to (any object with an ``execute_cases`` attribute is
-        treated as a case executor by
+        This is the pluggable-executor entry point the experiment
+        runner delegates to (any object with an ``execute_cases``
+        attribute is treated as a case executor by
         :func:`repro.experiments.runner.run_experiments`).  Cases are
-        sharded by content-address key, enqueued as work units, and the
-        call blocks — reaping expired leases as it waits — until every
-        unit is quorum-accepted.  Results come back in the original case
-        order, built from the winning vote's rows.  ``progress`` (one
-        finished :class:`ExperimentResult` per call) fires from this
-        thread, outside the scheduler lock, as units are accepted — so
-        a polling client sees live completion counts.
-
-        Quorum-verified store writes are flushed in the ``finally``
-        path, outside the scheduler lock: every unit accepted before a
-        timeout or failure is durable even when the sweep as a whole is
-        not.
+        submitted as one content-identified sweep and the call blocks —
+        ticking the machine's logical clock so leases expire as it
+        waits — until every unit is quorum-accepted.  Results come back
+        in the original case order, built from the winning votes' rows.
+        ``progress`` (one finished :class:`ExperimentResult` per call)
+        fires from this thread, outside the scheduler lock, as units
+        are accepted — so a polling client sees live completion counts.
         """
         if not cases:
             return []
         r = self.redundancy if redundancy is None else int(redundancy)
         if r < 1:
             raise ValueError("redundancy must be >= 1")
-        units = self._shard(cases, base_seed, r)
-        sweep = _Sweep(len(cases), [u.unit_id for u in units])
+        refs = case_refs(cases)
+        submitted = self._apply(
+            {
+                "op": "submit",
+                "cases": refs,
+                "base_seed": int(base_seed),
+                "redundancy": r,
+                "now": self._now(),
+            }
+        )
+        sweep_id = submitted["sweep_id"]
         deadline = None if timeout is None else time.monotonic() + timeout
         reported: set = set()
         try:
-            with self._cond:
-                for unit in units:
-                    self._units[unit.unit_id] = unit
-                    self._queue.append(unit)
-                self._sweeps.append(sweep)
             while True:
                 with self._cond:
-                    if sweep.error is not None:
-                        raise ClusterError(sweep.error)
-                    now = time.monotonic()
-                    finished = sweep.open_units == 0
+                    view = self._machine.sweep_view(sweep_id)
+                    assert view is not None  # purged only in finally
+                    if view["error"] is not None:
+                        raise ClusterError(view["error"])
+                    finished = view["open_units"] == 0
                     fresh = [
-                        (i, result)
-                        for i, result in enumerate(sweep.slots)
-                        if result is not None and i not in reported
+                        (i, row)
+                        for i, row in enumerate(view["slots"])
+                        if row is not None and i not in reported
                     ]
                     if not finished and not fresh:
+                        now = time.monotonic()
                         if deadline is not None and now >= deadline:
-                            pending = [
-                                u.unit_id for u in units if u.status == "open"
-                            ]
+                            pending = view["pending_units"]
                             raise ClusterError(
                                 f"cluster sweep timed out after {timeout}s "
                                 f"with {len(pending)} unresolved units: "
                                 f"{pending[:5]}"
                             )
-                        self._expire_leases_locked(now)
+                        # Advance the logical clock so expired leases
+                        # are reaped even while no worker is talking.
+                        self._machine.apply(
+                            {"op": "tick", "now": self._now()}
+                        )
                         wait = min(self.lease_ttl, 0.25)
                         if deadline is not None:
                             wait = min(wait, max(deadline - now, 0.0))
                         self._cond.wait(timeout=wait)
                         continue
                     if finished:
-                        results = list(sweep.slots)
-                # Report outside the lock: a callback that re-enters the
-                # coordinator (or blocks) must not stall worker traffic.
-                for i, result in fresh:
+                        rows = list(view["slots"])
+                # Report outside the lock: a callback that re-enters
+                # the coordinator (or blocks) must not stall worker
+                # traffic.
+                for i, row in fresh:
                     reported.add(i)
                     if progress is not None:
-                        progress(result)
+                        progress(ExperimentResult.from_dict(row))
                 if finished:
-                    return results  # type: ignore[return-value]
+                    return [ExperimentResult.from_dict(row) for row in rows]
         finally:
-            # Purge this sweep's units so the queue and unit table stay
-            # bounded (a straggler completing a purged unit gets a clean
-            # "unknown work unit" error and moves on), then flush the
-            # quorum-verified store writes — outside the scheduler lock,
-            # on success *and* failure paths alike.
-            with self._cond:
-                self._sweeps.remove(sweep)
-                for unit in units:
-                    self._units.pop(unit.unit_id, None)
-                self._queue = [
-                    u for u in self._queue if u.unit_id not in sweep.unit_ids
-                ]
-            self._flush_accepted(units)
-
-    def _flush_accepted(self, units: List[WorkUnit]) -> None:
-        """Write every accepted unit's rows through the store (if any)."""
-        if self.store is None:
-            return
-        for unit in units:
-            if unit.status != "done":
-                continue
-            for (_index, case), result in zip(
-                unit.cases, unit.accepted_results
-            ):
-                key = self.store.key_for(
-                    case[0], case[3], unit.base_seed, case[5]
-                )
-                self.store.put_quorum(
-                    key,
-                    result.to_dict(),
-                    votes=unit.winning_votes,
-                    threshold=unit.threshold,
-                )
+            self._apply(
+                {"op": "purge", "sweep_id": sweep_id, "now": self._now()}
+            )
+            # Units accepted before a timeout stay durable: never leave
+            # this frame with their store writes still in flight.
+            self._drain_flushes()
 
     def executor(
         self,
@@ -482,157 +944,80 @@ class ClusterCoordinator:
     def workers(self) -> List[Dict[str, Any]]:
         """Per-worker registry snapshot (id, throughput, strikes, trust)."""
         with self._cond:
-            snapshot = sorted(self._workers.values(), key=lambda w: w.worker_id)
-            return [w.to_json_obj() for w in snapshot]
+            return self._machine.workers_view()
 
     def stats(self) -> Dict[str, Any]:
         """Scheduler counters for the health endpoint and tests."""
         with self._cond:
-            return {
-                "workers": len(self._workers),
-                "quarantined": sum(
-                    1 for w in self._workers.values() if w.quarantined
-                ),
-                "open_units": sum(
-                    1 for u in self._queue if u.status == "open"
-                ),
-                "redundancy": self.redundancy,
-                "unit_size": self.unit_size,
-                "lease_ttl": self.lease_ttl,
-                "leases_granted": self.leases_granted,
-                "leases_expired": self.leases_expired,
-                "units_completed": self.units_completed,
-                "units_failed": self.units_failed,
-                "votes_received": self.votes_received,
-                "strikes_issued": self.strikes_issued,
-            }
+            return self._machine.stats()
 
-    # -- internals (all called with the lock held) ---------------------
+    def state_digest(self) -> str:
+        """The machine's canonical state sha256 (anti-entropy identity)."""
+        with self._cond:
+            return self._machine.state_digest()
 
-    def _worker(self, worker_id: str) -> WorkerState:
-        """Look up a registered worker (KeyError on unknown ids)."""
-        worker = self._workers.get(worker_id)
-        if worker is None:
-            raise KeyError(f"unknown worker {worker_id!r}; register first")
-        return worker
+    # -- test/debug helpers --------------------------------------------
 
     def _shard(
         self, cases: Sequence[tuple], base_seed: int, redundancy: int
-    ) -> List[WorkUnit]:
-        """Shard cases into work units ordered by content-address key.
-
-        Sorting by the result store's sha256 key makes the sharding a
-        pure function of the cases themselves — independent of submit
-        order, worker count, and wall clock — so any two coordinators
-        given the same sweep produce the same units in the same order.
-        """
-        keyed = sorted(
-            enumerate(cases),
-            key=lambda pair: result_key(
-                pair[1][0], pair[1][3], base_seed, pair[1][5]
-            ),
-        )
-        units = []
-        max_votes = 2 * redundancy + 1
-        for start in range(0, len(keyed), self.unit_size):
-            chunk = keyed[start : start + self.unit_size]
-            units.append(
-                WorkUnit(
-                    unit_id=f"u{next(self._unit_ids)}",
-                    cases=[(index, case) for index, case in chunk],
-                    base_seed=base_seed,
-                    redundancy=redundancy,
-                    max_votes=max_votes,
-                )
+    ) -> List[Dict[str, Any]]:
+        """Shard cases as a submit would, without enqueueing anything."""
+        refs = case_refs(cases)
+        with self._cond:
+            return self._machine._shard_refs(
+                refs,
+                int(base_seed),
+                int(redundancy),
+                sweep_id_for(refs, base_seed, redundancy),
             )
-        return units
 
-    def _expire_leases_locked(self, now: float) -> None:
-        """Reap leases past their deadline so units become reassignable."""
-        for unit in self._queue:
-            if unit.status != "open":
-                continue
-            expired = [w for w, t in unit.leases.items() if t <= now]
-            for worker_id in expired:
-                del unit.leases[worker_id]
-                self.leases_expired += 1
 
-    def _strike_locked(self, worker: WorkerState) -> None:
-        """Record one strike; quarantine past the threshold.
+def flush_effects(store: Optional[Any], effects: List[Dict[str, Any]]) -> None:
+    """Write accepted-unit effects through a result store (if any).
 
-        Quarantine releases every lease the worker still holds, so its
-        in-flight units go straight back to the honest pool.
-        """
-        worker.strikes += 1
-        self.strikes_issued += 1
-        if not worker.quarantined and worker.strikes >= self.quarantine_after:
-            worker.quarantined = True
-            for unit in self._queue:
-                unit.leases.pop(worker.worker_id, None)
-
-    def _accept_locked(self, unit: WorkUnit, digest: str) -> None:
-        """Publish a quorum-accepted unit and strike the outvoted voters.
-
-        Deliberately does **no** disk I/O: the blocking
-        :meth:`execute_cases` caller flushes the quorum-verified store
-        writes after it wakes, outside this lock, so lease/complete
-        traffic from every other worker never stalls behind blob writes.
-        """
-        rows = unit.rows_by_digest[digest]
-        votes = sum(1 for d in unit.votes.values() if d == digest)
-        try:
-            results = [ExperimentResult.from_dict(row) for row in rows]
-            if len(results) != len(unit.cases):
-                raise ValueError(
-                    f"{len(results)} rows for {len(unit.cases)} cases"
-                )
-        except Exception as exc:
-            # Only reachable if a full quorum of workers colluded on a
-            # malformed payload; fail loudly rather than trust it.
-            self._fail_locked(
-                unit, f"unit {unit.unit_id}: accepted payload is invalid: {exc}"
+    Every row is written via
+    :meth:`~repro.service.store.ResultStore.put_quorum` under its
+    content-address key.  The write is idempotent (content-addressed,
+    atomic rename), so replicas replaying a log after a crash can
+    re-flush the same effects safely.
+    """
+    if store is None:
+        return
+    for effect in effects:
+        if effect.get("kind") != "accepted_unit":
+            continue
+        for ref, row in zip(effect["cases"], effect["rows"]):
+            key = store.key_for(
+                ref["scenario"],
+                ref["params"],
+                effect["base_seed"],
+                ref["replication"],
             )
-            return
-        unit.status = "done"
-        unit.winning_digest = digest
-        unit.winning_votes = votes
-        unit.accepted_results = results
-        unit.leases.clear()
-        for worker_id, vote in unit.votes.items():
-            if vote != digest:
-                self._strike_locked(self._workers[worker_id])
-        self.units_completed += 1
-        for sweep in self._sweeps:
-            if unit.unit_id in sweep.unit_ids:
-                for (index, _case), result in zip(unit.cases, results):
-                    sweep.slots[index] = result
-                sweep.open_units -= 1
-
-    def _fail_locked(self, unit: WorkUnit, message: str) -> None:
-        """Mark a unit unresolvable and poison its sweep."""
-        unit.status = "failed"
-        unit.leases.clear()
-        self.units_failed += 1
-        for sweep in self._sweeps:
-            if unit.unit_id in sweep.unit_ids and sweep.error is None:
-                sweep.error = message
+            store.put_quorum(
+                key,
+                row,
+                votes=effect["votes"],
+                threshold=effect["threshold"],
+            )
 
 
 class ClusterExecutor:
     """Adapter binding a coordinator to one sweep's redundancy + deadline.
 
     The experiment runner treats any object with an ``execute_cases``
-    attribute as a pluggable case executor; this is the object to pass —
-    ``run_experiments(..., executor=coordinator.executor(redundancy=3))``
+    attribute as a pluggable case executor; this is the object to pass
+    — ``run_experiments(..., executor=coordinator.executor(redundancy=3))``
     — when the per-sweep redundancy differs from the coordinator
-    default.  ``timeout`` bounds the blocking wait (the job manager sets
-    one so a quorum that can never form fails the job instead of
-    wedging its slot forever).
+    default.  ``timeout`` bounds the blocking wait (the job manager
+    sets one so a quorum that can never form fails the job instead of
+    wedging its slot forever).  Works identically over a
+    :class:`ClusterCoordinator` and a replicated
+    :class:`~repro.cluster.replica.Replica`.
     """
 
     def __init__(
         self,
-        coordinator: ClusterCoordinator,
+        coordinator: Any,
         redundancy: Optional[int] = None,
         timeout: Optional[float] = None,
     ) -> None:

@@ -1,0 +1,28 @@
+"""Exceptions shared across the cluster layers (import-cycle free).
+
+:class:`NotLeaderError` is raised by the consensus layer
+(:mod:`repro.cluster.replica`) and rendered by the HTTP layer
+(:mod:`repro.service.app`) as ``421 Misdirected Request``; it lives in
+this leaf module — which imports nothing — so both sides can name it
+without creating a cycle between the cluster and service packages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["NotLeaderError"]
+
+
+class NotLeaderError(Exception):
+    """Raised for writes sent to a non-leader replica.
+
+    Carries the best-known leader URL (or None mid-election); the HTTP
+    layer renders it as ``421 Misdirected Request`` with the hint in
+    the body, and :class:`~repro.service.client.ServiceClient` follows
+    the hint transparently.
+    """
+
+    def __init__(self, leader_url: Optional[str] = None) -> None:
+        super().__init__("not the leader")
+        self.leader_url = leader_url

@@ -1,0 +1,349 @@
+"""Durable storage for a replica's consensus state: log, term, snapshot.
+
+A :class:`DurableLog` owns one replica's data directory and persists the
+three things a crash-fault-tolerant consensus participant must never
+lose:
+
+``meta.json``
+    The current term and the candidate voted for in it — rewritten
+    atomically (temp file + fsync + ``os.replace``) before any message
+    that depends on them leaves the process, so a replica can never
+    vote twice in one term across a crash.
+
+``log.jsonl``
+    The suffix of the replicated log after the last snapshot, one
+    ``{"term": t, "cmd": {...}}`` JSON object per line, fsync'd on
+    append.  Indices are **global and 1-based**: entry ``i`` of the
+    file is log index ``base_index + i``.  Truncation (a follower
+    discarding entries that conflict with the leader's) rewrites the
+    file through the same atomic-replace path.
+
+``snapshot.json``
+    A compacted prefix: the coordinator state machine's full JSON
+    state as of ``last_included_index`` (with its term).  Compaction
+    writes the snapshot first, then rewrites ``log.jsonl`` with only
+    the surviving suffix, then bumps the base — a crash between any
+    two steps leaves a directory that still loads to a consistent
+    (at worst slightly longer) log.
+
+Nothing here knows about elections or quorums — that lives in
+:mod:`repro.cluster.replica`; this module is pure storage with the
+fsync discipline and crash-ordering the consensus layer's safety
+argument assumes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional
+
+from repro.service.store import canonical_json
+
+__all__ = ["DurableLog", "LogEntry"]
+
+
+class LogEntry:
+    """One replicated-log entry: a term and a state-machine command."""
+
+    __slots__ = ("term", "cmd")
+
+    def __init__(self, term: int, cmd: Dict[str, Any]) -> None:
+        self.term = int(term)
+        self.cmd = cmd
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON object persisted to (and shipped between) replicas."""
+        return {"term": self.term, "cmd": self.cmd}
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, Any]) -> "LogEntry":
+        """Rebuild an entry from its JSON object."""
+        return cls(obj["term"], obj["cmd"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LogEntry(term={self.term}, op={self.cmd.get('op')!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LogEntry)
+            and other.term == self.term
+            and other.cmd == self.cmd
+        )
+
+
+def _fsync_dir(path: str) -> None:
+    """fsync a directory so a just-renamed file survives power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - directories not fsync-able here
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` via temp file + fsync + atomic rename."""
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(directory)
+
+
+class DurableLog:
+    """One replica's fsync'd on-disk consensus state.
+
+    Parameters
+    ----------
+    data_dir:
+        Directory owned exclusively by this replica (created if
+        missing).  Loading an existing directory resumes from whatever
+        the last crash left behind.
+    fsync:
+        Set ``False`` to skip ``os.fsync`` calls (in-process tests and
+        model-scale chaos suites, where crash-durability across *host*
+        power loss is irrelevant and fsync dominates runtime).  Atomic
+        replaces still happen, so concurrent readers stay safe.
+
+    Attributes
+    ----------
+    term, voted_for:
+        The durable election state (see :meth:`set_term`).
+    entries:
+        In-memory list of :class:`LogEntry` after the snapshot; entry
+        ``entries[i]`` is global log index ``base_index + i + 1``.
+    base_index, base_term:
+        The snapshot frontier: the index/term of the last entry folded
+        into ``snapshot.json`` (0/0 when no snapshot exists).
+    snapshot_state:
+        The machine state at ``base_index`` (None when no snapshot).
+    """
+
+    def __init__(self, data_dir: str, fsync: bool = True) -> None:
+        self.data_dir = data_dir
+        self.fsync = bool(fsync)
+        os.makedirs(data_dir, exist_ok=True)
+        self.meta_path = os.path.join(data_dir, "meta.json")
+        self.log_path = os.path.join(data_dir, "log.jsonl")
+        self.snapshot_path = os.path.join(data_dir, "snapshot.json")
+        self.term = 0
+        self.voted_for: Optional[str] = None
+        self.entries: List[LogEntry] = []
+        self.base_index = 0
+        self.base_term = 0
+        self.snapshot_state: Optional[Dict[str, Any]] = None
+        self._log_handle = None
+        self._load()
+
+    # -- loading --------------------------------------------------------
+
+    def _load(self) -> None:
+        """Resume from disk: meta, snapshot, then the log suffix.
+
+        A torn final line in ``log.jsonl`` (crash mid-append) is
+        discarded — by the fsync discipline it was never acknowledged
+        to anyone, so dropping it is safe.
+        """
+        if os.path.exists(self.meta_path):
+            with open(self.meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+            self.term = int(meta.get("term", 0))
+            self.voted_for = meta.get("voted_for")
+        if os.path.exists(self.snapshot_path):
+            with open(self.snapshot_path, "r", encoding="utf-8") as handle:
+                snap = json.load(handle)
+            self.base_index = int(snap["last_included_index"])
+            self.base_term = int(snap["last_included_term"])
+            self.snapshot_state = snap["machine"]
+        self.entries = []
+        if os.path.exists(self.log_path):
+            with open(self.log_path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        self.entries.append(LogEntry.from_dict(json.loads(line)))
+                    except (ValueError, KeyError):
+                        break  # torn tail from a crash mid-append
+
+    # -- index helpers --------------------------------------------------
+
+    @property
+    def last_index(self) -> int:
+        """Global index of the last entry (snapshot frontier if empty)."""
+        return self.base_index + len(self.entries)
+
+    def term_at(self, index: int) -> Optional[int]:
+        """The term of global ``index`` (0 for the origin, None if gone)."""
+        if index == 0:
+            return 0
+        if index == self.base_index:
+            return self.base_term
+        offset = index - self.base_index - 1
+        if 0 <= offset < len(self.entries):
+            return self.entries[offset].term
+        return None
+
+    def entry_at(self, index: int) -> Optional[LogEntry]:
+        """The entry at global ``index`` (None if snapshotted away/absent)."""
+        offset = index - self.base_index - 1
+        if 0 <= offset < len(self.entries):
+            return self.entries[offset]
+        return None
+
+    def slice_from(self, index: int) -> List[LogEntry]:
+        """Entries with global index >= ``index`` (for AppendEntries)."""
+        offset = max(index - self.base_index - 1, 0)
+        return self.entries[offset:]
+
+    # -- durable mutations ----------------------------------------------
+
+    def set_term(self, term: int, voted_for: Optional[str]) -> None:
+        """Durably record (term, vote) — *before* acting on either.
+
+        This is the write that makes "at most one vote per term" hold
+        across crashes; callers must not send a vote or a ballot until
+        it returns.
+        """
+        self.term = int(term)
+        self.voted_for = voted_for
+        data = (
+            canonical_json({"term": self.term, "voted_for": self.voted_for})
+            + "\n"
+        ).encode("utf-8")
+        if self.fsync:
+            _atomic_write(self.meta_path, data)
+        else:
+            with open(self.meta_path, "wb") as handle:
+                handle.write(data)
+
+    def append(self, new_entries: List[LogEntry]) -> None:
+        """Append entries to the log, fsync'd before returning.
+
+        An entry must be durable before the replica acknowledges it to
+        the leader (or, on the leader, counts its own replica toward
+        the quorum) — that ordering is the caller's contract.
+        """
+        if not new_entries:
+            return
+        if self._log_handle is None:
+            self._log_handle = open(self.log_path, "ab")
+        payload = b"".join(
+            (canonical_json(e.to_dict()) + "\n").encode("utf-8")
+            for e in new_entries
+        )
+        self._log_handle.write(payload)
+        self._log_handle.flush()
+        if self.fsync:
+            os.fsync(self._log_handle.fileno())
+        self.entries.extend(new_entries)
+
+    def truncate_from(self, index: int) -> None:
+        """Discard entries with global index >= ``index`` (conflict repair).
+
+        Rewrites the log file atomically; the in-memory view and the
+        file never disagree after return.
+        """
+        offset = max(index - self.base_index - 1, 0)
+        if offset >= len(self.entries):
+            return
+        self.entries = self.entries[:offset]
+        self._rewrite_log()
+
+    def compact(
+        self, upto_index: int, machine_state: Dict[str, Any]
+    ) -> None:
+        """Fold the prefix through ``upto_index`` into a snapshot.
+
+        ``machine_state`` must be the state machine's state *exactly*
+        after applying entry ``upto_index`` — only committed (hence
+        immutable) prefixes may be compacted.  Snapshot first, then the
+        trimmed log, then the in-memory base: any crash point replays
+        to a consistent directory.
+        """
+        term = self.term_at(upto_index)
+        if term is None or upto_index <= self.base_index:
+            return
+        snap = {
+            "last_included_index": upto_index,
+            "last_included_term": term,
+            "machine": machine_state,
+        }
+        data = (canonical_json(snap) + "\n").encode("utf-8")
+        if self.fsync:
+            _atomic_write(self.snapshot_path, data)
+        else:
+            with open(self.snapshot_path, "wb") as handle:
+                handle.write(data)
+        self.entries = self.entries[upto_index - self.base_index :]
+        self.base_index = upto_index
+        self.base_term = term
+        self.snapshot_state = machine_state
+        self._rewrite_log()
+
+    def install_snapshot(
+        self,
+        last_included_index: int,
+        last_included_term: int,
+        machine_state: Dict[str, Any],
+    ) -> None:
+        """Replace everything with a leader-shipped snapshot.
+
+        Used when this replica's log is so far behind (or was
+        compacted past on the leader) that AppendEntries can no longer
+        find a common prefix; the whole local log is superseded.
+        """
+        snap = {
+            "last_included_index": int(last_included_index),
+            "last_included_term": int(last_included_term),
+            "machine": machine_state,
+        }
+        data = (canonical_json(snap) + "\n").encode("utf-8")
+        if self.fsync:
+            _atomic_write(self.snapshot_path, data)
+        else:
+            with open(self.snapshot_path, "wb") as handle:
+                handle.write(data)
+        self.base_index = int(last_included_index)
+        self.base_term = int(last_included_term)
+        self.snapshot_state = machine_state
+        self.entries = []
+        self._rewrite_log()
+
+    def _rewrite_log(self) -> None:
+        """Atomically rewrite ``log.jsonl`` to match ``self.entries``."""
+        if self._log_handle is not None:
+            self._log_handle.close()
+            self._log_handle = None
+        data = b"".join(
+            (canonical_json(e.to_dict()) + "\n").encode("utf-8")
+            for e in self.entries
+        )
+        if self.fsync:
+            _atomic_write(self.log_path, data)
+        else:
+            with open(self.log_path, "wb") as handle:
+                handle.write(data)
+
+    def close(self) -> None:
+        """Release the append handle (the directory stays resumable)."""
+        if self._log_handle is not None:
+            self._log_handle.close()
+            self._log_handle = None

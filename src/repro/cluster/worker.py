@@ -114,8 +114,17 @@ class Worker:
         self.last_error: Optional[str] = None
 
     def register(self) -> str:
-        """Register with the coordinator; returns the assigned worker id."""
-        reply = self.transport.register_worker(self.name)
+        """Register with the coordinator; returns the assigned worker id.
+
+        Passing the previously assigned ``worker_id`` back makes the
+        call idempotent: after a coordinator restart (or a failover to
+        a replica that already replicated this registration) the worker
+        re-adopts the same identity, keeping its completion and strike
+        history instead of appearing as a fresh node.
+        """
+        reply = self.transport.register_worker(
+            self.name, worker_id=self.worker_id
+        )
         self.worker_id = reply["worker_id"]
         if self.name is None:
             self.name = reply.get("name", self.worker_id)
@@ -188,9 +197,13 @@ class Worker:
         without obtaining a work unit — whether because none is
         leasable or because the coordinator is transiently unreachable
         — so a worker whose coordinator died drains off instead of
-        spinning forever (``None`` polls forever on those).  Permanent
-        server answers (HTTP 4xx/5xx: no coordinator attached, worker
-        id unknown after a restart) stop the loop immediately, with the
+        spinning forever (``None`` polls forever on those).  An
+        "unknown worker" answer (the coordinator restarted from scratch,
+        or a failover landed on state from before our registration)
+        triggers **one** idempotent re-registration under the same
+        worker id; only if the identity cannot be re-established does
+        the loop stop.  Other permanent server answers (HTTP 4xx/5xx:
+        no coordinator attached) stop the loop immediately, with the
         reason in the summary's ``last_error``.  ``max_units`` bounds
         the number of completed units; ``stop`` is an external kill
         switch for thread-hosted workers.  Returns a summary dict.
@@ -198,6 +211,7 @@ class Worker:
         if self.worker_id is None:
             self.register()
         idle_since: Optional[float] = None
+        just_reregistered = False
 
         def idled_out() -> bool:
             """Tick the idle timer; True once idle_timeout is exceeded."""
@@ -207,6 +221,19 @@ class Worker:
                 idle_since = now
             return idle_timeout is not None and now - idle_since >= idle_timeout
 
+        def try_reregister() -> bool:
+            """One idempotent re-registration; False if it failed too."""
+            nonlocal just_reregistered
+            if just_reregistered:
+                return False  # identity re-established and lost again
+            try:
+                self.register()
+            except (ServiceError, KeyError) as exc:
+                self.last_error = str(exc)
+                return False
+            just_reregistered = True
+            return True
+
         while not (stop is not None and stop.is_set()):
             if max_units is not None and self.completed >= max_units:
                 break
@@ -215,10 +242,15 @@ class Worker:
             except ServiceError as exc:
                 self.transport_errors += 1
                 if exc.status != 0:
-                    # A real server answer (no coordinator attached, or
-                    # our worker_id died with a coordinator restart) is
-                    # permanent: stop loudly instead of spinning.
-                    self.last_error = str(exc)
+                    # A real server answer.  "unknown worker" means the
+                    # control plane lost our registration (restart or
+                    # failover): re-adopt the same identity once before
+                    # declaring the fabric down.  Anything else (no
+                    # coordinator attached) is permanent: stop loudly
+                    # instead of spinning.
+                    if "unknown worker" in str(exc) and try_reregister():
+                        continue
+                    self.last_error = self.last_error or str(exc)
                     break
                 # Status 0 is a transport blip (connection refused/
                 # reset): keep polling until the idle timeout drains us.
@@ -228,10 +260,14 @@ class Worker:
                 time.sleep(self.poll)
                 continue
             except KeyError as exc:
-                # In-process transport's unknown-worker error: permanent.
+                # In-process transport's unknown-worker error: same
+                # one-shot re-registration as over HTTP.
                 self.transport_errors += 1
-                self.last_error = str(exc)
+                if "unknown worker" in str(exc) and try_reregister():
+                    continue
+                self.last_error = self.last_error or str(exc)
                 break
+            just_reregistered = False
             if reply.get("quarantined"):
                 self.quarantined = True
                 break

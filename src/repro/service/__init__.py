@@ -14,19 +14,23 @@ that purity to turn the batch reproduction into a queryable system:
   :class:`~repro.service.app.ServiceAPI` JSON routing core (scenarios,
   sweep submit/poll/fetch, cached-blob fetch by key with ETag/304, an
   NDJSON ``/v1/results:batch``, and a synchronous ``/v1/solve`` for
-  small normal-form games) plus the threaded reference server.
-* :mod:`repro.service.aserver` — the asyncio production server: one
-  event loop multiplexing thousands of pipelined keep-alive
-  connections, zero-copy blob responses, graceful SIGTERM drain.
+  small normal-form games).
+* :mod:`repro.service.aserver` — the asyncio server: one event loop
+  multiplexing thousands of pipelined keep-alive connections, zero-copy
+  blob responses, graceful SIGTERM drain.
 * :mod:`repro.service.client` — a keep-alive
-  :class:`~repro.service.client.ServiceClient` mirroring the endpoints.
+  :class:`~repro.service.client.ServiceClient` mirroring the endpoints,
+  with multi-endpoint failover for replicated deployments.
 * :mod:`repro.service.solve` — the JSON game-solving dispatch shared by
   the server and any embedding caller.
 
 With a :class:`repro.cluster.coordinator.ClusterCoordinator` attached
-(``python -m repro.cluster coordinator``), the same server also speaks
-the compute-fabric protocol: worker registration, work-unit leases, and
-quorum-voted completions (see :mod:`repro.cluster`).
+(``python -m repro.cluster coordinator``) — or a replicated
+:class:`repro.cluster.replica.Replica` (``python -m repro.cluster
+replica``) — the same server also speaks the compute-fabric protocol:
+worker registration, work-unit leases, quorum-voted completions, and
+(replicas only) the ``/v1/raft/*`` consensus channel (see
+:mod:`repro.cluster`).
 
 ``python -m repro.service`` drives it from the shell::
 
@@ -36,7 +40,6 @@ quorum-voted completions (see :mod:`repro.cluster`).
     python -m repro.service fetch <sha256-key>
 """
 
-from repro.service.app import make_server, serve_forever, start_server
 from repro.service.aserver import aserve_forever, start_async_server
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.jobs import Job, JobManager, SweepRequest
@@ -52,10 +55,7 @@ __all__ = [
     "SweepRequest",
     "aserve_forever",
     "canonical_json",
-    "make_server",
     "result_key",
-    "serve_forever",
     "solve_request",
     "start_async_server",
-    "start_server",
 ]

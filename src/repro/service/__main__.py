@@ -25,7 +25,6 @@ import sys
 from typing import List, Optional
 
 from repro.experiments.results import format_table
-from repro.service.app import serve_forever
 from repro.service.aserver import aserve_forever
 from repro.service.client import ServiceClient
 
@@ -35,27 +34,22 @@ def _add_url(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--url",
         default="http://127.0.0.1:8642",
-        help="server base URL (default: http://127.0.0.1:8642)",
+        help=(
+            "server base URL, or a comma-separated endpoint list for "
+            "replicated deployments (default: http://127.0.0.1:8642)"
+        ),
     )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Run the blocking HTTP server (asyncio by default)."""
-    if args.legacy_threads:
-        serve_forever(
-            host=args.host,
-            port=args.port,
-            cache_dir=args.cache_dir,
-            max_workers=args.workers,
-        )
-    else:
-        aserve_forever(
-            host=args.host,
-            port=args.port,
-            cache_dir=args.cache_dir,
-            max_workers=args.workers,
-            max_connections=args.max_connections,
-        )
+    """Run the blocking asyncio HTTP server."""
+    aserve_forever(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        max_workers=args.workers,
+        max_connections=args.max_connections,
+    )
     return 0
 
 
@@ -158,11 +152,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=None,
         help="process-pool size for sweep cases (default: in-thread)",
-    )
-    serve.add_argument(
-        "--legacy-threads",
-        action="store_true",
-        help="use the threaded reference server instead of asyncio",
     )
     serve.add_argument(
         "--max-connections",

@@ -3,12 +3,9 @@
 The route handlers live in :class:`ServiceAPI`, a transport-agnostic
 core: one method per endpoint, each returning an :class:`ApiResponse`
 value (status, body bytes or a blob file reference, content type,
-ETag).  Two transports serve it:
-
-* this module's ``ThreadingHTTPServer`` (one thread per connection, the
-  original reference implementation), and
-* :mod:`repro.service.aserver`, the asyncio event-loop server that
-  multiplexes thousands of keep-alive connections on one core.
+ETag).  The transport is :mod:`repro.service.aserver`, the asyncio
+event-loop server that multiplexes thousands of keep-alive connections
+on one core.
 
 ====== ============================ ==========================================
 Method Path                         Meaning
@@ -27,6 +24,8 @@ POST   ``/v1/workers``              register a cluster worker
 POST   ``/v1/lease``                lease one work unit to a worker
 POST   ``/v1/complete``             post a unit's result rows (quorum vote)
 GET    ``/v1/cluster``              cluster scheduler counters + workers
+POST   ``/v1/raft/rpc``             one replica-to-replica consensus message
+GET    ``/v1/raft/status``          this replica's consensus-level status
 ====== ============================ ==========================================
 
 ``HEAD`` is supported on every GET route (same headers, no body).
@@ -40,27 +39,28 @@ work happens on the manager's worker threads and process pool.  The
 warm client read is byte-identical to what the cold computation wrote.
 The cluster endpoints (``/v1/workers``, ``/v1/lease``,
 ``/v1/complete``) forward their JSON bodies verbatim into the attached
-:class:`~repro.cluster.coordinator.ClusterCoordinator` (404 when the
-server runs without one).
+coordinator — a single-process
+:class:`~repro.cluster.coordinator.ClusterCoordinator` or one
+:class:`~repro.cluster.replica.Replica` of the replicated control
+plane (404 when the server runs without either).
 
-Lifecycle: the server owns its :class:`JobManager` — ``server_close()``
-shuts the manager (and its persistent process pool) down, and the
-blocking ``serve`` entry point converts SIGTERM into the same clean
-path, so a stopped server never leaks worker processes.
+With a replica attached, writes sent to a follower answer **421
+Misdirected Request** with the best-known leader URL in the body
+(``{"error": "not the leader", "leader": ...}``);
+:class:`~repro.service.client.ServiceClient` follows the hint
+transparently, so callers never see the redirect.  The ``/v1/raft/*``
+routes carry the consensus traffic itself: peers POST one message per
+RPC and the reply message rides back in the response body.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import shutil
-import signal
-import threading
 from dataclasses import dataclass, field
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.experiments.results import format_table
+from repro.cluster.errors import NotLeaderError
 from repro.service.jobs import JobManager, SweepRequest, TooManyJobsError
 from repro.service.solve import solve_request
 from repro.service.store import ResultStore
@@ -69,11 +69,8 @@ __all__ = [
     "ApiError",
     "ApiResponse",
     "ServiceAPI",
-    "ManagedHTTPServer",
+    "build_manager",
     "etag_matches",
-    "make_server",
-    "start_server",
-    "serve_forever",
 ]
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -168,6 +165,12 @@ class ServiceAPI:
             return handler(*args, body=body, if_none_match=if_none_match)
         except ApiError as exc:
             return self._json(exc.status, {"error": exc.message})
+        except NotLeaderError as exc:
+            # A write reached a follower replica: 421 plus the leader
+            # hint, which the client follows transparently.
+            return self._json(
+                421, {"error": "not the leader", "leader": exc.leader_url}
+            )
         except TooManyJobsError as exc:
             return self._json(503, {"error": str(exc)})
         except (KeyError, ValueError) as exc:
@@ -204,6 +207,8 @@ class ServiceAPI:
                 return self._get_store_stats, ()
             if parts == ["v1", "cluster"]:
                 return self._get_cluster, ()
+            if parts == ["v1", "raft", "status"]:
+                return self._get_raft_status, ()
         if method == "POST":
             if parts == ["v1", "sweeps"]:
                 return self._post_sweep, ()
@@ -217,6 +222,8 @@ class ServiceAPI:
                 return self._post_lease, ()
             if parts == ["v1", "complete"]:
                 return self._post_complete, ()
+            if parts == ["v1", "raft", "rpc"]:
+                return self._post_raft_rpc, ()
         raise ApiError(404, f"no route for {method} {raw_path}")
 
     # -- response/body helpers -----------------------------------------
@@ -286,11 +293,38 @@ class ServiceAPI:
             {"stats": coordinator.stats(), "workers": coordinator.workers()},
         )
 
+    def _replica(self):
+        """The attached *replicated* coordinator (404 otherwise)."""
+        coordinator = self._coordinator()
+        if not hasattr(coordinator, "handle_rpc"):
+            raise ApiError(
+                404, "server is running without a replicated coordinator"
+            )
+        return coordinator
+
+    def _get_raft_status(self, **_ignored) -> ApiResponse:
+        """This replica's consensus-level status (role/term/log/digest)."""
+        return self._json(200, self._replica().raft_status())
+
+    def _post_raft_rpc(self, body=b"", **_ignored) -> ApiResponse:
+        """One peer consensus message; the reply message rides back."""
+        message = self._parse_json_body(body)
+        return self._json(200, self._replica().handle_rpc(message))
+
     def _post_register_worker(self, body=b"", **_ignored) -> ApiResponse:
-        """Register a cluster worker; returns its assigned id."""
+        """Register a cluster worker; returns its assigned id.
+
+        An explicit ``worker_id`` in the body makes registration
+        idempotent — a worker re-registering after failing over to a
+        new leader keeps its identity and strike history.
+        """
         parsed = self._parse_json_body(body)
-        name = parsed.get("name")
-        return self._json(200, self._coordinator().register_worker(name))
+        return self._json(
+            200,
+            self._coordinator().register_worker(
+                parsed.get("name"), worker_id=parsed.get("worker_id")
+            ),
+        )
 
     def _post_lease(self, body=b"", **_ignored) -> ApiResponse:
         """Lease the next eligible work unit to the requesting worker."""
@@ -437,6 +471,16 @@ class ServiceAPI:
     def _post_sweep(self, body=b"", **_ignored) -> ApiResponse:
         """Submit (or single-flight join) a sweep; 202 with the job id."""
         request = SweepRequest.from_json_obj(self._parse_json_body(body))
+        if request.executor == "cluster":
+            # Fail fast on a follower replica (421 + leader hint) so the
+            # job slot is never burned on a doomed submission.  A server
+            # with no coordinator at all still accepts the job — it
+            # errors out with a clear message when it runs.
+            require_leader = getattr(
+                self.manager.coordinator, "require_leader", None
+            )
+            if require_leader is not None:
+                require_leader()
         job = self.manager.submit(request)
         return self._json(
             202,
@@ -450,125 +494,6 @@ class ServiceAPI:
     def _post_solve(self, body=b"", **_ignored) -> ApiResponse:
         """Synchronously solve one small normal-form game."""
         return self._json(200, solve_request(self._parse_json_body(body)))
-
-
-class _Handler(BaseHTTPRequestHandler):
-    """Thin threaded-transport adapter over one :class:`ServiceAPI`.
-
-    Reads the request body up front (bounded), delegates to the shared
-    route handlers, and writes the response with correct keep-alive
-    framing.  Because the body is consumed before dispatch, an errored
-    POST can never leave unread bytes to desync the next request on
-    the connection.
-    """
-
-    api: ServiceAPI = None  # type: ignore[assignment]
-    quiet: bool = True
-    protocol_version = "HTTP/1.1"
-    # The stdlib handler writes headers and body as separate sends; on
-    # a keep-alive connection Nagle holds the second send until the
-    # peer's delayed ACK (~40 ms/request on Linux loopback).  Fresh
-    # per-request connections never showed it because close() flushed.
-    disable_nagle_algorithm = True
-
-    # -- plumbing ------------------------------------------------------
-
-    def log_message(self, format: str, *args) -> None:  # noqa: A002
-        """Silence per-request stderr logging unless ``quiet`` is off."""
-        if not self.quiet:
-            super().log_message(format, *args)
-
-    def _read_request_body(self) -> Optional[bytes]:
-        """The full request body, or ``None`` after an error response.
-
-        Chunked uploads and bodies past the size limit are answered
-        immediately and the connection is closed — skipping an
-        arbitrarily large body is not worth the read.
-        """
-        if self.headers.get("Transfer-Encoding"):
-            self.close_connection = True
-            self._respond(
-                ServiceAPI._json(
-                    411, {"error": "chunked request bodies are unsupported"}
-                ),
-                head_only=False,
-            )
-            return None
-        try:
-            length = int(self.headers.get("Content-Length") or 0)
-        except ValueError:
-            length = 0
-        if length > _MAX_BODY_BYTES:
-            self.close_connection = True
-            self._respond(
-                ServiceAPI._json(413, {"error": "request body too large"}),
-                head_only=False,
-            )
-            return None
-        return self.rfile.read(length) if length > 0 else b""
-
-    def _respond(self, response: ApiResponse, head_only: bool) -> None:
-        """Write one :class:`ApiResponse` with correct framing headers."""
-        self.send_response(response.status)
-        self.send_header("Content-Type", response.content_type)
-        if response.etag is not None:
-            self.send_header("ETag", response.etag)
-        self.send_header("Content-Length", str(response.content_length))
-        self.end_headers()
-        if head_only or response.status == 304:
-            return
-        if response.blob_path is not None:
-            try:
-                with open(response.blob_path, "rb") as handle:
-                    shutil.copyfileobj(handle, self.wfile)
-            except OSError:
-                # The blob raced away after routing; the declared
-                # Content-Length can no longer be honoured.
-                self.close_connection = True
-            return
-        if response.body:
-            self.wfile.write(response.body)
-
-    def _dispatch(self, method: str) -> None:
-        """Read, delegate to the shared API core, respond."""
-        body = self._read_request_body()
-        if body is None:
-            return
-        response = self.api.handle(
-            method, self.path, body, self.headers.get("If-None-Match")
-        )
-        self._respond(response, head_only=method == "HEAD")
-
-    def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        """Serve one GET request."""
-        self._dispatch("GET")
-
-    def do_HEAD(self) -> None:  # noqa: N802 (http.server API)
-        """Serve one HEAD request (GET headers, no body)."""
-        self._dispatch("HEAD")
-
-    def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        """Serve one POST request."""
-        self._dispatch("POST")
-
-
-class ManagedHTTPServer(ThreadingHTTPServer):
-    """Threading HTTP server that owns its :class:`JobManager`'s lifecycle.
-
-    ``server_close()`` also shuts the manager down — including the
-    persistent ``ProcessPoolExecutor`` — so every stop path (SIGTERM via
-    ``serve``, tests tearing a server down, embedding callers) releases
-    the worker processes without needing to know about the manager.
-    """
-
-    daemon_threads = True
-    manager: Optional[JobManager] = None
-
-    def server_close(self) -> None:
-        """Close the listening socket, then the job manager and its pool."""
-        super().server_close()
-        if self.manager is not None:
-            self.manager.shutdown()
 
 
 def build_manager(
@@ -587,123 +512,3 @@ def build_manager(
     return JobManager(
         store=store, max_workers=max_workers, coordinator=coordinator
     )
-
-
-def make_server(
-    host: str = "127.0.0.1",
-    port: int = 0,
-    manager: Optional[JobManager] = None,
-    store: Optional[ResultStore] = None,
-    max_workers: Optional[int] = None,
-    coordinator: Optional[Any] = None,
-    quiet: bool = True,
-) -> ManagedHTTPServer:
-    """Build (but don't start) the threaded HTTP server.
-
-    ``port=0`` binds an ephemeral port — read it back from
-    ``server.server_address`` — which is what the tests and the
-    in-process quickstart use.  A fresh :class:`JobManager` is created
-    from ``store``/``max_workers``/``coordinator`` unless one is passed
-    in; attaching a
-    :class:`~repro.cluster.coordinator.ClusterCoordinator` enables the
-    ``/v1/workers``/``/v1/lease``/``/v1/complete`` endpoints and
-    ``executor="cluster"`` sweeps.
-    """
-    manager = build_manager(manager, store, max_workers, coordinator)
-
-    class BoundHandler(_Handler):
-        """The handler class closed over this server's API core."""
-
-    BoundHandler.api = ServiceAPI(manager)
-    BoundHandler.quiet = quiet
-    server = ManagedHTTPServer((host, port), BoundHandler)
-    server.manager = manager
-    return server
-
-
-def start_server(
-    host: str = "127.0.0.1",
-    port: int = 0,
-    **kwargs,
-) -> Tuple[ThreadingHTTPServer, threading.Thread]:
-    """Start the threaded server on a background thread.
-
-    The embedding entry point: examples and tests run the whole service
-    in-process and talk to ``http://host:port`` like any remote client.
-    Shut down with ``server.shutdown()`` then ``server.server_close()``.
-    (:func:`repro.service.aserver.start_async_server` is the drop-in
-    asyncio equivalent.)
-    """
-    server = make_server(host=host, port=port, **kwargs)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    return server, thread
-
-
-def _sigterm_to_interrupt(signum, frame) -> None:
-    """SIGTERM handler: unwind ``serve_forever`` through its clean path.
-
-    Raising inside the handler (which runs on the main thread, *under*
-    the serving loop's frame) lets the ``finally`` block close the
-    socket and the job manager; calling ``server.shutdown()`` here
-    instead would deadlock — it waits for the very loop this handler
-    interrupted.
-    """
-    raise KeyboardInterrupt
-
-
-def serve_forever(
-    host: str = "127.0.0.1",
-    port: int = 8642,
-    cache_dir: Optional[str] = None,
-    max_workers: Optional[int] = None,
-    quiet: bool = False,
-    store: Optional[ResultStore] = None,
-    coordinator: Optional[Any] = None,
-) -> None:
-    """Blocking entry point for the *threaded* reference server.
-
-    ``python -m repro.service serve`` runs the asyncio server by
-    default and reaches this only under ``--legacy-threads``.  Installs
-    a SIGTERM handler (when running on the main thread) so ``kill
-    <pid>`` and container stops drain through the same clean shutdown
-    as Ctrl-C: socket closed, job manager and process pool stopped, no
-    leaked workers.  ``store``/``coordinator`` let callers (the
-    ``python -m repro.cluster coordinator`` CLI) pass pre-built
-    components; otherwise ``cache_dir`` builds the store.
-    """
-    if store is None and cache_dir is not None:
-        store = ResultStore(cache_dir)
-    server = make_server(
-        host=host,
-        port=port,
-        store=store,
-        max_workers=max_workers,
-        coordinator=coordinator,
-        quiet=quiet,
-    )
-    actual_host, actual_port = server.server_address[:2]
-    rows = [
-        ["url", f"http://{actual_host}:{actual_port}"],
-        ["server", "threaded (legacy reference)"],
-        ["cache_dir", cache_dir or "<none: recompute every case>"],
-        ["max_workers", max_workers or 1],
-    ]
-    if coordinator is not None:
-        stats = coordinator.stats()
-        rows.append(["cluster", f"redundancy={stats['redundancy']}"])
-    print(format_table("repro.service", ["setting", "value"], rows))
-    previous_sigterm = None
-    try:
-        previous_sigterm = signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
-    except ValueError:
-        pass  # not on the main thread; rely on the embedder to stop us
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        if previous_sigterm is not None:
-            signal.signal(signal.SIGTERM, previous_sigterm)
-        server.shutdown()
-        server.server_close()  # also shuts the manager and its pool down

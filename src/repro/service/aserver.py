@@ -3,10 +3,10 @@
 One event loop multiplexes thousands of keep-alive connections on one
 core — the serving-layer analogue of the paper's asynchronous
 message-passing model, where progress never depends on one participant
-(here: one OS thread per socket) being scheduled.  The route handlers
-are the exact :class:`~repro.service.app.ServiceAPI` methods the
-threaded reference server uses, so the two transports answer
-byte-identically; what changes is everything around them:
+(here: one OS thread per socket) being scheduled.  Route handling is
+delegated entirely to the transport-agnostic
+:class:`~repro.service.app.ServiceAPI`; this module is the sole HTTP
+transport and owns everything around it:
 
 * **Hand-rolled HTTP/1.1 protocol** (``asyncio.Protocol``, not
   streams): request parsing works directly on the connection's byte
@@ -30,12 +30,10 @@ byte-identically; what changes is everything around them:
   fallback), so large cached results never transit Python bytes.
 * **Graceful drain**: SIGTERM stops the accept socket, lets in-flight
   requests finish (bounded by ``drain_timeout``), then closes
-  connections and shuts the job manager down — the same no-leak
-  guarantee as the threaded server's close path.
+  connections and shuts the job manager down with nothing leaked.
 
-Entry points mirror :mod:`repro.service.app`:
-:func:`start_async_server` (background thread, tests/embedding) and
-:func:`aserve_forever` (blocking CLI path behind
+Entry points: :func:`start_async_server` (background thread,
+tests/embedding) and :func:`aserve_forever` (blocking CLI path behind
 ``python -m repro.service serve``).
 """
 
@@ -79,6 +77,7 @@ _REASONS = {
     409: b"Conflict",
     411: b"Length Required",
     413: b"Payload Too Large",
+    421: b"Misdirected Request",
     431: b"Request Header Fields Too Large",
     500: b"Internal Server Error",
     502: b"Bad Gateway",
@@ -319,8 +318,7 @@ class _HttpProtocol(asyncio.Protocol):
 
         Used for protocol-level failures where resynchronizing the
         byte stream is impossible or not worth it (oversized bodies,
-        garbled framing) — mirroring the threaded server's
-        drain-or-close rule.
+        garbled framing): answer once, then drop the connection.
         """
         body = ('{"error": "%s"}\n' % message).encode("utf-8")
         out.append(
@@ -424,8 +422,7 @@ class AsyncServiceServer:
     """The asyncio service server: accept loop, registry, drain logic.
 
     Owns the :class:`~repro.service.app.ServiceAPI` core, the bounded
-    connection registry, the POST-offload thread pool, and — like the
-    threaded :class:`~repro.service.app.ManagedHTTPServer` — its
+    connection registry, the POST-offload thread pool, and its
     :class:`JobManager`'s lifecycle: :meth:`drain` shuts the manager
     (and its persistent process pool) down after the last in-flight
     request finishes.
@@ -521,12 +518,11 @@ class AsyncServiceServer:
 
 
 class AsyncServerHandle:
-    """Thread-hosted async server with the threaded server's surface.
+    """Thread-hosted async server handle for tests and embedders.
 
-    Mirrors ``ManagedHTTPServer`` where tests and embedders touch it:
-    ``server_address``, ``manager``, ``shutdown()`` (graceful drain),
-    ``server_close()`` (idempotent manager/pool teardown + thread
-    join).  Built by :func:`start_async_server`.
+    Exposes ``server_address``, ``manager``, ``shutdown()`` (graceful
+    drain), and ``server_close()`` (idempotent manager/pool teardown +
+    thread join).  Built by :func:`start_async_server`.
     """
 
     def __init__(
@@ -545,7 +541,7 @@ class AsyncServerHandle:
 
     @property
     def manager(self) -> JobManager:
-        """The owned job manager (for parity with the threaded server)."""
+        """The owned job manager (jobs, store, optional coordinator)."""
         return self._server.manager
 
     def shutdown(self) -> None:
@@ -581,12 +577,11 @@ def start_async_server(
 ) -> Tuple[AsyncServerHandle, threading.Thread]:
     """Start the asyncio server on a background thread.
 
-    Drop-in replacement for :func:`repro.service.app.start_server`:
-    same keyword surface, same ``(server, thread)`` return shape, and
-    the returned handle exposes ``server_address``/``manager``/
-    ``shutdown``/``server_close`` like the threaded server.  Extra
-    ``server_options`` (``max_connections``, ``keep_alive_timeout``,
-    ``drain_timeout``) pass through to :class:`AsyncServiceServer`.
+    Returns ``(handle, thread)``; the handle exposes
+    ``server_address``/``manager``/``shutdown``/``server_close``.
+    Extra ``server_options`` (``max_connections``,
+    ``keep_alive_timeout``, ``drain_timeout``) pass through to
+    :class:`AsyncServiceServer`.
     """
     built_manager = build_manager(manager, store, max_workers, coordinator)
     server = AsyncServiceServer(
@@ -641,7 +636,7 @@ def aserve_forever(
     socket closes first, in-flight requests get ``drain_timeout``
     seconds to finish, then connections, the POST pool, the job
     manager, and its process pool shut down — ``kill <pid>`` exits 0
-    with nothing leaked, matching the threaded server's contract.
+    with nothing leaked.
     """
     if store is None and cache_dir is not None:
         store = ResultStore(cache_dir)

@@ -15,6 +15,18 @@ reconnect when a reused connection turns out to have been closed by
 the server between requests.  Content-addressed fetches carry an
 ``If-None-Match`` header once a key has been seen, so warm re-fetches
 cost a 304 with zero body bytes (see :meth:`ServiceClient.fetch_bytes`).
+
+Against a **replicated control plane** the client takes every replica
+URL (list, or one comma-separated string) and fails over by itself:
+
+* a transport error on the preferred endpoint rotates to the next one
+  (for GETs and explicitly idempotent POSTs — the cluster-protocol
+  writes are idempotent by design, so a worker survives its
+  coordinator being SIGKILLed mid-request);
+* a **421 Misdirected Request** answer (a write hit a follower) is
+  chased to the leader URL in the response body without consuming a
+  retry — mid-election answers without a hint rotate and back off
+  briefly until the new leader emerges.
 """
 
 from __future__ import annotations
@@ -26,7 +38,7 @@ import threading
 import time
 import urllib.parse
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.results import ResultSet
 from repro.service.jobs import SweepRequest
@@ -61,17 +73,23 @@ class ServiceClient:
     Parameters
     ----------
     base_url:
-        Server root, e.g. ``http://127.0.0.1:8642`` (trailing slash ok).
+        Server root, e.g. ``http://127.0.0.1:8642`` (trailing slash
+        ok).  For a replicated fabric, pass every replica — a list of
+        URLs or one comma-separated string — and the client fails over
+        between them by itself.
     timeout:
         Per-request socket timeout in seconds.
     retries:
-        Extra attempts for *idempotent* requests (GETs) that die on a
-        transient connection error — refusals or a reset mid-read.
-        POSTs are never retried: a sweep submit or a cluster vote that
-        actually landed must not be replayed blindly.  (Separately from
-        this policy, *any* method is replayed once when a **reused**
-        keep-alive connection turns out to be stale — the server closed
-        it idle before our bytes arrived, so nothing was processed.)
+        Extra attempts for *idempotent* requests (GETs, and the POSTs
+        the endpoint helpers explicitly mark — cluster-protocol writes,
+        consensus RPCs, content-deduplicated sweep submissions) that
+        die on a transient connection error.  Each retry rotates to the
+        next configured endpoint first.  Other POSTs are never retried:
+        a write that actually landed must not be replayed blindly.
+        (Separately from this policy, *any* method is replayed once
+        when a **reused** keep-alive connection turns out to be stale —
+        the server closed it idle before our bytes arrived, so nothing
+        was processed.)
     backoff:
         First retry delay in seconds; doubles per retry, capped at
         ``max_backoff`` (bounded exponential backoff).
@@ -82,17 +100,22 @@ class ServiceClient:
 
     def __init__(
         self,
-        base_url: str,
+        base_url: Union[str, Sequence[str]],
         timeout: float = 30.0,
         retries: int = 2,
         backoff: float = 0.1,
         max_backoff: float = 2.0,
         etag_cache_size: int = 256,
     ) -> None:
-        self.base_url = base_url.rstrip("/")
-        split = urllib.parse.urlsplit(self.base_url)
-        self._host = split.hostname or "127.0.0.1"
-        self._port = split.port or 80
+        if isinstance(base_url, str):
+            urls = [u for u in base_url.split(",") if u.strip()]
+        else:
+            urls = list(base_url)
+        if not urls:
+            raise ValueError("ServiceClient needs at least one endpoint URL")
+        self.endpoints = [u.strip().rstrip("/") for u in urls]
+        self._endpoint_lock = threading.Lock()
+        self._preferred = 0
         self.timeout = timeout
         self.retries = int(retries)
         self.backoff = float(backoff)
@@ -106,17 +129,42 @@ class ServiceClient:
         # from many threads at once.
         self._local = threading.local()
 
+    # -- endpoint selection --------------------------------------------
+
+    @property
+    def base_url(self) -> str:
+        """The currently preferred endpoint (the last known-good one)."""
+        with self._endpoint_lock:
+            return self.endpoints[self._preferred]
+
+    def _rotate_endpoint(self, failed: str) -> None:
+        """Advance past ``failed`` — unless another thread already did."""
+        with self._endpoint_lock:
+            if self.endpoints[self._preferred] == failed:
+                self._preferred = (self._preferred + 1) % len(self.endpoints)
+
+    def _prefer_endpoint(self, url: str) -> None:
+        """Pin the preferred endpoint to a server-provided leader hint."""
+        url = url.rstrip("/")
+        with self._endpoint_lock:
+            if url not in self.endpoints:
+                self.endpoints.append(url)
+            self._preferred = self.endpoints.index(url)
+
     # -- transport -----------------------------------------------------
 
-    def _connect(self) -> http.client.HTTPConnection:
+    def _connect(self, endpoint: str) -> http.client.HTTPConnection:
         """Open (and remember) a fresh connection for this thread.
 
         Nagle is disabled: on a keep-alive connection a coalescing
         delay on small request writes interacts with the peer's
         delayed ACK and turns into a per-request latency floor.
         """
+        split = urllib.parse.urlsplit(endpoint)
         conn = http.client.HTTPConnection(
-            self._host, self._port, timeout=self.timeout
+            split.hostname or "127.0.0.1",
+            split.port or 80,
+            timeout=self.timeout,
         )
         conn.connect()
         try:
@@ -126,12 +174,14 @@ class ServiceClient:
         except OSError:  # pragma: no cover - non-TCP transports
             pass
         self._local.conn = conn
+        self._local.endpoint = endpoint
         return conn
 
     def _drop_connection(self) -> None:
         """Close and forget this thread's cached connection, if any."""
         conn = getattr(self._local, "conn", None)
         self._local.conn = None
+        self._local.endpoint = None
         if conn is not None:
             try:
                 conn.close()
@@ -144,6 +194,7 @@ class ServiceClient:
 
     def _exchange(
         self,
+        endpoint: str,
         method: str,
         path: str,
         data: Optional[bytes],
@@ -158,9 +209,12 @@ class ServiceClient:
         on a fresh connection propagate to the caller's retry policy.
         """
         conn = getattr(self._local, "conn", None)
+        if conn is not None and getattr(self._local, "endpoint", None) != endpoint:
+            self._drop_connection()  # preferred endpoint moved
+            conn = None
         reused = conn is not None
         if conn is None:
-            conn = self._connect()
+            conn = self._connect(endpoint)
         while True:
             try:
                 conn.request(method, path, body=data, headers=headers)
@@ -171,7 +225,7 @@ class ServiceClient:
                 if not reused:
                     raise
                 reused = False
-                conn = self._connect()
+                conn = self._connect(endpoint)
                 continue
             except (OSError, http.client.HTTPException):
                 self._drop_connection()
@@ -186,14 +240,23 @@ class ServiceClient:
         path: str,
         body: Optional[Dict[str, Any]] = None,
         extra_headers: Optional[Dict[str, str]] = None,
+        idempotent: bool = False,
     ) -> Tuple[int, Any, bytes]:
         """One HTTP exchange; raises :class:`ServiceError` on 4xx/5xx.
 
-        Idempotent GETs survive transient connection blips: they are
-        retried up to ``retries`` times with bounded exponential
-        backoff before the failure surfaces as a status-0
-        :class:`ServiceError`.  Error statuses are real server
-        responses and are never retried.
+        Three failure modes, three policies:
+
+        * **transport errors** — retried up to ``retries`` extra times
+          for GETs and ``idempotent`` POSTs, rotating to the next
+          endpoint before each attempt with bounded exponential
+          backoff, then surfaced as a status-0 :class:`ServiceError`;
+        * **421 Misdirected Request** — the write hit a follower
+          replica; the leader hint from the body is chased (or, with no
+          hint mid-election, endpoints are rotated after a short pause)
+          on a budget separate from transport retries, so elections
+          don't eat the failure budget;
+        * **other error statuses** — real server answers, surfaced
+          immediately and never retried.
         """
         data = None
         headers = {"Accept": "application/json"}
@@ -202,22 +265,51 @@ class ServiceClient:
             headers["Content-Type"] = "application/json"
         if extra_headers:
             headers.update(extra_headers)
-        attempts = self.retries + 1 if method == "GET" else 1
+        attempts = (
+            self.retries + 1 if (method == "GET" or idempotent) else 1
+        )
+        transport_left = attempts
+        leader_left = 2 * len(self.endpoints) + 2
         delay = self.backoff
-        for attempt in range(attempts):
+        while True:
+            endpoint = self.base_url
             try:
                 status, resp_headers, raw = self._exchange(
-                    method, path, data, headers
+                    endpoint, method, path, data, headers
                 )
             except (OSError, http.client.HTTPException) as exc:
-                if attempt + 1 >= attempts:
+                transport_left -= 1
+                if transport_left <= 0:
                     raise ServiceError(
                         0,
-                        f"cannot reach {self.base_url} after {attempts} "
+                        f"cannot reach {endpoint} after {attempts} "
                         f"attempt(s): {exc}",
                     ) from None
+                self._rotate_endpoint(endpoint)
                 time.sleep(delay)
                 delay = min(delay * 2.0, self.max_backoff)
+                continue
+            if status == 421:
+                try:
+                    payload = json.loads(raw)
+                except ValueError:
+                    payload = {}
+                leader_left -= 1
+                if leader_left <= 0:
+                    raise ServiceError(
+                        421,
+                        payload.get("error", "not the leader")
+                        + " (no leader emerged within the failover budget)",
+                    )
+                leader = payload.get("leader")
+                if leader and leader.rstrip("/") != endpoint:
+                    self._prefer_endpoint(leader)
+                else:
+                    # Mid-election: no leader yet (or the hint points
+                    # back at the answering follower).  Rotate and give
+                    # the election a beat to finish.
+                    self._rotate_endpoint(endpoint)
+                    time.sleep(min(max(self.backoff, 0.05), 0.25))
                 continue
             if status >= 400:
                 # A real server response — never a transport blip, so
@@ -228,19 +320,28 @@ class ServiceClient:
                     message = raw.decode("utf-8", "replace")
                 raise ServiceError(status, message)
             return status, resp_headers, raw
-        raise AssertionError("unreachable")  # pragma: no cover
 
     def _request_bytes(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        idempotent: bool = False,
     ) -> bytes:
         """One HTTP exchange returning the raw response body."""
-        return self._request_raw(method, path, body)[2]
+        return self._request_raw(method, path, body, idempotent=idempotent)[2]
 
     def _request(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        idempotent: bool = False,
     ) -> Any:
         """One JSON exchange (decoded response payload)."""
-        return json.loads(self._request_bytes(method, path, body))
+        return json.loads(
+            self._request_bytes(method, path, body, idempotent=idempotent)
+        )
 
     # -- endpoints -----------------------------------------------------
 
@@ -279,6 +380,11 @@ class ServiceClient:
         ``executor="cluster"`` fans cache misses out to the server's
         registered cluster workers, with r-fold ``redundancy`` and
         majority-quorum acceptance.
+
+        Submission is retried across endpoints on transport failure:
+        the job manager single-flights identical requests and the
+        replicated coordinator deduplicates sweeps by content hash, so
+        a replayed submit joins existing work instead of doubling it.
         """
         request = SweepRequest(
             scenarios=tuple(scenarios or ()),
@@ -290,7 +396,9 @@ class ServiceClient:
             executor=executor,
             redundancy=redundancy,
         )
-        return self._request("POST", "/v1/sweeps", request.to_json_obj())
+        return self._request(
+            "POST", "/v1/sweeps", request.to_json_obj(), idempotent=True
+        )
 
     def job(self, job_id: str) -> Dict[str, Any]:
         """One job's status payload."""
@@ -329,12 +437,42 @@ class ServiceClient:
         return payload["job"], results
 
     def run_sweep(self, timeout: float = 300.0, **kwargs) -> Tuple[Dict[str, Any], ResultSet]:
-        """Submit, wait, and fetch in one call (the quickstart path)."""
-        submitted = self.submit_sweep(**kwargs)
-        status = self.wait_for_job(submitted["job_id"], timeout=timeout)
-        if status["status"] != "done":
-            raise ServiceError(502, f"job failed: {status['error']}")
-        return self.results(status["job_id"])
+        """Submit, wait, and fetch in one call (the quickstart path).
+
+        Failover-aware end to end: jobs live in one server's manager,
+        so if that server dies mid-sweep (or answers "unknown job"
+        after a failover, or the job dies of a leadership change) the
+        sweep is *resubmitted* to the surviving endpoints until the
+        deadline.  Resubmission is safe — identical requests
+        single-flight in the manager, and on the replicated fabric the
+        sweep attaches by content hash to whatever units the previous
+        leader's quorum already accepted, so no finished work repeats.
+        """
+        deadline = time.monotonic() + timeout
+        retriable = ("not the leader", "leadership", "no commit quorum")
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"sweep still unfinished after {timeout}s")
+            try:
+                submitted = self.submit_sweep(**kwargs)
+                status = self.wait_for_job(
+                    submitted["job_id"], timeout=remaining
+                )
+                if status["status"] != "done":
+                    error = str(status.get("error") or "")
+                    if any(marker in error for marker in retriable):
+                        time.sleep(0.2)
+                        continue  # leadership moved mid-job: resubmit
+                    raise ServiceError(502, f"job failed: {status['error']}")
+                return self.results(status["job_id"])
+            except ServiceError as exc:
+                transient = exc.status in (0, 421) or (
+                    exc.status == 404 and "job" in exc.message
+                )
+                if not transient:
+                    raise
+                time.sleep(0.2)
 
     def fetch_bytes(self, key: str) -> bytes:
         """Verbatim cached blob bytes for one content-address key.
@@ -379,7 +517,7 @@ class ServiceClient:
         server without materializing the full payload.
         """
         _status, _headers, raw = self._request_raw(
-            "POST", "/v1/results:batch", {"keys": list(keys)}
+            "POST", "/v1/results:batch", {"keys": list(keys)}, idempotent=True
         )
         out: Dict[str, Optional[Dict[str, Any]]] = {}
         for line in raw.splitlines():
@@ -399,29 +537,65 @@ class ServiceClient:
         """``GET /v1/cluster``: scheduler counters plus worker registry."""
         return self._request("GET", "/v1/cluster")
 
-    def register_worker(self, name: Optional[str] = None) -> Dict[str, Any]:
+    def register_worker(
+        self, name: Optional[str] = None, worker_id: Optional[str] = None
+    ) -> Dict[str, Any]:
         """``POST /v1/workers``: register a worker; returns its id.
 
         Together with :meth:`lease` and :meth:`complete` this mirrors
         the coordinator's in-process surface, so a
         :class:`repro.cluster.worker.Worker` can use this client as its
-        transport unchanged.
+        transport unchanged.  Passing an explicit ``worker_id``
+        re-registers idempotently (same identity, strikes preserved) —
+        the worker-failover path after a coordinator crash.
         """
-        return self._request("POST", "/v1/workers", {"name": name})
+        return self._request(
+            "POST",
+            "/v1/workers",
+            {"name": name, "worker_id": worker_id},
+            idempotent=True,
+        )
 
     def lease(self, worker_id: str) -> Dict[str, Any]:
-        """``POST /v1/lease``: request the next work unit for a worker."""
-        return self._request("POST", "/v1/lease", {"worker_id": worker_id})
+        """``POST /v1/lease``: request the next work unit for a worker.
+
+        Idempotent for retry purposes: a replayed lease at worst grants
+        (and promptly expires) one extra lease — never corrupts quorum
+        accounting — so it rides the endpoint-failover retry policy.
+        """
+        return self._request(
+            "POST", "/v1/lease", {"worker_id": worker_id}, idempotent=True
+        )
 
     def complete(
         self, worker_id: str, unit_id: str, rows: Sequence[Any]
     ) -> Dict[str, Any]:
-        """``POST /v1/complete``: post a unit's result rows (quorum vote)."""
+        """``POST /v1/complete``: post a unit's result rows (quorum vote).
+
+        Idempotent: a replayed completion is answered ``duplicate`` (or
+        ``stale``) by the coordinator — one worker can never
+        double-vote — so it rides the endpoint-failover retry policy.
+        """
         return self._request(
             "POST",
             "/v1/complete",
             {"worker_id": worker_id, "unit_id": unit_id, "rows": list(rows)},
+            idempotent=True,
         )
+
+    def raft_rpc(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /v1/raft/rpc``: one consensus message; reply rides back.
+
+        Replica-to-replica transport only.  Deliberately *not* marked
+        idempotent here — the consensus layer has its own
+        retransmission (heartbeats), so a transport error surfaces
+        immediately and the sender's next beat carries fresher state.
+        """
+        return self._request("POST", "/v1/raft/rpc", dict(message))
+
+    def raft_status(self) -> Dict[str, Any]:
+        """``GET /v1/raft/status``: the replica's consensus-level status."""
+        return self._request("GET", "/v1/raft/status")
 
     def solve(self, **body) -> Dict[str, Any]:
         """``POST /v1/solve`` with the given request fields.
@@ -431,4 +605,4 @@ class ServiceClient:
             client.solve(classic="matching_pennies", method="zerosum")
             client.solve(game=game.to_json_obj(), method="pure")
         """
-        return self._request("POST", "/v1/solve", body)
+        return self._request("POST", "/v1/solve", body, idempotent=True)

@@ -21,10 +21,30 @@ Quickstart::
     outcome = result.counterexample.replay()   # unmodified simulator
     assert not outcome.agreement
 
-CLI: ``python -m repro.verify --protocol phase_king --n 4 --t 1 --bound 4``.
+The same machinery certifies the replicated control plane: the
+consensus checker (:mod:`repro.verify.consensus`) explores the *live*
+:class:`repro.cluster.replica.RaftCore` under bounded crashes for
+election safety and commit durability::
+
+    from repro.verify import check_consensus
+
+    result = check_consensus(replicas=3, crashes=1, depth=8)
+    assert result.ok
+
+CLI: ``python -m repro.verify --protocol phase_king --n 4 --t 1 --bound 4``
+or ``--protocol replica --replicas 3 --crashes 1``.
 See ``docs/verify.md`` for what a bound means and how to read a trace.
 """
 
+from repro.verify.consensus import (
+    COMMIT_SAFETY,
+    CONSENSUS_INVARIANTS,
+    ELECTION_SAFETY,
+    ConsensusAction,
+    ConsensusResult,
+    ConsensusTrace,
+    check_consensus,
+)
 from repro.verify.explorer import (
     ModelConfig,
     VerificationResult,
@@ -60,8 +80,14 @@ from repro.verify.traces import (
 __all__ = [
     "AGREEMENT",
     "BYZANTINE_AGREEMENT",
+    "COMMIT_SAFETY",
+    "CONSENSUS_INVARIANTS",
+    "ELECTION_SAFETY",
     "TERMINATION",
     "VALIDITY",
+    "ConsensusAction",
+    "ConsensusResult",
+    "ConsensusTrace",
     "CorruptionAction",
     "CorruptionAlphabet",
     "CorruptionEvent",
@@ -73,6 +99,7 @@ __all__ = [
     "VerificationResult",
     "apply_action",
     "canonical_bytes",
+    "check_consensus",
     "check_model",
     "coalition_family",
     "first_violation",

@@ -6,6 +6,12 @@ Check a protocol exhaustively up to a corruption bound::
     python -m repro.verify --protocol eig --n 3 --t 1 --bound 2 \\
         --trace-out disagreement.json
 
+Certify the replicated control plane's consensus core (bounded crashes
+over :class:`repro.cluster.replica.RaftCore` — the acceptance gate the
+cluster CI job runs)::
+
+    python -m repro.verify --protocol replica --replicas 3 --crashes 1
+
 Replay a previously emitted counterexample through the unmodified
 simulator (exit 0 iff the recorded violation reproduces)::
 
@@ -25,6 +31,7 @@ import json
 import sys
 from typing import Optional, Sequence
 
+from repro.verify.consensus import ConsensusTrace, check_consensus
 from repro.verify.explorer import check_model
 from repro.verify.states import CorruptionAlphabet
 from repro.verify.traces import CounterexampleTrace
@@ -40,9 +47,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--protocol",
-        choices=("eig", "phase_king"),
+        choices=("eig", "phase_king", "replica"),
         default="eig",
-        help="protocol to check (default: eig)",
+        help=(
+            "protocol to check: an agreement protocol over the dist "
+            "simulator, or 'replica' for the control plane's consensus "
+            "core (default: eig)"
+        ),
     )
     parser.add_argument("--n", type=int, default=4, help="number of players")
     parser.add_argument("--t", type=int, default=1, help="faulty players")
@@ -90,6 +101,30 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report the first counterexample without 1-minimizing it",
     )
+    replica = parser.add_argument_group(
+        "replica protocol", "bounds for --protocol replica"
+    )
+    replica.add_argument(
+        "--replicas", type=int, default=3, help="replica count (default: 3)"
+    )
+    replica.add_argument(
+        "--crashes",
+        type=int,
+        default=1,
+        help="max crash events per execution (default: 1)",
+    )
+    replica.add_argument(
+        "--appends",
+        type=int,
+        default=1,
+        help="max client appends per execution (default: 1)",
+    )
+    replica.add_argument(
+        "--depth",
+        type=int,
+        default=8,
+        help="max scheduler actions per execution (default: 8)",
+    )
     parser.add_argument(
         "--max-states",
         type=int,
@@ -125,6 +160,10 @@ def _parse_coalitions(raw: str):
 
 
 def _replay(path: str, quiet: bool) -> int:
+    with open(path, encoding="utf-8") as handle:
+        protocol = json.load(handle).get("protocol")
+    if protocol == "replica":
+        return _replay_consensus(path, quiet)
     trace = CounterexampleTrace.load(path)
     outcome = trace.replay()
     reproduced = trace.replay_violates(outcome)
@@ -142,6 +181,18 @@ def _replay(path: str, quiet: bool) -> int:
     return 1
 
 
+def _replay_consensus(path: str, quiet: bool) -> int:
+    trace = ConsensusTrace.load(path)
+    violation, _state = trace.replay()
+    if not quiet:
+        print(trace.describe())
+    if violation is not None and violation[0] == trace.invariant:
+        print(f"replay reproduces the {trace.invariant!r} violation")
+        return 0
+    print(f"replay does NOT reproduce the {trace.invariant!r} violation")
+    return 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = _build_parser()
@@ -149,26 +200,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.replay:
             return _replay(args.replay, args.quiet)
-        alphabet = CorruptionAlphabet(
-            flip_targets=args.flip_targets,
-            silence=not args.no_silence,
-            crash=not args.no_crash,
-        )
-        result = check_model(
-            args.protocol,
-            args.n,
-            args.t,
-            bound=args.bound,
-            general_values=tuple(args.general_values),
-            coalitions=_parse_coalitions(args.coalitions),
-            alphabet=alphabet,
-            max_states=args.max_states,
-            shrink=not args.no_shrink,
-        )
+        if args.protocol == "replica":
+            result = check_consensus(
+                replicas=args.replicas,
+                crashes=args.crashes,
+                appends=args.appends,
+                depth=args.depth,
+                max_states=args.max_states,
+                shrink=not args.no_shrink,
+            )
+        else:
+            alphabet = CorruptionAlphabet(
+                flip_targets=args.flip_targets,
+                silence=not args.no_silence,
+                crash=not args.no_crash,
+            )
+            result = check_model(
+                args.protocol,
+                args.n,
+                args.t,
+                bound=args.bound,
+                general_values=tuple(args.general_values),
+                coalitions=_parse_coalitions(args.coalitions),
+                alphabet=alphabet,
+                max_states=args.max_states,
+                shrink=not args.no_shrink,
+            )
     except (ValueError, KeyError, OSError) as exc:
         # Bad usage (invalid model params, malformed coalition specs,
         # unreadable trace files) exits 2 like argparse errors do.
         parser.exit(2, f"{parser.prog}: error: {exc}\n")
+    return _report(result, args)
+
+
+def _report(result, args) -> int:
+    """Shared verdict printing/serialization; returns the exit code."""
     print(result.summary())
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -182,7 +248,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             trace.save(args.trace_out)
             print(f"minimal counterexample trace written to {args.trace_out}")
         replay = "reproduces" if trace.replay_violates() else "DIVERGES"
-        print(f"replay through the unmodified simulator: {replay}")
+        print(f"replay through the unmodified implementation: {replay}")
         return 1
     return 0
 

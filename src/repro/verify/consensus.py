@@ -1,0 +1,668 @@
+"""Bounded model checking of the replicated control plane's consensus.
+
+The object under test is :class:`repro.cluster.replica.RaftCore` — the
+*same* pure message-in/messages-out class a live
+:class:`~repro.cluster.replica.Replica` runs — plugged into
+:class:`~repro.cluster.replica.MemoryLog` so durability is modeled
+exactly: a crash discards the volatile core (role, vote tally, follower
+cursors, volatile ``commit_index``) and keeps the log (term, vote,
+entries), mirroring what a real ``SIGKILL`` preserves on disk.
+
+The checker enumerates every interleaving of a small action alphabet —
+election timeouts, message deliveries, leader heartbeats, client
+appends, crashes and restarts — up to a depth bound, deduplicating
+states by canonical-JSON sha256, and checks two safety invariants in
+every reached state:
+
+* ``election_safety`` — no term ever elects two leaders (tracked as
+  history: once two distinct nodes have *ever* led the same term, the
+  run is condemned even if one has since stepped down);
+* ``committed_entries_never_lost`` — once any node's ``commit_index``
+  covers a log index, that (index, term) binding is permanent: no node
+  may later commit a different entry there, and no leader may hold a
+  log that contradicts or misses it.
+
+Violations come back as a 1-minimized, replayable
+:class:`ConsensusTrace` — the exact action list re-executes through
+fresh cores (:meth:`ConsensusTrace.replay`) and must reproduce the
+violation, so a reported bug is never an artifact of the search.
+
+The model is *bounded and finite* on purpose: at most ``crashes`` crash
+events, ``appends`` client commands, and ``depth`` actions per
+execution.  The in-flight network mirrors the real transport
+(synchronous per-peer HTTP channels): messages between one ordered
+pair of nodes deliver in FIFO order and duplicate in-flight sends
+merge; *cross*-channel interleaving is fully explored, and message
+loss is modeled by crashing the destination (a delivery into a crash
+vanishes).  Within those bounds the search is exhaustive.
+
+Quickstart::
+
+    from repro.verify.consensus import check_consensus
+
+    result = check_consensus(replicas=3, crashes=1, depth=8)
+    assert result.ok, result.counterexample.describe()
+
+CLI (the acceptance gate CI runs)::
+
+    python -m repro.verify --protocol replica --replicas 3 --crashes 1
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.cluster.log import LogEntry
+from repro.cluster.replica import MemoryLog, RaftCore
+
+__all__ = [
+    "COMMIT_SAFETY",
+    "CONSENSUS_INVARIANTS",
+    "ELECTION_SAFETY",
+    "ConsensusAction",
+    "ConsensusResult",
+    "ConsensusTrace",
+    "check_consensus",
+]
+
+ELECTION_SAFETY = "election_safety"
+COMMIT_SAFETY = "committed_entries_never_lost"
+CONSENSUS_INVARIANTS: Tuple[str, ...] = (ELECTION_SAFETY, COMMIT_SAFETY)
+
+CoreFactory = Callable[[str, List[str], Any], Any]
+
+
+def _canonical(obj: Any) -> str:
+    """Canonical JSON (sorted keys, compact) — the dedup currency."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class ConsensusAction:
+    """One scheduler choice in the modeled execution.
+
+    ``kind`` is one of ``timeout`` / ``heartbeat`` / ``append`` /
+    ``crash`` / ``restart`` (all taking ``node``) or ``deliver``
+    (taking the full ``message`` dict, so a shrunk trace still names
+    *which* message it meant even after earlier sends were deleted).
+    """
+
+    kind: str
+    node: Optional[int] = None
+    message: Optional[Mapping[str, Any]] = None
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``deliver vote_req n0->n1``."""
+        if self.kind == "deliver":
+            m = self.message or {}
+            return (
+                f"deliver {m.get('type')} {m.get('from')}->{m.get('to')} "
+                f"term={m.get('term')}"
+            )
+        return f"{self.kind} n{self.node}"
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        """Plain-JSON form (inverse of :meth:`from_json_obj`)."""
+        obj: Dict[str, Any] = {"kind": self.kind}
+        if self.node is not None:
+            obj["node"] = self.node
+        if self.message is not None:
+            obj["message"] = dict(self.message)
+        return obj
+
+    @classmethod
+    def from_json_obj(cls, obj: Mapping[str, Any]) -> "ConsensusAction":
+        """Rebuild an action from its :meth:`to_json_obj` form."""
+        node = obj.get("node")
+        return cls(
+            kind=str(obj["kind"]),
+            node=None if node is None else int(node),
+            message=obj.get("message"),
+        )
+
+
+class _ModelState:
+    """One explored world: cores + durable logs + network + monitors.
+
+    ``cores[i] is None`` means node *i* is crashed — its volatile state
+    is gone but ``logs[i]`` (the modeled disk) survives for restart.
+    The two safety monitors (``leaders_by_term``, ``committed``) are
+    *history* accumulated along the path; they ride inside the dedup
+    digest so two worlds with identical node state but different
+    obligations are never conflated.
+    """
+
+    def __init__(self, replicas: int, core_factory: CoreFactory) -> None:
+        self.ids = [f"n{i}" for i in range(replicas)]
+        self.core_factory = core_factory
+        self.logs = [MemoryLog() for _ in self.ids]
+        self.cores: List[Optional[Any]] = [
+            core_factory(self.ids[i], self.ids, self.logs[i])
+            for i in range(replicas)
+        ]
+        self.network: List[Dict[str, Any]] = []
+        self.appends_done = 0
+        self.crashes_done = 0
+        self.leaders_by_term: Dict[int, set] = {}
+        # index -> (entry term, lowest term any observer committed it in)
+        self.committed: Dict[int, Tuple[int, int]] = {}
+
+    def clone(self) -> "_ModelState":
+        """An independent copy (the checker forks before each action)."""
+        other = _ModelState.__new__(_ModelState)
+        other.ids = self.ids
+        other.core_factory = self.core_factory
+        other.logs = [log.clone() for log in self.logs]
+        other.cores = []
+        for i, core in enumerate(self.cores):
+            if core is None:
+                other.cores.append(None)
+                continue
+            copy = self.core_factory(self.ids[i], self.ids, other.logs[i])
+            copy.role = core.role
+            copy.leader_id = core.leader_id
+            copy.commit_index = core.commit_index
+            copy.votes = set(core.votes)
+            copy.next_index = dict(core.next_index)
+            copy.match_index = dict(core.match_index)
+            other.cores.append(copy)
+        other.network = [dict(m) for m in self.network]
+        other.appends_done = self.appends_done
+        other.crashes_done = self.crashes_done
+        other.leaders_by_term = {
+            term: set(nodes) for term, nodes in self.leaders_by_term.items()
+        }
+        other.committed = dict(self.committed)
+        return other
+
+    def digest(self) -> bytes:
+        """sha256 over the canonical state (dedup identity)."""
+        nodes = []
+        for i, core in enumerate(self.cores):
+            log = self.logs[i]
+            node: Dict[str, Any] = {
+                "term": log.term,
+                "vote": log.voted_for,
+                "entries": [[e.term, e.cmd] for e in log.entries],
+            }
+            if core is None:
+                node["crashed"] = True
+            else:
+                node.update(
+                    role=core.role,
+                    leader=core.leader_id,
+                    commit=core.commit_index,
+                    votes=sorted(core.votes),
+                    ni=sorted(core.next_index.items()),
+                    mi=sorted(core.match_index.items()),
+                )
+            nodes.append(node)
+        channels: Dict[str, List[str]] = {}
+        for message in self.network:  # list order == send order
+            key = f"{message.get('from')}>{message.get('to')}"
+            channels.setdefault(key, []).append(_canonical(message))
+        payload = _canonical(
+            {
+                "nodes": nodes,
+                "net": channels,
+                "appends": self.appends_done,
+                "crashes": self.crashes_done,
+                "leaders": {
+                    str(t): sorted(v)
+                    for t, v in self.leaders_by_term.items()
+                },
+                "committed": {
+                    str(i): t for i, t in self.committed.items()
+                },
+            }
+        )
+        return hashlib.sha256(payload.encode("utf-8")).digest()
+
+    # -- transition relation -------------------------------------------
+
+    def _send(self, messages: List[Dict[str, Any]]) -> None:
+        """Merge provoked messages into the in-flight set."""
+        have = {_canonical(m) for m in self.network}
+        for message in messages:
+            key = _canonical(message)
+            if key not in have:
+                have.add(key)
+                self.network.append(message)
+
+    def _heads(self) -> List[Dict[str, Any]]:
+        """The deliverable messages: one FIFO head per (from, to) channel."""
+        heads: Dict[Tuple[Any, Any], Dict[str, Any]] = {}
+        for message in self.network:  # list order == send order
+            channel = (message.get("from"), message.get("to"))
+            heads.setdefault(channel, message)
+        return [heads[key] for key in sorted(heads)]
+
+    def enabled(self, crashes: int, appends: int) -> List[ConsensusAction]:
+        """Every action the scheduler may take next, in canonical order."""
+        actions: List[ConsensusAction] = []
+        for message in self._heads():
+            actions.append(ConsensusAction("deliver", message=message))
+        for i, core in enumerate(self.cores):
+            if core is None:
+                actions.append(ConsensusAction("restart", node=i))
+                continue
+            if core.role == "leader":
+                actions.append(ConsensusAction("heartbeat", node=i))
+                if self.appends_done < appends:
+                    actions.append(ConsensusAction("append", node=i))
+            else:
+                actions.append(ConsensusAction("timeout", node=i))
+            if self.crashes_done < crashes:
+                actions.append(ConsensusAction("crash", node=i))
+        return actions
+
+    def apply(self, action: ConsensusAction) -> None:
+        """Mutate this state by one action (no-op if now inapplicable).
+
+        The no-op tolerance is what makes shrinking sound: deleting an
+        earlier action may disable a later one, and the later one must
+        then do nothing rather than raise.
+        """
+        if action.kind == "deliver":
+            # Deliver only if this exact message is currently the FIFO
+            # head of its channel (shrinking can invalidate either).
+            key = _canonical(action.message)
+            wanted = (
+                (action.message or {}).get("from"),
+                (action.message or {}).get("to"),
+            )
+            index = next(
+                (
+                    k
+                    for k, m in enumerate(self.network)
+                    if (m.get("from"), m.get("to")) == wanted
+                ),
+                None,
+            )
+            if index is None or _canonical(self.network[index]) != key:
+                return
+            message = self.network.pop(index)
+            try:
+                target = self.ids.index(message.get("to"))
+            except ValueError:
+                return
+            core = self.cores[target]
+            if core is None:
+                return  # delivered into a crash: the message is lost
+            self._send(core.on_message(message))
+            return
+        if action.node is None:
+            return
+        i = action.node
+        if not 0 <= i < len(self.cores):
+            return
+        core = self.cores[i]
+        if action.kind == "timeout" and core is not None:
+            if core.role != "leader":
+                self._send(core.start_election())
+        elif action.kind == "heartbeat" and core is not None:
+            if core.role == "leader":
+                self._send(
+                    [core.make_append(peer) for peer in core.peers]
+                )
+        elif action.kind == "append" and core is not None:
+            if core.role == "leader":
+                core.client_append({"op": "cmd", "k": self.appends_done})
+                self.appends_done += 1
+        elif action.kind == "crash" and core is not None:
+            self.cores[i] = None
+            self.crashes_done += 1
+        elif action.kind == "restart" and core is None:
+            self.cores[i] = self.core_factory(
+                self.ids[i], self.ids, self.logs[i]
+            )
+
+    # -- safety monitors -----------------------------------------------
+
+    def violation(self) -> Optional[Tuple[str, str]]:
+        """Update the monitors; returns (invariant, detail) on violation."""
+        for core in self.cores:
+            if core is None or core.role != "leader":
+                continue
+            holders = self.leaders_by_term.setdefault(core.term, set())
+            holders.add(core.node_id)
+            if len(holders) > 1:
+                return (
+                    ELECTION_SAFETY,
+                    f"term {core.term} elected {sorted(holders)}",
+                )
+        for i, core in enumerate(self.cores):
+            if core is None:
+                continue
+            for index in range(1, core.commit_index + 1):
+                term = self.logs[i].term_at(index)
+                if term is None:
+                    continue
+                known = self.committed.get(index)
+                if known is None:
+                    self.committed[index] = (term, self.logs[i].term)
+                elif known[0] != term:
+                    return (
+                        COMMIT_SAFETY,
+                        f"{self.ids[i]} commits term {term} at index "
+                        f"{index}, but term {known[0]} was already "
+                        f"committed there",
+                    )
+                elif self.logs[i].term < known[1]:
+                    # A lower-term observer tightens the (sound upper)
+                    # bound on the term the commit happened in.
+                    self.committed[index] = (term, self.logs[i].term)
+        for i, core in enumerate(self.cores):
+            if core is None or core.role != "leader":
+                continue
+            for index, (term, observed) in self.committed.items():
+                if core.term <= observed:
+                    # A *stale* leader of an old term may legally hold a
+                    # conflicting uncommitted entry — it can no longer
+                    # commit anything (every quorum rejects its term).
+                    # Leader completeness binds only the terms after
+                    # the one the commit was observed in.
+                    continue
+                actual = self.logs[i].term_at(index)
+                if actual != term:
+                    return (
+                        COMMIT_SAFETY,
+                        f"leader {self.ids[i]} (term {core.term}) holds "
+                        f"term {actual} at index {index}; committed "
+                        f"term {term} is lost",
+                    )
+        return None
+
+
+@dataclass(frozen=True)
+class ConsensusTrace:
+    """A minimal, replayable witness of a consensus-safety violation.
+
+    ``actions`` is the exact scheduler play from the initial state;
+    :meth:`replay` re-executes it through *fresh* cores and must
+    reproduce the violation (:meth:`replay_violates`), so the artifact
+    stands on its own — load it anywhere, run it, watch the bug.
+    """
+
+    protocol: str
+    replicas: int
+    crashes: int
+    appends: int
+    depth: int
+    invariant: str
+    detail: str
+    actions: Tuple[ConsensusAction, ...]
+
+    def replay(
+        self, core_factory: CoreFactory = RaftCore
+    ) -> Tuple[Optional[Tuple[str, str]], _ModelState]:
+        """Re-run the action list; returns (first violation, end state).
+
+        ``core_factory`` defaults to the production
+        :class:`~repro.cluster.replica.RaftCore`; tests that check the
+        *checker* pass their deliberately broken core here.
+        """
+        state = _ModelState(self.replicas, core_factory)
+        violation = state.violation()
+        for action in self.actions:
+            if violation is not None:
+                break
+            state.apply(action)
+            violation = state.violation()
+        return violation, state
+
+    def replay_violates(
+        self, core_factory: CoreFactory = RaftCore
+    ) -> bool:
+        """Whether a fresh replay reproduces ``self.invariant``."""
+        violation, _state = self.replay(core_factory)
+        return violation is not None and violation[0] == self.invariant
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering of the whole trace."""
+        lines = [
+            f"replica consensus n={self.replicas} crashes<={self.crashes} "
+            f"appends<={self.appends} depth<={self.depth} violates "
+            f"{self.invariant!r} ({len(self.actions)} actions)",
+            f"  {self.detail}",
+        ]
+        lines.extend(f"  {action.describe()}" for action in self.actions)
+        return "\n".join(lines)
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        """Plain-JSON form (inverse of :meth:`from_json_obj`)."""
+        return {
+            "protocol": self.protocol,
+            "replicas": self.replicas,
+            "crashes": self.crashes,
+            "appends": self.appends,
+            "depth": self.depth,
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "actions": [action.to_json_obj() for action in self.actions],
+        }
+
+    @classmethod
+    def from_json_obj(cls, obj: Mapping[str, Any]) -> "ConsensusTrace":
+        """Rebuild a trace from its :meth:`to_json_obj` form."""
+        return cls(
+            protocol=str(obj.get("protocol", "replica")),
+            replicas=int(obj["replicas"]),
+            crashes=int(obj["crashes"]),
+            appends=int(obj["appends"]),
+            depth=int(obj["depth"]),
+            invariant=str(obj["invariant"]),
+            detail=str(obj.get("detail", "")),
+            actions=tuple(
+                ConsensusAction.from_json_obj(a) for a in obj["actions"]
+            ),
+        )
+
+    def save(self, path: str) -> None:
+        """Write the trace as pretty-printed JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json_obj(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ConsensusTrace":
+        """Read a trace saved by :meth:`save`."""
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_json_obj(json.load(handle))
+
+
+def shrink_consensus_trace(
+    trace: ConsensusTrace, core_factory: CoreFactory = RaftCore
+) -> ConsensusTrace:
+    """Greedy deletion to a 1-minimal trace (same idea as dist traces).
+
+    Repeatedly tries dropping each action; a deletion sticks whenever
+    the replayed execution still violates the same invariant.  The
+    no-op tolerance of :meth:`_ModelState.apply` keeps every candidate
+    well-defined.
+    """
+    actions = list(trace.actions)
+    current = trace
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(actions)):
+            candidate = replace(
+                current,
+                actions=tuple(actions[:index] + actions[index + 1 :]),
+            )
+            violation, _state = candidate.replay(core_factory)
+            if violation is not None and violation[0] == trace.invariant:
+                current = replace(candidate, detail=violation[1])
+                actions = list(candidate.actions)
+                changed = True
+                break
+    return current
+
+
+@dataclass(frozen=True)
+class ConsensusResult:
+    """The consensus checker's verdict plus exploration statistics.
+
+    ``ok`` means every reachable state within the bounds satisfied both
+    invariants; on failure ``counterexample`` holds the shrunk,
+    replay-verified trace.  ``truncated`` flags a hit state cap — the
+    verdict is then a bounded search, not an exhaustive one.
+    """
+
+    ok: bool
+    replicas: int
+    crashes: int
+    appends: int
+    depth: int
+    invariants: Tuple[str, ...] = CONSENSUS_INVARIANTS
+    states_explored: int = 0
+    transitions: int = 0
+    elapsed_s: float = 0.0
+    counterexample: Optional[ConsensusTrace] = None
+    truncated: bool = False
+
+    def summary(self) -> str:
+        """One-line verdict, e.g. for the CLI and CI logs."""
+        verdict = "PASS" if self.ok else "FAIL"
+        tail = ""
+        if self.counterexample is not None:
+            tail = (
+                f" — {self.counterexample.invariant} violated with "
+                f"{len(self.counterexample.actions)} action(s)"
+            )
+        if self.truncated:
+            tail += " [truncated: state cap hit]"
+        return (
+            f"{verdict} replica n={self.replicas} "
+            f"crashes<={self.crashes} appends<={self.appends} "
+            f"depth<={self.depth}: {self.states_explored} states, "
+            f"{self.transitions} transitions, "
+            f"{self.elapsed_s * 1000.0:.1f} ms{tail}"
+        )
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        """Plain-JSON form of the verdict and statistics."""
+        obj: Dict[str, Any] = {
+            "ok": self.ok,
+            "protocol": "replica",
+            "replicas": self.replicas,
+            "crashes": self.crashes,
+            "appends": self.appends,
+            "depth": self.depth,
+            "invariants": list(self.invariants),
+            "states_explored": self.states_explored,
+            "transitions": self.transitions,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "truncated": self.truncated,
+        }
+        if self.counterexample is not None:
+            obj["counterexample"] = self.counterexample.to_json_obj()
+        return obj
+
+
+def check_consensus(
+    replicas: int = 3,
+    crashes: int = 1,
+    appends: int = 1,
+    depth: int = 8,
+    max_states: int = 200_000,
+    core_factory: CoreFactory = RaftCore,
+    shrink: bool = True,
+) -> ConsensusResult:
+    """Exhaustive BFS over the bounded consensus state space.
+
+    Explores every interleaving of at most ``depth`` actions (with at
+    most ``crashes`` crash events and ``appends`` client commands) of a
+    ``replicas``-node cluster, deduplicating by state digest, checking
+    both safety invariants in every state.  BFS order means the first
+    violation found is also a *shortest* one; it is then 1-minimized
+    (unless ``shrink=False``) and replay-verified before being
+    reported.
+
+    ``core_factory`` swaps the consensus implementation under test —
+    the checker's own tests hand it deliberately broken
+    :class:`~repro.cluster.replica.RaftCore` subclasses and assert the
+    violation is found, so a green gate is evidence the search has
+    teeth, not just that the code is quiet.
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    started = time.perf_counter()
+    initial = _ModelState(replicas, core_factory)
+    states_explored = 1
+    transitions = 0
+    truncated = False
+
+    def fail(
+        violation: Tuple[str, str], actions: Tuple[ConsensusAction, ...]
+    ) -> ConsensusResult:
+        """Package a violation as a shrunk, replay-verified FAIL result."""
+        trace = ConsensusTrace(
+            protocol="replica",
+            replicas=replicas,
+            crashes=crashes,
+            appends=appends,
+            depth=depth,
+            invariant=violation[0],
+            detail=violation[1],
+            actions=actions,
+        )
+        if shrink:
+            trace = shrink_consensus_trace(trace, core_factory)
+        assert trace.replay_violates(core_factory)
+        return ConsensusResult(
+            ok=False,
+            replicas=replicas,
+            crashes=crashes,
+            appends=appends,
+            depth=depth,
+            states_explored=states_explored,
+            transitions=transitions,
+            elapsed_s=time.perf_counter() - started,
+            counterexample=trace,
+            truncated=truncated,
+        )
+
+    violation = initial.violation()
+    if violation is not None:  # a broken core can fail at time zero
+        return fail(violation, ())
+    seen = {initial.digest()}
+    frontier: deque = deque([(initial, ())])
+    while frontier:
+        state, path = frontier.popleft()
+        if len(path) >= depth:
+            continue
+        for action in state.enabled(crashes, appends):
+            child = state.clone()
+            child.apply(action)
+            transitions += 1
+            child_path = path + (action,)
+            violation = child.violation()
+            if violation is not None:
+                return fail(violation, child_path)
+            key = child.digest()
+            if key in seen:
+                continue
+            if states_explored >= max_states:
+                truncated = True
+                continue
+            seen.add(key)
+            states_explored += 1
+            frontier.append((child, child_path))
+    return ConsensusResult(
+        ok=True,
+        replicas=replicas,
+        crashes=crashes,
+        appends=appends,
+        depth=depth,
+        states_explored=states_explored,
+        transitions=transitions,
+        elapsed_s=time.perf_counter() - started,
+        truncated=truncated,
+    )

@@ -106,19 +106,21 @@ def test_sharding_is_sorted_by_content_address_key():
     coordinator = ClusterCoordinator(unit_size=1)
     units = coordinator._shard(cases, 0, 1)
     keys = [
-        result_key(unit.cases[0][1][0], unit.cases[0][1][3], 0, 0)
+        result_key(unit["cases"][0]["scenario"], unit["cases"][0]["params"], 0, 0)
         for unit in units
     ]
     assert keys == sorted(keys)
-    assert sorted(index for unit in units for index, _case in unit.cases) == [
+    assert sorted(ref["index"] for unit in units for ref in unit["cases"]) == [
         0,
         1,
         2,
         3,
     ]
-    # Sharding twice yields the same assignment (unit ids aside).
+    # Sharding twice yields the same assignment, unit ids included —
+    # sweep identity is a content hash, so a resubmit regenerates them.
     again = coordinator._shard(cases, 0, 1)
-    assert [u.cases for u in again] == [u.cases for u in units]
+    assert [u["cases"] for u in again] == [u["cases"] for u in units]
+    assert [u["unit_id"] for u in again] == [u["unit_id"] for u in units]
 
 
 def test_single_worker_matches_serial_bytes():
@@ -399,10 +401,12 @@ class _ErrorTransport:
 
     def __init__(self, error):
         self.error = error
+        self.registrations = 0
 
-    def register_worker(self, name):
+    def register_worker(self, name, worker_id=None):
         """Pretend registration succeeded before the coordinator died."""
-        return {"worker_id": "w1", "name": name or "w1"}
+        self.registrations += 1
+        return {"worker_id": worker_id or "w1", "name": name or "w1"}
 
     def lease(self, worker_id):
         """Fail every lease with the configured error."""
@@ -428,7 +432,7 @@ def test_worker_idle_timeout_covers_transient_transport_errors():
 
 
 def test_worker_stops_immediately_on_permanent_server_errors():
-    """HTTP 404s (no coordinator / unknown worker) stop the loop at once."""
+    """An HTTP 404 with no coordinator attached stops the loop at once."""
     from repro.service.client import ServiceError
 
     transport = _ErrorTransport(
@@ -439,14 +443,44 @@ def test_worker_stops_immediately_on_permanent_server_errors():
     assert summary["transport_errors"] == 1
     assert "without a cluster coordinator" in summary["last_error"]
 
-    worker = Worker(
-        _ErrorTransport(KeyError("unknown worker 'w1'; register first")),
-        name="forgotten",
-        poll=0.01,
+
+def test_worker_reregisters_once_on_unknown_worker_then_stops():
+    """"unknown worker" triggers one idempotent re-register, not a spin.
+
+    The transport here keeps answering "unknown worker" even after the
+    re-registration succeeds, so the worker must conclude its identity
+    cannot be re-established and stop — after exactly one retry.
+    """
+    from repro.service.client import ServiceError
+
+    for error in (
+        KeyError("unknown worker 'w1'; register first"),
+        ServiceError(404, "unknown worker 'w1'; register first"),
+    ):
+        transport = _ErrorTransport(error)
+        worker = Worker(transport, name="forgotten", poll=0.01)
+        summary = worker.run(idle_timeout=None)
+        assert summary["transport_errors"] == 2
+        assert "unknown worker" in summary["last_error"]
+        assert transport.registrations == 2  # initial + one failover retry
+        assert summary["worker_id"] == "w1"  # identity preserved across both
+
+
+def test_worker_reregistration_recovers_a_restarted_coordinator():
+    """A coordinator that lost its registry is rejoined under the same id."""
+    coordinator = ClusterCoordinator()
+    worker = Worker(coordinator, name="phoenix", poll=0.01)
+    worker.register()
+    original_id = worker.worker_id
+    # Simulate a restart that wiped the worker registry.
+    fresh = ClusterCoordinator()
+    worker.transport = fresh
+    summary = worker.run(idle_timeout=0.05)
+    assert summary["last_error"] is None
+    assert worker.worker_id == original_id
+    assert any(
+        w["worker_id"] == original_id for w in fresh.workers()
     )
-    summary = worker.run(idle_timeout=None)
-    assert summary["transport_errors"] == 1
-    assert "unknown worker" in summary["last_error"]
 
 
 def test_worker_fails_loudly_on_unknown_scenario():

@@ -1,15 +1,12 @@
 """Cluster fault-tolerance tests against a live server on an ephemeral port.
 
-Real ``ThreadingHTTPServer`` + real :class:`ServiceClient` transports:
+Real asyncio server + real :class:`ServiceClient` transports:
 thread-hosted workers speak the actual ``/v1/workers`` → ``/v1/lease``
 → ``/v1/complete`` protocol.  Covers the ISSUE-5 acceptance scenarios:
 a seeded 3-worker sweep byte-identical to the serial run; a worker that
 crashes mid-lease (expiry → reassignment); a ByzantineRandom worker
 outvoted by the 3-fold quorum and quarantined; worker-local stores
 serving warm keys; and the combined crash+Byzantine run.
-
-The ``cluster`` fixture is parametrized over the threaded and asyncio
-servers, so the whole fabric protocol is a parity suite for both.
 """
 
 import threading
@@ -21,18 +18,15 @@ from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.worker import run_worker_thread
 from repro.dist.faults import ByzantineRandomAdversary, CrashAdversary
 from repro.experiments.runner import run_experiments
-from repro.service.app import start_server
 from repro.service.aserver import start_async_server
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.store import ResultStore
 
 E1 = "coordination_robustness"
 
-SERVER_STARTERS = {"threaded": start_server, "async": start_async_server}
 
-
-@pytest.fixture(params=sorted(SERVER_STARTERS))
-def cluster(request, tmp_path):
+@pytest.fixture
+def cluster(tmp_path):
     """Factory for a live cluster server; tears everything down after."""
     servers = []
     stop = threading.Event()
@@ -45,7 +39,7 @@ def cluster(request, tmp_path):
             else None
         )
         coordinator = ClusterCoordinator(store=store, **coordinator_kwargs)
-        server, _thread = SERVER_STARTERS[request.param](
+        server, _thread = start_async_server(
             store=store, coordinator=coordinator
         )
         servers.append(server)
@@ -206,14 +200,11 @@ def test_worker_local_store_serves_warm_keys(cluster, tmp_path):
 
 def test_cluster_job_deadline_frees_the_job_slot(tmp_path):
     """A sweep whose quorum can never form errors out instead of wedging."""
-    from repro.service.app import make_server
     from repro.service.jobs import JobManager
 
     coordinator = ClusterCoordinator(redundancy=3)
     manager = JobManager(coordinator=coordinator, cluster_timeout=0.4)
-    server = make_server(manager=manager)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
+    server, _thread = start_async_server(manager=manager)
     try:
         host, port = server.server_address[:2]
         client = ServiceClient(f"http://{host}:{port}")
@@ -232,7 +223,7 @@ def test_cluster_job_deadline_frees_the_job_slot(tmp_path):
 
 def test_cluster_sweep_without_coordinator_fails_clearly(tmp_path):
     store = ResultStore(str(tmp_path / "cache"))
-    server, _thread = start_server(store=store)
+    server, _thread = start_async_server(store=store)
     try:
         host, port = server.server_address[:2]
         client = ServiceClient(f"http://{host}:{port}")

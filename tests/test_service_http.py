@@ -5,10 +5,6 @@ One real server per test (port 0 → OS-assigned), talked to through
 would — covering scenario listing, sweep submit/poll/results, verbatim
 blob fetch by content key, single-flight over HTTP, the synchronous
 ``/v1/solve`` endpoint, and the error envelope.
-
-Every test runs **twice** — once against the threaded reference server
-and once against the asyncio server — via the parametrized ``service``
-fixture, so the two transports cannot drift apart behaviorally.
 """
 
 import json
@@ -22,23 +18,16 @@ import pytest
 from repro.experiments.registry import scenario, unregister
 from repro.experiments.runner import run_experiments
 from repro.games.normal_form import NormalFormGame
-from repro.service.app import start_server
 from repro.service.aserver import start_async_server
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.store import ResultStore
 
-SERVER_STARTERS = {"threaded": start_server, "async": start_async_server}
 
-
-@pytest.fixture(params=sorted(SERVER_STARTERS))
-def service(request, tmp_path):
-    """A live server + client + store triple, torn down after the test.
-
-    Parametrized over both server implementations: the entire module is
-    an async-vs-threaded parity suite.
-    """
+@pytest.fixture
+def service(tmp_path):
+    """A live server + client + store triple, torn down after the test."""
     store = ResultStore(str(tmp_path / "cache"))
-    server, _thread = SERVER_STARTERS[request.param](store=store)
+    server, _thread = start_async_server(store=store)
     host, port = server.server_address[:2]
     client = ServiceClient(f"http://{host}:{port}", timeout=30.0)
     try:

@@ -24,7 +24,7 @@ import sys
 import pytest
 
 from repro.service import client as client_mod
-from repro.service.app import make_server, start_server
+from repro.service.aserver import start_async_server
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.jobs import JobManager
 from repro.service.store import ResultStore
@@ -45,7 +45,7 @@ def _patch_transport(monkeypatch, failures, body=b'{"ok": true}', status=200):
     calls = {"n": 0}
     sleeps = []
 
-    def fake_exchange(self, method, path, data, headers):
+    def fake_exchange(self, endpoint, method, path, data, headers):
         calls["n"] += 1
         if calls["n"] <= len(failures):
             raise failures[calls["n"] - 1]
@@ -151,10 +151,13 @@ def test_stale_keep_alive_connection_is_replayed_once(monkeypatch):
 
     client = ServiceClient("http://example", retries=0)
     client._local.conn = _FakeConn(stale=True)  # a previously-used conn
+    client._local.endpoint = "http://example"
     monkeypatch.setattr(
         client_mod.ServiceClient,
         "_connect",
-        lambda self: setattr(self._local, "conn", _FakeConn(stale=False))
+        lambda self, endpoint: setattr(
+            self._local, "conn", _FakeConn(stale=False)
+        )
         or self._local.conn,
     )
     assert client._request("POST", "/v1/sweeps", {"smoke": True}) == {
@@ -242,7 +245,7 @@ def test_put_quorum_refuses_unverified_writes(tmp_path):
 
 def test_store_stats_endpoint(tmp_path):
     store = ResultStore(str(tmp_path / "cache"))
-    server, _thread = start_server(store=store)
+    server, _thread = start_async_server(store=store)
     try:
         host, port = server.server_address[:2]
         client = ServiceClient(f"http://{host}:{port}")
@@ -257,7 +260,7 @@ def test_store_stats_endpoint(tmp_path):
 
 
 def test_store_stats_endpoint_404_without_store():
-    server, _thread = start_server()
+    server, _thread = start_async_server()
     try:
         host, port = server.server_address[:2]
         client = ServiceClient(f"http://{host}:{port}")
@@ -273,7 +276,7 @@ def test_store_stats_endpoint_404_without_store():
 
 def test_server_close_shuts_the_manager_pool_down():
     manager = JobManager(max_workers=2)
-    server = make_server(manager=manager)
+    server, _thread = start_async_server(manager=manager)
     try:
         pool = manager._pool_for(4)
         assert pool is not None
