@@ -1,0 +1,133 @@
+"""Observability overhead benchmark: instrumented vs no-op warm fetch.
+
+The repro.obs acceptance evidence.  Rows go to ``BENCH_obs.json``:
+
+* ``warm_fetch_instrumented`` — the async warm-fetch batch (same shape
+  as ``BENCH_service_async.json``'s ``warm_fetch_c100``) with a live
+  :class:`~repro.obs.metrics.MetricsRegistry`: per-route counters and
+  latency histograms observed on every request, connection gauge and
+  event-loop-lag probe running.
+* ``warm_fetch_noop`` — the identical batch against a server built on
+  the :func:`~repro.obs.metrics.null_registry`, the disabled
+  configuration instrumented code paths still flow through.
+
+The in-test gate asserts the instrumented run stays within 5% of the
+no-op run (best-of-``ROUNDS``, interleaved to share thermal/noise
+conditions, with one retry round for CI jitter).  Untraced requests
+never record spans, so the histogram ``observe`` + counter ``inc`` per
+request is the entire hot-path delta being measured here.
+"""
+
+import asyncio
+
+from conftest import print_table, record_row
+from loadgen import run_load
+
+from repro.experiments.runner import run_experiments
+from repro.obs.metrics import MetricsRegistry, null_registry
+from repro.service.app import build_manager
+from repro.service.aserver import AsyncServiceServer
+from repro.service.store import ResultStore
+
+SWEEP = ["coordination_robustness"]
+
+CONNECTIONS = 100
+REQUESTS_PER_CONNECTION = 100
+PIPELINE_DEPTH = 16
+ROUNDS = 4
+MAX_OVERHEAD = 1.05
+
+
+async def _measure_pair(store, path):
+    """Best-of-``ROUNDS`` seconds for (instrumented, no-op) servers.
+
+    Both servers run on the same event loop and the rounds interleave
+    the two configurations, so cache warmth and CPU noise hit both
+    sides equally.
+    """
+    servers = {}
+    best = {}
+    for registry_name, registry in (
+        ("instrumented", MetricsRegistry()),
+        ("noop", null_registry()),
+    ):
+        server = AsyncServiceServer(
+            build_manager(None, store=store), registry=registry
+        )
+        await server.start()
+        servers[registry_name] = server
+        best[registry_name] = float("inf")
+    try:
+        for round_index in range(ROUNDS):
+            # Alternate who goes first: back-to-back runs on one loop
+            # systematically favor the second server (~2% measured with
+            # two identical no-op servers), so a fixed order would bias
+            # the ratio by more than the effect under test.
+            order = ["instrumented", "noop"]
+            if round_index % 2:
+                order.reverse()
+            for name in order:
+                host, port = servers[name].server_address
+                report = await run_load(
+                    host,
+                    port,
+                    path,
+                    connections=CONNECTIONS,
+                    requests_per_connection=REQUESTS_PER_CONNECTION,
+                    pipeline_depth=PIPELINE_DEPTH,
+                )
+                best[name] = min(best[name], report.seconds)
+    finally:
+        for server in servers.values():
+            await server.drain()
+    return best["instrumented"], best["noop"]
+
+
+def test_bench_obs_overhead_within_five_percent(tmp_path):
+    """Instrumentation costs <= 5% on the pipelined warm-fetch path."""
+    store = ResultStore(str(tmp_path / "cache"))
+    run_experiments(scenarios=SWEEP, store=store)  # seed the blobs
+    key = next(iter(store.keys()))
+    path = f"/v1/results/{key}"
+
+    instrumented, noop = asyncio.run(_measure_pair(store, path))
+    if instrumented > noop * MAX_OVERHEAD:
+        # One retry absorbs a noisy-neighbor round; a real regression
+        # reproduces and still fails below.
+        instrumented, noop = asyncio.run(_measure_pair(store, path))
+
+    total = CONNECTIONS * REQUESTS_PER_CONNECTION
+    workload = (
+        f"{total} GET {path} over {CONNECTIONS} conns "
+        f"(depth {PIPELINE_DEPTH}), best of {ROUNDS}"
+    )
+    record_row(
+        "obs",
+        "warm_fetch_instrumented",
+        instrumented,
+        workload=workload + ", live registry",
+    )
+    record_row(
+        "obs",
+        "warm_fetch_noop",
+        noop,
+        workload=workload + ", null registry",
+    )
+    ratio = instrumented / noop if noop else 1.0
+    print_table(
+        "observability overhead (warm fetch, best-of rounds)",
+        ["row", "total s", "req/s", "vs noop"],
+        [
+            [
+                "instrumented",
+                f"{instrumented:.3f}",
+                f"{total / instrumented:,.0f}",
+                f"{ratio:.3f}x",
+            ],
+            ["noop", f"{noop:.3f}", f"{total / noop:,.0f}", ""],
+        ],
+    )
+    assert instrumented <= noop * MAX_OVERHEAD, (
+        f"instrumented warm fetch is {ratio:.3f}x the no-op run "
+        f"(gate: {MAX_OVERHEAD}x)"
+    )

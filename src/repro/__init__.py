@@ -34,6 +34,7 @@ __all__ = [
     "logic",
     "machines",
     "mediators",
+    "obs",
     "service",
     "solvers",
     "verify",

@@ -63,6 +63,9 @@ import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.results import ExperimentResult
+from repro.obs.logs import log_event
+from repro.obs.metrics import default_registry
+from repro.obs.trace import current_context, span_for_trace_id
 from repro.service.store import canonical_json, result_key
 
 __all__ = [
@@ -274,7 +277,9 @@ class CoordinatorMachine:
             "completed": 0,
             "votes_cast": 0,
             "strikes": 0,
+            "strike_reasons": [],
             "quarantined": False,
+            "quarantine_reason": None,
         }
         return {"worker_id": worker_id, "name": name}
 
@@ -340,7 +345,7 @@ class CoordinatorMachine:
             # Late completion: free verification against the accepted
             # payload — agreement is fine, contradiction is a strike.
             if unit["status"] == "done" and digest != unit["winning_digest"]:
-                self._strike(worker)
+                self._strike(worker, "stale-vote")
             return {
                 "status": "stale",
                 "accepted": unit["status"] == "done",
@@ -414,7 +419,9 @@ class CoordinatorMachine:
                 "unit_ids": list(sweep["unit_ids"]),
                 "attached": True,
             }
-        units = self._shard_refs(refs, base_seed, redundancy, sweep_id)
+        units = self._shard_refs(
+            refs, base_seed, redundancy, sweep_id, command.get("trace")
+        )
         self.s["sweeps"][sweep_id] = {
             "sweep_id": sweep_id,
             "n_cases": len(refs),
@@ -496,7 +503,9 @@ class CoordinatorMachine:
                 "completed": w["completed"],
                 "votes_cast": w["votes_cast"],
                 "strikes": w["strikes"],
+                "strike_reasons": list(w.get("strike_reasons", ())),
                 "quarantined": w["quarantined"],
+                "quarantine_reason": w.get("quarantine_reason"),
             }
             for w in snapshot
         ]
@@ -527,6 +536,7 @@ class CoordinatorMachine:
         return {
             "unit_id": unit["unit_id"],
             "base_seed": unit["base_seed"],
+            "trace_id": unit.get("trace_id"),
             "cases": [
                 {
                     "scenario": ref["scenario"],
@@ -578,6 +588,7 @@ class CoordinatorMachine:
         base_seed: int,
         redundancy: int,
         sweep_id: str,
+        trace_id: Optional[str] = None,
     ) -> List[Dict[str, Any]]:
         """Shard case refs into unit records ordered by content-address key.
 
@@ -598,6 +609,7 @@ class CoordinatorMachine:
                 {
                     "unit_id": f"u{sweep_id}.{k}",
                     "sweep_id": sweep_id,
+                    "trace_id": trace_id,
                     "cases": list(chunk),
                     "base_seed": base_seed,
                     "redundancy": redundancy,
@@ -626,21 +638,54 @@ class CoordinatorMachine:
             for worker_id in expired:
                 del unit["leases"][worker_id]
                 self.s["counters"]["leases_expired"] += 1
+                self._effects.append(
+                    {
+                        "kind": "event",
+                        "event": "lease.expired",
+                        "unit_id": uid,
+                        "worker_id": worker_id,
+                    }
+                )
 
-    def _strike(self, worker: Dict[str, Any]) -> None:
-        """Record one strike; quarantine past the threshold.
+    def _strike(self, worker: Dict[str, Any], reason: str) -> None:
+        """Record one strike with its reason; quarantine past the threshold.
 
-        Quarantine releases every lease the worker still holds, so its
-        in-flight units go straight back to the honest pool.
+        ``reason`` is one of the structured codes surfaced by
+        ``workers_view`` and the event log: ``stale-vote`` (a late
+        completion contradicted the accepted digest), ``lost-quorum``
+        (outvoted by the accepting quorum) or ``contradiction`` (voted
+        for a structurally invalid accepted payload).  Quarantine
+        releases every lease the worker still holds, so its in-flight
+        units go straight back to the honest pool.
         """
         worker["strikes"] += 1
+        worker.setdefault("strike_reasons", []).append(reason)
         self.s["counters"]["strikes_issued"] += 1
+        self._effects.append(
+            {
+                "kind": "event",
+                "event": "worker.strike",
+                "worker_id": worker["worker_id"],
+                "reason": reason,
+                "strikes": worker["strikes"],
+            }
+        )
         quarantine_after = self.s["config"]["quarantine_after"]
         if not worker["quarantined"] and worker["strikes"] >= quarantine_after:
             worker["quarantined"] = True
+            worker["quarantine_reason"] = reason
             units = self.s["units"]
             for uid in self.s["queue"]:
                 units[uid]["leases"].pop(worker["worker_id"], None)
+            self._effects.append(
+                {
+                    "kind": "event",
+                    "event": "worker.quarantined",
+                    "worker_id": worker["worker_id"],
+                    "reason": reason,
+                    "strikes": worker["strikes"],
+                }
+            )
 
     def _accept(self, unit: Dict[str, Any], digest: str) -> None:
         """Publish a quorum-accepted unit and strike the outvoted voters.
@@ -662,7 +707,13 @@ class CoordinatorMachine:
                 )
         except Exception as exc:
             # Only reachable if a full quorum of workers colluded on a
-            # malformed payload; fail loudly rather than trust it.
+            # malformed payload; fail loudly rather than trust it, and
+            # strike every voter that endorsed the invalid digest.
+            for worker_id, vote in unit["votes"].items():
+                if vote == digest:
+                    self._strike(
+                        self.s["workers"][worker_id], "contradiction"
+                    )
             self._fail(
                 unit,
                 f"unit {unit['unit_id']}: accepted payload is invalid: {exc}",
@@ -675,7 +726,7 @@ class CoordinatorMachine:
         unit["leases"] = {}
         for worker_id, vote in unit["votes"].items():
             if vote != digest:
-                self._strike(self.s["workers"][worker_id])
+                self._strike(self.s["workers"][worker_id], "lost-quorum")
         self.s["counters"]["units_completed"] += 1
         sweep = self.s["sweeps"].get(unit["sweep_id"])
         if sweep is not None:
@@ -687,6 +738,7 @@ class CoordinatorMachine:
                 "kind": "accepted_unit",
                 "unit_id": unit["unit_id"],
                 "base_seed": unit["base_seed"],
+                "trace_id": unit.get("trace_id"),
                 "cases": list(unit["cases"]),
                 "rows": normalized,
                 "votes": votes,
@@ -744,6 +796,7 @@ class ClusterCoordinator:
         unit_size: int = 1,
         lease_ttl: float = 30.0,
         quarantine_after: int = 1,
+        registry: Optional[Any] = None,
     ) -> None:
         self.store = store
         self.redundancy = int(redundancy)
@@ -758,6 +811,26 @@ class ClusterCoordinator:
         )
         self._cond = threading.Condition()
         self._flushing = 0  # in-flight store writes (outside the lock)
+        self.registry = default_registry() if registry is None else registry
+        if self.registry.enabled:
+            # Pull-mode gauges: each scrape snapshots the machine's
+            # scheduler counters under the coordinator lock.
+            for field in (
+                "workers",
+                "quarantined",
+                "open_units",
+                "leases_granted",
+                "leases_expired",
+                "units_completed",
+                "units_failed",
+                "votes_received",
+                "strikes_issued",
+            ):
+                self.registry.gauge(
+                    f"repro_cluster_{field}",
+                    f"Coordinator scheduler counter {field!r}, "
+                    "snapshotted at scrape time.",
+                ).set_fn(lambda f=field: float(self.stats().get(f, 0)))
 
     # -- command plumbing ----------------------------------------------
 
@@ -868,12 +941,14 @@ class ClusterCoordinator:
         if r < 1:
             raise ValueError("redundancy must be >= 1")
         refs = case_refs(cases)
+        ctx = current_context()
         submitted = self._apply(
             {
                 "op": "submit",
                 "cases": refs,
                 "base_seed": int(base_seed),
                 "redundancy": r,
+                "trace": None if ctx is None else ctx.trace_id,
                 "now": self._now(),
             }
         )
@@ -973,32 +1048,65 @@ class ClusterCoordinator:
 
 
 def flush_effects(store: Optional[Any], effects: List[Dict[str, Any]]) -> None:
-    """Write accepted-unit effects through a result store (if any).
+    """Flush machine effects: store writes, events, and trace spans.
 
-    Every row is written via
+    ``accepted_unit`` effects write every row via
     :meth:`~repro.service.store.ResultStore.put_quorum` under its
     content-address key.  The write is idempotent (content-addressed,
     atomic rename), so replicas replaying a log after a crash can
-    re-flush the same effects safely.
+    re-flush the same effects safely.  When a unit carries a trace id,
+    the flush records ``quorum.accept`` and ``store.write`` spans so
+    the sweep's trace covers acceptance end to end.  ``event`` effects
+    become structured log lines — side channels only, never part of
+    the hashed machine state.
     """
-    if store is None:
-        return
     for effect in effects:
-        if effect.get("kind") != "accepted_unit":
+        kind = effect.get("kind")
+        if kind == "event":
+            fields = {
+                k: v
+                for k, v in effect.items()
+                if k not in ("kind", "event")
+            }
+            log_event(effect["event"], "cluster", **fields)
             continue
-        for ref, row in zip(effect["cases"], effect["rows"]):
-            key = store.key_for(
-                ref["scenario"],
-                ref["params"],
-                effect["base_seed"],
-                ref["replication"],
-            )
-            store.put_quorum(
-                key,
-                row,
-                votes=effect["votes"],
-                threshold=effect["threshold"],
-            )
+        if kind != "accepted_unit":
+            continue
+        trace_id = effect.get("trace_id")
+        with span_for_trace_id(
+            "quorum.accept",
+            "cluster",
+            trace_id,
+            attrs={
+                "unit_id": effect["unit_id"],
+                "votes": effect["votes"],
+                "threshold": effect["threshold"],
+            },
+        ):
+            if store is None:
+                continue
+            with span_for_trace_id(
+                "store.write",
+                "cluster",
+                trace_id,
+                attrs={
+                    "unit_id": effect["unit_id"],
+                    "rows": len(effect["rows"]),
+                },
+            ):
+                for ref, row in zip(effect["cases"], effect["rows"]):
+                    key = store.key_for(
+                        ref["scenario"],
+                        ref["params"],
+                        effect["base_seed"],
+                        ref["replication"],
+                    )
+                    store.put_quorum(
+                        key,
+                        row,
+                        votes=effect["votes"],
+                        threshold=effect["threshold"],
+                    )
 
 
 class ClusterExecutor:

@@ -37,7 +37,10 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import default_registry
 
 from repro.service.store import canonical_json
 
@@ -135,9 +138,20 @@ class DurableLog:
         The machine state at ``base_index`` (None when no snapshot).
     """
 
-    def __init__(self, data_dir: str, fsync: bool = True) -> None:
+    def __init__(
+        self,
+        data_dir: str,
+        fsync: bool = True,
+        registry: Optional[Any] = None,
+    ) -> None:
         self.data_dir = data_dir
         self.fsync = bool(fsync)
+        self._m_fsync = (
+            default_registry() if registry is None else registry
+        ).histogram(
+            "repro_log_fsync_seconds",
+            "Latency of the durable append (write + flush + fsync).",
+        )
         os.makedirs(data_dir, exist_ok=True)
         self.meta_path = os.path.join(data_dir, "meta.json")
         self.log_path = os.path.join(data_dir, "log.jsonl")
@@ -243,6 +257,7 @@ class DurableLog:
         """
         if not new_entries:
             return
+        started = time.monotonic()
         if self._log_handle is None:
             self._log_handle = open(self.log_path, "ab")
         payload = b"".join(
@@ -254,6 +269,7 @@ class DurableLog:
         if self.fsync:
             os.fsync(self._log_handle.fileno())
         self.entries.extend(new_entries)
+        self._m_fsync.observe(time.monotonic() - started)
 
     def truncate_from(self, index: int) -> None:
         """Discard entries with global index >= ``index`` (conflict repair).

@@ -67,6 +67,9 @@ from repro.cluster.coordinator import (
 from repro.cluster.errors import NotLeaderError
 from repro.cluster.log import DurableLog, LogEntry
 from repro.experiments.results import ExperimentResult
+from repro.obs.logs import log_event
+from repro.obs.metrics import default_registry
+from repro.obs.trace import current_context
 from repro.service.client import ServiceClient, ServiceError
 
 __all__ = ["MemoryLog", "NotLeaderError", "RaftCore", "Replica"]
@@ -531,6 +534,7 @@ class Replica:
         snapshot_interval: int = 512,
         rpc_timeout: float = 2.0,
         fsync: bool = True,
+        registry: Optional[Any] = None,
     ) -> None:
         self.store = store
         self.redundancy = int(redundancy)
@@ -548,7 +552,8 @@ class Replica:
         self.snapshot_interval = int(snapshot_interval)
         self.rpc_timeout = float(rpc_timeout)
 
-        self._log = DurableLog(data_dir, fsync=fsync)
+        self.registry = default_registry() if registry is None else registry
+        self._log = DurableLog(data_dir, fsync=fsync, registry=self.registry)
         self._core = RaftCore(self.self_url, self.peer_urls, self._log)
         self._machine = CoordinatorMachine(
             redundancy=redundancy,
@@ -581,6 +586,37 @@ class Replica:
         # Test hook: callable(peer_url) -> True to drop all traffic to
         # that peer (simulated partition).  None = deliver everything.
         self.drop_traffic = None
+
+        self._last_role = self._core.role
+        self._m_elections = self.registry.counter(
+            "repro_raft_elections_total",
+            "Elections this node has started (timeout fired, became "
+            "candidate).",
+        )
+        self._m_heartbeats = self.registry.counter(
+            "repro_raft_heartbeats_total",
+            "AppendEntries messages sent while leading (empty ones are "
+            "the heartbeat).",
+        )
+        if self.registry.enabled:
+            # Consensus pull-gauges: ints read without the lock — each
+            # scrape sees some recent consistent-enough value.
+            self.registry.gauge(
+                "repro_raft_term",
+                "Current consensus term on this node.",
+            ).set_fn(lambda: float(self._core.term))
+            self.registry.gauge(
+                "repro_raft_commit_index",
+                "Highest log index known committed on this node.",
+            ).set_fn(lambda: float(self._core.commit_index))
+            self.registry.gauge(
+                "repro_raft_applied_index",
+                "Highest log index applied to the coordinator machine.",
+            ).set_fn(lambda: float(self._applied))
+            self.registry.gauge(
+                "repro_raft_is_leader",
+                "1 when this node believes it leads, else 0.",
+            ).set_fn(lambda: 1.0 if self._core.role == "leader" else 0.0)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -626,6 +662,25 @@ class Replica:
 
     # -- consensus plumbing ----------------------------------------------
 
+    def _observe_role(self) -> None:
+        """Log a structured line when the consensus role changed.
+
+        Called outside the lock from the ticker and RPC paths; role
+        reads race benignly (a missed intermediate role shows up on
+        the next call).
+        """
+        role = self._core.role
+        if role != self._last_role:
+            previous, self._last_role = self._last_role, role
+            log_event(
+                "raft.role_change",
+                "cluster",
+                node=self.self_url,
+                previous=previous,
+                role=role,
+                term=self._core.term,
+            )
+
     def _reset_election_deadline(self) -> None:
         """Push the election alarm one randomized timeout into the future."""
         self._election_deadline = (
@@ -656,6 +711,13 @@ class Replica:
         if self._applied < self._log.base_index:
             # A leader-shipped snapshot superseded our local prefix.
             assert self._log.snapshot_state is not None
+            log_event(
+                "raft.snapshot_catchup",
+                "cluster",
+                node=self.self_url,
+                from_applied=self._applied,
+                to_applied=self._log.base_index,
+            )
             self._machine.restore(self._log.snapshot_state)
             self._applied = self._log.base_index
         while self._applied < self._core.commit_index:
@@ -752,6 +814,7 @@ class Replica:
                     self._outbox[peer].clear()
                     if self._core.role == "leader":
                         messages.append(self._core.make_append(peer))
+                        self._m_heartbeats.inc()
                 while messages and not self._stop.is_set():
                     message = messages.pop(0)
                     drop = self.drop_traffic
@@ -793,6 +856,7 @@ class Replica:
                 return
             now = time.monotonic()
             effects: List[Dict[str, Any]] = []
+            election_term = None
             with self._cond:
                 if self._core.role == "leader":
                     if now >= self._next_tick and self._machine.busy():
@@ -804,11 +868,21 @@ class Replica:
                         self._signal_channels()
                 elif now >= self._election_deadline:
                     out = self._core.start_election()
+                    self._m_elections.inc()
+                    election_term = self._core.term
                     self._reset_election_deadline()
                     if self._core.role == "leader":  # single-node win
                         effects = self._advance_locked()
                     self._route_locked(out)
                     self._cond.notify_all()
+            if election_term is not None:
+                log_event(
+                    "raft.election",
+                    "cluster",
+                    node=self.self_url,
+                    term=election_term,
+                )
+            self._observe_role()
             self._flush(effects)
 
     # -- replicated writes -----------------------------------------------
@@ -929,12 +1003,14 @@ class Replica:
         if r < 1:
             raise ValueError("redundancy must be >= 1")
         refs = case_refs(cases)
+        ctx = current_context()
         submitted = self.submit_command(
             {
                 "op": "submit",
                 "cases": refs,
                 "base_seed": int(base_seed),
                 "redundancy": r,
+                "trace": None if ctx is None else ctx.trace_id,
                 "now": time.time(),
             }
         )

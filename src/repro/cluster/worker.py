@@ -43,6 +43,8 @@ from repro.dist.faults import Adversary, CrashAdversary, NoFaultAdversary
 from repro.dist.simulator import Message
 from repro.experiments.registry import get_scenario
 from repro.experiments.runner import _execute_cases
+from repro.obs.metrics import default_registry
+from repro.obs.trace import SpanRecorder, default_recorder, span_for_trace_id
 from repro.service.client import ServiceError
 
 __all__ = ["Worker", "corrupt_rows", "run_worker_thread"]
@@ -100,6 +102,7 @@ class Worker:
         store: Optional[Any] = None,
         fault: Optional[Adversary] = None,
         poll: float = 0.05,
+        registry: Optional[Any] = None,
     ) -> None:
         self.transport = transport
         self.name = name
@@ -112,6 +115,16 @@ class Worker:
         self.quarantined = False
         self.transport_errors = 0
         self.last_error: Optional[str] = None
+        self._recorder = SpanRecorder(capacity=256)
+        registry = default_registry() if registry is None else registry
+        self._m_unit_seconds = registry.histogram(
+            "repro_worker_unit_seconds",
+            "Wall time executing one leased work unit's cases.",
+        )
+        self._m_units = registry.counter(
+            "repro_worker_units_total",
+            "Leased units this worker finished executing.",
+        )
 
     def register(self) -> str:
         """Register with the coordinator; returns the assigned worker id.
@@ -161,28 +174,52 @@ class Worker:
                     int(ref["replication"]),
                 )
             )
-        results = _execute_cases(
-            cases, base_seed=int(unit["base_seed"]), store=self.store
-        )
-        if self._crash_due(self.completed):
-            # Die holding the lease: the classic fail-stop fault.  The
-            # coordinator only finds out when the lease expires.
-            self.crashed = True
-            return False
-        rows = corrupt_rows(
-            self.fault, self.completed, [r.to_dict() for r in results]
-        )
-        try:
-            reply = self.transport.complete(
-                self.worker_id, unit["unit_id"], rows
+        with span_for_trace_id(
+            "worker.run_unit",
+            "worker",
+            unit.get("trace_id"),
+            recorder=self._recorder,
+            attrs={
+                "unit_id": unit["unit_id"],
+                "worker_id": self.worker_id,
+                "cases": len(cases),
+            },
+        ):
+            started = time.monotonic()
+            results = _execute_cases(
+                cases, base_seed=int(unit["base_seed"]), store=self.store
             )
-        except (ServiceError, KeyError):
-            # The lease expired under us and the unit was resolved or
-            # purged; nothing to do but move on.
-            self.transport_errors += 1
-            return True
-        self.quarantined = bool(reply.get("quarantined", False))
-        self.completed += 1
+            self._m_unit_seconds.observe(time.monotonic() - started)
+            self._m_units.inc()
+            if self._crash_due(self.completed):
+                # Die holding the lease: the classic fail-stop fault.
+                # The coordinator only finds out when the lease expires.
+                self.crashed = True
+                return False
+            rows = corrupt_rows(
+                self.fault, self.completed, [r.to_dict() for r in results]
+            )
+            try:
+                reply = self.transport.complete(
+                    self.worker_id, unit["unit_id"], rows
+                )
+            except (ServiceError, KeyError):
+                # The lease expired under us and the unit was resolved
+                # or purged; nothing to do but move on.
+                self.transport_errors += 1
+                return True
+            self.quarantined = bool(reply.get("quarantined", False))
+            self.completed += 1
+        # Ship the span upstream when the transport can carry it (the
+        # HTTP client can); otherwise hand it to the process-default
+        # recorder so in-process fleets still see it.
+        if unit.get("trace_id"):
+            spans = self._recorder.drain()
+            push = getattr(self.transport, "push_spans", None)
+            if push is not None:
+                push(spans)
+            else:
+                default_recorder().ingest(spans)
         return True
 
     def run(

@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.registry import all_scenarios, get_scenario
 from repro.experiments.results import ExperimentResult, ResultSet, _jsonable
+from repro.obs.metrics import default_registry
 
 __all__ = ["case_seed", "run_experiments", "smoke_cases"]
 
@@ -193,6 +194,15 @@ def _execute_cases(
     """
     slots: List[Optional[ExperimentResult]] = [None] * len(cases)
     pending: List[Tuple[int, Case]] = []
+    registry = default_registry()
+    m_hits = registry.counter(
+        "repro_runner_cache_hits_total",
+        "Cases satisfied from the result store without recomputing.",
+    )
+    m_misses = registry.counter(
+        "repro_runner_cache_misses_total",
+        "Cases the runner had to (re)compute.",
+    )
     for i, case in enumerate(cases):
         name, _family, _fn, params, _seed, replication = case
         blob = None
@@ -200,10 +210,12 @@ def _execute_cases(
             key = store.key_for(name, params, base_seed, replication)
             blob = store.get(key)
         if blob is not None:
+            m_hits.inc()
             slots[i] = ExperimentResult.from_dict(blob, cached=True)
             if progress is not None:
                 progress(slots[i])
         else:
+            m_misses.inc()
             pending.append((i, case))
 
     def finish(

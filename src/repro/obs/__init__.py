@@ -1,0 +1,80 @@
+"""repro.obs — dependency-free observability for the replicated fabric.
+
+Three small, stdlib-only modules threaded through every layer of the
+service stack:
+
+* :mod:`repro.obs.metrics` — a thread-safe process-local
+  :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges, and
+  log-bucket histograms (p50/p95/p99 derivation, zero-allocation hot
+  path, a no-op registry when disabled), rendered as Prometheus text
+  exposition on every server's ``GET /v1/metrics``.
+* :mod:`repro.obs.trace` — 128-bit trace ids propagated via the
+  ``X-Repro-Trace`` header and ``contextvars``, so one client sweep
+  stitches submit → job → lease → worker execution → quorum accept →
+  store write across processes; spans live in a bounded ring exported
+  by ``GET /v1/trace/<trace_id>``.
+* :mod:`repro.obs.logs` — structured JSON line logging for the state
+  transitions that used to be silent (elections, 421 redirects, lease
+  expiry, quarantine, snapshot catch-up).
+
+``python -m repro.obs scrape|tail`` aggregates a fleet's metrics and
+stitches cross-process traces; see ``docs/observability.md``.
+"""
+
+from .logs import log_event, recent_events, set_log_quiet
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    null_registry,
+    parse_prometheus,
+    render_prometheus,
+    set_default_registry,
+)
+from .trace import (
+    HEADER,
+    Span,
+    SpanRecorder,
+    TraceContext,
+    activate,
+    current_context,
+    default_recorder,
+    format_header,
+    new_trace,
+    parse_header,
+    set_default_recorder,
+    span,
+    span_for_trace_id,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "HEADER",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "TraceContext",
+    "activate",
+    "current_context",
+    "default_recorder",
+    "default_registry",
+    "format_header",
+    "log_event",
+    "new_trace",
+    "null_registry",
+    "parse_header",
+    "parse_prometheus",
+    "recent_events",
+    "render_prometheus",
+    "set_default_recorder",
+    "set_default_registry",
+    "set_log_quiet",
+    "span",
+    "span_for_trace_id",
+]

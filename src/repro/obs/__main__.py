@@ -1,0 +1,224 @@
+"""Command-line entry point: ``python -m repro.obs``.
+
+Subcommands::
+
+    scrape   fetch /v1/metrics from every URL and print an aggregate
+             table (or, with --trace, stitch one trace from the fleet)
+    tail     poll the fleet's /v1/events and print new structured log
+             lines as they appear
+
+Examples::
+
+    python -m repro.obs scrape \\
+        --url http://127.0.0.1:8661,http://127.0.0.1:8662,http://127.0.0.1:8663
+    python -m repro.obs scrape --url ... --trace 4f2a...c9 --json
+    python -m repro.obs tail --url http://127.0.0.1:8661 --interval 1.0
+
+``scrape`` exits nonzero if any endpoint is unreachable unless
+``--allow-down`` is passed, so CI can assert the whole fleet answers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import parse_prometheus
+
+_Sample = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _fetch(url: str, timeout: float) -> bytes:
+    """GET one URL, returning the raw body (raises on HTTP/socket error)."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read()
+
+
+def _split_urls(raw: str) -> List[str]:
+    """Parse the comma-separated ``--url`` list into clean base URLs."""
+    return [u.strip().rstrip("/") for u in raw.split(",") if u.strip()]
+
+
+def _scrape_metrics(
+    urls: List[str], timeout: float, allow_down: bool
+) -> Tuple[Dict[str, Dict[_Sample, float]], List[str]]:
+    """Fetch and parse ``/v1/metrics`` from every URL.
+
+    Returns per-endpoint parsed samples plus the list of endpoints that
+    did not answer (fatal unless ``allow_down``).
+    """
+    per_endpoint: Dict[str, Dict[_Sample, float]] = {}
+    down: List[str] = []
+    for url in urls:
+        try:
+            body = _fetch(f"{url}/v1/metrics", timeout)
+        except (OSError, urllib.error.URLError) as exc:
+            down.append(url)
+            print(f"# {url}: DOWN ({exc})", file=sys.stderr)
+            continue
+        per_endpoint[url] = parse_prometheus(body.decode("utf-8", "replace"))
+    if down and not allow_down:
+        raise SystemExit(f"unreachable endpoints: {', '.join(down)}")
+    return per_endpoint, down
+
+
+def _cmd_scrape(args: argparse.Namespace) -> int:
+    """Aggregate fleet metrics, or stitch one trace with ``--trace``."""
+    urls = _split_urls(args.url)
+    if args.trace:
+        return _scrape_trace(urls, args.trace, args.timeout, args.json)
+    per_endpoint, _down = _scrape_metrics(urls, args.timeout, args.allow_down)
+    if args.json:
+        payload = {
+            url: {
+                _render_key(key): value for key, value in sorted(samples.items())
+            }
+            for url, samples in per_endpoint.items()
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    names: Dict[_Sample, Dict[str, float]] = {}
+    for url, samples in per_endpoint.items():
+        for key, value in samples.items():
+            names.setdefault(key, {})[url] = value
+    width = max((len(_render_key(k)) for k in names), default=10)
+    header = "  ".join(f"{url.split('//')[-1]:>21}" for url in per_endpoint)
+    print(f"{'metric':<{width}}  {header}")
+    for key in sorted(names):
+        if key[0].endswith("_bucket"):
+            continue  # bucket-level samples would swamp the table
+        row = "  ".join(
+            f"{names[key].get(url, float('nan')):>21.6g}" for url in per_endpoint
+        )
+        print(f"{_render_key(key):<{width}}  {row}")
+    return 0
+
+
+def _render_key(key: _Sample) -> str:
+    """One parsed sample key as ``name{a=b,...}`` for display."""
+    name, labels = key
+    if not labels:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+def _scrape_trace(
+    urls: List[str], trace_id: str, timeout: float, as_json: bool
+) -> int:
+    """Stitch one trace from every endpoint's ``/v1/trace/<id>``."""
+    spans: Dict[str, Dict[str, Any]] = {}
+    for url in urls:
+        try:
+            body = _fetch(f"{url}/v1/trace/{trace_id}", timeout)
+        except (OSError, urllib.error.URLError):
+            continue
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            continue
+        for obj in payload.get("spans", []):
+            span_id = str(obj.get("span_id"))
+            spans.setdefault(span_id, obj)
+    ordered = sorted(spans.values(), key=lambda s: s.get("start_wall", 0.0))
+    if as_json:
+        print(json.dumps({"trace_id": trace_id, "spans": ordered}, indent=2))
+        return 0 if ordered else 1
+    if not ordered:
+        print(f"no spans found for trace {trace_id}", file=sys.stderr)
+        return 1
+    t0 = ordered[0].get("start_wall", 0.0)
+    print(f"trace {trace_id}: {len(ordered)} spans")
+    for obj in ordered:
+        offset = (obj.get("start_wall", 0.0) - t0) * 1000.0
+        duration = obj.get("duration", 0.0) * 1000.0
+        print(
+            f"  +{offset:9.2f}ms  {duration:9.2f}ms  "
+            f"{obj.get('component', '?'):<12} {obj.get('name', '?')}"
+        )
+    return 0
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    """Poll ``/v1/events`` on every URL and print new lines forever."""
+    urls = _split_urls(args.url)
+    seen: set = set()
+    deadline = None if args.duration is None else time.monotonic() + args.duration
+    while True:
+        for url in urls:
+            try:
+                body = _fetch(f"{url}/v1/events?limit={args.limit}", args.timeout)
+                events = json.loads(body).get("events", [])
+            except (OSError, ValueError, urllib.error.URLError):
+                continue
+            for record in events:
+                key = (url, record.get("mono"), record.get("event"))
+                if key in seen:
+                    continue
+                seen.add(key)
+                record["endpoint"] = url
+                print(json.dumps(record, default=str), flush=True)
+        if deadline is not None and time.monotonic() >= deadline:
+            return 0
+        time.sleep(args.interval)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and dispatch to the chosen subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Fleet-wide metrics scraping and trace stitching.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scrape = sub.add_parser(
+        "scrape", help="aggregate /v1/metrics (or stitch one trace)"
+    )
+    scrape.add_argument(
+        "--url",
+        required=True,
+        help="comma-separated list of server base URLs",
+    )
+    scrape.add_argument(
+        "--trace",
+        default=None,
+        help="stitch this trace id from every endpoint instead of metrics",
+    )
+    scrape.add_argument("--timeout", type=float, default=5.0)
+    scrape.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    scrape.add_argument(
+        "--allow-down",
+        action="store_true",
+        help="tolerate unreachable endpoints instead of exiting nonzero",
+    )
+    scrape.set_defaults(fn=_cmd_scrape)
+
+    tail = sub.add_parser("tail", help="follow the fleet's structured events")
+    tail.add_argument(
+        "--url",
+        required=True,
+        help="comma-separated list of server base URLs",
+    )
+    tail.add_argument("--interval", type=float, default=1.0)
+    tail.add_argument("--limit", type=int, default=200)
+    tail.add_argument("--timeout", type=float, default=5.0)
+    tail.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="stop after this many seconds (default: run forever)",
+    )
+    tail.set_defaults(fn=_cmd_tail)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

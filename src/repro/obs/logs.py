@@ -1,0 +1,87 @@
+"""Structured JSON line logging for state transitions.
+
+Every previously-silent transition in the fabric — elections, 421
+redirects, lease expiry and reassignment, quarantines, snapshot
+catch-up — becomes one :func:`log_event` call: a single JSON object per
+line with a stable shape (``event``, ``component``, ``trace_id``,
+monotonic + wall timestamps, then event-specific fields).
+
+Lines go to ``stderr`` (never mixed into protocol streams) and are
+retained in a bounded in-process ring so ``python -m repro.obs tail``
+and tests can read recent events without scraping the terminal.
+Emission is off by default in quiet processes: pass ``quiet=True`` at
+the call site or set the ``REPRO_OBS_QUIET`` environment variable to
+suppress the stderr write while still retaining the ring entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from .trace import current_context
+
+__all__ = ["log_event", "recent_events", "set_log_quiet"]
+
+_RING: deque = deque(maxlen=2048)
+_LOCK = threading.Lock()
+_QUIET = bool(os.environ.get("REPRO_OBS_QUIET"))
+
+
+def set_log_quiet(quiet: bool) -> bool:
+    """Suppress (or restore) stderr emission; returns the previous mode.
+
+    The in-process ring keeps recording either way.
+    """
+    global _QUIET
+    previous = _QUIET
+    _QUIET = bool(quiet)
+    return previous
+
+
+def log_event(event: str, component: str, quiet: Optional[bool] = None, **fields: Any) -> Dict[str, Any]:
+    """Record one structured event; returns the emitted record.
+
+    The record carries ``event``, ``component``, the active trace id
+    (if any), wall-clock ``ts`` and monotonic ``mono`` timestamps, and
+    every keyword passed.  Written as one JSON line to stderr unless
+    quieted, and always appended to the bounded ring.
+    """
+    ctx = current_context()
+    record: Dict[str, Any] = {
+        "event": event,
+        "component": component,
+        "trace_id": ctx.trace_id if ctx is not None else None,
+        "ts": time.time(),
+        "mono": time.monotonic(),
+    }
+    record.update(fields)
+    with _LOCK:
+        _RING.append(record)
+    suppress = _QUIET if quiet is None else quiet
+    if not suppress:
+        try:
+            print(json.dumps(record, default=str), file=sys.stderr, flush=True)
+        except (OSError, ValueError):
+            pass
+    return record
+
+
+def recent_events(
+    limit: int = 100,
+    event: Optional[str] = None,
+    component: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """The newest retained events, optionally filtered, oldest first."""
+    with _LOCK:
+        records = list(_RING)
+    if event is not None:
+        records = [r for r in records if r.get("event") == event]
+    if component is not None:
+        records = [r for r in records if r.get("component") == component]
+    return records[-limit:]

@@ -1,0 +1,629 @@
+"""Process-local metrics: counters, gauges, log-bucket histograms.
+
+A :class:`MetricsRegistry` owns a flat namespace of metric *families*
+(:class:`Counter` / :class:`Gauge` / :class:`Histogram`), each of which
+fans out into labelled children.  The design constraints come straight
+from the serving hot path:
+
+* **thread-safe** — the asyncio loop, the POST executor threads, the
+  job-manager worker threads, and the cluster channel threads all write
+  concurrently; every mutation takes one uncontended lock.
+* **zero-allocation hot path** — ``Counter.inc`` / ``Histogram.observe``
+  touch pre-allocated ints only; callers cache the child object once
+  (``registry.counter(...)`` is get-or-create, so module- or
+  instance-level caching is natural).
+* **a no-op registry when disabled** — :func:`null_registry` returns a
+  registry whose metrics are shared do-nothing singletons, so
+  instrumented code pays one attribute call and nothing else.  The
+  ``BENCH_obs`` benchmark holds the instrumented/no-op warm-fetch gap
+  under 5%.
+* **derivable percentiles** — histograms use fixed log-spaced buckets
+  (:data:`DEFAULT_BUCKETS`), from which :meth:`Histogram.percentile`
+  interpolates p50/p95/p99; the load generator and the server report
+  from the same bucket math.
+
+Rendering is Prometheus text exposition (:func:`render_prometheus`),
+served by ``GET /v1/metrics`` on every server and parsed back by
+:func:`parse_prometheus` (the fleet-scrape CLI and the round-trip
+tests).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "null_registry",
+    "parse_prometheus",
+    "render_prometheus",
+    "set_default_registry",
+]
+
+
+def _log_spaced_buckets(
+    lo: float = 1e-4, hi: float = 64.0, per_decade: int = 4
+) -> Tuple[float, ...]:
+    """Fixed log-spaced bucket upper bounds from ``lo`` to past ``hi``.
+
+    Four buckets per decade keeps relative quantile error under ~40%
+    per bucket step while the whole seconds-scale range (100 µs to a
+    minute) costs 24 slots — small enough that ``observe`` is one
+    ``bisect`` over a tuple that lives in cache.
+    """
+    bounds: List[float] = []
+    value = lo
+    factor = 10.0 ** (1.0 / per_decade)
+    while value <= hi:
+        bounds.append(float(f"{value:.6g}"))
+        value *= factor
+    return tuple(bounds)
+
+
+DEFAULT_BUCKETS = _log_spaced_buckets()
+"""Default histogram bounds (seconds): log-spaced, 100 µs … ~64 s."""
+
+
+class Counter:
+    """A monotonically increasing count (one labelled child of a family)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        with self._lock:
+            self._value += amount
+
+    def inc_unlocked(self) -> None:
+        """Lock-free ``inc(1)`` for single-writer hot paths.
+
+        Safe only when every increment comes from one thread (e.g. an
+        asyncio event loop): the single float add cannot be lost, and
+        scrape-time readers see an atomic value under the GIL.
+        """
+        self._value += 1.0
+
+    @property
+    def value(self) -> float:
+        """The current count."""
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down, or be computed at scrape time."""
+
+    __slots__ = ("_lock", "_value", "_fn")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        """Set the gauge to an absolute value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the gauge."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        with self._lock:
+            self._value -= amount
+
+    def set_fn(self, fn: Callable[[], float]) -> None:
+        """Pull mode: compute the value by calling ``fn`` at scrape time.
+
+        The natural fit for values another object already tracks (open
+        connections, raft term, applied index): registration costs one
+        closure and the hot path pays nothing at all.
+        """
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        """The current value (``fn()`` in pull mode; 0.0 if it fails)."""
+        fn = self._fn
+        if fn is not None:
+            try:
+                return float(fn())
+            except Exception:
+                return 0.0
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution of observations (seconds by default).
+
+    Buckets are cumulative-ready counts per upper bound plus a +Inf
+    overflow slot; ``observe`` is one bisect and three integer adds
+    under the lock.  Percentiles are derived by linear interpolation
+    inside the winning bucket, which is the same math on the client
+    (:mod:`benchmarks.loadgen`) and the server.
+    """
+
+    __slots__ = ("_lock", "bounds", "counts", "_sum", "_count")
+
+    def __init__(
+        self, lock: threading.Lock, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        self._lock = lock
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)  # +Inf overflow last
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def observe_unlocked(self, value: float) -> None:
+        """Lock-free ``observe`` for single-writer hot paths.
+
+        Safe only when every observation comes from one thread (e.g. an
+        asyncio event loop); no update can be lost.  A concurrent scrape
+        may see ``count`` lead ``sum`` by the in-flight observation —
+        one-sample skew, irrelevant at monitoring resolution.
+        """
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) interpolated from the buckets.
+
+        Exact to within one bucket's width: the answer interpolates
+        linearly between the winning bucket's lower and upper bound.
+        Observations past the last bound clamp to it.
+        """
+        with self._lock:
+            counts = list(self.counts)
+            total = self._count
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        for i, bucket_count in enumerate(counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if i >= len(self.bounds):
+                    return self.bounds[-1] if self.bounds else 0.0
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i]
+                if bucket_count == 0:
+                    return upper
+                fraction = (rank - previous) / bucket_count
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        return self.bounds[-1] if self.bounds else 0.0
+
+    def percentiles(self, qs: Sequence[float] = (0.5, 0.95, 0.99)) -> List[float]:
+        """Several quantiles at once (default p50/p95/p99)."""
+        return [self.percentile(q) for q in qs]
+
+
+class _Family:
+    """One named metric family: type, help text, and labelled children."""
+
+    __slots__ = ("name", "kind", "help", "label_names", "buckets", "_children", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: Tuple[str, ...],
+        buckets: Optional[Sequence[float]],
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names = label_names
+        self.buckets = buckets
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        self._lock = threading.Lock()
+
+    def _make_child(self) -> Any:
+        """Construct one child metric of this family's kind."""
+        if self.kind == "counter":
+            return Counter(self._lock)
+        if self.kind == "gauge":
+            return Gauge(self._lock)
+        return Histogram(self._lock, self.buckets or DEFAULT_BUCKETS)
+
+    def labels(self, *values: str) -> Any:
+        """Get-or-create the child for one label-value tuple.
+
+        Callers on hot paths should cache the returned child; the
+        lookup itself is one dict hit under the family lock.
+        """
+        if len(values) != len(self.label_names):
+            raise ValueError(
+                f"{self.name} expects labels {self.label_names}, got {values!r}"
+            )
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._make_child())
+        return child
+
+    # Unlabelled families proxy straight to their single child, so
+    # ``registry.counter("x", "...").inc()`` needs no ``.labels()``.
+
+    def _default(self) -> Any:
+        """The single child of an unlabelled family."""
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabelled child (counter/gauge families)."""
+        self._default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Decrement the unlabelled child (gauge families)."""
+        self._default().dec(amount)
+
+    def set(self, value: float) -> None:
+        """Set the unlabelled child (gauge families)."""
+        self._default().set(value)
+
+    def set_fn(self, fn: Callable[[], float]) -> None:
+        """Attach a pull callback to the unlabelled child (gauges)."""
+        self._default().set_fn(fn)
+
+    def observe(self, value: float) -> None:
+        """Observe into the unlabelled child (histogram families)."""
+        self._default().observe(value)
+
+    @property
+    def value(self) -> float:
+        """The unlabelled child's value (counter/gauge families)."""
+        return self._default().value
+
+    @property
+    def count(self) -> int:
+        """The unlabelled child's observation count (histograms)."""
+        return self._default().count
+
+    @property
+    def sum(self) -> float:
+        """The unlabelled child's observation sum (histograms)."""
+        return self._default().sum
+
+    def percentile(self, q: float) -> float:
+        """The unlabelled child's interpolated quantile (histograms)."""
+        return self._default().percentile(q)
+
+    def percentiles(
+        self, qs: Sequence[float] = (0.5, 0.95, 0.99)
+    ) -> List[float]:
+        """The unlabelled child's quantiles (histogram families)."""
+        return self._default().percentiles(qs)
+
+    def children(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        """Snapshot of (label values, child) pairs, sorted by labels."""
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class _NullMetric:
+    """The do-nothing metric every :class:`_NullRegistry` call returns.
+
+    One shared instance stands in for counters, gauges, and histograms
+    alike: every method is a constant-cost no-op returning neutral
+    values, so instrumented code runs unchanged — and unmeasurably —
+    with observability disabled.
+    """
+
+    __slots__ = ()
+
+    def labels(self, *values: str) -> "_NullMetric":
+        """Return self: labelled children are the same no-op object."""
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Do nothing."""
+
+    def inc_unlocked(self) -> None:
+        """Do nothing."""
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Do nothing."""
+
+    def set(self, value: float) -> None:
+        """Do nothing."""
+
+    def set_fn(self, fn: Callable[[], float]) -> None:
+        """Do nothing (the callback is never stored or called)."""
+
+    def observe(self, value: float) -> None:
+        """Do nothing."""
+
+    def observe_unlocked(self, value: float) -> None:
+        """Do nothing."""
+
+    def percentile(self, q: float) -> float:
+        """Always 0.0."""
+        return 0.0
+
+    def percentiles(self, qs: Sequence[float] = (0.5, 0.95, 0.99)) -> List[float]:
+        """All zeros."""
+        return [0.0 for _ in qs]
+
+    @property
+    def value(self) -> float:
+        """Always 0.0."""
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        """Always 0."""
+        return 0
+
+    @property
+    def sum(self) -> float:
+        """Always 0.0."""
+        return 0.0
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class MetricsRegistry:
+    """A thread-safe, process-local namespace of metric families.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first
+    call registers the family, later calls return the same object (help
+    text and labels from the first registration win), so independent
+    components can share one registry without coordination.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labels: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> _Family:
+        """Get-or-create one family; kind conflicts are an error."""
+        family = self._families.get(name)
+        if family is None:
+            with self._lock:
+                family = self._families.setdefault(
+                    name,
+                    _Family(name, kind, help_text, tuple(labels), buckets),
+                )
+        if family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}"
+            )
+        return family
+
+    def counter(self, name: str, help_text: str = "", labels: Sequence[str] = ()) -> Any:
+        """Register (or fetch) a counter family."""
+        return self._family(name, "counter", help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "", labels: Sequence[str] = ()) -> Any:
+        """Register (or fetch) a gauge family."""
+        return self._family(name, "gauge", help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Any:
+        """Register (or fetch) a histogram family."""
+        return self._family(name, "histogram", help_text, labels, buckets)
+
+    def families(self) -> List[_Family]:
+        """Snapshot of all registered families, sorted by name."""
+        with self._lock:
+            return sorted(self._families.values(), key=lambda f: f.name)
+
+    def render(self) -> str:
+        """This registry in Prometheus text exposition format."""
+        return render_prometheus(self)
+
+
+class _NullRegistry(MetricsRegistry):
+    """A registry whose every metric is the shared no-op singleton."""
+
+    enabled = False
+
+    def _family(self, name, kind, help_text, labels, buckets=None):  # type: ignore[override]
+        """Return the no-op metric for every registration."""
+        return _NULL_METRIC
+
+    def families(self) -> List[_Family]:
+        """Always empty."""
+        return []
+
+
+_NULL_REGISTRY = _NullRegistry()
+_DEFAULT_REGISTRY: MetricsRegistry = (
+    _NULL_REGISTRY if os.environ.get("REPRO_OBS_DISABLED") else MetricsRegistry()
+)
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide default registry components fall back to.
+
+    Starts as a live registry (or the no-op one when the
+    ``REPRO_OBS_DISABLED`` environment variable is set); swap it with
+    :func:`set_default_registry`.
+    """
+    return _DEFAULT_REGISTRY
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process default registry; returns the previous one."""
+    global _DEFAULT_REGISTRY
+    previous = _DEFAULT_REGISTRY
+    _DEFAULT_REGISTRY = registry
+    return previous
+
+
+def null_registry() -> MetricsRegistry:
+    """The shared no-op registry (for disabling instrumentation)."""
+    return _NULL_REGISTRY
+
+
+def _format_value(value: float) -> str:
+    """Render one sample value (integers without a trailing ``.0``)."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(names: Sequence[str], values: Sequence[str]) -> str:
+    """Render a ``{name="value",...}`` label block ('' when unlabelled)."""
+    if not names:
+        return ""
+    pairs = ",".join(
+        '%s="%s"' % (n, str(v).replace("\\", "\\\\").replace('"', '\\"'))
+        for n, v in zip(names, values)
+    )
+    return "{%s}" % pairs
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render a registry in Prometheus text exposition format (v0.0.4).
+
+    Counters and gauges emit one sample per labelled child; histograms
+    emit cumulative ``_bucket{le=...}`` samples plus ``_sum`` and
+    ``_count``, exactly the shape a Prometheus scraper (or
+    :func:`parse_prometheus`) expects.
+    """
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for values, child in family.children():
+            labels = _label_str(family.label_names, values)
+            if family.kind == "histogram":
+                cumulative = 0
+                with child._lock:
+                    counts = list(child.counts)
+                    total = child._count
+                    total_sum = child._sum
+                for bound, bucket_count in zip(child.bounds, counts):
+                    cumulative += bucket_count
+                    le = _label_str(
+                        tuple(family.label_names) + ("le",),
+                        tuple(values) + (_format_value(bound),),
+                    )
+                    lines.append(f"{family.name}_bucket{le} {cumulative}")
+                inf = _label_str(
+                    tuple(family.label_names) + ("le",),
+                    tuple(values) + ("+Inf",),
+                )
+                lines.append(f"{family.name}_bucket{inf} {total}")
+                lines.append(f"{family.name}_sum{labels} {repr(total_sum)}")
+                lines.append(f"{family.name}_count{labels} {total}")
+            else:
+                lines.append(
+                    f"{family.name}{labels} {_format_value(child.value)}"
+                )
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+    """Parse text exposition back into ``{(name, labels): value}``.
+
+    Labels are a sorted tuple of ``(name, value)`` pairs.  Only the
+    subset of the format :func:`render_prometheus` emits is understood
+    — enough for the fleet-scrape CLI and the round-trip tests.
+    """
+    out: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            name_part, value_part = line.rsplit(" ", 1)
+            value = float(value_part)
+        except ValueError:
+            continue
+        labels: List[Tuple[str, str]] = []
+        if "{" in name_part:
+            name, _, label_block = name_part.partition("{")
+            label_block = label_block.rstrip("}")
+            for pair in _split_labels(label_block):
+                key, _, raw = pair.partition("=")
+                labels.append(
+                    (key, raw.strip('"').replace('\\"', '"').replace("\\\\", "\\"))
+                )
+        else:
+            name = name_part
+        out[(name, tuple(sorted(labels)))] = value
+    return out
+
+
+def _split_labels(block: str) -> List[str]:
+    """Split a label block on commas outside quoted values."""
+    parts: List[str] = []
+    current: List[str] = []
+    quoted = False
+    escape = False
+    for ch in block:
+        if escape:
+            current.append(ch)
+            escape = False
+            continue
+        if ch == "\\":
+            current.append(ch)
+            escape = True
+            continue
+        if ch == '"':
+            quoted = not quoted
+            current.append(ch)
+            continue
+        if ch == "," and not quoted:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return [p for p in parts if p]

@@ -1,0 +1,312 @@
+"""Cross-process tracing: 128-bit trace ids, spans, and the wire header.
+
+One client sweep fans out across four processes (client → asyncio
+server → replicated coordinator → workers).  This module gives every
+hop the same causal key:
+
+* a :class:`TraceContext` — ``(trace_id, span_id)`` — carried inside a
+  process by a :mod:`contextvars` variable, and between processes by
+  the ``X-Repro-Trace`` HTTP header (:func:`format_header` /
+  :func:`parse_header`);
+* :func:`span` context managers that time a section and append a
+  :class:`Span` record to a bounded :class:`SpanRecorder` ring buffer
+  — but only when a trace is active, so untraced load-test traffic
+  records nothing;
+* JSON export/ingest (:meth:`SpanRecorder.export` /
+  :meth:`SpanRecorder.ingest`) so workers and clients can push their
+  finished spans to a server's ``POST /v1/trace`` endpoint and
+  ``python -m repro.obs scrape --trace <id>`` can stitch one trace
+  from the whole fleet.
+
+Trace ids are 128 bits (32 hex chars) and span ids 64 bits (16 hex
+chars), both from ``os.urandom``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "HEADER",
+    "Span",
+    "SpanRecorder",
+    "TraceContext",
+    "activate",
+    "current_context",
+    "default_recorder",
+    "format_header",
+    "new_trace",
+    "parse_header",
+    "set_default_recorder",
+    "span",
+    "span_for_trace_id",
+]
+
+HEADER = "X-Repro-Trace"
+"""The HTTP header carrying ``<trace_id 32hex>-<span_id 16hex>``."""
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of one trace: trace id + current span id."""
+
+    trace_id: str
+    span_id: str
+
+    def child(self) -> "TraceContext":
+        """A new context in the same trace with a fresh span id."""
+        return TraceContext(self.trace_id, _new_span_id())
+
+
+_CURRENT: contextvars.ContextVar[Optional[TraceContext]] = contextvars.ContextVar(
+    "repro_trace", default=None
+)
+
+
+def _new_span_id() -> str:
+    """A fresh 64-bit span id as 16 hex chars."""
+    return os.urandom(8).hex()
+
+
+def new_trace() -> TraceContext:
+    """A fresh root context: 128-bit trace id, 64-bit span id."""
+    return TraceContext(os.urandom(16).hex(), _new_span_id())
+
+
+def current_context() -> Optional[TraceContext]:
+    """The active :class:`TraceContext`, or ``None`` outside any trace."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def activate(ctx: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """Make ``ctx`` the active context for the enclosed block.
+
+    Pass the parsed inbound context explicitly when crossing an
+    executor boundary — ``run_in_executor`` does not propagate
+    contextvars.
+    """
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)
+
+
+def format_header(ctx: TraceContext) -> str:
+    """Encode a context as the ``X-Repro-Trace`` header value."""
+    return f"{ctx.trace_id}-{ctx.span_id}"
+
+
+def parse_header(value: Optional[str]) -> Optional[TraceContext]:
+    """Decode a header value; malformed input yields ``None``, never an error."""
+    if not value:
+        return None
+    value = value.strip()
+    trace_id, _, span_id = value.partition("-")
+    if len(trace_id) != 32 or len(span_id) != 16:
+        return None
+    try:
+        int(trace_id, 16)
+        int(span_id, 16)
+    except ValueError:
+        return None
+    return TraceContext(trace_id.lower(), span_id.lower())
+
+
+@dataclass
+class Span:
+    """One timed, named section of work inside a trace."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    component: str
+    start_wall: float
+    duration: float
+    attrs: Dict[str, Any]
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON export and the ingest endpoint."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "component": self.component,
+            "start_wall": self.start_wall,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_json_obj(cls, obj: Dict[str, Any]) -> "Span":
+        """Rebuild a span from its :meth:`to_json_obj` dict."""
+        return cls(
+            trace_id=str(obj["trace_id"]),
+            span_id=str(obj["span_id"]),
+            parent_id=obj.get("parent_id"),
+            name=str(obj.get("name", "")),
+            component=str(obj.get("component", "")),
+            start_wall=float(obj.get("start_wall", 0.0)),
+            duration=float(obj.get("duration", 0.0)),
+            attrs=dict(obj.get("attrs") or {}),
+        )
+
+
+class SpanRecorder:
+    """A bounded, thread-safe ring buffer of finished spans.
+
+    Old spans fall off the back once ``capacity`` is reached;
+    :meth:`ingest` deduplicates on ``(trace_id, span_id)`` so pushing
+    the same batch twice (client retries are idempotent) stores one
+    copy.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._spans: deque = deque(maxlen=capacity)
+        self._seen: "deque[tuple]" = deque(maxlen=capacity)
+        self._seen_set: set = set()
+        self._lock = threading.Lock()
+
+    def record(self, span: Span) -> None:
+        """Append one locally-produced span."""
+        self._add(span)
+
+    def _add(self, span: Span) -> bool:
+        """Add a span unless its id was already seen; True if stored."""
+        key = (span.trace_id, span.span_id)
+        with self._lock:
+            if key in self._seen_set:
+                return False
+            if len(self._seen) == self._seen.maxlen:
+                self._seen_set.discard(self._seen[0])
+            self._seen.append(key)
+            self._seen_set.add(key)
+            self._spans.append(span)
+            return True
+
+    def ingest(self, objs: List[Dict[str, Any]]) -> int:
+        """Store pushed span dicts (deduplicated); returns how many stuck."""
+        added = 0
+        for obj in objs:
+            try:
+                span = Span.from_json_obj(obj)
+            except (KeyError, TypeError, ValueError):
+                continue
+            if self._add(span):
+                added += 1
+        return added
+
+    def for_trace(self, trace_id: str) -> List[Span]:
+        """All retained spans of one trace, ordered by start time."""
+        with self._lock:
+            spans = [s for s in self._spans if s.trace_id == trace_id]
+        return sorted(spans, key=lambda s: s.start_wall)
+
+    def export(self, trace_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Retained spans as JSON dicts (optionally one trace only)."""
+        if trace_id is not None:
+            return [s.to_json_obj() for s in self.for_trace(trace_id)]
+        with self._lock:
+            spans = list(self._spans)
+        return [s.to_json_obj() for s in sorted(spans, key=lambda s: s.start_wall)]
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Remove and return all retained spans (for best-effort pushes)."""
+        with self._lock:
+            spans = list(self._spans)
+            self._spans.clear()
+        return [s.to_json_obj() for s in spans]
+
+    def __len__(self) -> int:
+        """Number of retained spans."""
+        with self._lock:
+            return len(self._spans)
+
+
+_DEFAULT_RECORDER = SpanRecorder()
+
+
+def default_recorder() -> SpanRecorder:
+    """The process-wide recorder spans land in by default."""
+    return _DEFAULT_RECORDER
+
+
+def set_default_recorder(recorder: SpanRecorder) -> SpanRecorder:
+    """Replace the process default recorder; returns the previous one."""
+    global _DEFAULT_RECORDER
+    previous = _DEFAULT_RECORDER
+    _DEFAULT_RECORDER = recorder
+    return previous
+
+
+@contextlib.contextmanager
+def span(
+    name: str,
+    component: str,
+    ctx: Optional[TraceContext] = None,
+    recorder: Optional[SpanRecorder] = None,
+    attrs: Optional[Dict[str, Any]] = None,
+) -> Iterator[Optional[TraceContext]]:
+    """Time a section as one span of the active (or given) trace.
+
+    The inbound context (explicit ``ctx`` or the contextvar) becomes the
+    parent; the block runs with a child context active, so nested spans
+    and outbound headers chain correctly.  Outside any trace this is a
+    no-op that records nothing — instrumentation is free on untraced
+    traffic.
+    """
+    parent = ctx if ctx is not None else _CURRENT.get()
+    if parent is None:
+        yield None
+        return
+    child = parent.child()
+    start_wall = time.time()
+    start = time.monotonic()
+    token = _CURRENT.set(child)
+    try:
+        yield child
+    finally:
+        _CURRENT.reset(token)
+        duration = time.monotonic() - start
+        target = recorder if recorder is not None else _DEFAULT_RECORDER
+        target.record(
+            Span(
+                trace_id=parent.trace_id,
+                span_id=child.span_id,
+                parent_id=parent.span_id,
+                name=name,
+                component=component,
+                start_wall=start_wall,
+                duration=duration,
+                attrs=dict(attrs or {}),
+            )
+        )
+
+
+def span_for_trace_id(
+    name: str,
+    component: str,
+    trace_id: Optional[str],
+    recorder: Optional[SpanRecorder] = None,
+    attrs: Optional[Dict[str, Any]] = None,
+):
+    """A :func:`span` joined to a bare trace id (no parent span known).
+
+    Workers receive only the sweep's ``trace_id`` through the lease
+    payload; this builds a context with a fresh span id so their
+    execution still lands in the same stitched trace.
+    """
+    if not trace_id:
+        return span(name, component, None, recorder, attrs)
+    ctx = TraceContext(str(trace_id), _new_span_id())
+    return span(name, component, ctx, recorder, attrs)

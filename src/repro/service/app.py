@@ -26,6 +26,10 @@ POST   ``/v1/complete``             post a unit's result rows (quorum vote)
 GET    ``/v1/cluster``              cluster scheduler counters + workers
 POST   ``/v1/raft/rpc``             one replica-to-replica consensus message
 GET    ``/v1/raft/status``          this replica's consensus-level status
+GET    ``/v1/metrics``              this process's metrics (Prometheus text)
+GET    ``/v1/trace/<trace_id>``     retained spans of one trace, as JSON
+POST   ``/v1/trace``                span ingest (workers/clients push here)
+GET    ``/v1/events``               recent structured log events
 ====== ============================ ==========================================
 
 ``HEAD`` is supported on every GET route (same headers, no body).
@@ -61,6 +65,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cluster.errors import NotLeaderError
+from repro.obs.logs import log_event, recent_events
+from repro.obs.metrics import default_registry, render_prometheus
+from repro.obs.trace import current_context, default_recorder
 from repro.service.jobs import JobManager, SweepRequest, TooManyJobsError
 from repro.service.solve import solve_request
 from repro.service.store import ResultStore
@@ -147,8 +154,15 @@ class ServiceAPI:
     apart behaviourally.
     """
 
-    def __init__(self, manager: JobManager) -> None:
+    def __init__(
+        self,
+        manager: JobManager,
+        registry=None,
+        recorder=None,
+    ) -> None:
         self.manager = manager
+        self.registry = registry if registry is not None else default_registry()
+        self.recorder = recorder if recorder is not None else default_recorder()
 
     # -- dispatch ------------------------------------------------------
 
@@ -168,6 +182,12 @@ class ServiceAPI:
         except NotLeaderError as exc:
             # A write reached a follower replica: 421 plus the leader
             # hint, which the client follows transparently.
+            log_event(
+                "redirect.421",
+                "service",
+                path=path,
+                leader=exc.leader_url,
+            )
             return self._json(
                 421, {"error": "not the leader", "leader": exc.leader_url}
             )
@@ -209,6 +229,12 @@ class ServiceAPI:
                 return self._get_cluster, ()
             if parts == ["v1", "raft", "status"]:
                 return self._get_raft_status, ()
+            if parts == ["v1", "metrics"]:
+                return self._get_metrics, ()
+            if len(parts) == 3 and parts[:2] == ["v1", "trace"]:
+                return self._get_trace, (parts[2],)
+            if parts == ["v1", "events"]:
+                return self._get_events, ()
         if method == "POST":
             if parts == ["v1", "sweeps"]:
                 return self._post_sweep, ()
@@ -224,6 +250,8 @@ class ServiceAPI:
                 return self._post_complete, ()
             if parts == ["v1", "raft", "rpc"]:
                 return self._post_raft_rpc, ()
+            if parts == ["v1", "trace"]:
+                return self._post_trace, ()
         raise ApiError(404, f"no route for {method} {raw_path}")
 
     # -- response/body helpers -----------------------------------------
@@ -305,6 +333,32 @@ class ServiceAPI:
     def _get_raft_status(self, **_ignored) -> ApiResponse:
         """This replica's consensus-level status (role/term/log/digest)."""
         return self._json(200, self._replica().raft_status())
+
+    def _get_metrics(self, **_ignored) -> ApiResponse:
+        """This process's metrics, Prometheus text exposition format."""
+        body = render_prometheus(self.registry).encode("utf-8")
+        return ApiResponse(
+            200, body, content_type="text/plain; version=0.0.4; charset=utf-8"
+        )
+
+    def _get_trace(self, trace_id: str, **_ignored) -> ApiResponse:
+        """Retained spans of one trace, ordered by start time."""
+        return self._json(
+            200,
+            {"trace_id": trace_id, "spans": self.recorder.export(trace_id)},
+        )
+
+    def _post_trace(self, body=b"", **_ignored) -> ApiResponse:
+        """Ingest spans pushed by workers/clients (deduplicated)."""
+        parsed = self._parse_json_body(body)
+        spans = parsed.get("spans")
+        if not isinstance(spans, list):
+            raise ApiError(400, "trace push needs spans: [obj, ...]")
+        return self._json(200, {"ingested": self.recorder.ingest(spans)})
+
+    def _get_events(self, **_ignored) -> ApiResponse:
+        """Recent structured log events retained by this process."""
+        return self._json(200, {"events": recent_events(limit=200)})
 
     def _post_raft_rpc(self, body=b"", **_ignored) -> ApiResponse:
         """One peer consensus message; the reply message rides back."""
@@ -481,7 +535,10 @@ class ServiceAPI:
             )
             if require_leader is not None:
                 require_leader()
-        job = self.manager.submit(request)
+        ctx = current_context()
+        job = self.manager.submit(
+            request, trace_id=None if ctx is None else ctx.trace_id
+        )
         return self._json(
             202,
             {

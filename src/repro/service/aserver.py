@@ -45,6 +45,8 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, List, Optional, Tuple
 
 from repro.experiments.results import format_table
+from repro.obs.metrics import default_registry
+from repro.obs.trace import activate, parse_header, span
 from repro.service.app import (
     _MAX_BODY_BYTES,
     ApiResponse,
@@ -91,6 +93,49 @@ def _status_line(status: int) -> bytes:
     if reason is None:
         reason = b"Unknown"
     return b"HTTP/1.1 %d %s\r\n" % (status, reason)
+
+
+# Route templates for metric labels: parameterized segments collapse
+# (``/v1/jobs/job-7`` -> ``/v1/jobs/{id}``) and unknown paths fold into
+# one bucket, so label cardinality stays bounded no matter what clients
+# send.
+_LITERAL_ROUTES = frozenset(
+    {
+        "/v1/health",
+        "/v1/scenarios",
+        "/v1/jobs",
+        "/v1/sweeps",
+        "/v1/results:batch",
+        "/v1/solve",
+        "/v1/workers",
+        "/v1/lease",
+        "/v1/complete",
+        "/v1/cluster",
+        "/v1/raft/rpc",
+        "/v1/raft/status",
+        "/v1/store/stats",
+        "/v1/metrics",
+        "/v1/trace",
+        "/v1/events",
+    }
+)
+
+
+def _route_template(path: str) -> str:
+    """The bounded-cardinality route label for a request path."""
+    path = path.split("?", 1)[0].rstrip("/") or "/"
+    if path in _LITERAL_ROUTES:
+        return path
+    parts = path.split("/")
+    # ['', 'v1', 'jobs', '<id>'] / ['', 'v1', 'jobs', '<id>', 'results']
+    if len(parts) >= 4 and parts[1] == "v1":
+        if parts[2] == "jobs":
+            return "/v1/jobs/{id}/results" if len(parts) == 5 else "/v1/jobs/{id}"
+        if parts[2] == "results":
+            return "/v1/results/{key}"
+        if parts[2] == "trace":
+            return "/v1/trace/{id}"
+    return "other"
 
 
 class _HttpProtocol(asyncio.Protocol):
@@ -199,26 +244,50 @@ class _HttpProtocol(asyncio.Protocol):
                 parsed = self._parse_one(out)
                 if parsed is None:
                     break
-                method, path, if_none_match, body, close_after = parsed
+                method, path, if_none_match, body, close_after, trace = parsed
+                ctx = parse_header(trace) if trace else None
+                started = self.loop.time()
                 if method in ("GET", "HEAD"):
                     # In-memory lookups: cheaper to run inline than to
                     # round-trip a thread pool.
-                    response = self.api.handle(
-                        method, path, b"", if_none_match
-                    )
+                    if ctx is None:
+                        response = self.api.handle(
+                            method, path, b"", if_none_match
+                        )
+                    else:
+                        response = self._handle_traced(
+                            ctx, method, path, b"", if_none_match
+                        )
                 else:
                     # POSTs take locks, solve LPs, write blobs: off the
                     # loop so a slow one never stalls other sockets.
                     self._flush(out)
                     out_bytes = 0
-                    response = await self.loop.run_in_executor(
-                        self.server.executor,
-                        self.api.handle,
-                        method,
-                        path,
-                        body,
-                        if_none_match,
-                    )
+                    if ctx is None:
+                        response = await self.loop.run_in_executor(
+                            self.server.executor,
+                            self.api.handle,
+                            method,
+                            path,
+                            body,
+                            if_none_match,
+                        )
+                    else:
+                        # run_in_executor does not propagate
+                        # contextvars: hand the parsed context across
+                        # the thread boundary explicitly.
+                        response = await self.loop.run_in_executor(
+                            self.server.executor,
+                            self._handle_traced,
+                            ctx,
+                            method,
+                            path,
+                            body,
+                            if_none_match,
+                        )
+                self.server.observe_request(
+                    path, response.status, self.loop.time() - started
+                )
                 if self._closed:
                     return
                 out_bytes += await self._write_response(
@@ -241,14 +310,36 @@ class _HttpProtocol(asyncio.Protocol):
                 self.transport.close()  # type: ignore[union-attr]
                 self._closed = True
 
+    def _handle_traced(
+        self,
+        ctx,
+        method: str,
+        path: str,
+        body: bytes,
+        if_none_match: Optional[str],
+    ) -> ApiResponse:
+        """Serve one request with its inbound trace context active.
+
+        Separate from the untraced fast path so requests without an
+        ``X-Repro-Trace`` header never pay for context switching or
+        span recording.
+        """
+        with activate(ctx):
+            with span(
+                f"http {method} {_route_template(path)}",
+                "service",
+                attrs={"path": path},
+            ):
+                return self.api.handle(method, path, body, if_none_match)
+
     def _parse_one(
         self, out: List[bytes]
-    ) -> Optional[Tuple[str, str, Optional[str], bytes, bool]]:
+    ) -> Optional[Tuple[str, str, Optional[str], bytes, bool, Optional[str]]]:
         """Parse one complete request off the buffer, or ``None``.
 
-        Returns ``(method, path, if_none_match, body, close_after)``.
-        Malformed or oversized requests are answered directly (via
-        ``out``) with the connection marked for close.
+        Returns ``(method, path, if_none_match, body, close_after,
+        trace_header)``.  Malformed or oversized requests are answered
+        directly (via ``out``) with the connection marked for close.
         """
         buf = self.buffer
         head_end = buf.find(b"\r\n\r\n")
@@ -270,6 +361,7 @@ class _HttpProtocol(asyncio.Protocol):
             return None
         content_length = 0
         if_none_match: Optional[str] = None
+        trace_header: Optional[str] = None
         connection = b""
         chunked = False
         for line in lines[1:]:
@@ -289,6 +381,8 @@ class _HttpProtocol(asyncio.Protocol):
                 connection = value.strip().lower()
             elif lowered == b"transfer-encoding":
                 chunked = True
+            elif lowered == b"x-repro-trace":
+                trace_header = value.strip().decode("latin-1")
         if chunked:
             self._error_close(
                 out, 411, "chunked request bodies are unsupported"
@@ -311,6 +405,7 @@ class _HttpProtocol(asyncio.Protocol):
             if_none_match,
             body,
             close_after,
+            trace_header,
         )
 
     def _error_close(self, out: List[bytes], status: int, message: str) -> None:
@@ -437,9 +532,11 @@ class AsyncServiceServer:
         keep_alive_timeout: float = 300.0,
         drain_timeout: float = 10.0,
         quiet: bool = True,
+        registry=None,
     ) -> None:
         self.manager = manager
-        self.api = ServiceAPI(manager)
+        self.registry = registry if registry is not None else default_registry()
+        self.api = ServiceAPI(manager, registry=self.registry)
         self.host = host
         self.port = port
         self.max_connections = int(max_connections)
@@ -455,6 +552,57 @@ class AsyncServiceServer:
         self.server_address: Tuple[str, int] = (host, port)
         self._server: Optional[asyncio.AbstractServer] = None
         self._sweeper: Optional[asyncio.Task] = None
+        self._lag_probe: Optional[asyncio.Task] = None
+        # Metric families, with per-(route, status) children cached in
+        # plain dicts so the request hot path is one dict hit + one
+        # int add per metric (and pure no-ops under a null registry).
+        self._m_requests = self.registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served.",
+            labels=["route", "status"],
+        )
+        self._m_latency = self.registry.histogram(
+            "repro_http_request_seconds",
+            "Request handling latency by route.",
+            labels=["route"],
+        )
+        self._m_lag = self.registry.histogram(
+            "repro_event_loop_lag_seconds",
+            "Event-loop scheduling lag sampled by the probe task.",
+        )
+        self.registry.gauge(
+            "repro_http_open_connections", "Open keep-alive connections."
+        ).set_fn(lambda: len(self.connections))
+        self._obs_children: dict = {}
+
+    def observe_request(self, path: str, status: int, seconds: float) -> None:
+        """Fold one served request into the route/status metrics.
+
+        The bound (inc, observe) pair is cached per raw ``(path,
+        status)`` so the steady-state cost is one dict hit, one int
+        add, and one bisect — route templating runs only on first
+        sight of a path.  The cache is cleared if an adversarial key
+        stream grows it past a bound; the children themselves stay
+        bounded by route template regardless.  This method only runs
+        on the event-loop thread, so the lock-free single-writer
+        variants are safe.
+        """
+        if not self.registry.enabled:
+            return
+        key = (path, status)
+        pair = self._obs_children.get(key)
+        if pair is None:
+            route = _route_template(path)
+            pair = (
+                self._m_requests.labels(route, str(status)).inc_unlocked,
+                self._m_latency.labels(route).observe_unlocked,
+            )
+            if len(self._obs_children) >= 4096:
+                self._obs_children.clear()
+            self._obs_children[key] = pair
+        inc, observe = pair
+        inc()
+        observe(seconds)
 
     async def start(self) -> "AsyncServiceServer":
         """Bind the listening socket and start the idle sweeper."""
@@ -467,7 +615,24 @@ class AsyncServiceServer:
         )
         self.server_address = self._server.sockets[0].getsockname()[:2]
         self._sweeper = self.loop.create_task(self._sweep_idle())
+        if self.registry.enabled:
+            self._lag_probe = self.loop.create_task(self._probe_loop_lag())
         return self
+
+    async def _probe_loop_lag(self) -> None:
+        """Sample event-loop scheduling lag into its histogram.
+
+        Sleeps a fixed interval and records how far past the requested
+        wake-up the loop actually ran the task — the canonical measure
+        of a loop starved by a slow inline handler.
+        """
+        interval = 0.25
+        while True:
+            target = self.loop.time() + interval
+            await asyncio.sleep(interval)
+            lag = self.loop.time() - target
+            if lag > 0.0:
+                self._m_lag.observe(lag)
 
     async def _sweep_idle(self) -> None:
         """Close keep-alive connections idle past the timeout."""
@@ -494,6 +659,8 @@ class AsyncServiceServer:
         self.draining = True
         if self._sweeper is not None:
             self._sweeper.cancel()
+        if self._lag_probe is not None:
+            self._lag_probe.cancel()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()

@@ -41,6 +41,16 @@ from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.results import ResultSet
+from repro.obs.logs import log_event
+from repro.obs.trace import (
+    HEADER,
+    SpanRecorder,
+    activate,
+    current_context,
+    format_header,
+    new_trace,
+    span,
+)
 from repro.service.jobs import SweepRequest
 
 __all__ = ["ServiceError", "ServiceClient"]
@@ -124,6 +134,17 @@ class ServiceClient:
         self.etag_hits = 0
         self._etag_cache: "OrderedDict[str, bytes]" = OrderedDict()
         self._cache_lock = threading.Lock()
+        # Visibility counters for the retry/failover machinery
+        # (snapshot via :meth:`stats`), plus this client's own span
+        # buffer — pushed to a server with :meth:`push_spans` so fleet
+        # scrapes can stitch client-side spans into a trace.
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._retries = 0
+        self._replays = 0
+        self._redirects_followed = 0
+        self.last_trace_id: Optional[str] = None
+        self._recorder = SpanRecorder(capacity=512)
         # One persistent connection per calling thread: http.client
         # connections are not thread-safe, and tests drive one client
         # from many threads at once.
@@ -225,6 +246,8 @@ class ServiceClient:
                 if not reused:
                     raise
                 reused = False
+                with self._stats_lock:
+                    self._replays += 1
                 conn = self._connect(endpoint)
                 continue
             except (OSError, http.client.HTTPException):
@@ -263,8 +286,13 @@ class ServiceClient:
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        ctx = current_context()
+        if ctx is not None:
+            headers[HEADER] = format_header(ctx)
         if extra_headers:
             headers.update(extra_headers)
+        with self._stats_lock:
+            self._requests += 1
         attempts = (
             self.retries + 1 if (method == "GET" or idempotent) else 1
         )
@@ -285,6 +313,16 @@ class ServiceClient:
                         f"cannot reach {endpoint} after {attempts} "
                         f"attempt(s): {exc}",
                     ) from None
+                with self._stats_lock:
+                    self._retries += 1
+                log_event(
+                    "client.failover",
+                    "client",
+                    endpoint=endpoint,
+                    path=path,
+                    error=f"{type(exc).__name__}: {exc}",
+                    attempts_left=transport_left,
+                )
                 self._rotate_endpoint(endpoint)
                 time.sleep(delay)
                 delay = min(delay * 2.0, self.max_backoff)
@@ -303,6 +341,15 @@ class ServiceClient:
                     )
                 leader = payload.get("leader")
                 if leader and leader.rstrip("/") != endpoint:
+                    with self._stats_lock:
+                        self._redirects_followed += 1
+                    log_event(
+                        "client.redirect",
+                        "client",
+                        endpoint=endpoint,
+                        leader=leader,
+                        path=path,
+                    )
                     self._prefer_endpoint(leader)
                 else:
                     # Mid-election: no leader yet (or the hint points
@@ -343,11 +390,64 @@ class ServiceClient:
             self._request_bytes(method, path, body, idempotent=idempotent)
         )
 
+    # -- observability -------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Snapshot of the client's transport-visibility counters.
+
+        ``requests`` is every :meth:`_request_raw` call; ``retries``
+        counts transport-error failovers to another endpoint;
+        ``replays`` counts transparent single replays on a stale
+        keep-alive connection; ``redirects_followed`` counts 421 leader
+        hints chased; ``etag_hits`` counts 304-validated cache reads.
+        """
+        with self._stats_lock:
+            snapshot = {
+                "requests": self._requests,
+                "retries": self._retries,
+                "replays": self._replays,
+                "redirects_followed": self._redirects_followed,
+            }
+        with self._cache_lock:
+            snapshot["etag_hits"] = self.etag_hits
+        snapshot["last_trace_id"] = self.last_trace_id
+        return snapshot
+
+    def push_spans(self, spans: Optional[List[Dict[str, Any]]] = None) -> int:
+        """Best-effort push of finished spans to a server.
+
+        Drains the client-local span buffer (or takes an explicit list
+        of span dicts — workers hand over theirs) into
+        ``POST /v1/trace`` so a fleet scrape can stitch client-side
+        spans into the trace.  Returns how many spans the server
+        ingested; transport failures drop the batch (spans are
+        diagnostics, never worth a crash).
+        """
+        if spans is None:
+            spans = self._recorder.drain()
+        if not spans:
+            return 0
+        try:
+            reply = self._request(
+                "POST", "/v1/trace", {"spans": spans}, idempotent=True
+            )
+            return int(reply.get("ingested", 0))
+        except (ServiceError, OSError, ValueError):
+            return 0
+
     # -- endpoints -----------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
         """``GET /v1/health`` payload."""
         return self._request("GET", "/v1/health")
+
+    def trace(self, trace_id: str) -> Dict[str, Any]:
+        """``GET /v1/trace/<id>``: this server's spans for one trace."""
+        return self._request("GET", f"/v1/trace/{trace_id}")
+
+    def events(self) -> Dict[str, Any]:
+        """``GET /v1/events``: this server's recent structured events."""
+        return self._request("GET", "/v1/events")
 
     def wait_until_up(self, timeout: float = 10.0, poll: float = 0.1) -> Dict[str, Any]:
         """Poll health until the server answers (for freshly spawned servers)."""
@@ -396,9 +496,23 @@ class ServiceClient:
             executor=executor,
             redundancy=redundancy,
         )
-        return self._request(
-            "POST", "/v1/sweeps", request.to_json_obj(), idempotent=True
-        )
+        # Every submission runs inside a trace: join the caller's if one
+        # is active, otherwise start a fresh root.  The trace id rides
+        # the X-Repro-Trace header into the server and (for cluster
+        # sweeps) the replicated submit command, linking client, leader,
+        # and workers into one stitched trace.
+        root = current_context() or new_trace()
+        self.last_trace_id = root.trace_id
+        with activate(root):
+            with span(
+                "client.submit_sweep",
+                "client",
+                recorder=self._recorder,
+                attrs={"executor": request.executor},
+            ):
+                return self._request(
+                    "POST", "/v1/sweeps", request.to_json_obj(), idempotent=True
+                )
 
     def job(self, job_id: str) -> Dict[str, Any]:
         """One job's status payload."""
@@ -450,29 +564,41 @@ class ServiceClient:
         """
         deadline = time.monotonic() + timeout
         retriable = ("not the leader", "leadership", "no commit quorum")
-        while True:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise TimeoutError(f"sweep still unfinished after {timeout}s")
-            try:
-                submitted = self.submit_sweep(**kwargs)
-                status = self.wait_for_job(
-                    submitted["job_id"], timeout=remaining
-                )
-                if status["status"] != "done":
-                    error = str(status.get("error") or "")
-                    if any(marker in error for marker in retriable):
+        root = current_context() or new_trace()
+        self.last_trace_id = root.trace_id
+        try:
+            with activate(root), span(
+                "client.run_sweep", "client", recorder=self._recorder
+            ):
+                while True:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            f"sweep still unfinished after {timeout}s"
+                        )
+                    try:
+                        submitted = self.submit_sweep(**kwargs)
+                        status = self.wait_for_job(
+                            submitted["job_id"], timeout=remaining
+                        )
+                        if status["status"] != "done":
+                            error = str(status.get("error") or "")
+                            if any(marker in error for marker in retriable):
+                                time.sleep(0.2)
+                                continue  # leadership moved: resubmit
+                            raise ServiceError(
+                                502, f"job failed: {status['error']}"
+                            )
+                        return self.results(status["job_id"])
+                    except ServiceError as exc:
+                        transient = exc.status in (0, 421) or (
+                            exc.status == 404 and "job" in exc.message
+                        )
+                        if not transient:
+                            raise
                         time.sleep(0.2)
-                        continue  # leadership moved mid-job: resubmit
-                    raise ServiceError(502, f"job failed: {status['error']}")
-                return self.results(status["job_id"])
-            except ServiceError as exc:
-                transient = exc.status in (0, 421) or (
-                    exc.status == 404 and "job" in exc.message
-                )
-                if not transient:
-                    raise
-                time.sleep(0.2)
+        finally:
+            self.push_spans()
 
     def fetch_bytes(self, key: str) -> bytes:
         """Verbatim cached blob bytes for one content-address key.

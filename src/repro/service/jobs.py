@@ -32,6 +32,8 @@ from repro.experiments.runner import (
     _execute_cases,
     _smoke_case_list,
 )
+from repro.obs.metrics import default_registry
+from repro.obs.trace import span_for_trace_id
 from repro.service.store import ResultStore, canonical_json
 
 __all__ = ["SweepRequest", "Job", "JobManager", "TooManyJobsError"]
@@ -152,6 +154,7 @@ class Job:
     cache_misses: int = 0
     submissions: int = 1
     error: Optional[str] = None
+    trace_id: Optional[str] = None
     results: Optional[ResultSet] = None
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
 
@@ -192,6 +195,7 @@ class Job:
             "submissions": self.submissions,
             "elapsed": self.elapsed,
             "error": self.error,
+            "trace_id": self.trace_id,
         }
 
 
@@ -252,16 +256,33 @@ class JobManager:
         self._closed = False
         self._ids = itertools.count(1)
         self.computations = 0
+        registry = default_registry()
+        self._m_jobs = registry.counter(
+            "repro_jobs_submitted_total", "Sweep jobs created (post-dedup)."
+        )
+        self._m_cases = registry.counter(
+            "repro_job_cases_completed_total",
+            "Sweep cases finished across all jobs.",
+        )
+        self._m_hits = registry.counter(
+            "repro_job_cache_hits_total", "Sweep cases served from the store."
+        )
+        self._m_misses = registry.counter(
+            "repro_job_cache_misses_total", "Sweep cases that were computed."
+        )
 
     # -- submission ----------------------------------------------------
 
-    def submit(self, request: SweepRequest) -> Job:
+    def submit(
+        self, request: SweepRequest, trace_id: Optional[str] = None
+    ) -> Job:
         """Submit a sweep; identical in-flight requests share one job.
 
         The single-flight check and job creation happen under one lock,
         so N concurrent submissions of the same signature observe
         exactly one ``queued``/``running`` job between them and only the
-        first starts a worker thread.
+        first starts a worker thread.  The first submitter's ``trace_id``
+        (if any) becomes the job's trace; joiners never overwrite it.
         """
         signature = request.signature()
         with self._lock:
@@ -274,9 +295,14 @@ class JobManager:
                     f"{len(self._inflight)} jobs already running "
                     f"(limit {self.max_concurrent_jobs}); retry later"
                 )
-            job = Job(job_id=f"job-{next(self._ids)}", request=request)
+            job = Job(
+                job_id=f"job-{next(self._ids)}",
+                request=request,
+                trace_id=trace_id,
+            )
             self._jobs[job.job_id] = job
             self._inflight[signature] = job
+        self._m_jobs.inc()
         thread = threading.Thread(
             target=self._run_job, args=(job, signature), daemon=True
         )
@@ -304,10 +330,13 @@ class JobManager:
             def progress(result: ExperimentResult) -> None:
                 """Fold one finished case into the job's live counters."""
                 job.completed_cases += 1
+                self._m_cases.inc()
                 if result.cached:
                     job.cache_hits += 1
+                    self._m_hits.inc()
                 else:
                     job.cache_misses += 1
+                    self._m_misses.inc()
 
             with self._lock:
                 self.computations += 1
@@ -322,17 +351,26 @@ class JobManager:
                 executor = self.coordinator.executor(
                     request.redundancy, timeout=self.cluster_timeout
                 )
-            job.results = _execute_cases(
-                cases,
-                base_seed=request.base_seed,
-                executor=executor,
-                # Factory, not a pool: sized on the post-cache miss
-                # count, so a fully-cached job never spawns workers.
-                # Ignored when the cluster executor is set above.
-                executor_factory=self._pool_for,
-                store=self.store,
-                progress=progress,
-            )
+            # Reactivate the submitting request's trace on this worker
+            # thread, so the execution (and, for cluster sweeps, the
+            # replicated submit command) joins the same stitched trace.
+            with span_for_trace_id(
+                "job.run",
+                "service",
+                job.trace_id,
+                attrs={"job_id": job.job_id, "cases": len(cases)},
+            ):
+                job.results = _execute_cases(
+                    cases,
+                    base_seed=request.base_seed,
+                    executor=executor,
+                    # Factory, not a pool: sized on the post-cache miss
+                    # count, so a fully-cached job never spawns workers.
+                    # Ignored when the cluster executor is set above.
+                    executor_factory=self._pool_for,
+                    store=self.store,
+                    progress=progress,
+                )
             job.status = "done"
         except Exception as exc:  # surfaced via the status payload
             job.error = f"{type(exc).__name__}: {exc}"

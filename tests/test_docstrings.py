@@ -20,6 +20,7 @@ PACKAGES = [
     "solvers",
     "experiments",
     "econ",
+    "obs",
     "service",
     "verify",
 ]
