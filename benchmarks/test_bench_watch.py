@@ -1,0 +1,144 @@
+"""Watchdog overhead benchmark: warm fetch with and without a scraper.
+
+The repro.obs.watch acceptance evidence.  Rows go to
+``BENCH_watch.json``:
+
+* ``warm_fetch_watched`` — the async warm-fetch batch (same shape as
+  ``BENCH_obs.json``'s rows) while a live
+  :class:`~repro.obs.watch.Watchdog` scrapes the server's
+  ``/v1/metrics`` + ``/v1/raft/status`` + ``/v1/events`` at the
+  default cadence, feeds its TSDB, and evaluates the full default
+  rule catalog every tick (``start()`` scrapes immediately, so every
+  batch absorbs at least one full scrape round).
+* ``warm_fetch_unwatched`` — the identical batch with no watchdog
+  attached.
+
+The in-test gate asserts the watched run stays within 5% of the
+unwatched run (best-of-``ROUNDS``, orders alternated so loop warmth
+hits both sides equally, one retry round for CI jitter).  The watchdog
+is a client of the server, not a wrapper around its hot path, so the
+delta being measured is purely the scrape traffic plus any GIL/loop
+contention from the scraper thread.
+"""
+
+import asyncio
+
+from conftest import print_table, record_row
+from loadgen import run_load
+
+from repro.experiments.runner import run_experiments
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.watch import Watchdog
+from repro.service.app import build_manager
+from repro.service.aserver import AsyncServiceServer
+from repro.service.store import ResultStore
+
+SWEEP = ["coordination_robustness"]
+
+CONNECTIONS = 100
+REQUESTS_PER_CONNECTION = 100
+PIPELINE_DEPTH = 16
+ROUNDS = 4
+MAX_OVERHEAD = 1.05
+SCRAPE_INTERVAL = 1.0  # the shipped default cadence; start() scrapes
+# immediately, so every ~0.3 s batch still absorbs a full scrape round
+
+
+
+async def _measure_pair(store, path):
+    """Best-of-``ROUNDS`` seconds for (watched, unwatched) batches.
+
+    One server serves every batch; the watchdog thread is started for
+    the watched batches and stopped for the unwatched ones.  Rounds
+    alternate which configuration goes first so cache warmth and CPU
+    noise land on both sides equally.
+    """
+    server = AsyncServiceServer(
+        build_manager(None, store=store), registry=MetricsRegistry()
+    )
+    await server.start()
+    host, port = server.server_address
+    watchdog = Watchdog(
+        [f"http://{host}:{port}"], interval=SCRAPE_INTERVAL, timeout=2.0
+    )
+    best = {"watched": float("inf"), "unwatched": float("inf")}
+    loop = asyncio.get_running_loop()
+    try:
+        for round_index in range(ROUNDS):
+            order = ["watched", "unwatched"]
+            if round_index % 2:
+                order.reverse()
+            for name in order:
+                if name == "watched":
+                    watchdog.start()
+                try:
+                    report = await run_load(
+                        host,
+                        port,
+                        path,
+                        connections=CONNECTIONS,
+                        requests_per_connection=REQUESTS_PER_CONNECTION,
+                        pipeline_depth=PIPELINE_DEPTH,
+                    )
+                finally:
+                    if name == "watched":
+                        # stop() joins the scraper thread, whose blocking
+                        # urllib requests need the event loop to answer —
+                        # so the join must not block the loop itself.
+                        await loop.run_in_executor(None, watchdog.stop)
+                best[name] = min(best[name], report.seconds)
+    finally:
+        await loop.run_in_executor(None, watchdog.stop)
+        await server.drain()
+    assert watchdog.ticks > 0, "the watchdog never completed a scrape"
+    return best["watched"], best["unwatched"]
+
+
+def test_bench_watch_overhead_within_five_percent(tmp_path):
+    """An aggressive scraper costs <= 5% on the warm-fetch path."""
+    store = ResultStore(str(tmp_path / "cache"))
+    run_experiments(scenarios=SWEEP, store=store)  # seed the blobs
+    key = next(iter(store.keys()))
+    path = f"/v1/results/{key}"
+
+    watched, unwatched = asyncio.run(_measure_pair(store, path))
+    if watched > unwatched * MAX_OVERHEAD:
+        # One retry absorbs a noisy-neighbor round; a real regression
+        # reproduces and still fails below.
+        watched, unwatched = asyncio.run(_measure_pair(store, path))
+
+    total = CONNECTIONS * REQUESTS_PER_CONNECTION
+    workload = (
+        f"{total} GET {path} over {CONNECTIONS} conns "
+        f"(depth {PIPELINE_DEPTH}), best of {ROUNDS}"
+    )
+    record_row(
+        "watch",
+        "warm_fetch_watched",
+        watched,
+        workload=workload + f", watchdog @ {SCRAPE_INTERVAL}s",
+    )
+    record_row(
+        "watch",
+        "warm_fetch_unwatched",
+        unwatched,
+        workload=workload + ", no watchdog",
+    )
+    ratio = watched / unwatched if unwatched else 1.0
+    print_table(
+        "watchdog overhead (warm fetch, best-of rounds)",
+        ["row", "total s", "req/s", "vs unwatched"],
+        [
+            [
+                "watched",
+                f"{watched:.3f}",
+                f"{total / watched:,.0f}",
+                f"{ratio:.3f}x",
+            ],
+            ["unwatched", f"{unwatched:.3f}", f"{total / unwatched:,.0f}", ""],
+        ],
+    )
+    assert watched <= unwatched * MAX_OVERHEAD, (
+        f"watched warm fetch is {ratio:.3f}x the unwatched run "
+        f"(gate: {MAX_OVERHEAD}x)"
+    )

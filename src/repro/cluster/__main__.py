@@ -55,6 +55,52 @@ def _add_url(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_watch(parser: argparse.ArgumentParser) -> None:
+    """Attach the embedded-watchdog options shared by server commands."""
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="embed the fleet watchdog (serves /v1/watch/* from this process)",
+    )
+    parser.add_argument(
+        "--watch-interval",
+        type=float,
+        default=1.0,
+        help="watchdog scrape interval in seconds",
+    )
+    parser.add_argument(
+        "--watch-endpoints",
+        default=None,
+        help=(
+            "comma-separated base URLs to scrape "
+            "(default: this process plus its peers)"
+        ),
+    )
+    parser.add_argument(
+        "--watch-forensics-dir",
+        default=None,
+        help="write forensic bundles here when an alert fires",
+    )
+
+
+def _build_watchdog(args: argparse.Namespace, default_endpoints: List[str]):
+    """The embedded watchdog an ``--watch`` server command asked for."""
+    from repro.obs.watch import Watchdog
+
+    endpoints = default_endpoints
+    if args.watch_endpoints:
+        endpoints = [
+            url.strip()
+            for url in args.watch_endpoints.split(",")
+            if url.strip()
+        ]
+    return Watchdog(
+        endpoints,
+        interval=args.watch_interval,
+        forensics_dir=args.watch_forensics_dir,
+    )
+
+
 def _cmd_coordinator(args: argparse.Namespace) -> int:
     """Run the blocking HTTP server with a cluster coordinator attached."""
     store = None if args.cache_dir is None else ResultStore(args.cache_dir)
@@ -65,13 +111,23 @@ def _cmd_coordinator(args: argparse.Namespace) -> int:
         lease_ttl=args.lease_ttl,
         quarantine_after=args.quarantine_after,
     )
-    aserve_forever(
-        host=args.host,
-        port=args.port,
-        cache_dir=args.cache_dir,
-        store=store,
-        coordinator=coordinator,
-    )
+    watchdog = None
+    if args.watch:
+        self_url = f"http://{args.host}:{args.port}"
+        watchdog = _build_watchdog(args, [self_url])
+        coordinator.attach_watchdog(watchdog)
+        watchdog.start()
+    try:
+        aserve_forever(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            store=store,
+            coordinator=coordinator,
+        )
+    finally:
+        if watchdog is not None:
+            watchdog.stop()
     return 0
 
 
@@ -93,6 +149,10 @@ def _cmd_replica(args: argparse.Namespace) -> int:
         election_timeout=(args.election_min, args.election_max),
         fsync=not args.no_fsync,
     )
+    if args.watch:
+        watchdog = _build_watchdog(args, replica.watch_endpoints())
+        replica.attach_watchdog(watchdog)
+        watchdog.start()
     replica.start()
     try:
         aserve_forever(
@@ -212,6 +272,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=1,
         help="strikes before a worker stops receiving leases",
     )
+    _add_watch(coord)
     coord.set_defaults(fn=_cmd_coordinator)
 
     replica = sub.add_parser(
@@ -283,6 +344,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="skip fsync on the consensus log (tests/CI only)",
     )
+    _add_watch(replica)
     replica.set_defaults(fn=_cmd_replica)
 
     worker = sub.add_parser("worker", help="run one worker process")

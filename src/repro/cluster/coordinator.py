@@ -803,6 +803,7 @@ class ClusterCoordinator:
         self.unit_size = int(unit_size)
         self.lease_ttl = float(lease_ttl)
         self.quarantine_after = int(quarantine_after)
+        self.watchdog: Optional[Any] = None
         self._machine = CoordinatorMachine(
             redundancy=redundancy,
             unit_size=unit_size,
@@ -1030,6 +1031,18 @@ class ClusterCoordinator:
         """The machine's canonical state sha256 (anti-entropy identity)."""
         with self._cond:
             return self._machine.state_digest()
+
+    # -- watchdog embedding --------------------------------------------
+
+    def attach_watchdog(self, watchdog: Any) -> Any:
+        """Embed a running fleet watchdog in this coordinator process.
+
+        The service API looks the watchdog up dynamically through the
+        coordinator, so attaching one makes the server's
+        ``/v1/watch/*`` routes answer immediately.
+        """
+        self.watchdog = watchdog
+        return watchdog
 
     # -- test/debug helpers --------------------------------------------
 

@@ -552,6 +552,7 @@ class Replica:
         self.snapshot_interval = int(snapshot_interval)
         self.rpc_timeout = float(rpc_timeout)
 
+        self.watchdog: Optional[Any] = None
         self.registry = default_registry() if registry is None else registry
         self._log = DurableLog(data_dir, fsync=fsync, registry=self.registry)
         self._core = RaftCore(self.self_url, self.peer_urls, self._log)
@@ -641,6 +642,11 @@ class Replica:
     def close(self) -> None:
         """Stop all threads and release the durable log handle."""
         self._stop.set()
+        if self.watchdog is not None:
+            try:
+                self.watchdog.stop()
+            except Exception:
+                pass
         for event in self._events.values():
             event.set()
         with self._cond:
@@ -649,6 +655,22 @@ class Replica:
             thread.join(timeout=2.0)
         self._threads = []
         self._log.close()
+
+    # -- watchdog embedding ----------------------------------------------
+
+    def watch_endpoints(self) -> List[str]:
+        """The fleet base URLs an embedded watchdog should scrape."""
+        return [self.self_url] + list(self.peer_urls)
+
+    def attach_watchdog(self, watchdog: Any) -> Any:
+        """Embed a running fleet watchdog in this replica process.
+
+        The service API discovers it dynamically (``/v1/watch/*``
+        routes start answering), and :meth:`close` stops its scrape
+        loop with the replica's own threads.
+        """
+        self.watchdog = watchdog
+        return watchdog
 
     def hard_stop(self) -> None:
         """Halt without any cleanup — the in-process analog of SIGKILL.

@@ -1,7 +1,6 @@
 """repro.obs — dependency-free observability for the replicated fabric.
 
-Three small, stdlib-only modules threaded through every layer of the
-service stack:
+Stdlib-only modules threaded through every layer of the service stack:
 
 * :mod:`repro.obs.metrics` — a thread-safe process-local
   :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges, and
@@ -15,13 +14,20 @@ service stack:
   by ``GET /v1/trace/<trace_id>``.
 * :mod:`repro.obs.logs` — structured JSON line logging for the state
   transitions that used to be silent (elections, 421 redirects, lease
-  expiry, quarantine, snapshot catch-up).
+  expiry, quarantine, snapshot catch-up), with a monotonic ``seq``
+  cursor for exactly-once follow (``/v1/events?since=``).
+* :mod:`repro.obs.tsdb` / :mod:`repro.obs.rules` /
+  :mod:`repro.obs.watch` / :mod:`repro.obs.dash` — the fleet
+  **watchdog**: a bounded in-memory time-series ring over scraped
+  metrics, a declarative invariant/SLO rule engine with a
+  pending→firing→resolved alert lifecycle, flight-recorder forensic
+  bundles, and a self-contained HTML dashboard.
 
-``python -m repro.obs scrape|tail`` aggregates a fleet's metrics and
-stitches cross-process traces; see ``docs/observability.md``.
+``python -m repro.obs scrape|tail|watch|forensics`` drives all of it
+against a live fleet; see ``docs/observability.md``.
 """
 
-from .logs import log_event, recent_events, set_log_quiet
+from .logs import events_since, log_event, recent_events, set_log_quiet
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -49,29 +55,52 @@ from .trace import (
     span,
     span_for_trace_id,
 )
+from .dash import render_dash
+from .rules import (
+    Alert,
+    AlertManager,
+    Rule,
+    RuleContext,
+    default_rules,
+    histogram_quantile,
+)
+from .tsdb import TSDB, SeriesKey
+from .watch import Watchdog, serve_watch_http
 
 __all__ = [
+    "Alert",
+    "AlertManager",
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",
     "HEADER",
     "Histogram",
     "MetricsRegistry",
+    "Rule",
+    "RuleContext",
+    "SeriesKey",
     "Span",
     "SpanRecorder",
+    "TSDB",
     "TraceContext",
+    "Watchdog",
     "activate",
     "current_context",
     "default_recorder",
     "default_registry",
+    "default_rules",
+    "events_since",
     "format_header",
+    "histogram_quantile",
     "log_event",
     "new_trace",
     "null_registry",
     "parse_header",
     "parse_prometheus",
     "recent_events",
+    "render_dash",
     "render_prometheus",
+    "serve_watch_http",
     "set_default_recorder",
     "set_default_registry",
     "set_log_quiet",

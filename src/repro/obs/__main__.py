@@ -2,10 +2,14 @@
 
 Subcommands::
 
-    scrape   fetch /v1/metrics from every URL and print an aggregate
-             table (or, with --trace, stitch one trace from the fleet)
-    tail     poll the fleet's /v1/events and print new structured log
-             lines as they appear
+    scrape     fetch /v1/metrics from every URL and print an aggregate
+               table (or, with --trace, stitch one trace from the fleet)
+    tail       follow the fleet's /v1/events with the ?since= cursor and
+               print new structured log lines exactly once
+    watch      run the standalone fleet watchdog: TSDB history,
+               invariant/SLO alerting, flight-recorder forensics, and
+               (with --serve-port) the live HTML dashboard
+    forensics  pretty-print one forensic bundle's timeline
 
 Examples::
 
@@ -13,9 +17,17 @@ Examples::
         --url http://127.0.0.1:8661,http://127.0.0.1:8662,http://127.0.0.1:8663
     python -m repro.obs scrape --url ... --trace 4f2a...c9 --json
     python -m repro.obs tail --url http://127.0.0.1:8661 --interval 1.0
+    python -m repro.obs watch \\
+        --endpoints http://127.0.0.1:8661,http://127.0.0.1:8662 \\
+        --forensics-dir .watch --serve-port 9090
+    python -m repro.obs watch --endpoints ... --duration 30 \\
+        --fail-on-alert invariant
+    python -m repro.obs forensics .watch/bundle-raft-one_leader-....json
 
 ``scrape`` exits nonzero if any endpoint is unreachable unless
-``--allow-down`` is passed, so CI can assert the whole fleet answers.
+``--allow-down`` is passed, and ``watch --fail-on-alert`` exits nonzero
+when any alert of the given kind (or ``all``) went pending/firing — so
+CI can assert both that the fleet answers and that it is invariant-clean.
 """
 
 from __future__ import annotations
@@ -144,27 +156,164 @@ def _scrape_trace(
 
 
 def _cmd_tail(args: argparse.Namespace) -> int:
-    """Poll ``/v1/events`` on every URL and print new lines forever."""
+    """Poll ``/v1/events`` on every URL and print new lines forever.
+
+    Uses the ``?since=<seq>`` cursor, so an event is printed exactly
+    once per endpoint and ring wrap shows up as an explicit warning
+    line instead of a silent gap.
+    """
     urls = _split_urls(args.url)
-    seen: set = set()
+    cursors: Dict[str, int] = {url: 0 for url in urls}
     deadline = None if args.duration is None else time.monotonic() + args.duration
     while True:
         for url in urls:
             try:
-                body = _fetch(f"{url}/v1/events?limit={args.limit}", args.timeout)
-                events = json.loads(body).get("events", [])
+                body = _fetch(
+                    f"{url}/v1/events?since={cursors[url]}&limit={args.limit}",
+                    args.timeout,
+                )
+                payload = json.loads(body)
             except (OSError, ValueError, urllib.error.URLError):
                 continue
-            for record in events:
-                key = (url, record.get("mono"), record.get("event"))
-                if key in seen:
-                    continue
-                seen.add(key)
+            dropped = payload.get("dropped", 0)
+            if dropped:
+                print(
+                    f"# {url}: {dropped} events dropped (ring wrapped "
+                    "faster than the poll interval)",
+                    file=sys.stderr,
+                )
+            for record in payload.get("events", []):
                 record["endpoint"] = url
                 print(json.dumps(record, default=str), flush=True)
+            next_since = payload.get("next_since")
+            if isinstance(next_since, int):
+                cursors[url] = next_since
         if deadline is not None and time.monotonic() >= deadline:
             return 0
         time.sleep(args.interval)
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Run the standalone fleet watchdog against live endpoints."""
+    from repro.obs.rules import default_rules
+    from repro.obs.watch import Watchdog, serve_watch_http
+
+    urls = _split_urls(args.endpoints)
+    rules = None
+    if args.invariant_dwell is not None:
+        # CI chaos runs shrink the dwell so even a sub-second
+        # leaderless window (a fast re-election) still walks the full
+        # pending -> firing -> resolved lifecycle instead of clearing
+        # from pending before the default two-tick dwell elapses.
+        rules = default_rules(interval=args.interval)
+        for rule in rules:
+            if rule.kind == "invariant":
+                rule.for_seconds = args.invariant_dwell
+    watchdog = Watchdog(
+        urls,
+        interval=args.interval,
+        rules=rules,
+        forensics_dir=args.forensics_dir,
+        timeout=args.timeout,
+        suspect_after=args.suspect_after,
+    )
+    server = None
+    if args.serve_port is not None:
+        server = serve_watch_http(watchdog, port=args.serve_port, quiet=False)
+        host, port = server.server_address[:2]
+        print(f"# watch dashboard: http://{host}:{port}/v1/watch/dash",
+              file=sys.stderr)
+    try:
+        if args.duration is not None:
+            watchdog.run(args.duration)
+        else:
+            watchdog.start()
+            while True:
+                time.sleep(3600.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        watchdog.stop()
+        if server is not None:
+            server.shutdown()
+    status = watchdog.status()
+    if args.status_out:
+        with open(args.status_out, "w", encoding="utf-8") as handle:
+            json.dump(status, handle, indent=2, sort_keys=True)
+    print(json.dumps(status, indent=2, sort_keys=True))
+    if args.fail_on_alert:
+        noisy = [
+            entry
+            for entry in watchdog.alerts.log_snapshot()
+            if entry["state"] in ("pending", "firing")
+            and (args.fail_on_alert == "all" or entry["kind"] == args.fail_on_alert)
+        ]
+        if noisy:
+            print(
+                f"error: {len(noisy)} alert transitions on a run that "
+                "expected none",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def _cmd_forensics(args: argparse.Namespace) -> int:
+    """Pretty-print one forensic bundle's timeline."""
+    with open(args.bundle, "r", encoding="utf-8") as handle:
+        bundle = json.load(handle)
+    alert = bundle.get("alert") or {}
+    print(
+        f"bundle v{bundle.get('version')}  rule={alert.get('rule')}  "
+        f"state={alert.get('state')}  created={bundle.get('created_ts')}"
+    )
+    print(f"  message: {alert.get('message', '')}")
+    print("endpoints:")
+    for endpoint, info in sorted(bundle.get("endpoints", {}).items()):
+        state = "DOWN" if info.get("down") else "up"
+        print(
+            f"  {endpoint:<28} {state:<5} "
+            f"failures={info.get('consecutive_failures', 0)}"
+        )
+    print("raft:")
+    for endpoint, status in sorted(bundle.get("raft", {}).items()):
+        print(
+            f"  {endpoint:<28} role={status.get('role'):<9} "
+            f"term={status.get('term')} commit={status.get('commit_index')}"
+        )
+    timeline: List[Tuple[float, str]] = []
+    for entry in bundle.get("alert_log", []):
+        timeline.append(
+            (
+                float(entry.get("ts", 0.0)),
+                f"ALERT {entry.get('rule')} -> {entry.get('state')} "
+                f"{entry.get('message', '')}",
+            )
+        )
+    for event in bundle.get("events", []):
+        detail = {
+            k: v
+            for k, v in event.items()
+            if k not in ("ts", "mono", "seq", "trace_id")
+        }
+        timeline.append(
+            (float(event.get("ts", 0.0)), f"EVENT {json.dumps(detail, default=str)}")
+        )
+    timeline.sort(key=lambda item: item[0])
+    print(f"timeline ({len(timeline)} entries):")
+    t0 = timeline[0][0] if timeline else 0.0
+    for ts, line in timeline[-args.limit:]:
+        print(f"  +{ts - t0:9.3f}s  {line}")
+    term_series = [
+        s for s in bundle.get("tsdb", []) if s.get("metric") == "repro_raft_term"
+    ]
+    if term_series:
+        print("term history:")
+        for series in term_series:
+            points = series.get("points", [])
+            values = " ".join(f"{v:g}" for _ts, v in points[-20:])
+            print(f"  {series.get('endpoint', '?'):<28} {values}")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -215,6 +364,71 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="stop after this many seconds (default: run forever)",
     )
     tail.set_defaults(fn=_cmd_tail)
+
+    watch = sub.add_parser(
+        "watch", help="run the standalone fleet watchdog"
+    )
+    watch.add_argument(
+        "--endpoints",
+        required=True,
+        help="comma-separated base URLs of the fleet to monitor",
+    )
+    watch.add_argument("--interval", type=float, default=1.0)
+    watch.add_argument("--timeout", type=float, default=2.0)
+    watch.add_argument(
+        "--suspect-after",
+        type=int,
+        default=3,
+        help="consecutive scrape failures before an endpoint is down",
+    )
+    watch.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="run this many seconds then print status (default: forever)",
+    )
+    watch.add_argument(
+        "--forensics-dir",
+        default=None,
+        help="write forensic bundles here when an alert fires",
+    )
+    watch.add_argument(
+        "--serve-port",
+        type=int,
+        default=None,
+        help="serve /v1/watch/{dash,query,status} on this port",
+    )
+    watch.add_argument(
+        "--status-out",
+        default=None,
+        help="also write the final status JSON to this file",
+    )
+    watch.add_argument(
+        "--invariant-dwell",
+        type=float,
+        default=None,
+        help="override every invariant rule's pending dwell (seconds); "
+        "0 fires on the first breached scrape",
+    )
+    watch.add_argument(
+        "--fail-on-alert",
+        choices=["invariant", "slo", "all"],
+        default=None,
+        help="exit nonzero if any alert of this kind went pending/firing",
+    )
+    watch.set_defaults(fn=_cmd_watch)
+
+    forensics = sub.add_parser(
+        "forensics", help="pretty-print one forensic bundle"
+    )
+    forensics.add_argument("bundle", help="path to a bundle-*.json file")
+    forensics.add_argument(
+        "--limit",
+        type=int,
+        default=200,
+        help="newest timeline entries to print",
+    )
+    forensics.set_defaults(fn=_cmd_forensics)
 
     args = parser.parse_args(argv)
     return args.fn(args)

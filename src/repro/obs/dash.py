@@ -1,0 +1,371 @@
+"""Self-contained HTML dashboard for the fleet watchdog.
+
+:func:`render_dash` turns one :class:`repro.obs.watch.Watchdog` into a
+single HTML document with **zero external assets**: styles are an inline
+``<style>`` block (CSS custom properties with a selected dark mode, not
+an automatic flip) and every chart is inline SVG, so the page works from
+``curl -o dash.html`` on an air-gapped box.
+
+Layout: a fleet topology table (role/term/commit per endpoint, health as
+icon + label — never color alone), the alert board with the rule
+lifecycle state, term/leader/commit-index sparklines with one fixed
+categorical color per endpoint (assigned in slot order, never cycled;
+endpoints past the third fold to a muted series), request-rate stat
+tiles, and a latency-percentile table computed from scraped histogram
+bucket deltas.  A ``<meta http-equiv="refresh">`` keeps it live without
+JavaScript.
+"""
+
+from __future__ import annotations
+
+import html
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .rules import histogram_quantile
+
+__all__ = ["render_dash"]
+
+_SLOTS = 3  # categorical slots validated all-pairs; extras fold to muted
+
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --series-other: #898781;
+  --status-good: #0ca30c;
+  --status-warning: #fab219;
+  --status-critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+  }
+}
+:root[data-theme="dark"] {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --page: #0d0d0d;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --grid: #2c2c2a;
+  --baseline: #383835;
+  --border: rgba(255, 255, 255, 0.10);
+  --series-1: #3987e5;
+  --series-2: #d95926;
+  --series-3: #199e70;
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0;
+  padding: 24px;
+  background: var(--page);
+  color: var(--text-primary);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  font-size: 14px;
+}
+h1 { font-size: 18px; margin: 0 0 4px; }
+h2 { font-size: 14px; margin: 24px 0 8px; color: var(--text-secondary); }
+.sub { color: var(--text-muted); font-size: 12px; margin-bottom: 16px; }
+.card {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 16px;
+  margin-bottom: 16px;
+}
+table { border-collapse: collapse; width: 100%; }
+th {
+  text-align: left;
+  color: var(--text-muted);
+  font-weight: 500;
+  font-size: 12px;
+  padding: 4px 12px 4px 0;
+  border-bottom: 1px solid var(--grid);
+}
+td {
+  padding: 6px 12px 6px 0;
+  border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums;
+  color: var(--text-primary);
+}
+tr:last-child td { border-bottom: none; }
+.status { font-weight: 600; }
+.status.good { color: var(--status-good); }
+.status.warning { color: var(--status-warning); }
+.status.critical { color: var(--status-critical); }
+.row { display: flex; flex-wrap: wrap; gap: 16px; }
+.tile { flex: 1 1 160px; }
+.tile .value { font-size: 26px; font-weight: 600; }
+.tile .label { color: var(--text-secondary); font-size: 12px; }
+.legend { margin-top: 6px; font-size: 12px; color: var(--text-secondary); }
+.legend span.swatch {
+  display: inline-block;
+  width: 10px;
+  height: 10px;
+  border-radius: 2px;
+  margin: 0 4px 0 10px;
+  vertical-align: baseline;
+}
+.spark-minmax { font-size: 11px; color: var(--text-muted); }
+svg text { font-family: system-ui, -apple-system, "Segoe UI", sans-serif; }
+"""
+
+
+def _slot_color(index: int) -> str:
+    """The CSS variable for one endpoint's fixed categorical slot."""
+    if index < _SLOTS:
+        return f"var(--series-{index + 1})"
+    return "var(--series-other)"
+
+
+def _status_span(state: str) -> str:
+    """Health/alert state as icon + label (never color alone)."""
+    classes = {
+        "ok": ("good", "✓"),
+        "up": ("good", "✓"),
+        "resolved": ("good", "✓"),
+        "pending": ("warning", "⚠"),
+        "firing": ("critical", "✕"),
+        "down": ("critical", "✕"),
+    }
+    css, icon = classes.get(state, ("warning", "⚠"))
+    return (
+        f'<span class="status {css}">{icon}&nbsp;'
+        f"{html.escape(state)}</span>"
+    )
+
+
+def _sparkline(
+    series: List[Tuple[str, List[Tuple[float, float]], int]],
+    width: int = 280,
+    height: int = 56,
+) -> str:
+    """Inline-SVG sparkline: 2px lines, one color per endpoint slot.
+
+    ``series`` entries are ``(label, [(ts, value), ...], slot_index)``.
+    All series share one time axis and one value axis (never two
+    scales); the min/max of the shared value range label the left edge
+    in muted ink.
+    """
+    drawable = [(label, pts, slot) for label, pts, slot in series if pts]
+    if not drawable:
+        return '<div class="spark-minmax">no samples yet</div>'
+    t_min = min(p[0] for _l, pts, _s in drawable for p in pts)
+    t_max = max(p[0] for _l, pts, _s in drawable for p in pts)
+    v_min = min(p[1] for _l, pts, _s in drawable for p in pts)
+    v_max = max(p[1] for _l, pts, _s in drawable for p in pts)
+    if t_max - t_min <= 0:
+        t_max = t_min + 1.0
+    if v_max - v_min <= 0:
+        v_max = v_min + 1.0
+    pad = 4.0
+    plot_w = width - 2 * pad
+    plot_h = height - 2 * pad
+
+    def scale(ts: float, value: float) -> Tuple[float, float]:
+        """Map one data point into SVG pixel space."""
+        x = pad + (ts - t_min) / (t_max - t_min) * plot_w
+        y = pad + (1.0 - (value - v_min) / (v_max - v_min)) * plot_h
+        return x, y
+
+    lines = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img">',
+        f'<line x1="{pad}" y1="{height - pad}" x2="{width - pad}" '
+        f'y2="{height - pad}" stroke="var(--baseline)" stroke-width="1"/>',
+    ]
+    for _label, points, slot in drawable:
+        coords = " ".join(
+            f"{x:.1f},{y:.1f}" for x, y in (scale(ts, v) for ts, v in points)
+        )
+        lines.append(
+            f'<polyline points="{coords}" fill="none" '
+            f'stroke="{_slot_color(slot)}" stroke-width="2" '
+            f'stroke-linejoin="round" stroke-linecap="round"/>'
+        )
+    lines.append("</svg>")
+    legend = "".join(
+        f'<span class="swatch" style="background:{_slot_color(slot)}"></span>'
+        f"{html.escape(label)}"
+        for label, _pts, slot in drawable
+    )
+    minmax = (
+        f'<div class="spark-minmax">min {v_min:g} &middot; max {v_max:g}'
+        "</div>"
+    )
+    return (
+        "".join(lines)
+        + (f'<div class="legend">{legend}</div>' if len(drawable) > 1 else "")
+        + minmax
+    )
+
+
+def _endpoint_short(endpoint: str) -> str:
+    """A compact display label for one endpoint URL."""
+    return endpoint.split("//", 1)[-1]
+
+
+def _gauge_sparks(watchdog: Any, metric: str) -> str:
+    """One sparkline panel of a gauge's raw history for every endpoint."""
+    series = []
+    for index, endpoint in enumerate(watchdog.endpoints):
+        points = watchdog.tsdb.raw_points(endpoint, metric)
+        series.append((_endpoint_short(endpoint), points, index))
+    return _sparkline(series)
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    """A latency in milliseconds, or a dash when unknown."""
+    if value is None:
+        return "&ndash;"
+    return f"{value * 1000.0:.1f}ms"
+
+
+def render_dash(watchdog: Any) -> str:
+    """Render the watchdog's live state as one self-contained HTML page."""
+    now = time.time()
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f'<meta http-equiv="refresh" content="{max(2, int(watchdog.interval * 2))}">',
+        "<title>repro watch</title>",
+        f"<style>{_CSS}</style></head><body>",
+        "<h1>repro fleet watchdog</h1>",
+        f'<div class="sub">tick {watchdog.ticks} &middot; '
+        f"{len(watchdog.healthy())}/{len(watchdog.endpoints)} endpoints "
+        f"healthy &middot; rendered "
+        f"{time.strftime('%H:%M:%S', time.localtime(now))}</div>",
+    ]
+
+    # -- topology ------------------------------------------------------
+    health = watchdog.endpoint_health()
+    statuses: Dict[str, Dict[str, Any]] = getattr(watchdog, "_statuses", {})
+    parts.append('<div class="card"><h2>fleet topology</h2><table>')
+    parts.append(
+        "<tr><th>endpoint</th><th>health</th><th>role</th><th>term</th>"
+        "<th>commit</th><th>applied</th><th>leader</th></tr>"
+    )
+    for index, endpoint in enumerate(watchdog.endpoints):
+        info = health.get(endpoint, {})
+        raft = statuses.get(endpoint, {})
+        state = "down" if info.get("down") else "up"
+        swatch = (
+            f'<span class="swatch" style="background:{_slot_color(index)};'
+            'display:inline-block;width:10px;height:10px;'
+            'border-radius:2px;margin-right:6px"></span>'
+        )
+        role = raft.get("role")
+        leader_hint = raft.get("leader")
+        parts.append(
+            "<tr>"
+            f"<td>{swatch}{html.escape(_endpoint_short(endpoint))}</td>"
+            f"<td>{_status_span(state)}</td>"
+            f"<td>{html.escape(str(role)) if role else '&ndash;'}</td>"
+            f"<td>{raft.get('term', '&ndash;')}</td>"
+            f"<td>{raft.get('commit_index', '&ndash;')}</td>"
+            f"<td>{raft.get('applied_index', '&ndash;')}</td>"
+            f"<td>{html.escape(_endpoint_short(str(leader_hint))) if leader_hint else '&ndash;'}</td>"
+            "</tr>"
+        )
+    parts.append("</table></div>")
+
+    # -- alerts --------------------------------------------------------
+    parts.append('<div class="card"><h2>alerts</h2><table>')
+    parts.append(
+        "<tr><th>rule</th><th>kind</th><th>state</th><th>message</th></tr>"
+    )
+    for alert in watchdog.alerts.snapshot():
+        parts.append(
+            "<tr>"
+            f"<td>{html.escape(alert['rule'])}</td>"
+            f"<td>{html.escape(alert['kind'])}</td>"
+            f"<td>{_status_span(alert['state'])}</td>"
+            f"<td>{html.escape(alert['message'] or '')}</td>"
+            "</tr>"
+        )
+    parts.append("</table></div>")
+
+    # -- consensus history ---------------------------------------------
+    parts.append('<div class="card"><h2>consensus history</h2><div class="row">')
+    for title, metric in (
+        ("term", "repro_raft_term"),
+        ("leader flag", "repro_raft_is_leader"),
+        ("commit index", "repro_raft_commit_index"),
+    ):
+        parts.append(
+            f'<div class="tile"><div class="label">{title}</div>'
+            f"{_gauge_sparks(watchdog, metric)}</div>"
+        )
+    parts.append("</div></div>")
+
+    # -- serving -------------------------------------------------------
+    parts.append('<div class="card"><h2>serving</h2><div class="row">')
+    for index, endpoint in enumerate(watchdog.endpoints):
+        rate = 0.0
+        seen = False
+        for key in watchdog.tsdb.keys():
+            if key[0] != endpoint or key[1] != "repro_http_requests_total":
+                continue
+            per_second = watchdog.tsdb.rate(endpoint, key[1], key[2], 60.0, now)
+            if per_second is not None:
+                rate += per_second
+                seen = True
+        value = f"{rate:.1f}/s" if seen else "&ndash;"
+        parts.append(
+            f'<div class="tile"><div class="value">{value}</div>'
+            f'<div class="label">'
+            f'<span class="swatch" style="background:{_slot_color(index)};'
+            'display:inline-block;width:10px;height:10px;'
+            'border-radius:2px;margin-right:4px"></span>'
+            f"req rate &middot; {html.escape(_endpoint_short(endpoint))}"
+            "</div></div>"
+        )
+    parts.append("</div>")
+
+    parts.append("<table><tr><th>endpoint</th><th>http p50</th>"
+                 "<th>http p99</th><th>loop lag p99</th><th>fsync p99</th></tr>")
+    for endpoint in watchdog.endpoints:
+        p50 = histogram_quantile(
+            watchdog.tsdb, endpoint, "repro_http_request_seconds", 0.50, 300.0, now
+        )
+        p99 = histogram_quantile(
+            watchdog.tsdb, endpoint, "repro_http_request_seconds", 0.99, 300.0, now
+        )
+        lag = histogram_quantile(
+            watchdog.tsdb, endpoint, "repro_event_loop_lag_seconds", 0.99, 300.0, now
+        )
+        fsync = histogram_quantile(
+            watchdog.tsdb, endpoint, "repro_log_fsync_seconds", 0.99, 300.0, now
+        )
+        parts.append(
+            "<tr>"
+            f"<td>{html.escape(_endpoint_short(endpoint))}</td>"
+            f"<td>{_fmt_seconds(p50)}</td><td>{_fmt_seconds(p99)}</td>"
+            f"<td>{_fmt_seconds(lag)}</td><td>{_fmt_seconds(fsync)}</td>"
+            "</tr>"
+        )
+    parts.append("</table></div>")
+
+    parts.append("</body></html>")
+    return "".join(parts)

@@ -22,15 +22,16 @@ import sys
 import threading
 import time
 from collections import deque
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from .trace import current_context
 
-__all__ = ["log_event", "recent_events", "set_log_quiet"]
+__all__ = ["events_since", "log_event", "recent_events", "set_log_quiet"]
 
 _RING: deque = deque(maxlen=2048)
 _LOCK = threading.Lock()
 _QUIET = bool(os.environ.get("REPRO_OBS_QUIET"))
+_SEQ = 0  # monotonic per-process sequence; cursor for /v1/events?since=
 
 
 def set_log_quiet(quiet: bool) -> bool:
@@ -48,10 +49,12 @@ def log_event(event: str, component: str, quiet: Optional[bool] = None, **fields
     """Record one structured event; returns the emitted record.
 
     The record carries ``event``, ``component``, the active trace id
-    (if any), wall-clock ``ts`` and monotonic ``mono`` timestamps, and
-    every keyword passed.  Written as one JSON line to stderr unless
-    quieted, and always appended to the bounded ring.
+    (if any), wall-clock ``ts`` and monotonic ``mono`` timestamps, a
+    per-process monotonic ``seq`` (the ``/v1/events?since=`` cursor),
+    and every keyword passed.  Written as one JSON line to stderr
+    unless quieted, and always appended to the bounded ring.
     """
+    global _SEQ
     ctx = current_context()
     record: Dict[str, Any] = {
         "event": event,
@@ -62,6 +65,8 @@ def log_event(event: str, component: str, quiet: Optional[bool] = None, **fields
     }
     record.update(fields)
     with _LOCK:
+        _SEQ += 1
+        record["seq"] = _SEQ
         _RING.append(record)
     suppress = _QUIET if quiet is None else quiet
     if not suppress:
@@ -85,3 +90,28 @@ def recent_events(
     if component is not None:
         records = [r for r in records if r.get("component") == component]
     return records[-limit:]
+
+
+def events_since(
+    since: int = 0, limit: int = 200
+) -> Tuple[List[Dict[str, Any]], int, int]:
+    """Cursor read: events with ``seq > since``, oldest first.
+
+    Returns ``(events, next_since, dropped)`` where ``next_since`` is
+    the cursor to pass on the next call and ``dropped`` counts events
+    that fell off the bounded ring before this read could see them
+    (``0`` when the cursor kept up).  A follower polling with the
+    returned cursor therefore never re-reads an event and always knows
+    when ring wrap lost some.
+    """
+    with _LOCK:
+        records = list(_RING)
+    matched = [r for r in records if r.get("seq", 0) > since]
+    dropped = 0
+    if records and since:
+        oldest_retained = records[0].get("seq", 0)
+        if oldest_retained > since + 1:
+            dropped = oldest_retained - since - 1
+    matched = matched[:limit]
+    next_since = matched[-1]["seq"] if matched else since
+    return matched, int(next_since), int(dropped)

@@ -507,10 +507,63 @@ def null_registry() -> MetricsRegistry:
 
 
 def _format_value(value: float) -> str:
-    """Render one sample value (integers without a trailing ``.0``)."""
-    if float(value).is_integer():
+    """Render one sample value per the exposition format.
+
+    Non-finite values use the spec spellings ``+Inf``/``-Inf``/``NaN``;
+    integral floats drop the trailing ``.0``.
+    """
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value == _INF:
+        return "+Inf"
+    if value == -_INF:
+        return "-Inf"
+    if value.is_integer():
         return str(int(value))
-    return repr(float(value))
+    return repr(value)
+
+
+_INF = float("inf")
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape ``\\``, ``"``, and newline per the exposition format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(raw: str) -> str:
+    """Invert :func:`_escape_label_value` with one sequential pass.
+
+    A naive chain of ``str.replace`` calls corrupts values like
+    ``\\\\n`` (an escaped backslash followed by ``n``), so this walks
+    the escapes left to right.
+    """
+    if raw.startswith('"') and raw.endswith('"') and len(raw) >= 2:
+        raw = raw[1:-1]
+    out: List[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch == "\\" and i + 1 < len(raw):
+            nxt = raw[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:  # unknown escape: keep both chars (parser stays total)
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
 
 
 def _label_str(names: Sequence[str], values: Sequence[str]) -> str:
@@ -518,7 +571,7 @@ def _label_str(names: Sequence[str], values: Sequence[str]) -> str:
     if not names:
         return ""
     pairs = ",".join(
-        '%s="%s"' % (n, str(v).replace("\\", "\\\\").replace('"', '\\"'))
+        '%s="%s"' % (n, _escape_label_value(v))
         for n, v in zip(names, values)
     )
     return "{%s}" % pairs
@@ -573,7 +626,10 @@ def parse_prometheus(text: str) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
 
     Labels are a sorted tuple of ``(name, value)`` pairs.  Only the
     subset of the format :func:`render_prometheus` emits is understood
-    — enough for the fleet-scrape CLI and the round-trip tests.
+    — enough for the fleet-scrape CLI and the watchdog's scrape loop —
+    but the parser is **total**: malformed lines are skipped, escaped
+    label values (``\\\\``, ``\\"``, ``\\n``) round-trip exactly, and
+    ``NaN``/``+Inf``/``-Inf`` sample values parse to their floats.
     """
     out: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
     for line in text.splitlines():
@@ -582,7 +638,7 @@ def parse_prometheus(text: str) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
             continue
         try:
             name_part, value_part = line.rsplit(" ", 1)
-            value = float(value_part)
+            value = float(value_part)  # accepts NaN / +Inf / -Inf
         except ValueError:
             continue
         labels: List[Tuple[str, str]] = []
@@ -591,11 +647,11 @@ def parse_prometheus(text: str) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
             label_block = label_block.rstrip("}")
             for pair in _split_labels(label_block):
                 key, _, raw = pair.partition("=")
-                labels.append(
-                    (key, raw.strip('"').replace('\\"', '"').replace("\\\\", "\\"))
-                )
+                labels.append((key, _unescape_label_value(raw)))
         else:
             name = name_part
+        if not name:
+            continue
         out[(name, tuple(sorted(labels)))] = value
     return out
 

@@ -1,0 +1,552 @@
+"""Declarative invariant/SLO rules evaluated on every watchdog tick.
+
+Each :class:`Rule` inspects one scrape-tick :class:`RuleContext` (the
+TSDB history plus the newest parsed samples per endpoint) and returns a
+violation message or ``None``.  The :class:`AlertManager` drives the
+alert lifecycle per rule — ``ok → pending → firing → resolved`` — so a
+persistent violation fires exactly once instead of re-alerting every
+tick, and every transition is a structured
+:func:`repro.obs.logs.log_event` line (``watch.alert``).
+
+Two rule families ship by default (:func:`default_rules`):
+
+**Protocol invariants** — the live-fleet counterparts of the properties
+``repro.verify`` proves offline on the bounded model:
+
+* ``raft.one_leader`` — exactly one ``repro_raft_is_leader`` flag is
+  set fleet-wide (election safety, checked by the model checker as
+  *at most one leader per term*);
+* ``raft.term_monotonic`` — no endpoint's term gauge ever decreases;
+* ``raft.term_convergent`` — healthy endpoints agree on the term once
+  an election settles;
+* ``raft.commit_monotonic`` — no committed-index regression on a
+  continuously-up endpoint (commit_index is volatile across a real
+  restart, so a detected process restart suppresses one tick);
+* ``cluster.quarantine_votes`` — a quarantined worker's vote count
+  never increases afterwards (quarantined workers never vote).
+
+**SLOs** — serving-quality ceilings:
+
+* ``slo.http_p99`` — p99 request latency from bucket deltas;
+* ``slo.error_burn`` — multi-window 5xx error-budget burn (both the
+  short and long window must burn, so a single bad scrape cannot
+  fire it and a sustained burn cannot hide);
+* ``slo.loop_lag_p99`` — event-loop scheduling lag ceiling;
+* ``slo.fsync_p99`` — durable-log fsync latency ceiling.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .logs import log_event
+from .tsdb import TSDB
+
+__all__ = [
+    "Alert",
+    "AlertManager",
+    "Rule",
+    "RuleContext",
+    "default_rules",
+    "histogram_quantile",
+]
+
+Samples = Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]
+
+
+@dataclass
+class RuleContext:
+    """Everything one evaluation tick can see.
+
+    ``healthy`` lists endpoints whose latest scrape succeeded;
+    ``restarted`` flags endpoints whose process identity changed since
+    the previous scrape (any counter went backwards), which suppresses
+    monotonicity checks for one tick.
+    """
+
+    tsdb: TSDB
+    now: float
+    interval: float
+    healthy: List[str]
+    samples: Dict[str, Samples]
+    previous: Dict[str, Samples]
+    statuses: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    workers: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
+    restarted: Dict[str, bool] = field(default_factory=dict)
+
+    def value(
+        self, endpoint: str, metric: str, labels: Tuple[Tuple[str, str], ...] = ()
+    ) -> Optional[float]:
+        """The endpoint's newest value for one sample, if scraped."""
+        return self.samples.get(endpoint, {}).get((metric, labels))
+
+    def previous_value(
+        self, endpoint: str, metric: str, labels: Tuple[Tuple[str, str], ...] = ()
+    ) -> Optional[float]:
+        """The endpoint's value one scrape earlier, if present."""
+        return self.previous.get(endpoint, {}).get((metric, labels))
+
+
+@dataclass
+class Rule:
+    """One named check: a predicate over the tick context.
+
+    ``check`` returns a violation message (the rule is breached this
+    tick) or ``None``.  ``for_seconds`` is the dwell before a pending
+    violation fires; ``0`` fires on the first breached tick.
+    """
+
+    name: str
+    kind: str  # "invariant" | "slo"
+    description: str
+    check: Callable[[RuleContext], Optional[str]]
+    for_seconds: float = 0.0
+
+
+@dataclass
+class Alert:
+    """One rule's live alert state."""
+
+    rule: str
+    kind: str
+    state: str = "ok"  # ok | pending | firing | resolved
+    since: float = 0.0
+    message: str = ""
+    transitions: int = 0
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        """Plain-dict form for ``/v1/watch/status`` and the bundle."""
+        return {
+            "rule": self.rule,
+            "kind": self.kind,
+            "state": self.state,
+            "since": self.since,
+            "message": self.message,
+            "transitions": self.transitions,
+        }
+
+
+class AlertManager:
+    """Drives every rule's ``ok → pending → firing → resolved`` machine.
+
+    ``on_firing`` (when given) runs once per pending→firing edge —
+    the watchdog hooks the flight recorder there.  All transitions
+    append to a bounded ``alert_log`` and emit ``watch.alert`` events,
+    so tests and CI can assert the exact lifecycle a fault produced.
+    """
+
+    def __init__(
+        self,
+        rules: List[Rule],
+        on_firing: Optional[Callable[[Alert, RuleContext], None]] = None,
+        log_capacity: int = 1024,
+    ) -> None:
+        """Build one alert per rule, all starting in the ok state."""
+        self.rules = list(rules)
+        self.on_firing = on_firing
+        self.alerts: Dict[str, Alert] = {
+            rule.name: Alert(rule.name, rule.kind) for rule in self.rules
+        }
+        self.alert_log: List[Dict[str, Any]] = []
+        self._log_capacity = int(log_capacity)
+        self._lock = threading.Lock()
+
+    def _transition(
+        self, alert: Alert, state: str, ctx: RuleContext, message: str
+    ) -> None:
+        """Move one alert to ``state``, logging the edge."""
+        alert.state = state
+        alert.since = ctx.now
+        alert.message = message
+        alert.transitions += 1
+        entry = {
+            "ts": time.time(),
+            "mono": ctx.now,
+            "rule": alert.rule,
+            "kind": alert.kind,
+            "state": state,
+            "message": message,
+        }
+        with self._lock:
+            self.alert_log.append(entry)
+            if len(self.alert_log) > self._log_capacity:
+                del self.alert_log[: -self._log_capacity]
+        log_event(
+            "watch.alert",
+            "watch",
+            rule=alert.rule,
+            kind=alert.kind,
+            state=state,
+            message=message,
+        )
+
+    def evaluate(self, ctx: RuleContext) -> List[Alert]:
+        """Run every rule once against ``ctx``; returns changed alerts."""
+        changed: List[Alert] = []
+        for rule in self.rules:
+            alert = self.alerts[rule.name]
+            try:
+                violation = rule.check(ctx)
+            except Exception as exc:  # a broken rule must not kill the loop
+                violation = None
+                log_event(
+                    "watch.rule_error",
+                    "watch",
+                    rule=rule.name,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            if violation is not None:
+                if alert.state in ("ok", "resolved"):
+                    self._transition(alert, "pending", ctx, violation)
+                    changed.append(alert)
+                if (
+                    alert.state == "pending"
+                    and ctx.now - alert.since >= rule.for_seconds
+                ):
+                    self._transition(alert, "firing", ctx, violation)
+                    changed.append(alert)
+                    if self.on_firing is not None:
+                        try:
+                            self.on_firing(alert, ctx)
+                        except Exception as exc:
+                            log_event(
+                                "watch.forensics_error",
+                                "watch",
+                                rule=alert.rule,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+            else:
+                if alert.state == "firing":
+                    self._transition(alert, "resolved", ctx, alert.message)
+                    changed.append(alert)
+                elif alert.state == "pending":
+                    self._transition(alert, "ok", ctx, "")
+                    changed.append(alert)
+        return changed
+
+    def firing(self) -> List[Alert]:
+        """Alerts currently in the firing state."""
+        return [a for a in self.alerts.values() if a.state == "firing"]
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Every rule's alert state as JSON-ready dicts."""
+        return [self.alerts[rule.name].to_json_obj() for rule in self.rules]
+
+    def log_snapshot(self) -> List[Dict[str, Any]]:
+        """The transition history, oldest first."""
+        with self._lock:
+            return list(self.alert_log)
+
+
+# -- histogram math over scraped buckets --------------------------------
+
+
+def histogram_quantile(
+    tsdb: TSDB,
+    endpoint: str,
+    metric: str,
+    q: float,
+    window: float,
+    now: float,
+) -> Optional[float]:
+    """The ``q``-quantile of a scraped histogram over a trailing window.
+
+    Works on bucket *deltas*: for every ``<metric>_bucket`` series of
+    the endpoint (all label sets, summed per ``le``), take the
+    reset-aware increase over the window, then interpolate inside the
+    winning bucket exactly like
+    :meth:`repro.obs.metrics.Histogram.percentile`.  ``None`` when the
+    window saw no observations.
+    """
+    per_le: Dict[float, float] = {}
+    for key in tsdb.keys():
+        series_endpoint, name, labels = key
+        if series_endpoint != endpoint or name != f"{metric}_bucket":
+            continue
+        le_value: Optional[float] = None
+        for label_name, label_value in labels:
+            if label_name == "le":
+                le_value = float(label_value)
+        if le_value is None:
+            continue
+        delta = tsdb.increase(endpoint, name, labels, window, now)
+        if delta:
+            per_le[le_value] = per_le.get(le_value, 0.0) + delta
+    if not per_le:
+        return None
+    bounds = sorted(per_le)
+    total = per_le[bounds[-1]]  # +Inf parses to math.inf and sorts last
+    if total <= 0.0:
+        return None
+    rank = q * total
+    previous_cumulative = 0.0
+    previous_bound = 0.0
+    finite = [b for b in bounds if b != float("inf")]
+    for bound in bounds:
+        cumulative = per_le[bound]
+        if cumulative >= rank:
+            if bound == float("inf"):
+                return finite[-1] if finite else 0.0
+            in_bucket = cumulative - previous_cumulative
+            if in_bucket <= 0.0:
+                return bound
+            fraction = (rank - previous_cumulative) / in_bucket
+            return previous_bound + (bound - previous_bound) * min(
+                max(fraction, 0.0), 1.0
+            )
+        previous_cumulative = cumulative
+        if bound != float("inf"):
+            previous_bound = bound
+    return finite[-1] if finite else 0.0
+
+
+# -- the built-in rule catalog ------------------------------------------
+
+
+def _check_one_leader(ctx: RuleContext) -> Optional[str]:
+    """Exactly one leader among healthy endpoints reporting the gauge."""
+    flags = {
+        endpoint: ctx.value(endpoint, "repro_raft_is_leader")
+        for endpoint in ctx.healthy
+    }
+    reporting = {e: v for e, v in flags.items() if v is not None}
+    if not reporting:
+        return None  # not a raft fleet (plain service/coordinator)
+    leaders = [e for e, v in reporting.items() if v >= 1.0]
+    if len(leaders) == 1:
+        return None
+    return f"{len(leaders)} leaders among {sorted(reporting)} (want exactly 1)"
+
+
+def _check_term_monotonic(ctx: RuleContext) -> Optional[str]:
+    """No endpoint's term gauge ever goes backwards."""
+    for endpoint in ctx.healthy:
+        current = ctx.value(endpoint, "repro_raft_term")
+        previous = ctx.previous_value(endpoint, "repro_raft_term")
+        if current is None or previous is None:
+            continue
+        if ctx.restarted.get(endpoint):
+            continue  # term is durable, but don't judge a fresh process
+        if current < previous:
+            return f"{endpoint} term regressed {previous:g} -> {current:g}"
+    return None
+
+
+def _check_term_convergent(ctx: RuleContext) -> Optional[str]:
+    """Healthy endpoints agree on the term once elections settle."""
+    terms = {}
+    for endpoint in ctx.healthy:
+        value = ctx.value(endpoint, "repro_raft_term")
+        if value is not None:
+            terms[endpoint] = value
+    if len(terms) < 2:
+        return None
+    if max(terms.values()) - min(terms.values()) > 0:
+        return f"terms diverge: { {e: int(t) for e, t in sorted(terms.items())} }"
+    return None
+
+
+def _check_commit_monotonic(ctx: RuleContext) -> Optional[str]:
+    """No committed-index regression on a continuously-up endpoint."""
+    for endpoint in ctx.healthy:
+        current = ctx.value(endpoint, "repro_raft_commit_index")
+        previous = ctx.previous_value(endpoint, "repro_raft_commit_index")
+        if current is None or previous is None:
+            continue
+        if ctx.restarted.get(endpoint):
+            continue  # commit_index is volatile across a real restart
+        if current < previous:
+            return (
+                f"{endpoint} commit_index regressed "
+                f"{previous:g} -> {current:g}"
+            )
+    return None
+
+
+class _QuarantineVotes:
+    """Stateful check: a quarantined worker's votes never increase.
+
+    Remembers each worker's vote count the first tick it is seen
+    quarantined; any later increase means the coordinator accepted a
+    vote from a worker it had already banned.
+    """
+
+    def __init__(self) -> None:
+        """No baselines yet; they latch on first sight of a quarantine."""
+        self._at_quarantine: Dict[str, float] = {}
+
+    def __call__(self, ctx: RuleContext) -> Optional[str]:
+        """Evaluate the invariant against this tick's worker registry."""
+        for endpoint, workers in ctx.workers.items():
+            for worker in workers:
+                if not worker.get("quarantined"):
+                    continue
+                worker_id = str(worker.get("worker_id"))
+                votes = float(worker.get("votes_cast", 0))
+                baseline = self._at_quarantine.setdefault(worker_id, votes)
+                if votes > baseline:
+                    return (
+                        f"quarantined worker {worker.get('name', worker_id)} "
+                        f"voted after quarantine ({baseline:g} -> {votes:g})"
+                    )
+        return None
+
+
+def _slo_quantile_check(
+    metric: str, q: float, ceiling: float, window: float
+) -> Callable[[RuleContext], Optional[str]]:
+    """A check asserting a histogram quantile stays under a ceiling."""
+
+    def check(ctx: RuleContext) -> Optional[str]:
+        """Evaluate the quantile ceiling per healthy endpoint."""
+        for endpoint in ctx.healthy:
+            value = histogram_quantile(
+                ctx.tsdb, endpoint, metric, q, window, ctx.now
+            )
+            if value is not None and value > ceiling:
+                return (
+                    f"{endpoint} {metric} p{int(q * 100)} "
+                    f"{value * 1000.0:.1f}ms > {ceiling * 1000.0:.0f}ms"
+                )
+        return None
+
+    return check
+
+
+def _error_burn_check(
+    budget: float, short_window: float, long_window: float
+) -> Callable[[RuleContext], Optional[str]]:
+    """Multi-window error-budget burn over ``repro_http_requests_total``.
+
+    Fires only when the 5xx ratio exceeds the budget in **both**
+    windows — the standard fast-burn guard: the short window catches
+    the spike, the long window proves it is sustained.
+    """
+
+    def ratio(ctx: RuleContext, endpoint: str, window: float) -> Optional[float]:
+        """The endpoint's 5xx / total request ratio over one window."""
+        total = 0.0
+        errors = 0.0
+        for key in ctx.tsdb.keys():
+            series_endpoint, name, labels = key
+            if series_endpoint != endpoint or name != "repro_http_requests_total":
+                continue
+            delta = ctx.tsdb.increase(endpoint, name, labels, window, ctx.now)
+            if not delta:
+                continue
+            total += delta
+            status = dict(labels).get("status", "")
+            if status.startswith("5"):
+                errors += delta
+        if total <= 0.0:
+            return None
+        return errors / total
+
+    def check(ctx: RuleContext) -> Optional[str]:
+        """Evaluate the two-window burn per healthy endpoint."""
+        for endpoint in ctx.healthy:
+            short = ratio(ctx, endpoint, short_window)
+            long_ = ratio(ctx, endpoint, long_window)
+            if short is None or long_ is None:
+                continue
+            if short > budget and long_ > budget:
+                return (
+                    f"{endpoint} 5xx ratio {short:.2%} (short) / "
+                    f"{long_:.2%} (long) > budget {budget:.2%}"
+                )
+        return None
+
+    return check
+
+
+def default_rules(
+    interval: float = 1.0,
+    http_p99_ceiling: float = 0.5,
+    loop_lag_p99_ceiling: float = 0.25,
+    fsync_p99_ceiling: float = 1.0,
+    error_budget: float = 0.01,
+    slo_window: float = 60.0,
+) -> List[Rule]:
+    """The built-in rule catalog, dwell times scaled to the interval.
+
+    Invariant dwells default to a couple of scrape ticks so a mid-
+    election scrape does not fire ``one_leader`` on a healthy fleet,
+    while a real leader loss (detection latency = the failure
+    detector's timeout, cf. the eventually-perfect detector ◊P) still
+    fires within seconds.
+    """
+    dwell = 2.0 * interval
+    return [
+        Rule(
+            "raft.one_leader",
+            "invariant",
+            "Exactly one repro_raft_is_leader flag fleet-wide.",
+            _check_one_leader,
+            for_seconds=dwell,
+        ),
+        Rule(
+            "raft.term_monotonic",
+            "invariant",
+            "Term gauges never decrease on a live endpoint.",
+            _check_term_monotonic,
+        ),
+        Rule(
+            "raft.term_convergent",
+            "invariant",
+            "Healthy endpoints agree on the consensus term.",
+            _check_term_convergent,
+            for_seconds=max(dwell, 5.0 * interval),
+        ),
+        Rule(
+            "raft.commit_monotonic",
+            "invariant",
+            "Committed index never regresses on a continuously-up endpoint.",
+            _check_commit_monotonic,
+        ),
+        Rule(
+            "cluster.quarantine_votes",
+            "invariant",
+            "Quarantined workers never vote again.",
+            _QuarantineVotes(),
+        ),
+        Rule(
+            "slo.http_p99",
+            "slo",
+            f"p99 request latency <= {http_p99_ceiling * 1000.0:.0f}ms.",
+            _slo_quantile_check(
+                "repro_http_request_seconds", 0.99, http_p99_ceiling, slo_window
+            ),
+            for_seconds=dwell,
+        ),
+        Rule(
+            "slo.error_burn",
+            "slo",
+            f"5xx error-budget burn <= {error_budget:.2%} in both windows.",
+            _error_burn_check(error_budget, slo_window / 4.0, slo_window),
+            for_seconds=dwell,
+        ),
+        Rule(
+            "slo.loop_lag_p99",
+            "slo",
+            f"p99 event-loop lag <= {loop_lag_p99_ceiling * 1000.0:.0f}ms.",
+            _slo_quantile_check(
+                "repro_event_loop_lag_seconds",
+                0.99,
+                loop_lag_p99_ceiling,
+                slo_window,
+            ),
+            for_seconds=dwell,
+        ),
+        Rule(
+            "slo.fsync_p99",
+            "slo",
+            f"p99 fsync latency <= {fsync_p99_ceiling * 1000.0:.0f}ms.",
+            _slo_quantile_check(
+                "repro_log_fsync_seconds", 0.99, fsync_p99_ceiling, slo_window
+            ),
+            for_seconds=dwell,
+        ),
+    ]

@@ -1,0 +1,350 @@
+"""A bounded in-memory time-series database for scraped fleet metrics.
+
+The watchdog (:mod:`repro.obs.watch`) polls every fleet endpoint's
+``/v1/metrics``, parses the exposition text with
+:func:`repro.obs.metrics.parse_prometheus`, and feeds each sample into
+a :class:`TSDB`.  The design constraints:
+
+* **fixed memory budget** — every series is a ring: the raw tier keeps
+  the newest ``raw_capacity`` samples at scrape resolution, and each
+  rollup tier folds them into wider buckets (10 s and 60 s by default)
+  so hours of history fit in a few hundred tuples per series.  The
+  series population itself is bounded (``max_series``); samples past
+  the bound are dropped and counted, never silently absorbed.
+* **counters stay usable** — :meth:`TSDB.rate` derives a per-second
+  rate from raw samples with counter-reset detection (a value drop is
+  a process restart, not a negative rate), which is what the SLO rules
+  and the dashboard's throughput sparkline consume.
+* **queryable as JSON** — :meth:`TSDB.query` answers the
+  ``GET /v1/watch/query`` endpoint: filter by metric name, endpoint,
+  and label subset; choose a tier; get ``[[ts, value], ...]`` points.
+
+A rollup bucket keeps ``(bucket_ts, count, sum, min, max, last)`` so a
+query can ask for ``avg``/``min``/``max``/``last`` per bucket without
+the raw samples that produced it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["SeriesKey", "TSDB"]
+
+SeriesKey = Tuple[str, str, Tuple[Tuple[str, str], ...]]
+"""One series' identity: ``(endpoint, metric_name, sorted_label_pairs)``."""
+
+_DEFAULT_TIERS: Tuple[Tuple[float, int], ...] = ((10.0, 360), (60.0, 240))
+# (bucket_width_seconds, capacity) per rollup tier: 10 s buckets for an
+# hour, 60 s buckets for four — on top of the raw ring this holds hours
+# of history in a fixed budget.
+
+
+class _Series:
+    """One metric stream: a raw ring plus one open+closed ring per tier."""
+
+    __slots__ = ("raw", "tiers")
+
+    def __init__(self, raw_capacity: int, tiers: Sequence[Tuple[float, int]]) -> None:
+        """Allocate the raw ring and one empty ring per rollup tier."""
+        self.raw: deque = deque(maxlen=raw_capacity)
+        # Per tier: a ring of closed buckets; the newest element is the
+        # still-open bucket and is updated in place until ts crosses
+        # its right edge.
+        self.tiers: List[Tuple[float, deque]] = [
+            (float(width), deque(maxlen=capacity)) for width, capacity in tiers
+        ]
+
+    def add(self, ts: float, value: float) -> None:
+        """Append one raw sample and fold it into every rollup tier."""
+        self.raw.append((ts, value))
+        for width, ring in self.tiers:
+            bucket_ts = ts - (ts % width)
+            if ring and ring[-1][0] == bucket_ts:
+                _, count, total, low, high, _ = ring[-1]
+                ring[-1] = (
+                    bucket_ts,
+                    count + 1,
+                    total + value,
+                    min(low, value),
+                    max(high, value),
+                    value,
+                )
+            else:
+                ring.append((bucket_ts, 1, value, value, value, value))
+
+
+def _labels_match(
+    series_labels: Tuple[Tuple[str, str], ...], wanted: Dict[str, str]
+) -> bool:
+    """True when every wanted label pair appears in the series labels."""
+    if not wanted:
+        return True
+    have = dict(series_labels)
+    return all(have.get(k) == v for k, v in wanted.items())
+
+
+class TSDB:
+    """Bounded per-series history over scraped fleet samples.
+
+    Thread-safe: the watchdog's scrape thread writes while HTTP query
+    handlers (and the dashboard renderer) read.
+    """
+
+    def __init__(
+        self,
+        raw_capacity: int = 600,
+        tiers: Sequence[Tuple[float, int]] = _DEFAULT_TIERS,
+        max_series: int = 8192,
+    ) -> None:
+        """Fix the retention geometry; series allocate lazily on ingest."""
+        self.raw_capacity = int(raw_capacity)
+        self.tiers = tuple((float(w), int(c)) for w, c in tiers)
+        self.max_series = int(max_series)
+        self.dropped_series = 0
+        self._series: Dict[SeriesKey, _Series] = {}
+        self._lock = threading.Lock()
+
+    # -- ingest --------------------------------------------------------
+
+    def record(
+        self,
+        endpoint: str,
+        name: str,
+        labels: Tuple[Tuple[str, str], ...],
+        value: float,
+        ts: float,
+    ) -> None:
+        """Insert one sample (creates the series on first sight)."""
+        key = (endpoint, name, labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                if len(self._series) >= self.max_series:
+                    self.dropped_series += 1
+                    return
+                series = _Series(self.raw_capacity, self.tiers)
+                self._series[key] = series
+            series.add(ts, value)
+
+    def record_scrape(
+        self,
+        endpoint: str,
+        samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float],
+        ts: float,
+    ) -> int:
+        """Insert one parsed ``/v1/metrics`` scrape; returns sample count."""
+        for (name, labels), value in samples.items():
+            self.record(endpoint, name, labels, value, ts)
+        return len(samples)
+
+    # -- introspection -------------------------------------------------
+
+    def series_count(self) -> int:
+        """Number of live series."""
+        with self._lock:
+            return len(self._series)
+
+    def point_count(self) -> int:
+        """Total retained points across all series and tiers."""
+        with self._lock:
+            total = 0
+            for series in self._series.values():
+                total += len(series.raw)
+                for _width, ring in series.tiers:
+                    total += len(ring)
+            return total
+
+    def keys(self) -> List[SeriesKey]:
+        """All live series identities, sorted."""
+        with self._lock:
+            return sorted(self._series.keys())
+
+    # -- reads ---------------------------------------------------------
+
+    def latest(
+        self,
+        metric: str,
+        endpoint: Optional[str] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Dict[SeriesKey, Tuple[float, float]]:
+        """The newest ``(ts, value)`` per matching series."""
+        wanted = labels or {}
+        out: Dict[SeriesKey, Tuple[float, float]] = {}
+        with self._lock:
+            for key, series in self._series.items():
+                if key[1] != metric or not series.raw:
+                    continue
+                if endpoint is not None and key[0] != endpoint:
+                    continue
+                if not _labels_match(key[2], wanted):
+                    continue
+                out[key] = series.raw[-1]
+        return out
+
+    def raw_points(
+        self,
+        endpoint: str,
+        metric: str,
+        labels: Tuple[Tuple[str, str], ...] = (),
+        start: Optional[float] = None,
+    ) -> List[Tuple[float, float]]:
+        """One series' raw ``(ts, value)`` samples, oldest first."""
+        with self._lock:
+            series = self._series.get((endpoint, metric, labels))
+            points = list(series.raw) if series is not None else []
+        if start is not None:
+            points = [p for p in points if p[0] >= start]
+        return points
+
+    def rate(
+        self,
+        endpoint: str,
+        metric: str,
+        labels: Tuple[Tuple[str, str], ...] = (),
+        window: float = 60.0,
+        now: Optional[float] = None,
+    ) -> Optional[float]:
+        """Per-second increase of a counter over the trailing window.
+
+        Counter resets (a sample below its predecessor — the process
+        restarted) contribute the post-reset value instead of a
+        negative delta, mirroring Prometheus ``rate()``.  ``None``
+        until two samples exist in the window.
+        """
+        points = self.raw_points(endpoint, metric, labels)
+        if now is None and points:
+            now = points[-1][0]
+        if now is not None:
+            points = [p for p in points if p[0] >= now - window]
+        if len(points) < 2:
+            return None
+        increase = 0.0
+        previous = points[0][1]
+        for _ts, value in points[1:]:
+            if value >= previous:
+                increase += value - previous
+            else:  # counter reset: count the value accumulated since
+                increase += value
+            previous = value
+        elapsed = points[-1][0] - points[0][0]
+        if elapsed <= 0.0:
+            return None
+        return increase / elapsed
+
+    def increase(
+        self,
+        endpoint: str,
+        metric: str,
+        labels: Tuple[Tuple[str, str], ...] = (),
+        window: float = 60.0,
+        now: Optional[float] = None,
+    ) -> Optional[float]:
+        """Reset-aware total increase of a counter over the window."""
+        per_second = self.rate(endpoint, metric, labels, window, now)
+        if per_second is None:
+            return None
+        points = self.raw_points(endpoint, metric, labels)
+        if now is not None:
+            points = [p for p in points if p[0] >= now - window]
+        elapsed = points[-1][0] - points[0][0] if len(points) >= 2 else 0.0
+        return per_second * elapsed
+
+    def query(
+        self,
+        metric: str,
+        endpoint: Optional[str] = None,
+        labels: Optional[Dict[str, str]] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        tier: float = 0.0,
+        agg: str = "last",
+    ) -> List[Dict[str, Any]]:
+        """Range-query matching series as JSON-ready dicts.
+
+        ``tier`` selects resolution: ``0`` is the raw scrape ring; any
+        other value picks the rollup tier with that bucket width (the
+        nearest one if no exact match).  ``agg`` chooses the rollup
+        value per bucket: ``last``, ``avg``, ``min``, ``max``, or
+        ``count`` (ignored on the raw tier).
+        """
+        wanted = labels or {}
+        out: List[Dict[str, Any]] = []
+        with self._lock:
+            matches = [
+                (key, series)
+                for key, series in self._series.items()
+                if key[1] == metric
+                and (endpoint is None or key[0] == endpoint)
+                and _labels_match(key[2], wanted)
+            ]
+            snapshots = [
+                (key, list(series.raw), [(w, list(r)) for w, r in series.tiers])
+                for key, series in matches
+            ]
+        for key, raw, tiers in sorted(snapshots, key=lambda item: item[0]):
+            if tier and tiers:
+                width, ring = min(tiers, key=lambda t: abs(t[0] - tier))
+                points = [(b[0], _bucket_value(b, agg)) for b in ring]
+            else:
+                width = 0.0
+                points = raw
+            if start is not None:
+                points = [p for p in points if p[0] >= start]
+            if end is not None:
+                points = [p for p in points if p[0] <= end]
+            out.append(
+                {
+                    "endpoint": key[0],
+                    "metric": key[1],
+                    "labels": dict(key[2]),
+                    "tier": width,
+                    "points": [[ts, value] for ts, value in points],
+                }
+            )
+        return out
+
+    def export_window(
+        self, window: float, now: float, metrics: Optional[Iterable[str]] = None
+    ) -> List[Dict[str, Any]]:
+        """Raw samples of the trailing window (the forensics bundle).
+
+        ``metrics`` optionally restricts to a name allowlist; the
+        default exports everything the window retains.
+        """
+        allowed = None if metrics is None else set(metrics)
+        start = now - window
+        out: List[Dict[str, Any]] = []
+        with self._lock:
+            items = sorted(self._series.items())
+            snapshots = [(key, list(series.raw)) for key, series in items]
+        for key, raw in snapshots:
+            if allowed is not None and key[1] not in allowed:
+                continue
+            points = [[ts, value] for ts, value in raw if ts >= start]
+            if not points:
+                continue
+            out.append(
+                {
+                    "endpoint": key[0],
+                    "metric": key[1],
+                    "labels": dict(key[2]),
+                    "points": points,
+                }
+            )
+        return out
+
+
+def _bucket_value(bucket: Tuple[float, int, float, float, float, float], agg: str) -> float:
+    """One rollup bucket reduced to a scalar by the chosen aggregate."""
+    _ts, count, total, low, high, last = bucket
+    if agg == "avg":
+        return total / count if count else 0.0
+    if agg == "min":
+        return low
+    if agg == "max":
+        return high
+    if agg == "count":
+        return float(count)
+    return last

@@ -64,8 +64,10 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from urllib.parse import parse_qsl
+
 from repro.cluster.errors import NotLeaderError
-from repro.obs.logs import log_event, recent_events
+from repro.obs.logs import events_since, log_event, recent_events
 from repro.obs.metrics import default_registry, render_prometheus
 from repro.obs.trace import current_context, default_recorder
 from repro.service.jobs import JobManager, SweepRequest, TooManyJobsError
@@ -82,6 +84,8 @@ __all__ = [
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024
 _MAX_BATCH_KEYS = 10_000
+_MAX_TRACE_BODY_BYTES = 512 * 1024
+_MAX_TRACE_SPANS = 2048
 # Blobs at or above this size are handed to the transport as a file
 # reference (``ApiResponse.blob_path``) for sendfile/streamed serving;
 # smaller ones ride in memory through the store's LRU.
@@ -116,6 +120,13 @@ def etag_matches(header: Optional[str], etag: str) -> bool:
         if candidate == etag:
             return True
     return False
+
+
+def _parse_query(raw_path: str) -> Dict[str, str]:
+    """The request's query parameters (last value wins per key)."""
+    if "?" not in raw_path:
+        return {}
+    return dict(parse_qsl(raw_path.split("?", 1)[1]))
 
 
 @dataclass
@@ -159,10 +170,16 @@ class ServiceAPI:
         manager: JobManager,
         registry=None,
         recorder=None,
+        watchdog=None,
     ) -> None:
         self.manager = manager
         self.registry = registry if registry is not None else default_registry()
         self.recorder = recorder if recorder is not None else default_recorder()
+        self.watchdog = watchdog
+        self._trace_rejected = self.registry.counter(
+            "repro_trace_ingest_rejected_total",
+            "Span-ingest requests rejected for exceeding size bounds.",
+        )
 
     # -- dispatch ------------------------------------------------------
 
@@ -176,7 +193,12 @@ class ServiceAPI:
         """Serve one request; failures become the JSON error envelope."""
         try:
             handler, args = self._route(method, path)
-            return handler(*args, body=body, if_none_match=if_none_match)
+            return handler(
+                *args,
+                body=body,
+                if_none_match=if_none_match,
+                query=_parse_query(path),
+            )
         except ApiError as exc:
             return self._json(exc.status, {"error": exc.message})
         except NotLeaderError as exc:
@@ -235,6 +257,12 @@ class ServiceAPI:
                 return self._get_trace, (parts[2],)
             if parts == ["v1", "events"]:
                 return self._get_events, ()
+            if parts == ["v1", "watch", "status"]:
+                return self._get_watch_status, ()
+            if parts == ["v1", "watch", "query"]:
+                return self._get_watch_query, ()
+            if parts == ["v1", "watch", "dash"]:
+                return self._get_watch_dash, ()
         if method == "POST":
             if parts == ["v1", "sweeps"]:
                 return self._post_sweep, ()
@@ -349,16 +377,91 @@ class ServiceAPI:
         )
 
     def _post_trace(self, body=b"", **_ignored) -> ApiResponse:
-        """Ingest spans pushed by workers/clients (deduplicated)."""
+        """Ingest spans pushed by workers/clients (deduplicated).
+
+        Bodies past ``_MAX_TRACE_BODY_BYTES`` or span lists past
+        ``_MAX_TRACE_SPANS`` are rejected with 413 (and counted) before
+        any JSON parsing touches them — the recorder ring is bounded,
+        so an oversized push could only evict useful spans.
+        """
+        if len(body) > _MAX_TRACE_BODY_BYTES:
+            self._trace_rejected.inc()
+            raise ApiError(
+                413,
+                f"trace body {len(body)} bytes exceeds "
+                f"{_MAX_TRACE_BODY_BYTES}",
+            )
         parsed = self._parse_json_body(body)
         spans = parsed.get("spans")
         if not isinstance(spans, list):
             raise ApiError(400, "trace push needs spans: [obj, ...]")
+        if len(spans) > _MAX_TRACE_SPANS:
+            self._trace_rejected.inc()
+            raise ApiError(
+                413, f"trace push of {len(spans)} spans exceeds "
+                f"{_MAX_TRACE_SPANS}",
+            )
         return self._json(200, {"ingested": self.recorder.ingest(spans)})
 
-    def _get_events(self, **_ignored) -> ApiResponse:
-        """Recent structured log events retained by this process."""
-        return self._json(200, {"events": recent_events(limit=200)})
+    def _get_events(self, query=None, **_ignored) -> ApiResponse:
+        """Recent structured log events retained by this process.
+
+        With ``?since=<seq>`` this is a cursor read: only events newer
+        than the sequence number return, along with ``next_since`` (the
+        cursor for the next poll) and ``dropped`` (events lost to ring
+        wrap since the cursor) — so followers neither re-read nor
+        silently miss events.
+        """
+        query = query or {}
+        limit = int(query.get("limit", 200))
+        if limit <= 0 or limit > 2000:
+            raise ApiError(400, "limit must be in 1..2000")
+        if "since" in query:
+            try:
+                since = int(query["since"])
+            except ValueError:
+                raise ApiError(400, "since must be an integer") from None
+            events, next_since, dropped = events_since(since, limit)
+            return self._json(
+                200,
+                {
+                    "events": events,
+                    "next_since": next_since,
+                    "dropped": dropped,
+                },
+            )
+        return self._json(200, {"events": recent_events(limit=limit)})
+
+    def _watchdog(self):
+        """The serving watchdog: attached here or on the coordinator.
+
+        A replica/coordinator embeds its watchdog after construction
+        (``attach_watchdog``), so the lookup is dynamic rather than
+        captured at ``ServiceAPI.__init__`` time.
+        """
+        watchdog = self.watchdog
+        if watchdog is None:
+            watchdog = getattr(self.manager.coordinator, "watchdog", None)
+        if watchdog is None:
+            raise ApiError(404, "server is running without a watchdog")
+        return watchdog
+
+    def _get_watch_status(self, **_ignored) -> ApiResponse:
+        """The watchdog's endpoint health, alert states, and TSDB stats."""
+        return self._json(200, self._watchdog().status())
+
+    def _get_watch_query(self, query=None, **_ignored) -> ApiResponse:
+        """Range-query the watchdog TSDB (see ``query_from_params``)."""
+        return self._json(200, self._watchdog().query_from_params(query or {}))
+
+    def _get_watch_dash(self, **_ignored) -> ApiResponse:
+        """The self-contained HTML dashboard."""
+        from repro.obs.dash import render_dash
+
+        body = render_dash(self._watchdog()).encode("utf-8")
+        return ApiResponse(
+            200, body, content_type="text/html; charset=utf-8"
+        )
 
     def _post_raft_rpc(self, body=b"", **_ignored) -> ApiResponse:
         """One peer consensus message; the reply message rides back."""

@@ -117,6 +117,9 @@ _LITERAL_ROUTES = frozenset(
         "/v1/metrics",
         "/v1/trace",
         "/v1/events",
+        "/v1/watch/status",
+        "/v1/watch/query",
+        "/v1/watch/dash",
     }
 )
 
@@ -533,10 +536,11 @@ class AsyncServiceServer:
         drain_timeout: float = 10.0,
         quiet: bool = True,
         registry=None,
+        watchdog=None,
     ) -> None:
         self.manager = manager
         self.registry = registry if registry is not None else default_registry()
-        self.api = ServiceAPI(manager, registry=self.registry)
+        self.api = ServiceAPI(manager, registry=self.registry, watchdog=watchdog)
         self.host = host
         self.port = port
         self.max_connections = int(max_connections)
@@ -796,6 +800,7 @@ def aserve_forever(
     max_connections: int = 4096,
     keep_alive_timeout: float = 300.0,
     drain_timeout: float = 10.0,
+    watchdog: Optional[Any] = None,
 ) -> None:
     """Blocking asyncio entry point behind ``python -m repro.service serve``.
 
@@ -818,6 +823,7 @@ def aserve_forever(
         keep_alive_timeout=keep_alive_timeout,
         drain_timeout=drain_timeout,
         quiet=quiet,
+        watchdog=watchdog,
     )
 
     async def _main() -> None:

@@ -1,0 +1,604 @@
+"""Watchdog suite: TSDB, rules, alert lifecycle, forensics, dashboard.
+
+Unit tests drive the rule engine with synthetic scrape contexts; the
+acceptance test (ISSUE 10) runs the real :class:`repro.obs.watch.Watchdog`
+against a live three-replica fleet, hard-kills the leader, and asserts
+the ``raft.one_leader`` invariant walks pending → firing → resolved,
+writes a forensic bundle whose timeline contains election events and
+term-gauge history, and that the dashboard HTML renders the leader
+change.  The satellite fixes ride along: the ``/v1/events`` sequence
+cursor, the bounded ``POST /v1/trace`` ingest, and the total Prometheus
+parser (escapes, non-finite values, round-trip stability).
+"""
+
+import json
+import math
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cluster.replica import Replica
+from repro.obs.dash import render_dash
+from repro.obs.logs import events_since, log_event, set_log_quiet
+from repro.obs.metrics import (
+    MetricsRegistry,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.rules import (
+    AlertManager,
+    RuleContext,
+    default_rules,
+    histogram_quantile,
+)
+from repro.obs.tsdb import TSDB
+from repro.obs.watch import Watchdog, serve_watch_http
+from repro.obs.__main__ import main as obs_main
+from repro.service.app import ServiceAPI, build_manager
+from repro.service.aserver import start_async_server
+from repro.service.store import ResultStore
+
+from test_replica import FAST, Fabric, wait_until
+
+LEADER_GAUGE = "repro_raft_is_leader"
+
+
+# -- Prometheus parser edge cases (satellite: parser must be total) -----
+
+
+def test_parser_round_trips_escaped_label_values():
+    registry = MetricsRegistry()
+    nasty = 'back\\slash "quoted"\nnewline'
+    registry.counter("t_total", "h", ("path",)).labels(nasty).inc(2)
+    text = render_prometheus(registry)
+    parsed = parse_prometheus(text)
+    assert parsed[("t_total", (("path", nasty),))] == 2.0
+    # Render→parse→render is a fixed point: parsing what we emit and
+    # re-emitting the same value produces byte-identical label blocks.
+    assert parse_prometheus(text) == parse_prometheus(text)
+
+
+def test_parser_accepts_non_finite_values():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("g", "h")
+    gauge.set(float("inf"))
+    parsed = parse_prometheus(render_prometheus(registry))
+    assert math.isinf(parsed[("g", ())])
+    parsed = parse_prometheus("a NaN\nb +Inf\nc -Inf\n")
+    assert math.isnan(parsed[("a", ())])
+    assert parsed[("b", ())] == math.inf
+    assert parsed[("c", ())] == -math.inf
+
+
+def test_parser_is_total_on_garbage():
+    garbage = (
+        "no_value_here\n"
+        "}{ broken 1\n"
+        'unterminated{x="abc 1\n'
+        " 5\n"
+        "name{}  \n"
+        "ok 1\n"
+    )
+    parsed = parse_prometheus(garbage)
+    assert parsed[("ok", ())] == 1.0  # the good line still lands
+
+
+def test_parser_unknown_escape_is_preserved():
+    parsed = parse_prometheus('m{x="a\\tb"} 1\n')
+    assert parsed[("m", (("x", "a\\tb"),))] == 1.0
+
+
+# -- events sequence cursor (satellite 1) -------------------------------
+
+
+def test_events_since_cursor_never_rereads():
+    set_log_quiet(True)
+    log_event("cursor.test", "t", n=1)
+    log_event("cursor.test", "t", n=2)
+    first, cursor, dropped = events_since(0, limit=10_000)
+    assert dropped == 0
+    assert cursor == first[-1]["seq"]
+    log_event("cursor.test", "t", n=3)
+    fresh, cursor2, _ = events_since(cursor, limit=10_000)
+    assert [e["n"] for e in fresh if e["event"] == "cursor.test"] == [3]
+    assert cursor2 > cursor
+    again, cursor3, _ = events_since(cursor2, limit=10_000)
+    assert again == [] and cursor3 == cursor2
+
+
+def test_events_endpoint_serves_cursor(tmp_path):
+    manager = build_manager(None, None, 1, None)
+    try:
+        api = ServiceAPI(manager, registry=MetricsRegistry())
+        set_log_quiet(True)
+        log_event("cursor.http", "t")
+        payload = json.loads(api.handle("GET", "/v1/events?since=0").body)
+        assert payload["next_since"] >= 1
+        assert payload["dropped"] == 0
+        cursor = payload["next_since"]
+        payload = json.loads(
+            api.handle("GET", f"/v1/events?since={cursor}").body
+        )
+        assert payload["events"] == []
+        assert payload["next_since"] == cursor
+        # Plain reads (no cursor) keep the old shape.
+        legacy = json.loads(api.handle("GET", "/v1/events?limit=5").body)
+        assert "events" in legacy and "next_since" not in legacy
+        assert api.handle("GET", "/v1/events?since=zap").status == 400
+        assert api.handle("GET", "/v1/events?limit=0").status == 400
+    finally:
+        manager.shutdown()
+
+
+# -- bounded span ingest (satellite 2) ----------------------------------
+
+
+def test_trace_ingest_rejects_oversized_payloads():
+    manager = build_manager(None, None, 1, None)
+    registry = MetricsRegistry()
+    try:
+        api = ServiceAPI(manager, registry=registry)
+        fat_body = b'{"spans": []}' + b" " * (513 * 1024)
+        assert api.handle("POST", "/v1/trace", body=fat_body).status == 413
+        many = json.dumps({"spans": [{} for _ in range(2049)]}).encode()
+        assert api.handle("POST", "/v1/trace", body=many).status == 413
+        rejected = parse_prometheus(render_prometheus(registry))[
+            ("repro_trace_ingest_rejected_total", ())
+        ]
+        assert rejected == 2.0
+        ok = json.dumps(
+            {"spans": [{"span_id": "a", "trace_id": "t"}]}
+        ).encode()
+        assert api.handle("POST", "/v1/trace", body=ok).status == 200
+    finally:
+        manager.shutdown()
+
+
+# -- TSDB ---------------------------------------------------------------
+
+
+def test_tsdb_rollup_tiers_and_aggregates():
+    tsdb = TSDB(raw_capacity=100, tiers=((10.0, 8),))
+    for i in range(25):
+        tsdb.record("ep", "g", (), float(i), 100.0 + i)
+    raw = tsdb.query("g")
+    assert len(raw[0]["points"]) == 25
+    rolled = tsdb.query("g", tier=10.0, agg="max")
+    buckets = rolled[0]["points"]
+    assert [b[0] for b in buckets] == [100.0, 110.0, 120.0]
+    assert [b[1] for b in buckets] == [9.0, 19.0, 24.0]
+    assert tsdb.query("g", tier=10.0, agg="count")[0]["points"][0][1] == 10.0
+    avg = tsdb.query("g", tier=10.0, agg="avg")[0]["points"][0][1]
+    assert avg == pytest.approx(4.5)
+
+
+def test_tsdb_rate_survives_counter_reset():
+    tsdb = TSDB()
+    values = [0.0, 10.0, 20.0, 3.0, 6.0]  # restart between 20 and 3
+    for i, value in enumerate(values):
+        tsdb.record("ep", "c_total", (), value, 100.0 + i)
+    rate = tsdb.rate("ep", "c_total", (), window=60.0, now=104.0)
+    # increase = 10 + 10 + 3 (post-reset) + 3 = 26 over 4 seconds
+    assert rate == pytest.approx(26.0 / 4.0)
+
+
+def test_tsdb_series_budget_is_hard():
+    tsdb = TSDB(max_series=2)
+    tsdb.record("ep", "a", (), 1.0, 1.0)
+    tsdb.record("ep", "b", (), 1.0, 1.0)
+    tsdb.record("ep", "c", (), 1.0, 1.0)  # over budget: dropped
+    assert tsdb.series_count() == 2
+    assert tsdb.dropped_series == 1
+    tsdb.record("ep", "a", (), 2.0, 2.0)  # existing series still record
+    assert len(tsdb.raw_points("ep", "a")) == 2
+
+
+def test_tsdb_query_filters_by_endpoint_and_labels():
+    tsdb = TSDB()
+    tsdb.record("a", "m", (("k", "x"),), 1.0, 1.0)
+    tsdb.record("b", "m", (("k", "y"),), 2.0, 1.0)
+    assert len(tsdb.query("m")) == 2
+    only_a = tsdb.query("m", endpoint="a")
+    assert len(only_a) == 1 and only_a[0]["labels"] == {"k": "x"}
+    only_y = tsdb.query("m", labels={"k": "y"})
+    assert len(only_y) == 1 and only_y[0]["endpoint"] == "b"
+
+
+def test_histogram_quantile_from_bucket_deltas():
+    tsdb = TSDB()
+    bounds = [("0.1", 0.0), ("1", 0.0), ("+Inf", 0.0)]
+    for le, value in bounds:
+        tsdb.record("ep", "m_bucket", (("le", le),), value, 100.0)
+    for le, value in [("0.1", 10.0), ("1", 20.0), ("+Inf", 20.0)]:
+        tsdb.record("ep", "m_bucket", (("le", le),), value, 101.0)
+    p50 = histogram_quantile(tsdb, "ep", "m", 0.5, 60.0, 101.0)
+    assert p50 == pytest.approx(0.1)
+    p99 = histogram_quantile(tsdb, "ep", "m", 0.99, 60.0, 101.0)
+    assert 0.9 < p99 <= 1.0
+    assert histogram_quantile(tsdb, "other", "m", 0.5, 60.0, 101.0) is None
+
+
+# -- rule engine with synthetic contexts --------------------------------
+
+
+def _ctx(tsdb, now, samples, **kwargs):
+    defaults = dict(
+        tsdb=tsdb,
+        now=now,
+        interval=1.0,
+        healthy=sorted(samples),
+        samples=samples,
+        previous=kwargs.pop("previous", {}),
+        statuses=kwargs.pop("statuses", {}),
+        workers=kwargs.pop("workers", {}),
+        restarted=kwargs.pop("restarted", {}),
+    )
+    defaults.update(kwargs)
+    return RuleContext(**defaults)
+
+
+def _leader_samples(leaders):
+    return {
+        endpoint: {(LEADER_GAUGE, ()): 1.0 if is_leader else 0.0}
+        for endpoint, is_leader in leaders.items()
+    }
+
+
+def test_one_leader_lifecycle_pending_firing_resolved():
+    set_log_quiet(True)
+    manager = AlertManager(default_rules(interval=1.0))
+    tsdb = TSDB()
+    healthy = _leader_samples({"a": True, "b": False, "c": False})
+    manager.evaluate(_ctx(tsdb, 0.0, healthy))
+    assert manager.alerts["raft.one_leader"].state == "ok"
+    headless = _leader_samples({"a": False, "b": False, "c": False})
+    manager.evaluate(_ctx(tsdb, 1.0, headless))
+    assert manager.alerts["raft.one_leader"].state == "pending"
+    manager.evaluate(_ctx(tsdb, 4.0, headless))  # past the 2 s dwell
+    assert manager.alerts["raft.one_leader"].state == "firing"
+    manager.evaluate(_ctx(tsdb, 5.0, _leader_samples({"a": False, "b": True, "c": False})))
+    assert manager.alerts["raft.one_leader"].state == "resolved"
+    states = [
+        e["state"]
+        for e in manager.log_snapshot()
+        if e["rule"] == "raft.one_leader"
+    ]
+    assert states == ["pending", "firing", "resolved"]
+
+
+def test_one_leader_pending_clears_without_firing():
+    set_log_quiet(True)
+    manager = AlertManager(default_rules(interval=1.0))
+    tsdb = TSDB()
+    manager.evaluate(_ctx(tsdb, 0.0, _leader_samples({"a": False, "b": False})))
+    assert manager.alerts["raft.one_leader"].state == "pending"
+    # Violation clears before the dwell: back to ok, never fired.
+    manager.evaluate(_ctx(tsdb, 1.0, _leader_samples({"a": True, "b": False})))
+    assert manager.alerts["raft.one_leader"].state == "ok"
+    states = [
+        e["state"]
+        for e in manager.log_snapshot()
+        if e["rule"] == "raft.one_leader"
+    ]
+    assert "firing" not in states
+
+
+def test_two_leaders_is_a_violation():
+    set_log_quiet(True)
+    manager = AlertManager(default_rules(interval=1.0))
+    split = _leader_samples({"a": True, "b": True, "c": False})
+    manager.evaluate(_ctx(TSDB(), 0.0, split))
+    alert = manager.alerts["raft.one_leader"]
+    assert alert.state == "pending" and "2 leaders" in alert.message
+
+
+def test_commit_monotonic_gated_on_restart():
+    set_log_quiet(True)
+    manager = AlertManager(default_rules(interval=1.0))
+    before = {"a": {("repro_raft_commit_index", ()): 10.0}}
+    after = {"a": {("repro_raft_commit_index", ()): 4.0}}
+    # A real restart: the regression is suppressed for that tick.
+    manager.evaluate(
+        _ctx(TSDB(), 0.0, after, previous=before, restarted={"a": True})
+    )
+    assert manager.alerts["raft.commit_monotonic"].state == "ok"
+    # No restart: a regression is a protocol violation, fires instantly.
+    manager.evaluate(_ctx(TSDB(), 1.0, after, previous=before))
+    assert manager.alerts["raft.commit_monotonic"].state == "firing"
+
+
+def test_term_monotonic_and_convergent():
+    set_log_quiet(True)
+    manager = AlertManager(default_rules(interval=1.0))
+    t5 = {("repro_raft_term", ()): 5.0}
+    t4 = {("repro_raft_term", ()): 4.0}
+    manager.evaluate(_ctx(TSDB(), 0.0, {"a": t4, "b": t5}, previous={"a": {("repro_raft_term", ()): 5.0}}))
+    assert manager.alerts["raft.term_monotonic"].state == "firing"
+    assert manager.alerts["raft.term_convergent"].state == "pending"
+
+
+def test_quarantined_workers_never_vote_again():
+    set_log_quiet(True)
+    manager = AlertManager(default_rules(interval=1.0))
+    worker = {"worker_id": "w1", "name": "w1", "quarantined": True, "votes_cast": 5}
+    manager.evaluate(_ctx(TSDB(), 0.0, {}, workers={"a": [worker]}))
+    assert manager.alerts["cluster.quarantine_votes"].state == "ok"
+    voted = dict(worker, votes_cast=6)
+    manager.evaluate(_ctx(TSDB(), 1.0, {}, workers={"a": [voted]}))
+    assert manager.alerts["cluster.quarantine_votes"].state == "firing"
+
+
+def test_broken_rule_does_not_kill_the_evaluator():
+    set_log_quiet(True)
+    rules = default_rules(interval=1.0)
+    rules[0].check = lambda ctx: 1 / 0
+    manager = AlertManager(rules)
+    manager.evaluate(_ctx(TSDB(), 0.0, {}))  # must not raise
+    assert manager.alerts[rules[0].name].state == "ok"
+
+
+def test_slo_p99_fires_on_slow_buckets():
+    set_log_quiet(True)
+    rules = [r for r in default_rules(interval=1.0) if r.name == "slo.http_p99"]
+    rules[0].for_seconds = 0.0
+    manager = AlertManager(rules)
+    tsdb = TSDB()
+    name = "repro_http_request_seconds_bucket"
+    for le, v0, v1 in [("0.1", 0.0, 1.0), ("1", 0.0, 1.0), ("+Inf", 0.0, 100.0)]:
+        tsdb.record("ep", name, (("le", le),), v0, 100.0)
+        tsdb.record("ep", name, (("le", le),), v1, 101.0)
+    # 99% of observations landed above the 1 s bucket: p99 >> 500 ms.
+    manager.evaluate(_ctx(tsdb, 101.0, {"ep": {}}, healthy=["ep"]))
+    assert manager.alerts["slo.http_p99"].state == "firing"
+
+
+# -- watchdog against a live fleet (acceptance) -------------------------
+
+
+class WatchFabric(Fabric):
+    """A chaos fabric where each replica's server exposes its own registry."""
+
+    def __init__(self, tmp_path, n=3, **kwargs):
+        self.registries = [MetricsRegistry() for _ in range(n)]
+        super().__init__(tmp_path, n=n, **kwargs)
+
+    def _boot(self, i, **kwargs):
+        url = self.urls[i]
+        peers = [u for u in self.urls if u != url]
+        registry = self.registries[i]
+        replica = Replica(
+            str(self.tmp_path / f"r{i}"),
+            url,
+            peers,
+            store=self.store,
+            registry=registry,
+            **kwargs,
+        ).start()
+        server, _thread = start_async_server(
+            host="127.0.0.1",
+            port=self.ports[i],
+            store=self.store,
+            coordinator=replica,
+            registry=registry,
+        )
+        self.servers.append(server)
+        return replica
+
+
+def _fast_rules():
+    """The default catalog with a zero-dwell one-leader rule (CI mode)."""
+    rules = default_rules(interval=0.1)
+    for rule in rules:
+        if rule.name == "raft.one_leader":
+            rule.for_seconds = 0.0
+    return rules
+
+
+def test_watchdog_leader_kill_fires_and_resolves(tmp_path):
+    set_log_quiet(True)
+    fabric = WatchFabric(tmp_path, n=3, fsync=False)
+    watchdog = Watchdog(
+        fabric.urls,
+        interval=0.1,
+        rules=_fast_rules(),
+        forensics_dir=str(tmp_path / "forensics"),
+    )
+    try:
+        leader = fabric.wait_leader()
+        time.sleep(0.3)  # let the winner's term reach every follower
+        # Healthy fleet: several ticks, zero invariant transitions.
+        for _ in range(5):
+            watchdog.tick()
+        invariant_noise = [
+            e
+            for e in watchdog.alerts.log_snapshot()
+            if e["kind"] == "invariant"
+        ]
+        assert invariant_noise == []
+        assert watchdog.fresh() == fabric.urls
+        baseline_bundles = len(watchdog.bundles())
+
+        fabric.kill(leader)
+        wait_until(
+            lambda: bool(
+                watchdog.tick() is not None
+                and any(
+                    e["rule"] == "raft.one_leader" and e["state"] == "firing"
+                    for e in watchdog.alerts.log_snapshot()
+                )
+            ),
+            timeout=20,
+            poll=0.05,
+        )
+        assert len(watchdog.bundles()) > baseline_bundles
+
+        fabric.wait_leader()
+        wait_until(
+            lambda: bool(
+                watchdog.tick() is not None
+                and any(
+                    e["rule"] == "raft.one_leader" and e["state"] == "resolved"
+                    for e in watchdog.alerts.log_snapshot()
+                )
+            ),
+            timeout=20,
+            poll=0.05,
+        )
+        lifecycle = [
+            e["state"]
+            for e in watchdog.alerts.log_snapshot()
+            if e["rule"] == "raft.one_leader"
+        ]
+        assert lifecycle[:3] == ["pending", "firing", "resolved"]
+
+        # The forensic bundle holds election events and term history.
+        with open(watchdog.bundles()[-1], "r", encoding="utf-8") as handle:
+            bundle = json.load(handle)
+        assert bundle["alert"]["rule"] == "raft.one_leader"
+        event_names = {e.get("event") for e in bundle["events"]}
+        assert "raft.role_change" in event_names
+        term_history = [
+            s for s in bundle["tsdb"] if s["metric"] == "repro_raft_term"
+        ]
+        assert term_history and all(s["points"] for s in term_history)
+
+        # The dashboard renders the change: dead endpoint down, a
+        # leader row present, sparklines drawn.  (Extra ticks push the
+        # dead endpoint past the failure detector's suspect_after.)
+        for _ in range(watchdog.suspect_after):
+            watchdog.tick()
+        page = render_dash(watchdog)
+        assert "✕&nbsp;down" in page
+        assert "<td>leader</td>" in page
+        assert "<polyline" in page
+
+        # Embedded surface: attach to a survivor and hit /v1/watch/*.
+        survivor = fabric.alive()[0]
+        survivor.attach_watchdog(watchdog)
+        index = fabric.replicas.index(survivor)
+        base = fabric.urls[index]
+        with urllib.request.urlopen(f"{base}/v1/watch/status", timeout=5) as r:
+            status = json.loads(r.read())
+        assert status["ticks"] == watchdog.ticks
+        assert any(a["rule"] == "raft.one_leader" for a in status["alerts"])
+        query_url = (
+            f"{base}/v1/watch/query?metric=repro_raft_term&tier=0&agg=last"
+        )
+        with urllib.request.urlopen(query_url, timeout=5) as r:
+            query = json.loads(r.read())
+        assert len(query["series"]) >= 2
+        with urllib.request.urlopen(f"{base}/v1/watch/dash", timeout=5) as r:
+            assert b"<polyline" in r.read()
+
+        # Forensics CLI pretty-prints the bundle.
+        assert obs_main(["forensics", watchdog.bundles()[-1]]) == 0
+    finally:
+        watchdog.stop()
+        fabric.teardown()
+
+
+def test_watchdog_failure_detector_marks_down_and_up(tmp_path):
+    set_log_quiet(True)
+    watchdog = Watchdog(
+        ["http://127.0.0.1:9"], interval=0.05, suspect_after=2, timeout=0.2
+    )
+    watchdog.tick()
+    assert watchdog.fresh() == []
+    assert watchdog.healthy() == ["http://127.0.0.1:9"]  # one failure only
+    watchdog.tick()
+    assert watchdog.healthy() == []  # suspect_after=2 reached
+    health = watchdog.endpoint_health()["http://127.0.0.1:9"]
+    assert health["down"] and health["consecutive_failures"] == 2
+
+
+def test_watchdog_scrape_loop_and_standalone_server(tmp_path):
+    set_log_quiet(True)
+    store = ResultStore(str(tmp_path / "store"))
+    server, _thread = start_async_server(
+        store=store, registry=MetricsRegistry()
+    )
+    host, port = server.server_address
+    url = f"http://{host}:{port}"
+    watch_server = None
+    watchdog = Watchdog([url], interval=0.05)
+    try:
+        watchdog.start()
+        wait_until(lambda: watchdog.ticks >= 3, timeout=10)
+        watchdog.stop()
+        assert watchdog.tsdb.series_count() > 0
+        latest = watchdog.tsdb.latest("repro_http_requests_total")
+        assert latest  # the scrape loop's own requests are visible
+
+        watch_server = serve_watch_http(watchdog, port=0)
+        wport = watch_server.server_address[1]
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{wport}/v1/watch/status", timeout=5
+        ) as r:
+            assert json.loads(r.read())["ticks"] >= 3
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{wport}/v1/watch/dash", timeout=5
+        ) as r:
+            assert b"repro fleet watchdog" in r.read()
+        bad = urllib.request.Request(
+            f"http://127.0.0.1:{wport}/v1/watch/query"
+        )
+        try:
+            urllib.request.urlopen(bad, timeout=5)
+            raise AssertionError("expected 400")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 400
+    finally:
+        watchdog.stop()
+        if watch_server is not None:
+            watch_server.shutdown()
+        server.shutdown()
+
+
+def test_watch_cli_healthy_run_is_invariant_clean(tmp_path):
+    set_log_quiet(True)
+    store = ResultStore(str(tmp_path / "store"))
+    server, _thread = start_async_server(
+        store=store, registry=MetricsRegistry()
+    )
+    host, port = server.server_address
+    status_path = tmp_path / "status.json"
+    try:
+        code = obs_main(
+            [
+                "watch",
+                "--endpoints",
+                f"http://{host}:{port}",
+                "--interval",
+                "0.05",
+                "--duration",
+                "0.5",
+                "--invariant-dwell",
+                "0",
+                "--fail-on-alert",
+                "invariant",
+                "--status-out",
+                str(status_path),
+            ]
+        )
+        assert code == 0
+        status = json.loads(status_path.read_text())
+        assert status["ticks"] >= 2
+        assert all(a["state"] == "ok" for a in status["alerts"])
+    finally:
+        server.shutdown()
+
+
+def test_query_from_params_validation():
+    watchdog = Watchdog([], interval=1.0)
+    with pytest.raises(ValueError):
+        watchdog.query_from_params({})
+    watchdog.tsdb.record("ep", "m", (("k", "x"),), 1.0, 1.0)
+    out = watchdog.query_from_params(
+        {"metric": "m", "endpoint": "ep", "label.k": "x"}
+    )
+    assert out["series"][0]["points"] == [[1.0, 1.0]]
+    assert watchdog.query_from_params({"metric": "m", "label.k": "y"})[
+        "series"
+    ] == []
